@@ -1,0 +1,227 @@
+//! Shared machinery for the baseline system models: CPU cost model,
+//! pixel-region encoding, and request-stream size accounting.
+
+use thinc_compress::Codec;
+use thinc_display::request::DrawRequest;
+use thinc_net::time::SimDuration;
+use thinc_raster::{Framebuffer, PixelFormat, Rect, Region};
+
+/// The testbed server: dual 933 MHz Pentium III (we model one busy
+/// core plus some overlap, ~1.2 GHz effective).
+pub const SERVER_HZ: u64 = 1_200_000_000;
+/// The testbed client: 450 MHz Pentium II.
+pub const CLIENT_HZ: u64 = 450_000_000;
+
+/// Server cycles to rasterize one pixel.
+pub const RASTER_CYCLES_PER_PX: u64 = 6;
+/// Server cycles of fixed overhead per drawing request.
+pub const REQUEST_CYCLES: u64 = 2_000;
+/// Cycles per byte of HTML/content processing by the browser (layout,
+/// script, decoding) — charged on whichever machine runs the browser.
+pub const BROWSER_CYCLES_PER_BYTE: u64 = 2_000;
+/// Bandwidth between the browser and the web server (testbed LAN).
+pub const WEB_SERVER_BPS: u64 = 100_000_000;
+
+/// Converts server cycles to virtual time.
+pub fn server_time(cycles: u64) -> SimDuration {
+    SimDuration::from_micros(cycles * 1_000_000 / SERVER_HZ)
+}
+
+/// Server CPU cost of rasterizing a request batch (pixels touched).
+pub fn raster_cost(reqs: &[DrawRequest]) -> u64 {
+    let mut cycles = 0;
+    for r in reqs {
+        cycles += REQUEST_CYCLES;
+        let px = match r {
+            DrawRequest::FillRect { rect, .. }
+            | DrawRequest::TileRect { rect, .. }
+            | DrawRequest::StippleRect { rect, .. }
+            | DrawRequest::PutImage { rect, .. } => rect.area(),
+            DrawRequest::CopyArea { src_rect, .. } => src_rect.area(),
+            DrawRequest::Text { text, .. } => (text.len() as u64) * 64,
+            DrawRequest::VideoPut { dst, .. } => dst.area(),
+            // Software Porter-Duff is several times a plain fill.
+            DrawRequest::Composite { rect, .. } => rect.area() * 4,
+            DrawRequest::CreatePixmap { .. } | DrawRequest::FreePixmap { .. } => 0,
+        };
+        cycles += px * RASTER_CYCLES_PER_PX;
+    }
+    cycles
+}
+
+/// Encodes the pixels of `region` from `screen` with `codec` at
+/// `depth_bytes` per pixel (screen scraping). Returns
+/// `(wire_bytes, encode_cycles)`.
+pub fn encode_region(
+    screen: &Framebuffer,
+    region: &Region,
+    codec: Codec,
+    depth_bytes: usize,
+) -> (u64, u64) {
+    let mut wire = 0u64;
+    let mut cycles = 0u64;
+    for r in region.rects() {
+        let (clip, data) = screen.get_raw(r);
+        if clip.is_empty() {
+            continue;
+        }
+        // Re-quantize when the wire depth differs from the screen's.
+        let payload: Vec<u8> = if depth_bytes == screen.format().bytes_per_pixel() {
+            data
+        } else {
+            requantize(&data, screen.format(), depth_bytes)
+        };
+        let encoded = codec.compress(&payload);
+        wire += 12 + encoded.len() as u64; // Rect header + payload.
+        cycles += payload.len() as u64 * codec.cost_per_byte();
+    }
+    (wire, cycles)
+}
+
+/// Converts raw pixel bytes to a different depth (e.g. 24-bit → the
+/// GoToMyPC 8-bit wire format).
+pub fn requantize(data: &[u8], from: PixelFormat, to_bytes: usize) -> Vec<u8> {
+    let from_bpp = from.bytes_per_pixel();
+    let to_fmt = match to_bytes {
+        1 => PixelFormat::Indexed8,
+        2 => PixelFormat::Rgb565,
+        3 => PixelFormat::Rgb888,
+        _ => PixelFormat::Rgba8888,
+    };
+    let mut out = Vec::with_capacity(data.len() / from_bpp * to_bytes);
+    let mut px = vec![0u8; to_bytes];
+    for chunk in data.chunks_exact(from_bpp) {
+        let c = from.decode(chunk);
+        to_fmt.encode(c, &mut px);
+        out.extend_from_slice(&px);
+    }
+    out
+}
+
+/// Approximate wire size of a drawing request in an X-class protocol
+/// (the high-level command stream X and NX forward to the client).
+pub fn x_request_size(req: &DrawRequest) -> u64 {
+    const HDR: u64 = 24;
+    HDR + match req {
+        DrawRequest::CreatePixmap { .. } | DrawRequest::FreePixmap { .. } => 0,
+        DrawRequest::FillRect { .. } => 8,
+        DrawRequest::TileRect { .. } => 16,
+        DrawRequest::StippleRect { bits, .. } => bits.len() as u64,
+        DrawRequest::CopyArea { .. } => 16,
+        DrawRequest::PutImage { data, .. } => data.len() as u64,
+        DrawRequest::Text { text, .. } => 8 + text.len() as u64,
+        DrawRequest::Composite { data, .. } => data.len() as u64,
+        // Without a remote-video extension the player falls back to
+        // uploading decoded RGB frames.
+        DrawRequest::VideoPut { frame, dst } => {
+            let _ = frame;
+            dst.area() * 3
+        }
+    }
+}
+
+/// Maximum transmit backlog a system tolerates before dropping A/V
+/// data (roughly the play-out buffer of a 2005 media pipeline).
+pub const MAX_AV_BACKLOG: thinc_net::time::SimDuration =
+    thinc_net::time::SimDuration(500_000);
+
+/// Whether the downlink is too backlogged at `now` to accept another
+/// A/V update (the realistic alternative to dropping anything larger
+/// than the socket buffer: systems stream what bandwidth allows and
+/// drop the rest).
+pub fn av_backlogged(pipe: &thinc_net::tcp::TcpPipe, now: thinc_net::time::SimTime) -> bool {
+    pipe.tx_free_at() > now + MAX_AV_BACKLOG
+}
+
+/// Uniformity check used by the Sun Ray inference model: whether a
+/// screen rectangle is one solid color.
+pub fn uniform_color(screen: &Framebuffer, r: &Rect) -> Option<thinc_raster::Color> {
+    let clip = r.intersection(&screen.bounds());
+    if clip.is_empty() {
+        return None;
+    }
+    let first = screen.get_pixel(clip.x, clip.y)?;
+    for y in clip.y..clip.bottom() {
+        for x in clip.x..clip.right() {
+            if screen.get_pixel(x, y) != Some(first) {
+                return None;
+            }
+        }
+    }
+    Some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_raster::Color;
+
+    #[test]
+    fn raster_cost_scales_with_pixels() {
+        let small = vec![DrawRequest::FillRect {
+            target: thinc_display::SCREEN,
+            rect: Rect::new(0, 0, 10, 10),
+            color: Color::WHITE,
+        }];
+        let large = vec![DrawRequest::FillRect {
+            target: thinc_display::SCREEN,
+            rect: Rect::new(0, 0, 1000, 1000),
+            color: Color::WHITE,
+        }];
+        assert!(raster_cost(&large) > raster_cost(&small) * 100);
+    }
+
+    #[test]
+    fn server_time_conversion() {
+        assert_eq!(server_time(SERVER_HZ).as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn encode_region_flat_compresses() {
+        let mut fb = Framebuffer::new(64, 64, PixelFormat::Rgb888);
+        fb.fill_rect(&Rect::new(0, 0, 64, 64), Color::rgb(7, 7, 7));
+        let region = Region::from_rect(Rect::new(0, 0, 64, 64));
+        let (rle, _) = encode_region(&fb, &region, Codec::Rle, 3);
+        let (raw, _) = encode_region(&fb, &region, Codec::None, 3);
+        assert!(rle < raw / 10);
+        assert_eq!(raw, 12 + 64 * 64 * 3);
+    }
+
+    #[test]
+    fn requantize_to_8bit_shrinks() {
+        let data = vec![0x80u8; 300];
+        let out = requantize(&data, PixelFormat::Rgb888, 1);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn x_request_sizes() {
+        let fill = DrawRequest::FillRect {
+            target: thinc_display::SCREEN,
+            rect: Rect::new(0, 0, 500, 500),
+            color: Color::WHITE,
+        };
+        // High-level fills are tiny regardless of area...
+        assert!(x_request_size(&fill) < 64);
+        // ...but image uploads carry all their pixels.
+        let img = DrawRequest::PutImage {
+            target: thinc_display::SCREEN,
+            rect: Rect::new(0, 0, 100, 100),
+            data: vec![0; 30_000],
+        };
+        assert!(x_request_size(&img) > 30_000);
+    }
+
+    #[test]
+    fn uniform_color_detection() {
+        let mut fb = Framebuffer::new(16, 16, PixelFormat::Rgb888);
+        fb.fill_rect(&Rect::new(0, 0, 16, 16), Color::rgb(5, 5, 5));
+        assert_eq!(
+            uniform_color(&fb, &Rect::new(0, 0, 16, 16)),
+            Some(Color::rgb(5, 5, 5))
+        );
+        fb.set_pixel(8, 8, Color::WHITE);
+        assert_eq!(uniform_color(&fb, &Rect::new(0, 0, 16, 16)), None);
+        assert!(uniform_color(&fb, &Rect::new(100, 100, 4, 4)).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! The local PC baseline: no thin client at all.
+//!
+//! Applications run and render directly on the (slower) client
+//! machine. It is the paper's reference point: most bandwidth-
+//! efficient (only the web content itself crosses the network) but
+//! *not* the fastest for web browsing — THINC beats it because the
+//! server's faster CPU processes pages more quickly (§8.3).
+
+use thinc_display::driver::NullDriver;
+use thinc_display::request::DrawRequest;
+use thinc_display::server::WindowServer;
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_net::trace::{Direction, PacketTrace};
+use thinc_raster::{PixelFormat, Point, Rect, YuvFrame};
+
+use crate::framework::{raster_cost, CLIENT_HZ};
+use crate::traits::{AvStats, RemoteDisplay};
+
+/// A PC running everything locally.
+pub struct LocalPc {
+    ws: WindowServer<NullDriver>,
+    trace: PacketTrace,
+    last_arrival: Option<SimTime>,
+    av: AvStats,
+    client_cycles: u64,
+}
+
+impl LocalPc {
+    /// A local PC with the given display geometry.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self {
+            ws: WindowServer::new(width, height, PixelFormat::Rgb888, NullDriver),
+            trace: PacketTrace::new(),
+            last_arrival: None,
+            av: AvStats::default(),
+            client_cycles: 0,
+        }
+    }
+
+    /// The locally rendered screen.
+    pub fn screen(&self) -> &thinc_raster::Framebuffer {
+        self.ws.screen()
+    }
+
+}
+
+impl RemoteDisplay for LocalPc {
+    fn name(&self) -> String {
+        "Local PC".into()
+    }
+
+    fn click(&mut self, now: SimTime, _pos: Point) -> SimTime {
+        // Local input: no network.
+        now
+    }
+
+    fn process(&mut self, now: SimTime, reqs: Vec<DrawRequest>) -> SimDuration {
+        // Rendering happens on the client CPU.
+        let cycles = raster_cost(&reqs);
+        self.client_cycles += cycles;
+        self.ws.process_all(reqs);
+        let dur = SimDuration::from_micros(cycles * 1_000_000 / CLIENT_HZ);
+        self.last_arrival = Some(now + dur);
+        dur
+    }
+
+    fn pump(&mut self, _now: SimTime) {}
+
+    fn drain(&mut self, from: SimTime) -> SimTime {
+        self.last_arrival.unwrap_or(from).max(from)
+    }
+
+    fn last_client_arrival(&self) -> Option<SimTime> {
+        self.last_arrival
+    }
+
+    fn trace(&self) -> &PacketTrace {
+        &self.trace
+    }
+
+    fn video_frame(&mut self, now: SimTime, frame: &YuvFrame, dst: Rect) {
+        // The player fetches the *encoded* clip over the network (the
+        // paper's local PC transfers ~6 MB — the MPEG-1 file itself,
+        // ~1.2 Mbps) and decodes locally.
+        let encoded_bytes = 1_200_000 / 8 / 24; // Per frame at 24 fps.
+        let arrival = now + SimDuration::from_micros(encoded_bytes * 8 * 1_000_000 / 100_000_000);
+        self.trace
+            .record(now, arrival, encoded_bytes, Direction::Down, "content");
+        self.ws.process(DrawRequest::VideoPut {
+            frame: frame.clone(),
+            dst,
+        });
+        self.av.frames_delivered += 1;
+        self.last_arrival = Some(now);
+    }
+
+    fn audio(&mut self, now: SimTime, pcm: &[u8]) {
+        self.av.audio_bytes += pcm.len() as u64;
+        self.last_arrival = Some(now);
+    }
+
+    fn av_stats(&self) -> AvStats {
+        self.av
+    }
+
+    fn client_processing_secs(&self) -> Option<f64> {
+        Some(self.client_cycles as f64 / CLIENT_HZ as f64)
+    }
+
+    fn fetch_content(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        // Content crosses the client's own link, and the slower
+        // client CPU processes the HTML — the dominant cost of local
+        // web browsing in Figure 2.
+        let fetch = SimDuration::from_micros(bytes * 8 * 1_000_000 / 100_000_000);
+        let arrival = now + fetch;
+        self.trace.record(now, arrival, bytes, Direction::Down, "content");
+        let cycles = bytes * crate::framework::BROWSER_CYCLES_PER_BYTE;
+        self.client_cycles += cycles;
+        let done = arrival + SimDuration::from_micros(cycles * 1_000_000 / CLIENT_HZ);
+        self.last_arrival = Some(done);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_raster::Color;
+
+    #[test]
+    fn renders_locally_no_network() {
+        let mut pc = LocalPc::new(64, 64);
+        pc.process(
+            SimTime::ZERO,
+            vec![DrawRequest::FillRect {
+                target: thinc_display::SCREEN,
+                rect: Rect::new(0, 0, 8, 8),
+                color: Color::WHITE,
+            }],
+        );
+        assert_eq!(pc.screen().get_pixel(4, 4), Some(Color::WHITE));
+        assert_eq!(pc.trace().total_bytes(), 0);
+    }
+
+    #[test]
+    fn content_fetch_is_the_only_traffic() {
+        let mut pc = LocalPc::new(64, 64);
+        let arr = pc.fetch_content(SimTime::ZERO, 100_000);
+        assert!(arr > SimTime::ZERO);
+        assert_eq!(pc.trace().total_bytes(), 100_000);
+    }
+
+    #[test]
+    fn client_cpu_is_charged() {
+        let mut pc = LocalPc::new(1024, 768);
+        let dur = pc.process(
+            SimTime::ZERO,
+            vec![DrawRequest::FillRect {
+                target: thinc_display::SCREEN,
+                rect: Rect::new(0, 0, 1024, 768),
+                color: Color::WHITE,
+            }],
+        );
+        assert!(dur > SimDuration::ZERO);
+        assert!(pc.client_processing_secs().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn av_always_delivered() {
+        let mut pc = LocalPc::new(64, 64);
+        let f = YuvFrame::new(thinc_raster::YuvFormat::Yv12, 16, 16);
+        pc.video_frame(SimTime::ZERO, &f, Rect::new(0, 0, 64, 64));
+        pc.audio(SimTime::ZERO, &[0; 100]);
+        assert_eq!(pc.av_stats().frames_delivered, 1);
+        assert_eq!(pc.av_stats().audio_bytes, 100);
+    }
+}

@@ -1,0 +1,345 @@
+//! The Sun Ray class: low-level display commands, server push, but
+//! *no translation layer*.
+//!
+//! Sun Ray's command set inspired THINC's (§3), and it pushes updates
+//! like THINC does. What it lacks is THINC's translation architecture
+//! (§8.3): offscreen drawing is ignored, so when applications compose
+//! pages offscreen and copy them onscreen, Sun Ray must reduce the
+//! result to pixel data and *sample* it to infer which primitives to
+//! use — extra CPU, and RAW wherever inference fails. It also has no
+//! transparent video support: video reaches the wire as inferred
+//! pixel updates.
+
+use thinc_compress::{adaptive_codec, Codec};
+use thinc_display::drawable::SCREEN;
+use thinc_display::driver::NullDriver;
+use thinc_display::request::DrawRequest;
+use thinc_display::server::WindowServer;
+use thinc_net::link::{DuplexLink, NetworkConfig};
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_net::trace::{Direction, PacketTrace};
+use thinc_raster::{PixelFormat, Point, Rect, YuvFrame};
+
+use crate::framework::{raster_cost, server_time, uniform_color};
+use crate::traits::{AvStats, RemoteDisplay};
+
+/// Block size used when sampling pixel data to infer primitives.
+const INFER_BLOCK: u32 = 64;
+/// Wire size of a low-level fill/copy command.
+const CMD_BYTES: u64 = 26;
+/// Sampling cost per pixel (cycles) of the inference pass.
+const INFER_CYCLES_PER_PX: u64 = 4;
+
+/// A Sun Ray-class system.
+pub struct SunRay {
+    ws: WindowServer<NullDriver>,
+    link: DuplexLink,
+    trace: PacketTrace,
+    codec: Codec,
+    last_arrival: Option<SimTime>,
+    av: AvStats,
+    cpu_free: SimTime,
+}
+
+impl SunRay {
+    /// Sun Ray over `net`.
+    pub fn new(net: &NetworkConfig, width: u32, height: u32) -> Self {
+        Self {
+            ws: WindowServer::new(width, height, PixelFormat::Rgb888, NullDriver),
+            link: net.connect(),
+            trace: PacketTrace::new(),
+            // Adaptive compression per link quality (§8.3: "Sun Ray
+            // and VNC use adaptive compression schemes"; "more complex
+            // and cpu-intensive compression schemes are used" on WANs).
+            codec: if net.rtt >= SimDuration::from_millis(10) {
+                Codec::Lzss
+            } else {
+                adaptive_codec(net.bandwidth_bps, 3, width as usize * 3)
+            },
+            last_arrival: None,
+            av: AvStats::default(),
+            cpu_free: SimTime::ZERO,
+        }
+    }
+
+    /// Sends `bytes` of update data at `t` (never blocking: display
+    /// updates queue in the pipe).
+    fn send(&mut self, t: SimTime, bytes: u64, tag: &'static str) -> SimTime {
+        let arrival = self.link.send_down(t, bytes);
+        self.trace.record(t, arrival, bytes, Direction::Down, tag);
+        self.last_arrival = Some(arrival);
+        arrival
+    }
+
+    /// Reduces an onscreen rectangle to commands by sampling blocks:
+    /// uniform blocks become fills, the rest raw (compressed) pixels.
+    /// Returns `(wire_bytes, cpu_cycles)`.
+    fn infer(&mut self, rect: &Rect) -> (u64, u64) {
+        let clip = rect.intersection(&self.ws.screen().bounds());
+        let mut bytes = 0u64;
+        let mut cycles = clip.area() * INFER_CYCLES_PER_PX;
+        let mut y = clip.y;
+        while y < clip.bottom() {
+            let bh = INFER_BLOCK.min((clip.bottom() - y) as u32);
+            let mut x = clip.x;
+            while x < clip.right() {
+                let bw = INFER_BLOCK.min((clip.right() - x) as u32);
+                let block = Rect::new(x, y, bw, bh);
+                if uniform_color(self.ws.screen(), &block).is_some() {
+                    bytes += CMD_BYTES;
+                } else {
+                    let (_, data) = self.ws.screen().get_raw(&block);
+                    let enc = self.codec.compress(&data);
+                    bytes += 12 + enc.len() as u64;
+                    cycles += data.len() as u64 * self.codec.cost_per_byte();
+                }
+                x += bw as i32;
+            }
+            y += bh as i32;
+        }
+        (bytes, cycles)
+    }
+}
+
+impl RemoteDisplay for SunRay {
+    fn name(&self) -> String {
+        "Sun Ray".into()
+    }
+
+    fn click(&mut self, now: SimTime, _pos: Point) -> SimTime {
+        let arr = self.link.send_up(now, 48);
+        self.trace.record(now, arr, 48, Direction::Up, "input");
+        arr
+    }
+
+    fn process(&mut self, now: SimTime, reqs: Vec<DrawRequest>) -> SimDuration {
+        let raster = raster_cost(&reqs);
+        let mut t = now.max(self.cpu_free) + server_time(raster);
+        for req in &reqs {
+            match req {
+                // Onscreen low-level commands map directly.
+                DrawRequest::FillRect { target, .. } if target.is_screen() => {
+                    self.send(t, CMD_BYTES, "update");
+                }
+                DrawRequest::TileRect { target, rect, .. } if target.is_screen() => {
+                    let _ = rect;
+                    self.send(t, CMD_BYTES + 64 * 64 * 3, "update");
+                }
+                DrawRequest::StippleRect { target, rect, .. } if target.is_screen() => {
+                    let bits = (rect.w as u64).div_ceil(8) * rect.h as u64;
+                    self.send(t, CMD_BYTES + bits, "update");
+                }
+                DrawRequest::Text { target, text, .. } if target.is_screen() => {
+                    self.send(t, CMD_BYTES + text.len() as u64 * 8, "update");
+                }
+                DrawRequest::CopyArea { src, dst, .. }
+                    if src.is_screen() && dst.is_screen() =>
+                {
+                    self.send(t, CMD_BYTES, "update");
+                }
+                DrawRequest::PutImage { target, rect, data } if target.is_screen() => {
+                    let enc = self.codec.compress(data);
+                    let cycles = data.len() as u64 * self.codec.cost_per_byte();
+                    t += server_time(cycles);
+                    let _ = rect;
+                    self.send(t, 12 + enc.len() as u64, "update");
+                }
+                _ => {}
+            }
+        }
+        // Rasterize everything (including offscreen) and handle the
+        // copies-from-offscreen by pixel inference.
+        let offscreen_copies: Vec<Rect> = reqs
+            .iter()
+            .filter_map(|r| match r {
+                DrawRequest::CopyArea {
+                    src,
+                    dst,
+                    src_rect,
+                    dst_x,
+                    dst_y,
+                } if !src.is_screen() && *dst == SCREEN => {
+                    Some(Rect::new(*dst_x, *dst_y, src_rect.w, src_rect.h))
+                }
+                _ => None,
+            })
+            .collect();
+        self.ws.process_all(reqs);
+        for rect in offscreen_copies {
+            let (bytes, cycles) = self.infer(&rect);
+            t = t.max(self.cpu_free) + server_time(cycles);
+            self.cpu_free = t;
+            self.send(t, bytes, "update");
+        }
+        self.cpu_free = self.cpu_free.max(t);
+        t - now
+    }
+
+    fn pump(&mut self, _now: SimTime) {}
+
+    fn drain(&mut self, from: SimTime) -> SimTime {
+        self.last_arrival.unwrap_or(from).max(from)
+    }
+
+    fn last_client_arrival(&self) -> Option<SimTime> {
+        self.last_arrival
+    }
+
+    fn trace(&self) -> &PacketTrace {
+        &self.trace
+    }
+
+    fn video_frame(&mut self, now: SimTime, frame: &YuvFrame, dst: Rect) {
+        // No video path: the player's output is inferred from pixels
+        // like any other update, at full per-frame cost.
+        self.ws.process(DrawRequest::VideoPut {
+            frame: frame.clone(),
+            dst,
+        });
+        let (bytes, cycles) = self.infer(&dst);
+        let t = now.max(self.cpu_free) + server_time(cycles);
+        self.cpu_free = t;
+        if crate::framework::av_backlogged(&self.link.down, t) {
+            self.av.frames_dropped += 1;
+            return;
+        }
+        self.send(t, bytes, "video");
+        self.av.frames_delivered += 1;
+    }
+
+    fn audio(&mut self, now: SimTime, pcm: &[u8]) {
+        let bytes = pcm.len() as u64;
+        if crate::framework::av_backlogged(&self.link.down, now) {
+            return;
+        }
+        let arrival = self.link.send_down(now, bytes);
+        self.trace.record(now, arrival, bytes, Direction::Down, "audio");
+        self.av.audio_bytes += bytes;
+        self.last_arrival = Some(arrival);
+    }
+
+    fn av_stats(&self) -> AvStats {
+        self.av
+    }
+
+    fn client_processing_secs(&self) -> Option<f64> {
+        // The paper could not instrument the Sun Ray hardware client.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_raster::Color;
+
+    #[test]
+    fn onscreen_fill_is_one_small_command() {
+        let mut sr = SunRay::new(&NetworkConfig::lan_desktop(), 256, 256);
+        sr.process(
+            SimTime::ZERO,
+            vec![DrawRequest::FillRect {
+                target: SCREEN,
+                rect: Rect::new(0, 0, 256, 256),
+                color: Color::WHITE,
+            }],
+        );
+        assert_eq!(sr.trace().bytes(Direction::Down), CMD_BYTES);
+    }
+
+    #[test]
+    fn offscreen_copy_falls_back_to_inference() {
+        let mut sr = SunRay::new(&NetworkConfig::lan_desktop(), 256, 256);
+        let res = sr.ws.process(DrawRequest::CreatePixmap {
+            width: 128,
+            height: 128,
+        });
+        let pm = match res {
+            thinc_display::request::RequestResult::Created(id) => id,
+            other => panic!("{other:?}"),
+        };
+        // Solid offscreen content: inference finds uniform blocks, so
+        // the copy costs a few fill commands — but CPU was spent.
+        sr.process(
+            SimTime::ZERO,
+            vec![
+                DrawRequest::FillRect {
+                    target: pm,
+                    rect: Rect::new(0, 0, 128, 128),
+                    color: Color::rgb(9, 9, 9),
+                },
+                DrawRequest::CopyArea {
+                    src: pm,
+                    dst: SCREEN,
+                    src_rect: Rect::new(0, 0, 128, 128),
+                    dst_x: 0,
+                    dst_y: 0,
+                },
+            ],
+        );
+        let bytes = sr.trace().bytes(Direction::Down);
+        assert!(bytes <= 4 * CMD_BYTES, "{bytes}");
+    }
+
+    #[test]
+    fn noisy_offscreen_copy_costs_raw() {
+        let mut sr = SunRay::new(&NetworkConfig::lan_desktop(), 256, 256);
+        let res = sr.ws.process(DrawRequest::CreatePixmap {
+            width: 128,
+            height: 128,
+        });
+        let pm = match res {
+            thinc_display::request::RequestResult::Created(id) => id,
+            other => panic!("{other:?}"),
+        };
+        let noise: Vec<u8> = (0..128 * 128 * 3)
+            .map(|i| ((i as u64 * 2654435761) >> 16) as u8)
+            .collect();
+        sr.process(
+            SimTime::ZERO,
+            vec![
+                DrawRequest::PutImage {
+                    target: pm,
+                    rect: Rect::new(0, 0, 128, 128),
+                    data: noise,
+                },
+                DrawRequest::CopyArea {
+                    src: pm,
+                    dst: SCREEN,
+                    src_rect: Rect::new(0, 0, 128, 128),
+                    dst_x: 0,
+                    dst_y: 0,
+                },
+            ],
+        );
+        assert!(sr.trace().bytes(Direction::Down) > 20_000);
+    }
+
+    #[test]
+    fn video_frames_can_drop() {
+        let slow = NetworkConfig::custom(
+            "slow",
+            2_000_000,
+            SimDuration::from_millis(10),
+            64 * 1024,
+        );
+        let mut sr = SunRay::new(&slow, 512, 512);
+        let mut frame = YuvFrame::new(thinc_raster::YuvFormat::Yv12, 352, 240);
+        let mut x = 7u64;
+        for b in frame.data.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (x >> 33) as u8;
+        }
+        for i in 0..24 {
+            sr.video_frame(SimTime(i * 41_667), &frame, Rect::new(0, 0, 512, 512));
+        }
+        assert!(sr.av_stats().frames_dropped > 0);
+    }
+
+    #[test]
+    fn audio_supported() {
+        let mut sr = SunRay::new(&NetworkConfig::lan_desktop(), 64, 64);
+        sr.audio(SimTime::ZERO, &[0u8; 512]);
+        assert_eq!(sr.av_stats().audio_bytes, 512);
+    }
+}

@@ -1,0 +1,88 @@
+//! The uniform harness interface every remote display system
+//! implements, so the benchmark can drive THINC and all comparators
+//! through identical code paths (the reproduction's equivalent of
+//! "run the same benchmark on every platform").
+
+use thinc_display::request::DrawRequest;
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_net::trace::PacketTrace;
+use thinc_raster::{Point, Rect, YuvFrame};
+
+/// A/V delivery counters (drive the slow-motion A/V quality metric).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AvStats {
+    /// Video frame (equivalents) delivered to the client.
+    pub frames_delivered: u32,
+    /// Video frames the system dropped (could not keep up).
+    pub frames_dropped: u32,
+    /// Audio bytes delivered.
+    pub audio_bytes: u64,
+}
+
+/// A remote display system under benchmark.
+pub trait RemoteDisplay {
+    /// Display name as used in the paper's figures.
+    fn name(&self) -> String;
+
+    /// A user click at `pos` at time `now`. Sends the input packet
+    /// upstream and returns its server-side arrival time.
+    fn click(&mut self, now: SimTime, pos: Point) -> SimTime;
+
+    /// The application issues drawing requests at `now` (server side
+    /// for server-executed GUIs; forwarded for X-class systems).
+    /// Returns the server CPU time consumed processing them.
+    fn process(&mut self, now: SimTime, reqs: Vec<DrawRequest>) -> SimDuration;
+
+    /// Advances delivery up to `now` (push flushes, pull cycles).
+    fn pump(&mut self, now: SimTime);
+
+    /// Runs delivery to completion starting no earlier than `from`;
+    /// returns the arrival time of the last update at the client (or
+    /// `from` when nothing was pending).
+    fn drain(&mut self, from: SimTime) -> SimTime;
+
+    /// Arrival time of the most recent client-bound payload.
+    fn last_client_arrival(&self) -> Option<SimTime>;
+
+    /// The packet capture (slow-motion measurement source).
+    fn trace(&self) -> &PacketTrace;
+
+    /// The video player displays `frame` at `dst` at time `now`.
+    fn video_frame(&mut self, now: SimTime, frame: &YuvFrame, dst: Rect);
+
+    /// The audio path plays PCM data at `now`.
+    fn audio(&mut self, now: SimTime, pcm: &[u8]);
+
+    /// A/V delivery counters.
+    fn av_stats(&self) -> AvStats;
+
+    /// Client processing seconds so far, when the client is
+    /// instrumentable (`None` for closed systems, as in the paper).
+    fn client_processing_secs(&self) -> Option<f64>;
+
+    /// Whether this system supports a client viewport smaller than
+    /// the session (only ICA, RDP, GoToMyPC, VNC and THINC do, §8.3).
+    fn supports_small_screen(&self) -> bool {
+        false
+    }
+
+    /// Whether audio is supported (GoToMyPC and VNC are video-only).
+    fn supports_audio(&self) -> bool {
+        true
+    }
+
+    /// The browser fetches `bytes` of page content at `now` and
+    /// processes the HTML; returns when rendering can start.
+    ///
+    /// Default: the browser runs on the *server* (thin-client model),
+    /// fetching over the testbed LAN and processing on the fast
+    /// server CPU. The local PC overrides this: content crosses its
+    /// own link and the slower client CPU does the processing.
+    fn fetch_content(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let fetch = SimDuration::from_micros(
+            bytes * 8 * 1_000_000 / crate::framework::WEB_SERVER_BPS,
+        );
+        let cpu = crate::framework::server_time(bytes * crate::framework::BROWSER_CYCLES_PER_BYTE);
+        now + fetch + cpu
+    }
+}

@@ -1,0 +1,370 @@
+//! The X-class systems: plain X (over a compressed ssh tunnel, as
+//! configured in §8.1) and NX (proxy compression + round-trip
+//! suppression).
+//!
+//! X pushes application-level display commands to the client, which
+//! runs the entire window system. Two architectural properties drive
+//! its measured behaviour (§2, §8.3): the client/server coupling
+//! costs synchronization round trips that hurt badly at WAN
+//! latencies, and the client pays all rendering cost. NX keeps the
+//! same protocol but compresses aggressively and eliminates most
+//! round trips, "indicating that some of these problems can be
+//! mitigated through careful X proxy design".
+
+use thinc_compress::Codec;
+use thinc_display::driver::NullDriver;
+use thinc_display::request::DrawRequest;
+use thinc_display::server::WindowServer;
+use thinc_net::link::{DuplexLink, NetworkConfig};
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_net::trace::{Direction, PacketTrace};
+use thinc_raster::{PixelFormat, Point, Rect, YuvFrame};
+
+use crate::framework::{raster_cost, server_time, x_request_size, CLIENT_HZ};
+use crate::traits::{AvStats, RemoteDisplay};
+
+/// How many drawing requests between synchronization round trips in
+/// plain X (toolkit round trips, XSync, resource queries).
+const X_SYNC_EVERY: usize = 12;
+
+/// Configuration of an X-class system.
+struct XConfig {
+    name: &'static str,
+    /// Stream codec applied to the forwarded command stream.
+    codec: Codec,
+    /// Synchronization round trips per `X_SYNC_EVERY` requests
+    /// (`true` for plain X; NX's proxy answers locally).
+    sync_round_trips: bool,
+    /// Multiplier on per-frame video CPU (NX recompresses the frame
+    /// stream aggressively and futilely; plain X ships it through the
+    /// cheap ssh codec).
+    video_cpu_factor: u64,
+}
+
+/// An X-class remote display system.
+pub struct XClass {
+    cfg: XConfig,
+    link: DuplexLink,
+    trace: PacketTrace,
+    /// The *client-side* window system (X runs the GUI on the client).
+    client_ws: WindowServer<NullDriver>,
+    last_arrival: Option<SimTime>,
+    av: AvStats,
+    client_cycles: u64,
+    /// When the uplink is free for the next sync reply.
+    sync_horizon: SimTime,
+    /// CPU-busy horizon of the proxy/codec pipeline.
+    cpu_horizon: SimTime,
+}
+
+/// Plain X over a compressed ssh tunnel.
+pub struct XSystem(XClass);
+
+/// NoMachine NX.
+pub struct Nx(XClass);
+
+impl XSystem {
+    /// X on the given network with the given screen geometry.
+    pub fn new(net: &NetworkConfig, width: u32, height: u32) -> Self {
+        Self(XClass::new(
+            XConfig {
+                name: "X",
+                // The §8.1 setup tunnels X through ssh with
+                // compression enabled.
+                codec: Codec::Lzss,
+                sync_round_trips: true,
+                video_cpu_factor: 1,
+            },
+            net,
+            width,
+            height,
+        ))
+    }
+}
+
+impl Nx {
+    /// NX on the given network.
+    pub fn new(net: &NetworkConfig, width: u32, height: u32) -> Self {
+        // NX uses more aggressive compression on slower links ("NX
+        // has specific user settings for this type of environment").
+        let codec = if net.rtt >= SimDuration::from_millis(10) {
+            Codec::PngLike { bpp: 3, stride: width as usize * 3 }
+        } else {
+            Codec::Lzss
+        };
+        Self(XClass::new(
+            XConfig {
+                name: "NX",
+                codec,
+                sync_round_trips: false,
+                video_cpu_factor: 4,
+            },
+            net,
+            width,
+            height,
+        ))
+    }
+}
+
+impl XClass {
+    fn new(cfg: XConfig, net: &NetworkConfig, width: u32, height: u32) -> Self {
+        Self {
+            cfg,
+            link: net.connect(),
+            trace: PacketTrace::new(),
+            client_ws: WindowServer::new(width, height, PixelFormat::Rgb888, NullDriver),
+            last_arrival: None,
+            av: AvStats::default(),
+            client_cycles: 0,
+            sync_horizon: SimTime::ZERO,
+            cpu_horizon: SimTime::ZERO,
+        }
+    }
+
+    /// Serializes the batch in real X11 request framing, compresses
+    /// the stream (the §8.1 setup tunnels X through `ssh -C`), sends
+    /// it downstream, and executes the requests on the client.
+    fn forward(&mut self, now: SimTime, reqs: &[DrawRequest], tag: &'static str) -> SimTime {
+        // Video frames take the dedicated path in `xclass_video`.
+        let stream_reqs: Vec<DrawRequest> = reqs
+            .iter()
+            .filter(|r| !matches!(r, DrawRequest::VideoPut { .. }))
+            .cloned()
+            .collect();
+        let stream = crate::xwire::encode_batch(&stream_reqs);
+        let wire = 24 + self.cfg.codec.compress(&stream).len() as u64;
+        let mut t = now;
+        // Synchronization round trips stall the pipeline.
+        if self.cfg.sync_round_trips {
+            let syncs = reqs.len() / X_SYNC_EVERY + 1;
+            for _ in 0..syncs {
+                let up = self.link.send_up(t.max(self.sync_horizon), 32);
+                self.trace.record(t, up, 32, Direction::Up, "sync");
+                let down = self.link.send_down(up, 32);
+                self.trace.record(up, down, 32, Direction::Down, "sync");
+                self.sync_horizon = down;
+                t = down;
+            }
+        }
+        let arrival = self.link.send_down(t, wire);
+        self.trace.record(t, arrival, wire, Direction::Down, tag);
+        // Client executes the window-system work.
+        let cycles = raster_cost(reqs);
+        self.client_cycles += cycles;
+        let done = arrival + SimDuration::from_micros(cycles * 1_000_000 / CLIENT_HZ);
+        self.last_arrival = Some(done);
+        done
+    }
+}
+
+impl RemoteDisplay for XSystem {
+    fn name(&self) -> String {
+        self.0.cfg.name.into()
+    }
+    fn click(&mut self, now: SimTime, _pos: Point) -> SimTime {
+        let arr = self.0.link.send_up(now, 48);
+        self.0.trace.record(now, arr, 48, Direction::Up, "input");
+        arr
+    }
+    fn process(&mut self, now: SimTime, reqs: Vec<DrawRequest>) -> SimDuration {
+        // The application's drawing is forwarded, not executed
+        // server-side; server cost is protocol marshalling only.
+        self.0.client_ws.process_all(reqs.clone());
+        let cpu = server_time(reqs.len() as u64 * 500);
+        self.0.forward(now + cpu, &reqs, "update");
+        cpu
+    }
+    fn pump(&mut self, _now: SimTime) {}
+    fn drain(&mut self, from: SimTime) -> SimTime {
+        self.0.last_arrival.unwrap_or(from).max(from)
+    }
+    fn last_client_arrival(&self) -> Option<SimTime> {
+        self.0.last_arrival
+    }
+    fn trace(&self) -> &PacketTrace {
+        &self.0.trace
+    }
+    fn video_frame(&mut self, now: SimTime, frame: &YuvFrame, dst: Rect) {
+        xclass_video(&mut self.0, now, frame, dst);
+    }
+    fn audio(&mut self, now: SimTime, pcm: &[u8]) {
+        xclass_audio(&mut self.0, now, pcm);
+    }
+    fn av_stats(&self) -> AvStats {
+        self.0.av
+    }
+    fn client_processing_secs(&self) -> Option<f64> {
+        Some(self.0.client_cycles as f64 / CLIENT_HZ as f64)
+    }
+}
+
+impl RemoteDisplay for Nx {
+    fn name(&self) -> String {
+        self.0.cfg.name.into()
+    }
+    fn click(&mut self, now: SimTime, _pos: Point) -> SimTime {
+        let arr = self.0.link.send_up(now, 48);
+        self.0.trace.record(now, arr, 48, Direction::Up, "input");
+        arr
+    }
+    fn process(&mut self, now: SimTime, reqs: Vec<DrawRequest>) -> SimDuration {
+        self.0.client_ws.process_all(reqs.clone());
+        // The NX proxy does compression work server-side.
+        let bytes: u64 = reqs.iter().map(x_request_size).sum();
+        let cpu = server_time(reqs.len() as u64 * 500 + bytes / 8);
+        self.0.forward(now + cpu, &reqs, "update");
+        cpu
+    }
+    fn pump(&mut self, _now: SimTime) {}
+    fn drain(&mut self, from: SimTime) -> SimTime {
+        self.0.last_arrival.unwrap_or(from).max(from)
+    }
+    fn last_client_arrival(&self) -> Option<SimTime> {
+        self.0.last_arrival
+    }
+    fn trace(&self) -> &PacketTrace {
+        &self.0.trace
+    }
+    fn video_frame(&mut self, now: SimTime, frame: &YuvFrame, dst: Rect) {
+        xclass_video(&mut self.0, now, frame, dst);
+    }
+    fn audio(&mut self, now: SimTime, pcm: &[u8]) {
+        xclass_audio(&mut self.0, now, pcm);
+    }
+    fn av_stats(&self) -> AvStats {
+        self.0.av
+    }
+    fn client_processing_secs(&self) -> Option<f64> {
+        Some(self.0.client_cycles as f64 / CLIENT_HZ as f64)
+    }
+}
+
+/// Video through an X-class pipe: decoded frames go down as image
+/// uploads. Frames are dropped when the pipe cannot accept them
+/// (the §8.3 failure mode: "unable to keep up with the stream of
+/// updates ... resulting in dropped frames or extremely long playback
+/// times").
+fn xclass_video(x: &mut XClass, now: SimTime, frame: &YuvFrame, dst: Rect) {
+    let _ = frame;
+    let bytes = dst.area() * 3 * 3 / 4; // Post-codec RGB upload.
+    // NX's proxy attempts real-time compression of the frame data —
+    // expensive and mostly futile on video ("attempts to apply
+    // ineffective and expensive compression algorithms on the video
+    // data", §8.3). Plain X ships it through the cheaper ssh codec.
+    let cpu_cycles = bytes * x.cfg.codec.cost_per_byte() * x.cfg.video_cpu_factor;
+    let t = now.max(x.cpu_horizon) + server_time(cpu_cycles);
+    x.cpu_horizon = t;
+    if crate::framework::av_backlogged(&x.link.down, t) {
+        x.av.frames_dropped += 1;
+        return;
+    }
+    let arrival = x.link.send_down(t, bytes);
+    x.trace.record(t, arrival, bytes, Direction::Down, "video");
+    x.av.frames_delivered += 1;
+    x.client_cycles += dst.area() * 8; // Client draws the image.
+    x.last_arrival = Some(arrival);
+}
+
+/// Audio through the remote sound server (aRts for X in §8.1).
+fn xclass_audio(x: &mut XClass, now: SimTime, pcm: &[u8]) {
+    let bytes = pcm.len() as u64;
+    if crate::framework::av_backlogged(&x.link.down, now) {
+        return; // Sound server drops when saturated.
+    }
+    let arrival = x.link.send_down(now, bytes);
+    x.trace.record(now, arrival, bytes, Direction::Down, "audio");
+    x.av.audio_bytes += bytes;
+    x.last_arrival = Some(arrival);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_raster::Color;
+
+    fn fill_reqs(n: usize) -> Vec<DrawRequest> {
+        (0..n)
+            .map(|i| DrawRequest::FillRect {
+                target: thinc_display::SCREEN,
+                rect: Rect::new(i as i32, 0, 10, 10),
+                color: Color::WHITE,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn x_pays_round_trips_on_wan() {
+        let wan = NetworkConfig::wan_desktop();
+        let mut x = XSystem::new(&wan, 1024, 768);
+        x.process(SimTime::ZERO, fill_reqs(40));
+        let last = x.drain(SimTime::ZERO);
+        // 40 requests => at least 4 sync round trips => > 4 * 66 ms.
+        assert!(last.as_micros() > 4 * 66_000, "{last}");
+        // NX avoids them.
+        let mut nx = Nx::new(&wan, 1024, 768);
+        nx.process(SimTime::ZERO, fill_reqs(40));
+        let nx_last = nx.drain(SimTime::ZERO);
+        assert!(nx_last < last);
+    }
+
+    #[test]
+    fn client_renders_the_gui() {
+        let lan = NetworkConfig::lan_desktop();
+        let mut x = XSystem::new(&lan, 64, 64);
+        x.process(SimTime::ZERO, fill_reqs(1));
+        assert_eq!(
+            self::screen_pixel(&x.0, 5, 5),
+            Some(Color::WHITE),
+            "client-side window system executed the request"
+        );
+        assert!(x.client_processing_secs().unwrap() > 0.0);
+    }
+
+    fn screen_pixel(x: &XClass, px: i32, py: i32) -> Option<Color> {
+        x.client_ws.screen().get_pixel(px, py)
+    }
+
+    #[test]
+    fn nx_compresses_images_harder_than_x() {
+        let wan = NetworkConfig::wan_desktop();
+        // Graphic content compresses much better under NX's codec.
+        let img = DrawRequest::PutImage {
+            target: thinc_display::SCREEN,
+            rect: Rect::new(0, 0, 200, 200),
+            data: vec![100u8; 200 * 200 * 3],
+        };
+        let mut x = XSystem::new(&wan, 1024, 768);
+        x.process(SimTime::ZERO, vec![img.clone()]);
+        let mut nx = Nx::new(&wan, 1024, 768);
+        nx.process(SimTime::ZERO, vec![img]);
+        assert!(
+            nx.trace().bytes(Direction::Down) < x.trace().bytes(Direction::Down),
+            "nx {} vs x {}",
+            nx.trace().bytes(Direction::Down),
+            x.trace().bytes(Direction::Down)
+        );
+    }
+
+    #[test]
+    fn video_drops_when_saturated() {
+        let lan = NetworkConfig::lan_desktop();
+        let mut x = XSystem::new(&lan, 1024, 768);
+        let frame = YuvFrame::new(thinc_raster::YuvFormat::Yv12, 352, 240);
+        let dst = Rect::new(0, 0, 1024, 768);
+        // 24 fullscreen RGB frames in one second over 100 Mbps: the
+        // pipe saturates and frames drop.
+        for i in 0..24 {
+            x.video_frame(SimTime(i * 41_667), &frame, dst);
+        }
+        let s = x.av_stats();
+        assert!(s.frames_dropped > 0, "{s:?}");
+    }
+
+    #[test]
+    fn click_takes_half_rtt() {
+        let wan = NetworkConfig::wan_desktop();
+        let mut x = XSystem::new(&wan, 64, 64);
+        let arr = x.click(SimTime::ZERO, Point::new(1, 1));
+        assert!(arr.as_micros() >= 33_000);
+    }
+}

@@ -1,0 +1,290 @@
+//! An X11-style binary request encoding for the X-class baselines.
+//!
+//! X forwards *application-level* display commands to the client; the
+//! wire cost of that architecture is the encoded request stream. This
+//! module encodes the harness's drawing requests in the X11 core
+//! protocol's framing — `[opcode u8][detail u8][length u16 (4-byte
+//! units)][payload…]`, everything padded to 4 bytes — using the real
+//! request layouts (PolyFillRectangle, CopyArea, PutImage, PolyText8,
+//! …) so the byte counts, header overheads and padding match what an
+//! X server would actually receive.
+
+use thinc_display::request::DrawRequest;
+
+/// X11 request opcodes (core protocol numbers).
+mod opcode {
+    pub const CREATE_PIXMAP: u8 = 53;
+    pub const FREE_PIXMAP: u8 = 54;
+    pub const CHANGE_GC: u8 = 56;
+    pub const COPY_AREA: u8 = 62;
+    pub const POLY_FILL_RECTANGLE: u8 = 70;
+    pub const PUT_IMAGE: u8 = 72;
+    pub const POLY_TEXT8: u8 = 74;
+    /// RENDER extension composite (extension opcodes are dynamic; this
+    /// is the conventional major opcode slot we assign it).
+    pub const RENDER_COMPOSITE: u8 = 139;
+    /// XVideo PutImage (extension).
+    pub const XV_PUT_IMAGE: u8 = 141;
+}
+
+fn pad4(n: usize) -> usize {
+    n.div_ceil(4) * 4
+}
+
+/// Appends one framed request: header + payload padded to 4 bytes.
+fn put_request(out: &mut Vec<u8>, op: u8, detail: u8, payload: &[u8]) {
+    let padded = pad4(payload.len());
+    let units = (4 + padded) / 4;
+    out.push(op);
+    out.push(detail);
+    out.extend_from_slice(&(units as u16).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.resize(out.len() + (padded - payload.len()), 0);
+}
+
+fn put_u32(v: u32, p: &mut Vec<u8>) {
+    p.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_rect16(x: i32, y: i32, w: u32, h: u32, p: &mut Vec<u8>) {
+    p.extend_from_slice(&(x as i16).to_le_bytes());
+    p.extend_from_slice(&(y as i16).to_le_bytes());
+    p.extend_from_slice(&(w as u16).to_le_bytes());
+    p.extend_from_slice(&(h as u16).to_le_bytes());
+}
+
+/// Encodes one drawing request as its X11 request(s).
+pub fn encode_request(req: &DrawRequest) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        DrawRequest::CreatePixmap { width, height } => {
+            let mut p = Vec::new();
+            put_u32(1, &mut p); // pixmap id
+            put_u32(0, &mut p); // drawable
+            p.extend_from_slice(&(*width as u16).to_le_bytes());
+            p.extend_from_slice(&(*height as u16).to_le_bytes());
+            put_request(&mut out, opcode::CREATE_PIXMAP, 24, &p);
+        }
+        DrawRequest::FreePixmap { id } => {
+            let mut p = Vec::new();
+            put_u32(id.0, &mut p);
+            put_request(&mut out, opcode::FREE_PIXMAP, 0, &p);
+        }
+        DrawRequest::FillRect { target, rect, color } => {
+            // ChangeGC(foreground) + PolyFillRectangle.
+            let mut gc = Vec::new();
+            put_u32(1, &mut gc); // gc id
+            put_u32(0x4, &mut gc); // value mask: foreground
+            put_u32(color.to_argb_u32(), &mut gc);
+            put_request(&mut out, opcode::CHANGE_GC, 0, &gc);
+            let mut p = Vec::new();
+            put_u32(target.0, &mut p);
+            put_u32(1, &mut p); // gc
+            put_rect16(rect.x, rect.y, rect.w, rect.h, &mut p);
+            put_request(&mut out, opcode::POLY_FILL_RECTANGLE, 0, &p);
+        }
+        DrawRequest::TileRect { target, rect, tile } => {
+            // ChangeGC(tile, fill-style) + PolyFillRectangle.
+            let mut gc = Vec::new();
+            put_u32(1, &mut gc);
+            put_u32(0x400 | 0x100, &mut gc); // tile + fill-style
+            put_u32(tile.0, &mut gc);
+            put_u32(1, &mut gc); // FillTiled
+            put_request(&mut out, opcode::CHANGE_GC, 0, &gc);
+            let mut p = Vec::new();
+            put_u32(target.0, &mut p);
+            put_u32(1, &mut p);
+            put_rect16(rect.x, rect.y, rect.w, rect.h, &mut p);
+            put_request(&mut out, opcode::POLY_FILL_RECTANGLE, 0, &p);
+        }
+        DrawRequest::StippleRect {
+            target,
+            rect,
+            bits,
+            fg,
+            bg,
+        } => {
+            // Stipples travel as 1-bit PutImage + GC setup.
+            let mut gc = Vec::new();
+            put_u32(1, &mut gc);
+            put_u32(0xC, &mut gc); // fg + bg
+            put_u32(fg.to_argb_u32(), &mut gc);
+            put_u32(bg.map(|c| c.to_argb_u32()).unwrap_or(0), &mut gc);
+            put_request(&mut out, opcode::CHANGE_GC, 0, &gc);
+            let mut p = Vec::new();
+            put_u32(target.0, &mut p);
+            put_u32(1, &mut p);
+            put_rect16(rect.x, rect.y, rect.w, rect.h, &mut p);
+            p.extend_from_slice(bits);
+            put_request(&mut out, opcode::PUT_IMAGE, 0 /* XYBitmap */, &p);
+        }
+        DrawRequest::CopyArea {
+            src,
+            dst,
+            src_rect,
+            dst_x,
+            dst_y,
+        } => {
+            let mut p = Vec::new();
+            put_u32(src.0, &mut p);
+            put_u32(dst.0, &mut p);
+            put_u32(1, &mut p); // gc
+            put_rect16(src_rect.x, src_rect.y, src_rect.w, src_rect.h, &mut p);
+            p.extend_from_slice(&(*dst_x as i16).to_le_bytes());
+            p.extend_from_slice(&(*dst_y as i16).to_le_bytes());
+            put_request(&mut out, opcode::COPY_AREA, 0, &p);
+        }
+        DrawRequest::PutImage { target, rect, data } => {
+            let mut p = Vec::new();
+            put_u32(target.0, &mut p);
+            put_u32(1, &mut p);
+            put_rect16(rect.x, rect.y, rect.w, rect.h, &mut p);
+            p.extend_from_slice(data);
+            put_request(&mut out, opcode::PUT_IMAGE, 2 /* ZPixmap */, &p);
+        }
+        DrawRequest::Text { target, x, y, text, fg } => {
+            let mut gc = Vec::new();
+            put_u32(1, &mut gc);
+            put_u32(0x4, &mut gc);
+            put_u32(fg.to_argb_u32(), &mut gc);
+            put_request(&mut out, opcode::CHANGE_GC, 0, &gc);
+            let mut p = Vec::new();
+            put_u32(target.0, &mut p);
+            put_u32(1, &mut p);
+            p.extend_from_slice(&(*x as i16).to_le_bytes());
+            p.extend_from_slice(&(*y as i16).to_le_bytes());
+            // TEXTITEM8: length byte + delta + string.
+            p.push(text.len().min(254) as u8);
+            p.push(0);
+            p.extend_from_slice(&text.as_bytes()[..text.len().min(254)]);
+            put_request(&mut out, opcode::POLY_TEXT8, 0, &p);
+        }
+        DrawRequest::Composite { target, rect, data, op: _ } => {
+            let mut p = Vec::new();
+            put_u32(target.0, &mut p);
+            put_rect16(rect.x, rect.y, rect.w, rect.h, &mut p);
+            p.extend_from_slice(data);
+            put_request(&mut out, opcode::RENDER_COMPOSITE, 3 /* Over */, &p);
+        }
+        DrawRequest::VideoPut { frame, dst } => {
+            // Without a *remote* XVideo path the player uploads the
+            // decoded frame scaled to its window as ZPixmap RGB; we
+            // frame it as XvPutImage with RGB payload size.
+            let mut p = Vec::new();
+            put_u32(0, &mut p); // port
+            put_rect16(dst.x, dst.y, dst.w, dst.h, &mut p);
+            let rgb_len = (dst.area() * 3) as usize;
+            p.resize(p.len() + rgb_len, 0);
+            // Payload content is the (already dithered) frame bytes
+            // replicated; for sizing purposes zeros suffice — the
+            // video path compresses with its own model, not this
+            // encoding (see `xsystem::xclass_video`).
+            let _ = frame;
+            put_request(&mut out, opcode::XV_PUT_IMAGE, 0, &p);
+        }
+    }
+    out
+}
+
+/// Encodes a whole batch as one contiguous request stream.
+pub fn encode_batch(reqs: &[DrawRequest]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in reqs {
+        out.extend(encode_request(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_display::drawable::{DrawableId, SCREEN};
+    use thinc_raster::{Color, Rect};
+
+    #[test]
+    fn framing_is_4_byte_aligned() {
+        let reqs = [
+            DrawRequest::FillRect {
+                target: SCREEN,
+                rect: Rect::new(1, 2, 3, 4),
+                color: Color::WHITE,
+            },
+            DrawRequest::Text {
+                target: SCREEN,
+                x: 5,
+                y: 6,
+                text: "odd".into(),
+                fg: Color::BLACK,
+            },
+        ];
+        for r in &reqs {
+            let enc = encode_request(r);
+            assert_eq!(enc.len() % 4, 0, "{r:?}");
+            // Declared length matches actual bytes.
+            let mut off = 0;
+            while off < enc.len() {
+                let units = u16::from_le_bytes([enc[off + 2], enc[off + 3]]) as usize;
+                off += units * 4;
+            }
+            assert_eq!(off, enc.len());
+        }
+    }
+
+    #[test]
+    fn fills_are_tiny_images_are_not() {
+        let fill = encode_request(&DrawRequest::FillRect {
+            target: SCREEN,
+            rect: Rect::new(0, 0, 1000, 1000),
+            color: Color::WHITE,
+        });
+        assert!(fill.len() <= 40, "{}", fill.len());
+        let img = encode_request(&DrawRequest::PutImage {
+            target: SCREEN,
+            rect: Rect::new(0, 0, 100, 100),
+            data: vec![7; 30_000],
+        });
+        assert!(img.len() >= 30_000 + 20);
+    }
+
+    #[test]
+    fn copy_is_constant_size() {
+        let c = encode_request(&DrawRequest::CopyArea {
+            src: DrawableId(3),
+            dst: SCREEN,
+            src_rect: Rect::new(0, 0, 500, 500),
+            dst_x: 1,
+            dst_y: 2,
+        });
+        assert_eq!(c.len(), 4 + 24);
+    }
+
+    #[test]
+    fn batch_is_concatenation() {
+        let a = DrawRequest::FreePixmap { id: DrawableId(9) };
+        let b = DrawRequest::FillRect {
+            target: SCREEN,
+            rect: Rect::new(0, 0, 1, 1),
+            color: Color::BLACK,
+        };
+        let batch = encode_batch(&[a.clone(), b.clone()]);
+        let separate: Vec<u8> = encode_request(&a)
+            .into_iter()
+            .chain(encode_request(&b))
+            .collect();
+        assert_eq!(batch, separate);
+    }
+
+    #[test]
+    fn text_truncates_at_x11_limit() {
+        let long = "x".repeat(1000);
+        let enc = encode_request(&DrawRequest::Text {
+            target: SCREEN,
+            x: 0,
+            y: 0,
+            text: long,
+            fg: Color::BLACK,
+        });
+        // GC request + text request bounded by the 254-char item.
+        assert!(enc.len() < 320);
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation: offscreen drawing awareness ON vs OFF (§4.1).
+//!
+//! Runs a browser-style page (offscreen compose + copy onscreen)
+//! through the full THINC pipeline with the optimization enabled and
+//! disabled, timing the translation work and reporting the wire-byte
+//! difference. The paper's claim: tracking costs almost nothing, and
+//! ignoring offscreen drawing forces bandwidth-heavy RAW fallbacks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thinc_bench::thinc_system::ThincSystem;
+use thinc_baselines::RemoteDisplay;
+use thinc_core::server::ServerConfig;
+use thinc_display::drawable::DrawableId;
+use thinc_display::request::DrawRequest;
+use thinc_net::link::NetworkConfig;
+use thinc_net::time::SimTime;
+use thinc_net::trace::Direction;
+use thinc_workloads::web::WebWorkload;
+
+fn page_requests(wl: &WebWorkload, index: usize) -> Vec<DrawRequest> {
+    let mut reqs = vec![DrawRequest::CreatePixmap {
+        width: wl.width,
+        height: wl.height,
+    }];
+    reqs.extend(wl.render_requests(index, DrawableId(1)));
+    reqs
+}
+
+fn run_page(offscreen: bool) -> u64 {
+    let net = NetworkConfig::lan_desktop();
+    let config = ServerConfig {
+        width: 512,
+        height: 384,
+        offscreen_awareness: offscreen,
+        ..ServerConfig::default()
+    };
+    let mut sys = ThincSystem::with_config(&net, config, (512, 384));
+    let wl = WebWorkload::new(512, 384, 2005);
+    sys.process(SimTime::ZERO, page_requests(&wl, 1));
+    sys.drain(SimTime::ZERO);
+    sys.trace().bytes(Direction::Down)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offscreen_awareness");
+    group.sample_size(10);
+    group.bench_function("enabled", |b| b.iter(|| run_page(true)));
+    group.bench_function("disabled", |b| b.iter(|| run_page(false)));
+    group.finish();
+
+    // Report the wire-byte ablation result alongside the timings.
+    let with = run_page(true);
+    let without = run_page(false);
+    println!(
+        "\n[offscreen ablation] page bytes with awareness: {with}, without: {without} \
+         ({:.2}x more data when offscreen drawing is ignored)\n",
+        without as f64 / with.max(1) as f64
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: server-push vs client-pull update delivery (§5).
+//!
+//! "A client-driven system has an update delay of at least half the
+//! round-trip time in the network." This bench measures the mean
+//! virtual-time delivery latency of a stream of updates under both
+//! models on the WAN configuration, plus the achievable update rate —
+//! the effect that halves VNC's A/V quality in Figure 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thinc_net::link::NetworkConfig;
+use thinc_net::time::{SimDuration, SimTime};
+
+const UPDATE_BYTES: u64 = 20_000;
+const UPDATES: u64 = 50;
+/// Updates are generated every 41.7 ms (24 fps).
+const PERIOD: SimDuration = SimDuration(41_667);
+
+/// Mean delivery latency with the server pushing as soon as updates
+/// exist.
+fn push_mean_latency(net: &NetworkConfig) -> SimDuration {
+    let mut link = net.connect();
+    let mut total = SimDuration::ZERO;
+    for i in 0..UPDATES {
+        let gen = SimTime(i * PERIOD.as_micros());
+        let arrival = link.send_down(gen, UPDATE_BYTES);
+        total += arrival - gen;
+    }
+    total.div(UPDATES)
+}
+
+/// Mean delivery latency when the client must request each update.
+fn pull_mean_latency(net: &NetworkConfig) -> SimDuration {
+    let mut link = net.connect();
+    let mut total = SimDuration::ZERO;
+    // The client's outstanding request arrives at the server here:
+    let mut request_at = SimTime::ZERO + net.rtt.div(2);
+    for i in 0..UPDATES {
+        let generated = SimTime(i * PERIOD.as_micros());
+        // The server replies to the earliest request made after the
+        // content exists.
+        let serve_at = generated.max(request_at);
+        let arrival = link.send_down(serve_at, UPDATE_BYTES);
+        total += arrival - generated;
+        // Client requests again after receiving this update.
+        request_at = link.send_up(arrival, 24);
+    }
+    total.div(UPDATES)
+}
+
+fn bench(c: &mut Criterion) {
+    let wan = NetworkConfig::wan_desktop();
+    let mut group = c.benchmark_group("push_pull");
+    group.sample_size(20);
+    group.bench_function("push_model", |b| b.iter(|| push_mean_latency(&wan)));
+    group.bench_function("pull_model", |b| b.iter(|| pull_mean_latency(&wan)));
+    group.finish();
+
+    let push = push_mean_latency(&wan);
+    let pull = pull_mean_latency(&wan);
+    println!(
+        "\n[push/pull ablation] mean WAN update latency: push {push}, pull {pull} \
+         (pull adds >= half an RTT per update)\n"
+    );
+    assert!(pull > push + wan.rtt.div(4));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

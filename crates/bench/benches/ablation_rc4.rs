@@ -1,0 +1,47 @@
+//! Ablation: RC4 session encryption overhead (§7).
+//!
+//! "We have found the cost of RC4 to be rather minimal." The bench
+//! measures raw keystream throughput and the relative cost of
+//! encrypting a typical display update versus producing it, to show
+//! the per-byte cipher cost disappears next to translation and
+//! compression.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use thinc_compress::{Codec, Rc4};
+
+fn bench(c: &mut Criterion) {
+    let update = vec![0xA7u8; 1 << 20];
+    let mut group = c.benchmark_group("rc4");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(update.len() as u64));
+    group.bench_function("encrypt_1mib", |b| {
+        b.iter(|| {
+            let mut cipher = Rc4::new(b"0123456789abcdef");
+            let mut buf = update.clone();
+            cipher.apply(&mut buf);
+            buf
+        })
+    });
+    group.bench_function("memcpy_baseline_1mib", |b| b.iter(|| update.clone()));
+    group.finish();
+
+    // Relative cost: encrypting vs compressing the same payload.
+    let mut group = c.benchmark_group("rc4_vs_compression");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(update.len() as u64));
+    group.bench_function("rc4", |b| {
+        b.iter(|| {
+            let mut cipher = Rc4::new(b"key!");
+            let mut buf = update.clone();
+            cipher.apply(&mut buf);
+            buf
+        })
+    });
+    group.bench_function("pnglike_compress", |b| {
+        b.iter(|| Codec::PngLike { bpp: 3, stride: 3072 }.compress(&update))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

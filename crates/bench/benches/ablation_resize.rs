@@ -1,0 +1,57 @@
+//! Ablation: server-side vs client-side resize for small screens (§6).
+//!
+//! Server-side resize (THINC) resamples every update to the viewport
+//! before transmission: bandwidth shrinks by roughly the area ratio,
+//! and the client does no scaling work. Client-side resize (the
+//! ICA/GoToMyPC model) sends full-size data and pays client CPU.
+//! This bench times the Fant resampling itself (the server cost the
+//! paper calls "minimum overhead") and reports the byte savings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thinc_core::scaling::ScalePolicy;
+use thinc_protocol::commands::{DisplayCommand, RawEncoding};
+use thinc_raster::{Framebuffer, PixelFormat, Rect};
+
+fn sample_raw() -> DisplayCommand {
+    // A 512x384 update (quarter of the 1024x768 session).
+    let mut x = 7u64;
+    let data = (0..512usize * 384 * 3)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) as u8
+        })
+        .collect();
+    DisplayCommand::Raw {
+        rect: Rect::new(0, 0, 512, 384),
+        encoding: RawEncoding::None,
+        data,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let policy = ScalePolicy::new(1024, 768, 320, 240);
+    let screen = Framebuffer::new(1024, 768, PixelFormat::Rgb888);
+    let cmd = sample_raw();
+
+    let mut group = c.benchmark_group("server_resize");
+    group.sample_size(10);
+    group.bench_function("fant_resample_512x384_to_160x120", |b| {
+        b.iter(|| policy.transform(&cmd, &screen))
+    });
+    group.finish();
+
+    let scaled = policy.transform(&cmd, &screen).expect("visible");
+    println!(
+        "\n[resize ablation] update bytes full-size: {}, server-resized: {} \
+         ({:.1}x bandwidth reduction; client-side resize sends the full {} bytes \
+         and pays client CPU on top)\n",
+        cmd.wire_size(),
+        scaled.wire_size(),
+        cmd.wire_size() as f64 / scaled.wire_size() as f64,
+        cmd.wire_size(),
+    );
+    assert!(scaled.wire_size() * 2 < cmd.wire_size());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation: SRSF multi-queue scheduling vs FIFO delivery (§5).
+//!
+//! A small interactive update (button feedback) arrives behind a
+//! large bulk update. Under FIFO the small update waits for the bulk
+//! data to serialize; under SRSF it jumps to the first queue. The
+//! measured quantity is the *virtual-time response latency* of the
+//! small update on a constrained link — the mean-response-time
+//! argument behind the SRPT analogy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thinc_core::buffer::ClientBuffer;
+use thinc_net::tcp::{TcpParams, TcpPipe};
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_net::trace::PacketTrace;
+use thinc_protocol::commands::{DisplayCommand, RawEncoding};
+use thinc_protocol::message::Message;
+use thinc_raster::{Color, Rect};
+
+fn pipe() -> TcpPipe {
+    TcpPipe::new(TcpParams {
+        bandwidth_bps: 10_000_000,
+        rtt: SimDuration::from_millis(20),
+        rwnd_bytes: 256 * 1024,
+        ..TcpParams::default()
+    })
+}
+
+fn bulk(i: i32) -> DisplayCommand {
+    DisplayCommand::Raw {
+        rect: Rect::new(i * 10, 0, 200, 200),
+        encoding: RawEncoding::None,
+        data: vec![(i % 251) as u8; 200 * 200 * 3],
+    }
+}
+
+fn feedback() -> DisplayCommand {
+    DisplayCommand::Sfill {
+        rect: Rect::new(500, 500, 20, 20),
+        color: Color::WHITE,
+    }
+}
+
+/// Returns the virtual time at which the feedback update reaches the
+/// client.
+fn feedback_latency(fifo: bool) -> SimDuration {
+    let mut buf = if fifo {
+        ClientBuffer::new().with_fifo_scheduling()
+    } else {
+        ClientBuffer::new()
+    };
+    for i in 0..4 {
+        buf.push(bulk(i), false);
+    }
+    buf.push(feedback(), false);
+    let mut p = pipe();
+    let mut trace = PacketTrace::new();
+    let mut now = SimTime::ZERO;
+    for _ in 0..100_000 {
+        let batch = buf.flush(now, &mut p, &mut trace);
+        for (arrival, msg) in batch {
+            if matches!(msg, Message::Display(DisplayCommand::Sfill { .. })) {
+                return arrival - SimTime::ZERO;
+            }
+        }
+        if buf.is_empty() {
+            break;
+        }
+        now = p.tx_free_at().max(now + SimDuration::from_millis(1));
+    }
+    panic!("feedback never delivered");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(20);
+    group.bench_function("srsf_feedback_path", |b| b.iter(|| feedback_latency(false)));
+    group.bench_function("fifo_feedback_path", |b| b.iter(|| feedback_latency(true)));
+    group.finish();
+
+    let srsf = feedback_latency(false);
+    let fifo = feedback_latency(true);
+    println!(
+        "\n[scheduler ablation] interactive-update latency: SRSF {srsf}, FIFO {fifo} \
+         ({:.1}x faster response with shortest-remaining-size-first)\n",
+        fifo.as_secs_f64() / srsf.as_secs_f64().max(1e-9)
+    );
+    assert!(srsf < fifo, "SRSF must beat FIFO for small updates");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: the `COPY` command on a scrolling workload (§3).
+//!
+//! Scrolling through a document, THINC's screen-to-screen COPY moves
+//! the already-delivered pixels on the client for ~30 wire bytes per
+//! step; a screen scraper re-sends the damaged area. This bench
+//! measures the per-step wire cost of both architectures on the same
+//! scroll session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use thinc_baselines::{RemoteDisplay, Vnc};
+use thinc_bench::thinc_system::ThincSystem;
+use thinc_net::link::NetworkConfig;
+use thinc_net::time::SimTime;
+use thinc_workloads::scroll::ScrollWorkload;
+
+const W: u32 = 640;
+const H: u32 = 480;
+
+fn run_scroll(sys: &mut dyn RemoteDisplay) -> (u64, u64) {
+    let wl = ScrollWorkload::standard(W, H);
+    sys.process(SimTime::ZERO, wl.initial_requests());
+    sys.drain(SimTime::ZERO);
+    let initial = sys.trace().total_bytes();
+    for (i, step) in wl.all_steps().into_iter().enumerate() {
+        let t = SimTime((1 + i as u64) * 100_000);
+        sys.process(t, step);
+    }
+    let end = SimTime((1 + wl.steps as u64) * 100_000);
+    sys.drain(end);
+    let scroll_bytes = sys.trace().total_bytes() - initial;
+    (initial, scroll_bytes / wl.steps as u64)
+}
+
+fn bench(c: &mut Criterion) {
+    let lan = NetworkConfig::lan_desktop();
+    let mut group = c.benchmark_group("scrolling");
+    group.sample_size(10);
+    group.bench_function("thinc_session", |b| {
+        b.iter(|| run_scroll(&mut ThincSystem::new(&lan, W, H)))
+    });
+    group.bench_function("vnc_session", |b| {
+        b.iter(|| run_scroll(&mut Vnc::new(&lan, W, H)))
+    });
+    group.finish();
+
+    let (_, thinc_step) = run_scroll(&mut ThincSystem::new(&lan, W, H));
+    let (_, vnc_step) = run_scroll(&mut Vnc::new(&lan, W, H));
+    println!(
+        "\n[scroll ablation] wire bytes per scroll step: THINC {thinc_step}, \
+         screen-scrape {vnc_step} ({:.0}x saved by COPY)\n",
+        vnc_step as f64 / thinc_step.max(1) as f64
+    );
+    assert!(thinc_step * 4 < vnc_step, "COPY must dominate scraping");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

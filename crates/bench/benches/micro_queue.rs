@@ -1,0 +1,82 @@
+//! Microbenchmarks of the command queue (§4): push with eviction
+//! maintenance, scan-line merging, and region extraction — the
+//! operations on THINC's hot path for every drawing request.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use thinc_core::queue::CommandQueue;
+use thinc_protocol::commands::{DisplayCommand, RawEncoding};
+use thinc_raster::{Color, Rect};
+
+fn sfill(x: i32, y: i32, w: u32, h: u32, v: u8) -> DisplayCommand {
+    DisplayCommand::Sfill {
+        rect: Rect::new(x, y, w, h),
+        color: Color::rgb(v, v, v),
+    }
+}
+
+fn scanline(y: i32) -> DisplayCommand {
+    DisplayCommand::Raw {
+        rect: Rect::new(0, y, 256, 1),
+        encoding: RawEncoding::None,
+        data: vec![y as u8; 256 * 3],
+    }
+}
+
+fn populated_queue() -> CommandQueue {
+    let mut q = CommandQueue::new();
+    for i in 0..64 {
+        q.push(sfill((i % 8) * 32, (i / 8) * 32, 32, 32, i as u8), false);
+    }
+    q
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("command_queue");
+    group.sample_size(30);
+
+    group.bench_function("push_disjoint_64", |b| {
+        b.iter(|| {
+            let mut q = CommandQueue::new();
+            for i in 0..64 {
+                q.push(sfill((i % 8) * 32, (i / 8) * 32, 32, 32, i as u8), false);
+            }
+            q
+        })
+    });
+
+    group.bench_function("push_overwriting_64", |b| {
+        b.iter(|| {
+            let mut q = CommandQueue::new();
+            for i in 0..64u8 {
+                // Every push fully overwrites: constant queue length.
+                q.push(sfill(0, 0, 256, 256, i), false);
+            }
+            assert_eq!(q.len(), 1);
+            q
+        })
+    });
+
+    group.bench_function("merge_200_scanlines", |b| {
+        b.iter(|| {
+            let mut q = CommandQueue::new();
+            for y in 0..200 {
+                q.push(scanline(y), false);
+            }
+            assert_eq!(q.len(), 1);
+            q
+        })
+    });
+
+    group.bench_function("extract_region_from_64", |b| {
+        b.iter_batched(
+            populated_queue,
+            |q| q.extract_region(&Rect::new(16, 16, 200, 200), 5, 7),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

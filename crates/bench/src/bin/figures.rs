@@ -1,0 +1,317 @@
+//! Regenerates the tables and figures of the THINC paper (§8).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p thinc-bench --bin figures -- --all
+//! cargo run --release -p thinc-bench --bin figures -- --fig 2 [--pages N] [--clip-ms M]
+//! ```
+//!
+//! Absolute numbers come from a simulation, not the authors' 2005
+//! testbed; the *shape* of each figure (who wins, by what factor,
+//! where the crossovers are) is the reproduction target. See
+//! `EXPERIMENTS.md`.
+
+use thinc_baselines::{GoToMyPc, LocalPc, Nx, RdpClass, RemoteDisplay, SunRay, Vnc, XSystem};
+use thinc_bench::avbench::{run_av, AvResult};
+use thinc_bench::report::{kb, mb, pct, secs, table};
+use thinc_bench::sites::remote_sites;
+use thinc_bench::thinc_system::ThincSystem;
+use thinc_bench::webbench::{run_web, WebResult};
+use thinc_net::link::NetworkConfig;
+use thinc_raster::Rect;
+use thinc_workloads::video::{AudioTrack, VideoClip};
+use thinc_workloads::web::WebWorkload;
+
+const W: u32 = 1024;
+const H: u32 = 768;
+const PDA_W: u32 = 320;
+const PDA_H: u32 = 240;
+
+struct Options {
+    pages: usize,
+    clip_ms: u64,
+}
+
+fn desktop_systems(net: &NetworkConfig) -> Vec<Box<dyn RemoteDisplay>> {
+    vec![
+        Box::new(LocalPc::new(W, H)),
+        Box::new(ThincSystem::new(net, W, H)),
+        Box::new(SunRay::new(net, W, H)),
+        Box::new(Vnc::new(net, W, H)),
+        Box::new(XSystem::new(net, W, H)),
+        Box::new(Nx::new(net, W, H)),
+        Box::new(RdpClass::rdp(net, W, H)),
+        Box::new(RdpClass::ica(net, W, H)),
+        Box::new(GoToMyPc::new(net, W, H)),
+    ]
+}
+
+fn pda_web_systems(net: &NetworkConfig) -> Vec<Box<dyn RemoteDisplay>> {
+    vec![
+        Box::new(ThincSystem::with_viewport(net, W, H, PDA_W, PDA_H)),
+        Box::new(Vnc::with_viewport(net, W, H, Some((PDA_W, PDA_H)))),
+        Box::new(RdpClass::rdp(net, W, H).with_viewport(PDA_W, PDA_H)),
+        Box::new(RdpClass::ica(net, W, H).with_viewport(PDA_W, PDA_H)),
+        // GoToMyPC's smallest supported client display is 640x480.
+        Box::new(GoToMyPc::with_viewport(net, W, H, Some((640, 480)))),
+    ]
+}
+
+/// Figure 5/6 report 802.11g PDA results only for ICA, RDP, GoToMyPC
+/// and THINC (VNC's clipping is meaningless for video, §8.3).
+fn pda_av_systems(net: &NetworkConfig) -> Vec<Box<dyn RemoteDisplay>> {
+    vec![
+        Box::new(ThincSystem::with_viewport(net, W, H, PDA_W, PDA_H)),
+        Box::new(RdpClass::rdp(net, W, H).with_viewport(PDA_W, PDA_H)),
+        Box::new(RdpClass::ica(net, W, H).with_viewport(PDA_W, PDA_H)),
+        Box::new(GoToMyPc::with_viewport(net, W, H, Some((640, 480)))),
+    ]
+}
+
+fn web_config(
+    label: &str,
+    systems: Vec<Box<dyn RemoteDisplay>>,
+    opts: &Options,
+) -> Vec<(String, WebResult)> {
+    let wl = WebWorkload::standard();
+    systems
+        .into_iter()
+        .map(|mut sys| {
+            eprintln!("  [{label}] web: {}", sys.name());
+            let res = run_web(sys.as_mut(), &wl, opts.pages);
+            (format!("{} ({label})", res.system), res)
+        })
+        .collect()
+}
+
+fn av_config(
+    label: &str,
+    systems: Vec<Box<dyn RemoteDisplay>>,
+    opts: &Options,
+) -> Vec<(String, AvResult)> {
+    let clip = VideoClip::short(opts.clip_ms);
+    let audio = AudioTrack {
+        duration_ms: opts.clip_ms,
+        ..AudioTrack::benchmark()
+    };
+    let dst = Rect::new(0, 0, W, H);
+    systems
+        .into_iter()
+        .map(|mut sys| {
+            eprintln!("  [{label}] a/v: {}", sys.name());
+            let res = run_av(sys.as_mut(), &clip, Some(&audio), dst);
+            (format!("{} ({label})", res.system), res)
+        })
+        .collect()
+}
+
+fn fig2_and_3(opts: &Options) -> (String, String) {
+    let mut all: Vec<(String, WebResult)> = Vec::new();
+    all.extend(web_config("LAN", desktop_systems(&NetworkConfig::lan_desktop()), opts));
+    all.extend(web_config("WAN", desktop_systems(&NetworkConfig::wan_desktop()), opts));
+    all.extend(web_config("PDA", pda_web_systems(&NetworkConfig::pda_802_11g()), opts));
+    let lat_rows: Vec<Vec<String>> = all
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.clone(),
+                secs(r.avg_latency_s),
+                r.avg_latency_with_client_s
+                    .map(secs)
+                    .unwrap_or_else(|| "n/a".into()),
+            ]
+        })
+        .collect();
+    let fig2 = table(
+        "Figure 2: Web Benchmark — Average Page Latency",
+        &["System (config)", "Latency", "w/ client processing"],
+        &lat_rows,
+    );
+    let data_rows: Vec<Vec<String>> = all
+        .iter()
+        .map(|(name, r)| vec![name.clone(), kb(r.avg_page_kb)])
+        .collect();
+    let fig3 = table(
+        "Figure 3: Web Benchmark — Average Page Data Transferred",
+        &["System (config)", "Data/page"],
+        &data_rows,
+    );
+    (fig2, fig3)
+}
+
+fn fig4(opts: &Options) -> String {
+    let wl = WebWorkload::standard();
+    let mut rows = Vec::new();
+    // LAN testbed reference first.
+    let mut lan = ThincSystem::new(&NetworkConfig::lan_desktop(), W, H);
+    eprintln!("  [sites] web: LAN reference");
+    let lan_res = run_web(&mut lan, &wl, opts.pages);
+    rows.push(vec![
+        "LAN".into(),
+        "(testbed)".into(),
+        "0.2 ms".into(),
+        secs(lan_res.avg_latency_s),
+    ]);
+    for site in remote_sites() {
+        eprintln!("  [sites] web: {}", site.name);
+        let mut sys = ThincSystem::new(&site.network(), W, H);
+        let res = run_web(&mut sys, &wl, opts.pages);
+        rows.push(vec![
+            site.name.into(),
+            site.location.into(),
+            format!("{:.0} ms", site.rtt().as_secs_f64() * 1000.0),
+            secs(res.avg_latency_s),
+        ]);
+    }
+    table(
+        "Figure 4: Web Benchmark — THINC Average Page Latency Using Remote Sites",
+        &["Site", "Location", "RTT", "Latency"],
+        &rows,
+    )
+}
+
+fn fig5_and_6(opts: &Options) -> (String, String) {
+    let mut all: Vec<(String, AvResult)> = Vec::new();
+    all.extend(av_config("LAN", desktop_systems(&NetworkConfig::lan_desktop()), opts));
+    all.extend(av_config("WAN", desktop_systems(&NetworkConfig::wan_desktop()), opts));
+    all.extend(av_config("PDA", pda_av_systems(&NetworkConfig::pda_802_11g()), opts));
+    let q_rows: Vec<Vec<String>> = all
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.clone(),
+                pct(r.quality),
+                format!("{}/{}", r.frames.0, r.frames.0 + r.frames.1),
+                if r.audio { "yes".into() } else { "video-only".into() },
+            ]
+        })
+        .collect();
+    let fig5 = table(
+        "Figure 5: A/V Benchmark — A/V Quality",
+        &["System (config)", "Quality", "Frames", "Audio"],
+        &q_rows,
+    );
+    let d_rows: Vec<Vec<String>> = all
+        .iter()
+        .map(|(name, r)| vec![name.clone(), mb(r.data_mb)])
+        .collect();
+    let fig6 = table(
+        "Figure 6: A/V Benchmark — Total Data Transferred",
+        &["System (config)", "Data"],
+        &d_rows,
+    );
+    (fig5, fig6)
+}
+
+fn fig7(opts: &Options) -> String {
+    let clip = VideoClip::short(opts.clip_ms);
+    let audio = AudioTrack {
+        duration_ms: opts.clip_ms,
+        ..AudioTrack::benchmark()
+    };
+    let dst = Rect::new(0, 0, W, H);
+    let mut rows = Vec::new();
+    for site in remote_sites() {
+        eprintln!("  [sites] a/v: {}", site.name);
+        let mut sys = ThincSystem::new(&site.network(), W, H);
+        let res = run_av(&mut sys, &clip, Some(&audio), dst);
+        rows.push(vec![
+            site.name.into(),
+            site.location.into(),
+            pct(res.quality),
+            format!("{:.0}%", site.relative_bandwidth() * 100.0),
+        ]);
+    }
+    table(
+        "Figure 7: A/V Benchmark — THINC A/V Quality Using Remote Sites",
+        &["Site", "Location", "A/V Quality", "Rel. bandwidth"],
+        &rows,
+    )
+}
+
+fn table2() -> String {
+    let rows: Vec<Vec<String>> = remote_sites()
+        .into_iter()
+        .map(|s| {
+            vec![
+                s.name.into(),
+                if s.planetlab { "yes" } else { "no" }.into(),
+                s.location.into(),
+                format!("{} miles", s.miles),
+                format!("{:.0} ms", s.rtt().as_secs_f64() * 1000.0),
+                format!("{} KB", s.rwnd_bytes() / 1024),
+            ]
+        })
+        .collect();
+    table(
+        "Table 2: Remote Sites for WAN Experiments (modeled parameters)",
+        &["Name", "PlanetLab", "Location", "Distance", "RTT", "TCP window"],
+        &rows,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figs: Vec<String> = Vec::new();
+    let mut opts = Options {
+        pages: 54,
+        clip_ms: 34_750,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => figs.extend(["2", "3", "4", "5", "6", "7", "t2"].map(String::from)),
+            "--fig" => {
+                i += 1;
+                figs.push(args.get(i).cloned().unwrap_or_default());
+            }
+            "--pages" => {
+                i += 1;
+                opts.pages = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(54);
+            }
+            "--clip-ms" => {
+                i += 1;
+                opts.clip_ms = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(34_750);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: figures --all | --fig <2|3|4|5|6|7|t2> [--pages N] [--clip-ms M]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if figs.is_empty() {
+        figs.extend(["2", "3", "4", "5", "6", "7", "t2"].map(String::from));
+    }
+    figs.dedup();
+    let wants = |f: &str| figs.iter().any(|g| g == f);
+    if wants("t2") {
+        println!("{}", table2());
+    }
+    if wants("2") || wants("3") {
+        let (f2, f3) = fig2_and_3(&opts);
+        if wants("2") {
+            println!("{f2}");
+        }
+        if wants("3") {
+            println!("{f3}");
+        }
+    }
+    if wants("4") {
+        println!("{}", fig4(&opts));
+    }
+    if wants("5") || wants("6") {
+        let (f5, f6) = fig5_and_6(&opts);
+        if wants("5") {
+            println!("{f5}");
+        }
+        if wants("6") {
+            println!("{f6}");
+        }
+    }
+    if wants("7") {
+        println!("{}", fig7(&opts));
+    }
+}

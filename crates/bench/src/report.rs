@@ -1,0 +1,83 @@
+//! Plain-text rendering of benchmark results (the figure binaries'
+//! output format: one table per paper figure).
+
+/// Renders a table: header row plus data rows, columns padded.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds with millisecond resolution.
+pub fn secs(v: f64) -> String {
+    format!("{v:.3}s")
+}
+
+/// Formats a 0–1 quality as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats kilobytes.
+pub fn kb(v: f64) -> String {
+    format!("{v:.1} KB")
+}
+
+/// Formats megabytes.
+pub fn mb(v: f64) -> String {
+    format!("{v:.1} MB")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let out = table(
+            "Fig X",
+            &["System", "Latency"],
+            &[
+                vec!["THINC".into(), "0.1s".into()],
+                vec!["VNC".into(), "10.0s".into()],
+            ],
+        );
+        assert!(out.contains("== Fig X =="));
+        assert!(out.contains("THINC"));
+        let lines: Vec<&str> = out.lines().filter(|l| l.contains('s')).collect();
+        assert!(lines.len() >= 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.2345), "1.234s");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(kb(12.34), "12.3 KB");
+        assert_eq!(mb(117.0), "117.0 MB");
+    }
+}

@@ -1,0 +1,145 @@
+//! The remote sites of Table 2, with network parameters derived from
+//! geography.
+//!
+//! The paper ran the THINC client on PlanetLab nodes and volunteer
+//! machines around the world. We derive each site's RTT from its
+//! great-circle distance to the New York server (light in fiber plus
+//! a routing-inflation factor — the standard first-order model), and
+//! reproduce the two facts the paper reports about the testbed: a
+//! 1 MB TCP window was used wherever allowed, but *PlanetLab nodes
+//! were limited to 256 KB* — which is exactly why the Korea site
+//! cannot sustain video (§8.3).
+
+use thinc_net::link::NetworkConfig;
+use thinc_net::time::SimDuration;
+
+/// One remote client site (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteSite {
+    /// Short name used in the figures.
+    pub name: &'static str,
+    /// Whether the node is on PlanetLab (256 KB TCP window).
+    pub planetlab: bool,
+    /// Location, as listed in Table 2.
+    pub location: &'static str,
+    /// Distance from the New York server, in miles.
+    pub miles: u32,
+}
+
+/// Speed of light in fiber, in miles per millisecond.
+const FIBER_MILES_PER_MS: f64 = 124.0;
+/// Routing inflation: real paths are longer than great circles.
+const ROUTE_INFLATION: f64 = 1.8;
+/// Last-mile and processing floor added to every path.
+const BASE_RTT_MS: f64 = 2.0;
+
+impl RemoteSite {
+    /// The site's modeled round-trip time to the New York testbed.
+    pub fn rtt(&self) -> SimDuration {
+        let ms = BASE_RTT_MS + 2.0 * self.miles as f64 / FIBER_MILES_PER_MS * ROUTE_INFLATION;
+        SimDuration::from_micros((ms * 1000.0) as u64)
+    }
+
+    /// The site's TCP receive window (the PlanetLab clamp).
+    pub fn rwnd_bytes(&self) -> u64 {
+        if self.planetlab {
+            256 * 1024
+        } else {
+            1024 * 1024
+        }
+    }
+
+    /// The network configuration for a client at this site.
+    pub fn network(&self) -> NetworkConfig {
+        NetworkConfig::custom(self.name, 100_000_000, self.rtt(), self.rwnd_bytes())
+    }
+
+    /// Effective bandwidth to the server (window- or link-limited),
+    /// relative to the local LAN testbed — the right-hand series of
+    /// Figure 7.
+    pub fn relative_bandwidth(&self) -> f64 {
+        let rtt_s = self.rtt().as_secs_f64();
+        let window_bps = self.rwnd_bytes() as f64 * 8.0 / rtt_s;
+        window_bps.min(100e6) / 100e6
+    }
+}
+
+/// Table 2: the eleven remote sites.
+pub fn remote_sites() -> Vec<RemoteSite> {
+    vec![
+        RemoteSite { name: "NY", planetlab: true, location: "New York, NY, USA", miles: 5 },
+        RemoteSite { name: "PA", planetlab: true, location: "Philadelphia, PA, USA", miles: 78 },
+        RemoteSite { name: "MA", planetlab: true, location: "Cambridge, MA, USA", miles: 188 },
+        RemoteSite { name: "MN", planetlab: true, location: "St. Paul, MN, USA", miles: 1015 },
+        RemoteSite { name: "NM", planetlab: false, location: "Albuquerque, NM, USA", miles: 1816 },
+        RemoteSite { name: "CA", planetlab: false, location: "Stanford, CA, USA", miles: 2571 },
+        RemoteSite { name: "CAN", planetlab: true, location: "Waterloo, Canada", miles: 388 },
+        RemoteSite { name: "IE", planetlab: false, location: "Maynooth, Ireland", miles: 3185 },
+        RemoteSite { name: "PR", planetlab: false, location: "San Juan, Puerto Rico", miles: 1603 },
+        RemoteSite { name: "FI", planetlab: false, location: "Helsinki, Finland", miles: 4123 },
+        RemoteSite { name: "KR", planetlab: true, location: "Seoul, Korea", miles: 6885 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_sites_as_in_table_2() {
+        let sites = remote_sites();
+        assert_eq!(sites.len(), 11);
+        assert_eq!(sites.iter().filter(|s| s.planetlab).count(), 6);
+    }
+
+    #[test]
+    fn rtt_grows_with_distance() {
+        let sites = remote_sites();
+        let ny = sites.iter().find(|s| s.name == "NY").unwrap();
+        let fi = sites.iter().find(|s| s.name == "FI").unwrap();
+        let kr = sites.iter().find(|s| s.name == "KR").unwrap();
+        assert!(ny.rtt() < fi.rtt());
+        assert!(fi.rtt() < kr.rtt());
+        // NY is essentially LAN-latency; Korea is intercontinental.
+        assert!(ny.rtt().as_millis() < 5);
+        assert!(kr.rtt().as_millis() > 150);
+    }
+
+    #[test]
+    fn korea_is_window_limited_below_video_rate() {
+        let kr = remote_sites().into_iter().find(|s| s.name == "KR").unwrap();
+        // The clip needs ~24 Mbps; Korea's 256 KB window over its RTT
+        // cannot sustain that (the Figure 7 failure).
+        let net = kr.network();
+        let cap = thinc_net::tcp::TcpPipe::new(thinc_net::tcp::TcpParams {
+            bandwidth_bps: net.bandwidth_bps,
+            rtt: net.rtt,
+            rwnd_bytes: net.rwnd_bytes,
+            ..Default::default()
+        })
+        .throughput_cap_bps();
+        assert!(cap < 24_000_000, "{cap}");
+    }
+
+    #[test]
+    fn finland_with_full_window_sustains_video() {
+        let fi = remote_sites().into_iter().find(|s| s.name == "FI").unwrap();
+        let net = fi.network();
+        let cap = thinc_net::tcp::TcpPipe::new(thinc_net::tcp::TcpParams {
+            bandwidth_bps: net.bandwidth_bps,
+            rtt: net.rtt,
+            rwnd_bytes: net.rwnd_bytes,
+            ..Default::default()
+        })
+        .throughput_cap_bps();
+        assert!(cap > 24_000_000, "{cap}");
+    }
+
+    #[test]
+    fn relative_bandwidth_in_unit_range() {
+        for s in remote_sites() {
+            let rb = s.relative_bandwidth();
+            assert!(rb > 0.0 && rb <= 1.0, "{}: {rb}", s.name);
+        }
+    }
+}

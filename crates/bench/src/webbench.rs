@@ -1,0 +1,206 @@
+//! The web page-load benchmark (Figures 2, 3, 4).
+//!
+//! For each page the harness reproduces the §8.2 procedure: the
+//! mechanical click fires, the input packet crosses the network, the
+//! server-side browser fetches and processes the content, the page is
+//! composed offscreen and copied onscreen, and the display updates
+//! drain to the client. Page latency is measured from the click to
+//! the last update arrival (slow-motion benchmarking), optionally
+//! plus client processing time on instrumentable platforms.
+
+use thinc_baselines::RemoteDisplay;
+use thinc_display::drawable::DrawableId;
+use thinc_display::request::DrawRequest;
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_workloads::web::{PageKind, WebWorkload};
+
+/// Per-page measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct PageMeasurement {
+    /// Content class of the page.
+    pub kind: PageKind,
+    /// Click-to-last-update latency, seconds.
+    pub latency_s: f64,
+    /// Protocol bytes transferred for the page (both directions).
+    pub bytes: u64,
+}
+
+/// Result of a full web benchmark run on one system.
+#[derive(Debug, Clone)]
+pub struct WebResult {
+    /// System name.
+    pub system: String,
+    /// Per-page measurements.
+    pub pages: Vec<PageMeasurement>,
+    /// Average latency (network measure), seconds.
+    pub avg_latency_s: f64,
+    /// Average latency including client processing, when measurable.
+    pub avg_latency_with_client_s: Option<f64>,
+    /// Average data per page, kilobytes.
+    pub avg_page_kb: f64,
+}
+
+/// Inter-page think time (long enough to disambiguate pages in the
+/// capture, as in §8.2).
+const THINK_TIME: SimDuration = SimDuration(1_000_000);
+
+/// Runs the first `page_limit` pages of `workload` on `sys`.
+pub fn run_web(
+    sys: &mut dyn RemoteDisplay,
+    workload: &WebWorkload,
+    page_limit: usize,
+) -> WebResult {
+    let pages = workload.pages();
+    let n = page_limit.min(pages.len());
+    let mut now = SimTime::ZERO + SimDuration::from_millis(100);
+    let mut out = Vec::with_capacity(n);
+    let mut client_secs_before = sys.client_processing_secs().unwrap_or(0.0);
+    let mut client_total = 0.0f64;
+    let mut measurable = sys.client_processing_secs().is_some();
+    for (i, page) in pages.iter().take(n).enumerate() {
+        let bytes_before = sys.trace().total_bytes();
+        let t0 = now;
+        let at_server = sys.click(now, page.link_position);
+        let render_start = sys.fetch_content(at_server, page.content_bytes);
+        // The page buffer is the (i+1)-th pixmap ever created: ids are
+        // assigned sequentially by every window server in the harness.
+        let pm = DrawableId((i + 1) as u32);
+        let mut reqs = vec![DrawRequest::CreatePixmap {
+            width: workload.width,
+            height: workload.height,
+        }];
+        reqs.extend(workload.render_requests(page.index, pm));
+        reqs.push(DrawRequest::FreePixmap { id: pm });
+        let cpu = sys.process(render_start, reqs);
+        let last = sys.drain(render_start + cpu);
+        let latency = (last - t0).as_secs_f64();
+        let bytes = sys.trace().total_bytes() - bytes_before;
+        out.push(PageMeasurement {
+            kind: page.kind,
+            latency_s: latency,
+            bytes,
+        });
+        if let Some(cs) = sys.client_processing_secs() {
+            client_total += cs - client_secs_before;
+            client_secs_before = cs;
+        } else {
+            measurable = false;
+        }
+        now = last + THINK_TIME;
+    }
+    let avg_latency_s = out.iter().map(|p| p.latency_s).sum::<f64>() / n.max(1) as f64;
+    let avg_page_kb = out.iter().map(|p| p.bytes).sum::<u64>() as f64 / 1024.0 / n.max(1) as f64;
+    WebResult {
+        system: sys.name(),
+        pages: out,
+        avg_latency_s,
+        avg_latency_with_client_s: measurable
+            .then(|| avg_latency_s + client_total / n.max(1) as f64),
+        avg_page_kb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thinc_system::ThincSystem;
+    use thinc_baselines::{LocalPc, SunRay, Vnc, XSystem};
+    use thinc_net::link::NetworkConfig;
+
+    const PAGES: usize = 6;
+
+    fn small_workload() -> WebWorkload {
+        WebWorkload::new(256, 192, 2005)
+    }
+
+    #[test]
+    fn thinc_beats_vnc_on_lan_pages() {
+        let lan = NetworkConfig::lan_desktop();
+        let wl = small_workload();
+        let mut thinc = ThincSystem::new(&lan, 256, 192);
+        let thinc_res = run_web(&mut thinc, &wl, PAGES);
+        let mut vnc = Vnc::new(&lan, 256, 192);
+        let vnc_res = run_web(&mut vnc, &wl, PAGES);
+        assert!(
+            thinc_res.avg_latency_s < vnc_res.avg_latency_s,
+            "thinc {} vs vnc {}",
+            thinc_res.avg_latency_s,
+            vnc_res.avg_latency_s
+        );
+        // THINC sends noticeably less data than VNC (§8.3: "almost
+        // half the data").
+        assert!(thinc_res.avg_page_kb < vnc_res.avg_page_kb);
+    }
+
+    #[test]
+    fn thinc_flat_lan_to_wan_x_degrades() {
+        let wl = small_workload();
+        let lan = NetworkConfig::lan_desktop();
+        let wan = NetworkConfig::wan_desktop();
+        let thinc_lan = run_web(&mut ThincSystem::new(&lan, 256, 192), &wl, PAGES);
+        let thinc_wan = run_web(&mut ThincSystem::new(&wan, 256, 192), &wl, PAGES);
+        let x_lan = run_web(&mut XSystem::new(&lan, 256, 192), &wl, PAGES);
+        let x_wan = run_web(&mut XSystem::new(&wan, 256, 192), &wl, PAGES);
+        let thinc_slowdown = thinc_wan.avg_latency_s / thinc_lan.avg_latency_s;
+        let x_slowdown = x_wan.avg_latency_s / x_lan.avg_latency_s;
+        assert!(
+            x_slowdown > thinc_slowdown * 1.5,
+            "x {x_slowdown:.2}x vs thinc {thinc_slowdown:.2}x"
+        );
+        // THINC stays fastest in the WAN.
+        assert!(thinc_wan.avg_latency_s < x_wan.avg_latency_s);
+    }
+
+    #[test]
+    fn thinc_faster_than_local_pc() {
+        let lan = NetworkConfig::lan_desktop();
+        let wl = small_workload();
+        let thinc = run_web(&mut ThincSystem::new(&lan, 256, 192), &wl, PAGES);
+        let local = run_web(&mut LocalPc::new(256, 192), &wl, PAGES);
+        // Including client processing on both sides, the faster
+        // server CPU wins (§8.3).
+        let t = thinc.avg_latency_with_client_s.unwrap();
+        let l = local.avg_latency_with_client_s.unwrap();
+        assert!(t < l, "thinc {t} vs local {l}");
+    }
+
+    #[test]
+    fn local_pc_most_bandwidth_efficient_at_desktop_resolution() {
+        // At the paper's 1024x768 the local PC transfers the least
+        // data (only the page content itself crosses the network).
+        let lan = NetworkConfig::lan_desktop();
+        let wl = WebWorkload::standard();
+        let thinc = run_web(&mut ThincSystem::new(&lan, 1024, 768), &wl, 2);
+        let local = run_web(&mut LocalPc::new(1024, 768), &wl, 2);
+        assert!(
+            local.avg_page_kb < thinc.avg_page_kb,
+            "local {} vs thinc {}",
+            local.avg_page_kb,
+            thinc.avg_page_kb
+        );
+    }
+
+    #[test]
+    fn thinc_beats_sunray_via_translation() {
+        let lan = NetworkConfig::lan_desktop();
+        let wl = small_workload();
+        let thinc = run_web(&mut ThincSystem::new(&lan, 256, 192), &wl, PAGES);
+        let sunray = run_web(&mut SunRay::new(&lan, 256, 192), &wl, PAGES);
+        assert!(
+            thinc.avg_latency_s < sunray.avg_latency_s,
+            "thinc {} vs sunray {}",
+            thinc.avg_latency_s,
+            sunray.avg_latency_s
+        );
+    }
+
+    #[test]
+    fn measurements_are_deterministic() {
+        let lan = NetworkConfig::lan_desktop();
+        let wl = small_workload();
+        let a = run_web(&mut ThincSystem::new(&lan, 256, 192), &wl, 3);
+        let b = run_web(&mut ThincSystem::new(&lan, 256, 192), &wl, 3);
+        assert_eq!(a.avg_latency_s, b.avg_latency_s);
+        assert_eq!(a.avg_page_kb, b.avg_page_kb);
+    }
+}

@@ -1,0 +1,439 @@
+//! The THINC client.
+//!
+//! Executes protocol messages against a local framebuffer. The client
+//! holds only transient soft state: everything it knows arrived over
+//! the wire, so after any message sequence its framebuffer must be
+//! byte-identical to the server's screen (modulo in-flight updates) —
+//! the property the integration tests verify.
+
+use std::collections::HashMap;
+
+use thinc_protocol::commands::{DisplayCommand, RawEncoding};
+use thinc_protocol::message::Message;
+use thinc_raster::{Framebuffer, PixelFormat, Rect, YuvFormat, YuvFrame};
+
+use crate::hardware::{ClientHardware, HardwareCaps};
+
+/// A video overlay the client is currently showing.
+#[derive(Debug, Clone)]
+struct Overlay {
+    format: YuvFormat,
+    src_width: u32,
+    src_height: u32,
+    dst: Rect,
+    frames_shown: u32,
+    last_timestamp_us: u64,
+}
+
+/// Client execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Messages applied.
+    pub messages: u64,
+    /// Display commands executed, by type.
+    pub raw: u64,
+    /// `COPY` commands executed.
+    pub copy: u64,
+    /// `SFILL` commands executed.
+    pub sfill: u64,
+    /// `PFILL` commands executed.
+    pub pfill: u64,
+    /// `BITMAP` commands executed.
+    pub bitmap: u64,
+    /// Video frames displayed.
+    pub video_frames: u64,
+    /// Audio bytes received.
+    pub audio_bytes: u64,
+    /// Commands rejected as malformed.
+    pub errors: u64,
+}
+
+/// A THINC client with a local framebuffer.
+#[derive(Debug)]
+pub struct ThincClient {
+    fb: Framebuffer,
+    hw: ClientHardware,
+    overlays: HashMap<u32, Overlay>,
+    stats: ClientStats,
+    audio_timestamps: Vec<u64>,
+    cursor: crate::cursor::CursorState,
+}
+
+impl ThincClient {
+    /// Creates a client whose framebuffer is `width`×`height` in
+    /// `format` (the viewport geometry it announced to the server).
+    pub fn new(width: u32, height: u32, format: PixelFormat) -> Self {
+        Self::with_hardware(width, height, format, HardwareCaps::commodity())
+    }
+
+    /// Creates a client with explicit hardware capabilities.
+    pub fn with_hardware(width: u32, height: u32, format: PixelFormat, caps: HardwareCaps) -> Self {
+        Self {
+            fb: Framebuffer::new(width, height, format),
+            hw: ClientHardware::new(caps),
+            overlays: HashMap::new(),
+            stats: ClientStats::default(),
+            audio_timestamps: Vec::new(),
+            cursor: crate::cursor::CursorState::new(),
+        }
+    }
+
+    /// The client's framebuffer.
+    pub fn framebuffer(&self) -> &Framebuffer {
+        &self.fb
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The hardware cost model (client processing time accounting).
+    pub fn hardware(&self) -> &ClientHardware {
+        &self.hw
+    }
+
+    /// The hardware cost model, mutably (reset between phases).
+    pub fn hardware_mut(&mut self) -> &mut ClientHardware {
+        &mut self.hw
+    }
+
+    /// Timestamps of received audio packets (A/V sync verification).
+    pub fn audio_timestamps(&self) -> &[u64] {
+        &self.audio_timestamps
+    }
+
+    /// The cursor overlay state.
+    pub fn cursor(&self) -> &crate::cursor::CursorState {
+        &self.cursor
+    }
+
+    /// The image to present: framebuffer with the cursor composited
+    /// over it (save-under; the base framebuffer is unmodified).
+    pub fn presented(&self) -> Framebuffer {
+        self.cursor.present(&self.fb)
+    }
+
+    /// Applies one protocol message.
+    pub fn apply(&mut self, msg: &Message) {
+        self.stats.messages += 1;
+        match msg {
+            Message::ServerHello { .. } | Message::ClientHello { .. } => {}
+            Message::Display(cmd) => self.execute(cmd),
+            Message::VideoInit {
+                id,
+                format,
+                src_width,
+                src_height,
+                dst,
+            } => {
+                self.overlays.insert(
+                    *id,
+                    Overlay {
+                        format: *format,
+                        src_width: *src_width,
+                        src_height: *src_height,
+                        dst: *dst,
+                        frames_shown: 0,
+                        last_timestamp_us: 0,
+                    },
+                );
+            }
+            Message::VideoData {
+                id,
+                timestamp_us,
+                data,
+                ..
+            } => {
+                let Some(ov) = self.overlays.get_mut(id) else {
+                    self.stats.errors += 1;
+                    return;
+                };
+                let expected = ov.format.frame_size(ov.src_width, ov.src_height);
+                if data.len() != expected {
+                    self.stats.errors += 1;
+                    return;
+                }
+                ov.frames_shown += 1;
+                ov.last_timestamp_us = *timestamp_us;
+                let (dst, sw, sh, fmt) = (ov.dst, ov.src_width, ov.src_height, ov.format);
+                // The overlay "hardware": colorspace-convert and scale
+                // to the destination rectangle.
+                let frame = YuvFrame::from_data(fmt, sw, sh, data.clone());
+                let rgb = frame.to_rgb_scaled(dst.w, dst.h, self.fb.format());
+                let (clip, raw) = rgb.get_raw(&Rect::new(0, 0, dst.w, dst.h));
+                if !clip.is_empty() {
+                    self.fb.put_raw(&Rect::new(dst.x, dst.y, clip.w, clip.h), &raw);
+                }
+                self.hw.video(sw as u64 * sh as u64, dst.area());
+                self.stats.video_frames += 1;
+            }
+            Message::VideoMove { id, dst } => {
+                if let Some(ov) = self.overlays.get_mut(id) {
+                    ov.dst = *dst;
+                } else {
+                    self.stats.errors += 1;
+                }
+            }
+            Message::VideoEnd { id } => {
+                self.overlays.remove(id);
+            }
+            Message::Audio {
+                timestamp_us, data, ..
+            } => {
+                self.stats.audio_bytes += data.len() as u64;
+                self.audio_timestamps.push(*timestamp_us);
+            }
+            Message::CursorShape {
+                width,
+                height,
+                hot_x,
+                hot_y,
+                pixels,
+            } => {
+                if !self.cursor.set_shape(*width, *height, *hot_x, *hot_y, pixels) {
+                    self.stats.errors += 1;
+                }
+            }
+            Message::CursorMove { x, y } => {
+                self.cursor.move_to(*x, *y);
+            }
+            Message::Input(_) | Message::Resize { .. } | Message::SetView { .. } => {
+                // Client-originated; ignore if echoed.
+            }
+        }
+    }
+
+    /// Executes one display command on the local framebuffer.
+    fn execute(&mut self, cmd: &DisplayCommand) {
+        match cmd {
+            DisplayCommand::Raw {
+                rect,
+                encoding,
+                data,
+            } => {
+                let bpp = self.fb.format().bytes_per_pixel();
+                let needed = rect.area() as usize * bpp;
+                let pixels: Vec<u8> = match encoding {
+                    RawEncoding::None => data.clone(),
+                    RawEncoding::PngLike => {
+                        self.hw.decompress(data.len() as u64);
+                        let stride = rect.w as usize * bpp;
+                        match thinc_compress::pnglike::decompress(data, bpp, stride) {
+                            Some(d) => d,
+                            None => {
+                                self.stats.errors += 1;
+                                return;
+                            }
+                        }
+                    }
+                };
+                if pixels.len() < needed {
+                    self.stats.errors += 1;
+                    return;
+                }
+                self.fb.put_raw(rect, &pixels);
+                self.hw.put(rect.area());
+                self.stats.raw += 1;
+            }
+            DisplayCommand::Copy {
+                src_rect,
+                dst_x,
+                dst_y,
+            } => {
+                self.fb.copy_rect(src_rect, *dst_x, *dst_y);
+                self.hw.copy(src_rect.area());
+                self.stats.copy += 1;
+            }
+            DisplayCommand::Sfill { rect, color } => {
+                self.fb.fill_rect(rect, *color);
+                self.hw.fill(rect.area());
+                self.stats.sfill += 1;
+            }
+            DisplayCommand::Pfill { rect, tile } => {
+                if tile.width == 0
+                    || tile.height == 0
+                    || tile.pixels.len()
+                        < tile.width as usize
+                            * tile.height as usize
+                            * self.fb.format().bytes_per_pixel()
+                {
+                    self.stats.errors += 1;
+                    return;
+                }
+                let mut t = Framebuffer::new(tile.width, tile.height, self.fb.format());
+                t.put_raw(&Rect::new(0, 0, tile.width, tile.height), &tile.pixels);
+                self.fb.tile_rect(rect, &t);
+                self.hw.pattern(rect.area());
+                self.stats.pfill += 1;
+            }
+            DisplayCommand::Bitmap { rect, bits, fg, bg } => {
+                let row_bytes = (rect.w as usize).div_ceil(8);
+                if bits.len() < row_bytes * rect.h as usize {
+                    self.stats.errors += 1;
+                    return;
+                }
+                self.fb.bitmap_rect(rect, bits, *fg, *bg);
+                self.hw.pattern(rect.area());
+                self.stats.bitmap += 1;
+            }
+        }
+    }
+
+    /// Applies a batch of messages in order.
+    pub fn apply_all<'a>(&mut self, msgs: impl IntoIterator<Item = &'a Message>) {
+        for m in msgs {
+            self.apply(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_protocol::commands::Tile;
+    use thinc_raster::Color;
+
+    fn client() -> ThincClient {
+        ThincClient::new(64, 64, PixelFormat::Rgb888)
+    }
+
+    #[test]
+    fn executes_sfill() {
+        let mut c = client();
+        c.apply(&Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 8, 8),
+            color: Color::rgb(1, 2, 3),
+        }));
+        assert_eq!(c.framebuffer().get_pixel(4, 4), Some(Color::rgb(1, 2, 3)));
+        assert_eq!(c.stats().sfill, 1);
+    }
+
+    #[test]
+    fn executes_compressed_raw() {
+        let mut c = client();
+        let pixels = vec![9u8; 16 * 16 * 3];
+        let packed = thinc_compress::pnglike::compress(&pixels, 3, 48);
+        c.apply(&Message::Display(DisplayCommand::Raw {
+            rect: Rect::new(0, 0, 16, 16),
+            encoding: RawEncoding::PngLike,
+            data: packed,
+        }));
+        assert_eq!(c.framebuffer().get_pixel(8, 8), Some(Color::rgb(9, 9, 9)));
+        assert_eq!(c.stats().errors, 0);
+    }
+
+    #[test]
+    fn corrupt_compressed_raw_counts_error() {
+        let mut c = client();
+        c.apply(&Message::Display(DisplayCommand::Raw {
+            rect: Rect::new(0, 0, 16, 16),
+            encoding: RawEncoding::PngLike,
+            data: vec![0xFF, 0x22],
+        }));
+        assert_eq!(c.stats().errors, 1);
+    }
+
+    #[test]
+    fn short_raw_rejected() {
+        let mut c = client();
+        c.apply(&Message::Display(DisplayCommand::Raw {
+            rect: Rect::new(0, 0, 16, 16),
+            encoding: RawEncoding::None,
+            data: vec![0; 10],
+        }));
+        assert_eq!(c.stats().errors, 1);
+    }
+
+    #[test]
+    fn copy_scrolls_locally() {
+        let mut c = client();
+        c.apply(&Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 64, 8),
+            color: Color::WHITE,
+        }));
+        c.apply(&Message::Display(DisplayCommand::Copy {
+            src_rect: Rect::new(0, 0, 64, 8),
+            dst_x: 0,
+            dst_y: 32,
+        }));
+        assert_eq!(c.framebuffer().get_pixel(10, 36), Some(Color::WHITE));
+    }
+
+    #[test]
+    fn video_stream_lifecycle() {
+        let mut c = client();
+        let frame = YuvFrame::new(YuvFormat::Yv12, 8, 8);
+        c.apply(&Message::VideoInit {
+            id: 0,
+            format: YuvFormat::Yv12,
+            src_width: 8,
+            src_height: 8,
+            dst: Rect::new(0, 0, 32, 32),
+        });
+        c.apply(&Message::VideoData {
+            id: 0,
+            seq: 0,
+            timestamp_us: 0,
+            data: frame.data.clone(),
+        });
+        assert_eq!(c.stats().video_frames, 1);
+        // Zeroed YV12 decodes to green-ish; just check it drew.
+        assert!(c.framebuffer().get_pixel(16, 16).is_some());
+        c.apply(&Message::VideoEnd { id: 0 });
+        // Frames for dead streams are errors.
+        c.apply(&Message::VideoData {
+            id: 0,
+            seq: 1,
+            timestamp_us: 1,
+            data: frame.data,
+        });
+        assert_eq!(c.stats().errors, 1);
+    }
+
+    #[test]
+    fn video_wrong_size_rejected() {
+        let mut c = client();
+        c.apply(&Message::VideoInit {
+            id: 0,
+            format: YuvFormat::Yv12,
+            src_width: 8,
+            src_height: 8,
+            dst: Rect::new(0, 0, 8, 8),
+        });
+        c.apply(&Message::VideoData {
+            id: 0,
+            seq: 0,
+            timestamp_us: 0,
+            data: vec![0; 5],
+        });
+        assert_eq!(c.stats().errors, 1);
+        assert_eq!(c.stats().video_frames, 0);
+    }
+
+    #[test]
+    fn audio_recorded() {
+        let mut c = client();
+        c.apply(&Message::Audio {
+            seq: 0,
+            timestamp_us: 123,
+            data: vec![0; 100],
+        });
+        assert_eq!(c.stats().audio_bytes, 100);
+        assert_eq!(c.audio_timestamps(), &[123]);
+    }
+
+    #[test]
+    fn bad_pfill_rejected() {
+        let mut c = client();
+        c.apply(&Message::Display(DisplayCommand::Pfill {
+            rect: Rect::new(0, 0, 8, 8),
+            tile: Tile {
+                width: 0,
+                height: 0,
+                pixels: vec![],
+            },
+        }));
+        assert_eq!(c.stats().errors, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Client-side cursor rendering.
+//!
+//! The cursor image is composited over the framebuffer locally with
+//! save-under semantics: moving the pointer costs a handful of wire
+//! bytes (`CursorMove`) and zero display updates, because the base
+//! framebuffer is never modified — the cursor only exists in the
+//! presented image.
+
+use thinc_raster::{composite_rect, CompositeOp, Framebuffer, Point, Rect};
+
+/// The client's cursor state.
+#[derive(Debug, Clone, Default)]
+pub struct CursorState {
+    /// RGBA cursor image (None = no cursor defined).
+    image: Option<Framebuffer>,
+    hot: Point,
+    /// Hotspot position in viewport coordinates.
+    position: Option<Point>,
+}
+
+impl CursorState {
+    /// No cursor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a cursor image (RGBA pixels, `w`×`h`, hotspot at
+    /// `(hot_x, hot_y)`). Returns `false` when the pixel data is too
+    /// short.
+    pub fn set_shape(&mut self, w: u32, h: u32, hot_x: i32, hot_y: i32, pixels: &[u8]) -> bool {
+        if pixels.len() < (w * h * 4) as usize || w == 0 || h == 0 {
+            return false;
+        }
+        let mut img = Framebuffer::new(w, h, thinc_raster::PixelFormat::Rgba8888);
+        img.put_raw(&Rect::new(0, 0, w, h), pixels);
+        self.image = Some(img);
+        self.hot = Point::new(hot_x, hot_y);
+        true
+    }
+
+    /// Moves the cursor hotspot.
+    pub fn move_to(&mut self, x: i32, y: i32) {
+        self.position = Some(Point::new(x, y));
+    }
+
+    /// Whether a cursor is currently displayable.
+    pub fn visible(&self) -> bool {
+        self.image.is_some() && self.position.is_some()
+    }
+
+    /// Current hotspot position.
+    pub fn position(&self) -> Option<Point> {
+        self.position
+    }
+
+    /// Composites the cursor over a copy of `base` (save-under: the
+    /// base framebuffer is untouched). Returns the presented image.
+    pub fn present(&self, base: &Framebuffer) -> Framebuffer {
+        let mut out = base.clone();
+        let (Some(img), Some(pos)) = (&self.image, self.position) else {
+            return out;
+        };
+        composite_rect(
+            &mut out,
+            img,
+            &img.bounds(),
+            pos.x - self.hot.x,
+            pos.y - self.hot.y,
+            CompositeOp::Over,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_raster::{Color, PixelFormat};
+
+    fn arrow_pixels() -> Vec<u8> {
+        // 4x4 opaque white block with transparent right half.
+        let mut px = Vec::new();
+        for _y in 0..4 {
+            for x in 0..4 {
+                if x < 2 {
+                    px.extend_from_slice(&[255, 255, 255, 255]);
+                } else {
+                    px.extend_from_slice(&[0, 0, 0, 0]);
+                }
+            }
+        }
+        px
+    }
+
+    #[test]
+    fn no_cursor_presents_base_unchanged() {
+        let c = CursorState::new();
+        let base = Framebuffer::new(8, 8, PixelFormat::Rgb888);
+        assert_eq!(c.present(&base), base);
+        assert!(!c.visible());
+    }
+
+    #[test]
+    fn cursor_composites_with_alpha_and_save_under() {
+        let mut c = CursorState::new();
+        assert!(c.set_shape(4, 4, 0, 0, &arrow_pixels()));
+        c.move_to(2, 2);
+        assert!(c.visible());
+        let mut base = Framebuffer::new(8, 8, PixelFormat::Rgb888);
+        base.fill_rect(&Rect::new(0, 0, 8, 8), Color::rgb(10, 10, 10));
+        let shown = c.present(&base);
+        // Opaque cursor pixels show white; transparent ones show base.
+        assert_eq!(shown.get_pixel(2, 2), Some(Color::WHITE));
+        assert_eq!(shown.get_pixel(5, 2), Some(Color::rgb(10, 10, 10)));
+        // Save-under: base unchanged.
+        assert_eq!(base.get_pixel(2, 2), Some(Color::rgb(10, 10, 10)));
+    }
+
+    #[test]
+    fn hotspot_offsets_the_image() {
+        let mut c = CursorState::new();
+        c.set_shape(4, 4, 2, 2, &arrow_pixels());
+        c.move_to(4, 4);
+        let mut base = Framebuffer::new(8, 8, PixelFormat::Rgb888);
+        base.fill_rect(&Rect::new(0, 0, 8, 8), Color::BLACK);
+        let shown = c.present(&base);
+        // Image top-left lands at (2, 2) (position - hotspot).
+        assert_eq!(shown.get_pixel(2, 2), Some(Color::WHITE));
+    }
+
+    #[test]
+    fn short_pixel_data_rejected() {
+        let mut c = CursorState::new();
+        assert!(!c.set_shape(4, 4, 0, 0, &[0; 10]));
+        assert!(!c.set_shape(0, 4, 0, 0, &[]));
+    }
+
+    #[test]
+    fn cursor_clips_at_edges() {
+        let mut c = CursorState::new();
+        c.set_shape(4, 4, 0, 0, &arrow_pixels());
+        c.move_to(-2, 7);
+        let base = Framebuffer::new(8, 8, PixelFormat::Rgb888);
+        let shown = c.present(&base); // Must not panic.
+        assert_eq!(shown.width(), 8);
+    }
+}

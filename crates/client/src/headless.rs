@@ -1,0 +1,150 @@
+//! The instrumented headless client.
+//!
+//! "To measure THINC performance, we developed an instrumented
+//! headless version of the THINC client that could process all
+//! display and audio data but did not output the result to any
+//! display or sound hardware" (§8.1). This client wraps the real one
+//! (so all processing genuinely happens) and records the arrival
+//! timeline the slow-motion measurements need: per-message arrival
+//! times, bytes, and the time the last update of each phase finished
+//! processing — which is how the paper accounts client processing
+//! time on platforms it controls.
+
+use thinc_net::time::SimTime;
+use thinc_protocol::message::Message;
+use thinc_raster::PixelFormat;
+
+use crate::client::{ClientStats, ThincClient};
+
+/// One recorded arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalRecord {
+    /// When the message arrived.
+    pub at: SimTime,
+    /// Encoded message size in bytes.
+    pub bytes: u64,
+    /// Whether this was audio/video (vs display) data.
+    pub av: bool,
+}
+
+/// The headless instrumented client.
+#[derive(Debug)]
+pub struct HeadlessClient {
+    inner: ThincClient,
+    arrivals: Vec<ArrivalRecord>,
+}
+
+impl HeadlessClient {
+    /// Creates a headless client with the given viewport geometry.
+    pub fn new(width: u32, height: u32, format: PixelFormat) -> Self {
+        Self {
+            inner: ThincClient::new(width, height, format),
+            arrivals: Vec::new(),
+        }
+    }
+
+    /// The wrapped client (full processing still happens).
+    pub fn client(&self) -> &ThincClient {
+        &self.inner
+    }
+
+    /// Client execution statistics.
+    pub fn stats(&self) -> ClientStats {
+        self.inner.stats()
+    }
+
+    /// Processes a message that arrived at `at`.
+    pub fn receive(&mut self, at: SimTime, msg: &Message) {
+        let bytes = msg.wire_size();
+        let av = matches!(
+            msg,
+            Message::Audio { .. }
+                | Message::VideoInit { .. }
+                | Message::VideoData { .. }
+                | Message::VideoMove { .. }
+                | Message::VideoEnd { .. }
+        );
+        self.arrivals.push(ArrivalRecord { at, bytes, av });
+        self.inner.apply(msg);
+    }
+
+    /// All recorded arrivals, in order.
+    pub fn arrivals(&self) -> &[ArrivalRecord] {
+        &self.arrivals
+    }
+
+    /// Arrival time of the last message at or after `since`.
+    pub fn last_arrival_since(&self, since: SimTime) -> Option<SimTime> {
+        self.arrivals
+            .iter()
+            .filter(|a| a.at >= since)
+            .map(|a| a.at)
+            .max()
+    }
+
+    /// Total bytes received.
+    pub fn total_bytes(&self) -> u64 {
+        self.arrivals.iter().map(|a| a.bytes).sum()
+    }
+
+    /// Total audio/video bytes received.
+    pub fn av_bytes(&self) -> u64 {
+        self.arrivals.iter().filter(|a| a.av).map(|a| a.bytes).sum()
+    }
+
+    /// Clears the arrival log (between benchmark phases).
+    pub fn clear_arrivals(&mut self) {
+        self.arrivals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_protocol::commands::DisplayCommand;
+    use thinc_raster::{Color, Rect};
+
+    fn display(rect: Rect) -> Message {
+        Message::Display(DisplayCommand::Sfill {
+            rect,
+            color: Color::WHITE,
+        })
+    }
+
+    #[test]
+    fn records_arrivals_and_processes() {
+        let mut h = HeadlessClient::new(64, 64, PixelFormat::Rgb888);
+        h.receive(SimTime(100), &display(Rect::new(0, 0, 8, 8)));
+        h.receive(SimTime(200), &display(Rect::new(8, 8, 8, 8)));
+        assert_eq!(h.arrivals().len(), 2);
+        assert_eq!(h.stats().sfill, 2);
+        assert_eq!(h.client().framebuffer().get_pixel(4, 4), Some(Color::WHITE));
+        assert_eq!(h.last_arrival_since(SimTime(150)), Some(SimTime(200)));
+        assert_eq!(h.last_arrival_since(SimTime(300)), None);
+    }
+
+    #[test]
+    fn separates_av_bytes() {
+        let mut h = HeadlessClient::new(64, 64, PixelFormat::Rgb888);
+        h.receive(SimTime(1), &display(Rect::new(0, 0, 4, 4)));
+        h.receive(
+            SimTime(2),
+            &Message::Audio {
+                seq: 0,
+                timestamp_us: 0,
+                data: vec![0; 500],
+            },
+        );
+        assert!(h.av_bytes() >= 500);
+        assert!(h.total_bytes() > h.av_bytes());
+    }
+
+    #[test]
+    fn clear_resets_log_not_state() {
+        let mut h = HeadlessClient::new(64, 64, PixelFormat::Rgb888);
+        h.receive(SimTime(1), &display(Rect::new(0, 0, 4, 4)));
+        h.clear_arrivals();
+        assert!(h.arrivals().is_empty());
+        assert_eq!(h.stats().sfill, 1); // Processing state persists.
+    }
+}

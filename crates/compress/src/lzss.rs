@@ -1,0 +1,234 @@
+//! LZSS dictionary coding with a hash-chain match finder.
+//!
+//! Format: groups of 8 items prefixed by a flag byte (LSB first). Flag
+//! bit 0 = literal byte; flag bit 1 = match, encoded as two bytes:
+//! 12-bit distance (1..=4096) and a 4-bit length code. Length codes
+//! 0..=14 mean length `code + MIN_MATCH`; code 15 is followed by
+//! LZ4-style extension bytes (each adds its value; a 255 byte means
+//! "continue"), so long runs compress to a handful of bytes. The
+//! window is 4 KiB; this is the classic LZSS layout and is
+//! deliberately simple — the paper only needs "off-the-shelf
+//! compression"-class behaviour, not a state-of-the-art entropy coder.
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+/// Longest match the encoder will emit (bounded to keep extension
+/// byte chains short; 3 extension bytes at most).
+const MAX_MATCH: usize = MIN_MATCH + 15 + 255 * 3;
+const LEN_EXT: usize = 15;
+const HASH_BITS: usize = 13;
+
+fn hash(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(2654435761)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(40503))
+        .wrapping_add(data[i + 2] as u32);
+    (h as usize) & ((1 << HASH_BITS) - 1)
+}
+
+/// Compresses `data` with LZSS.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = chain.
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; WINDOW];
+    let mut i = 0;
+    let mut flags_pos = usize::MAX;
+    let mut flag_bit = 8;
+
+    let mut push_item = |out: &mut Vec<u8>, is_match: bool, payload: &[u8]| {
+        if flag_bit == 8 {
+            flags_pos = out.len();
+            out.push(0);
+            flag_bit = 0;
+        }
+        if is_match {
+            out[flags_pos] |= 1 << flag_bit;
+        }
+        flag_bit += 1;
+        out.extend_from_slice(payload);
+    };
+
+    while i < data.len() {
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && cand + WINDOW > i && chain < 32 {
+                if cand < i {
+                    let max = MAX_MATCH.min(data.len() - i);
+                    let mut l = 0;
+                    while l < max && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[cand % WINDOW];
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            let mut extra = best_len - MIN_MATCH;
+            let code = extra.min(LEN_EXT);
+            let token = (((best_dist - 1) as u16) << 4) | (code as u16);
+            let mut payload = token.to_le_bytes().to_vec();
+            if code == LEN_EXT {
+                extra -= LEN_EXT;
+                loop {
+                    let b = extra.min(255);
+                    payload.push(b as u8);
+                    extra -= b;
+                    if b < 255 {
+                        break;
+                    }
+                }
+            }
+            push_item(&mut out, true, &payload);
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash(data, i);
+                    prev[i % WINDOW] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            push_item(&mut out, false, &data[i..i + 1]);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash(data, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses LZSS data; returns `None` on malformed input.
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0;
+    while i < data.len() {
+        let flags = data[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= data.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if i + 2 > data.len() {
+                    return None;
+                }
+                let token = u16::from_le_bytes([data[i], data[i + 1]]);
+                i += 2;
+                let dist = ((token >> 4) as usize) + 1;
+                let mut len = ((token & 0xF) as usize) + MIN_MATCH;
+                if (token & 0xF) as usize == LEN_EXT {
+                    loop {
+                        let b = *data.get(i)?;
+                        i += 1;
+                        len += b as usize;
+                        if b < 255 {
+                            break;
+                        }
+                    }
+                }
+                if dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                out.push(data[i]);
+                i += 1;
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog, the quick brown fox";
+        let c = compress(data);
+        assert!(c.len() < data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_empty_and_tiny() {
+        for d in [&b""[..], b"a", b"ab", b"abc"] {
+            assert_eq!(decompress(&compress(d)).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn long_repetition_compresses_hard() {
+        let data = b"abcd".repeat(1000);
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 5, "{} bytes", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_copy() {
+        // "aaaa..." forces dist=1 matches that overlap their own output.
+        let data = vec![b'a'; 500];
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn window_boundary_matches() {
+        // Repeat a block at exactly WINDOW distance.
+        let block: Vec<u8> = (0..64).map(|i| (i * 37 % 251) as u8).collect();
+        let mut data = block.clone();
+        data.extend(std::iter::repeat(0u8).take(WINDOW - 64));
+        data.extend_from_slice(&block);
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_random_round_trips() {
+        // LCG noise; should still round trip even if it expands.
+        let mut x = 123456789u64;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        // Flag says match, token points before start of output.
+        let bad = [0x01u8, 0xFF, 0xFF];
+        assert_eq!(decompress(&bad), None);
+    }
+
+    #[test]
+    fn truncated_match_rejected() {
+        let bad = [0x01u8, 0x00];
+        assert_eq!(decompress(&bad), None);
+    }
+}

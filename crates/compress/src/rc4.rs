@@ -1,0 +1,137 @@
+//! The RC4 stream cipher.
+//!
+//! THINC encrypts all traffic with RC4 (§7), chosen in 2005 for its
+//! low per-byte cost on thin-client traffic. It is implemented here to
+//! reproduce that design point and its (negligible) overhead.
+//!
+//! **RC4 is cryptographically broken. Never use this for real
+//! security.** It exists in this repository solely because the paper's
+//! system and experiments use it.
+
+/// RC4 keystream generator / stream cipher state.
+#[derive(Clone)]
+pub struct Rc4 {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl std::fmt::Debug for Rc4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key-derived state.
+        f.debug_struct("Rc4").finish_non_exhaustive()
+    }
+}
+
+impl Rc4 {
+    /// Initializes the cipher with `key` (1 to 256 bytes; the paper's
+    /// experiments use 128-bit keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is empty or longer than 256 bytes.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(!key.is_empty() && key.len() <= 256, "RC4 key must be 1..=256 bytes");
+        let mut s = [0u8; 256];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let mut j: u8 = 0;
+        for i in 0..256 {
+            j = j
+                .wrapping_add(s[i])
+                .wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Self { s, i: 0, j: 0 }
+    }
+
+    /// Produces the next keystream byte.
+    pub fn next_byte(&mut self) -> u8 {
+        self.i = self.i.wrapping_add(1);
+        self.j = self.j.wrapping_add(self.s[self.i as usize]);
+        self.s.swap(self.i as usize, self.j as usize);
+        let t = self.s[self.i as usize].wrapping_add(self.s[self.j as usize]);
+        self.s[t as usize]
+    }
+
+    /// XORs the keystream into `data` in place (encryption and
+    /// decryption are the same operation).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for b in data.iter_mut() {
+            *b ^= self.next_byte();
+        }
+    }
+
+    /// Convenience: returns an encrypted/decrypted copy of `data`.
+    pub fn process(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc6229_style_known_vector() {
+        // Classic test vector: key "Key", plaintext "Plaintext".
+        let mut c = Rc4::new(b"Key");
+        let ct = c.process(b"Plaintext");
+        assert_eq!(ct, [0xBB, 0xF3, 0x16, 0xE8, 0xD9, 0x40, 0xAF, 0x0A, 0xD3]);
+    }
+
+    #[test]
+    fn known_vector_wiki() {
+        let mut c = Rc4::new(b"Wiki");
+        let ct = c.process(b"pedia");
+        assert_eq!(ct, [0x10, 0x21, 0xBF, 0x04, 0x20]);
+    }
+
+    #[test]
+    fn known_vector_secret() {
+        let mut c = Rc4::new(b"Secret");
+        let ct = c.process(b"Attack at dawn");
+        assert_eq!(
+            ct,
+            [0x45, 0xA0, 0x1F, 0x64, 0x5F, 0xC3, 0x5B, 0x38, 0x35, 0x52, 0x54, 0x4B, 0x9B, 0xF5]
+        );
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let key = b"0123456789abcdef"; // 128-bit key as in the paper.
+        let msg: Vec<u8> = (0..1000).map(|i| (i % 256) as u8).collect();
+        let mut enc = Rc4::new(key);
+        let mut dec = Rc4::new(key);
+        let ct = enc.process(&msg);
+        assert_ne!(ct, msg);
+        assert_eq!(dec.process(&ct), msg);
+    }
+
+    #[test]
+    fn stream_position_matters() {
+        let mut a = Rc4::new(b"k1");
+        let _ = a.process(b"skip these bytes");
+        let ct_late = a.process(b"hello");
+        let mut b = Rc4::new(b"k1");
+        let ct_early = b.process(b"hello");
+        assert_ne!(ct_late, ct_early);
+    }
+
+    #[test]
+    #[should_panic(expected = "RC4 key")]
+    fn empty_key_rejected() {
+        let _ = Rc4::new(b"");
+    }
+
+    #[test]
+    fn debug_does_not_leak_state() {
+        let c = Rc4::new(b"topsecret");
+        let s = format!("{c:?}");
+        assert!(!s.contains("topsecret"));
+        assert!(s.contains("Rc4"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Byte-wise run-length coding.
+//!
+//! Format: a stream of chunks. Each chunk starts with a control byte
+//! `c`. If `c < 0x80`, the next `c + 1` bytes are literals. If
+//! `c >= 0x80`, the next byte repeats `c - 0x80 + 2` times (runs of
+//! length 1 are encoded as literals, so a run chunk always saves space).
+
+/// Compresses `data` as runs of `sym`-byte symbols (pixel-level RLE,
+/// as in VNC's RRE/hextile encodings: a solid color row is one run
+/// even though its R, G, B bytes differ). A trailing partial symbol
+/// is emitted as literals.
+///
+/// # Panics
+///
+/// Panics if `sym` is zero.
+pub fn compress_symbols(data: &[u8], sym: usize) -> Vec<u8> {
+    assert!(sym > 0, "symbol size must be positive");
+    if sym == 1 {
+        return compress(data);
+    }
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    let n = data.len() / sym;
+    let mut i = 0;
+    while i < n {
+        let cur = &data[i * sym..(i + 1) * sym];
+        let mut run = 1;
+        while i + run < n && &data[(i + run) * sym..(i + run + 1) * sym] == cur && run < 129 {
+            run += 1;
+        }
+        if run >= 2 {
+            out.push(0x80 + (run - 2) as u8);
+            out.extend_from_slice(cur);
+            i += run;
+        } else {
+            // Collect literal symbols until the next run of >= 2.
+            let start = i;
+            let mut lits = 0;
+            while i < n && lits < 128 / sym.max(1) + 1 {
+                if i + 1 < n && data[i * sym..(i + 1) * sym] == data[(i + 1) * sym..(i + 2) * sym]
+                {
+                    break;
+                }
+                i += 1;
+                lits += 1;
+            }
+            out.push((lits - 1) as u8);
+            out.extend_from_slice(&data[start * sym..(start + lits) * sym]);
+        }
+    }
+    // Trailing partial symbol.
+    let tail = &data[n * sym..];
+    if !tail.is_empty() {
+        out.push((tail.len() - 1) as u8);
+        out.extend_from_slice(tail);
+    }
+    out
+}
+
+/// Decompresses symbol-RLE data produced by [`compress_symbols`].
+pub fn decompress_symbols(data: &[u8], sym: usize) -> Option<Vec<u8>> {
+    assert!(sym > 0, "symbol size must be positive");
+    if sym == 1 {
+        return decompress(data);
+    }
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0;
+    while i < data.len() {
+        let c = data[i];
+        i += 1;
+        if c < 0x80 {
+            // Literal count: symbols, except a final partial-symbol
+            // chunk which is raw bytes. Distinguish by remaining len.
+            let n_syms = c as usize + 1;
+            let byte_len = n_syms * sym;
+            if i + byte_len <= data.len() {
+                out.extend_from_slice(&data[i..i + byte_len]);
+                i += byte_len;
+            } else {
+                let rest = data.len() - i;
+                if rest != c as usize + 1 {
+                    return None;
+                }
+                out.extend_from_slice(&data[i..]);
+                i = data.len();
+            }
+        } else {
+            let n = (c - 0x80) as usize + 2;
+            if i + sym > data.len() {
+                return None;
+            }
+            let symbol = &data[i..i + sym];
+            i += sym;
+            for _ in 0..n {
+                out.extend_from_slice(symbol);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Compresses `data` with RLE.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    let mut i = 0;
+    while i < data.len() {
+        // Measure the run starting at i.
+        let b = data[i];
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == b && run < 129 {
+            run += 1;
+        }
+        if run >= 2 {
+            out.push(0x80 + (run - 2) as u8);
+            out.push(b);
+            i += run;
+        } else {
+            // Collect literals until the next run of >= 3 (a run of 2
+            // inside literals is not worth breaking the chunk for).
+            let start = i;
+            let mut lits = 0;
+            while i < data.len() && lits < 128 {
+                let b = data[i];
+                let mut run = 1;
+                while i + run < data.len() && data[i + run] == b && run < 3 {
+                    run += 1;
+                }
+                if run >= 3 {
+                    break;
+                }
+                i += 1;
+                lits += 1;
+            }
+            out.push((lits - 1) as u8);
+            out.extend_from_slice(&data[start..start + lits]);
+        }
+    }
+    out
+}
+
+/// Decompresses RLE data; returns `None` on truncation.
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0;
+    while i < data.len() {
+        let c = data[i];
+        i += 1;
+        if c < 0x80 {
+            let n = c as usize + 1;
+            if i + n > data.len() {
+                return None;
+            }
+            out.extend_from_slice(&data[i..i + n]);
+            i += n;
+        } else {
+            let n = (c - 0x80) as usize + 2;
+            let b = *data.get(i)?;
+            i += 1;
+            out.extend(std::iter::repeat_n(b, n));
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let data = b"aaabbbcccabcabc";
+        assert_eq!(decompress(&compress(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_empty_and_single() {
+        assert_eq!(decompress(&compress(b"")).unwrap(), b"");
+        assert_eq!(decompress(&compress(b"x")).unwrap(), b"x");
+    }
+
+    #[test]
+    fn long_run_compresses() {
+        let data = vec![7u8; 1000];
+        let c = compress(&data);
+        assert!(c.len() < 20);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_overhead_is_bounded() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 128 + 2);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert_eq!(decompress(&[0x05, 1, 2]), None); // Wants 6 literals.
+        assert_eq!(decompress(&[0x80]), None); // Run missing its byte.
+    }
+
+    #[test]
+    fn run_of_two_handled() {
+        let data = b"aab";
+        assert_eq!(decompress(&compress(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn max_run_boundary() {
+        // 129 is the longest run a single chunk can encode.
+        for n in [128usize, 129, 130, 257, 258] {
+            let data = vec![9u8; n];
+            assert_eq!(decompress(&compress(&data)).unwrap(), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pixel_rle_round_trips() {
+        // Solid-color pixels with distinct channel bytes: byte RLE
+        // fails, pixel RLE collapses.
+        let px = [230u8, 215, 224];
+        let mut data = Vec::new();
+        for _ in 0..1000 {
+            data.extend_from_slice(&px);
+        }
+        let c = compress_symbols(&data, 3);
+        assert!(c.len() < 100, "{} bytes", c.len());
+        assert_eq!(decompress_symbols(&c, 3).unwrap(), data);
+        // Byte RLE, by contrast, cannot compress this at all.
+        assert!(compress(&data).len() > data.len() / 2);
+    }
+
+    #[test]
+    fn pixel_rle_mixed_content() {
+        let mut data = Vec::new();
+        for i in 0..500u32 {
+            let px = if i % 7 < 4 {
+                [10u8, 20, 30]
+            } else {
+                [(i % 251) as u8, (i % 13) as u8, (i % 17) as u8]
+            };
+            data.extend_from_slice(&px);
+        }
+        let c = compress_symbols(&data, 3);
+        assert_eq!(decompress_symbols(&c, 3).unwrap(), data);
+    }
+
+    #[test]
+    fn pixel_rle_partial_tail() {
+        // Length not a multiple of the pixel size.
+        let data: Vec<u8> = (0..32).collect();
+        let c = compress_symbols(&data, 3);
+        assert_eq!(decompress_symbols(&c, 3).unwrap(), data);
+    }
+
+    #[test]
+    fn pixel_rle_empty_and_tiny() {
+        for d in [&[][..], &[1u8][..], &[1u8, 2][..], &[1u8, 2, 3][..]] {
+            let c = compress_symbols(d, 3);
+            assert_eq!(decompress_symbols(&c, 3).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn pixel_rle_sym1_equals_byte_rle() {
+        let data = b"aaabbbcccabc".to_vec();
+        assert_eq!(compress_symbols(&data, 1), compress(&data));
+    }
+
+    #[test]
+    fn max_literal_boundary() {
+        for n in [127usize, 128, 129, 256] {
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            assert_eq!(decompress(&compress(&data)).unwrap(), data, "n={n}");
+        }
+    }
+}

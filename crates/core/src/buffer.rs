@@ -1,0 +1,697 @@
+//! The per-client command buffer with SRSF delivery (§5).
+//!
+//! The buffer combines the command-queue eviction/merge semantics of
+//! §4 with the multi-queue scheduler of §5 and the non-blocking flush
+//! pipeline: commands are committed to the (simulated) socket only as
+//! buffer space allows, large `RAW` updates are split on demand, and
+//! everything left over stays buffered — where later drawing may still
+//! evict it ("the client buffer ensures that outdated commands are
+//! automatically evicted").
+
+use std::collections::VecDeque;
+
+use thinc_net::tcp::TcpPipe;
+use thinc_net::time::SimTime;
+use thinc_net::trace::{Direction, PacketTrace};
+use thinc_protocol::commands::{DisplayCommand, RawEncoding};
+use thinc_protocol::message::Message;
+use thinc_protocol::wire::encode_message;
+use thinc_raster::Region;
+
+use crate::queue::{classify, clip_command, OverwriteClass};
+use crate::scheduler::{creates_dependency, place, queue_index, QueueSlot, NUM_QUEUES};
+
+/// One command waiting in the buffer.
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    cmd: DisplayCommand,
+    class: OverwriteClass,
+    visible: Region,
+    slot: QueueSlot,
+}
+
+/// Delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Commands pushed into the buffer.
+    pub pushed: u64,
+    /// Commands evicted before ever being sent (stale updates).
+    pub evicted: u64,
+    /// Commands merged into predecessors.
+    pub merged: u64,
+    /// Protocol messages actually sent.
+    pub sent_messages: u64,
+    /// Wire bytes actually sent.
+    pub sent_bytes: u64,
+    /// Times a large command was split to avoid blocking.
+    pub splits: u64,
+}
+
+/// The per-client buffer: eviction + SRSF scheduling + flush.
+#[derive(Debug, Default)]
+pub struct ClientBuffer {
+    entries: Vec<Entry>,
+    realtime: VecDeque<u64>,
+    queues: [VecDeque<u64>; NUM_QUEUES],
+    next_seq: u64,
+    stats: BufferStats,
+    /// Compress RAW payloads at emission when it helps (bpp of the
+    /// session format; `None` disables compression).
+    raw_compress_bpp: Option<usize>,
+    /// Ablation switch: deliver strictly in arrival order instead of
+    /// SRSF (trivially order-safe; used to measure what the
+    /// multi-queue scheduler buys).
+    fifo: bool,
+}
+
+impl ClientBuffer {
+    /// An empty buffer with RAW compression disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables PNG-like compression of RAW payloads at emission time
+    /// (`bpp` = bytes per pixel of the session pixel format).
+    pub fn with_raw_compression(mut self, bpp: usize) -> Self {
+        self.raw_compress_bpp = Some(bpp);
+        self
+    }
+
+    /// Replaces SRSF with strict arrival-order delivery (ablation).
+    pub fn with_fifo_scheduling(mut self) -> Self {
+        self.fifo = true;
+        self
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Number of commands waiting.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total buffered wire bytes (uncompressed estimate).
+    pub fn pending_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.cmd.wire_size()).sum()
+    }
+
+    fn entry_pos(&self, seq: u64) -> Option<usize> {
+        self.entries.iter().position(|e| e.seq == seq)
+    }
+
+    /// Pushes a display command for delivery.
+    pub fn push(&mut self, cmd: DisplayCommand, realtime: bool) {
+        self.stats.pushed += 1;
+        let class = classify(&cmd);
+        let dest = cmd.dest_rect();
+        // Regions still *read* by queued COPY commands must not be
+        // evicted or clipped out from under them: the copy needs its
+        // source content delivered first (the overwriter is ordered
+        // after the copy by the dependency rule below, so keeping the
+        // full command is correct, merely unclipped).
+        let mut protected = Region::new();
+        for e in &self.entries {
+            if let DisplayCommand::Copy { src_rect, .. } = &e.cmd {
+                protected.union_rect(src_rect);
+            }
+        }
+        // Eviction pass (opaque newcomers overwrite).
+        if matches!(class, OverwriteClass::Complete | OverwriteClass::Partial) && !dest.is_empty()
+        {
+            let mut cover = Region::from_rect(dest);
+            cover.subtract(&protected);
+            let mut dead = Vec::new();
+            for e in &mut self.entries {
+                // Any exactly-clippable opaque command — partial by
+                // class, or a solid fill — is clipped to its still-
+                // visible remainder; everything else is only evicted
+                // when fully covered (unclippable survivors are kept
+                // ordered by the dependency rule below).
+                let clippable = matches!(e.class, OverwriteClass::Partial)
+                    || (e.class == OverwriteClass::Complete
+                        && crate::queue::exactly_clippable(&e.cmd));
+                if clippable {
+                    e.visible.subtract(&cover);
+                    if e.visible.is_empty() {
+                        dead.push(e.seq);
+                    }
+                } else if cover.contains_rect(&e.cmd.dest_rect()) {
+                    dead.push(e.seq);
+                }
+            }
+            for seq in dead {
+                self.remove_entry(seq);
+                self.stats.evicted += 1;
+            }
+        }
+        // Merge with the newest live entry when compatible and in the
+        // same delivery class.
+        if let Some(last) = self.entries.last_mut() {
+            let same_rt = matches!(last.slot, QueueSlot::Realtime) == realtime;
+            if same_rt {
+                if let Some(merged) = crate::queue::merge_commands(&last.cmd, &cmd) {
+                    self.stats.merged += 1;
+                    let old_slot = last.slot;
+                    last.cmd = merged;
+                    last.visible = Region::from_rect(last.cmd.dest_rect());
+                    last.class = classify(&last.cmd);
+                    // Re-slot for the (larger) merged size.
+                    let seq = last.seq;
+                    let new_slot = match old_slot {
+                        QueueSlot::Realtime => QueueSlot::Realtime,
+                        QueueSlot::Normal(q) => {
+                            QueueSlot::Normal(q.max(queue_index(last.cmd.wire_size())))
+                        }
+                    };
+                    if new_slot != old_slot {
+                        last.slot = new_slot;
+                        self.requeue(seq, old_slot, new_slot);
+                    }
+                    return;
+                }
+            }
+        }
+        // Dependency placement. Overlap is computed over the
+        // commands' dependency regions (destination, plus COPY's
+        // source), so an overwriter of a copy's source is ordered
+        // behind the copy, and a copy is ordered behind whatever drew
+        // its source.
+        let transparent = class == OverwriteClass::Transparent;
+        let my_rects = crate::queue::dependency_rects(&cmd);
+        // A dependency may itself sit in a later queue than its size
+        // suggests (it was displaced by its own dependencies), so the
+        // placement bound is the maximum dependency *slot*, which is
+        // at least as late as the paper's largest-dependency rule.
+        let mut max_dep_slot: Option<QueueSlot> = None;
+        for e in &self.entries {
+            let e_transparent = e.class == OverwriteClass::Transparent;
+            let e_rects = crate::queue::dependency_rects(&e.cmd);
+            // Two conditions force ordering:
+            // 1. the paper's transparent rule, over dependency regions
+            //    (destination plus COPY source);
+            // 2. the earlier entry *still draws* pixels this command
+            //    touches or reads — true for unclippable opaque
+            //    commands and for partial commands whose footprint was
+            //    kept alive by COPY-source protection. Fully clipped
+            //    entries have disjoint output, so reordering is safe.
+            let depends = my_rects.iter().any(|a| {
+                e_rects
+                    .iter()
+                    .any(|b| creates_dependency(transparent, e_transparent, a, b))
+                    || e.visible.intersects_rect(a)
+            });
+            if depends {
+                max_dep_slot = Some(match (max_dep_slot, e.slot) {
+                    (None, s) => s,
+                    (Some(QueueSlot::Realtime), s) | (Some(s), QueueSlot::Realtime) => s,
+                    (Some(QueueSlot::Normal(a)), QueueSlot::Normal(b)) => {
+                        QueueSlot::Normal(a.max(b))
+                    }
+                });
+            }
+        }
+        let slot = if self.fifo {
+            // Single queue, strict arrival order.
+            QueueSlot::Normal(NUM_QUEUES - 1)
+        } else {
+            place(cmd.wire_size(), realtime, max_dep_slot)
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(Entry {
+            seq,
+            cmd,
+            class,
+            visible: Region::from_rect(dest),
+            slot,
+        });
+        match slot {
+            QueueSlot::Realtime => self.realtime.push_back(seq),
+            QueueSlot::Normal(q) => self.queues[q].push_back(seq),
+        }
+    }
+
+    fn remove_entry(&mut self, seq: u64) {
+        if let Some(pos) = self.entry_pos(seq) {
+            self.entries.remove(pos);
+        }
+        // Queue deques are cleaned lazily at pop time.
+    }
+
+    fn requeue(&mut self, seq: u64, old: QueueSlot, new: QueueSlot) {
+        let deque = match old {
+            QueueSlot::Realtime => &mut self.realtime,
+            QueueSlot::Normal(q) => &mut self.queues[q],
+        };
+        if let Some(pos) = deque.iter().position(|&s| s == seq) {
+            deque.remove(pos);
+        }
+        match new {
+            QueueSlot::Realtime => self.realtime.push_back(seq),
+            QueueSlot::Normal(q) => self.queues[q].push_back(seq),
+        }
+    }
+
+    /// Encodes a command into its final wire message, applying RAW
+    /// compression lazily at emission ("commands are not broken up
+    /// [or encoded] in advance ... to adapt to changing conditions").
+    fn emit_message(&self, cmd: DisplayCommand) -> Message {
+        if let (Some(bpp), DisplayCommand::Raw { rect, encoding: RawEncoding::None, data }) =
+            (self.raw_compress_bpp, &cmd)
+        {
+            if data.len() >= 1024 {
+                let stride = rect.w as usize * bpp;
+                let packed = thinc_compress::pnglike::compress(data, bpp, stride);
+                if packed.len() < data.len() {
+                    return Message::Display(DisplayCommand::Raw {
+                        rect: *rect,
+                        encoding: RawEncoding::PngLike,
+                        data: packed,
+                    });
+                }
+            }
+        }
+        Message::Display(cmd)
+    }
+
+    /// Splits `cmd`'s visible output into exactly-clipped sub-commands
+    /// (partial commands must not overlap later commands once the
+    /// scheduler reorders; §5's correctness invariant).
+    fn materialize(entry: &Entry) -> Vec<DisplayCommand> {
+        let dest = entry.cmd.dest_rect();
+        if entry.visible.contains_rect(&dest) {
+            return vec![entry.cmd.clone()];
+        }
+        let mut out = Vec::new();
+        for r in entry.visible.rects() {
+            if let Some(c) = clip_command(&entry.cmd, r) {
+                out.push(c);
+            } else {
+                // Not exactly clippable: fall back to the full command
+                // (correct but larger; only unreachable kinds hit this).
+                return vec![entry.cmd.clone()];
+            }
+        }
+        out
+    }
+
+    /// Flushes as much as possible without blocking, in SRSF order:
+    /// the real-time queue first, then size queues in increasing
+    /// order. Returns `(arrival_time, message)` pairs for the client.
+    ///
+    /// Large uncompressed `RAW` commands are split to fill exactly the
+    /// available socket space; the unsent remainder is reformatted and
+    /// left at the head of its queue.
+    pub fn flush(
+        &mut self,
+        now: SimTime,
+        pipe: &mut TcpPipe,
+        trace: &mut PacketTrace,
+    ) -> Vec<(SimTime, Message)> {
+        let mut out = Vec::new();
+        // Realtime queue, then normal queues in increasing order.
+        for qi in 0..=NUM_QUEUES {
+            loop {
+                let deque = if qi == 0 {
+                    &mut self.realtime
+                } else {
+                    &mut self.queues[qi - 1]
+                };
+                let Some(&seq) = deque.front() else { break };
+                let Some(pos) = self.entries.iter().position(|e| e.seq == seq) else {
+                    // Evicted earlier; drop the stale queue slot.
+                    deque.pop_front();
+                    continue;
+                };
+                let parts = Self::materialize(&self.entries[pos]);
+                let mut sent_all = true;
+                let mut leftover: Vec<DisplayCommand> = Vec::new();
+                for (i, part) in parts.iter().enumerate() {
+                    let msg = self.emit_message(part.clone());
+                    let size = encode_message(&msg).len() as u64;
+                    if pipe.would_block(now, size) {
+                        // Try splitting an uncompressed RAW to fit.
+                        let writable = pipe.writable_bytes(now);
+                        if let Some((head, tail)) = split_raw(part, writable) {
+                            let head_msg = self.emit_message(head);
+                            let head_size = encode_message(&head_msg).len() as u64;
+                            if !pipe.would_block(now, head_size) {
+                                let (_, arrival) = pipe.send(now, head_size);
+                                trace.record(now, arrival, head_size, Direction::Down, "update");
+                                self.stats.sent_messages += 1;
+                                self.stats.sent_bytes += head_size;
+                                self.stats.splits += 1;
+                                out.push((arrival, head_msg));
+                                leftover.push(tail);
+                                leftover.extend(parts[i + 1..].iter().cloned());
+                                sent_all = false;
+                                break;
+                            }
+                        }
+                        leftover.extend(parts[i..].iter().cloned());
+                        sent_all = false;
+                        break;
+                    }
+                    let (_, arrival) = pipe.send(now, size);
+                    trace.record(now, arrival, size, Direction::Down, "update");
+                    self.stats.sent_messages += 1;
+                    self.stats.sent_bytes += size;
+                    out.push((arrival, msg));
+                }
+                // Remove the consumed entry and its queue slot.
+                let slot = self.entries[pos].slot;
+                self.entries.remove(pos);
+                let deque = if qi == 0 {
+                    &mut self.realtime
+                } else {
+                    &mut self.queues[qi - 1]
+                };
+                deque.pop_front();
+                if !sent_all {
+                    // Reinsert the remainder at the head of the same
+                    // queue, preserving order, and stop flushing.
+                    for cmd in leftover.into_iter().rev() {
+                        let class = classify(&cmd);
+                        let dest = cmd.dest_rect();
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        self.entries.push(Entry {
+                            seq,
+                            cmd,
+                            class,
+                            visible: Region::from_rect(dest),
+                            slot,
+                        });
+                        let deque = if qi == 0 {
+                            &mut self.realtime
+                        } else {
+                            &mut self.queues[qi - 1]
+                        };
+                        deque.push_front(seq);
+                    }
+                    return out;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits an uncompressed RAW command into a head that fits in
+/// `budget` wire bytes and the remaining tail. Returns `None` when the
+/// command is not a splittable RAW or not even one row fits.
+fn split_raw(cmd: &DisplayCommand, budget: u64) -> Option<(DisplayCommand, DisplayCommand)> {
+    let DisplayCommand::Raw {
+        rect,
+        encoding: RawEncoding::None,
+        data,
+    } = cmd
+    else {
+        return None;
+    };
+    if rect.h <= 1 || rect.area() == 0 || data.len() % rect.area() as usize != 0 {
+        return None;
+    }
+    let bpp = data.len() / rect.area() as usize;
+    let row_bytes = rect.w as u64 * bpp as u64;
+    let header = thinc_protocol::commands::COMMAND_HEADER_BYTES + 16 + 1 + 4;
+    if budget <= header + row_bytes {
+        return None;
+    }
+    let rows = (((budget - header) / row_bytes) as u32).min(rect.h - 1);
+    if rows == 0 {
+        return None;
+    }
+    let split_at = rows as usize * row_bytes as usize;
+    let head = DisplayCommand::Raw {
+        rect: thinc_raster::Rect::new(rect.x, rect.y, rect.w, rows),
+        encoding: RawEncoding::None,
+        data: data[..split_at].to_vec(),
+    };
+    let tail = DisplayCommand::Raw {
+        rect: thinc_raster::Rect::new(rect.x, rect.y + rows as i32, rect.w, rect.h - rows),
+        encoding: RawEncoding::None,
+        data: data[split_at..].to_vec(),
+    };
+    Some((head, tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_net::tcp::TcpParams;
+    use thinc_net::time::SimDuration;
+    use thinc_raster::{Color, Rect};
+
+    fn pipe() -> TcpPipe {
+        TcpPipe::new(TcpParams {
+            bandwidth_bps: 100_000_000,
+            rtt: SimDuration::from_micros(200),
+            rwnd_bytes: 1024 * 1024,
+            ..TcpParams::default()
+        })
+    }
+
+    fn sfill(x: i32, y: i32, w: u32, h: u32, v: u8) -> DisplayCommand {
+        DisplayCommand::Sfill {
+            rect: Rect::new(x, y, w, h),
+            color: Color::rgb(v, v, v),
+        }
+    }
+
+    fn raw(x: i32, y: i32, w: u32, h: u32) -> DisplayCommand {
+        DisplayCommand::Raw {
+            rect: Rect::new(x, y, w, h),
+            encoding: RawEncoding::None,
+            data: vec![7; (w * h * 3) as usize],
+        }
+    }
+
+    fn drain_all(buf: &mut ClientBuffer) -> Vec<Message> {
+        let mut pipe = pipe();
+        let mut trace = PacketTrace::new();
+        let mut msgs = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            let batch = buf.flush(now, &mut pipe, &mut trace);
+            for (_, m) in batch {
+                msgs.push(m);
+            }
+            if buf.is_empty() {
+                break;
+            }
+            now = pipe.tx_free_at();
+        }
+        assert!(buf.is_empty(), "buffer did not drain");
+        msgs
+    }
+
+    #[test]
+    fn small_before_large() {
+        let mut buf = ClientBuffer::new();
+        buf.push(raw(100, 0, 100, 100), false); // Large, q9-ish.
+        buf.push(sfill(0, 0, 10, 10, 1), false); // Tiny, q0.
+        let msgs = drain_all(&mut buf);
+        assert!(matches!(
+            &msgs[0],
+            Message::Display(DisplayCommand::Sfill { .. })
+        ));
+    }
+
+    #[test]
+    fn realtime_preempts_everything() {
+        let mut buf = ClientBuffer::new();
+        buf.push(sfill(0, 0, 10, 10, 1), false);
+        buf.push(raw(300, 300, 50, 50), true); // Realtime but larger.
+        let msgs = drain_all(&mut buf);
+        assert!(matches!(&msgs[0], Message::Display(DisplayCommand::Raw { .. })));
+    }
+
+    #[test]
+    fn stale_commands_evicted_before_send() {
+        let mut buf = ClientBuffer::new();
+        buf.push(raw(0, 0, 50, 50), false);
+        buf.push(sfill(0, 0, 50, 50, 1), false); // Fully covers the RAW.
+        assert_eq!(buf.stats().evicted, 1);
+        let msgs = drain_all(&mut buf);
+        assert_eq!(msgs.len(), 1);
+    }
+
+    #[test]
+    fn partial_overwrite_sends_clipped_remainder() {
+        let mut buf = ClientBuffer::new();
+        buf.push(raw(0, 0, 10, 10), false);
+        buf.push(sfill(0, 5, 10, 5, 1), false); // Covers bottom half.
+        let msgs = drain_all(&mut buf);
+        // SFILL (small) first, then the RAW clipped to the top half.
+        let raw_msgs: Vec<_> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::Display(DisplayCommand::Raw { rect, .. }) => Some(*rect),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(raw_msgs, vec![Rect::new(0, 0, 10, 5)]);
+    }
+
+    #[test]
+    fn transparent_follows_dependency() {
+        let mut buf = ClientBuffer::new();
+        // Big RAW base, then a transparent bitmap over it.
+        buf.push(raw(0, 0, 100, 100), false);
+        buf.push(
+            DisplayCommand::Bitmap {
+                rect: Rect::new(10, 10, 16, 8),
+                bits: vec![0xFF; 16],
+                fg: Color::BLACK,
+                bg: None,
+            },
+            false,
+        );
+        // And an unrelated small fill that may jump the queue.
+        buf.push(sfill(500, 500, 5, 5, 2), false);
+        let msgs = drain_all(&mut buf);
+        let idx_raw = msgs
+            .iter()
+            .position(|m| matches!(m, Message::Display(DisplayCommand::Raw { .. })))
+            .unwrap();
+        let idx_bm = msgs
+            .iter()
+            .position(|m| matches!(m, Message::Display(DisplayCommand::Bitmap { .. })))
+            .unwrap();
+        assert!(idx_raw < idx_bm, "bitmap must follow its base");
+    }
+
+    #[test]
+    fn opaque_over_transparent_keeps_order() {
+        let mut buf = ClientBuffer::new();
+        // Transparent text placed behind a big dependency...
+        buf.push(raw(0, 0, 100, 100), false);
+        buf.push(
+            DisplayCommand::Bitmap {
+                rect: Rect::new(0, 0, 16, 8),
+                bits: vec![0xFF; 16],
+                fg: Color::BLACK,
+                bg: None,
+            },
+            false,
+        );
+        // ...then a small opaque fill partially over the text (a full
+        // cover would simply evict it): must not be reordered before.
+        buf.push(sfill(8, 0, 16, 8, 9), false);
+        let msgs = drain_all(&mut buf);
+        let idx_bm = msgs
+            .iter()
+            .position(|m| matches!(m, Message::Display(DisplayCommand::Bitmap { .. })))
+            .unwrap();
+        let idx_fill = msgs
+            .iter()
+            .position(|m| {
+                matches!(m, Message::Display(DisplayCommand::Sfill { rect, .. }) if rect.w == 16)
+            })
+            .unwrap();
+        assert!(idx_bm < idx_fill);
+    }
+
+    #[test]
+    fn nonblocking_flush_splits_large_raw() {
+        // Tiny socket buffer forces splitting.
+        let mut p = TcpPipe::new(TcpParams {
+            bandwidth_bps: 1_000_000,
+            rtt: SimDuration::from_millis(50),
+            rwnd_bytes: 16 * 1024,
+            sndbuf_bytes: 8 * 1024,
+            ..TcpParams::default()
+        });
+        let mut trace = PacketTrace::new();
+        let mut buf = ClientBuffer::new();
+        buf.push(raw(0, 0, 200, 100), false); // 60 KB.
+        let first = buf.flush(SimTime::ZERO, &mut p, &mut trace);
+        assert!(!first.is_empty());
+        assert!(!buf.is_empty(), "remainder must stay buffered");
+        assert!(buf.stats().splits >= 1);
+        // Drain over time.
+        let mut now = p.tx_free_at();
+        let mut rows = 0u32;
+        for (_, m) in &first {
+            if let Message::Display(DisplayCommand::Raw { rect, .. }) = m {
+                rows += rect.h;
+            }
+        }
+        for _ in 0..10_000 {
+            if buf.is_empty() {
+                break;
+            }
+            for (_, m) in buf.flush(now, &mut p, &mut trace) {
+                if let Message::Display(DisplayCommand::Raw { rect, .. }) = m {
+                    rows += rect.h;
+                }
+            }
+            now = p.tx_free_at().max(now + SimDuration::from_millis(5));
+        }
+        assert!(buf.is_empty());
+        assert_eq!(rows, 100, "all rows delivered exactly once");
+    }
+
+    #[test]
+    fn eviction_works_after_partial_flush() {
+        let mut p = TcpPipe::new(TcpParams {
+            bandwidth_bps: 1_000_000,
+            rtt: SimDuration::from_millis(50),
+            sndbuf_bytes: 8 * 1024,
+            ..TcpParams::default()
+        });
+        let mut trace = PacketTrace::new();
+        let mut buf = ClientBuffer::new();
+        buf.push(raw(0, 0, 200, 100), false);
+        buf.flush(SimTime::ZERO, &mut p, &mut trace);
+        assert!(!buf.is_empty());
+        // New fill covers everything: the unsent tail is evicted.
+        buf.push(sfill(0, 0, 200, 100, 1), false);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn raw_compression_shrinks_flat_payloads() {
+        let mut buf = ClientBuffer::new().with_raw_compression(3);
+        buf.push(raw(0, 0, 100, 100), false); // All-sevens payload.
+        let mut p = pipe();
+        let mut trace = PacketTrace::new();
+        let msgs = buf.flush(SimTime::ZERO, &mut p, &mut trace);
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0].1 {
+            Message::Display(DisplayCommand::Raw { encoding, data, .. }) => {
+                assert_eq!(*encoding, RawEncoding::PngLike);
+                assert!(data.len() < 1000, "{} bytes", data.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merges_scanlines_in_buffer() {
+        let mut buf = ClientBuffer::new();
+        for y in 0..32 {
+            buf.push(raw(0, y, 64, 1), false);
+        }
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.stats().merged, 31);
+    }
+
+    #[test]
+    fn pending_bytes_tracks_content() {
+        let mut buf = ClientBuffer::new();
+        assert_eq!(buf.pending_bytes(), 0);
+        buf.push(sfill(0, 0, 10, 10, 1), false);
+        assert!(buf.pending_bytes() > 0);
+    }
+}

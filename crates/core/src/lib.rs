@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! The THINC server: the primary contribution of the paper.
+//!
+//! THINC virtualizes the display at the device-driver interface. This
+//! crate implements everything between that interface and the wire:
+//!
+//! - [`queue`]: protocol command objects with complete / partial /
+//!   transparent overwrite semantics, and the command queue that
+//!   evicts overwritten commands and merges adjacent ones (§4),
+//! - [`translator`]: the translation layer — a [`VideoDriver`]
+//!   implementation that maps device-level operations one-to-one onto
+//!   protocol commands, with offscreen drawing awareness (per-pixmap
+//!   command queues, queue copies mirroring pixmap copies, queue
+//!   execution when offscreen data goes onscreen, §4.1),
+//! - [`scheduler`]: the multi-queue Shortest-Remaining-Size-First
+//!   update scheduler with a real-time queue and transparent-command
+//!   dependency placement (§5),
+//! - [`buffer`]: the per-client command buffer with non-blocking
+//!   flush and command splitting (§5),
+//! - [`scaling`]: server-side screen scaling with per-command resize
+//!   policy (§6),
+//! - [`video`]: video stream objects and YUV delivery (§4.2),
+//! - [`audio`]: the virtual audio driver (§4.2, §7),
+//! - [`session`]: authentication and multi-client screen sharing
+//!   (§7),
+//! - [`server`]: the [`server::ThincServer`] façade tying everything
+//!   together, including RAW compression and RC4 session encryption
+//!   (§7).
+//!
+//! [`VideoDriver`]: thinc_display::driver::VideoDriver
+
+pub mod audio;
+pub mod buffer;
+pub mod queue;
+pub mod scaling;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+pub mod translator;
+pub mod video;
+
+pub use buffer::ClientBuffer;
+pub use queue::{classify, CommandQueue, OverwriteClass};
+pub use scaling::ScalePolicy;
+pub use server::{ServerConfig, ThincServer};
+pub use session::{Credentials, SessionAuth, SharedSession};
+pub use translator::Translator;

@@ -1,0 +1,425 @@
+//! Server-side screen scaling (§6).
+//!
+//! After a client reports a viewport smaller than the session, the
+//! server resizes every update before sending. The policy is
+//! per-command, exactly as in the paper:
+//!
+//! - `RAW` — resampled (high-quality simplified-Fant), large savings;
+//! - `PFILL` — the tile image is resized;
+//! - `BITMAP` — cannot be resized without artifacts (no intermediate
+//!   values in 1-bit data), so it is converted to `RAW` from the
+//!   rendered screen and resampled;
+//! - `SFILL` — "resizing represents no savings", sent with mapped
+//!   coordinates only;
+//! - `COPY` — coordinates mapped.
+
+use thinc_protocol::commands::{DisplayCommand, RawEncoding, Tile};
+use thinc_raster::scale::scale_region;
+use thinc_raster::{scale_image, Framebuffer, Rect, ScaleFilter};
+
+/// Maps session-coordinate updates into a smaller client viewport.
+///
+/// The *view* is the session-space region currently shown (the whole
+/// session by default). Zooming (§6) narrows the view: updates outside
+/// it are dropped entirely, and updates inside map onto the viewport
+/// at the zoomed scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalePolicy {
+    /// Session (server framebuffer) width.
+    pub session_w: u32,
+    /// Session height.
+    pub session_h: u32,
+    /// Client viewport width.
+    pub viewport_w: u32,
+    /// Client viewport height.
+    pub viewport_h: u32,
+    /// The session-space region mapped onto the viewport.
+    pub view: Rect,
+}
+
+impl ScalePolicy {
+    /// A policy mapping the whole `session` onto `viewport`.
+    pub fn new(session_w: u32, session_h: u32, viewport_w: u32, viewport_h: u32) -> Self {
+        Self {
+            session_w,
+            session_h,
+            viewport_w,
+            viewport_h,
+            view: Rect::new(0, 0, session_w, session_h),
+        }
+    }
+
+    /// Restricts the mapped region to `view` (zoom). The view is
+    /// clamped to the session and never empty.
+    pub fn with_view(mut self, view: Rect) -> Self {
+        let session = Rect::new(0, 0, self.session_w, self.session_h);
+        let v = view.intersection(&session);
+        self.view = if v.is_empty() { session } else { v };
+        self
+    }
+
+    /// Whether any transformation is needed.
+    pub fn is_identity(&self) -> bool {
+        self.view == Rect::new(0, 0, self.session_w, self.session_h)
+            && self.session_w == self.viewport_w
+            && self.session_h == self.viewport_h
+    }
+
+    /// Maps a session point to viewport coordinates (cursor
+    /// positions). Points outside the view clamp to its edge.
+    pub fn map_point(&self, x: i32, y: i32) -> (i32, i32) {
+        if self.is_identity() {
+            return (x, y);
+        }
+        let cx = x.clamp(self.view.x, self.view.right() - 1) - self.view.x;
+        let cy = y.clamp(self.view.y, self.view.bottom() - 1) - self.view.y;
+        (
+            (cx as i64 * self.viewport_w as i64 / self.view.w.max(1) as i64) as i32,
+            (cy as i64 * self.viewport_h as i64 / self.view.h.max(1) as i64) as i32,
+        )
+    }
+
+    /// Maps a session rectangle to viewport coordinates (covering).
+    /// Content outside the view maps to an empty rect.
+    pub fn map_rect(&self, r: &Rect) -> Rect {
+        if self.is_identity() {
+            return *r;
+        }
+        let visible = r.intersection(&self.view);
+        if visible.is_empty() {
+            return Rect::default();
+        }
+        visible
+            .translated(-self.view.x, -self.view.y)
+            .scaled(self.viewport_w, self.view.w, self.viewport_h, self.view.h)
+    }
+
+    /// Transforms one command for the viewport. `screen` is the
+    /// server's rendered framebuffer (session coordinates), used for
+    /// the `BITMAP`→`RAW` conversion.
+    ///
+    /// Returns `None` when the command maps to nothing visible.
+    pub fn transform(&self, cmd: &DisplayCommand, screen: &Framebuffer) -> Option<DisplayCommand> {
+        if self.is_identity() {
+            return Some(cmd.clone());
+        }
+        match cmd {
+            DisplayCommand::Sfill { rect, color } => {
+                let r = self.map_rect(rect);
+                (!r.is_empty()).then_some(DisplayCommand::Sfill { rect: r, color: *color })
+            }
+            DisplayCommand::Copy {
+                src_rect,
+                dst_x,
+                dst_y,
+            } => {
+                let s = self.map_rect(src_rect);
+                let d = self.map_rect(&Rect::new(*dst_x, *dst_y, src_rect.w, src_rect.h));
+                if s.is_empty() || d.is_empty() {
+                    return None;
+                }
+                // Use the destination's mapped size for both (COPY
+                // requires equal extents); covering-rounding may
+                // differ by a pixel between the two mappings.
+                let src = Rect::new(s.x, s.y, d.w.min(s.w), d.h.min(s.h));
+                Some(DisplayCommand::Copy {
+                    src_rect: src,
+                    dst_x: d.x,
+                    dst_y: d.y,
+                })
+            }
+            DisplayCommand::Raw {
+                rect,
+                encoding: RawEncoding::None,
+                data,
+            } => {
+                let r = self.map_rect(rect);
+                if r.is_empty() {
+                    return None;
+                }
+                let total = rect.area() as usize;
+                if total == 0 || data.len() % total != 0 {
+                    return None;
+                }
+                // Rebuild a framebuffer from the payload, take the
+                // view-visible portion and resample it.
+                let fmt = format_for_bpp(data.len() / total)?;
+                let mut fb = Framebuffer::new(rect.w, rect.h, fmt);
+                fb.put_raw(&Rect::new(0, 0, rect.w, rect.h), data);
+                let visible = rect
+                    .intersection(&self.view)
+                    .translated(-rect.x, -rect.y);
+                let scaled = scale_region(&fb, &visible, r.w, r.h, ScaleFilter::Fant);
+                let (_, out) = scaled.get_raw(&Rect::new(0, 0, r.w, r.h));
+                Some(DisplayCommand::Raw {
+                    rect: r,
+                    encoding: RawEncoding::None,
+                    data: out,
+                })
+            }
+            DisplayCommand::Raw { rect, .. } => {
+                // Compressed payload: fall back to the rendered screen.
+                self.raw_from_screen(rect, screen)
+            }
+            DisplayCommand::Pfill { rect, tile } => {
+                let r = self.map_rect(rect);
+                if r.is_empty() {
+                    return None;
+                }
+                // Resize the tile by the view-to-viewport ratio (at
+                // least 1 px).
+                let tw = ((tile.width as u64 * self.viewport_w as u64 / self.view.w.max(1) as u64)
+                    .max(1)) as u32;
+                let th = ((tile.height as u64 * self.viewport_h as u64 / self.view.h.max(1) as u64)
+                    .max(1)) as u32;
+                let fmt = format_for_bpp(
+                    tile.pixels.len() / (tile.width as usize * tile.height as usize).max(1),
+                )?;
+                let mut fb = Framebuffer::new(tile.width, tile.height, fmt);
+                fb.put_raw(&Rect::new(0, 0, tile.width, tile.height), &tile.pixels);
+                let scaled = scale_image(&fb, tw, th, ScaleFilter::Fant);
+                let (_, pixels) = scaled.get_raw(&Rect::new(0, 0, tw, th));
+                Some(DisplayCommand::Pfill {
+                    rect: r,
+                    tile: Tile {
+                        width: tw,
+                        height: th,
+                        pixels,
+                    },
+                })
+            }
+            DisplayCommand::Bitmap { rect, .. } => {
+                // BITMAP → RAW from the rendered screen, resampled
+                // with anti-aliasing (the §6 rule).
+                self.raw_from_screen(rect, screen)
+            }
+        }
+    }
+
+    fn raw_from_screen(&self, rect: &Rect, screen: &Framebuffer) -> Option<DisplayCommand> {
+        let clip = rect.intersection(&screen.bounds()).intersection(&self.view);
+        let r = self.map_rect(&clip);
+        if r.is_empty() {
+            return None;
+        }
+        let scaled = scale_region(screen, &clip, r.w, r.h, ScaleFilter::Fant);
+        let (_, data) = scaled.get_raw(&Rect::new(0, 0, r.w, r.h));
+        Some(DisplayCommand::Raw {
+            rect: r,
+            encoding: RawEncoding::None,
+            data,
+        })
+    }
+}
+
+fn format_for_bpp(bpp: usize) -> Option<thinc_raster::PixelFormat> {
+    use thinc_raster::PixelFormat as PF;
+    Some(match bpp {
+        1 => PF::Indexed8,
+        2 => PF::Rgb565,
+        3 => PF::Rgb888,
+        4 => PF::Rgba8888,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_raster::{Color, PixelFormat};
+
+    fn policy() -> ScalePolicy {
+        // The paper's PDA configuration: 1024x768 -> 320x240.
+        ScalePolicy::new(1024, 768, 320, 240)
+    }
+
+    fn screen() -> Framebuffer {
+        Framebuffer::new(1024, 768, PixelFormat::Rgb888)
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let p = ScalePolicy::new(100, 100, 100, 100);
+        assert!(p.is_identity());
+        let cmd = DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 50, 50),
+            color: Color::WHITE,
+        };
+        assert_eq!(p.transform(&cmd, &screen()), Some(cmd));
+    }
+
+    #[test]
+    fn sfill_rect_mapped_color_kept() {
+        let p = policy();
+        let cmd = DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 1024, 768),
+            color: Color::rgb(9, 9, 9),
+        };
+        match p.transform(&cmd, &screen()).unwrap() {
+            DisplayCommand::Sfill { rect, color } => {
+                assert_eq!(rect, Rect::new(0, 0, 320, 240));
+                assert_eq!(color, Color::rgb(9, 9, 9));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_payload_shrinks_by_area_ratio() {
+        let p = policy();
+        let cmd = DisplayCommand::Raw {
+            rect: Rect::new(0, 0, 256, 192),
+            encoding: RawEncoding::None,
+            data: vec![7; 256 * 192 * 3],
+        };
+        match p.transform(&cmd, &screen()).unwrap() {
+            DisplayCommand::Raw { rect, data, .. } => {
+                assert_eq!(rect, Rect::new(0, 0, 80, 60));
+                assert_eq!(data.len(), 80 * 60 * 3);
+                // Flat content stays flat through Fant.
+                assert!(data.iter().all(|&b| b == 7));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bitmap_converts_to_raw() {
+        let p = policy();
+        let mut scr = screen();
+        scr.fill_rect(&Rect::new(0, 0, 64, 16), Color::WHITE);
+        let cmd = DisplayCommand::Bitmap {
+            rect: Rect::new(0, 0, 64, 16),
+            bits: vec![0xFF; 8 * 16],
+            fg: Color::WHITE,
+            bg: None,
+        };
+        let out = p.transform(&cmd, &scr).unwrap();
+        match out {
+            DisplayCommand::Raw { rect, data, .. } => {
+                assert_eq!(rect, Rect::new(0, 0, 20, 5));
+                assert_eq!(data.len(), 20 * 5 * 3);
+                assert_eq!(&data[0..3], &[255, 255, 255]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pfill_tile_resized() {
+        let p = policy();
+        let cmd = DisplayCommand::Pfill {
+            rect: Rect::new(0, 0, 512, 384),
+            tile: Tile {
+                width: 32,
+                height: 32,
+                pixels: vec![5; 32 * 32 * 3],
+            },
+        };
+        match p.transform(&cmd, &screen()).unwrap() {
+            DisplayCommand::Pfill { rect, tile } => {
+                assert_eq!(rect, Rect::new(0, 0, 160, 120));
+                assert_eq!(tile.width, 10);
+                assert_eq!(tile.height, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_coordinates_mapped() {
+        let p = policy();
+        let cmd = DisplayCommand::Copy {
+            src_rect: Rect::new(0, 0, 512, 384),
+            dst_x: 512,
+            dst_y: 384,
+        };
+        match p.transform(&cmd, &screen()).unwrap() {
+            DisplayCommand::Copy {
+                src_rect,
+                dst_x,
+                dst_y,
+            } => {
+                assert_eq!((dst_x, dst_y), (160, 120));
+                assert_eq!((src_rect.w, src_rect.h), (160, 120));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_maps_to_none() {
+        // A 1-pixel command in a huge session may vanish at PDA size.
+        let p = ScalePolicy::new(10_000, 10_000, 10, 10);
+        let cmd = DisplayCommand::Sfill {
+            rect: Rect::new(5, 5, 0, 0),
+            color: Color::WHITE,
+        };
+        assert!(p.transform(&cmd, &screen()).is_none());
+    }
+
+    #[test]
+    fn zoomed_view_drops_outside_content() {
+        let p = policy().with_view(Rect::new(512, 384, 256, 192));
+        // Entirely outside the view: nothing to send.
+        let outside = DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 100, 100),
+            color: Color::WHITE,
+        };
+        assert!(p.transform(&outside, &screen()).is_none());
+        // Inside the view: mapped at the zoomed scale.
+        let inside = DisplayCommand::Sfill {
+            rect: Rect::new(512, 384, 256, 192),
+            color: Color::WHITE,
+        };
+        match p.transform(&inside, &screen()).unwrap() {
+            DisplayCommand::Sfill { rect, .. } => {
+                assert_eq!(rect, Rect::new(0, 0, 320, 240));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zoomed_raw_clips_to_view() {
+        let p = policy().with_view(Rect::new(0, 0, 512, 384));
+        // A RAW spanning the whole session: only the view half (per
+        // axis) survives, mapped onto the full viewport.
+        let cmd = DisplayCommand::Raw {
+            rect: Rect::new(0, 0, 1024, 768),
+            encoding: RawEncoding::None,
+            data: vec![9; 1024 * 768 * 3],
+        };
+        match p.transform(&cmd, &screen()).unwrap() {
+            DisplayCommand::Raw { rect, data, .. } => {
+                assert_eq!(rect, Rect::new(0, 0, 320, 240));
+                assert_eq!(data.len(), 320 * 240 * 3);
+                assert!(data.iter().all(|&b| b == 9));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_view_clamps_to_session() {
+        let p = policy().with_view(Rect::new(-100, -100, 5000, 5000));
+        assert_eq!(p.view, Rect::new(0, 0, 1024, 768));
+        // Degenerate views fall back to the whole session.
+        let q = policy().with_view(Rect::new(5000, 5000, 10, 10));
+        assert_eq!(q.view, Rect::new(0, 0, 1024, 768));
+    }
+
+    #[test]
+    fn bandwidth_reduction_factor() {
+        // The headline effect: a fullscreen RAW shrinks by more than
+        // the paper's "factor of two" at PDA scale (area ratio ~10x).
+        let p = policy();
+        let cmd = DisplayCommand::Raw {
+            rect: Rect::new(0, 0, 1024, 768),
+            encoding: RawEncoding::None,
+            data: vec![1; 1024 * 768 * 3],
+        };
+        let out = p.transform(&cmd, &screen()).unwrap();
+        assert!(out.wire_size() * 2 < cmd.wire_size());
+    }
+}

@@ -1,0 +1,720 @@
+//! The THINC server façade.
+//!
+//! [`ThincServer`] is the virtual display driver: it plugs into the
+//! window server below the device abstraction (implementing
+//! [`VideoDriver`]), feeds every operation through the translation
+//! layer, schedules the resulting protocol commands in the per-client
+//! buffer, and flushes them over a (simulated) connection with
+//! server-push, non-blocking delivery. It also owns the video stream
+//! manager, the virtual audio device, the input tracker that marks
+//! real-time updates, server-side scaling state, and the RC4 session
+//! cipher.
+
+use std::collections::VecDeque;
+
+use thinc_compress::Rc4;
+use thinc_display::drawable::{DrawableId, DrawableStore};
+use thinc_display::driver::VideoDriver;
+use thinc_display::input::{InputEvent, InputTracker};
+use thinc_net::tcp::TcpPipe;
+use thinc_net::time::SimTime;
+use thinc_net::trace::{Direction, PacketTrace};
+use thinc_protocol::commands::DisplayCommand;
+use thinc_protocol::message::{Message, ProtocolInput};
+use thinc_protocol::wire::encode_message;
+use thinc_protocol::PROTOCOL_VERSION;
+use thinc_raster::{Color, Framebuffer, PixelFormat, Point, Rect, YuvFrame};
+
+use crate::audio::VirtualAudioDriver;
+use crate::buffer::{BufferStats, ClientBuffer};
+use crate::scaling::ScalePolicy;
+use crate::translator::{Translator, TranslatorStats};
+use crate::video::VideoStreamManager;
+
+/// Server configuration (the ablation switches map to the paper's
+/// design choices).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Session framebuffer width.
+    pub width: u32,
+    /// Session framebuffer height.
+    pub height: u32,
+    /// Session pixel format (the paper runs 24-bit everywhere).
+    pub format: PixelFormat,
+    /// Track offscreen drawing (§4.1). Disable to reproduce the
+    /// "ignore offscreen, send raw pixels" behaviour.
+    pub offscreen_awareness: bool,
+    /// Compress RAW payloads with the PNG-like codec (§7).
+    pub compress_raw: bool,
+    /// Resize updates server-side when the client viewport is smaller
+    /// (§6). Disable to reproduce client-side-resize systems.
+    pub server_side_scaling: bool,
+    /// RC4 session key; `None` disables encryption.
+    pub rc4_key: Option<Vec<u8>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            width: 1024,
+            height: 768,
+            format: PixelFormat::Rgb888,
+            offscreen_awareness: true,
+            compress_raw: true,
+            server_side_scaling: true,
+            rc4_key: None,
+        }
+    }
+}
+
+/// Aggregated server statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Translation-layer counters.
+    pub translator: TranslatorStats,
+    /// Delivery counters.
+    pub buffer: BufferStats,
+    /// Video messages queued.
+    pub video_messages: u64,
+    /// Audio messages queued.
+    pub audio_messages: u64,
+}
+
+/// The THINC server.
+pub struct ThincServer {
+    config: ServerConfig,
+    translator: Translator,
+    buffer: ClientBuffer,
+    video: VideoStreamManager,
+    audio: Option<VirtualAudioDriver>,
+    input: InputTracker,
+    viewport: (u32, u32),
+    scale: ScalePolicy,
+    /// Audio/video messages awaiting flush (FIFO; flushed ahead of the
+    /// normal display queues, behind nothing — A/V is paced real-time).
+    av_fifo: VecDeque<Message>,
+    /// Virtual clock used to stamp A/V data.
+    now: SimTime,
+    cipher: Option<Rc4>,
+    video_messages: u64,
+    audio_messages: u64,
+    /// Last installed cursor image, resent on resync.
+    cursor_shape: Option<Message>,
+}
+
+impl ThincServer {
+    /// Creates a server for `config`.
+    pub fn new(config: ServerConfig) -> Self {
+        let translator = if config.offscreen_awareness {
+            Translator::new()
+        } else {
+            Translator::without_offscreen_awareness()
+        };
+        let mut buffer = ClientBuffer::new();
+        if config.compress_raw {
+            buffer = buffer.with_raw_compression(config.format.bytes_per_pixel());
+        }
+        let cipher = config.rc4_key.as_deref().map(Rc4::new);
+        let viewport = (config.width, config.height);
+        let scale = ScalePolicy::new(config.width, config.height, viewport.0, viewport.1);
+        Self {
+            config,
+            translator,
+            buffer,
+            video: VideoStreamManager::new(),
+            audio: None,
+            input: InputTracker::new(),
+            viewport,
+            scale,
+            av_fifo: VecDeque::new(),
+            now: SimTime::ZERO,
+            cipher,
+            video_messages: 0,
+            audio_messages: 0,
+            cursor_shape: None,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            translator: self.translator.stats(),
+            buffer: self.buffer.stats(),
+            video_messages: self.video_messages,
+            audio_messages: self.audio_messages,
+        }
+    }
+
+    /// The greeting sent to a connecting client.
+    pub fn hello(&self) -> Message {
+        Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: self.config.width,
+            height: self.config.height,
+            depth: self.config.format.depth() as u8,
+        }
+    }
+
+    /// Advances the server's virtual clock (stamps A/V data).
+    pub fn set_time(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Current client viewport.
+    pub fn viewport(&self) -> (u32, u32) {
+        self.viewport
+    }
+
+    /// Whether updates are being scaled server-side right now.
+    pub fn scaling_active(&self) -> bool {
+        self.config.server_side_scaling && !self.scale.is_identity()
+    }
+
+    fn set_viewport(&mut self, w: u32, h: u32) {
+        self.viewport = (w.min(self.config.width).max(1), h.min(self.config.height).max(1));
+        self.scale = ScalePolicy::new(
+            self.config.width,
+            self.config.height,
+            self.viewport.0,
+            self.viewport.1,
+        );
+        if self.config.server_side_scaling {
+            self.video.set_scale(
+                self.viewport.0,
+                self.config.width,
+                self.viewport.1,
+                self.config.height,
+            );
+        }
+    }
+
+    /// The session-space region currently mapped onto the viewport.
+    pub fn view(&self) -> thinc_raster::Rect {
+        self.scale.view
+    }
+
+    /// Re-sends the current contents of the view as a (scaled) RAW
+    /// update. Required after a zoom-in: "the server updates are
+    /// necessary when the display size increases, because the client
+    /// has only a small-size version of the display" (§6).
+    pub fn refresh_view(&mut self, screen: &Framebuffer) {
+        let view = self.scale.view;
+        let (clip, data) = screen.get_raw(&view);
+        if clip.is_empty() {
+            return;
+        }
+        let cmd = DisplayCommand::Raw {
+            rect: clip,
+            encoding: thinc_protocol::commands::RawEncoding::None,
+            data,
+        };
+        self.enqueue(vec![cmd], screen);
+    }
+
+    /// Handles a message arriving from the client. Input events are
+    /// returned as window-system events for forwarding.
+    pub fn handle_message(&mut self, msg: &Message) -> Option<InputEvent> {
+        match msg {
+            Message::ClientHello {
+                viewport_width,
+                viewport_height,
+                ..
+            }
+            | Message::Resize {
+                viewport_width,
+                viewport_height,
+            } => {
+                self.set_viewport(*viewport_width, *viewport_height);
+                None
+            }
+            Message::SetView { view } => {
+                // Zoom: remap the view; the caller should follow with
+                // [`Self::refresh_view`] so the client gets full-detail
+                // content for the newly magnified region.
+                self.scale = ScalePolicy::new(
+                    self.config.width,
+                    self.config.height,
+                    self.viewport.0,
+                    self.viewport.1,
+                )
+                .with_view(*view);
+                None
+            }
+            Message::Input(input) => {
+                let ev = match input {
+                    ProtocolInput::PointerMove { x, y } => InputEvent::PointerMove(Point::new(*x, *y)),
+                    ProtocolInput::ButtonPress { x, y, .. } => {
+                        InputEvent::ButtonPress(Point::new(*x, *y))
+                    }
+                    ProtocolInput::ButtonRelease { x, y, .. } => {
+                        InputEvent::ButtonRelease(Point::new(*x, *y))
+                    }
+                    ProtocolInput::KeyPress { key } => InputEvent::KeyPress(*key),
+                    ProtocolInput::KeyRelease { key } => InputEvent::KeyPress(*key),
+                };
+                self.input.observe(ev);
+                // Echo the (possibly warped) cursor position so the
+                // client's local overlay tracks the session pointer.
+                if let InputEvent::PointerMove(p)
+                | InputEvent::ButtonPress(p)
+                | InputEvent::ButtonRelease(p) = ev
+                {
+                    let (vx, vy) = if self.scaling_active() {
+                        self.scale.map_point(p.x, p.y)
+                    } else {
+                        (p.x, p.y)
+                    };
+                    self.av_fifo.push_back(Message::CursorMove { x: vx, y: vy });
+                }
+                Some(ev)
+            }
+            _ => None,
+        }
+    }
+
+    /// Pushes translated commands through scaling into the buffer.
+    fn enqueue(&mut self, cmds: Vec<DisplayCommand>, screen: &Framebuffer) {
+        for cmd in cmds {
+            let realtime = self.input.is_realtime(&cmd.dest_rect());
+            if self.scaling_active() {
+                if let Some(scaled) = self.scale.transform(&cmd, screen) {
+                    self.buffer.push(scaled, realtime);
+                }
+            } else {
+                self.buffer.push(cmd, realtime);
+            }
+        }
+    }
+
+    /// Installs the session cursor image, forwarded to the client.
+    /// The client composites it locally, so pointer motion costs a
+    /// few bytes per event instead of display updates.
+    pub fn set_cursor(&mut self, width: u32, height: u32, hot_x: i32, hot_y: i32, pixels: Vec<u8>) {
+        let shape = Message::CursorShape {
+            width,
+            height,
+            hot_x,
+            hot_y,
+            pixels,
+        };
+        self.cursor_shape = Some(shape.clone());
+        self.av_fifo.push_back(shape);
+    }
+
+    /// Resynchronizes a (re)connecting client: the session's true
+    /// state lives entirely on the server ("the client only contains
+    /// transient soft state", §2), so mobility is a full-view refresh
+    /// plus the session cursor — nothing else needs to persist at the
+    /// client.
+    pub fn resync(&mut self, screen: &Framebuffer) {
+        if let Some(shape) = self.cursor_shape.clone() {
+            self.av_fifo.push_back(shape);
+        }
+        self.refresh_view(screen);
+    }
+
+    /// Opens the virtual audio device.
+    pub fn open_audio(&mut self, sample_rate: u32, channels: u32) {
+        self.audio = Some(VirtualAudioDriver::new(
+            sample_rate,
+            channels,
+            self.now.as_micros(),
+        ));
+    }
+
+    /// Applications write PCM audio; packets queue for delivery.
+    pub fn play_audio(&mut self, pcm: &[u8]) {
+        if let Some(drv) = self.audio.as_mut() {
+            let msgs = drv.write(pcm);
+            self.audio_messages += msgs.len() as u64;
+            self.av_fifo.extend(msgs);
+        }
+    }
+
+    /// Closes the audio device, flushing buffered samples.
+    pub fn close_audio(&mut self) {
+        if let Some(mut drv) = self.audio.take() {
+            if let Some(m) = drv.drain() {
+                self.audio_messages += 1;
+                self.av_fifo.push_back(m);
+            }
+        }
+    }
+
+    /// Ends all video streams (session teardown).
+    pub fn end_video(&mut self) {
+        let msgs = self.video.end_all();
+        self.video_messages += msgs.len() as u64;
+        self.av_fifo.extend(msgs);
+    }
+
+    /// Pending A/V messages not yet flushed.
+    pub fn av_backlog(&self) -> usize {
+        self.av_fifo.len()
+    }
+
+    /// Commands waiting in the display buffer.
+    pub fn display_backlog(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Flushes queued updates without blocking: A/V first (paced data
+    /// with deadlines), then the SRSF display queues. Returns
+    /// `(arrival, message)` pairs for the client side.
+    pub fn flush(
+        &mut self,
+        now: SimTime,
+        pipe: &mut TcpPipe,
+        trace: &mut PacketTrace,
+    ) -> Vec<(SimTime, Message)> {
+        self.now = now;
+        let mut out = Vec::new();
+        while let Some(msg) = self.av_fifo.front() {
+            let size = encode_message(msg).len() as u64;
+            if pipe.would_block(now, size) {
+                // A/V data is only useful fresh: drop stale frames
+                // older than ~200 ms instead of letting them pile up
+                // ("if updates are not buffered carefully … outdated
+                // content is sent to the client").
+                let stale = matches!(msg, Message::VideoData { timestamp_us, .. }
+                    if now.as_micros() > timestamp_us + 200_000);
+                if stale {
+                    self.av_fifo.pop_front();
+                    continue;
+                }
+                return out;
+            }
+            let msg = self.av_fifo.pop_front().expect("checked front");
+            let tag = match &msg {
+                Message::Audio { .. } => "audio",
+                Message::CursorShape { .. } | Message::CursorMove { .. } => "cursor",
+                _ => "video",
+            };
+            let (_, arrival) = pipe.send(now, size);
+            trace.record(now, arrival, size, Direction::Down, tag);
+            out.push((arrival, msg));
+        }
+        out.extend(self.buffer.flush(now, pipe, trace));
+        out
+    }
+
+    /// Encrypts bytes with the session cipher (identity when
+    /// encryption is off). Encryption is size-preserving, so traces
+    /// and scheduling are unaffected; this exists for end-to-end
+    /// fidelity tests and CPU-cost accounting.
+    pub fn encrypt(&mut self, data: &mut [u8]) {
+        if let Some(c) = self.cipher.as_mut() {
+            c.apply(data);
+        }
+    }
+}
+
+impl VideoDriver for ThincServer {
+    fn create_pixmap(&mut self, _store: &DrawableStore, id: DrawableId, w: u32, h: u32) {
+        self.translator.create_pixmap(id, w, h);
+    }
+
+    fn free_pixmap(&mut self, _store: &DrawableStore, id: DrawableId) {
+        self.translator.free_pixmap(id);
+    }
+
+    fn solid_fill(&mut self, store: &DrawableStore, target: DrawableId, rect: Rect, color: Color) {
+        let cmds = self.translator.solid_fill(store, target, rect, color);
+        self.enqueue(cmds, store.screen());
+    }
+
+    fn pattern_fill(
+        &mut self,
+        store: &DrawableStore,
+        target: DrawableId,
+        rect: Rect,
+        tile: &Framebuffer,
+    ) {
+        let cmds = self.translator.pattern_fill(store, target, rect, tile);
+        self.enqueue(cmds, store.screen());
+    }
+
+    fn stipple_fill(
+        &mut self,
+        store: &DrawableStore,
+        target: DrawableId,
+        rect: Rect,
+        bits: &[u8],
+        fg: Color,
+        bg: Option<Color>,
+    ) {
+        let cmds = self.translator.stipple_fill(store, target, rect, bits, fg, bg);
+        self.enqueue(cmds, store.screen());
+    }
+
+    fn copy_area(
+        &mut self,
+        store: &DrawableStore,
+        src: DrawableId,
+        dst: DrawableId,
+        src_rect: Rect,
+        dst_x: i32,
+        dst_y: i32,
+    ) {
+        let cmds = self
+            .translator
+            .copy_area(store, src, dst, src_rect, dst_x, dst_y);
+        self.enqueue(cmds, store.screen());
+    }
+
+    fn put_image(&mut self, store: &DrawableStore, target: DrawableId, rect: Rect, data: &[u8]) {
+        let cmds = self.translator.put_image(store, target, rect, data);
+        self.enqueue(cmds, store.screen());
+    }
+
+    fn video_display(&mut self, _store: &DrawableStore, frame: &YuvFrame, dst: Rect) {
+        let msgs = self.video.display_frame(frame, dst, self.now.as_micros());
+        self.video_messages += msgs.len() as u64;
+        self.av_fifo.extend(msgs);
+    }
+
+    fn composite(
+        &mut self,
+        store: &DrawableStore,
+        target: DrawableId,
+        rect: Rect,
+        _data: &[u8],
+        _op: thinc_raster::CompositeOp,
+    ) {
+        let cmds = self.translator.composite(store, target, rect);
+        self.enqueue(cmds, store.screen());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_display::request::DrawRequest;
+    use thinc_display::server::WindowServer;
+    use thinc_display::SCREEN;
+    use thinc_net::link::NetworkConfig;
+    use thinc_raster::{YuvFormat, YuvFrame};
+
+    fn system() -> WindowServer<ThincServer> {
+        let thinc = ThincServer::new(ServerConfig {
+            width: 64,
+            height: 64,
+            compress_raw: false,
+            ..ServerConfig::default()
+        });
+        WindowServer::new(64, 64, PixelFormat::Rgb888, thinc)
+    }
+
+    fn flush_all(ws: &mut WindowServer<ThincServer>) -> Vec<Message> {
+        let mut link = NetworkConfig::lan_desktop().connect();
+        let mut trace = PacketTrace::new();
+        let mut now = SimTime::ZERO;
+        let mut msgs = Vec::new();
+        for _ in 0..100 {
+            let batch = ws.driver_mut().flush(now, &mut link.down, &mut trace);
+            msgs.extend(batch.into_iter().map(|(_, m)| m));
+            if ws.driver().av_backlog() == 0 && ws.driver().display_backlog() == 0 {
+                break;
+            }
+            now = link.down.tx_free_at();
+        }
+        msgs
+    }
+
+    #[test]
+    fn fill_reaches_the_wire_as_sfill() {
+        let mut ws = system();
+        ws.process(DrawRequest::FillRect {
+            target: SCREEN,
+            rect: Rect::new(0, 0, 32, 32),
+            color: Color::rgb(1, 2, 3),
+        });
+        let msgs = flush_all(&mut ws);
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, Message::Display(DisplayCommand::Sfill { .. }))));
+    }
+
+    #[test]
+    fn video_frame_reaches_the_wire() {
+        let mut ws = system();
+        let frame = YuvFrame::new(YuvFormat::Yv12, 16, 16);
+        ws.process(DrawRequest::VideoPut {
+            frame,
+            dst: Rect::new(0, 0, 64, 64),
+        });
+        let msgs = flush_all(&mut ws);
+        assert!(msgs.iter().any(|m| matches!(m, Message::VideoInit { .. })));
+        assert!(msgs.iter().any(|m| matches!(m, Message::VideoData { .. })));
+    }
+
+    #[test]
+    fn audio_write_produces_messages() {
+        let mut ws = system();
+        ws.driver_mut().open_audio(44_100, 2);
+        ws.driver_mut().play_audio(&vec![0u8; 8192]);
+        ws.driver_mut().close_audio();
+        let msgs = flush_all(&mut ws);
+        assert!(msgs.iter().filter(|m| matches!(m, Message::Audio { .. })).count() >= 2);
+    }
+
+    #[test]
+    fn client_hello_activates_scaling() {
+        let mut ws = system();
+        ws.driver_mut().handle_message(&Message::ClientHello {
+            version: 1,
+            viewport_width: 32,
+            viewport_height: 32,
+        });
+        assert!(ws.driver().scaling_active());
+        ws.process(DrawRequest::FillRect {
+            target: SCREEN,
+            rect: Rect::new(0, 0, 64, 64),
+            color: Color::WHITE,
+        });
+        let msgs = flush_all(&mut ws);
+        match msgs
+            .iter()
+            .find_map(|m| match m {
+                Message::Display(DisplayCommand::Sfill { rect, .. }) => Some(*rect),
+                _ => None,
+            })
+            .unwrap()
+        {
+            r => assert_eq!(r, Rect::new(0, 0, 32, 32)),
+        }
+    }
+
+    #[test]
+    fn input_marks_updates_realtime() {
+        let mut ws = system();
+        // Click at (10, 10), then draw feedback there and bulk far away.
+        let ev = ws.driver_mut().handle_message(&Message::Input(ProtocolInput::ButtonPress {
+            x: 10,
+            y: 10,
+            button: 1,
+        }));
+        assert!(matches!(ev, Some(InputEvent::ButtonPress(_))));
+        // Bulk data outside the 32-pixel input halo around (10, 10).
+        ws.process(DrawRequest::PutImage {
+            target: SCREEN,
+            rect: Rect::new(45, 45, 15, 15),
+            data: vec![3; 15 * 15 * 3],
+        });
+        ws.process(DrawRequest::FillRect {
+            target: SCREEN,
+            rect: Rect::new(8, 8, 4, 4),
+            color: Color::WHITE,
+        });
+        let msgs = flush_all(&mut ws);
+        // The button feedback (realtime) is the first *display*
+        // update delivered even though it arrived second (cursor
+        // control messages precede it in the priority FIFO).
+        let first_display = msgs
+            .iter()
+            .find(|m| matches!(m, Message::Display(_)))
+            .unwrap();
+        assert!(matches!(
+            first_display,
+            Message::Display(DisplayCommand::Sfill { .. })
+        ));
+    }
+
+    #[test]
+    fn offscreen_to_screen_keeps_semantics_end_to_end() {
+        let mut ws = system();
+        let thinc_raster::Rect { .. } = Rect::default();
+        let res = ws.process(DrawRequest::CreatePixmap { width: 16, height: 16 });
+        let pm = match res {
+            thinc_display::request::RequestResult::Created(id) => id,
+            other => panic!("{other:?}"),
+        };
+        ws.process(DrawRequest::FillRect {
+            target: pm,
+            rect: Rect::new(0, 0, 16, 16),
+            color: Color::rgb(4, 5, 6),
+        });
+        // Nothing sent while drawing stays offscreen.
+        assert_eq!(ws.driver().display_backlog(), 0);
+        ws.process(DrawRequest::CopyArea {
+            src: pm,
+            dst: SCREEN,
+            src_rect: Rect::new(0, 0, 16, 16),
+            dst_x: 8,
+            dst_y: 8,
+        });
+        let msgs = flush_all(&mut ws);
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, Message::Display(DisplayCommand::Sfill { .. }))));
+        assert!(!msgs
+            .iter()
+            .any(|m| matches!(m, Message::Display(DisplayCommand::Raw { .. }))));
+    }
+
+    #[test]
+    fn composite_travels_as_raw_of_blended_result() {
+        let mut ws = system();
+        ws.process(DrawRequest::FillRect {
+            target: SCREEN,
+            rect: Rect::new(0, 0, 64, 64),
+            color: Color::rgb(0, 0, 0),
+        });
+        let data: Vec<u8> = vec![255u8, 0, 0, 128]
+            .into_iter()
+            .cycle()
+            .take(8 * 8 * 4)
+            .collect();
+        ws.process(DrawRequest::Composite {
+            target: SCREEN,
+            rect: Rect::new(8, 8, 8, 8),
+            data,
+            op: thinc_raster::CompositeOp::Over,
+        });
+        let msgs = flush_all(&mut ws);
+        // The blend result arrives as RAW; a client replay matches.
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, Message::Display(DisplayCommand::Raw { .. }))));
+        let mut client = thinc_client::ThincClient::new(64, 64, PixelFormat::Rgb888);
+        for m in &msgs {
+            client.apply(m);
+        }
+        assert_eq!(
+            client.framebuffer().get_pixel(12, 12),
+            ws.screen().get_pixel(12, 12)
+        );
+    }
+
+    #[test]
+    fn encryption_round_trip() {
+        let mut s = ThincServer::new(ServerConfig {
+            rc4_key: Some(b"0123456789abcdef".to_vec()),
+            ..ServerConfig::default()
+        });
+        let mut data = b"display update".to_vec();
+        s.encrypt(&mut data);
+        assert_ne!(&data, b"display update");
+        // The client decrypts with its own keystream at the same
+        // position.
+        let mut c = Rc4::new(b"0123456789abcdef");
+        c.apply(&mut data);
+        assert_eq!(&data, b"display update");
+    }
+
+    #[test]
+    fn hello_reports_session_geometry() {
+        let s = ThincServer::new(ServerConfig::default());
+        match s.hello() {
+            Message::ServerHello { width, height, depth, .. } => {
+                assert_eq!((width, height, depth), (1024, 768, 24));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Onscreen damage tracking.
+//!
+//! Screen-scraping systems (the VNC and GoToMyPC classes) do not use
+//! operation semantics; they only need to know *which* screen pixels
+//! changed, reading the current contents at update time. This tracker
+//! accumulates damaged regions for them.
+
+use thinc_raster::{Rect, Region};
+
+/// Accumulates damaged screen area between update flushes.
+#[derive(Debug, Clone, Default)]
+pub struct DamageTracker {
+    region: Region,
+}
+
+impl DamageTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `r` as damaged.
+    pub fn add(&mut self, r: &Rect) {
+        self.region.union_rect(r);
+    }
+
+    /// Whether any damage is pending.
+    pub fn is_empty(&self) -> bool {
+        self.region.is_empty()
+    }
+
+    /// Pending damaged area in pixels.
+    pub fn area(&self) -> u64 {
+        self.region.area()
+    }
+
+    /// The pending damage region (borrowed).
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Takes and clears the pending damage.
+    pub fn take(&mut self) -> Region {
+        std::mem::take(&mut self.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_takes() {
+        let mut d = DamageTracker::new();
+        assert!(d.is_empty());
+        d.add(&Rect::new(0, 0, 10, 10));
+        d.add(&Rect::new(5, 5, 10, 10));
+        assert_eq!(d.area(), 175);
+        let taken = d.take();
+        assert_eq!(taken.area(), 175);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn overlapping_damage_not_double_counted() {
+        let mut d = DamageTracker::new();
+        d.add(&Rect::new(0, 0, 10, 10));
+        d.add(&Rect::new(0, 0, 10, 10));
+        assert_eq!(d.area(), 100);
+    }
+
+    #[test]
+    fn empty_rect_ignored() {
+        let mut d = DamageTracker::new();
+        d.add(&Rect::default());
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! The video device driver interface.
+//!
+//! This trait is the reproduction's equivalent of the XAA/KAA driver
+//! hooks: the window server calls it once per device-level operation,
+//! *with the operation's full semantic information* (what is being
+//! drawn, where, from what source). THINC's entire design rests on
+//! intercepting at exactly this layer (§3), so the trait's operation
+//! set mirrors the acceleratable X core operations:
+//!
+//! - solid fill, pattern (tile) fill, stipple fill,
+//! - copy area (between any pair of drawables — including offscreen
+//!   pixmaps, which is what makes offscreen awareness possible),
+//! - image upload (the "last resort" raw-pixel path),
+//! - XVideo-style video frame display,
+//! - pixmap lifecycle notifications.
+//!
+//! Hooks are invoked *after* the server has rasterized the operation
+//! into the drawable, so a driver may read the post-operation contents
+//! through the store reference it receives.
+
+use thinc_raster::{Color, Framebuffer, Rect, YuvFrame};
+
+use crate::drawable::{DrawableId, DrawableStore};
+
+/// A display driver attached below the window server.
+///
+/// All methods have empty default implementations so drivers only
+/// implement the hooks they care about (a screen scraper ignores
+/// everything but onscreen damage, for example).
+pub trait VideoDriver {
+    /// A pixmap was created.
+    fn create_pixmap(&mut self, _store: &DrawableStore, _id: DrawableId, _w: u32, _h: u32) {}
+
+    /// A pixmap was freed.
+    fn free_pixmap(&mut self, _store: &DrawableStore, _id: DrawableId) {}
+
+    /// A rectangle was solid-filled.
+    fn solid_fill(&mut self, _store: &DrawableStore, _target: DrawableId, _rect: Rect, _color: Color) {
+    }
+
+    /// A rectangle was tiled with `tile` (the tile's full contents are
+    /// provided, as the hardware would receive the pattern).
+    fn pattern_fill(
+        &mut self,
+        _store: &DrawableStore,
+        _target: DrawableId,
+        _rect: Rect,
+        _tile: &Framebuffer,
+    ) {
+    }
+
+    /// A rectangle was filled through a 1-bit stipple.
+    fn stipple_fill(
+        &mut self,
+        _store: &DrawableStore,
+        _target: DrawableId,
+        _rect: Rect,
+        _bits: &[u8],
+        _fg: Color,
+        _bg: Option<Color>,
+    ) {
+    }
+
+    /// An area was copied from `src` to `dst` (possibly the same
+    /// drawable).
+    fn copy_area(
+        &mut self,
+        _store: &DrawableStore,
+        _src: DrawableId,
+        _dst: DrawableId,
+        _src_rect: Rect,
+        _dst_x: i32,
+        _dst_y: i32,
+    ) {
+    }
+
+    /// Raw pixel data was written to `rect` of `target`.
+    fn put_image(&mut self, _store: &DrawableStore, _target: DrawableId, _rect: Rect, _data: &[u8]) {
+    }
+
+    /// A video frame was displayed at `dst` (hardware-scaled from the
+    /// frame's own geometry).
+    fn video_display(&mut self, _store: &DrawableStore, _frame: &YuvFrame, _dst: Rect) {}
+
+    /// RGBA data was composited onto `rect` of `target` with `op`
+    /// (the server already performed the software rendering; the
+    /// post-operation contents are in the drawable).
+    fn composite(
+        &mut self,
+        _store: &DrawableStore,
+        _target: DrawableId,
+        _rect: Rect,
+        _data: &[u8],
+        _op: thinc_raster::CompositeOp,
+    ) {
+    }
+}
+
+/// A driver that ignores everything — the "local PC" case, and a
+/// convenient default for tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullDriver;
+
+impl VideoDriver for NullDriver {}
+
+/// A driver that records every hook invocation, for tests and for
+/// inspecting the op stream a workload generates.
+#[derive(Debug, Default)]
+pub struct RecordingDriver {
+    /// Human-readable log of operations, in order.
+    pub ops: Vec<RecordedOp>,
+}
+
+/// One recorded driver operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordedOp {
+    /// Pixmap created.
+    CreatePixmap(DrawableId, u32, u32),
+    /// Pixmap freed.
+    FreePixmap(DrawableId),
+    /// Solid fill.
+    SolidFill(DrawableId, Rect, Color),
+    /// Pattern fill (tile geometry recorded).
+    PatternFill(DrawableId, Rect, u32, u32),
+    /// Stipple fill.
+    StippleFill(DrawableId, Rect, Color, Option<Color>),
+    /// Copy area.
+    CopyArea(DrawableId, DrawableId, Rect, i32, i32),
+    /// Image upload (byte count recorded).
+    PutImage(DrawableId, Rect, usize),
+    /// Video frame display.
+    VideoDisplay(u32, u32, Rect),
+    /// Composite (operator and byte count recorded).
+    Composite(DrawableId, Rect, thinc_raster::CompositeOp, usize),
+}
+
+impl VideoDriver for RecordingDriver {
+    fn create_pixmap(&mut self, _s: &DrawableStore, id: DrawableId, w: u32, h: u32) {
+        self.ops.push(RecordedOp::CreatePixmap(id, w, h));
+    }
+    fn free_pixmap(&mut self, _s: &DrawableStore, id: DrawableId) {
+        self.ops.push(RecordedOp::FreePixmap(id));
+    }
+    fn solid_fill(&mut self, _s: &DrawableStore, t: DrawableId, r: Rect, c: Color) {
+        self.ops.push(RecordedOp::SolidFill(t, r, c));
+    }
+    fn pattern_fill(&mut self, _s: &DrawableStore, t: DrawableId, r: Rect, tile: &Framebuffer) {
+        self.ops
+            .push(RecordedOp::PatternFill(t, r, tile.width(), tile.height()));
+    }
+    fn stipple_fill(
+        &mut self,
+        _s: &DrawableStore,
+        t: DrawableId,
+        r: Rect,
+        _bits: &[u8],
+        fg: Color,
+        bg: Option<Color>,
+    ) {
+        self.ops.push(RecordedOp::StippleFill(t, r, fg, bg));
+    }
+    fn copy_area(
+        &mut self,
+        _s: &DrawableStore,
+        src: DrawableId,
+        dst: DrawableId,
+        src_rect: Rect,
+        dst_x: i32,
+        dst_y: i32,
+    ) {
+        self.ops
+            .push(RecordedOp::CopyArea(src, dst, src_rect, dst_x, dst_y));
+    }
+    fn put_image(&mut self, _s: &DrawableStore, t: DrawableId, r: Rect, data: &[u8]) {
+        self.ops.push(RecordedOp::PutImage(t, r, data.len()));
+    }
+    fn video_display(&mut self, _s: &DrawableStore, frame: &YuvFrame, dst: Rect) {
+        self.ops
+            .push(RecordedOp::VideoDisplay(frame.width, frame.height, dst));
+    }
+    fn composite(
+        &mut self,
+        _s: &DrawableStore,
+        t: DrawableId,
+        r: Rect,
+        data: &[u8],
+        op: thinc_raster::CompositeOp,
+    ) {
+        self.ops.push(RecordedOp::Composite(t, r, op, data.len()));
+    }
+}

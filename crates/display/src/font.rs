@@ -1,0 +1,140 @@
+//! A deterministic built-in bitmap font.
+//!
+//! Text drawing in the evaluation matters for its *operation shape* —
+//! runs of small 1-bit stipple fills at the device layer — not for
+//! typographic fidelity. The built-in font is therefore an 8×8-cell
+//! font with a handful of hand-drawn glyphs for common characters and
+//! deterministic procedurally-derived glyphs for the rest, so every
+//! printable character produces a stable, nonempty bitmap.
+
+/// Width of every glyph cell in pixels.
+pub const GLYPH_W: u32 = 8;
+/// Height of every glyph cell in pixels.
+pub const GLYPH_H: u32 = 8;
+
+/// Returns the 8×8 bitmap of `c`, one byte per row, MSB leftmost.
+///
+/// Whitespace renders as an empty cell. Glyphs are deterministic: the
+/// same character always yields the same bitmap.
+pub fn glyph_bitmap(c: char) -> [u8; 8] {
+    match c {
+        ' ' | '\t' | '\n' | '\r' => [0; 8],
+        'o' | 'O' | '0' => [0x00, 0x3C, 0x42, 0x42, 0x42, 0x42, 0x3C, 0x00],
+        'i' | 'I' | '1' | 'l' | '|' => [0x00, 0x18, 0x18, 0x18, 0x18, 0x18, 0x18, 0x00],
+        '-' | '_' => [0x00, 0x00, 0x00, 0x7E, 0x00, 0x00, 0x00, 0x00],
+        '.' | ',' => [0x00, 0x00, 0x00, 0x00, 0x00, 0x18, 0x18, 0x00],
+        'e' | 'E' => [0x00, 0x7E, 0x40, 0x7C, 0x40, 0x40, 0x7E, 0x00],
+        't' | 'T' => [0x00, 0x7E, 0x18, 0x18, 0x18, 0x18, 0x18, 0x00],
+        'a' | 'A' => [0x00, 0x3C, 0x42, 0x7E, 0x42, 0x42, 0x42, 0x00],
+        'n' | 'N' => [0x00, 0x42, 0x62, 0x52, 0x4A, 0x46, 0x42, 0x00],
+        's' | 'S' => [0x00, 0x3C, 0x40, 0x3C, 0x02, 0x02, 0x3C, 0x00],
+        other => procedural_glyph(other),
+    }
+}
+
+/// Derives a stable pseudo-glyph from the character's code point.
+///
+/// The bitmap is mirrored left-right (like most letterforms), always
+/// has ink, and leaves the outer column and bottom row empty so
+/// adjacent glyphs do not merge.
+fn procedural_glyph(c: char) -> [u8; 8] {
+    let mut state = c as u32 ^ 0x9E3779B9;
+    let mut out = [0u8; 8];
+    for (i, row) in out.iter_mut().enumerate().take(7).skip(1) {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        let nibble = ((state >> 24) & 0xF) as u8;
+        // Mirror the nibble into bits 6..=3 and 3..=0 of the row,
+        // keeping bit 7 and bit 0 clear.
+        let left = nibble << 3;
+        let right = nibble.reverse_bits() >> 4;
+        *row = (left | right) & 0x7E;
+        if *row == 0 && i == 3 {
+            *row = 0x3C; // Guarantee some ink near the middle.
+        }
+    }
+    out
+}
+
+/// Packs the glyphs of `text` into one stipple bitmap spanning the
+/// whole string: `(bits, width, height)` with rows padded to bytes.
+///
+/// This mirrors how a window server batches a text run into a single
+/// driver-level stipple operation per string.
+pub fn render_string(text: &str) -> (Vec<u8>, u32, u32) {
+    let n = text.chars().count() as u32;
+    if n == 0 {
+        return (Vec::new(), 0, 0);
+    }
+    let width = n * GLYPH_W;
+    let row_bytes = (width as usize).div_ceil(8);
+    let mut bits = vec![0u8; row_bytes * GLYPH_H as usize];
+    for (gi, ch) in text.chars().enumerate() {
+        let glyph = glyph_bitmap(ch);
+        for (row, &gbits) in glyph.iter().enumerate() {
+            // Glyph cells are byte-aligned because GLYPH_W == 8.
+            bits[row * row_bytes + gi] = gbits;
+        }
+    }
+    (bits, width, GLYPH_H)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_deterministic() {
+        assert_eq!(glyph_bitmap('q'), glyph_bitmap('q'));
+        assert_eq!(glyph_bitmap('Z'), glyph_bitmap('Z'));
+    }
+
+    #[test]
+    fn space_is_empty() {
+        assert_eq!(glyph_bitmap(' '), [0; 8]);
+    }
+
+    #[test]
+    fn printable_glyphs_have_ink() {
+        for c in '!'..='~' {
+            let g = glyph_bitmap(c);
+            assert!(g.iter().any(|&b| b != 0), "{c:?} is blank");
+        }
+    }
+
+    #[test]
+    fn glyphs_leave_margins() {
+        for c in '!'..='~' {
+            let g = glyph_bitmap(c);
+            for row in g {
+                assert_eq!(row & 0x81, 0, "{c:?} touches cell edge: {row:08b}");
+            }
+            assert_eq!(g[7], 0, "{c:?} touches bottom row");
+        }
+    }
+
+    #[test]
+    fn render_string_geometry() {
+        let (bits, w, h) = render_string("hello");
+        assert_eq!(w, 40);
+        assert_eq!(h, 8);
+        assert_eq!(bits.len(), 5 * 8);
+        assert!(bits.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn render_empty_string() {
+        let (bits, w, h) = render_string("");
+        assert!(bits.is_empty());
+        assert_eq!((w, h), (0, 0));
+    }
+
+    #[test]
+    fn render_string_places_glyphs_in_order() {
+        let (bits, _, _) = render_string("i ");
+        // 'i' column has ink, space column does not.
+        let i_ink: u8 = (0..8).map(|r| bits[r * 2]).fold(0, |a, b| a | b);
+        let sp_ink: u8 = (0..8).map(|r| bits[r * 2 + 1]).fold(0, |a, b| a | b);
+        assert_ne!(i_ink, 0);
+        assert_eq!(sp_ink, 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Input events and last-event tracking.
+//!
+//! THINC marks display updates that overlap a small region around the
+//! most recent input event as *real-time* and delivers them with
+//! priority (§5). The window server tracks that region here.
+
+use thinc_raster::{Point, Rect};
+
+/// A user input event arriving at the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputEvent {
+    /// Pointer moved to a position.
+    PointerMove(Point),
+    /// Mouse button pressed at a position.
+    ButtonPress(Point),
+    /// Mouse button released at a position.
+    ButtonRelease(Point),
+    /// Key pressed (the pointer position anchors feedback).
+    KeyPress(u32),
+}
+
+/// Tracks the most recent input event's screen location.
+#[derive(Debug, Clone, Default)]
+pub struct InputTracker {
+    last_position: Option<Point>,
+    /// Half-size of the real-time region around the last event.
+    halo: u32,
+}
+
+impl InputTracker {
+    /// Default halo: a 64-pixel square around the event (the paper
+    /// says "a small-sized region around the location of the last
+    /// received input event").
+    pub const DEFAULT_HALO: u32 = 32;
+
+    /// A tracker with the default halo.
+    pub fn new() -> Self {
+        Self {
+            last_position: None,
+            halo: Self::DEFAULT_HALO,
+        }
+    }
+
+    /// A tracker with a custom halo half-size.
+    pub fn with_halo(halo: u32) -> Self {
+        Self {
+            last_position: None,
+            halo,
+        }
+    }
+
+    /// Feeds an event into the tracker.
+    pub fn observe(&mut self, ev: InputEvent) {
+        match ev {
+            InputEvent::PointerMove(p) | InputEvent::ButtonPress(p) | InputEvent::ButtonRelease(p) => {
+                self.last_position = Some(p);
+            }
+            InputEvent::KeyPress(_) => {
+                // Key feedback appears near the caret; without caret
+                // tracking the last pointer position is the anchor, so
+                // the region is left unchanged.
+            }
+        }
+    }
+
+    /// The current real-time region, if any input has been seen.
+    pub fn realtime_region(&self) -> Option<Rect> {
+        self.last_position.map(|p| {
+            Rect::new(
+                p.x - self.halo as i32,
+                p.y - self.halo as i32,
+                self.halo * 2,
+                self.halo * 2,
+            )
+        })
+    }
+
+    /// Whether `r` intersects the real-time region.
+    pub fn is_realtime(&self, r: &Rect) -> bool {
+        self.realtime_region()
+            .map(|rt| rt.intersects(r))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_input_no_region() {
+        let t = InputTracker::new();
+        assert!(t.realtime_region().is_none());
+        assert!(!t.is_realtime(&Rect::new(0, 0, 100, 100)));
+    }
+
+    #[test]
+    fn click_creates_halo() {
+        let mut t = InputTracker::new();
+        t.observe(InputEvent::ButtonPress(Point::new(100, 100)));
+        let r = t.realtime_region().unwrap();
+        assert!(r.contains_point(Point::new(100, 100)));
+        assert!(t.is_realtime(&Rect::new(90, 90, 10, 10)));
+        assert!(!t.is_realtime(&Rect::new(500, 500, 10, 10)));
+    }
+
+    #[test]
+    fn latest_event_wins() {
+        let mut t = InputTracker::new();
+        t.observe(InputEvent::ButtonPress(Point::new(0, 0)));
+        t.observe(InputEvent::PointerMove(Point::new(500, 500)));
+        assert!(!t.is_realtime(&Rect::new(0, 0, 10, 10)));
+        assert!(t.is_realtime(&Rect::new(495, 495, 10, 10)));
+    }
+
+    #[test]
+    fn key_press_keeps_prior_anchor() {
+        let mut t = InputTracker::new();
+        t.observe(InputEvent::ButtonPress(Point::new(10, 10)));
+        t.observe(InputEvent::KeyPress(42));
+        assert!(t.is_realtime(&Rect::new(5, 5, 4, 4)));
+    }
+
+    #[test]
+    fn custom_halo() {
+        let mut t = InputTracker::with_halo(2);
+        t.observe(InputEvent::ButtonPress(Point::new(50, 50)));
+        assert_eq!(t.realtime_region().unwrap(), Rect::new(48, 48, 4, 4));
+    }
+}

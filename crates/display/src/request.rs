@@ -1,0 +1,146 @@
+//! Application-level drawing requests.
+//!
+//! These play the role X protocol requests play for the THINC
+//! prototype: what applications (and the workload generators) send to
+//! the window server. The server rasterizes them and mirrors the
+//! resulting device-level operations to the attached video driver.
+
+use thinc_raster::{Color, Rect, YuvFrame};
+
+use crate::drawable::DrawableId;
+
+/// One request from an application to the window server.
+#[derive(Debug, Clone)]
+pub enum DrawRequest {
+    /// Allocate an offscreen pixmap; the server assigns the id (see
+    /// [`crate::server::WindowServer::process`]'s return value).
+    CreatePixmap {
+        /// Width in pixels.
+        width: u32,
+        /// Height in pixels.
+        height: u32,
+    },
+    /// Free an offscreen pixmap.
+    FreePixmap {
+        /// Pixmap to free.
+        id: DrawableId,
+    },
+    /// Solid fill of a rectangle.
+    FillRect {
+        /// Target drawable.
+        target: DrawableId,
+        /// Area to fill.
+        rect: Rect,
+        /// Fill color.
+        color: Color,
+    },
+    /// Tile a rectangle with the contents of a pixmap.
+    TileRect {
+        /// Target drawable.
+        target: DrawableId,
+        /// Area to tile.
+        rect: Rect,
+        /// Pixmap to replicate.
+        tile: DrawableId,
+    },
+    /// Fill a rectangle through a 1-bit stipple.
+    StippleRect {
+        /// Target drawable.
+        target: DrawableId,
+        /// Area to fill.
+        rect: Rect,
+        /// Row-major bitmap, rows padded to whole bytes, MSB first.
+        bits: Vec<u8>,
+        /// Color painted where bits are 1.
+        fg: Color,
+        /// Color painted where bits are 0; `None` leaves them as-is.
+        bg: Option<Color>,
+    },
+    /// Copy an area between (or within) drawables.
+    CopyArea {
+        /// Source drawable.
+        src: DrawableId,
+        /// Destination drawable.
+        dst: DrawableId,
+        /// Source rectangle.
+        src_rect: Rect,
+        /// Destination origin x.
+        dst_x: i32,
+        /// Destination origin y.
+        dst_y: i32,
+    },
+    /// Upload client-provided pixel data (in the screen's format,
+    /// tightly packed rows of `rect.w` pixels).
+    PutImage {
+        /// Target drawable.
+        target: DrawableId,
+        /// Destination rectangle.
+        rect: Rect,
+        /// Pixel bytes.
+        data: Vec<u8>,
+    },
+    /// Draw a text string; the server renders it through the built-in
+    /// font as per-string stipple fills, as X core text does.
+    Text {
+        /// Target drawable.
+        target: DrawableId,
+        /// Baseline-left x position.
+        x: i32,
+        /// Top y position.
+        y: i32,
+        /// The characters to draw.
+        text: String,
+        /// Foreground color.
+        fg: Color,
+    },
+    /// Display one video frame through the XVideo-style port: the
+    /// driver receives the YUV data and the destination rectangle
+    /// (which may be larger — the hardware scales).
+    VideoPut {
+        /// The decoded frame as handed to the device layer.
+        frame: YuvFrame,
+        /// On-screen destination (scaling target).
+        dst: Rect,
+    },
+    /// Porter–Duff composite of client-provided RGBA data onto the
+    /// drawable (anti-aliased text, translucent decorations — the
+    /// modern 2D operations §3 of the paper calls out). The server
+    /// renders in software when the client lacks compositing hardware.
+    Composite {
+        /// Target drawable.
+        target: DrawableId,
+        /// Destination rectangle.
+        rect: Rect,
+        /// RGBA pixel bytes, tightly packed rows of `rect.w` pixels.
+        data: Vec<u8>,
+        /// The compositing operator.
+        op: thinc_raster::CompositeOp,
+    },
+}
+
+/// Result of processing one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestResult {
+    /// Nothing to report.
+    Done,
+    /// A pixmap was created with this id.
+    Created(DrawableId),
+    /// The request referenced an unknown drawable and was dropped.
+    BadDrawable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_are_cloneable_and_debuggable() {
+        let r = DrawRequest::FillRect {
+            target: crate::drawable::SCREEN,
+            rect: Rect::new(0, 0, 4, 4),
+            color: Color::WHITE,
+        };
+        let r2 = r.clone();
+        assert!(format!("{r2:?}").contains("FillRect"));
+    }
+}

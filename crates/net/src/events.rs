@@ -1,0 +1,131 @@
+//! A minimal priority event queue for virtual-time simulations.
+//!
+//! Benchmarks that interleave periodic sources with network drains
+//! (a video player emitting a frame every 41.7 ms while the link is
+//! still busy, THINC's periodic buffer flush) need an ordered agenda.
+//! Events with equal timestamps pop in insertion order, which keeps
+//! simulations deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered queue of events of type `T`.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventSlot<T>)>>,
+    seq: u64,
+}
+
+/// Wrapper that exempts the payload from ordering.
+#[derive(Debug)]
+struct EventSlot<T>(T);
+
+impl<T> PartialEq for EventSlot<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for EventSlot<T> {}
+impl<T> PartialOrd for EventSlot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for EventSlot<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: T) {
+        self.heap.push(Reverse((at, self.seq, EventSlot(event))));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event with its time.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse((t, _, slot))| (t, slot.0))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the agenda is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), 1);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        q.schedule(SimTime(5), 2);
+        q.schedule(SimTime(15), 3);
+        assert_eq!(q.pop(), Some((SimTime(5), 2)));
+        q.schedule(SimTime(1), 4);
+        assert_eq!(q.pop(), Some((SimTime(1), 4)));
+        assert_eq!(q.pop(), Some((SimTime(15), 3)));
+    }
+}

@@ -1,0 +1,211 @@
+//! Duplex links and the paper's network configurations.
+//!
+//! A [`DuplexLink`] pairs two [`TcpPipe`]s (downlink: server→client,
+//! uplink: client→server). [`NetworkConfig`] provides the three
+//! testbed environments of §8.1 — LAN Desktop, WAN Desktop, 802.11g
+//! PDA — plus arbitrary custom ones (the remote sites of Table 2 are
+//! built by the bench crate on top of this) and relay routing for the
+//! GoToMyPC-style intermediate-server topology.
+
+use crate::tcp::{TcpParams, TcpPipe};
+use crate::time::{SimDuration, SimTime};
+
+/// A named network environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkConfig {
+    /// Human-readable name ("LAN Desktop", "WAN Desktop", …).
+    pub name: String,
+    /// Link bandwidth, bits per second (symmetric).
+    pub bandwidth_bps: u64,
+    /// Path round-trip time.
+    pub rtt: SimDuration,
+    /// TCP receive window, bytes.
+    pub rwnd_bytes: u64,
+}
+
+impl NetworkConfig {
+    /// The paper's LAN Desktop environment: 100 Mbps switched
+    /// FastEthernet; sub-millisecond RTT.
+    pub fn lan_desktop() -> Self {
+        Self {
+            name: "LAN Desktop".into(),
+            bandwidth_bps: 100_000_000,
+            rtt: SimDuration::from_micros(200),
+            rwnd_bytes: 1024 * 1024,
+        }
+    }
+
+    /// The paper's WAN Desktop environment: 100 Mbps with a 66 ms RTT
+    /// (Internet2 cross-country emulation), 1 MB TCP window.
+    pub fn wan_desktop() -> Self {
+        Self {
+            name: "WAN Desktop".into(),
+            bandwidth_bps: 100_000_000,
+            rtt: SimDuration::from_millis(66),
+            rwnd_bytes: 1024 * 1024,
+        }
+    }
+
+    /// The paper's 802.11g PDA environment: idealized 24 Mbps wireless,
+    /// no added latency or loss (per §8.1: only the small screen and
+    /// bandwidth are modeled).
+    pub fn pda_802_11g() -> Self {
+        Self {
+            name: "802.11g PDA".into(),
+            bandwidth_bps: 24_000_000,
+            rtt: SimDuration::from_micros(500),
+            rwnd_bytes: 256 * 1024,
+        }
+    }
+
+    /// A custom environment (remote sites, ablations).
+    pub fn custom(name: &str, bandwidth_bps: u64, rtt: SimDuration, rwnd_bytes: u64) -> Self {
+        Self {
+            name: name.into(),
+            bandwidth_bps,
+            rtt,
+            rwnd_bytes,
+        }
+    }
+
+    /// Composes this (client-side) configuration with a relay hop to
+    /// the server, as in GoToMyPC's hosted intermediate server: RTTs
+    /// add, bandwidth is the minimum, and the window clamp is the
+    /// smaller of the two.
+    pub fn via_relay(&self, relay_to_server: &NetworkConfig) -> NetworkConfig {
+        NetworkConfig {
+            name: format!("{} via {}", self.name, relay_to_server.name),
+            bandwidth_bps: self.bandwidth_bps.min(relay_to_server.bandwidth_bps),
+            rtt: self.rtt + relay_to_server.rtt,
+            rwnd_bytes: self.rwnd_bytes.min(relay_to_server.rwnd_bytes),
+        }
+    }
+
+    fn tcp_params(&self) -> TcpParams {
+        TcpParams {
+            bandwidth_bps: self.bandwidth_bps,
+            rtt: self.rtt,
+            rwnd_bytes: self.rwnd_bytes,
+            ..TcpParams::default()
+        }
+    }
+
+    /// Opens a fresh duplex connection over this environment.
+    pub fn connect(&self) -> DuplexLink {
+        DuplexLink::new(self.tcp_params())
+    }
+}
+
+/// A bidirectional TCP connection between client and server.
+#[derive(Debug, Clone)]
+pub struct DuplexLink {
+    /// Server → client flow (display updates).
+    pub down: TcpPipe,
+    /// Client → server flow (input events, update requests).
+    pub up: TcpPipe,
+}
+
+impl DuplexLink {
+    /// Creates a link with symmetric parameters.
+    pub fn new(params: TcpParams) -> Self {
+        Self {
+            down: TcpPipe::new(params),
+            up: TcpPipe::new(params),
+        }
+    }
+
+    /// One-way propagation delay (half the RTT).
+    pub fn one_way(&self) -> SimDuration {
+        self.down.params().rtt.div(2)
+    }
+
+    /// Full round-trip time.
+    pub fn rtt(&self) -> SimDuration {
+        self.down.params().rtt
+    }
+
+    /// Total bytes sent in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.down.bytes_sent() + self.up.bytes_sent()
+    }
+
+    /// Resets both directions (fresh connection).
+    pub fn reset(&mut self) {
+        self.down.reset();
+        self.up.reset();
+    }
+
+    /// Sends `len` bytes server→client at `now`; returns arrival time.
+    pub fn send_down(&mut self, now: SimTime, len: u64) -> SimTime {
+        self.down.send(now, len).1
+    }
+
+    /// Sends `len` bytes client→server at `now`; returns arrival time.
+    pub fn send_up(&mut self, now: SimTime, len: u64) -> SimTime {
+        self.up.send(now, len).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_environments() {
+        let lan = NetworkConfig::lan_desktop();
+        assert_eq!(lan.bandwidth_bps, 100_000_000);
+        let wan = NetworkConfig::wan_desktop();
+        assert_eq!(wan.rtt.as_millis(), 66);
+        assert_eq!(wan.rwnd_bytes, 1024 * 1024);
+        let pda = NetworkConfig::pda_802_11g();
+        assert_eq!(pda.bandwidth_bps, 24_000_000);
+    }
+
+    #[test]
+    fn relay_composition() {
+        // Client on a WAN-ish path to the relay, relay close to server.
+        let leg1 = NetworkConfig::custom(
+            "client-relay",
+            50_000_000,
+            SimDuration::from_millis(40),
+            256 * 1024,
+        );
+        let leg2 = NetworkConfig::custom(
+            "relay-server",
+            100_000_000,
+            SimDuration::from_millis(30),
+            1024 * 1024,
+        );
+        let path = leg1.via_relay(&leg2);
+        assert_eq!(path.rtt.as_millis(), 70); // Matches the paper's ~70 ms.
+        assert_eq!(path.bandwidth_bps, 50_000_000);
+        assert_eq!(path.rwnd_bytes, 256 * 1024);
+    }
+
+    #[test]
+    fn duplex_directions_are_independent() {
+        let mut link = NetworkConfig::lan_desktop().connect();
+        let a_down = link.send_down(SimTime::ZERO, 1_000_000);
+        let a_up = link.send_up(SimTime::ZERO, 100);
+        // The big downlink transfer does not delay the uplink packet.
+        assert!(a_up < a_down);
+        assert_eq!(link.total_bytes(), 1_000_100);
+    }
+
+    #[test]
+    fn wan_round_trip_request_response() {
+        let mut link = NetworkConfig::wan_desktop().connect();
+        // Client request, server response: at least one full RTT.
+        let req_arrival = link.send_up(SimTime::ZERO, 100);
+        let resp_arrival = link.send_down(req_arrival, 100);
+        assert!(resp_arrival.as_micros() >= 66_000);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut link = NetworkConfig::lan_desktop().connect();
+        link.send_down(SimTime::ZERO, 12345);
+        link.reset();
+        assert_eq!(link.total_bytes(), 0);
+    }
+}

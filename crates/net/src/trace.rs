@@ -1,0 +1,221 @@
+//! Packet traces and slow-motion benchmarking measurement.
+//!
+//! The paper measures closed systems noninvasively by capturing
+//! network traffic (Ethereal) and applying slow-motion benchmarking:
+//! page latency is the time from the first packet of mouse input to
+//! the last packet of page data; A/V quality is derived from playback
+//! duration and delivered data. [`PacketTrace`] is this reproduction's
+//! packet monitor: protocols record every logical packet, and the
+//! measurement helpers compute the paper's metrics from the record.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Which way a packet traveled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Client → server (input, update requests).
+    Up,
+    /// Server → client (display updates, audio/video).
+    Down,
+}
+
+/// One captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// When the packet was sent.
+    pub sent: SimTime,
+    /// When the last byte arrived.
+    pub arrived: SimTime,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Direction of travel.
+    pub dir: Direction,
+    /// Free-form tag ("input", "update", "video", …) used to
+    /// disambiguate phases, as the paper does with inter-page delays.
+    pub tag: &'static str,
+}
+
+/// A capture of all packets in one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct PacketTrace {
+    records: Vec<PacketRecord>,
+}
+
+impl PacketTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one packet.
+    pub fn record(&mut self, sent: SimTime, arrived: SimTime, size: u64, dir: Direction, tag: &'static str) {
+        self.records.push(PacketRecord {
+            sent,
+            arrived,
+            size,
+            dir,
+            tag,
+        });
+    }
+
+    /// All records, in capture order.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Total bytes in a given direction (any tag).
+    pub fn bytes(&self, dir: Direction) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.dir == dir)
+            .map(|r| r.size)
+            .sum()
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.size).sum()
+    }
+
+    /// Slow-motion page latency: time from the first `Up` packet at or
+    /// after `window_start` to the last `Down` packet arrival in the
+    /// window ending at `window_end` (exclusive). Returns `None` if
+    /// either side is missing.
+    pub fn page_latency(&self, window_start: SimTime, window_end: SimTime) -> Option<SimDuration> {
+        let first_input = self
+            .records
+            .iter()
+            .filter(|r| r.dir == Direction::Up && r.sent >= window_start && r.sent < window_end)
+            .map(|r| r.sent)
+            .min()?;
+        let last_update = self
+            .records
+            .iter()
+            .filter(|r| {
+                r.dir == Direction::Down && r.arrived >= first_input && r.arrived < window_end
+            })
+            .map(|r| r.arrived)
+            .max()?;
+        Some(last_update - first_input)
+    }
+
+    /// Bytes transferred down within a time window.
+    pub fn bytes_down_in(&self, window_start: SimTime, window_end: SimTime) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.dir == Direction::Down && r.arrived >= window_start && r.arrived < window_end
+            })
+            .map(|r| r.size)
+            .sum()
+    }
+
+    /// Arrival time of the last packet in the trace.
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.records.iter().map(|r| r.arrived).max()
+    }
+
+    /// Clears the capture.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+/// Slow-motion A/V quality (Nieh et al. 2003): the fraction of A/V
+/// data delivered in time, scaled by the slowdown of the playback.
+///
+/// `ideal_duration` is the clip length at real-time speed,
+/// `actual_duration` is how long playback took, `delivered_fraction`
+/// is the fraction of A/V data that reached the client (0.0–1.0).
+/// 100% quality requires all data delivered at real-time speed.
+pub fn av_quality(
+    ideal_duration: SimDuration,
+    actual_duration: SimDuration,
+    delivered_fraction: f64,
+) -> f64 {
+    if actual_duration == SimDuration::ZERO {
+        return 0.0;
+    }
+    let slowdown = ideal_duration.as_secs_f64() / actual_duration.as_secs_f64().max(1e-9);
+    (delivered_fraction * slowdown.min(1.0)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1000)
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut tr = PacketTrace::new();
+        tr.record(t(0), t(1), 100, Direction::Up, "input");
+        tr.record(t(1), t(2), 5000, Direction::Down, "update");
+        tr.record(t(2), t(3), 7000, Direction::Down, "update");
+        assert_eq!(tr.bytes(Direction::Up), 100);
+        assert_eq!(tr.bytes(Direction::Down), 12000);
+        assert_eq!(tr.total_bytes(), 12100);
+    }
+
+    #[test]
+    fn page_latency_first_input_to_last_update() {
+        let mut tr = PacketTrace::new();
+        tr.record(t(10), t(11), 50, Direction::Up, "input");
+        tr.record(t(12), t(20), 1000, Direction::Down, "update");
+        tr.record(t(22), t(95), 9000, Direction::Down, "update");
+        let lat = tr.page_latency(t(0), t(1000)).unwrap();
+        assert_eq!(lat.as_millis(), 85); // 95 - 10.
+    }
+
+    #[test]
+    fn page_latency_windows_disambiguate_pages() {
+        let mut tr = PacketTrace::new();
+        // Page 1.
+        tr.record(t(0), t(1), 50, Direction::Up, "input");
+        tr.record(t(1), t(40), 1000, Direction::Down, "update");
+        // Page 2 starts at 500ms.
+        tr.record(t(500), t(501), 50, Direction::Up, "input");
+        tr.record(t(501), t(620), 1000, Direction::Down, "update");
+        assert_eq!(tr.page_latency(t(0), t(500)).unwrap().as_millis(), 40);
+        assert_eq!(tr.page_latency(t(500), t(1000)).unwrap().as_millis(), 120);
+    }
+
+    #[test]
+    fn page_latency_missing_sides() {
+        let mut tr = PacketTrace::new();
+        assert!(tr.page_latency(t(0), t(100)).is_none());
+        tr.record(t(1), t(2), 50, Direction::Up, "input");
+        assert!(tr.page_latency(t(0), t(100)).is_none());
+    }
+
+    #[test]
+    fn av_quality_perfect() {
+        let q = av_quality(SimDuration::from_secs(34), SimDuration::from_secs(34), 1.0);
+        assert!((q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn av_quality_half_dropped() {
+        let q = av_quality(SimDuration::from_secs(34), SimDuration::from_secs(34), 0.5);
+        assert!((q - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn av_quality_twice_as_long() {
+        let q = av_quality(SimDuration::from_secs(34), SimDuration::from_secs(68), 1.0);
+        assert!((q - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn av_quality_faster_than_realtime_does_not_exceed_one() {
+        let q = av_quality(SimDuration::from_secs(34), SimDuration::from_secs(17), 1.0);
+        assert!((q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn av_quality_zero_duration() {
+        assert_eq!(av_quality(SimDuration::from_secs(34), SimDuration::ZERO, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Real byte transports for live (non-simulated) operation.
+//!
+//! The simulator ([`crate::tcp`]) drives the *experiments*; this
+//! module lets the same protocol stack run over actual connections —
+//! a TCP socket between real processes, or an in-memory channel
+//! between threads — with the non-blocking write semantics THINC's
+//! flush pipeline needs (§5: the server must detect that a write
+//! would block and postpone the command).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// Why a transport operation failed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer closed the connection.
+    Closed,
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "connection closed"),
+            TransportError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// A non-blocking, stream-oriented byte transport.
+pub trait Transport {
+    /// Attempts to write `data`, returning how many bytes were
+    /// accepted (possibly 0 when the transport would block).
+    fn try_send(&mut self, data: &[u8]) -> Result<usize, TransportError>;
+
+    /// Attempts to read into `buf`, returning how many bytes were
+    /// received (0 when nothing is available yet).
+    fn try_recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError>;
+
+    /// Blocks until all of `data` is written (convenience for
+    /// clients and tests; the server side should prefer `try_send`).
+    fn send_all(&mut self, data: &[u8]) -> Result<(), TransportError> {
+        let mut off = 0;
+        while off < data.len() {
+            match self.try_send(&data[off..])? {
+                0 => std::thread::yield_now(),
+                n => off += n,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`Transport`] over a real TCP socket (non-blocking mode).
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a listening peer.
+    pub fn connect(addr: SocketAddr) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an accepted stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Binds a listener and returns it with its local address
+    /// (`port 0` picks a free port).
+    pub fn listen(addr: SocketAddr) -> Result<(TcpListener, SocketAddr), TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok((listener, local))
+    }
+
+    /// Accepts one connection from `listener` (blocking).
+    pub fn accept(listener: &TcpListener) -> Result<Self, TransportError> {
+        let (stream, _) = listener.accept()?;
+        Self::from_stream(stream)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn try_send(&mut self, data: &[u8]) -> Result<usize, TransportError> {
+        match self.stream.write(data) {
+            Ok(0) => Err(TransportError::Closed),
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn try_recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        match self.stream.read(buf) {
+            Ok(0) => Err(TransportError::Closed),
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// An in-memory [`Transport`] pair backed by byte queues — for
+/// single-process examples and deterministic tests. Each endpoint has
+/// a bounded outgoing buffer, so `try_send` exhibits realistic
+/// would-block behaviour.
+pub struct ChannelTransport {
+    tx: std::sync::mpsc::SyncSender<Vec<u8>>,
+    rx: std::sync::mpsc::Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+}
+
+impl ChannelTransport {
+    /// Creates a connected pair of endpoints with the given per-
+    /// direction buffer depth (messages).
+    pub fn pair(depth: usize) -> (ChannelTransport, ChannelTransport) {
+        let (a_tx, b_rx) = std::sync::mpsc::sync_channel(depth.max(1));
+        let (b_tx, a_rx) = std::sync::mpsc::sync_channel(depth.max(1));
+        (
+            ChannelTransport {
+                tx: a_tx,
+                rx: a_rx,
+                pending: Vec::new(),
+            },
+            ChannelTransport {
+                tx: b_tx,
+                rx: b_rx,
+                pending: Vec::new(),
+            },
+        )
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn try_send(&mut self, data: &[u8]) -> Result<usize, TransportError> {
+        use std::sync::mpsc::TrySendError;
+        match self.tx.try_send(data.to_vec()) {
+            Ok(()) => Ok(data.len()),
+            Err(TrySendError::Full(_)) => Ok(0),
+            Err(TrySendError::Disconnected(_)) => Err(TransportError::Closed),
+        }
+    }
+
+    fn try_recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        use std::sync::mpsc::TryRecvError;
+        if self.pending.is_empty() {
+            match self.rx.try_recv() {
+                Ok(chunk) => self.pending = chunk,
+                Err(TryRecvError::Empty) => return Ok(0),
+                Err(TryRecvError::Disconnected) => return Err(TransportError::Closed),
+            }
+        }
+        let n = buf.len().min(self.pending.len());
+        buf[..n].copy_from_slice(&self.pending[..n]);
+        self.pending.drain(..n);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_round_trips() {
+        let (mut a, mut b) = ChannelTransport::pair(8);
+        a.send_all(b"hello thinc").unwrap();
+        let mut buf = [0u8; 64];
+        let mut got = Vec::new();
+        while got.len() < 11 {
+            let n = b.try_recv(&mut buf).unwrap();
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(&got, b"hello thinc");
+    }
+
+    #[test]
+    fn channel_would_block_when_full() {
+        let (mut a, _b) = ChannelTransport::pair(1);
+        assert_eq!(a.try_send(b"x").unwrap(), 1);
+        // Buffer full; non-blocking send accepts nothing.
+        assert_eq!(a.try_send(b"y").unwrap(), 0);
+    }
+
+    #[test]
+    fn channel_close_detected() {
+        let (mut a, b) = ChannelTransport::pair(1);
+        drop(b);
+        assert!(matches!(a.try_send(b"x"), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn channel_partial_reads() {
+        let (mut a, mut b) = ChannelTransport::pair(4);
+        a.send_all(&[1, 2, 3, 4, 5]).unwrap();
+        let mut buf = [0u8; 2];
+        let mut got = Vec::new();
+        while got.len() < 5 {
+            let n = b.try_recv(&mut buf).unwrap();
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn tcp_loopback_round_trips() {
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
+        let server = std::thread::spawn(move || {
+            let mut t = TcpTransport::accept(&listener).unwrap();
+            t.send_all(b"from server").unwrap();
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let mut buf = [0u8; 64];
+        let mut got = Vec::new();
+        while got.len() < 11 {
+            match client.try_recv(&mut buf) {
+                Ok(0) => std::thread::yield_now(),
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(&got, b"from server");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! The THINC remote display protocol.
+//!
+//! THINC encodes all display updates with five low-level commands
+//! (Table 1 of the paper) that mirror the video-driver interface and
+//! map directly onto client 2D hardware:
+//!
+//! | Command  | Description                                        |
+//! |----------|----------------------------------------------------|
+//! | `RAW`    | Display raw pixel data at a given location         |
+//! | `COPY`   | Copy frame buffer area to specified coordinates    |
+//! | `SFILL`  | Fill an area with a given pixel color value        |
+//! | `PFILL`  | Tile an area with a given pixel pattern            |
+//! | `BITMAP` | Fill a region using a bitmap image                 |
+//!
+//! All commands carry 24-bit color plus alpha. `RAW` is the only
+//! command that may be compressed. Additional message types carry
+//! video streams (YUV data for the client's hardware scaler), audio,
+//! input events, and session control (handshake, viewport resize).
+//!
+//! - [`commands`]: the display command objects and their wire sizes,
+//! - [`message`]: the full protocol message set,
+//! - [`wire`]: binary encoding/decoding with length-prefixed framing.
+
+pub mod commands;
+pub mod message;
+pub mod wire;
+
+pub use commands::{DisplayCommand, RawEncoding, Tile};
+pub use message::{Message, ProtocolInput};
+pub use wire::{decode_message, encode_message, DecodeError, FrameReader};
+
+/// Protocol version implemented by this crate.
+pub const PROTOCOL_VERSION: u16 = 1;

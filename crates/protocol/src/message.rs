@@ -1,0 +1,216 @@
+//! The full THINC protocol message set.
+//!
+//! Beyond the five display commands, the protocol carries video
+//! stream control and data ("additional protocol messages are used to
+//! manipulate video streams … initialization and tearing down of a
+//! video stream, and manipulation of the stream's position and size",
+//! §4.2), timestamped audio (§4.2), client input, and session control
+//! including the client-reported screen size that drives server-side
+//! scaling (§6).
+
+use thinc_raster::{Rect, YuvFormat};
+
+use crate::commands::DisplayCommand;
+
+/// Client input forwarded to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolInput {
+    /// Pointer moved.
+    PointerMove {
+        /// X in session coordinates.
+        x: i32,
+        /// Y in session coordinates.
+        y: i32,
+    },
+    /// Button pressed.
+    ButtonPress {
+        /// X in session coordinates.
+        x: i32,
+        /// Y in session coordinates.
+        y: i32,
+        /// Button number.
+        button: u8,
+    },
+    /// Button released.
+    ButtonRelease {
+        /// X in session coordinates.
+        x: i32,
+        /// Y in session coordinates.
+        y: i32,
+        /// Button number.
+        button: u8,
+    },
+    /// Key pressed.
+    KeyPress {
+        /// Key symbol.
+        key: u32,
+    },
+    /// Key released.
+    KeyRelease {
+        /// Key symbol.
+        key: u32,
+    },
+}
+
+/// A protocol message (either direction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Server greeting: session geometry and format depth.
+    ServerHello {
+        /// Protocol version.
+        version: u16,
+        /// Session framebuffer width.
+        width: u32,
+        /// Session framebuffer height.
+        height: u32,
+        /// Bits per pixel of the session format.
+        depth: u8,
+    },
+    /// Client greeting: the client's viewport size. When smaller than
+    /// the session, the server resizes updates to fit (§6).
+    ClientHello {
+        /// Protocol version.
+        version: u16,
+        /// Client viewport width.
+        viewport_width: u32,
+        /// Client viewport height.
+        viewport_height: u32,
+    },
+    /// A display update command.
+    Display(DisplayCommand),
+    /// Open a video stream.
+    VideoInit {
+        /// Stream id.
+        id: u32,
+        /// YUV format of the stream.
+        format: YuvFormat,
+        /// Source (encoded) frame width.
+        src_width: u32,
+        /// Source (encoded) frame height.
+        src_height: u32,
+        /// On-screen destination rectangle (client hardware scales).
+        dst: Rect,
+    },
+    /// One video frame of stream `id`.
+    VideoData {
+        /// Stream id.
+        id: u32,
+        /// Frame sequence number.
+        seq: u32,
+        /// Server timestamp, microseconds (A/V sync, §4.2).
+        timestamp_us: u64,
+        /// YUV payload in the stream's format.
+        data: Vec<u8>,
+    },
+    /// Move/resize a video stream's destination.
+    VideoMove {
+        /// Stream id.
+        id: u32,
+        /// New destination rectangle.
+        dst: Rect,
+    },
+    /// Tear down a video stream.
+    VideoEnd {
+        /// Stream id.
+        id: u32,
+    },
+    /// Timestamped audio samples from the virtual audio driver.
+    Audio {
+        /// Sequence number.
+        seq: u32,
+        /// Server timestamp, microseconds.
+        timestamp_us: u64,
+        /// PCM payload.
+        data: Vec<u8>,
+    },
+    /// Client input event.
+    Input(ProtocolInput),
+    /// Client viewport change (zoom, window resize).
+    Resize {
+        /// New viewport width.
+        viewport_width: u32,
+        /// New viewport height.
+        viewport_height: u32,
+    },
+    /// Client zoom: map this session-space region onto the viewport
+    /// (§6 — "the user can zoom in on particular sections of the
+    /// display"; the server resizes subsequent updates accordingly
+    /// and refreshes the region, since the client only has a
+    /// small-size version of it).
+    SetView {
+        /// Viewed region in session coordinates.
+        view: Rect,
+    },
+    /// Server-defined cursor image. The client composites it over its
+    /// framebuffer locally (save-under), so cursor motion costs a few
+    /// bytes instead of display updates.
+    CursorShape {
+        /// Cursor width in pixels.
+        width: u32,
+        /// Cursor height in pixels.
+        height: u32,
+        /// Hotspot x within the image.
+        hot_x: i32,
+        /// Hotspot y within the image.
+        hot_y: i32,
+        /// RGBA pixels (alpha = cursor mask), tightly packed.
+        pixels: Vec<u8>,
+    },
+    /// Cursor position in session coordinates (server-driven: apps
+    /// can warp the pointer).
+    CursorMove {
+        /// Hotspot x.
+        x: i32,
+        /// Hotspot y.
+        y: i32,
+    },
+}
+
+impl Message {
+    /// Approximate wire size of the encoded message in bytes.
+    ///
+    /// Exact for all variants (verified by the wire tests): header
+    /// plus payload.
+    pub fn wire_size(&self) -> u64 {
+        crate::wire::encode_message(self).len() as u64
+    }
+
+    /// Whether this message flows server → client.
+    pub fn is_downstream(&self) -> bool {
+        !matches!(
+            self,
+            Message::ClientHello { .. }
+                | Message::Input(_)
+                | Message::Resize { .. }
+                | Message::SetView { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directionality() {
+        assert!(Message::ServerHello {
+            version: 1,
+            width: 1024,
+            height: 768,
+            depth: 24
+        }
+        .is_downstream());
+        assert!(!Message::Input(ProtocolInput::KeyPress { key: 13 }).is_downstream());
+        assert!(!Message::Resize {
+            viewport_width: 320,
+            viewport_height: 240
+        }
+        .is_downstream());
+        assert!(Message::Audio {
+            seq: 0,
+            timestamp_us: 0,
+            data: vec![]
+        }
+        .is_downstream());
+    }
+}

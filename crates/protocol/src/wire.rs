@@ -1,0 +1,787 @@
+//! Binary wire encoding.
+//!
+//! Framing: every message is `[type: u8][payload_len: u32 LE][payload]`.
+//! Multi-byte integers are little-endian. Rectangles are
+//! `x: i32, y: i32, w: u32, h: u32`; colors are `r, g, b, a` bytes.
+//! [`FrameReader`] incrementally splits a byte stream back into
+//! messages (the client feeds it whatever the transport delivers).
+
+use bytes::{Buf, BufMut};
+use thinc_raster::{Color, Rect, YuvFormat};
+
+use crate::commands::{DisplayCommand, RawEncoding, Tile};
+use crate::message::{Message, ProtocolInput};
+
+/// Why decoding failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Not enough bytes for the declared frame.
+    Truncated,
+    /// Unknown message or command type byte.
+    UnknownType(u8),
+    /// Payload contents are inconsistent (bad lengths, bad enums).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated frame"),
+            DecodeError::UnknownType(t) => write!(f, "unknown type byte {t:#x}"),
+            DecodeError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Message type bytes.
+const MSG_SERVER_HELLO: u8 = 0x01;
+const MSG_CLIENT_HELLO: u8 = 0x02;
+const MSG_DISPLAY: u8 = 0x03;
+const MSG_VIDEO_INIT: u8 = 0x04;
+const MSG_VIDEO_DATA: u8 = 0x05;
+const MSG_VIDEO_MOVE: u8 = 0x06;
+const MSG_VIDEO_END: u8 = 0x07;
+const MSG_AUDIO: u8 = 0x08;
+const MSG_INPUT: u8 = 0x09;
+const MSG_RESIZE: u8 = 0x0A;
+const MSG_SET_VIEW: u8 = 0x0B;
+const MSG_CURSOR_SHAPE: u8 = 0x0C;
+const MSG_CURSOR_MOVE: u8 = 0x0D;
+
+// Display command type bytes.
+const CMD_RAW: u8 = 0x10;
+const CMD_COPY: u8 = 0x11;
+const CMD_SFILL: u8 = 0x12;
+const CMD_PFILL: u8 = 0x13;
+const CMD_BITMAP: u8 = 0x14;
+
+// Input type bytes.
+const IN_POINTER_MOVE: u8 = 0x20;
+const IN_BUTTON_PRESS: u8 = 0x21;
+const IN_BUTTON_RELEASE: u8 = 0x22;
+const IN_KEY_PRESS: u8 = 0x23;
+const IN_KEY_RELEASE: u8 = 0x24;
+
+fn put_rect(buf: &mut Vec<u8>, r: &Rect) {
+    buf.put_i32_le(r.x);
+    buf.put_i32_le(r.y);
+    buf.put_u32_le(r.w);
+    buf.put_u32_le(r.h);
+}
+
+fn get_rect(buf: &mut &[u8]) -> Result<Rect, DecodeError> {
+    if buf.remaining() < 16 {
+        return Err(DecodeError::Truncated);
+    }
+    let x = buf.get_i32_le();
+    let y = buf.get_i32_le();
+    let w = buf.get_u32_le();
+    let h = buf.get_u32_le();
+    Ok(Rect::new(x, y, w, h))
+}
+
+fn put_color(buf: &mut Vec<u8>, c: Color) {
+    buf.put_u8(c.r);
+    buf.put_u8(c.g);
+    buf.put_u8(c.b);
+    buf.put_u8(c.a);
+}
+
+fn get_color(buf: &mut &[u8]) -> Result<Color, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(Color::rgba(buf.get_u8(), buf.get_u8(), buf.get_u8(), buf.get_u8()))
+}
+
+fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let out = buf[..len].to_vec();
+    buf.advance(len);
+    Ok(out)
+}
+
+fn encode_command(cmd: &DisplayCommand, buf: &mut Vec<u8>) {
+    match cmd {
+        DisplayCommand::Raw { rect, encoding, data } => {
+            buf.put_u8(CMD_RAW);
+            put_rect(buf, rect);
+            buf.put_u8(match encoding {
+                RawEncoding::None => 0,
+                RawEncoding::PngLike => 1,
+            });
+            put_bytes(buf, data);
+        }
+        DisplayCommand::Copy {
+            src_rect,
+            dst_x,
+            dst_y,
+        } => {
+            buf.put_u8(CMD_COPY);
+            put_rect(buf, src_rect);
+            buf.put_i32_le(*dst_x);
+            buf.put_i32_le(*dst_y);
+        }
+        DisplayCommand::Sfill { rect, color } => {
+            buf.put_u8(CMD_SFILL);
+            put_rect(buf, rect);
+            put_color(buf, *color);
+        }
+        DisplayCommand::Pfill { rect, tile } => {
+            buf.put_u8(CMD_PFILL);
+            put_rect(buf, rect);
+            buf.put_u32_le(tile.width);
+            buf.put_u32_le(tile.height);
+            put_bytes(buf, &tile.pixels);
+        }
+        DisplayCommand::Bitmap { rect, bits, fg, bg } => {
+            buf.put_u8(CMD_BITMAP);
+            put_rect(buf, rect);
+            put_color(buf, *fg);
+            match bg {
+                Some(bg) => {
+                    buf.put_u8(1);
+                    put_color(buf, *bg);
+                }
+                None => buf.put_u8(0),
+            }
+            put_bytes(buf, bits);
+        }
+    }
+}
+
+fn decode_command(buf: &mut &[u8]) -> Result<DisplayCommand, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        CMD_RAW => {
+            let rect = get_rect(buf)?;
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let encoding = match buf.get_u8() {
+                0 => RawEncoding::None,
+                1 => RawEncoding::PngLike,
+                _ => return Err(DecodeError::Malformed("raw encoding")),
+            };
+            let data = get_bytes(buf)?;
+            Ok(DisplayCommand::Raw { rect, encoding, data })
+        }
+        CMD_COPY => {
+            let src_rect = get_rect(buf)?;
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            let dst_x = buf.get_i32_le();
+            let dst_y = buf.get_i32_le();
+            Ok(DisplayCommand::Copy {
+                src_rect,
+                dst_x,
+                dst_y,
+            })
+        }
+        CMD_SFILL => {
+            let rect = get_rect(buf)?;
+            let color = get_color(buf)?;
+            Ok(DisplayCommand::Sfill { rect, color })
+        }
+        CMD_PFILL => {
+            let rect = get_rect(buf)?;
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            let width = buf.get_u32_le();
+            let height = buf.get_u32_le();
+            let pixels = get_bytes(buf)?;
+            Ok(DisplayCommand::Pfill {
+                rect,
+                tile: Tile {
+                    width,
+                    height,
+                    pixels,
+                },
+            })
+        }
+        CMD_BITMAP => {
+            let rect = get_rect(buf)?;
+            let fg = get_color(buf)?;
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let bg = match buf.get_u8() {
+                0 => None,
+                1 => Some(get_color(buf)?),
+                _ => return Err(DecodeError::Malformed("bitmap bg flag")),
+            };
+            let bits = get_bytes(buf)?;
+            Ok(DisplayCommand::Bitmap { rect, bits, fg, bg })
+        }
+        other => Err(DecodeError::UnknownType(other)),
+    }
+}
+
+fn yuv_tag(f: YuvFormat) -> u8 {
+    match f {
+        YuvFormat::Yv12 => 0,
+        YuvFormat::Yuy2 => 1,
+    }
+}
+
+fn yuv_from_tag(t: u8) -> Result<YuvFormat, DecodeError> {
+    match t {
+        0 => Ok(YuvFormat::Yv12),
+        1 => Ok(YuvFormat::Yuy2),
+        _ => Err(DecodeError::Malformed("yuv format")),
+    }
+}
+
+/// Encodes a message into a framed byte vector.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let tag = match msg {
+        Message::ServerHello {
+            version,
+            width,
+            height,
+            depth,
+        } => {
+            payload.put_u16_le(*version);
+            payload.put_u32_le(*width);
+            payload.put_u32_le(*height);
+            payload.put_u8(*depth);
+            MSG_SERVER_HELLO
+        }
+        Message::ClientHello {
+            version,
+            viewport_width,
+            viewport_height,
+        } => {
+            payload.put_u16_le(*version);
+            payload.put_u32_le(*viewport_width);
+            payload.put_u32_le(*viewport_height);
+            MSG_CLIENT_HELLO
+        }
+        Message::Display(cmd) => {
+            encode_command(cmd, &mut payload);
+            MSG_DISPLAY
+        }
+        Message::VideoInit {
+            id,
+            format,
+            src_width,
+            src_height,
+            dst,
+        } => {
+            payload.put_u32_le(*id);
+            payload.put_u8(yuv_tag(*format));
+            payload.put_u32_le(*src_width);
+            payload.put_u32_le(*src_height);
+            put_rect(&mut payload, dst);
+            MSG_VIDEO_INIT
+        }
+        Message::VideoData {
+            id,
+            seq,
+            timestamp_us,
+            data,
+        } => {
+            payload.put_u32_le(*id);
+            payload.put_u32_le(*seq);
+            payload.put_u64_le(*timestamp_us);
+            put_bytes(&mut payload, data);
+            MSG_VIDEO_DATA
+        }
+        Message::VideoMove { id, dst } => {
+            payload.put_u32_le(*id);
+            put_rect(&mut payload, dst);
+            MSG_VIDEO_MOVE
+        }
+        Message::VideoEnd { id } => {
+            payload.put_u32_le(*id);
+            MSG_VIDEO_END
+        }
+        Message::Audio {
+            seq,
+            timestamp_us,
+            data,
+        } => {
+            payload.put_u32_le(*seq);
+            payload.put_u64_le(*timestamp_us);
+            put_bytes(&mut payload, data);
+            MSG_AUDIO
+        }
+        Message::Input(input) => {
+            match input {
+                ProtocolInput::PointerMove { x, y } => {
+                    payload.put_u8(IN_POINTER_MOVE);
+                    payload.put_i32_le(*x);
+                    payload.put_i32_le(*y);
+                }
+                ProtocolInput::ButtonPress { x, y, button } => {
+                    payload.put_u8(IN_BUTTON_PRESS);
+                    payload.put_i32_le(*x);
+                    payload.put_i32_le(*y);
+                    payload.put_u8(*button);
+                }
+                ProtocolInput::ButtonRelease { x, y, button } => {
+                    payload.put_u8(IN_BUTTON_RELEASE);
+                    payload.put_i32_le(*x);
+                    payload.put_i32_le(*y);
+                    payload.put_u8(*button);
+                }
+                ProtocolInput::KeyPress { key } => {
+                    payload.put_u8(IN_KEY_PRESS);
+                    payload.put_u32_le(*key);
+                }
+                ProtocolInput::KeyRelease { key } => {
+                    payload.put_u8(IN_KEY_RELEASE);
+                    payload.put_u32_le(*key);
+                }
+            }
+            MSG_INPUT
+        }
+        Message::Resize {
+            viewport_width,
+            viewport_height,
+        } => {
+            payload.put_u32_le(*viewport_width);
+            payload.put_u32_le(*viewport_height);
+            MSG_RESIZE
+        }
+        Message::SetView { view } => {
+            put_rect(&mut payload, view);
+            MSG_SET_VIEW
+        }
+        Message::CursorShape {
+            width,
+            height,
+            hot_x,
+            hot_y,
+            pixels,
+        } => {
+            payload.put_u32_le(*width);
+            payload.put_u32_le(*height);
+            payload.put_i32_le(*hot_x);
+            payload.put_i32_le(*hot_y);
+            put_bytes(&mut payload, pixels);
+            MSG_CURSOR_SHAPE
+        }
+        Message::CursorMove { x, y } => {
+            payload.put_i32_le(*x);
+            payload.put_i32_le(*y);
+            MSG_CURSOR_MOVE
+        }
+    };
+    let mut out = Vec::with_capacity(payload.len() + 5);
+    out.put_u8(tag);
+    out.put_u32_le(payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one framed message from the front of `data`, returning the
+/// message and the number of bytes consumed.
+pub fn decode_message(data: &[u8]) -> Result<(Message, usize), DecodeError> {
+    if data.len() < 5 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = data[0];
+    let len = u32::from_le_bytes([data[1], data[2], data[3], data[4]]) as usize;
+    if data.len() < 5 + len {
+        return Err(DecodeError::Truncated);
+    }
+    let mut buf = &data[5..5 + len];
+    let msg = match tag {
+        MSG_SERVER_HELLO => {
+            if buf.remaining() < 11 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::ServerHello {
+                version: buf.get_u16_le(),
+                width: buf.get_u32_le(),
+                height: buf.get_u32_le(),
+                depth: buf.get_u8(),
+            }
+        }
+        MSG_CLIENT_HELLO => {
+            if buf.remaining() < 10 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::ClientHello {
+                version: buf.get_u16_le(),
+                viewport_width: buf.get_u32_le(),
+                viewport_height: buf.get_u32_le(),
+            }
+        }
+        MSG_DISPLAY => Message::Display(decode_command(&mut buf)?),
+        MSG_VIDEO_INIT => {
+            if buf.remaining() < 13 {
+                return Err(DecodeError::Truncated);
+            }
+            let id = buf.get_u32_le();
+            let format = yuv_from_tag(buf.get_u8())?;
+            let src_width = buf.get_u32_le();
+            let src_height = buf.get_u32_le();
+            let dst = get_rect(&mut buf)?;
+            Message::VideoInit {
+                id,
+                format,
+                src_width,
+                src_height,
+                dst,
+            }
+        }
+        MSG_VIDEO_DATA => {
+            if buf.remaining() < 16 {
+                return Err(DecodeError::Truncated);
+            }
+            let id = buf.get_u32_le();
+            let seq = buf.get_u32_le();
+            let timestamp_us = buf.get_u64_le();
+            let data = get_bytes(&mut buf)?;
+            Message::VideoData {
+                id,
+                seq,
+                timestamp_us,
+                data,
+            }
+        }
+        MSG_VIDEO_MOVE => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let id = buf.get_u32_le();
+            let dst = get_rect(&mut buf)?;
+            Message::VideoMove { id, dst }
+        }
+        MSG_VIDEO_END => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::VideoEnd {
+                id: buf.get_u32_le(),
+            }
+        }
+        MSG_AUDIO => {
+            if buf.remaining() < 12 {
+                return Err(DecodeError::Truncated);
+            }
+            let seq = buf.get_u32_le();
+            let timestamp_us = buf.get_u64_le();
+            let data = get_bytes(&mut buf)?;
+            Message::Audio {
+                seq,
+                timestamp_us,
+                data,
+            }
+        }
+        MSG_INPUT => {
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let itag = buf.get_u8();
+            let input = match itag {
+                IN_POINTER_MOVE => {
+                    if buf.remaining() < 8 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    ProtocolInput::PointerMove {
+                        x: buf.get_i32_le(),
+                        y: buf.get_i32_le(),
+                    }
+                }
+                IN_BUTTON_PRESS | IN_BUTTON_RELEASE => {
+                    if buf.remaining() < 9 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let x = buf.get_i32_le();
+                    let y = buf.get_i32_le();
+                    let button = buf.get_u8();
+                    if itag == IN_BUTTON_PRESS {
+                        ProtocolInput::ButtonPress { x, y, button }
+                    } else {
+                        ProtocolInput::ButtonRelease { x, y, button }
+                    }
+                }
+                IN_KEY_PRESS | IN_KEY_RELEASE => {
+                    if buf.remaining() < 4 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let key = buf.get_u32_le();
+                    if itag == IN_KEY_PRESS {
+                        ProtocolInput::KeyPress { key }
+                    } else {
+                        ProtocolInput::KeyRelease { key }
+                    }
+                }
+                other => return Err(DecodeError::UnknownType(other)),
+            };
+            Message::Input(input)
+        }
+        MSG_RESIZE => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::Resize {
+                viewport_width: buf.get_u32_le(),
+                viewport_height: buf.get_u32_le(),
+            }
+        }
+        MSG_SET_VIEW => Message::SetView {
+            view: get_rect(&mut buf)?,
+        },
+        MSG_CURSOR_SHAPE => {
+            if buf.remaining() < 16 {
+                return Err(DecodeError::Truncated);
+            }
+            let width = buf.get_u32_le();
+            let height = buf.get_u32_le();
+            let hot_x = buf.get_i32_le();
+            let hot_y = buf.get_i32_le();
+            let pixels = get_bytes(&mut buf)?;
+            Message::CursorShape {
+                width,
+                height,
+                hot_x,
+                hot_y,
+                pixels,
+            }
+        }
+        MSG_CURSOR_MOVE => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::CursorMove {
+                x: buf.get_i32_le(),
+                y: buf.get_i32_le(),
+            }
+        }
+        other => return Err(DecodeError::UnknownType(other)),
+    };
+    Ok((msg, 5 + len))
+}
+
+/// Incremental frame splitter: feed transport bytes in, take whole
+/// messages out.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw transport bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Extracts the next complete message, if one is buffered.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    pub fn next_message(&mut self) -> Result<Option<Message>, DecodeError> {
+        match decode_message(&self.buf) {
+            Ok((msg, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(msg))
+            }
+            Err(DecodeError::Truncated) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::ServerHello {
+                version: 1,
+                width: 1024,
+                height: 768,
+                depth: 24,
+            },
+            Message::ClientHello {
+                version: 1,
+                viewport_width: 320,
+                viewport_height: 240,
+            },
+            Message::Display(DisplayCommand::Raw {
+                rect: Rect::new(-3, 7, 5, 6),
+                encoding: RawEncoding::PngLike,
+                data: vec![1, 2, 3, 4, 5],
+            }),
+            Message::Display(DisplayCommand::Copy {
+                src_rect: Rect::new(0, 0, 100, 50),
+                dst_x: 10,
+                dst_y: -20,
+            }),
+            Message::Display(DisplayCommand::Sfill {
+                rect: Rect::new(0, 0, 1024, 768),
+                color: Color::rgba(1, 2, 3, 200),
+            }),
+            Message::Display(DisplayCommand::Pfill {
+                rect: Rect::new(5, 5, 64, 64),
+                tile: Tile {
+                    width: 8,
+                    height: 8,
+                    pixels: vec![9; 8 * 8 * 3],
+                },
+            }),
+            Message::Display(DisplayCommand::Bitmap {
+                rect: Rect::new(0, 0, 16, 8),
+                bits: vec![0xAA; 16],
+                fg: Color::BLACK,
+                bg: Some(Color::WHITE),
+            }),
+            Message::Display(DisplayCommand::Bitmap {
+                rect: Rect::new(0, 0, 16, 8),
+                bits: vec![0x55; 16],
+                fg: Color::WHITE,
+                bg: None,
+            }),
+            Message::VideoInit {
+                id: 7,
+                format: YuvFormat::Yv12,
+                src_width: 352,
+                src_height: 240,
+                dst: Rect::new(0, 0, 1024, 768),
+            },
+            Message::VideoData {
+                id: 7,
+                seq: 42,
+                timestamp_us: 1_750_000,
+                data: vec![0x10; 100],
+            },
+            Message::VideoMove {
+                id: 7,
+                dst: Rect::new(10, 10, 320, 240),
+            },
+            Message::VideoEnd { id: 7 },
+            Message::Audio {
+                seq: 3,
+                timestamp_us: 999,
+                data: vec![1; 64],
+            },
+            Message::Input(ProtocolInput::PointerMove { x: -5, y: 900 }),
+            Message::Input(ProtocolInput::ButtonPress { x: 1, y: 2, button: 3 }),
+            Message::Input(ProtocolInput::ButtonRelease { x: 1, y: 2, button: 1 }),
+            Message::Input(ProtocolInput::KeyPress { key: 0xFF0D }),
+            Message::Input(ProtocolInput::KeyRelease { key: 65 }),
+            Message::Resize {
+                viewport_width: 640,
+                viewport_height: 480,
+            },
+            Message::SetView {
+                view: Rect::new(100, 50, 512, 384),
+            },
+            Message::CursorShape {
+                width: 16,
+                height: 16,
+                hot_x: 1,
+                hot_y: 2,
+                pixels: vec![7; 16 * 16 * 4],
+            },
+            Message::CursorMove { x: 500, y: -3 },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in sample_messages() {
+            let enc = encode_message(&msg);
+            let (dec, used) = decode_message(&enc).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(dec, msg);
+            assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        for msg in sample_messages() {
+            assert_eq!(msg.wire_size(), encode_message(&msg).len() as u64);
+        }
+    }
+
+    #[test]
+    fn command_wire_size_close_to_encoded() {
+        // DisplayCommand::wire_size is the scheduler's fast estimate;
+        // it must match the encoded frame size exactly.
+        for msg in sample_messages() {
+            if let Message::Display(cmd) = &msg {
+                assert_eq!(
+                    cmd.wire_size(),
+                    encode_message(&msg).len() as u64,
+                    "{}",
+                    cmd.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_wait_for_more() {
+        let enc = encode_message(&sample_messages()[2]);
+        for cut in 0..enc.len() {
+            assert_eq!(decode_message(&enc[..cut]), Err(DecodeError::Truncated));
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let bad = [0xEEu8, 0, 0, 0, 0];
+        assert_eq!(decode_message(&bad), Err(DecodeError::UnknownType(0xEE)));
+    }
+
+    #[test]
+    fn frame_reader_reassembles_dribbled_stream() {
+        let msgs = sample_messages();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(encode_message(m));
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        // Feed one byte at a time.
+        for b in stream {
+            reader.feed(&[b]);
+            while let Some(m) = reader.next_message().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(reader.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_reader_surfaces_errors() {
+        let mut reader = FrameReader::new();
+        reader.feed(&[0xEE, 0, 0, 0, 0]);
+        assert!(reader.next_message().is_err());
+    }
+}

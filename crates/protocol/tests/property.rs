@@ -1,0 +1,147 @@
+//! Property tests of the wire codec: arbitrary messages round-trip,
+//! arbitrary byte garbage never panics the decoder, and the frame
+//! reader reassembles arbitrary fragmentations.
+
+use proptest::prelude::*;
+use thinc_protocol::commands::{DisplayCommand, RawEncoding, Tile};
+use thinc_protocol::message::{Message, ProtocolInput};
+use thinc_protocol::wire::{decode_message, encode_message, FrameReader};
+use thinc_raster::{Color, Rect, YuvFormat};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (any::<i16>(), any::<i16>(), 0u32..2048, 0u32..2048)
+        .prop_map(|(x, y, w, h)| Rect::new(x as i32, y as i32, w, h))
+}
+
+fn arb_color() -> impl Strategy<Value = Color> {
+    any::<u32>().prop_map(Color::from_argb_u32)
+}
+
+fn arb_command() -> impl Strategy<Value = DisplayCommand> {
+    prop_oneof![
+        (arb_rect(), any::<bool>(), prop::collection::vec(any::<u8>(), 0..256)).prop_map(
+            |(rect, png, data)| DisplayCommand::Raw {
+                rect,
+                encoding: if png { RawEncoding::PngLike } else { RawEncoding::None },
+                data,
+            }
+        ),
+        (arb_rect(), any::<i16>(), any::<i16>()).prop_map(|(src_rect, x, y)| {
+            DisplayCommand::Copy {
+                src_rect,
+                dst_x: x as i32,
+                dst_y: y as i32,
+            }
+        }),
+        (arb_rect(), arb_color()).prop_map(|(rect, color)| DisplayCommand::Sfill { rect, color }),
+        (arb_rect(), 1u32..32, 1u32..32, prop::collection::vec(any::<u8>(), 0..128)).prop_map(
+            |(rect, w, h, pixels)| DisplayCommand::Pfill {
+                rect,
+                tile: Tile {
+                    width: w,
+                    height: h,
+                    pixels,
+                },
+            }
+        ),
+        (
+            arb_rect(),
+            prop::collection::vec(any::<u8>(), 0..128),
+            arb_color(),
+            prop::option::of(arb_color())
+        )
+            .prop_map(|(rect, bits, fg, bg)| DisplayCommand::Bitmap { rect, bits, fg, bg }),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>(), any::<u32>(), any::<u8>()).prop_map(
+            |(version, width, height, depth)| Message::ServerHello {
+                version,
+                width,
+                height,
+                depth,
+            }
+        ),
+        arb_command().prop_map(Message::Display),
+        (any::<u32>(), any::<bool>(), any::<u32>(), any::<u32>(), arb_rect()).prop_map(
+            |(id, f, w, h, dst)| Message::VideoInit {
+                id,
+                format: if f { YuvFormat::Yv12 } else { YuvFormat::Yuy2 },
+                src_width: w,
+                src_height: h,
+                dst,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(id, seq, timestamp_us, data)| Message::VideoData {
+                id,
+                seq,
+                timestamp_us,
+                data,
+            }),
+        (any::<u32>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..256)).prop_map(
+            |(seq, timestamp_us, data)| Message::Audio {
+                seq,
+                timestamp_us,
+                data,
+            }
+        ),
+        (any::<i16>(), any::<i16>(), any::<u8>()).prop_map(|(x, y, button)| Message::Input(
+            ProtocolInput::ButtonPress {
+                x: x as i32,
+                y: y as i32,
+                button,
+            }
+        )),
+        (any::<u32>(), any::<u32>()).prop_map(|(w, h)| Message::Resize {
+            viewport_width: w,
+            viewport_height: h,
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn messages_round_trip(msg in arb_message()) {
+        let enc = encode_message(&msg);
+        let (dec, used) = decode_message(&enc).expect("round trip");
+        prop_assert_eq!(dec, msg);
+        prop_assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(garbage in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_message(&garbage);
+    }
+
+    #[test]
+    fn frame_reader_handles_any_fragmentation(
+        msgs in prop::collection::vec(arb_message(), 1..8),
+        cuts in prop::collection::vec(1usize..64, 1..32),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(encode_message(m));
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut cut_iter = cuts.iter().cycle();
+        while pos < stream.len() {
+            let take = (*cut_iter.next().unwrap()).min(stream.len() - pos);
+            reader.feed(&stream[pos..pos + take]);
+            pos += take;
+            while let Some(m) = reader.next_message().expect("valid stream") {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn wire_size_always_matches_encoding(msg in arb_message()) {
+        prop_assert_eq!(msg.wire_size(), encode_message(&msg).len() as u64);
+    }
+}

@@ -1,0 +1,203 @@
+//! Porter–Duff alpha compositing.
+//!
+//! THINC commands carry a full alpha channel so that the protocol can
+//! express graphics compositing operations (anti-aliased text and other
+//! modern 2D desktop features, §3 of the paper). The server falls back
+//! to these software implementations when the client lacks acceleration.
+
+use crate::framebuffer::Framebuffer;
+use crate::geometry::Rect;
+use crate::pixel::Color;
+
+/// The Porter–Duff binary compositing operators (Porter & Duff 1984).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompositeOp {
+    /// Destination cleared to transparent.
+    Clear,
+    /// Source replaces destination.
+    Src,
+    /// Source over destination (the usual blending operator).
+    Over,
+    /// Source where destination is opaque.
+    In,
+    /// Source where destination is transparent.
+    Out,
+    /// Source atop destination.
+    Atop,
+    /// Exclusive regions of source and destination.
+    Xor,
+    /// Saturating addition of source and destination.
+    Add,
+}
+
+impl CompositeOp {
+    /// Composites source pixel `s` onto destination pixel `d`.
+    ///
+    /// Works in premultiplied space internally; inputs and outputs use
+    /// straight alpha.
+    pub fn apply(self, s: Color, d: Color) -> Color {
+        let sp = premultiply(s);
+        let dp = premultiply(d);
+        let (fa, fb) = self.factors(sp.3, dp.3);
+        let blend = |sc: u32, dc: u32| -> u32 {
+            let v = sc * fa + dc * fb;
+            // Factors are 0..=255 fixed point; renormalize.
+            (v / 255).min(255)
+        };
+        let out = (
+            blend(sp.0, dp.0),
+            blend(sp.1, dp.1),
+            blend(sp.2, dp.2),
+            blend(sp.3, dp.3),
+        );
+        unpremultiply(out.0 as u8, out.1 as u8, out.2 as u8, out.3 as u8)
+    }
+
+    /// Per-operator blend factors `(Fa, Fb)` in 0..=255 fixed point,
+    /// given source and destination alpha.
+    fn factors(self, sa: u32, da: u32) -> (u32, u32) {
+        match self {
+            CompositeOp::Clear => (0, 0),
+            CompositeOp::Src => (255, 0),
+            CompositeOp::Over => (255, 255 - sa),
+            CompositeOp::In => (da, 0),
+            CompositeOp::Out => (255 - da, 0),
+            CompositeOp::Atop => (da, 255 - sa),
+            CompositeOp::Xor => (255 - da, 255 - sa),
+            CompositeOp::Add => (255, 255),
+        }
+    }
+}
+
+fn premultiply(c: Color) -> (u32, u32, u32, u32) {
+    let a = c.a as u32;
+    (
+        c.r as u32 * a / 255,
+        c.g as u32 * a / 255,
+        c.b as u32 * a / 255,
+        a,
+    )
+}
+
+fn unpremultiply(r: u8, g: u8, b: u8, a: u8) -> Color {
+    if a == 0 {
+        return Color::TRANSPARENT;
+    }
+    let un = |v: u8| -> u8 { ((v as u32 * 255 + a as u32 / 2) / a as u32).min(255) as u8 };
+    Color::rgba(un(r), un(g), un(b), a)
+}
+
+/// Composites the rectangle `src_r` of `src` onto `dst` at
+/// `(dst_x, dst_y)` using `op`, clipping to both buffers.
+pub fn composite_rect(
+    dst: &mut Framebuffer,
+    src: &Framebuffer,
+    src_r: &Rect,
+    dst_x: i32,
+    dst_y: i32,
+    op: CompositeOp,
+) {
+    let src_clip = src_r.intersection(&src.bounds());
+    for y in 0..src_clip.h as i32 {
+        for x in 0..src_clip.w as i32 {
+            let sx = src_clip.x + x;
+            let sy = src_clip.y + y;
+            let dx = dst_x + (sx - src_r.x);
+            let dy = dst_y + (sy - src_r.y);
+            let Some(s) = src.get_pixel(sx, sy) else { continue };
+            let Some(d) = dst.get_pixel(dx, dy) else { continue };
+            dst.set_pixel(dx, dy, op.apply(s, d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::PixelFormat;
+
+    #[test]
+    fn over_opaque_source_wins() {
+        let s = Color::rgb(200, 10, 10);
+        let d = Color::rgb(0, 200, 0);
+        assert_eq!(CompositeOp::Over.apply(s, d), s);
+    }
+
+    #[test]
+    fn over_transparent_source_keeps_dest() {
+        let s = Color::TRANSPARENT;
+        let d = Color::rgb(0, 200, 0);
+        assert_eq!(CompositeOp::Over.apply(s, d), d);
+    }
+
+    #[test]
+    fn over_half_alpha_blends() {
+        let s = Color::rgba(255, 255, 255, 128);
+        let d = Color::rgb(0, 0, 0);
+        let out = CompositeOp::Over.apply(s, d);
+        assert_eq!(out.a, 255);
+        assert!((out.r as i32 - 128).abs() <= 2, "r = {}", out.r);
+    }
+
+    #[test]
+    fn clear_produces_transparent() {
+        let out = CompositeOp::Clear.apply(Color::WHITE, Color::WHITE);
+        assert_eq!(out, Color::TRANSPARENT);
+    }
+
+    #[test]
+    fn src_replaces() {
+        let s = Color::rgba(1, 2, 3, 77);
+        let out = CompositeOp::Src.apply(s, Color::WHITE);
+        assert_eq!(out.a, 77);
+    }
+
+    #[test]
+    fn in_masks_by_dest_alpha() {
+        let s = Color::rgb(100, 100, 100);
+        let out = CompositeOp::In.apply(s, Color::TRANSPARENT);
+        assert_eq!(out, Color::TRANSPARENT);
+        let out2 = CompositeOp::In.apply(s, Color::rgba(0, 0, 0, 255));
+        assert_eq!(out2.a, 255);
+    }
+
+    #[test]
+    fn xor_of_opaque_pair_is_transparent() {
+        let out = CompositeOp::Xor.apply(Color::WHITE, Color::BLACK);
+        assert_eq!(out.a, 0);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let out = CompositeOp::Add.apply(Color::rgb(200, 200, 200), Color::rgb(200, 200, 200));
+        assert_eq!(out, Color::WHITE);
+    }
+
+    #[test]
+    fn atop_keeps_dest_alpha() {
+        let s = Color::rgba(255, 0, 0, 255);
+        let d = Color::rgba(0, 0, 255, 128);
+        let out = CompositeOp::Atop.apply(s, d);
+        assert_eq!(out.a, 128);
+    }
+
+    #[test]
+    fn composite_rect_blends_region() {
+        let mut dst = Framebuffer::new(4, 4, PixelFormat::Rgba8888);
+        dst.fill_rect(&Rect::new(0, 0, 4, 4), Color::rgba(0, 0, 0, 255));
+        let mut src = Framebuffer::new(2, 2, PixelFormat::Rgba8888);
+        src.fill_rect(&Rect::new(0, 0, 2, 2), Color::rgba(255, 255, 255, 255));
+        composite_rect(&mut dst, &src, &Rect::new(0, 0, 2, 2), 1, 1, CompositeOp::Over);
+        assert_eq!(dst.get_pixel(1, 1).unwrap().r, 255);
+        assert_eq!(dst.get_pixel(0, 0).unwrap().r, 0);
+        assert_eq!(dst.get_pixel(3, 3).unwrap().r, 0);
+    }
+
+    #[test]
+    fn composite_rect_clips_out_of_bounds() {
+        let mut dst = Framebuffer::new(2, 2, PixelFormat::Rgba8888);
+        let src = Framebuffer::new(4, 4, PixelFormat::Rgba8888);
+        // Must not panic even when mostly offscreen.
+        composite_rect(&mut dst, &src, &Rect::new(0, 0, 4, 4), -2, -2, CompositeOp::Over);
+    }
+}

@@ -1,0 +1,530 @@
+//! A software framebuffer with the raster operations a 2D display
+//! driver accelerates: solid fill, pattern (tile) fill, stipple fill,
+//! screen-to-screen copy, and raw pixel transfer.
+//!
+//! These are exactly the operations THINC's five protocol commands map
+//! onto (Table 1 of the paper), so both the server-side drawables and
+//! the client's local framebuffer are instances of this type.
+
+use crate::geometry::Rect;
+use crate::pixel::{Color, PixelFormat};
+
+/// A rectangular grid of pixels in a single [`PixelFormat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    format: PixelFormat,
+    data: Vec<u8>,
+}
+
+impl Framebuffer {
+    /// Creates a framebuffer filled with zero bytes (black/transparent).
+    pub fn new(width: u32, height: u32, format: PixelFormat) -> Self {
+        let len = width as usize * height as usize * format.bytes_per_pixel();
+        Self {
+            width,
+            height,
+            format,
+            data: vec![0; len],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixel storage format.
+    pub fn format(&self) -> PixelFormat {
+        self.format
+    }
+
+    /// The rectangle `(0, 0, width, height)`.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0, 0, self.width, self.height)
+    }
+
+    /// Raw backing bytes, row-major, no padding.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Bytes per row.
+    pub fn stride(&self) -> usize {
+        self.width as usize * self.format.bytes_per_pixel()
+    }
+
+    fn clip(&self, r: &Rect) -> Rect {
+        r.intersection(&self.bounds())
+    }
+
+    fn offset(&self, x: i32, y: i32) -> usize {
+        debug_assert!(x >= 0 && y >= 0);
+        y as usize * self.stride() + x as usize * self.format.bytes_per_pixel()
+    }
+
+    /// Reads the pixel at `(x, y)`, or `None` when out of bounds.
+    pub fn get_pixel(&self, x: i32, y: i32) -> Option<Color> {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
+            return None;
+        }
+        let bpp = self.format.bytes_per_pixel();
+        let off = self.offset(x, y);
+        Some(self.format.decode(&self.data[off..off + bpp]))
+    }
+
+    /// Writes the pixel at `(x, y)`; out-of-bounds writes are ignored.
+    pub fn set_pixel(&mut self, x: i32, y: i32, c: Color) {
+        if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
+            return;
+        }
+        let bpp = self.format.bytes_per_pixel();
+        let off = self.offset(x, y);
+        self.format.encode(c, &mut self.data[off..off + bpp]);
+    }
+
+    /// Solid-fills `r` (clipped to the framebuffer) with `c`.
+    ///
+    /// This is the semantic of the THINC `SFILL` command.
+    pub fn fill_rect(&mut self, r: &Rect, c: Color) {
+        let clip = self.clip(r);
+        if clip.is_empty() {
+            return;
+        }
+        let bpp = self.format.bytes_per_pixel();
+        let mut px = vec![0u8; bpp];
+        self.format.encode(c, &mut px);
+        let stride = self.stride();
+        let row_len = clip.w as usize * bpp;
+        // Build one row of the fill color, then copy it into each row.
+        let row: Vec<u8> = px.iter().cycle().take(row_len).copied().collect();
+        let first = self.offset(clip.x, clip.y);
+        for r in 0..clip.h as usize {
+            let off = first + r * stride;
+            self.data[off..off + row_len].copy_from_slice(&row);
+        }
+    }
+
+    /// Tiles `r` with `tile`, phase-locked to the destination origin so
+    /// that adjacent fills align seamlessly.
+    ///
+    /// This is the semantic of the THINC `PFILL` command. The tile must
+    /// be in the same pixel format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is empty or has a different pixel format.
+    pub fn tile_rect(&mut self, r: &Rect, tile: &Framebuffer) {
+        assert!(tile.width > 0 && tile.height > 0, "empty tile");
+        assert_eq!(tile.format, self.format, "tile pixel format mismatch");
+        let clip = self.clip(r);
+        if clip.is_empty() {
+            return;
+        }
+        let bpp = self.format.bytes_per_pixel();
+        for y in clip.y..clip.bottom() {
+            let ty = (y.rem_euclid(tile.height as i32)) as u32;
+            for x in clip.x..clip.right() {
+                let tx = (x.rem_euclid(tile.width as i32)) as u32;
+                let src = tile.offset(tx as i32, ty as i32);
+                let dst = self.offset(x, y);
+                let (s, d) = (src, dst);
+                // Per-pixel copy; tiles are small so this is fine.
+                let pixel: [u8; 4] = {
+                    let mut tmp = [0u8; 4];
+                    tmp[..bpp].copy_from_slice(&tile.data[s..s + bpp]);
+                    tmp
+                };
+                self.data[d..d + bpp].copy_from_slice(&pixel[..bpp]);
+            }
+        }
+    }
+
+    /// Fills `r` using `bits` as a stipple: 1 bits paint `fg`, 0 bits
+    /// paint `bg` (or are skipped when `bg` is `None`, i.e. a
+    /// transparent stipple).
+    ///
+    /// This is the semantic of the THINC `BITMAP` command. `bits` is
+    /// row-major, one bit per pixel, each row padded to a whole byte,
+    /// with bit 7 of each byte the leftmost pixel. The bitmap is
+    /// anchored at the rectangle origin (not the screen origin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is shorter than the rectangle requires.
+    pub fn bitmap_rect(&mut self, r: &Rect, bits: &[u8], fg: Color, bg: Option<Color>) {
+        let row_bytes = (r.w as usize).div_ceil(8);
+        assert!(
+            bits.len() >= row_bytes * r.h as usize,
+            "stipple bitmap too short: {} < {}",
+            bits.len(),
+            row_bytes * r.h as usize
+        );
+        let clip = self.clip(r);
+        if clip.is_empty() {
+            return;
+        }
+        for y in clip.y..clip.bottom() {
+            let by = (y - r.y) as usize;
+            for x in clip.x..clip.right() {
+                let bx = (x - r.x) as usize;
+                let byte = bits[by * row_bytes + bx / 8];
+                let on = byte & (0x80 >> (bx % 8)) != 0;
+                if on {
+                    self.set_pixel(x, y, fg);
+                } else if let Some(bg) = bg {
+                    self.set_pixel(x, y, bg);
+                }
+            }
+        }
+    }
+
+    /// Copies the rectangle `src` to the position `(dst_x, dst_y)`
+    /// within the same framebuffer, handling overlap like `memmove`.
+    ///
+    /// This is the semantic of the THINC `COPY` command (scrolling,
+    /// opaque window movement). Source and destination are both clipped
+    /// consistently: pixels whose source or destination fall outside
+    /// the framebuffer are dropped.
+    pub fn copy_rect(&mut self, src: &Rect, dst_x: i32, dst_y: i32) {
+        let dx = dst_x - src.x;
+        let dy = dst_y - src.y;
+        // Clip the source so that both source and destination are in bounds.
+        let mut s = self.clip(src);
+        let dst = s.translated(dx, dy);
+        let dst_clipped = self.clip(&dst);
+        s = dst_clipped.translated(-dx, -dy);
+        if s.is_empty() {
+            return;
+        }
+        let bpp = self.format.bytes_per_pixel();
+        let stride = self.stride();
+        let row_len = s.w as usize * bpp;
+        // Choose iteration order to be safe for overlapping regions.
+        let rows: Box<dyn Iterator<Item = i32>> = if dy > 0 || (dy == 0 && dx > 0) {
+            Box::new((0..s.h as i32).rev())
+        } else {
+            Box::new(0..s.h as i32)
+        };
+        for row in rows {
+            let sy = s.y + row;
+            let ty = sy + dy;
+            let s_off = sy as usize * stride + s.x as usize * bpp;
+            let d_off = ty as usize * stride + (s.x + dx) as usize * bpp;
+            if dy == 0 {
+                // Same row: use copy_within for overlap safety.
+                self.data.copy_within(s_off..s_off + row_len, d_off);
+            } else {
+                let (lo, hi, from_lo) = if s_off < d_off {
+                    (s_off, d_off, true)
+                } else {
+                    (d_off, s_off, false)
+                };
+                let (a, b) = self.data.split_at_mut(hi);
+                if from_lo {
+                    b[..row_len].copy_from_slice(&a[lo..lo + row_len]);
+                } else {
+                    a[lo..lo + row_len].copy_from_slice(&b[..row_len]);
+                }
+            }
+        }
+    }
+
+    /// Writes raw pixel data (in this framebuffer's format, tightly
+    /// packed rows of `r.w` pixels) into `r`, clipping to bounds.
+    ///
+    /// This is the semantic of the THINC `RAW` command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` is shorter than `r` requires.
+    pub fn put_raw(&mut self, r: &Rect, pixels: &[u8]) {
+        let bpp = self.format.bytes_per_pixel();
+        let src_stride = r.w as usize * bpp;
+        assert!(
+            pixels.len() >= src_stride * r.h as usize,
+            "raw pixel buffer too short"
+        );
+        let clip = self.clip(r);
+        if clip.is_empty() {
+            return;
+        }
+        let row_len = clip.w as usize * bpp;
+        let x_skip = (clip.x - r.x) as usize * bpp;
+        for y in clip.y..clip.bottom() {
+            let sy = (y - r.y) as usize;
+            let s_off = sy * src_stride + x_skip;
+            let d_off = self.offset(clip.x, y);
+            self.data[d_off..d_off + row_len].copy_from_slice(&pixels[s_off..s_off + row_len]);
+        }
+    }
+
+    /// Reads the pixels of `r` (clipped) as tightly packed rows.
+    ///
+    /// Returns the clipped rectangle actually read together with the
+    /// bytes; returns an empty rect and buffer if nothing is in bounds.
+    pub fn get_raw(&self, r: &Rect) -> (Rect, Vec<u8>) {
+        let clip = self.clip(r);
+        if clip.is_empty() {
+            return (Rect::default(), Vec::new());
+        }
+        let bpp = self.format.bytes_per_pixel();
+        let row_len = clip.w as usize * bpp;
+        let mut out = Vec::with_capacity(row_len * clip.h as usize);
+        for y in clip.y..clip.bottom() {
+            let off = self.offset(clip.x, y);
+            out.extend_from_slice(&self.data[off..off + row_len]);
+        }
+        (clip, out)
+    }
+
+    /// Converts the full framebuffer to another pixel format.
+    pub fn convert(&self, format: PixelFormat) -> Framebuffer {
+        if format == self.format {
+            return self.clone();
+        }
+        let mut out = Framebuffer::new(self.width, self.height, format);
+        for y in 0..self.height as i32 {
+            for x in 0..self.width as i32 {
+                let c = self.get_pixel(x, y).expect("in bounds");
+                out.set_pixel(x, y, c);
+            }
+        }
+        out
+    }
+
+    /// FNV-1a checksum over the pixel bytes, for cheap equality checks
+    /// in tests and the headless client.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in &self.data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(w: u32, h: u32) -> Framebuffer {
+        Framebuffer::new(w, h, PixelFormat::Rgb888)
+    }
+
+    #[test]
+    fn new_is_black() {
+        let f = fb(4, 4);
+        assert_eq!(f.get_pixel(0, 0), Some(Color::BLACK));
+        assert_eq!(f.data().len(), 4 * 4 * 3);
+    }
+
+    #[test]
+    fn pixel_read_write_and_bounds() {
+        let mut f = fb(4, 4);
+        f.set_pixel(2, 3, Color::rgb(9, 8, 7));
+        assert_eq!(f.get_pixel(2, 3), Some(Color::rgb(9, 8, 7)));
+        assert_eq!(f.get_pixel(4, 0), None);
+        assert_eq!(f.get_pixel(-1, 0), None);
+        f.set_pixel(100, 100, Color::WHITE); // No panic, no effect.
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut f = fb(4, 4);
+        f.fill_rect(&Rect::new(2, 2, 10, 10), Color::WHITE);
+        assert_eq!(f.get_pixel(3, 3), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(1, 1), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn fill_rect_exact_area() {
+        let mut f = fb(8, 8);
+        f.fill_rect(&Rect::new(1, 2, 3, 4), Color::rgb(10, 20, 30));
+        let mut painted = 0;
+        for y in 0..8 {
+            for x in 0..8 {
+                if f.get_pixel(x, y) == Some(Color::rgb(10, 20, 30)) {
+                    painted += 1;
+                }
+            }
+        }
+        assert_eq!(painted, 12);
+    }
+
+    #[test]
+    fn tile_rect_phase_locked() {
+        let mut tile = fb(2, 2);
+        tile.set_pixel(0, 0, Color::WHITE);
+        // Checkerboard via 2x2 tile with one white pixel at (0,0).
+        let mut f = fb(6, 6);
+        f.tile_rect(&Rect::new(0, 0, 6, 6), &tile);
+        assert_eq!(f.get_pixel(0, 0), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(2, 0), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(4, 4), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(1, 0), Some(Color::BLACK));
+        // A second fill over a sub-rect must align with the first.
+        let mut g = fb(6, 6);
+        g.tile_rect(&Rect::new(0, 0, 3, 6), &tile);
+        g.tile_rect(&Rect::new(3, 0, 3, 6), &tile);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn bitmap_rect_fg_bg() {
+        let mut f = fb(8, 2);
+        // One row: 0b10100000 pattern over 8 px, two rows.
+        let bits = [0b1010_0000u8, 0b0101_0000u8];
+        f.bitmap_rect(
+            &Rect::new(0, 0, 8, 2),
+            &bits,
+            Color::WHITE,
+            Some(Color::rgb(1, 1, 1)),
+        );
+        assert_eq!(f.get_pixel(0, 0), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(1, 0), Some(Color::rgb(1, 1, 1)));
+        assert_eq!(f.get_pixel(2, 0), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(1, 1), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(0, 1), Some(Color::rgb(1, 1, 1)));
+    }
+
+    #[test]
+    fn bitmap_rect_transparent_bg_preserves() {
+        let mut f = fb(4, 1);
+        f.fill_rect(&Rect::new(0, 0, 4, 1), Color::rgb(5, 5, 5));
+        f.bitmap_rect(&Rect::new(0, 0, 4, 1), &[0b1000_0000], Color::WHITE, None);
+        assert_eq!(f.get_pixel(0, 0), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(1, 0), Some(Color::rgb(5, 5, 5)));
+    }
+
+    #[test]
+    fn bitmap_anchored_at_rect_origin() {
+        let mut f = fb(8, 8);
+        f.bitmap_rect(&Rect::new(3, 3, 2, 1), &[0b0100_0000], Color::WHITE, None);
+        assert_eq!(f.get_pixel(4, 3), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(3, 3), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn copy_rect_disjoint() {
+        let mut f = fb(8, 8);
+        f.fill_rect(&Rect::new(0, 0, 2, 2), Color::WHITE);
+        f.copy_rect(&Rect::new(0, 0, 2, 2), 4, 4);
+        assert_eq!(f.get_pixel(4, 4), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(5, 5), Some(Color::WHITE));
+        assert_eq!(f.get_pixel(0, 0), Some(Color::WHITE)); // Source kept.
+    }
+
+    #[test]
+    fn copy_rect_overlapping_down_right() {
+        let mut f = fb(6, 6);
+        // Paint a gradient-ish pattern for overlap detection.
+        for y in 0..6 {
+            for x in 0..6 {
+                f.set_pixel(x, y, Color::rgb(x as u8 * 10, y as u8 * 10, 0));
+            }
+        }
+        let snapshot = f.clone();
+        f.copy_rect(&Rect::new(0, 0, 4, 4), 2, 2);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(
+                    f.get_pixel(x + 2, y + 2),
+                    snapshot.get_pixel(x, y),
+                    "at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn copy_rect_overlapping_up_left() {
+        let mut f = fb(6, 6);
+        for y in 0..6 {
+            for x in 0..6 {
+                f.set_pixel(x, y, Color::rgb(x as u8 * 10, y as u8 * 10, 0));
+            }
+        }
+        let snapshot = f.clone();
+        f.copy_rect(&Rect::new(2, 2, 4, 4), 0, 0);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(f.get_pixel(x, y), snapshot.get_pixel(x + 2, y + 2));
+            }
+        }
+    }
+
+    #[test]
+    fn copy_rect_same_row_overlap() {
+        let mut f = fb(8, 1);
+        for x in 0..8 {
+            f.set_pixel(x, 0, Color::rgb(x as u8, 0, 0));
+        }
+        f.copy_rect(&Rect::new(0, 0, 6, 1), 2, 0);
+        for x in 0..6 {
+            assert_eq!(f.get_pixel(x + 2, 0), Some(Color::rgb(x as u8, 0, 0)));
+        }
+    }
+
+    #[test]
+    fn copy_rect_clips_offscreen_destination() {
+        let mut f = fb(4, 4);
+        f.fill_rect(&Rect::new(0, 0, 2, 2), Color::WHITE);
+        f.copy_rect(&Rect::new(0, 0, 2, 2), 3, 3);
+        assert_eq!(f.get_pixel(3, 3), Some(Color::WHITE));
+        // The rest fell off the edge; nothing panicked.
+    }
+
+    #[test]
+    fn put_and_get_raw_round_trip() {
+        let mut f = fb(4, 4);
+        let r = Rect::new(1, 1, 2, 2);
+        let pixels: Vec<u8> = (0..12).collect();
+        f.put_raw(&r, &pixels);
+        let (clip, got) = f.get_raw(&r);
+        assert_eq!(clip, r);
+        assert_eq!(got, pixels);
+    }
+
+    #[test]
+    fn put_raw_clips() {
+        let mut f = fb(4, 4);
+        let r = Rect::new(3, 3, 2, 2);
+        let pixels = vec![7u8; 2 * 2 * 3];
+        f.put_raw(&r, &pixels);
+        assert_eq!(f.get_pixel(3, 3), Some(Color::rgb(7, 7, 7)));
+    }
+
+    #[test]
+    fn get_raw_out_of_bounds_is_empty() {
+        let f = fb(4, 4);
+        let (clip, got) = f.get_raw(&Rect::new(10, 10, 2, 2));
+        assert!(clip.is_empty());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn convert_depth_round_trip_888_to_8888() {
+        let mut f = fb(3, 3);
+        f.fill_rect(&Rect::new(0, 0, 3, 3), Color::rgb(10, 20, 30));
+        let g = f.convert(PixelFormat::Rgba8888);
+        assert_eq!(g.get_pixel(1, 1), Some(Color::rgb(10, 20, 30)));
+        let back = g.convert(PixelFormat::Rgb888);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn checksum_changes_with_content() {
+        let mut f = fb(4, 4);
+        let c0 = f.checksum();
+        f.set_pixel(0, 0, Color::rgb(0, 0, 1));
+        assert_ne!(f.checksum(), c0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Points and rectangles with the coordinate conventions of a display
+//! driver: `x`/`y` are signed (commands may reference offscreen or
+//! clipped coordinates), widths and heights are unsigned.
+
+/// A point on (or off) the screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate, in pixels, growing rightward.
+    pub x: i32,
+    /// Vertical coordinate, in pixels, growing downward.
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// Returns this point translated by `(dx, dy)`.
+    pub const fn translated(self, dx: i32, dy: i32) -> Self {
+        Self::new(self.x + dx, self.y + dy)
+    }
+}
+
+/// An axis-aligned rectangle: origin plus extent.
+///
+/// A rectangle with zero width or height is *empty*: it covers no pixels
+/// and intersects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: i32,
+    /// Top edge.
+    pub y: i32,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle with origin `(x, y)` and extent `w`×`h`.
+    pub const fn new(x: i32, y: i32, w: u32, h: u32) -> Self {
+        Self { x, y, w, h }
+    }
+
+    /// Creates a rectangle from inclusive-exclusive edges.
+    ///
+    /// Returns an empty rectangle when `x2 <= x1` or `y2 <= y1`.
+    pub fn from_edges(x1: i32, y1: i32, x2: i32, y2: i32) -> Self {
+        if x2 <= x1 || y2 <= y1 {
+            Self::default()
+        } else {
+            Self::new(x1, y1, (x2 - x1) as u32, (y2 - y1) as u32)
+        }
+    }
+
+    /// Exclusive right edge.
+    pub const fn right(&self) -> i32 {
+        self.x + self.w as i32
+    }
+
+    /// Exclusive bottom edge.
+    pub const fn bottom(&self) -> i32 {
+        self.y + self.h as i32
+    }
+
+    /// Whether this rectangle covers no pixels.
+    pub const fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Number of pixels covered.
+    pub const fn area(&self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+
+    /// Whether the pixel at `p` lies inside this rectangle.
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.right() && p.y >= self.y && p.y < self.bottom()
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    ///
+    /// Empty rectangles are contained in everything (vacuously).
+    pub fn contains(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() {
+            return false;
+        }
+        other.x >= self.x
+            && other.y >= self.y
+            && other.right() <= self.right()
+            && other.bottom() <= self.bottom()
+    }
+
+    /// Whether the two rectangles share at least one pixel.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// The common area of two rectangles (empty if disjoint).
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        if self.is_empty() || other.is_empty() {
+            return Rect::default();
+        }
+        Rect::from_edges(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.right().min(other.right()),
+            self.bottom().min(other.bottom()),
+        )
+    }
+
+    /// The smallest rectangle covering both inputs.
+    ///
+    /// An empty input contributes nothing.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect::from_edges(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.right().max(other.right()),
+            self.bottom().max(other.bottom()),
+        )
+    }
+
+    /// Returns this rectangle translated by `(dx, dy)`.
+    pub const fn translated(&self, dx: i32, dy: i32) -> Rect {
+        Rect::new(self.x + dx, self.y + dy, self.w, self.h)
+    }
+
+    /// Subtracts `other` from `self`, producing up to four disjoint
+    /// rectangles that together cover `self \ other`.
+    pub fn subtract(&self, other: &Rect) -> Vec<Rect> {
+        let clip = self.intersection(other);
+        if clip.is_empty() {
+            return if self.is_empty() { vec![] } else { vec![*self] };
+        }
+        if clip == *self {
+            return vec![];
+        }
+        let mut out = Vec::with_capacity(4);
+        // Top band.
+        if clip.y > self.y {
+            out.push(Rect::from_edges(self.x, self.y, self.right(), clip.y));
+        }
+        // Bottom band.
+        if clip.bottom() < self.bottom() {
+            out.push(Rect::from_edges(
+                self.x,
+                clip.bottom(),
+                self.right(),
+                self.bottom(),
+            ));
+        }
+        // Left band (restricted to the clip's vertical span).
+        if clip.x > self.x {
+            out.push(Rect::from_edges(self.x, clip.y, clip.x, clip.bottom()));
+        }
+        // Right band.
+        if clip.right() < self.right() {
+            out.push(Rect::from_edges(
+                clip.right(),
+                clip.y,
+                self.right(),
+                clip.bottom(),
+            ));
+        }
+        out
+    }
+
+    /// Scales the rectangle by a rational factor `num/den` per axis,
+    /// rounding the origin down and the far edge up so the scaled
+    /// rectangle always covers the image of the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn scaled(&self, num_x: u32, den_x: u32, num_y: u32, den_y: u32) -> Rect {
+        assert!(den_x != 0 && den_y != 0, "zero scale denominator");
+        if self.is_empty() {
+            return Rect::default();
+        }
+        // Origin rounds down (floor), far edge rounds up (ceil), with
+        // Euclidean division so negative coordinates behave.
+        let floor_div = |a: i64, b: i64| a.div_euclid(b);
+        let ceil_div = |a: i64, b: i64| -((-a).div_euclid(b));
+        let x1 = floor_div(self.x as i64 * num_x as i64, den_x as i64);
+        let y1 = floor_div(self.y as i64 * num_y as i64, den_y as i64);
+        let x2 = ceil_div(self.right() as i64 * num_x as i64, den_x as i64);
+        let y2 = ceil_div(self.bottom() as i64 * num_y as i64, den_y as i64);
+        // A nonempty input always covers at least one output pixel.
+        let x2 = x2.max(x1 + 1);
+        let y2 = y2.max(y1 + 1);
+        Rect::from_edges(x1 as i32, y1 as i32, x2 as i32, y2 as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_translate() {
+        assert_eq!(Point::new(1, 2).translated(3, -5), Point::new(4, -3));
+    }
+
+    #[test]
+    fn rect_edges_and_area() {
+        let r = Rect::new(2, 3, 10, 20);
+        assert_eq!(r.right(), 12);
+        assert_eq!(r.bottom(), 23);
+        assert_eq!(r.area(), 200);
+        assert!(!r.is_empty());
+        assert!(Rect::new(5, 5, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn from_edges_degenerate_is_empty() {
+        assert!(Rect::from_edges(5, 5, 5, 10).is_empty());
+        assert!(Rect::from_edges(5, 5, 4, 10).is_empty());
+        assert_eq!(Rect::from_edges(0, 0, 3, 2), Rect::new(0, 0, 3, 2));
+    }
+
+    #[test]
+    fn contains_point_boundaries() {
+        let r = Rect::new(0, 0, 4, 4);
+        assert!(r.contains_point(Point::new(0, 0)));
+        assert!(r.contains_point(Point::new(3, 3)));
+        assert!(!r.contains_point(Point::new(4, 3)));
+        assert!(!r.contains_point(Point::new(-1, 0)));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0, 0, 10, 10);
+        assert!(outer.contains(&Rect::new(2, 2, 3, 3)));
+        assert!(outer.contains(&outer));
+        assert!(!outer.contains(&Rect::new(8, 8, 4, 4)));
+        // Empty rects are vacuously contained.
+        assert!(outer.contains(&Rect::default()));
+        assert!(Rect::default().contains(&Rect::default()));
+        assert!(!Rect::default().contains(&outer));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersection(&b), Rect::new(5, 5, 5, 5));
+        assert!(a.intersects(&b));
+        let c = Rect::new(10, 0, 5, 5); // Touching edges do not intersect.
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&Rect::default()).is_empty());
+    }
+
+    #[test]
+    fn union_cases() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(5, 5, 2, 2);
+        assert_eq!(a.union(&b), Rect::new(0, 0, 7, 7));
+        assert_eq!(a.union(&Rect::default()), a);
+        assert_eq!(Rect::default().union(&b), b);
+    }
+
+    #[test]
+    fn subtract_no_overlap_returns_self() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(10, 10, 4, 4);
+        assert_eq!(a.subtract(&b), vec![a]);
+    }
+
+    #[test]
+    fn subtract_full_cover_returns_empty() {
+        let a = Rect::new(2, 2, 4, 4);
+        let b = Rect::new(0, 0, 10, 10);
+        assert!(a.subtract(&b).is_empty());
+    }
+
+    #[test]
+    fn subtract_center_hole_makes_four_bands() {
+        let a = Rect::new(0, 0, 10, 10);
+        let hole = Rect::new(3, 3, 4, 4);
+        let parts = a.subtract(&hole);
+        assert_eq!(parts.len(), 4);
+        let total: u64 = parts.iter().map(Rect::area).sum();
+        assert_eq!(total, a.area() - hole.area());
+        // Pieces must be disjoint from each other and the hole.
+        for (i, p) in parts.iter().enumerate() {
+            assert!(!p.intersects(&hole));
+            for q in &parts[i + 1..] {
+                assert!(!p.intersects(q));
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_corner_overlap() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        let parts = a.subtract(&b);
+        let total: u64 = parts.iter().map(Rect::area).sum();
+        assert_eq!(total, 100 - 25);
+    }
+
+    #[test]
+    fn scaled_covers_original_image() {
+        let r = Rect::new(3, 5, 7, 9);
+        // Downscale 1024x768 -> 320x240.
+        let s = r.scaled(320, 1024, 240, 768);
+        assert!(!s.is_empty());
+        // Far edges round up.
+        assert!(s.right() as i64 * 1024 >= r.right() as i64 * 320);
+        assert!(s.bottom() as i64 * 768 >= r.bottom() as i64 * 240);
+    }
+
+    #[test]
+    fn translated_rect() {
+        assert_eq!(
+            Rect::new(1, 1, 2, 2).translated(-3, 4),
+            Rect::new(-2, 5, 2, 2)
+        );
+    }
+}

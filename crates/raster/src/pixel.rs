@@ -1,0 +1,242 @@
+//! Pixel formats and colors.
+//!
+//! THINC commands carry full 24-bit color plus an alpha channel (§3 of
+//! the paper); comparator systems in the evaluation run at other depths
+//! (GoToMyPC is limited to 8-bit color), so the substrate supports the
+//! depths exercised by the experiments.
+
+/// A color with 8-bit channels and straight (non-premultiplied) alpha.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+    /// Alpha channel; 255 is fully opaque.
+    pub a: u8,
+}
+
+impl Color {
+    /// Fully opaque black.
+    pub const BLACK: Color = Color::rgb(0, 0, 0);
+    /// Fully opaque white.
+    pub const WHITE: Color = Color::rgb(255, 255, 255);
+    /// Fully transparent.
+    pub const TRANSPARENT: Color = Color::rgba(0, 0, 0, 0);
+
+    /// An opaque color.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
+        Self { r, g, b, a: 255 }
+    }
+
+    /// A color with explicit alpha.
+    pub const fn rgba(r: u8, g: u8, b: u8, a: u8) -> Self {
+        Self { r, g, b, a }
+    }
+
+    /// Packs into 0xAARRGGBB.
+    pub const fn to_argb_u32(self) -> u32 {
+        ((self.a as u32) << 24) | ((self.r as u32) << 16) | ((self.g as u32) << 8) | self.b as u32
+    }
+
+    /// Unpacks from 0xAARRGGBB.
+    pub const fn from_argb_u32(v: u32) -> Self {
+        Self {
+            a: (v >> 24) as u8,
+            r: (v >> 16) as u8,
+            g: (v >> 8) as u8,
+            b: v as u8,
+        }
+    }
+
+    /// Perceptual luma (BT.601), used by 8-bit quantization and tests.
+    pub fn luma(self) -> u8 {
+        ((77 * self.r as u32 + 150 * self.g as u32 + 29 * self.b as u32) >> 8) as u8
+    }
+}
+
+/// Storage format of a framebuffer or image buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PixelFormat {
+    /// 8-bit "web safe"-style quantized color (3-3-2 RGB). Used by the
+    /// GoToMyPC-class baseline.
+    Indexed8,
+    /// 16-bit 5-6-5 RGB.
+    Rgb565,
+    /// 24-bit RGB, 3 bytes per pixel, byte order R, G, B.
+    Rgb888,
+    /// 32-bit RGBA, 4 bytes per pixel, byte order R, G, B, A.
+    Rgba8888,
+}
+
+impl PixelFormat {
+    /// Bytes used to store one pixel.
+    pub const fn bytes_per_pixel(self) -> usize {
+        match self {
+            PixelFormat::Indexed8 => 1,
+            PixelFormat::Rgb565 => 2,
+            PixelFormat::Rgb888 => 3,
+            PixelFormat::Rgba8888 => 4,
+        }
+    }
+
+    /// Color depth in bits as reported by the display system.
+    pub const fn depth(self) -> u32 {
+        match self {
+            PixelFormat::Indexed8 => 8,
+            PixelFormat::Rgb565 => 16,
+            PixelFormat::Rgb888 => 24,
+            PixelFormat::Rgba8888 => 32,
+        }
+    }
+
+    /// Whether the format carries an alpha channel.
+    pub const fn has_alpha(self) -> bool {
+        matches!(self, PixelFormat::Rgba8888)
+    }
+
+    /// Encodes `c` into `out` (must be exactly `bytes_per_pixel` long).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.bytes_per_pixel()`.
+    pub fn encode(self, c: Color, out: &mut [u8]) {
+        assert_eq!(out.len(), self.bytes_per_pixel(), "pixel buffer size");
+        match self {
+            PixelFormat::Indexed8 => {
+                out[0] = (c.r & 0xE0) | ((c.g & 0xE0) >> 3) | (c.b >> 6);
+            }
+            PixelFormat::Rgb565 => {
+                let v = (((c.r as u16) >> 3) << 11) | (((c.g as u16) >> 2) << 5) | ((c.b as u16) >> 3);
+                out.copy_from_slice(&v.to_le_bytes());
+            }
+            PixelFormat::Rgb888 => {
+                out[0] = c.r;
+                out[1] = c.g;
+                out[2] = c.b;
+            }
+            PixelFormat::Rgba8888 => {
+                out[0] = c.r;
+                out[1] = c.g;
+                out[2] = c.b;
+                out[3] = c.a;
+            }
+        }
+    }
+
+    /// Decodes one pixel from `buf` (must be exactly `bytes_per_pixel`).
+    ///
+    /// Formats without alpha decode as fully opaque. Lossy formats decode
+    /// with the channel's high bits replicated into the low bits so that
+    /// round-trips are stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.bytes_per_pixel()`.
+    pub fn decode(self, buf: &[u8]) -> Color {
+        assert_eq!(buf.len(), self.bytes_per_pixel(), "pixel buffer size");
+        match self {
+            PixelFormat::Indexed8 => {
+                let v = buf[0];
+                let r3 = v >> 5;
+                let g3 = (v >> 2) & 0x7;
+                let b2 = v & 0x3;
+                Color::rgb(expand_bits(r3, 3), expand_bits(g3, 3), expand_bits(b2, 2))
+            }
+            PixelFormat::Rgb565 => {
+                let v = u16::from_le_bytes([buf[0], buf[1]]);
+                let r5 = (v >> 11) as u8;
+                let g6 = ((v >> 5) & 0x3F) as u8;
+                let b5 = (v & 0x1F) as u8;
+                Color::rgb(expand_bits(r5, 5), expand_bits(g6, 6), expand_bits(b5, 5))
+            }
+            PixelFormat::Rgb888 => Color::rgb(buf[0], buf[1], buf[2]),
+            PixelFormat::Rgba8888 => Color::rgba(buf[0], buf[1], buf[2], buf[3]),
+        }
+    }
+}
+
+/// Expands an `n`-bit channel value to 8 bits by bit replication.
+fn expand_bits(v: u8, n: u32) -> u8 {
+    debug_assert!((1..=8).contains(&n));
+    let mut out: u32 = 0;
+    let mut filled = 0;
+    while filled < 8 {
+        let take = n.min(8 - filled);
+        out = (out << take) | ((v as u32) >> (n - take));
+        filled += take;
+    }
+    out as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argb_round_trip() {
+        let c = Color::rgba(1, 2, 3, 200);
+        assert_eq!(Color::from_argb_u32(c.to_argb_u32()), c);
+        assert_eq!(Color::rgb(255, 0, 0).to_argb_u32(), 0xFFFF0000);
+    }
+
+    #[test]
+    fn bytes_per_pixel_and_depth() {
+        assert_eq!(PixelFormat::Indexed8.bytes_per_pixel(), 1);
+        assert_eq!(PixelFormat::Rgb565.bytes_per_pixel(), 2);
+        assert_eq!(PixelFormat::Rgb888.bytes_per_pixel(), 3);
+        assert_eq!(PixelFormat::Rgba8888.bytes_per_pixel(), 4);
+        assert_eq!(PixelFormat::Rgb888.depth(), 24);
+        assert!(PixelFormat::Rgba8888.has_alpha());
+        assert!(!PixelFormat::Rgb888.has_alpha());
+    }
+
+    #[test]
+    fn rgb888_round_trip_exact() {
+        let fmt = PixelFormat::Rgb888;
+        let c = Color::rgb(12, 200, 99);
+        let mut buf = [0u8; 3];
+        fmt.encode(c, &mut buf);
+        assert_eq!(fmt.decode(&buf), c);
+    }
+
+    #[test]
+    fn rgba8888_round_trip_exact() {
+        let fmt = PixelFormat::Rgba8888;
+        let c = Color::rgba(12, 200, 99, 50);
+        let mut buf = [0u8; 4];
+        fmt.encode(c, &mut buf);
+        assert_eq!(fmt.decode(&buf), c);
+    }
+
+    #[test]
+    fn lossy_formats_are_stable_after_one_round_trip() {
+        for fmt in [PixelFormat::Indexed8, PixelFormat::Rgb565] {
+            let c = Color::rgb(123, 45, 67);
+            let mut buf = vec![0u8; fmt.bytes_per_pixel()];
+            fmt.encode(c, &mut buf);
+            let once = fmt.decode(&buf);
+            fmt.encode(once, &mut buf);
+            let twice = fmt.decode(&buf);
+            assert_eq!(once, twice, "{fmt:?} not idempotent");
+        }
+    }
+
+    #[test]
+    fn expand_bits_extremes() {
+        assert_eq!(expand_bits(0, 5), 0);
+        assert_eq!(expand_bits(0x1F, 5), 255);
+        assert_eq!(expand_bits(0x3F, 6), 255);
+        assert_eq!(expand_bits(0x7, 3), 255);
+        assert_eq!(expand_bits(0x3, 2), 255);
+    }
+
+    #[test]
+    fn luma_ordering() {
+        assert!(Color::WHITE.luma() > Color::rgb(128, 128, 128).luma());
+        assert!(Color::rgb(128, 128, 128).luma() > Color::BLACK.luma());
+        assert!(Color::rgb(0, 255, 0).luma() > Color::rgb(0, 0, 255).luma());
+    }
+}

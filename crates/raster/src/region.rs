@@ -1,0 +1,336 @@
+//! Regions: sets of pixels represented as disjoint rectangles.
+//!
+//! Command queues and damage tracking in THINC constantly compute
+//! overlaps between display commands, so the region representation must
+//! keep a canonical, disjoint rectangle list. We use the classic
+//! band-based (y-x banded) representation from the X server: rectangles
+//! are organized into horizontal bands sharing the same vertical span,
+//! sorted by `y` then `x`, with adjacent coalescable rectangles merged.
+
+use crate::geometry::Rect;
+
+/// A set of pixels stored as disjoint, banded rectangles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Region {
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A region covering exactly `r` (empty if `r` is empty).
+    pub fn from_rect(r: Rect) -> Self {
+        if r.is_empty() {
+            Self::new()
+        } else {
+            Self { rects: vec![r] }
+        }
+    }
+
+    /// Builds a region as the union of arbitrary rectangles.
+    pub fn from_rects(rs: &[Rect]) -> Self {
+        let mut out = Self::new();
+        for r in rs {
+            out.union_rect(r);
+        }
+        out
+    }
+
+    /// Whether the region covers no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The disjoint rectangles making up the region.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Total number of pixels covered.
+    pub fn area(&self) -> u64 {
+        self.rects.iter().map(Rect::area).sum()
+    }
+
+    /// The tight bounding rectangle (empty rect for an empty region).
+    pub fn bounds(&self) -> Rect {
+        self.rects
+            .iter()
+            .fold(Rect::default(), |acc, r| acc.union(r))
+    }
+
+    /// Whether any pixel of `r` lies in the region.
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        self.rects.iter().any(|q| q.intersects(r))
+    }
+
+    /// Whether every pixel of `r` lies in the region.
+    pub fn contains_rect(&self, r: &Rect) -> bool {
+        if r.is_empty() {
+            return true;
+        }
+        // Subtract the region from `r`; containment means nothing is left.
+        let mut remainder = vec![*r];
+        for q in &self.rects {
+            let mut next = Vec::new();
+            for piece in remainder {
+                next.extend(piece.subtract(q));
+            }
+            remainder = next;
+            if remainder.is_empty() {
+                return true;
+            }
+        }
+        remainder.is_empty()
+    }
+
+    /// Adds all pixels of `r` to the region.
+    pub fn union_rect(&mut self, r: &Rect) {
+        if r.is_empty() {
+            return;
+        }
+        // Keep only the parts of `r` not already covered, then insert.
+        let mut fresh = vec![*r];
+        for q in &self.rects {
+            let mut next = Vec::new();
+            for piece in fresh {
+                next.extend(piece.subtract(q));
+            }
+            fresh = next;
+            if fresh.is_empty() {
+                return;
+            }
+        }
+        self.rects.extend(fresh);
+        self.normalize();
+    }
+
+    /// Unions another region into this one.
+    pub fn union(&mut self, other: &Region) {
+        for r in &other.rects {
+            self.union_rect(r);
+        }
+    }
+
+    /// Removes all pixels of `r` from the region.
+    pub fn subtract_rect(&mut self, r: &Rect) {
+        if r.is_empty() || self.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.rects.len());
+        for q in &self.rects {
+            out.extend(q.subtract(r));
+        }
+        self.rects = out;
+        self.normalize();
+    }
+
+    /// Subtracts another region from this one.
+    pub fn subtract(&mut self, other: &Region) {
+        for r in &other.rects {
+            self.subtract_rect(r);
+        }
+    }
+
+    /// Restricts the region to the pixels inside `r`.
+    pub fn intersect_rect(&mut self, r: &Rect) {
+        let mut out = Vec::with_capacity(self.rects.len());
+        for q in &self.rects {
+            let c = q.intersection(r);
+            if !c.is_empty() {
+                out.push(c);
+            }
+        }
+        self.rects = out;
+        self.normalize();
+    }
+
+    /// Returns the intersection of two regions.
+    pub fn intersection(&self, other: &Region) -> Region {
+        let mut out = Region::new();
+        for a in &self.rects {
+            for b in &other.rects {
+                let c = a.intersection(b);
+                if !c.is_empty() {
+                    out.union_rect(&c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Translates every rectangle by `(dx, dy)`.
+    pub fn translate(&mut self, dx: i32, dy: i32) {
+        for r in &mut self.rects {
+            *r = r.translated(dx, dy);
+        }
+    }
+
+    /// Re-establishes the canonical banded form: sorted by `(y, x)` with
+    /// horizontally and vertically adjacent compatible rectangles merged.
+    fn normalize(&mut self) {
+        if self.rects.len() <= 1 {
+            return;
+        }
+        self.rects.sort_by_key(|r| (r.y, r.x));
+        // Merge horizontally adjacent rects in the same band.
+        let mut merged: Vec<Rect> = Vec::with_capacity(self.rects.len());
+        for r in self.rects.drain(..) {
+            if let Some(last) = merged.last_mut() {
+                if last.y == r.y && last.h == r.h && last.right() == r.x {
+                    last.w += r.w;
+                    continue;
+                }
+            }
+            merged.push(r);
+        }
+        // Merge vertically adjacent bands with identical x-spans.
+        let mut out: Vec<Rect> = Vec::with_capacity(merged.len());
+        for r in merged {
+            if let Some(prev) = out
+                .iter_mut()
+                .find(|p| p.x == r.x && p.w == r.w && p.bottom() == r.y)
+            {
+                prev.h += r.h;
+                continue;
+            }
+            out.push(r);
+        }
+        out.sort_by_key(|r| (r.y, r.x));
+        self.rects = out;
+    }
+}
+
+impl From<Rect> for Region {
+    fn from(r: Rect) -> Self {
+        Region::from_rect(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_region() {
+        let r = Region::new();
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0);
+        assert!(r.bounds().is_empty());
+    }
+
+    #[test]
+    fn union_of_disjoint_rects() {
+        let mut r = Region::from_rect(Rect::new(0, 0, 2, 2));
+        r.union_rect(&Rect::new(10, 10, 3, 3));
+        assert_eq!(r.area(), 4 + 9);
+        assert_eq!(r.rects().len(), 2);
+    }
+
+    #[test]
+    fn union_of_overlapping_rects_counts_once() {
+        let mut r = Region::from_rect(Rect::new(0, 0, 10, 10));
+        r.union_rect(&Rect::new(5, 5, 10, 10));
+        assert_eq!(r.area(), 100 + 100 - 25);
+    }
+
+    #[test]
+    fn union_of_identical_rect_is_idempotent() {
+        let mut r = Region::from_rect(Rect::new(1, 1, 5, 5));
+        r.union_rect(&Rect::new(1, 1, 5, 5));
+        assert_eq!(r.area(), 25);
+        assert_eq!(r.rects().len(), 1);
+    }
+
+    #[test]
+    fn adjacent_rects_coalesce() {
+        let mut r = Region::from_rect(Rect::new(0, 0, 5, 5));
+        r.union_rect(&Rect::new(5, 0, 5, 5));
+        assert_eq!(r.rects().len(), 1);
+        assert_eq!(r.bounds(), Rect::new(0, 0, 10, 5));
+        let mut v = Region::from_rect(Rect::new(0, 0, 5, 5));
+        v.union_rect(&Rect::new(0, 5, 5, 5));
+        assert_eq!(v.rects().len(), 1);
+        assert_eq!(v.bounds(), Rect::new(0, 0, 5, 10));
+    }
+
+    #[test]
+    fn subtract_hole() {
+        let mut r = Region::from_rect(Rect::new(0, 0, 10, 10));
+        r.subtract_rect(&Rect::new(3, 3, 4, 4));
+        assert_eq!(r.area(), 100 - 16);
+        assert!(!r.contains_rect(&Rect::new(4, 4, 1, 1)));
+        assert!(r.contains_rect(&Rect::new(0, 0, 3, 3)));
+    }
+
+    #[test]
+    fn subtract_everything_empties() {
+        let mut r = Region::from_rect(Rect::new(2, 2, 5, 5));
+        r.subtract_rect(&Rect::new(0, 0, 20, 20));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn contains_rect_spanning_multiple_pieces() {
+        // Two adjacent-but-not-coalescable pieces still jointly contain.
+        let mut r = Region::from_rect(Rect::new(0, 0, 5, 10));
+        r.union_rect(&Rect::new(5, 0, 5, 4));
+        assert!(r.contains_rect(&Rect::new(0, 0, 10, 4)));
+        assert!(!r.contains_rect(&Rect::new(0, 0, 10, 5)));
+    }
+
+    #[test]
+    fn intersection_of_regions() {
+        let a = Region::from_rect(Rect::new(0, 0, 10, 10));
+        let b = Region::from_rects(&[Rect::new(5, 5, 10, 10), Rect::new(-5, -5, 7, 7)]);
+        let c = a.intersection(&b);
+        assert_eq!(c.area(), 25 + 4);
+    }
+
+    #[test]
+    fn intersect_rect_clips() {
+        let mut r = Region::from_rects(&[Rect::new(0, 0, 4, 4), Rect::new(8, 8, 4, 4)]);
+        r.intersect_rect(&Rect::new(0, 0, 9, 9));
+        assert_eq!(r.area(), 16 + 1);
+    }
+
+    #[test]
+    fn translate_moves_everything() {
+        let mut r = Region::from_rect(Rect::new(0, 0, 2, 2));
+        r.translate(10, 20);
+        assert_eq!(r.bounds(), Rect::new(10, 20, 2, 2));
+    }
+
+    #[test]
+    fn from_rects_ignores_empty() {
+        let r = Region::from_rects(&[Rect::default(), Rect::new(0, 0, 1, 1)]);
+        assert_eq!(r.area(), 1);
+    }
+
+    #[test]
+    fn rects_are_disjoint_after_messy_unions() {
+        let mut r = Region::new();
+        let inputs = [
+            Rect::new(0, 0, 10, 10),
+            Rect::new(5, 5, 10, 10),
+            Rect::new(-3, 2, 6, 6),
+            Rect::new(2, -3, 6, 6),
+            Rect::new(0, 0, 20, 1),
+        ];
+        for i in &inputs {
+            r.union_rect(i);
+        }
+        let rects = r.rects().to_vec();
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.intersects(b), "{a:?} overlaps {b:?}");
+            }
+        }
+        // Every input pixel is covered.
+        for i in &inputs {
+            assert!(r.contains_rect(i));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Image resampling, including a simplified Fant resampler.
+//!
+//! THINC's server-side screen scaling (§6, §7) uses "a simplified
+//! version of Fant's resampling algorithm, which produces high quality,
+//! anti-aliased results with very low overhead". Fant's algorithm
+//! (IEEE CG&A 1986) is a separable, area-weighted streaming resampler;
+//! the simplified form implemented here computes, for each destination
+//! pixel, the exact coverage-weighted average of the source pixels its
+//! footprint spans — first horizontally, then vertically. For integer
+//! upscaling it degenerates to pixel replication with interpolation at
+//! fractional boundaries; for downscaling it is a proper box filter, so
+//! no source pixel is dropped (the property that makes the paper's PDA
+//! screenshots readable where client-side nearest-neighbour is not).
+
+use crate::framebuffer::Framebuffer;
+use crate::geometry::Rect;
+use crate::pixel::Color;
+
+/// Resampling filters available to the scaling pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleFilter {
+    /// Nearest-neighbour point sampling — the cheap client-side scaler
+    /// used by comparator systems (fast, aliased).
+    Nearest,
+    /// Simplified Fant area resampling — anti-aliased server-side
+    /// scaling as in the THINC prototype.
+    Fant,
+}
+
+/// Scales `src` to `dst_w`×`dst_h` using `filter`.
+///
+/// Returns an empty framebuffer when either destination dimension is 0.
+pub fn scale_image(src: &Framebuffer, dst_w: u32, dst_h: u32, filter: ScaleFilter) -> Framebuffer {
+    let mut dst = Framebuffer::new(dst_w, dst_h, src.format());
+    if dst_w == 0 || dst_h == 0 || src.width() == 0 || src.height() == 0 {
+        return dst;
+    }
+    match filter {
+        ScaleFilter::Nearest => scale_nearest(src, &mut dst),
+        ScaleFilter::Fant => scale_fant(src, &mut dst),
+    }
+    dst
+}
+
+/// Scales the sub-rectangle `r` of `src` and returns it as its own
+/// buffer of `dst_w`×`dst_h` pixels.
+pub fn scale_region(
+    src: &Framebuffer,
+    r: &Rect,
+    dst_w: u32,
+    dst_h: u32,
+    filter: ScaleFilter,
+) -> Framebuffer {
+    let clip = r.intersection(&src.bounds());
+    let mut cut = Framebuffer::new(clip.w, clip.h, src.format());
+    let (_, raw) = src.get_raw(&clip);
+    if !clip.is_empty() {
+        cut.put_raw(&Rect::new(0, 0, clip.w, clip.h), &raw);
+    }
+    scale_image(&cut, dst_w, dst_h, filter)
+}
+
+fn scale_nearest(src: &Framebuffer, dst: &mut Framebuffer) {
+    let (sw, sh) = (src.width() as u64, src.height() as u64);
+    let (dw, dh) = (dst.width() as u64, dst.height() as u64);
+    for dy in 0..dst.height() {
+        let sy = (dy as u64 * sh / dh) as i32;
+        for dx in 0..dst.width() {
+            let sx = (dx as u64 * sw / dw) as i32;
+            let c = src.get_pixel(sx, sy).expect("in bounds");
+            dst.set_pixel(dx as i32, dy as i32, c);
+        }
+    }
+}
+
+/// Separable area-weighted resampling (simplified Fant).
+fn scale_fant(src: &Framebuffer, dst: &mut Framebuffer) {
+    let sw = src.width() as usize;
+    let sh = src.height() as usize;
+    let dw = dst.width() as usize;
+    let dh = dst.height() as usize;
+    // Horizontal pass into an intermediate f32 RGBA buffer (sh rows x dw).
+    let mut mid = vec![[0f32; 4]; sh * dw];
+    for y in 0..sh {
+        let mut row_in: Vec<[f32; 4]> = Vec::with_capacity(sw);
+        for x in 0..sw {
+            let c = src.get_pixel(x as i32, y as i32).expect("in bounds");
+            row_in.push([c.r as f32, c.g as f32, c.b as f32, c.a as f32]);
+        }
+        resample_line(&row_in, &mut mid[y * dw..(y + 1) * dw]);
+    }
+    // Vertical pass.
+    let mut col_in: Vec<[f32; 4]> = vec![[0f32; 4]; sh];
+    let mut col_out: Vec<[f32; 4]> = vec![[0f32; 4]; dh];
+    for x in 0..dw {
+        for y in 0..sh {
+            col_in[y] = mid[y * dw + x];
+        }
+        resample_line(&col_in, &mut col_out);
+        for (y, p) in col_out.iter().copied().enumerate().take(dh) {
+            let q = |v: f32| -> u8 { (v + 0.5).clamp(0.0, 255.0) as u8 };
+            dst.set_pixel(x as i32, y as i32, Color::rgba(q(p[0]), q(p[1]), q(p[2]), q(p[3])));
+        }
+    }
+}
+
+/// Resamples a 1-D line of RGBA samples to `out.len()` samples by exact
+/// area weighting: output pixel `i` covers the source interval
+/// `[i*n/m, (i+1)*n/m)` and averages source pixels weighted by overlap.
+fn resample_line(input: &[[f32; 4]], out: &mut [[f32; 4]]) {
+    let n = input.len() as f64;
+    let m = out.len() as f64;
+    if input.is_empty() || out.is_empty() {
+        return;
+    }
+    let step = n / m;
+    for (i, o) in out.iter_mut().enumerate() {
+        let lo = i as f64 * step;
+        let hi = lo + step;
+        let mut acc = [0f64; 4];
+        let mut total = 0f64;
+        let first = lo.floor() as usize;
+        let last = (hi.ceil() as usize).min(input.len());
+        for (s, sample) in input.iter().enumerate().take(last).skip(first) {
+            let s_lo = s as f64;
+            let s_hi = s_lo + 1.0;
+            let overlap = (hi.min(s_hi) - lo.max(s_lo)).max(0.0);
+            if overlap > 0.0 {
+                for k in 0..4 {
+                    acc[k] += sample[k] as f64 * overlap;
+                }
+                total += overlap;
+            }
+        }
+        if total > 0.0 {
+            for k in 0..4 {
+                o[k] = (acc[k] / total) as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::PixelFormat;
+
+    fn flat(w: u32, h: u32, c: Color) -> Framebuffer {
+        let mut f = Framebuffer::new(w, h, PixelFormat::Rgb888);
+        f.fill_rect(&Rect::new(0, 0, w, h), c);
+        f
+    }
+
+    #[test]
+    fn flat_image_stays_flat_under_both_filters() {
+        let src = flat(10, 10, Color::rgb(40, 90, 160));
+        for filter in [ScaleFilter::Nearest, ScaleFilter::Fant] {
+            let out = scale_image(&src, 3, 7, filter);
+            for y in 0..7 {
+                for x in 0..3 {
+                    assert_eq!(out.get_pixel(x, y), Some(Color::rgb(40, 90, 160)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_scale_is_exact() {
+        let mut src = Framebuffer::new(5, 5, PixelFormat::Rgb888);
+        for y in 0..5 {
+            for x in 0..5 {
+                src.set_pixel(x, y, Color::rgb((x * 50) as u8, (y * 50) as u8, 7));
+            }
+        }
+        let out = scale_image(&src, 5, 5, ScaleFilter::Fant);
+        assert_eq!(out, src);
+        let out2 = scale_image(&src, 5, 5, ScaleFilter::Nearest);
+        assert_eq!(out2, src);
+    }
+
+    #[test]
+    fn fant_downscale_averages_no_pixel_dropped() {
+        // Half black, half white columns; 8 -> 2: both outputs are the
+        // average of their own half, i.e. pure black and pure white.
+        let mut src = Framebuffer::new(8, 1, PixelFormat::Rgb888);
+        src.fill_rect(&Rect::new(4, 0, 4, 1), Color::WHITE);
+        let out = scale_image(&src, 2, 1, ScaleFilter::Fant);
+        assert_eq!(out.get_pixel(0, 0), Some(Color::BLACK));
+        assert_eq!(out.get_pixel(1, 0), Some(Color::WHITE));
+        // 8 -> 1: true global average.
+        let one = scale_image(&src, 1, 1, ScaleFilter::Fant);
+        let c = one.get_pixel(0, 0).unwrap();
+        assert!((c.r as i32 - 128).abs() <= 1, "{c:?}");
+    }
+
+    #[test]
+    fn fant_antialiases_thin_features_nearest_drops_them() {
+        // A single white column among 7 black ones, downscaled 8 -> 2.
+        let mut src = Framebuffer::new(8, 1, PixelFormat::Rgb888);
+        src.fill_rect(&Rect::new(3, 0, 1, 1), Color::WHITE);
+        let fant = scale_image(&src, 2, 1, ScaleFilter::Fant);
+        // Fant keeps 1/4 of the white energy in the left output pixel.
+        assert!(fant.get_pixel(0, 0).unwrap().r > 0);
+        let nearest = scale_image(&src, 2, 1, ScaleFilter::Nearest);
+        // Nearest samples source x=0 and x=4, both black: feature lost.
+        assert_eq!(nearest.get_pixel(0, 0), Some(Color::BLACK));
+        assert_eq!(nearest.get_pixel(1, 0), Some(Color::BLACK));
+    }
+
+    #[test]
+    fn upscale_replicates_content() {
+        let mut src = Framebuffer::new(2, 1, PixelFormat::Rgb888);
+        src.set_pixel(1, 0, Color::WHITE);
+        let out = scale_image(&src, 4, 1, ScaleFilter::Fant);
+        assert_eq!(out.get_pixel(0, 0), Some(Color::BLACK));
+        assert_eq!(out.get_pixel(3, 0), Some(Color::WHITE));
+    }
+
+    #[test]
+    fn zero_sized_destination_is_empty() {
+        let src = flat(4, 4, Color::WHITE);
+        let out = scale_image(&src, 0, 3, ScaleFilter::Fant);
+        assert_eq!(out.width(), 0);
+        assert_eq!(out.data().len(), 0);
+    }
+
+    #[test]
+    fn scale_region_extracts_and_scales() {
+        let mut src = flat(8, 8, Color::BLACK);
+        src.fill_rect(&Rect::new(4, 4, 4, 4), Color::WHITE);
+        let out = scale_region(&src, &Rect::new(4, 4, 4, 4), 2, 2, ScaleFilter::Fant);
+        assert_eq!(out.get_pixel(0, 0), Some(Color::WHITE));
+        assert_eq!(out.get_pixel(1, 1), Some(Color::WHITE));
+    }
+
+    #[test]
+    fn pda_ratio_downscale_shape() {
+        // 1024x768 -> 320x240, the paper's PDA configuration.
+        let src = flat(128, 96, Color::rgb(10, 20, 30));
+        let out = scale_image(&src, 40, 30, ScaleFilter::Fant);
+        assert_eq!((out.width(), out.height()), (40, 30));
+        assert_eq!(out.get_pixel(20, 15), Some(Color::rgb(10, 20, 30)));
+    }
+}

@@ -1,0 +1,311 @@
+//! YUV pixel formats and colorspace conversion.
+//!
+//! THINC transmits video as YUV data (§4.2): the preferred MPEG pixel
+//! format YV12 represents a true-color pixel in 12 bits by subsampling
+//! chroma 2×2, and the client "hardware" performs colorspace conversion
+//! and scaling. This module implements the formats, conversion in both
+//! directions (BT.601 full-range), and frame geometry.
+
+use crate::framebuffer::Framebuffer;
+use crate::geometry::Rect;
+use crate::pixel::{Color, PixelFormat};
+
+/// Supported YUV storage layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YuvFormat {
+    /// Planar 4:2:0: full-resolution Y plane, then quarter-resolution V
+    /// then U planes (the XVideo/MPEG favourite; 12 bits per pixel).
+    Yv12,
+    /// Packed 4:2:2: Y0 U Y1 V per pixel pair (16 bits per pixel).
+    Yuy2,
+}
+
+impl YuvFormat {
+    /// Size in bytes of one frame of `w`×`h` pixels.
+    ///
+    /// For [`YuvFormat::Yv12`], odd dimensions are rounded up for the
+    /// chroma planes, as in the MPEG convention.
+    pub const fn frame_size(self, w: u32, h: u32) -> usize {
+        match self {
+            YuvFormat::Yv12 => {
+                let y = (w as usize) * (h as usize);
+                let c = (w as usize).div_ceil(2) * (h as usize).div_ceil(2);
+                y + 2 * c
+            }
+            YuvFormat::Yuy2 => {
+                let pairs = (w as usize).div_ceil(2) * (h as usize);
+                pairs * 4
+            }
+        }
+    }
+
+    /// Average bits per pixel of the format.
+    pub const fn bits_per_pixel(self) -> u32 {
+        match self {
+            YuvFormat::Yv12 => 12,
+            YuvFormat::Yuy2 => 16,
+        }
+    }
+}
+
+/// One video frame in a YUV format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YuvFrame {
+    /// Storage layout.
+    pub format: YuvFormat,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Raw plane data, laid out per `format`.
+    pub data: Vec<u8>,
+}
+
+impl YuvFrame {
+    /// Allocates a zeroed (green-black) frame.
+    pub fn new(format: YuvFormat, width: u32, height: u32) -> Self {
+        Self {
+            format,
+            width,
+            height,
+            data: vec![0; format.frame_size(width, height)],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has the wrong length for the geometry.
+    pub fn from_data(format: YuvFormat, width: u32, height: u32, data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            format.frame_size(width, height),
+            "YUV frame size mismatch"
+        );
+        Self {
+            format,
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Converts an RGB framebuffer region into a YUV frame.
+    pub fn from_rgb(src: &Framebuffer, r: &Rect, format: YuvFormat) -> Self {
+        let clip = r.intersection(&src.bounds());
+        let (w, h) = (clip.w, clip.h);
+        let mut frame = YuvFrame::new(format, w, h);
+        match format {
+            YuvFormat::Yv12 => {
+                let (cw, ch) = ((w as usize).div_ceil(2), (h as usize).div_ceil(2));
+                let y_plane_len = w as usize * h as usize;
+                let c_len = cw * ch;
+                // Accumulate chroma for 2x2 blocks.
+                let mut u_acc = vec![0u32; c_len];
+                let mut v_acc = vec![0u32; c_len];
+                let mut n_acc = vec![0u32; c_len];
+                for y in 0..h as i32 {
+                    for x in 0..w as i32 {
+                        let c = src.get_pixel(clip.x + x, clip.y + y).expect("in bounds");
+                        let (yy, uu, vv) = rgb_to_yuv(c);
+                        frame.data[y as usize * w as usize + x as usize] = yy;
+                        let ci = (y as usize / 2) * cw + (x as usize / 2);
+                        u_acc[ci] += uu as u32;
+                        v_acc[ci] += vv as u32;
+                        n_acc[ci] += 1;
+                    }
+                }
+                // YV12 plane order: Y, V, U.
+                for i in 0..c_len {
+                    let n = n_acc[i].max(1);
+                    frame.data[y_plane_len + i] = (v_acc[i] / n) as u8;
+                    frame.data[y_plane_len + c_len + i] = (u_acc[i] / n) as u8;
+                }
+            }
+            YuvFormat::Yuy2 => {
+                let pairs_per_row = (w as usize).div_ceil(2);
+                for y in 0..h as i32 {
+                    for px in 0..pairs_per_row {
+                        let x0 = (px * 2) as i32;
+                        let x1 = (x0 + 1).min(w as i32 - 1);
+                        let c0 = src.get_pixel(clip.x + x0, clip.y + y).expect("in bounds");
+                        let c1 = src.get_pixel(clip.x + x1, clip.y + y).expect("in bounds");
+                        let (y0, u0, v0) = rgb_to_yuv(c0);
+                        let (y1, u1, v1) = rgb_to_yuv(c1);
+                        let off = (y as usize * pairs_per_row + px) * 4;
+                        frame.data[off] = y0;
+                        frame.data[off + 1] = ((u0 as u32 + u1 as u32) / 2) as u8;
+                        frame.data[off + 2] = y1;
+                        frame.data[off + 3] = ((v0 as u32 + v1 as u32) / 2) as u8;
+                    }
+                }
+            }
+        }
+        frame
+    }
+
+    /// Reads the YUV pixel at `(x, y)` (chroma upsampled by replication).
+    pub fn yuv_at(&self, x: u32, y: u32) -> (u8, u8, u8) {
+        debug_assert!(x < self.width && y < self.height);
+        match self.format {
+            YuvFormat::Yv12 => {
+                let w = self.width as usize;
+                let cw = (self.width as usize).div_ceil(2);
+                let ch = (self.height as usize).div_ceil(2);
+                let y_len = w * self.height as usize;
+                let c_len = cw * ch;
+                let yy = self.data[y as usize * w + x as usize];
+                let ci = (y as usize / 2) * cw + (x as usize / 2);
+                let vv = self.data[y_len + ci];
+                let uu = self.data[y_len + c_len + ci];
+                (yy, uu, vv)
+            }
+            YuvFormat::Yuy2 => {
+                let pairs_per_row = (self.width as usize).div_ceil(2);
+                let off = (y as usize * pairs_per_row + x as usize / 2) * 4;
+                let yy = if x.is_multiple_of(2) {
+                    self.data[off]
+                } else {
+                    self.data[off + 2]
+                };
+                (yy, self.data[off + 1], self.data[off + 3])
+            }
+        }
+    }
+
+    /// Converts to RGB, scaling to `dst_w`×`dst_h` by nearest-neighbour
+    /// sampling — modeling the client video hardware's combined
+    /// colorspace-conversion-and-scaling stage.
+    pub fn to_rgb_scaled(&self, dst_w: u32, dst_h: u32, format: PixelFormat) -> Framebuffer {
+        let mut out = Framebuffer::new(dst_w, dst_h, format);
+        if self.width == 0 || self.height == 0 || dst_w == 0 || dst_h == 0 {
+            return out;
+        }
+        for dy in 0..dst_h {
+            let sy = (dy as u64 * self.height as u64 / dst_h as u64) as u32;
+            for dx in 0..dst_w {
+                let sx = (dx as u64 * self.width as u64 / dst_w as u64) as u32;
+                let (yy, uu, vv) = self.yuv_at(sx, sy);
+                out.set_pixel(dx as i32, dy as i32, yuv_to_rgb(yy, uu, vv));
+            }
+        }
+        out
+    }
+}
+
+/// Full-range BT.601 RGB → YUV.
+pub fn rgb_to_yuv(c: Color) -> (u8, u8, u8) {
+    let r = c.r as i32;
+    let g = c.g as i32;
+    let b = c.b as i32;
+    let y = (77 * r + 150 * g + 29 * b + 128) >> 8;
+    let u = ((-43 * r - 85 * g + 128 * b + 128) >> 8) + 128;
+    let v = ((128 * r - 107 * g - 21 * b + 128) >> 8) + 128;
+    (clamp_u8(y), clamp_u8(u), clamp_u8(v))
+}
+
+/// Full-range BT.601 YUV → RGB.
+pub fn yuv_to_rgb(y: u8, u: u8, v: u8) -> Color {
+    let y = y as i32;
+    let u = u as i32 - 128;
+    let v = v as i32 - 128;
+    let r = y + ((359 * v + 128) >> 8);
+    let g = y - ((88 * u + 183 * v + 128) >> 8);
+    let b = y + ((454 * u + 128) >> 8);
+    Color::rgb(clamp_u8(r), clamp_u8(g), clamp_u8(b))
+}
+
+fn clamp_u8(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yv12_frame_size_matches_12bpp() {
+        // 352x240 (the paper's clip geometry): 12 bits per pixel.
+        assert_eq!(YuvFormat::Yv12.frame_size(352, 240), 352 * 240 * 3 / 2);
+        assert_eq!(YuvFormat::Yv12.bits_per_pixel(), 12);
+    }
+
+    #[test]
+    fn yv12_odd_dimensions_round_up() {
+        assert_eq!(YuvFormat::Yv12.frame_size(3, 3), 9 + 2 * 4);
+    }
+
+    #[test]
+    fn yuy2_frame_size() {
+        assert_eq!(YuvFormat::Yuy2.frame_size(4, 2), 4 * 2 * 2);
+        assert_eq!(YuvFormat::Yuy2.frame_size(3, 2), 2 * 2 * 4);
+    }
+
+    #[test]
+    fn grey_round_trips_exactly() {
+        for g in [0u8, 64, 128, 200, 255] {
+            let (y, u, v) = rgb_to_yuv(Color::rgb(g, g, g));
+            assert!((u as i32 - 128).abs() <= 1);
+            assert!((v as i32 - 128).abs() <= 1);
+            let back = yuv_to_rgb(y, u, v);
+            assert!((back.r as i32 - g as i32).abs() <= 2, "{g}: {back:?}");
+        }
+    }
+
+    #[test]
+    fn primaries_round_trip_within_tolerance() {
+        for c in [
+            Color::rgb(255, 0, 0),
+            Color::rgb(0, 255, 0),
+            Color::rgb(0, 0, 255),
+            Color::rgb(255, 255, 0),
+            Color::rgb(123, 45, 210),
+        ] {
+            let (y, u, v) = rgb_to_yuv(c);
+            let back = yuv_to_rgb(y, u, v);
+            for (a, b) in [(c.r, back.r), (c.g, back.g), (c.b, back.b)] {
+                assert!((a as i32 - b as i32).abs() <= 6, "{c:?} -> {back:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rgb_to_yv12_and_back_flat_region() {
+        let mut fb = Framebuffer::new(8, 8, PixelFormat::Rgb888);
+        fb.fill_rect(&Rect::new(0, 0, 8, 8), Color::rgb(50, 100, 150));
+        let frame = YuvFrame::from_rgb(&fb, &Rect::new(0, 0, 8, 8), YuvFormat::Yv12);
+        let back = frame.to_rgb_scaled(8, 8, PixelFormat::Rgb888);
+        let c = back.get_pixel(4, 4).unwrap();
+        assert!((c.r as i32 - 50).abs() <= 6);
+        assert!((c.g as i32 - 100).abs() <= 6);
+        assert!((c.b as i32 - 150).abs() <= 6);
+    }
+
+    #[test]
+    fn hardware_scaling_changes_geometry_not_data_size() {
+        let frame = YuvFrame::new(YuvFormat::Yv12, 352, 240);
+        // Scaling to fullscreen is free on the wire: same frame data.
+        let small = frame.to_rgb_scaled(352, 240, PixelFormat::Rgb888);
+        let large = frame.to_rgb_scaled(1024, 768, PixelFormat::Rgb888);
+        assert_eq!(small.width(), 352);
+        assert_eq!(large.width(), 1024);
+        assert_eq!(frame.data.len(), YuvFormat::Yv12.frame_size(352, 240));
+    }
+
+    #[test]
+    fn yuy2_round_trip_flat() {
+        let mut fb = Framebuffer::new(4, 2, PixelFormat::Rgb888);
+        fb.fill_rect(&Rect::new(0, 0, 4, 2), Color::rgb(200, 40, 90));
+        let frame = YuvFrame::from_rgb(&fb, &Rect::new(0, 0, 4, 2), YuvFormat::Yuy2);
+        let back = frame.to_rgb_scaled(4, 2, PixelFormat::Rgb888);
+        let c = back.get_pixel(2, 1).unwrap();
+        assert!((c.r as i32 - 200).abs() <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "YUV frame size mismatch")]
+    fn from_data_validates_length() {
+        let _ = YuvFrame::from_data(YuvFormat::Yv12, 4, 4, vec![0; 3]);
+    }
+}

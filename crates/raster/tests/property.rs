@@ -1,0 +1,165 @@
+//! Property-based tests of the raster substrate's core invariants:
+//! region algebra is a correct set algebra, raster operations agree
+//! with their per-pixel definitions, and copies behave like memmove
+//! under arbitrary overlap.
+
+use proptest::prelude::*;
+use thinc_raster::{Color, Framebuffer, PixelFormat, Rect, Region};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-20..60i32, -20..60i32, 0u32..40, 0u32..40).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+fn rect_pixels(r: &Rect) -> Vec<(i32, i32)> {
+    let mut v = Vec::new();
+    for y in r.y..r.bottom() {
+        for x in r.x..r.right() {
+            v.push((x, y));
+        }
+    }
+    v
+}
+
+fn region_contains_point(reg: &Region, p: (i32, i32)) -> bool {
+    reg.rects()
+        .iter()
+        .any(|r| r.contains_point(thinc_raster::Point::new(p.0, p.1)))
+}
+
+proptest! {
+    #[test]
+    fn rect_subtract_partitions(a in arb_rect(), b in arb_rect()) {
+        let parts = a.subtract(&b);
+        // Each pixel of `a` is in exactly one of: parts, or a∩b.
+        for p in rect_pixels(&a) {
+            let in_b = b.contains_point(thinc_raster::Point::new(p.0, p.1));
+            let count = parts
+                .iter()
+                .filter(|r| r.contains_point(thinc_raster::Point::new(p.0, p.1)))
+                .count();
+            prop_assert_eq!(count, usize::from(!in_b), "pixel {:?}", p);
+        }
+        // Parts never exceed a.
+        for part in &parts {
+            prop_assert!(a.contains(part));
+            prop_assert!(!part.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn rect_intersection_commutes_and_bounds(a in arb_rect(), b in arb_rect()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(a.contains(&ab) || ab.is_empty());
+        prop_assert!(ab.area() <= a.area().min(b.area()));
+    }
+
+    #[test]
+    fn region_union_subtract_pixelwise(rects in prop::collection::vec(arb_rect(), 1..6),
+                                       hole in arb_rect()) {
+        let mut reg = Region::new();
+        for r in &rects {
+            reg.union_rect(r);
+        }
+        let before_area = reg.area();
+        // Union area: count distinct pixels.
+        let mut seen = std::collections::HashSet::new();
+        for r in &rects {
+            for p in rect_pixels(r) {
+                seen.insert(p);
+            }
+        }
+        prop_assert_eq!(before_area, seen.len() as u64);
+        // Subtract and re-check membership per pixel.
+        reg.subtract_rect(&hole);
+        for &p in &seen {
+            let in_hole = hole.contains_point(thinc_raster::Point::new(p.0, p.1));
+            prop_assert_eq!(region_contains_point(&reg, p), !in_hole, "pixel {:?}", p);
+        }
+        // Disjointness of the representation.
+        let rs = reg.rects();
+        for (i, x) in rs.iter().enumerate() {
+            for y in &rs[i + 1..] {
+                prop_assert!(!x.intersects(y));
+            }
+        }
+    }
+
+    #[test]
+    fn fill_matches_pixelwise_definition(r in arb_rect(), c in any::<(u8, u8, u8)>()) {
+        let color = Color::rgb(c.0, c.1, c.2);
+        let mut fb = Framebuffer::new(48, 48, PixelFormat::Rgb888);
+        fb.fill_rect(&r, color);
+        for y in 0..48 {
+            for x in 0..48 {
+                let expect = if r.contains_point(thinc_raster::Point::new(x, y)) {
+                    color
+                } else {
+                    Color::BLACK
+                };
+                prop_assert_eq!(fb.get_pixel(x, y), Some(expect));
+            }
+        }
+    }
+
+    #[test]
+    fn copy_rect_equals_snapshot_copy(src in arb_rect(), dx in -30..30i32, dy in -30..30i32) {
+        let mut fb = Framebuffer::new(48, 48, PixelFormat::Rgb888);
+        for y in 0..48 {
+            for x in 0..48 {
+                fb.set_pixel(x, y, Color::rgb((x * 5) as u8, (y * 5) as u8, (x ^ y) as u8));
+            }
+        }
+        let snapshot = fb.clone();
+        fb.copy_rect(&src, src.x + dx, src.y + dy);
+        for y in 0..48 {
+            for x in 0..48 {
+                // A pixel is copied iff its source position is inside
+                // the clipped src and itself inside the clipped dst.
+                let sx = x - dx;
+                let sy = y - dy;
+                let src_clip = src.intersection(&snapshot.bounds());
+                let from_copy = src_clip.contains_point(thinc_raster::Point::new(sx, sy))
+                    && snapshot.bounds().contains_point(thinc_raster::Point::new(x, y));
+                let expect = if from_copy {
+                    snapshot.get_pixel(sx, sy)
+                } else {
+                    snapshot.get_pixel(x, y)
+                };
+                prop_assert_eq!(fb.get_pixel(x, y), expect, "at ({}, {})", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_round_trip_any_rect(r in arb_rect()) {
+        let mut fb = Framebuffer::new(48, 48, PixelFormat::Rgb888);
+        for y in 0..48 {
+            for x in 0..48 {
+                fb.set_pixel(x, y, Color::rgb(x as u8, y as u8, 7));
+            }
+        }
+        let (clip, data) = fb.get_raw(&r);
+        let mut fb2 = Framebuffer::new(48, 48, PixelFormat::Rgb888);
+        if !clip.is_empty() {
+            fb2.put_raw(&clip, &data);
+            for p in rect_pixels(&clip) {
+                prop_assert_eq!(fb2.get_pixel(p.0, p.1), fb.get_pixel(p.0, p.1));
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_rect_covers_source_image(r in arb_rect(),
+                                       num in 1u32..8, den in 1u32..8) {
+        prop_assume!(!r.is_empty());
+        let s = r.scaled(num, den, num, den);
+        // Center maps inside the covering rect.
+        let cx = (r.x as i64 * 2 + r.w as i64) * num as i64 / (2 * den as i64);
+        let cy = (r.y as i64 * 2 + r.h as i64) * num as i64 / (2 * den as i64);
+        prop_assert!(!s.is_empty());
+        prop_assert!(cx >= s.x as i64 - 1 && cx <= s.right() as i64 + 1);
+        prop_assert!(cy >= s.y as i64 - 1 && cy <= s.bottom() as i64 + 1);
+    }
+}

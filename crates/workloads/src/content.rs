@@ -1,0 +1,143 @@
+//! Synthetic pixel content generators.
+//!
+//! Two content classes matter for the evaluation: *photographic*
+//! images (smooth noise — compresses poorly, like the single-large-
+//! image pages where THINC resorts to RAW), and *graphic* images
+//! (flat regions with hard edges — compresses well, like logos and
+//! web graphics). Both are deterministic in their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `w`×`h` RGB bytes of photograph-like content: smooth
+/// low-frequency variation plus per-pixel noise.
+pub fn photo_rgb(seed: u64, w: u32, h: u32) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (fx, fy) = (rng.gen_range(0.02f32..0.2), rng.gen_range(0.02f32..0.2));
+    let (px, py) = (rng.gen_range(0.0f32..6.3), rng.gen_range(0.0f32..6.3));
+    let base: [f32; 3] = [
+        rng.gen_range(60.0..200.0),
+        rng.gen_range(60.0..200.0),
+        rng.gen_range(60.0..200.0),
+    ];
+    let mut out = Vec::with_capacity((w * h * 3) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let wave = ((x as f32 * fx + px).sin() + (y as f32 * fy + py).cos()) * 30.0;
+            for c in base {
+                let noise: f32 = rng.gen_range(-18.0..18.0);
+                out.push((c + wave + noise).clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Generates `w`×`h` RGB bytes of graphic/logo-like content: a flat
+/// background with a few solid shapes — highly compressible.
+pub fn graphic_rgb(seed: u64, w: u32, h: u32) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bg: [u8; 3] = [rng.gen(), rng.gen(), rng.gen()];
+    let mut out = vec![0u8; (w * h * 3) as usize];
+    for px in out.chunks_mut(3) {
+        px.copy_from_slice(&bg);
+    }
+    // A few solid rectangles.
+    for _ in 0..rng.gen_range(2..6) {
+        let fg: [u8; 3] = [rng.gen(), rng.gen(), rng.gen()];
+        let rx = rng.gen_range(0..w.max(2) / 2);
+        let ry = rng.gen_range(0..h.max(2) / 2);
+        let rw = rng.gen_range(1..=(w - rx));
+        let rh = rng.gen_range(1..=(h - ry));
+        for y in ry..ry + rh {
+            for x in rx..rx + rw {
+                let off = ((y * w + x) * 3) as usize;
+                out[off..off + 3].copy_from_slice(&fg);
+            }
+        }
+    }
+    out
+}
+
+/// Generates a small tile (for `PFILL`-style page backgrounds).
+pub fn tile_rgb(seed: u64, w: u32, h: u32) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let a: [u8; 3] = [rng.gen(), rng.gen(), rng.gen()];
+    let b: [u8; 3] = [
+        a[0].wrapping_add(16),
+        a[1].wrapping_add(16),
+        a[2].wrapping_add(16),
+    ];
+    let mut out = Vec::with_capacity((w * h * 3) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let c = if (x + y) % 2 == 0 { a } else { b };
+            out.extend_from_slice(&c);
+        }
+    }
+    out
+}
+
+/// Deterministic pseudo-text: `n` words of latin-ish filler derived
+/// from `seed`.
+pub fn filler_text(seed: u64, n: usize) -> String {
+    const WORDS: &[&str] = &[
+        "lorem", "ipsum", "dolor", "sit", "amet", "consectetur", "adipiscing", "elit", "sed",
+        "do", "eiusmod", "tempor", "incididunt", "ut", "labore", "et", "dolore", "magna",
+        "aliqua", "enim", "ad", "minim", "veniam", "quis", "nostrud",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7EA7);
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(photo_rgb(1, 16, 16), photo_rgb(1, 16, 16));
+        assert_eq!(graphic_rgb(2, 16, 16), graphic_rgb(2, 16, 16));
+        assert_eq!(filler_text(3, 10), filler_text(3, 10));
+        assert_ne!(photo_rgb(1, 16, 16), photo_rgb(2, 16, 16));
+    }
+
+    #[test]
+    fn sizes_correct() {
+        assert_eq!(photo_rgb(1, 10, 20).len(), 600);
+        assert_eq!(graphic_rgb(1, 10, 20).len(), 600);
+        assert_eq!(tile_rgb(1, 4, 4).len(), 48);
+    }
+
+    #[test]
+    fn photo_is_less_compressible_than_graphic() {
+        let photo = photo_rgb(7, 64, 64);
+        let graphic = graphic_rgb(7, 64, 64);
+        let cp = thinc_compressibility(&photo);
+        let cg = thinc_compressibility(&graphic);
+        assert!(cp > cg, "photo {cp} vs graphic {cg}");
+    }
+
+    /// Crude compressibility proxy: count of distinct adjacent-byte
+    /// deltas (higher = noisier = less compressible).
+    fn thinc_compressibility(data: &[u8]) -> usize {
+        let mut deltas = std::collections::HashSet::new();
+        for w in data.windows(2) {
+            deltas.insert(w[1].wrapping_sub(w[0]));
+        }
+        deltas.len()
+    }
+
+    #[test]
+    fn filler_text_word_count() {
+        let t = filler_text(1, 25);
+        assert_eq!(t.split(' ').count(), 25);
+    }
+}

@@ -1,0 +1,154 @@
+//! A document-scrolling workload.
+//!
+//! The `COPY` command exists because scrolling and opaque window
+//! movement dominate interactive desktop use: "this command improves
+//! the user experience by accelerating scrolling and opaque window
+//! movement without having to resend screen data from the server"
+//! (§3). This workload renders a long text document and scrolls
+//! through it line by line — each step is a screen-to-screen copy
+//! plus a freshly drawn strip at the bottom, exactly the op stream a
+//! text editor or browser produces while scrolling.
+
+use thinc_display::drawable::SCREEN;
+use thinc_display::request::DrawRequest;
+use thinc_raster::{Color, Rect};
+
+use crate::content;
+
+/// A scrolling session over a synthetic document.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrollWorkload {
+    /// Screen width.
+    pub width: u32,
+    /// Screen height.
+    pub height: u32,
+    /// Pixels scrolled per step (one text line).
+    pub step: u32,
+    /// Number of scroll steps.
+    pub steps: u32,
+    /// Content seed.
+    pub seed: u64,
+}
+
+impl ScrollWorkload {
+    /// A standard session: full-screen document, 16-px lines.
+    pub fn standard(width: u32, height: u32) -> Self {
+        Self {
+            width,
+            height,
+            step: 16,
+            steps: 40,
+            seed: 42,
+        }
+    }
+
+    /// The initial full-document render.
+    pub fn initial_requests(&self) -> Vec<DrawRequest> {
+        let mut reqs = vec![DrawRequest::FillRect {
+            target: SCREEN,
+            rect: Rect::new(0, 0, self.width, self.height),
+            color: Color::WHITE,
+        }];
+        let mut y = 4;
+        let mut line = 0u64;
+        while (y as u32) + 12 < self.height {
+            reqs.push(self.line_request(line, y));
+            y += self.step as i32;
+            line += 1;
+        }
+        reqs
+    }
+
+    /// One line of document text at height `y`.
+    fn line_request(&self, line: u64, y: i32) -> DrawRequest {
+        DrawRequest::Text {
+            target: SCREEN,
+            x: 8,
+            y,
+            text: content::filler_text(self.seed.wrapping_add(line), 9),
+            fg: Color::BLACK,
+        }
+    }
+
+    /// The requests for scroll step `i` (0-based): shift the view up
+    /// by one line and draw the newly exposed line at the bottom.
+    pub fn scroll_step_requests(&self, i: u32) -> Vec<DrawRequest> {
+        let visible_lines = (self.height.saturating_sub(16)) / self.step;
+        let new_line = visible_lines as u64 + i as u64;
+        let bottom_y = (visible_lines * self.step) as i32 - self.step as i32 + 4;
+        vec![
+            // Shift everything up (the accelerated path).
+            DrawRequest::CopyArea {
+                src: SCREEN,
+                dst: SCREEN,
+                src_rect: Rect::new(0, self.step as i32, self.width, self.height - self.step),
+                dst_x: 0,
+                dst_y: 0,
+            },
+            // Clear and draw the newly exposed strip.
+            DrawRequest::FillRect {
+                target: SCREEN,
+                rect: Rect::new(
+                    0,
+                    (self.height - self.step) as i32,
+                    self.width,
+                    self.step,
+                ),
+                color: Color::WHITE,
+            },
+            self.line_request(self.seed.wrapping_add(new_line), bottom_y),
+        ]
+    }
+
+    /// All steps' requests, flattened (for batch runs).
+    pub fn all_steps(&self) -> Vec<Vec<DrawRequest>> {
+        (0..self.steps).map(|i| self.scroll_step_requests(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_render_fills_screen_with_lines() {
+        let w = ScrollWorkload::standard(640, 480);
+        let reqs = w.initial_requests();
+        assert!(reqs.len() > 20);
+        assert!(matches!(reqs[0], DrawRequest::FillRect { .. }));
+        assert!(reqs[1..]
+            .iter()
+            .all(|r| matches!(r, DrawRequest::Text { .. })));
+    }
+
+    #[test]
+    fn each_step_is_copy_fill_text() {
+        let w = ScrollWorkload::standard(640, 480);
+        for i in 0..w.steps {
+            let reqs = w.scroll_step_requests(i);
+            assert_eq!(reqs.len(), 3);
+            assert!(matches!(
+                reqs[0],
+                DrawRequest::CopyArea { src, dst, .. } if src.is_screen() && dst.is_screen()
+            ));
+            assert!(matches!(reqs[1], DrawRequest::FillRect { .. }));
+            assert!(matches!(reqs[2], DrawRequest::Text { .. }));
+        }
+    }
+
+    #[test]
+    fn steps_are_deterministic_and_distinct() {
+        let w = ScrollWorkload::standard(640, 480);
+        let a = format!("{:?}", w.scroll_step_requests(3));
+        let b = format!("{:?}", w.scroll_step_requests(3));
+        let c = format!("{:?}", w.scroll_step_requests(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_steps_counts() {
+        let w = ScrollWorkload::standard(320, 240);
+        assert_eq!(w.all_steps().len(), w.steps as usize);
+    }
+}

@@ -1,0 +1,262 @@
+//! The audio/video benchmark clip (§8.2).
+//!
+//! "A 34.75 s MPEG-1 audio/video clip, with the video being of
+//! original size 352×240 pixels and displayed at full-screen
+//! resolution." The decoder's *output* — the YV12 frames handed to
+//! the XVideo interface — is what the remote display system sees, so
+//! that is what this module generates: a deterministic moving-scene
+//! frame source at the clip's exact geometry, rate and duration,
+//! plus the matching PCM audio track.
+
+use thinc_raster::{YuvFormat, YuvFrame};
+
+/// The paper's clip: 352×240, ~24 fps, 34.75 s.
+#[derive(Debug, Clone)]
+pub struct VideoClip {
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Frames per second.
+    pub fps: u32,
+    /// Clip duration in milliseconds.
+    pub duration_ms: u64,
+    /// Pixel format delivered to the device layer.
+    pub format: YuvFormat,
+}
+
+impl VideoClip {
+    /// The benchmark clip exactly as in §8.2.
+    pub fn benchmark() -> Self {
+        Self {
+            width: 352,
+            height: 240,
+            fps: 24,
+            duration_ms: 34_750,
+            format: YuvFormat::Yv12,
+        }
+    }
+
+    /// A shortened variant for fast tests.
+    pub fn short(duration_ms: u64) -> Self {
+        Self {
+            duration_ms,
+            ..Self::benchmark()
+        }
+    }
+
+    /// Total number of frames in the clip.
+    pub fn frame_count(&self) -> u32 {
+        (self.duration_ms * self.fps as u64 / 1000) as u32
+    }
+
+    /// Presentation timestamp of frame `i`, in microseconds.
+    pub fn pts_us(&self, i: u32) -> u64 {
+        i as u64 * 1_000_000 / self.fps as u64
+    }
+
+    /// Bytes of one frame on the wire.
+    pub fn frame_bytes(&self) -> usize {
+        self.format.frame_size(self.width, self.height)
+    }
+
+    /// Generates frame `i`: a moving diagonal gradient with a bouncing
+    /// bright block, deterministic in `i`.
+    pub fn frame(&self, i: u32) -> YuvFrame {
+        let mut f = YuvFrame::new(self.format, self.width, self.height);
+        let w = self.width as usize;
+        let h = self.height as usize;
+        let phase = (i * 3) as usize;
+        match self.format {
+            YuvFormat::Yv12 => {
+                let y_len = w * h;
+                let cw = w.div_ceil(2);
+                let ch = h.div_ceil(2);
+                let c_len = cw * ch;
+                // Luma: moving gradient plus per-pixel dither (decoded
+                // video carries sensor/codec noise; without it the
+                // frames would be unrealistically RLE-compressible).
+                for y in 0..h {
+                    for x in 0..w {
+                        let base = ((x + y + phase) / 2) % 200 + 16;
+                        let dither = ((x.wrapping_mul(2654435761)
+                            ^ y.wrapping_mul(40503)
+                            ^ phase.wrapping_mul(97))
+                            >> 7)
+                            & 0x7;
+                        f.data[y * w + x] = (base + dither) as u8;
+                    }
+                }
+                // Bouncing block.
+                let period = 2 * (w - 40);
+                let bx = {
+                    let p = (phase * 4) % period;
+                    if p < w - 40 {
+                        p
+                    } else {
+                        period - p
+                    }
+                };
+                let by = h / 3;
+                for y in by..(by + 40).min(h) {
+                    for x in bx..(bx + 40).min(w) {
+                        f.data[y * w + x] = 235;
+                    }
+                }
+                // Chroma: slow color cycle.
+                for cy in 0..ch {
+                    for cx in 0..cw {
+                        f.data[y_len + cy * cw + cx] = ((cx + phase) % 160 + 48) as u8;
+                        f.data[y_len + c_len + cy * cw + cx] = ((cy + phase) % 160 + 48) as u8;
+                    }
+                }
+            }
+            YuvFormat::Yuy2 => {
+                let pairs = w.div_ceil(2);
+                for y in 0..h {
+                    for p in 0..pairs {
+                        let off = (y * pairs + p) * 4;
+                        f.data[off] = (((p * 2 + y + phase) / 2) % 220 + 16) as u8;
+                        f.data[off + 1] = ((p + phase) % 160 + 48) as u8;
+                        f.data[off + 2] = (((p * 2 + 1 + y + phase) / 2) % 220 + 16) as u8;
+                        f.data[off + 3] = ((y + phase) % 160 + 48) as u8;
+                    }
+                }
+            }
+        }
+        f
+    }
+
+    /// Raw-RGB bandwidth this clip would need without YUV (the §2
+    /// motivating number: fullscreen raw RGB is ~0.5 Gbps).
+    pub fn raw_rgb_bps_at(&self, screen_w: u32, screen_h: u32) -> u64 {
+        screen_w as u64 * screen_h as u64 * 3 * 8 * self.fps as u64
+    }
+}
+
+/// The clip's audio track: PCM samples.
+#[derive(Debug, Clone, Copy)]
+pub struct AudioTrack {
+    /// Sample rate in Hz.
+    pub sample_rate: u32,
+    /// Channel count.
+    pub channels: u32,
+    /// Duration in milliseconds (matches the clip).
+    pub duration_ms: u64,
+}
+
+impl AudioTrack {
+    /// CD-quality stereo matching the benchmark clip.
+    pub fn benchmark() -> Self {
+        Self {
+            sample_rate: 44_100,
+            channels: 2,
+            duration_ms: 34_750,
+        }
+    }
+
+    /// Bytes per second of PCM data (16-bit samples).
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.sample_rate as u64 * self.channels as u64 * 2
+    }
+
+    /// Total PCM bytes in the track.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_sec() * self.duration_ms / 1000
+    }
+
+    /// Generates `ms` milliseconds of deterministic PCM data starting
+    /// at `offset_ms` (a simple stereo tone).
+    pub fn pcm(&self, offset_ms: u64, ms: u64) -> Vec<u8> {
+        let frames = self.sample_rate as u64 * ms / 1000;
+        let start = self.sample_rate as u64 * offset_ms / 1000;
+        let mut out = Vec::with_capacity((frames * self.channels as u64 * 2) as usize);
+        for i in 0..frames {
+            let t = (start + i) as f32 / self.sample_rate as f32;
+            let s = ((t * 440.0 * std::f32::consts::TAU).sin() * 12_000.0) as i16;
+            for _ in 0..self.channels {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_geometry() {
+        let c = VideoClip::benchmark();
+        assert_eq!((c.width, c.height), (352, 240));
+        assert_eq!(c.frame_count(), 834); // 34.75 s * 24 fps.
+        assert_eq!(c.frame_bytes(), 352 * 240 * 3 / 2);
+    }
+
+    #[test]
+    fn pts_spacing() {
+        let c = VideoClip::benchmark();
+        assert_eq!(c.pts_us(0), 0);
+        assert_eq!(c.pts_us(24), 1_000_000);
+    }
+
+    #[test]
+    fn frames_are_deterministic_and_distinct() {
+        let c = VideoClip::benchmark();
+        assert_eq!(c.frame(10), c.frame(10));
+        assert_ne!(c.frame(10).data, c.frame(11).data);
+    }
+
+    #[test]
+    fn frame_size_matches_format() {
+        let c = VideoClip::benchmark();
+        assert_eq!(c.frame(0).data.len(), c.frame_bytes());
+    }
+
+    #[test]
+    fn raw_rgb_motivating_number() {
+        // §2: 30 fps fullscreen 1024x768 24-bit ~ 0.5 Gbps. At our
+        // 24 fps it is ~0.45 Gbps; the order of magnitude matches.
+        let c = VideoClip::benchmark();
+        let bps = c.raw_rgb_bps_at(1024, 768);
+        assert!(bps > 400_000_000, "{bps}");
+    }
+
+    #[test]
+    fn yuv_halves_the_bandwidth_of_rgb() {
+        let c = VideoClip::benchmark();
+        let yuv_bps = c.frame_bytes() as u64 * 8 * c.fps as u64;
+        let rgb_bps = c.width as u64 * c.height as u64 * 3 * 8 * c.fps as u64;
+        assert_eq!(yuv_bps * 2, rgb_bps);
+    }
+
+    #[test]
+    fn audio_track_sizes() {
+        let a = AudioTrack::benchmark();
+        assert_eq!(a.bytes_per_sec(), 176_400);
+        let one_sec = a.pcm(0, 1000);
+        assert_eq!(one_sec.len(), 176_400);
+    }
+
+    #[test]
+    fn audio_deterministic_and_continuous() {
+        let a = AudioTrack::benchmark();
+        let x = a.pcm(0, 10);
+        let y = a.pcm(0, 10);
+        assert_eq!(x, y);
+        // Contiguous windows produce contiguous samples.
+        let first20 = a.pcm(0, 20);
+        let second10 = a.pcm(10, 10);
+        assert_eq!(&first20[first20.len() - second10.len()..], &second10[..]);
+    }
+
+    #[test]
+    fn yuy2_variant_works() {
+        let c = VideoClip {
+            format: YuvFormat::Yuy2,
+            ..VideoClip::benchmark()
+        };
+        assert_eq!(c.frame(5).data.len(), YuvFormat::Yuy2.frame_size(352, 240));
+    }
+}

@@ -1,0 +1,378 @@
+//! The i-Bench-style web browsing workload (§8.2).
+//!
+//! 54 deterministic pages in three classes, mirroring the §8.3
+//! page-by-page breakdown:
+//!
+//! - [`PageKind::TextHeavy`] — mostly text runs over a solid
+//!   background (where THINC's `BITMAP`/`SFILL` shine),
+//! - [`PageKind::Mixed`] — text + logos + tables + small images (the
+//!   majority class, "mixed web content (text, logos, tables, etc.)"),
+//! - [`PageKind::LargeImage`] — "primarily ... a single large image"
+//!   (where THINC resorts to RAW + compression and the adaptive
+//!   compressors of other systems catch up).
+//!
+//! Each page renders the way Mozilla renders: the content is composed
+//! in an *offscreen pixmap* and copied onscreen when ready — the
+//! behaviour THINC's offscreen awareness exists for ("offscreen
+//! drawing ... is used heavily by Mozilla", §8.3). Each page also
+//! carries the size of its HTML+assets, used to model the
+//! server-side browser fetching it from the web server.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thinc_display::drawable::DrawableId;
+use thinc_display::request::DrawRequest;
+use thinc_raster::{Color, Point, Rect};
+
+use crate::content;
+
+/// Number of pages in the benchmark sequence (as in i-Bench).
+pub const PAGE_COUNT: usize = 54;
+
+/// Content class of a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// Mostly text over solid background.
+    TextHeavy,
+    /// Text, logos, tables, small images.
+    Mixed,
+    /// One large photographic image.
+    LargeImage,
+}
+
+/// One page of the workload.
+#[derive(Debug, Clone)]
+pub struct WebPage {
+    /// Page index (0-based).
+    pub index: usize,
+    /// Content class.
+    pub kind: PageKind,
+    /// Bytes of HTML + assets fetched from the web server.
+    pub content_bytes: u64,
+    /// Where the "next page" link sits (the timed mechanical click).
+    pub link_position: Point,
+}
+
+/// The 54-page workload for a given screen geometry.
+#[derive(Debug, Clone)]
+pub struct WebWorkload {
+    /// Screen width the browser runs at (fullscreen, §8.2).
+    pub width: u32,
+    /// Screen height.
+    pub height: u32,
+    /// Base random seed (pages derive per-page seeds from it).
+    pub seed: u64,
+}
+
+impl WebWorkload {
+    /// The standard benchmark at the paper's desktop resolution.
+    pub fn standard() -> Self {
+        Self {
+            width: 1024,
+            height: 768,
+            seed: 2005,
+        }
+    }
+
+    /// A workload at custom geometry.
+    pub fn new(width: u32, height: u32, seed: u64) -> Self {
+        Self {
+            width,
+            height,
+            seed,
+        }
+    }
+
+    /// The page descriptors, in benchmark order.
+    pub fn pages(&self) -> Vec<WebPage> {
+        (0..PAGE_COUNT).map(|i| self.page(i)).collect()
+    }
+
+    /// Descriptor of page `index`.
+    pub fn page(&self, index: usize) -> WebPage {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(index as u64 * 7919));
+        // Class mix: ~20% text-heavy, ~65% mixed, ~15% large-image.
+        let kind = match index % 13 {
+            0 | 5 => PageKind::TextHeavy,
+            3 | 9 => PageKind::LargeImage,
+            _ => PageKind::Mixed,
+        };
+        let content_bytes = match kind {
+            PageKind::TextHeavy => rng.gen_range(15_000..40_000),
+            PageKind::Mixed => rng.gen_range(40_000..120_000),
+            PageKind::LargeImage => rng.gen_range(100_000..250_000),
+        };
+        WebPage {
+            index,
+            kind,
+            content_bytes,
+            link_position: Point::new(
+                rng.gen_range(50..(self.width as i32 - 50)),
+                rng.gen_range((self.height as i32 * 3 / 4)..(self.height as i32 - 10)),
+            ),
+        }
+    }
+
+    /// Generates the drawing requests that render page `index`,
+    /// browser-style: compose into an offscreen pixmap created by the
+    /// caller (`page_buffer`), then copy onscreen.
+    ///
+    /// The returned list assumes `page_buffer` has the screen's size.
+    pub fn render_requests(&self, index: usize, page_buffer: DrawableId) -> Vec<DrawRequest> {
+        let page = self.page(index);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(index as u64 * 104_729));
+        let mut reqs = Vec::new();
+        let w = self.width;
+        let h = self.height;
+        // Background: solid for most pages, patterned sometimes.
+        if rng.gen_bool(0.2) {
+            reqs.push(DrawRequest::FillRect {
+                target: page_buffer,
+                rect: Rect::new(0, 0, w, h),
+                color: Color::WHITE,
+            });
+        } else {
+            reqs.push(DrawRequest::FillRect {
+                target: page_buffer,
+                rect: Rect::new(0, 0, w, h),
+                color: Color::rgb(
+                    240u8.saturating_sub(rng.gen_range(0..30)),
+                    240u8.saturating_sub(rng.gen_range(0..30)),
+                    240u8.saturating_sub(rng.gen_range(0..30)),
+                ),
+            });
+        }
+        // Header bar.
+        reqs.push(DrawRequest::FillRect {
+            target: page_buffer,
+            rect: Rect::new(0, 0, w, 48),
+            color: Color::rgb(
+                rng.gen_range(20..90),
+                rng.gen_range(20..90),
+                rng.gen_range(90..180),
+            ),
+        });
+        reqs.push(DrawRequest::Text {
+            target: page_buffer,
+            x: 16,
+            y: 16,
+            text: content::filler_text(page.index as u64, 6),
+            fg: Color::WHITE,
+        });
+        match page.kind {
+            PageKind::TextHeavy => {
+                self.render_text_body(&mut rng, page_buffer, &mut reqs, index, 60);
+            }
+            PageKind::Mixed => {
+                self.render_text_body(&mut rng, page_buffer, &mut reqs, index, 25);
+                // Logos / graphics.
+                for g in 0..rng.gen_range(3..7) {
+                    let gw = rng.gen_range(60..180u32).min(w / 2);
+                    let gh = rng.gen_range(40..120u32).min(h / 3);
+                    let gx = rng.gen_range(0..(w - gw)) as i32;
+                    let gy = rng.gen_range(60.min(h - gh - 1)..(h - gh)) as i32;
+                    reqs.push(DrawRequest::PutImage {
+                        target: page_buffer,
+                        rect: Rect::new(gx, gy, gw, gh),
+                        data: content::graphic_rgb(
+                            self.seed ^ (index as u64) << 8 ^ g as u64,
+                            gw,
+                            gh,
+                        ),
+                    });
+                }
+                // A small photo.
+                let pw = rng.gen_range(120..260u32).min(w / 2);
+                let ph = rng.gen_range(90..200u32).min(h / 2);
+                let px = rng.gen_range(0..(w - pw)) as i32;
+                let py = rng.gen_range(60.min(h - ph - 1)..(h - ph)) as i32;
+                reqs.push(DrawRequest::PutImage {
+                    target: page_buffer,
+                    rect: Rect::new(px, py, pw, ph),
+                    data: content::photo_rgb(self.seed ^ (index as u64) << 16, pw, ph),
+                });
+                // Table: grid of fills.
+                let rows = rng.gen_range(3..7);
+                let cols = rng.gen_range(2..5);
+                let cell_w = 80;
+                let cell_h = 22;
+                let tx = rng.gen_range(0..(w.saturating_sub(cols * cell_w).max(1))) as i32;
+                let ty = rng.gen_range(60..(h.saturating_sub(rows * cell_h + 60).max(61))) as i32;
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let shade = if (r + c) % 2 == 0 { 255 } else { 230 };
+                        reqs.push(DrawRequest::FillRect {
+                            target: page_buffer,
+                            rect: Rect::new(
+                                tx + (c * cell_w) as i32,
+                                ty + (r * cell_h) as i32,
+                                cell_w - 2,
+                                cell_h - 2,
+                            ),
+                            color: Color::rgb(shade, shade, shade),
+                        });
+                    }
+                }
+            }
+            PageKind::LargeImage => {
+                // One big photo dominating the page.
+                let pw = (w - rng.gen_range(40..120).min(w / 2)).max(32);
+                let ph = h.saturating_sub(rng.gen_range(120..240)).max(h / 2);
+                reqs.push(DrawRequest::PutImage {
+                    target: page_buffer,
+                    rect: Rect::new(20, 60, pw, ph),
+                    data: content::photo_rgb(self.seed ^ (index as u64) << 24, pw, ph),
+                });
+                self.render_text_body(&mut rng, page_buffer, &mut reqs, index, 4);
+            }
+        }
+        // The "next" link.
+        reqs.push(DrawRequest::Text {
+            target: page_buffer,
+            x: page.link_position.x,
+            y: page.link_position.y,
+            text: "next page".into(),
+            fg: Color::rgb(0, 0, 200),
+        });
+        // Copy the composed page onscreen (the step THINC's offscreen
+        // awareness turns back into semantic commands).
+        reqs.push(DrawRequest::CopyArea {
+            src: page_buffer,
+            dst: thinc_display::drawable::SCREEN,
+            src_rect: Rect::new(0, 0, w, h),
+            dst_x: 0,
+            dst_y: 0,
+        });
+        reqs
+    }
+
+    fn render_text_body(
+        &self,
+        rng: &mut StdRng,
+        target: DrawableId,
+        reqs: &mut Vec<DrawRequest>,
+        index: usize,
+        lines: usize,
+    ) {
+        let mut y = 64;
+        for l in 0..lines {
+            let words = rng.gen_range(6..14);
+            reqs.push(DrawRequest::Text {
+                target,
+                x: 24,
+                y,
+                text: content::filler_text((index * 1000 + l) as u64, words),
+                fg: Color::BLACK,
+            });
+            y += 12;
+            if y as u32 >= self.height - 24 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_four_pages() {
+        let w = WebWorkload::standard();
+        assert_eq!(w.pages().len(), PAGE_COUNT);
+    }
+
+    #[test]
+    fn deterministic_pages() {
+        let w = WebWorkload::standard();
+        let a = w.page(10);
+        let b = w.page(10);
+        assert_eq!(a.content_bytes, b.content_bytes);
+        assert_eq!(a.link_position, b.link_position);
+    }
+
+    #[test]
+    fn class_mix_present() {
+        let w = WebWorkload::standard();
+        let pages = w.pages();
+        let text = pages.iter().filter(|p| p.kind == PageKind::TextHeavy).count();
+        let mixed = pages.iter().filter(|p| p.kind == PageKind::Mixed).count();
+        let img = pages.iter().filter(|p| p.kind == PageKind::LargeImage).count();
+        assert!(text >= 4, "{text}");
+        assert!(mixed >= 25, "{mixed}");
+        assert!(img >= 4, "{img}");
+        assert_eq!(text + mixed + img, PAGE_COUNT);
+    }
+
+    #[test]
+    fn render_requests_compose_offscreen_then_copy() {
+        let w = WebWorkload::standard();
+        let pm = DrawableId(42);
+        let reqs = w.render_requests(0, pm);
+        assert!(reqs.len() > 5);
+        // Everything except the final copy targets the pixmap.
+        let last = reqs.last().unwrap();
+        assert!(matches!(
+            last,
+            DrawRequest::CopyArea { src, dst, .. }
+                if *src == pm && dst.is_screen()
+        ));
+        for r in &reqs[..reqs.len() - 1] {
+            match r {
+                DrawRequest::FillRect { target, .. }
+                | DrawRequest::Text { target, .. }
+                | DrawRequest::PutImage { target, .. } => assert_eq!(*target, pm),
+                other => panic!("unexpected request {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn large_image_pages_have_big_put_image() {
+        let w = WebWorkload::standard();
+        let pages = w.pages();
+        let idx = pages
+            .iter()
+            .position(|p| p.kind == PageKind::LargeImage)
+            .unwrap();
+        let reqs = w.render_requests(idx, DrawableId(1));
+        let biggest = reqs
+            .iter()
+            .filter_map(|r| match r {
+                DrawRequest::PutImage { rect, .. } => Some(rect.area()),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(biggest > 400_000, "{biggest} px");
+    }
+
+    #[test]
+    fn render_deterministic() {
+        let w = WebWorkload::standard();
+        let a = w.render_requests(7, DrawableId(1));
+        let b = w.render_requests(7, DrawableId(1));
+        assert_eq!(a.len(), b.len());
+        // Compare one image payload for byte equality.
+        let get_img = |reqs: &Vec<DrawRequest>| {
+            reqs.iter()
+                .find_map(|r| match r {
+                    DrawRequest::PutImage { data, .. } => Some(data.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default()
+        };
+        assert_eq!(get_img(&a), get_img(&b));
+    }
+
+    #[test]
+    fn pda_geometry_workload() {
+        let w = WebWorkload::new(320, 240, 1);
+        let reqs = w.render_requests(0, DrawableId(1));
+        for r in &reqs {
+            if let DrawRequest::PutImage { rect, .. } = r {
+                assert!(rect.right() <= 320);
+            }
+        }
+    }
+}

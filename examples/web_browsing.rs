@@ -1,0 +1,48 @@
+//! Web browsing comparison: THINC against representative baselines
+//! on the LAN and WAN configurations of §8.1.
+//!
+//! A shortened run of the Figure 2/3 experiment: the i-Bench-style
+//! page sequence is rendered through each system (offscreen page
+//! composition, text runs, images), and slow-motion page latency and
+//! data-per-page are reported.
+//!
+//! Run with: `cargo run --release --example web_browsing`
+
+use thinc::baselines::{Nx, RemoteDisplay, SunRay, Vnc, XSystem};
+use thinc::net::link::NetworkConfig;
+use thinc::bench::thinc_system::ThincSystem;
+use thinc::bench::webbench::run_web;
+use thinc::workloads::web::WebWorkload;
+
+const PAGES: usize = 10;
+const W: u32 = 1024;
+const H: u32 = 768;
+
+fn run_config(label: &str, net: &NetworkConfig) {
+    println!("\n--- {label}: {PAGES} pages at {W}x{H} ---");
+    println!("{:>10}  {:>10}  {:>12}", "system", "latency", "data/page");
+    let wl = WebWorkload::standard();
+    let mut systems: Vec<Box<dyn RemoteDisplay>> = vec![
+        Box::new(ThincSystem::new(net, W, H)),
+        Box::new(SunRay::new(net, W, H)),
+        Box::new(Vnc::new(net, W, H)),
+        Box::new(XSystem::new(net, W, H)),
+        Box::new(Nx::new(net, W, H)),
+    ];
+    for sys in systems.iter_mut() {
+        let res = run_web(sys.as_mut(), &wl, PAGES);
+        println!(
+            "{:>10}  {:>9.3}s  {:>9.1} KB",
+            res.system, res.avg_latency_s, res.avg_page_kb
+        );
+    }
+}
+
+fn main() {
+    run_config("LAN Desktop (100 Mbps, 0.2 ms RTT)", &NetworkConfig::lan_desktop());
+    run_config("WAN Desktop (100 Mbps, 66 ms RTT)", &NetworkConfig::wan_desktop());
+    println!(
+        "\nExpected shape (paper Fig. 2/3): THINC fastest in both configs, nearly \
+         flat LAN->WAN; X degrades ~2.5x; NX recovers most of it; VNC sends the most data."
+    );
+}
