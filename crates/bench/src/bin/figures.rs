@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release -p thinc-bench --bin figures -- --all
 //! cargo run --release -p thinc-bench --bin figures -- --fig 2 [--pages N] [--clip-ms M]
+//! cargo run --release -p thinc-bench --bin figures -- --fig telemetry --jsonl trace.jsonl
 //! ```
 //!
 //! Absolute numbers come from a simulation, not the authors' 2005
@@ -230,6 +231,99 @@ fn fig7(opts: &Options) -> String {
     )
 }
 
+/// Formats one session's per-command breakdown, sourced entirely
+/// from the `thinc-telemetry` snapshot.
+fn breakdown_table(title: &str, t: &thinc_telemetry::SessionTelemetry) -> String {
+    let snap = t.snapshot();
+    let mut rows: Vec<Vec<String>> = snap
+        .commands
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.name().to_string(),
+                r.count.to_string(),
+                kb(r.bytes as f64 / 1024.0),
+                pct(r.share),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "total".into(),
+        snap.total_messages.to_string(),
+        kb(snap.total_bytes as f64 / 1024.0),
+        pct(1.0),
+    ]);
+    let mut out = table(title, &["Command", "Count", "Wire bytes", "Share"], &rows);
+    out.push_str(&format!(
+        "  scheduler: {} merged, {} evicted, {} split, flush p50 {} us / p99 {} us\n",
+        snap.scheduler.merges,
+        snap.scheduler.evictions,
+        snap.scheduler.splits,
+        snap.scheduler.flush_latency_p50_us,
+        snap.scheduler.flush_latency_p99_us,
+    ));
+    out.push_str(&format!(
+        "  translator: {} raw fallbacks ({} bytes), {} offscreen-queued, {} queues executed\n",
+        snap.translator.raw_fallbacks,
+        snap.translator.raw_fallback_bytes,
+        snap.translator.offscreen_queued,
+        snap.translator.queue_executions,
+    ));
+    out.push_str(&format!(
+        "  net: peak cwnd {} bytes, peak utilization {}, {} bytes sent\n",
+        snap.net.cwnd_bytes_max,
+        pct(snap.net.utilization_max),
+        snap.net.bytes_sent,
+    ));
+    out.push_str(&format!(
+        "  client: {} decode errors, {} frame samples, frame p99 {} us\n",
+        snap.client.decode_errors, snap.client.frames, snap.client.frame_latency_p99_us,
+    ));
+    out
+}
+
+/// Per-command protocol breakdown for a web and a video session,
+/// from the end-to-end telemetry layer (`docs/TELEMETRY.md`).
+fn telemetry_report(opts: &Options, jsonl: Option<&str>) -> String {
+    let mut out = String::new();
+
+    eprintln!("  [telemetry] web session");
+    let wl = WebWorkload::standard();
+    let mut web = ThincSystem::new(&NetworkConfig::wan_desktop(), W, H);
+    run_web(&mut web, &wl, opts.pages);
+    let web_t = web.session_telemetry();
+    out.push_str(&breakdown_table(
+        "Telemetry: Web Session — Protocol Breakdown (WAN)",
+        &web_t,
+    ));
+
+    eprintln!("  [telemetry] video session");
+    let clip = VideoClip::short(opts.clip_ms);
+    let audio = AudioTrack {
+        duration_ms: opts.clip_ms,
+        ..AudioTrack::benchmark()
+    };
+    let mut av = ThincSystem::new(&NetworkConfig::lan_desktop(), W, H);
+    run_av(&mut av, &clip, Some(&audio), Rect::new(0, 0, W, H));
+    let av_t = av.session_telemetry();
+    out.push_str(&breakdown_table(
+        "Telemetry: Video Session — Protocol Breakdown (LAN)",
+        &av_t,
+    ));
+
+    if let Some(path) = jsonl {
+        let data = web_t.export_jsonl();
+        match std::fs::write(path, &data) {
+            Ok(()) => eprintln!(
+                "  [telemetry] wrote {} timeline events to {path}",
+                web_t.timeline.len()
+            ),
+            Err(e) => eprintln!("  [telemetry] failed to write {path}: {e}"),
+        }
+    }
+    out
+}
+
 fn table2() -> String {
     let rows: Vec<Vec<String>> = remote_sites()
         .into_iter()
@@ -258,10 +352,13 @@ fn main() {
         pages: 54,
         clip_ms: 34_750,
     };
+    let mut jsonl: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--all" => figs.extend(["2", "3", "4", "5", "6", "7", "t2"].map(String::from)),
+            "--all" => {
+                figs.extend(["2", "3", "4", "5", "6", "7", "t2", "telemetry"].map(String::from))
+            }
             "--fig" => {
                 i += 1;
                 figs.push(args.get(i).cloned().unwrap_or_default());
@@ -274,16 +371,23 @@ fn main() {
                 i += 1;
                 opts.clip_ms = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(34_750);
             }
+            "--jsonl" => {
+                i += 1;
+                jsonl = args.get(i).cloned();
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: figures --all | --fig <2|3|4|5|6|7|t2> [--pages N] [--clip-ms M]");
+                eprintln!(
+                    "usage: figures --all | --fig <2|3|4|5|6|7|t2|telemetry> \
+                     [--pages N] [--clip-ms M] [--jsonl PATH]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
     if figs.is_empty() {
-        figs.extend(["2", "3", "4", "5", "6", "7", "t2"].map(String::from));
+        figs.extend(["2", "3", "4", "5", "6", "7", "t2", "telemetry"].map(String::from));
     }
     figs.dedup();
     let wants = |f: &str| figs.iter().any(|g| g == f);
@@ -313,5 +417,8 @@ fn main() {
     }
     if wants("7") {
         println!("{}", fig7(&opts));
+    }
+    if wants("telemetry") {
+        println!("{}", telemetry_report(&opts, jsonl.as_deref()));
     }
 }

@@ -20,9 +20,15 @@ use thinc_net::trace::{Direction, PacketTrace};
 use thinc_protocol::message::{Message, ProtocolInput};
 use thinc_protocol::wire::encode_message;
 use thinc_raster::{Point, Rect, YuvFrame};
+use thinc_telemetry::{SessionTelemetry, Timeline};
 
 /// Flush period of the server's delivery loop.
 const FLUSH_PERIOD: SimDuration = SimDuration(2_000);
+
+/// Minimum virtual-time gap between timeline samples of the same
+/// metric (bounds the JSONL export to ~100 samples per second of
+/// session time).
+const TIMELINE_GAP: SimDuration = SimDuration(10_000);
 
 /// The real THINC pipeline behind the harness interface.
 pub struct ThincSystem {
@@ -34,6 +40,8 @@ pub struct ThincSystem {
     frames_sent: u32,
     frames_delivered: u32,
     audio_bytes: u64,
+    timeline: Timeline,
+    net_metrics: thinc_telemetry::NetMetrics,
 }
 
 impl ThincSystem {
@@ -81,7 +89,25 @@ impl ThincSystem {
             frames_sent: 0,
             frames_delivered: 0,
             audio_bytes: 0,
+            timeline: Timeline::new(),
+            net_metrics: thinc_telemetry::NetMetrics::new(),
         }
+    }
+
+    /// A full telemetry snapshot of this session, assembled from the
+    /// metric groups each component owns: the server's protocol and
+    /// scheduler counters, the translator, the downlink transport,
+    /// the client decoder, and the sampled timeline.
+    pub fn session_telemetry(&self) -> SessionTelemetry {
+        let driver = self.ws.driver();
+        let mut t = SessionTelemetry::new(thinc_core::scheduler::NUM_QUEUES);
+        t.protocol = driver.protocol_metrics();
+        t.scheduler = driver.scheduler_metrics().clone();
+        t.translator = driver.translator_metrics().clone();
+        t.net = self.net_metrics.clone();
+        t.client = self.client.metrics().clone();
+        t.timeline = self.timeline.clone();
+        t
     }
 
     /// The server-side screen (ground truth).
@@ -118,6 +144,35 @@ impl ThincSystem {
             self.client.receive(arrival, &msg);
             self.last_arrival = Some(self.last_arrival.map_or(arrival, |a| a.max(arrival)));
         }
+        self.sample_net(now);
+    }
+
+    /// Samples the downlink transport into the net gauges and the
+    /// throttled session timeline.
+    fn sample_net(&mut self, now: SimTime) {
+        let cwnd = self.link.down.cwnd_bytes() as f64;
+        let util = self.link.down.utilization(now);
+        let sent = self.link.down.bytes_sent();
+        let delta = sent.saturating_sub(self.net_metrics.bytes_sent());
+        self.net_metrics.add_bytes(delta);
+        self.net_metrics.sample(cwnd, util);
+        self.timeline
+            .record_sampled(now.0, "net.cwnd_bytes", cwnd, TIMELINE_GAP.0);
+        self.timeline
+            .record_sampled(now.0, "net.utilization", util, TIMELINE_GAP.0);
+        let driver = self.ws.driver();
+        self.timeline.record_sampled(
+            now.0,
+            "server.display_backlog",
+            driver.display_backlog() as f64,
+            TIMELINE_GAP.0,
+        );
+        self.timeline.record_sampled(
+            now.0,
+            "server.av_backlog",
+            driver.av_backlog() as f64,
+            TIMELINE_GAP.0,
+        );
     }
 }
 
@@ -135,6 +190,7 @@ impl RemoteDisplay for ThincSystem {
         let size = encode_message(&msg).len() as u64;
         let (_, arrival) = self.link.up.send(now, size);
         self.trace.record(now, arrival, size, Direction::Up, "input");
+        self.client.mark_frame_request(now);
         if let Some(ev) = self.ws.driver_mut().handle_message(&msg) {
             self.ws.handle_input(ev);
         }

@@ -168,10 +168,14 @@ mod tests {
     fn local_pc_most_bandwidth_efficient_at_desktop_resolution() {
         // At the paper's 1024x768 the local PC transfers the least
         // data (only the page content itself crosses the network).
+        // Sample enough pages to include every content class: on
+        // text/mixed pages alone the comparison is knife-edge (THINC's
+        // semantic translation can undercut the raw content size), and
+        // the paper's claim is about the full benchmark mix.
         let lan = NetworkConfig::lan_desktop();
         let wl = WebWorkload::standard();
-        let thinc = run_web(&mut ThincSystem::new(&lan, 1024, 768), &wl, 2);
-        let local = run_web(&mut LocalPc::new(1024, 768), &wl, 2);
+        let thinc = run_web(&mut ThincSystem::new(&lan, 1024, 768), &wl, 4);
+        let local = run_web(&mut LocalPc::new(1024, 768), &wl, 4);
         assert!(
             local.avg_page_kb < thinc.avg_page_kb,
             "local {} vs thinc {}",

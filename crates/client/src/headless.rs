@@ -13,6 +13,7 @@
 use thinc_net::time::SimTime;
 use thinc_protocol::message::Message;
 use thinc_raster::PixelFormat;
+use thinc_telemetry::ClientMetrics;
 
 use crate::client::{ClientStats, ThincClient};
 
@@ -32,6 +33,11 @@ pub struct ArrivalRecord {
 pub struct HeadlessClient {
     inner: ThincClient,
     arrivals: Vec<ArrivalRecord>,
+    metrics: ClientMetrics,
+    /// Virtual time the in-flight frame update was requested
+    /// (set by [`Self::mark_frame_request`]); the next display
+    /// arrival closes the latency sample.
+    frame_requested: Option<SimTime>,
 }
 
 impl HeadlessClient {
@@ -40,6 +46,8 @@ impl HeadlessClient {
         Self {
             inner: ThincClient::new(width, height, format),
             arrivals: Vec::new(),
+            metrics: ClientMetrics::new(),
+            frame_requested: None,
         }
     }
 
@@ -51,6 +59,19 @@ impl HeadlessClient {
     /// Client execution statistics.
     pub fn stats(&self) -> ClientStats {
         self.inner.stats()
+    }
+
+    /// Client-side telemetry: per-kind decode counts and
+    /// request-to-screen frame latency.
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+
+    /// Marks the virtual time a frame update was requested (a click,
+    /// a scroll). The next display message to arrive closes the
+    /// request-to-screen latency sample.
+    pub fn mark_frame_request(&mut self, at: SimTime) {
+        self.frame_requested = Some(at);
     }
 
     /// Processes a message that arrived at `at`.
@@ -65,6 +86,13 @@ impl HeadlessClient {
                 | Message::VideoEnd { .. }
         );
         self.arrivals.push(ArrivalRecord { at, bytes, av });
+        self.metrics
+            .record_decoded(thinc_protocol::telemetry::command_kind(msg));
+        if let (Some(t0), Message::Display(_)) = (self.frame_requested, msg) {
+            self.metrics
+                .record_frame_latency_us(at.0.saturating_sub(t0.0));
+            self.frame_requested = None;
+        }
         self.inner.apply(msg);
     }
 
@@ -137,6 +165,19 @@ mod tests {
         );
         assert!(h.av_bytes() >= 500);
         assert!(h.total_bytes() > h.av_bytes());
+    }
+
+    #[test]
+    fn metrics_count_decodes_and_frame_latency() {
+        use thinc_telemetry::CommandKind;
+        let mut h = HeadlessClient::new(64, 64, PixelFormat::Rgb888);
+        h.mark_frame_request(SimTime(1_000));
+        h.receive(SimTime(1_850), &display(Rect::new(0, 0, 4, 4)));
+        h.receive(SimTime(1_900), &display(Rect::new(4, 4, 4, 4)));
+        assert_eq!(h.metrics().decoded(CommandKind::Sfill), 2);
+        // One latency sample, closed by the first display arrival.
+        assert_eq!(h.metrics().frame_latency_us().count(), 1);
+        assert_eq!(h.metrics().frame_latency_us().max(), 850);
     }
 
     #[test]

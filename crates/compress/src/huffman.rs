@@ -30,7 +30,7 @@ fn code_lengths(freqs: &[u64; SYMBOLS]) -> [u8; SYMBOLS] {
         // Flatten: halving (and flooring at 1) reduces depth spread.
         for v in f.iter_mut() {
             if *v > 0 {
-                *v = (*v + 1) / 2;
+                *v = v.div_ceil(2);
             }
         }
     }

@@ -17,6 +17,7 @@ use thinc_protocol::commands::{DisplayCommand, RawEncoding};
 use thinc_protocol::message::Message;
 use thinc_protocol::wire::encode_message;
 use thinc_raster::Region;
+use thinc_telemetry::{ProtocolMetrics, SchedulerMetrics};
 
 use crate::queue::{classify, clip_command, OverwriteClass};
 use crate::scheduler::{creates_dependency, place, queue_index, QueueSlot, NUM_QUEUES};
@@ -29,6 +30,9 @@ struct Entry {
     class: OverwriteClass,
     visible: Region,
     slot: QueueSlot,
+    /// Virtual time the original drawing entered the buffer (split
+    /// remainders inherit it, so flush latency spans the whole wait).
+    enqueued: SimTime,
 }
 
 /// Delivery statistics.
@@ -63,6 +67,14 @@ pub struct ClientBuffer {
     /// SRSF (trivially order-safe; used to measure what the
     /// multi-queue scheduler buys).
     fifo: bool,
+    /// Virtual time of the latest `set_time` call; stamps entries for
+    /// enqueue-to-wire latency.
+    clock: SimTime,
+    /// Scheduler telemetry: queue depths, merges/evictions/splits,
+    /// flush latency.
+    scheduler_metrics: SchedulerMetrics,
+    /// Per-command wire accounting for the display path.
+    protocol_metrics: ProtocolMetrics,
 }
 
 impl ClientBuffer {
@@ -87,6 +99,27 @@ impl ClientBuffer {
     /// Delivery statistics so far.
     pub fn stats(&self) -> BufferStats {
         self.stats
+    }
+
+    /// Advances the buffer's notion of virtual time. Commands pushed
+    /// after this call are stamped with `now` for enqueue-to-wire
+    /// latency accounting.
+    pub fn set_time(&mut self, now: SimTime) {
+        if now > self.clock {
+            self.clock = now;
+        }
+    }
+
+    /// Scheduler telemetry: per-band queue depths, merge/eviction
+    /// counts, flush latency.
+    pub fn scheduler_metrics(&self) -> &SchedulerMetrics {
+        &self.scheduler_metrics
+    }
+
+    /// Per-command wire accounting for display messages sent by this
+    /// buffer.
+    pub fn protocol_metrics(&self) -> &ProtocolMetrics {
+        &self.protocol_metrics
     }
 
     /// Number of commands waiting.
@@ -151,6 +184,7 @@ impl ClientBuffer {
             for seq in dead {
                 self.remove_entry(seq);
                 self.stats.evicted += 1;
+                self.scheduler_metrics.record_eviction();
             }
         }
         // Merge with the newest live entry when compatible and in the
@@ -160,6 +194,7 @@ impl ClientBuffer {
             if same_rt {
                 if let Some(merged) = crate::queue::merge_commands(&last.cmd, &cmd) {
                     self.stats.merged += 1;
+                    self.scheduler_metrics.record_merge();
                     let old_slot = last.slot;
                     last.cmd = merged;
                     last.visible = Region::from_rect(last.cmd.dest_rect());
@@ -233,10 +268,21 @@ impl ClientBuffer {
             class,
             visible: Region::from_rect(dest),
             slot,
+            enqueued: self.clock,
         });
         match slot {
             QueueSlot::Realtime => self.realtime.push_back(seq),
             QueueSlot::Normal(q) => self.queues[q].push_back(seq),
+        }
+        match slot {
+            QueueSlot::Normal(q) => {
+                self.scheduler_metrics
+                    .sample_depth(q, self.queues[q].len(), self.realtime.len());
+            }
+            QueueSlot::Realtime => {
+                self.scheduler_metrics
+                    .sample_realtime_depth(self.realtime.len());
+            }
         }
     }
 
@@ -333,6 +379,8 @@ impl ClientBuffer {
                     continue;
                 };
                 let parts = Self::materialize(&self.entries[pos]);
+                let enqueued = self.entries[pos].enqueued;
+                let wait_us = now.0.saturating_sub(enqueued.0);
                 let mut sent_all = true;
                 let mut leftover: Vec<DisplayCommand> = Vec::new();
                 for (i, part) in parts.iter().enumerate() {
@@ -350,6 +398,12 @@ impl ClientBuffer {
                                 self.stats.sent_messages += 1;
                                 self.stats.sent_bytes += head_size;
                                 self.stats.splits += 1;
+                                self.scheduler_metrics.record_split();
+                                self.scheduler_metrics.record_flush_latency_us(wait_us);
+                                thinc_protocol::telemetry::record_message(
+                                    &mut self.protocol_metrics,
+                                    &head_msg,
+                                );
                                 out.push((arrival, head_msg));
                                 leftover.push(tail);
                                 leftover.extend(parts[i + 1..].iter().cloned());
@@ -365,6 +419,8 @@ impl ClientBuffer {
                     trace.record(now, arrival, size, Direction::Down, "update");
                     self.stats.sent_messages += 1;
                     self.stats.sent_bytes += size;
+                    self.scheduler_metrics.record_flush_latency_us(wait_us);
+                    thinc_protocol::telemetry::record_message(&mut self.protocol_metrics, &msg);
                     out.push((arrival, msg));
                 }
                 // Remove the consumed entry and its queue slot.
@@ -390,6 +446,7 @@ impl ClientBuffer {
                             class,
                             visible: Region::from_rect(dest),
                             slot,
+                            enqueued,
                         });
                         let deque = if qi == 0 {
                             &mut self.realtime

@@ -27,6 +27,14 @@
 //!   together, including RAW compression and RC4 session encryption
 //!   (§7).
 //!
+//! The hot path is instrumented with `thinc-telemetry`: the command
+//! buffer owns the scheduler metrics (queue depths, merges,
+//! evictions, splits, enqueue-to-wire latency) and the per-command
+//! wire accounting; the translator owns its own translation counters.
+//! [`server::ThincServer::protocol_metrics`] merges the display and
+//! audio/video paths into one per-command breakdown. See
+//! `docs/TELEMETRY.md`.
+//!
 //! [`VideoDriver`]: thinc_display::driver::VideoDriver
 
 pub mod audio;

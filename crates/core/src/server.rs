@@ -100,6 +100,9 @@ pub struct ThincServer {
     audio_messages: u64,
     /// Last installed cursor image, resent on resync.
     cursor_shape: Option<Message>,
+    /// Wire accounting for the audio/video/cursor FIFO (the display
+    /// path's accounting lives in the buffer).
+    av_metrics: thinc_telemetry::ProtocolMetrics,
 }
 
 impl ThincServer {
@@ -132,6 +135,7 @@ impl ThincServer {
             video_messages: 0,
             audio_messages: 0,
             cursor_shape: None,
+            av_metrics: thinc_telemetry::ProtocolMetrics::new(),
         }
     }
 
@@ -160,9 +164,29 @@ impl ThincServer {
         }
     }
 
-    /// Advances the server's virtual clock (stamps A/V data).
+    /// Advances the server's virtual clock (stamps A/V data and the
+    /// display buffer's enqueue-latency accounting).
     pub fn set_time(&mut self, now: SimTime) {
         self.now = now;
+        self.buffer.set_time(now);
+    }
+
+    /// Scheduler telemetry from the display buffer.
+    pub fn scheduler_metrics(&self) -> &thinc_telemetry::SchedulerMetrics {
+        self.buffer.scheduler_metrics()
+    }
+
+    /// Combined per-command wire accounting: display messages from the
+    /// buffer plus this server's audio/video/cursor path.
+    pub fn protocol_metrics(&self) -> thinc_telemetry::ProtocolMetrics {
+        let mut all = self.buffer.protocol_metrics().clone();
+        all.merge(&self.av_metrics);
+        all
+    }
+
+    /// Translation-layer telemetry.
+    pub fn translator_metrics(&self) -> &thinc_telemetry::TranslatorMetrics {
+        self.translator.metrics()
     }
 
     /// Current client viewport.
@@ -397,6 +421,7 @@ impl ThincServer {
             };
             let (_, arrival) = pipe.send(now, size);
             trace.record(now, arrival, size, Direction::Down, tag);
+            thinc_protocol::telemetry::record_message(&mut self.av_metrics, &msg);
             out.push((arrival, msg));
         }
         out.extend(self.buffer.flush(now, pipe, trace));

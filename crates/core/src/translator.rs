@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use thinc_display::drawable::{DrawableId, DrawableStore};
 use thinc_protocol::commands::{DisplayCommand, RawEncoding, Tile};
 use thinc_raster::{Color, Framebuffer, Rect, Region};
+use thinc_telemetry::{CommandKind, TranslatorMetrics};
 
 use crate::queue::CommandQueue;
 
@@ -59,6 +60,7 @@ pub struct Translator {
     /// without THINC's optimization (ablation switch).
     offscreen_awareness: bool,
     stats: TranslatorStats,
+    metrics: TranslatorMetrics,
 }
 
 impl Translator {
@@ -90,19 +92,41 @@ impl Translator {
         self.stats
     }
 
+    /// Translation-layer telemetry (per-kind translated counts, raw
+    /// fallbacks, offscreen queue activity).
+    pub fn metrics(&self) -> &TranslatorMetrics {
+        &self.metrics
+    }
+
     /// Pending commands in a pixmap's queue (tests/inspection).
     pub fn offscreen_queue_len(&self, id: DrawableId) -> usize {
         self.offscreen.get(&id).map(|q| q.len()).unwrap_or(0)
     }
 
     fn count(&mut self, cmd: &DisplayCommand) {
-        match cmd {
-            DisplayCommand::Raw { .. } => self.stats.raw += 1,
-            DisplayCommand::Copy { .. } => self.stats.copy += 1,
-            DisplayCommand::Sfill { .. } => self.stats.sfill += 1,
-            DisplayCommand::Pfill { .. } => self.stats.pfill += 1,
-            DisplayCommand::Bitmap { .. } => self.stats.bitmap += 1,
-        }
+        let kind = match cmd {
+            DisplayCommand::Raw { .. } => {
+                self.stats.raw += 1;
+                CommandKind::Raw
+            }
+            DisplayCommand::Copy { .. } => {
+                self.stats.copy += 1;
+                CommandKind::Copy
+            }
+            DisplayCommand::Sfill { .. } => {
+                self.stats.sfill += 1;
+                CommandKind::Sfill
+            }
+            DisplayCommand::Pfill { .. } => {
+                self.stats.pfill += 1;
+                CommandKind::Pfill
+            }
+            DisplayCommand::Bitmap { .. } => {
+                self.stats.bitmap += 1;
+                CommandKind::Bitmap
+            }
+        };
+        self.metrics.record_translated(kind);
     }
 
     fn count_all(&mut self, cmds: &[DisplayCommand]) {
@@ -158,6 +182,7 @@ impl Translator {
                 if let Some(q) = self.offscreen.get_mut(&target) {
                     q.push(clipped, false);
                     self.stats.offscreen_queued += 1;
+                    self.metrics.record_offscreen_queued();
                 }
             } else {
                 // Unclippable and partially out of bounds: snapshot
@@ -168,6 +193,7 @@ impl Translator {
                     if let Some(q) = self.offscreen.get_mut(&target) {
                         q.push(raw, false);
                         self.stats.offscreen_queued += 1;
+                    self.metrics.record_offscreen_queued();
                     }
                 }
             }
@@ -265,6 +291,7 @@ impl Translator {
                 if let Some(q) = self.offscreen.get_mut(&target) {
                     q.push(raw, false);
                     self.stats.offscreen_queued += 1;
+                    self.metrics.record_offscreen_queued();
                 }
             }
         }
@@ -280,6 +307,7 @@ impl Translator {
             return None;
         }
         self.stats.raw_fallback_bytes += data.len() as u64;
+        self.metrics.record_raw_fallback(data.len() as u64);
         Some(DisplayCommand::Raw {
             rect: clip,
             encoding: RawEncoding::None,
@@ -324,6 +352,7 @@ impl Translator {
                     if let Some(q) = self.offscreen.get(&src) {
                         let (cmds, covered) = q.extract_region(&eff_src, dx, dy);
                         self.stats.queue_executions += 1;
+                        self.metrics.record_queue_execution();
                         let mut out = cmds;
                         // Cover whatever the queue could not express
                         // with RAW from the (already-drawn) screen.
@@ -386,6 +415,7 @@ impl Translator {
                     for c in to_queue {
                         dst_q.push(c, false);
                         self.stats.offscreen_queued += 1;
+                    self.metrics.record_offscreen_queued();
                     }
                 }
                 Vec::new()
@@ -402,6 +432,7 @@ impl Translator {
                     if let Some(q) = self.offscreen.get_mut(&dst) {
                         q.push(raw, false);
                         self.stats.offscreen_queued += 1;
+                    self.metrics.record_offscreen_queued();
                     }
                 }
                 Vec::new()

@@ -92,6 +92,19 @@ impl TcpPipe {
         self.cwnd as u64
     }
 
+    /// Fraction of the link's serialization capacity consumed by this
+    /// flow between the epoch and `now` (0–1). Zero before any time
+    /// has passed. This is the downlink-utilization figure exported by
+    /// session telemetry.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        let serialization_s = self.bytes_sent as f64 * 8.0 / self.params.bandwidth_bps as f64;
+        (serialization_s / elapsed).clamp(0.0, 1.0)
+    }
+
     /// Steady-state throughput cap in bytes per second:
     /// `min(bandwidth, rwnd / RTT)`.
     pub fn throughput_cap_bps(&self) -> u64 {
@@ -288,6 +301,18 @@ mod tests {
         p.reset();
         assert!(p.cwnd_bytes() < warm);
         assert_eq!(p.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        let mut p = TcpPipe::new(lan());
+        assert_eq!(p.utilization(SimTime::ZERO), 0.0);
+        // 1.25 MB at 100 Mbps serializes in exactly 0.1 s.
+        p.send(SimTime::ZERO, 1_250_000);
+        let half_loaded = p.utilization(SimTime(200_000));
+        assert!((half_loaded - 0.5).abs() < 1e-9, "{half_loaded}");
+        // Never reports beyond 1 even right at the busy horizon.
+        assert!(p.utilization(SimTime(1)) <= 1.0);
     }
 
     #[test]

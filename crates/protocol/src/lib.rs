@@ -20,10 +20,13 @@
 //!
 //! - [`commands`]: the display command objects and their wire sizes,
 //! - [`message`]: the full protocol message set,
-//! - [`wire`]: binary encoding/decoding with length-prefixed framing.
+//! - [`wire`]: binary encoding/decoding with length-prefixed framing,
+//! - [`telemetry`]: classification of messages for per-command
+//!   metrics (`thinc-telemetry`).
 
 pub mod commands;
 pub mod message;
+pub mod telemetry;
 pub mod wire;
 
 pub use commands::{DisplayCommand, RawEncoding, Tile};

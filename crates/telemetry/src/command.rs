@@ -1,0 +1,106 @@
+//! The per-command-type classification shared by every layer's
+//! metrics.
+
+/// Classification of protocol traffic by command/message type.
+///
+/// The first five variants are the THINC display commands (Table 1 of
+/// the paper); the rest cover the remaining message families that
+/// share the wire.
+///
+/// ```
+/// use thinc_telemetry::CommandKind;
+///
+/// assert_eq!(CommandKind::Raw.name(), "RAW");
+/// assert_eq!(CommandKind::ALL.len(), CommandKind::COUNT);
+/// assert!(CommandKind::Sfill.is_display());
+/// assert!(!CommandKind::Audio.is_display());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommandKind {
+    /// Raw pixel data (`RAW`), possibly compressed.
+    Raw,
+    /// Frame-buffer to frame-buffer copy (`COPY`).
+    Copy,
+    /// Solid color fill (`SFILL`).
+    Sfill,
+    /// Pattern (tile) fill (`PFILL`).
+    Pfill,
+    /// Bitmap (stipple) fill (`BITMAP`).
+    Bitmap,
+    /// Video stream messages (init/data/move/end).
+    Video,
+    /// Audio stream messages.
+    Audio,
+    /// Cursor shape and position messages.
+    Cursor,
+    /// Session control: handshake, resize, view, input echoes.
+    Control,
+}
+
+impl CommandKind {
+    /// Number of kinds (array-sizing constant).
+    pub const COUNT: usize = 9;
+
+    /// Every kind, in canonical (reporting) order.
+    pub const ALL: [CommandKind; CommandKind::COUNT] = [
+        CommandKind::Raw,
+        CommandKind::Copy,
+        CommandKind::Sfill,
+        CommandKind::Pfill,
+        CommandKind::Bitmap,
+        CommandKind::Video,
+        CommandKind::Audio,
+        CommandKind::Cursor,
+        CommandKind::Control,
+    ];
+
+    /// Stable dense index of this kind (for array-backed metrics).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Display name matching the paper's command tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommandKind::Raw => "RAW",
+            CommandKind::Copy => "COPY",
+            CommandKind::Sfill => "SFILL",
+            CommandKind::Pfill => "PFILL",
+            CommandKind::Bitmap => "BITMAP",
+            CommandKind::Video => "VIDEO",
+            CommandKind::Audio => "AUDIO",
+            CommandKind::Cursor => "CURSOR",
+            CommandKind::Control => "CONTROL",
+        }
+    }
+
+    /// Whether this is one of the five display commands.
+    pub fn is_display(self) -> bool {
+        matches!(
+            self,
+            CommandKind::Raw
+                | CommandKind::Copy
+                | CommandKind::Sfill
+                | CommandKind::Pfill
+                | CommandKind::Bitmap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, k) in CommandKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn exactly_five_display_kinds() {
+        let display = CommandKind::ALL.iter().filter(|k| k.is_display()).count();
+        assert_eq!(display, 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! `thinc-telemetry`: dependency-free instrumentation for the THINC
+//! stack.
+//!
+//! Every layer of the simulated THINC system — protocol encoding,
+//! the SRSF scheduler in the server's command buffer, the translation
+//! layer, the network model, and the client — records into the metric
+//! primitives defined here:
+//!
+//! * [`Counter`] — monotonically increasing event counts,
+//! * [`Gauge`] — point-in-time values with a high-water mark,
+//! * [`Histogram`] — fixed-bucket distributions (latency, sizes).
+//!
+//! Grouped per subsystem ([`ProtocolMetrics`], [`SchedulerMetrics`],
+//! [`TranslatorMetrics`], [`NetMetrics`], [`ClientMetrics`]) and
+//! aggregated per session ([`SessionTelemetry`]), they feed the
+//! per-command figures in `thinc-bench` and the JSONL session-trace
+//! export ([`Timeline::to_jsonl`]).
+//!
+//! # Design constraints
+//!
+//! * **Zero dependencies.** This crate sits below every other crate
+//!   in the workspace, so it depends on nothing — not even other
+//!   THINC crates.
+//! * **No clocks.** All timestamps are `u64` microseconds of
+//!   *virtual* time, supplied by the caller from the simulation's
+//!   `SimTime`. Telemetry never reads wall-clock time, keeping every
+//!   export deterministic.
+//! * **No atomics or locks.** The simulation is single-threaded;
+//!   metrics are plain values owned by the component they instrument.
+//!
+//! # Example
+//!
+//! ```
+//! use thinc_telemetry::{CommandKind, SessionTelemetry};
+//!
+//! let mut session = SessionTelemetry::new(10);
+//! // A server would record each encoded message as it hits the wire:
+//! session.protocol.record(CommandKind::Copy, 30);
+//! session.protocol.record(CommandKind::Raw, 2048);
+//! session.scheduler.record_flush_latency_us(410);
+//!
+//! let snap = session.snapshot();
+//! assert_eq!(snap.total_messages, 2);
+//! assert_eq!(snap.commands.len(), 2);
+//! assert!(snap.commands.iter().any(|r| r.kind == CommandKind::Raw));
+//! ```
+
+#![warn(missing_docs)]
+
+mod command;
+mod metrics;
+mod session;
+mod timeline;
+
+pub use command::CommandKind;
+pub use metrics::{Counter, Gauge, Histogram};
+pub use session::{
+    ClientMetrics, ClientSnapshot, CommandRow, NetMetrics, NetSnapshot, ProtocolMetrics,
+    SchedulerMetrics, SchedulerSnapshot, SessionTelemetry, TelemetrySnapshot, TranslatorMetrics,
+    TranslatorSnapshot,
+};
+pub use timeline::{Timeline, TimelineEvent};

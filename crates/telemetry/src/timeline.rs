@@ -1,0 +1,161 @@
+//! The session timeline: timestamped metric samples and their JSONL
+//! export.
+//!
+//! Timestamps are microseconds of *virtual* time — values of the
+//! simulation's `SimTime` clock — never wall-clock time, so exports
+//! are bit-identical across runs and machines.
+
+use std::collections::HashMap;
+
+/// One timestamped sample of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Virtual time of the sample, in microseconds (`SimTime` value).
+    pub t_us: u64,
+    /// Dotted metric name, e.g. `"net.cwnd_bytes"`.
+    pub metric: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// An append-only sequence of [`TimelineEvent`]s with optional
+/// per-metric sampling throttles.
+///
+/// ```
+/// use thinc_telemetry::Timeline;
+///
+/// let mut tl = Timeline::new();
+/// tl.record(1_000, "net.cwnd_bytes", 4096.0);
+/// tl.record(2_000, "net.cwnd_bytes", 8192.0);
+/// assert_eq!(tl.len(), 2);
+/// assert_eq!(tl.to_jsonl().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+    last_sample_us: HashMap<String, u64>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample unconditionally.
+    pub fn record(&mut self, t_us: u64, metric: &str, value: f64) {
+        self.last_sample_us.insert(metric.to_string(), t_us);
+        self.events.push(TimelineEvent {
+            t_us,
+            metric: metric.to_string(),
+            value,
+        });
+    }
+
+    /// Appends a sample unless the same metric was sampled less than
+    /// `min_gap_us` ago; returns whether the sample was kept. Use
+    /// this inside per-flush loops to bound export size.
+    ///
+    /// ```
+    /// use thinc_telemetry::Timeline;
+    ///
+    /// let mut tl = Timeline::new();
+    /// assert!(tl.record_sampled(0, "q.depth", 1.0, 10_000));
+    /// assert!(!tl.record_sampled(5_000, "q.depth", 2.0, 10_000));
+    /// assert!(tl.record_sampled(10_000, "q.depth", 3.0, 10_000));
+    /// ```
+    pub fn record_sampled(&mut self, t_us: u64, metric: &str, value: f64, min_gap_us: u64) -> bool {
+        if let Some(&last) = self.last_sample_us.get(metric) {
+            if t_us < last.saturating_add(min_gap_us) {
+                return false;
+            }
+        }
+        self.record(t_us, metric, value);
+        true
+    }
+
+    /// All events, in recording order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the timeline as JSON Lines: one
+    /// `{"t_us":…,"metric":"…","value":…}` object per line, in
+    /// recording order. See `docs/TELEMETRY.md` for the schema.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"t_us\":{},\"metric\":\"{}\",\"value\":{}}}\n",
+                e.t_us,
+                escape_json(&e.metric),
+                format_number(e.value),
+            ));
+        }
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (integral values without a
+/// fractional part; non-finite values as null, which JSON requires).
+fn format_number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_valid_objects() {
+        let mut tl = Timeline::new();
+        tl.record(1, "a.b", 2.0);
+        tl.record(2, "c\"d", 0.5);
+        tl.record(3, "e", f64::NAN);
+        let out = tl.to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], r#"{"t_us":1,"metric":"a.b","value":2}"#);
+        assert_eq!(lines[1], r#"{"t_us":2,"metric":"c\"d","value":0.5}"#);
+        assert_eq!(lines[2], r#"{"t_us":3,"metric":"e","value":null}"#);
+    }
+
+    #[test]
+    fn throttling_is_per_metric() {
+        let mut tl = Timeline::new();
+        assert!(tl.record_sampled(0, "x", 1.0, 100));
+        assert!(tl.record_sampled(0, "y", 1.0, 100));
+        assert!(!tl.record_sampled(99, "x", 2.0, 100));
+        assert!(tl.record_sampled(100, "x", 3.0, 100));
+        assert_eq!(tl.len(), 3);
+    }
+}

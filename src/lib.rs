@@ -14,4 +14,5 @@ pub use thinc_display as display;
 pub use thinc_net as net;
 pub use thinc_protocol as protocol;
 pub use thinc_raster as raster;
+pub use thinc_telemetry as telemetry;
 pub use thinc_workloads as workloads;

@@ -1,0 +1,144 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! The workspace builds without network access, so instead of the
+//! real `bytes` dependency this vendored crate provides the small
+//! slice-cursor subset the THINC wire codec actually uses: [`Buf`]
+//! implemented for `&[u8]` and [`BufMut`] implemented for `Vec<u8>`,
+//! with the little-endian fixed-width accessors.
+//!
+//! Semantics match the upstream crate for this subset: reads panic
+//! when fewer bytes remain than the accessor needs (callers are
+//! expected to check [`Buf::remaining`] first, as the codec does).
+
+#![warn(missing_docs)]
+
+/// Read access to a cursor of bytes.
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes, starting at the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a little-endian `u16` and advances.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32` and advances.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `i32` and advances.
+    fn get_i32_le(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        i32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64` and advances.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends a slice of bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_width() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_i32_le(-7);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_slice(b"xyz");
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.remaining(), 1 + 2 + 4 + 4 + 8 + 3);
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16_le(), 0x1234);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_i32_le(), -7);
+        assert_eq!(cur.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(cur.chunk(), b"xyz");
+        cur.advance(3);
+        assert_eq!(cur.remaining(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Supplies the benchmark-definition surface the repo's `benches/`
+//! files use — [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`Throughput`], [`criterion_group!`]
+//! and [`criterion_main!`] — backed by a simple wall-clock timer
+//! instead of criterion's statistical machinery. Each benchmark runs
+//! a short calibration pass, then `sample_size` timed samples, and
+//! prints the median time per iteration (plus derived throughput when
+//! declared).
+//!
+//! Wall-clock time is appropriate here: this harness measures *host*
+//! CPU cost of hot paths; the deterministic `SimTime` virtual clock
+//! measures protocol behavior and is not involved in benchmarking.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` inputs are grouped (accepted for API
+/// compatibility; this harness always times one routine call at a
+/// time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream; single-call here.
+    SmallInput,
+    /// Large inputs: few per batch upstream; single-call here.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times closures and records per-sample durations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_sample: Duration,
+}
+
+impl Bencher {
+    fn new(target_sample: Duration) -> Self {
+        Self {
+            samples: Vec::new(),
+            target_sample,
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fill the target sample time?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iters as u32);
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_sample.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.samples.push(start.elapsed() / iters as u32);
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort();
+        s.get(s.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<50} {:>12}/iter", human_time(per_iter));
+    if let Some(t) = throughput {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:>10.1} MiB/s", n as f64 / secs / (1 << 20) as f64));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:>10.0} elem/s", n as f64 / secs));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    target_sample: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.target_sample);
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        let label = format!("{}/{}", self.name, id.into());
+        report(&label, b.median(), self.throughput);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Keep total bench time modest: ~2 ms of work per sample.
+            target_sample: Duration::from_millis(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            target_sample: self.target_sample,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.target_sample);
+        for _ in 0..10 {
+            f(&mut b);
+        }
+        report(&id.into(), b.median(), None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            runs += 1;
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert_eq!(human_time(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(human_time(Duration::from_micros(1500)), "1.50 ms");
+    }
+}
