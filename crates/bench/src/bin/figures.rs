@@ -279,6 +279,22 @@ fn breakdown_table(title: &str, t: &thinc_telemetry::SessionTelemetry) -> String
         "  client: {} decode errors, {} frame samples, frame p99 {} us\n",
         snap.client.decode_errors, snap.client.frames, snap.client.frame_latency_p99_us,
     ));
+    let r = &snap.resilience;
+    out.push_str(&format!(
+        "  resilience: {} segments lost / {} retransmits, {} corrupt events ({} bytes), \
+         {} outage defers\n",
+        r.segments_lost, r.retransmits, r.corrupt_events, r.corrupted_bytes, r.outage_defers,
+    ));
+    out.push_str(&format!(
+        "  degradation: {} overflow evictions, {} stale video dropped; \
+         {} pings, {} timeouts, {} reconnects, {} resyncs\n",
+        r.overflow_evictions,
+        r.stale_video_dropped,
+        r.pings_sent,
+        r.liveness_timeouts,
+        r.reconnects,
+        r.resyncs,
+    ));
     out
 }
 
@@ -309,6 +325,15 @@ fn telemetry_report(opts: &Options, jsonl: Option<&str>) -> String {
     out.push_str(&breakdown_table(
         "Telemetry: Video Session — Protocol Breakdown (LAN)",
         &av_t,
+    ));
+
+    eprintln!("  [telemetry] web session over a lossy WAN");
+    let mut lossy = ThincSystem::new(&NetworkConfig::lossy_wan(), W, H);
+    run_web(&mut lossy, &wl, opts.pages);
+    let lossy_t = lossy.session_telemetry();
+    out.push_str(&breakdown_table(
+        "Telemetry: Web Session — Protocol Breakdown (lossy WAN, 1% injected loss)",
+        &lossy_t,
     ));
 
     if let Some(path) = jsonl {

@@ -107,6 +107,16 @@ impl ThincSystem {
         t.net = self.net_metrics.clone();
         t.client = self.client.metrics().clone();
         t.timeline = self.timeline.clone();
+        t.resilience = driver.resilience_metrics();
+        for stats in [self.link.down.fault_stats(), self.link.up.fault_stats()] {
+            t.resilience.add_transport_faults(
+                stats.segments_lost,
+                stats.retransmits,
+                stats.corrupt_events,
+                stats.corrupted_bytes,
+                stats.outage_defers,
+            );
+        }
         t
     }
 

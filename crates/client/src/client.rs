@@ -14,6 +14,17 @@ use thinc_raster::{Framebuffer, PixelFormat, Rect, YuvFormat, YuvFrame};
 
 use crate::hardware::{ClientHardware, HardwareCaps};
 
+/// Largest width or height the client will honor for wire-controlled
+/// geometry (video destinations, pattern tiles). These dimensions
+/// drive local allocations, so a corrupted or hostile message must not
+/// be able to request gigabytes; anything past an 8K screen is bogus.
+const MAX_WIRE_DIM: u32 = 8_192;
+
+/// Whether wire-supplied dimensions are usable for allocation.
+fn sane_dims(w: u32, h: u32) -> bool {
+    (1..=MAX_WIRE_DIM).contains(&w) && (1..=MAX_WIRE_DIM).contains(&h)
+}
+
 /// A video overlay the client is currently showing.
 #[derive(Debug, Clone)]
 struct Overlay {
@@ -57,6 +68,7 @@ pub struct ThincClient {
     stats: ClientStats,
     audio_timestamps: Vec<u64>,
     cursor: crate::cursor::CursorState,
+    pending_pong: Option<Message>,
 }
 
 impl ThincClient {
@@ -75,7 +87,15 @@ impl ThincClient {
             stats: ClientStats::default(),
             audio_timestamps: Vec::new(),
             cursor: crate::cursor::CursorState::new(),
+            pending_pong: None,
         }
+    }
+
+    /// Takes the heartbeat reply owed to the server, if a
+    /// [`Message::Ping`] was applied since the last call. The caller
+    /// owns the uplink and sends it.
+    pub fn take_pong(&mut self) -> Option<Message> {
+        self.pending_pong.take()
     }
 
     /// The client's framebuffer.
@@ -127,6 +147,12 @@ impl ThincClient {
                 src_height,
                 dst,
             } => {
+                // Stream geometry is wire-controlled and sizes local
+                // buffers; reject corrupt values up front.
+                if !sane_dims(*src_width, *src_height) || !sane_dims(dst.w, dst.h) {
+                    self.stats.errors += 1;
+                    return;
+                }
                 self.overlays.insert(
                     *id,
                     Overlay {
@@ -169,6 +195,10 @@ impl ThincClient {
                 self.stats.video_frames += 1;
             }
             Message::VideoMove { id, dst } => {
+                if !sane_dims(dst.w, dst.h) {
+                    self.stats.errors += 1;
+                    return;
+                }
                 if let Some(ov) = self.overlays.get_mut(id) {
                     ov.dst = *dst;
                 } else {
@@ -198,7 +228,16 @@ impl ThincClient {
             Message::CursorMove { x, y } => {
                 self.cursor.move_to(*x, *y);
             }
-            Message::Input(_) | Message::Resize { .. } | Message::SetView { .. } => {
+            Message::Ping { seq, timestamp_us } => {
+                self.pending_pong = Some(Message::Pong {
+                    seq: *seq,
+                    timestamp_us: *timestamp_us,
+                });
+            }
+            Message::Input(_)
+            | Message::Resize { .. }
+            | Message::SetView { .. }
+            | Message::Pong { .. } => {
                 // Client-originated; ignore if echoed.
             }
         }
@@ -251,8 +290,7 @@ impl ThincClient {
                 self.stats.sfill += 1;
             }
             DisplayCommand::Pfill { rect, tile } => {
-                if tile.width == 0
-                    || tile.height == 0
+                if !sane_dims(tile.width, tile.height)
                     || tile.pixels.len()
                         < tile.width as usize
                             * tile.height as usize
@@ -435,5 +473,69 @@ mod tests {
             },
         }));
         assert_eq!(c.stats().errors, 1);
+    }
+
+    #[test]
+    fn absurd_wire_geometry_rejected() {
+        let mut c = client();
+        // A corrupted VideoInit must not size local buffers.
+        c.apply(&Message::VideoInit {
+            id: 0,
+            format: YuvFormat::Yv12,
+            src_width: u32::MAX,
+            src_height: 8,
+            dst: Rect::new(0, 0, 8, 8),
+        });
+        assert_eq!(c.stats().errors, 1);
+        c.apply(&Message::VideoInit {
+            id: 1,
+            format: YuvFormat::Yv12,
+            src_width: 8,
+            src_height: 8,
+            dst: Rect::new(0, 0, u32::MAX, u32::MAX),
+        });
+        assert_eq!(c.stats().errors, 2);
+        // Same for a VideoMove onto a live stream.
+        c.apply(&Message::VideoInit {
+            id: 2,
+            format: YuvFormat::Yv12,
+            src_width: 8,
+            src_height: 8,
+            dst: Rect::new(0, 0, 8, 8),
+        });
+        c.apply(&Message::VideoMove {
+            id: 2,
+            dst: Rect::new(0, 0, 0, u32::MAX),
+        });
+        assert_eq!(c.stats().errors, 3);
+        // And for an oversized pattern tile.
+        c.apply(&Message::Display(DisplayCommand::Pfill {
+            rect: Rect::new(0, 0, 8, 8),
+            tile: Tile {
+                width: u32::MAX,
+                height: u32::MAX,
+                pixels: vec![0; 16],
+            },
+        }));
+        assert_eq!(c.stats().errors, 4);
+    }
+
+    #[test]
+    fn ping_produces_pong() {
+        let mut c = client();
+        assert_eq!(c.take_pong(), None);
+        c.apply(&Message::Ping {
+            seq: 3,
+            timestamp_us: 777,
+        });
+        assert_eq!(
+            c.take_pong(),
+            Some(Message::Pong {
+                seq: 3,
+                timestamp_us: 777
+            })
+        );
+        // Consumed: a second take returns nothing.
+        assert_eq!(c.take_pong(), None);
     }
 }

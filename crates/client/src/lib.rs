@@ -16,15 +16,20 @@
 //!   framebuffer — byte-comparable against the server's screen,
 //! - [`headless`]: the instrumented headless client that processes
 //!   all display and audio data without a display, recording the
-//!   statistics slow-motion benchmarking needs.
+//!   statistics slow-motion benchmarking needs,
+//! - [`stream`]: the wire-facing layer ([`StreamClient`]) that feeds
+//!   raw connection bytes through the frame reader with decode-error
+//!   recovery (skip damage, request a server resync, count it).
 
 pub mod client;
 pub mod cursor;
 pub mod hardware;
 pub mod headless;
+pub mod stream;
 pub mod zoom;
 
 pub use client::ThincClient;
 pub use hardware::{ClientHardware, HardwareCaps};
 pub use headless::HeadlessClient;
+pub use stream::StreamClient;
 pub use zoom::ZoomController;

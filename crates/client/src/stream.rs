@@ -1,0 +1,205 @@
+//! The client's wire-facing layer: byte stream in, display out.
+//!
+//! [`StreamClient`] couples a [`FrameReader`] to a [`ThincClient`]:
+//! raw bytes from the connection are fed in, complete messages are
+//! decoded and applied, and decode failures are survived — the
+//! reader scans forward to the next plausible frame boundary and the
+//! client flags that it wants a full refresh from the server (the
+//! session's true state lives there, so recovery is always possible).
+//! Every error, resync, and skipped byte is counted in the client's
+//! resilience accounting.
+
+use thinc_protocol::message::Message;
+use thinc_protocol::wire::FrameReader;
+use thinc_raster::PixelFormat;
+
+use crate::client::ThincClient;
+use crate::hardware::HardwareCaps;
+
+/// A [`ThincClient`] fed directly from the wire, with decode-error
+/// recovery.
+pub struct StreamClient {
+    client: ThincClient,
+    reader: FrameReader,
+    /// Set when damage forced the reader to skip bytes: the display
+    /// may now be stale and the server should resync us.
+    needs_refresh: bool,
+    resilience: thinc_telemetry::ResilienceMetrics,
+}
+
+impl StreamClient {
+    /// A stream client with the given display geometry.
+    pub fn new(width: u32, height: u32, format: PixelFormat) -> Self {
+        Self::wrap(ThincClient::new(width, height, format))
+    }
+
+    /// A stream client with explicit hardware capabilities.
+    pub fn with_hardware(width: u32, height: u32, format: PixelFormat, caps: HardwareCaps) -> Self {
+        Self::wrap(ThincClient::with_hardware(width, height, format, caps))
+    }
+
+    /// Wraps an existing client.
+    pub fn wrap(client: ThincClient) -> Self {
+        Self {
+            client,
+            reader: FrameReader::new(),
+            needs_refresh: false,
+            resilience: thinc_telemetry::ResilienceMetrics::new(),
+        }
+    }
+
+    /// Feeds bytes from the connection and applies every complete
+    /// message. Damage never panics or stalls: a decode error is
+    /// counted, the reader scans to the next plausible frame start,
+    /// and [`needs_refresh`](Self::needs_refresh) is raised so the
+    /// caller can request a server resync. Returns the number of
+    /// messages applied.
+    pub fn feed(&mut self, bytes: &[u8]) -> usize {
+        self.reader.feed(bytes);
+        let mut applied = 0;
+        loop {
+            match self.reader.next_message() {
+                Ok(Some(msg)) => {
+                    self.client.apply(&msg);
+                    applied += 1;
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    self.resilience.record_decode_error();
+                    let skipped = self.reader.resync();
+                    self.resilience.record_stream_resync(skipped as u64);
+                    self.needs_refresh = true;
+                }
+            }
+        }
+        applied
+    }
+
+    /// Whether damage has been skipped since the last check — the
+    /// display may be stale and a server resync is in order.
+    pub fn needs_refresh(&self) -> bool {
+        self.needs_refresh
+    }
+
+    /// Consumes the refresh flag (call when the resync request has
+    /// been sent).
+    pub fn take_needs_refresh(&mut self) -> bool {
+        std::mem::take(&mut self.needs_refresh)
+    }
+
+    /// Resets the wire state for a fresh connection (reconnect): the
+    /// reader drops any half-received frame; the display keeps its
+    /// content until the server's resync overwrites it.
+    pub fn reconnect(&mut self) {
+        self.reader = FrameReader::new();
+        self.needs_refresh = false;
+        self.resilience.record_reconnect();
+    }
+
+    /// Any pong the client owes the server (echo of a liveness ping).
+    pub fn take_pong(&mut self) -> Option<Message> {
+        self.client.take_pong()
+    }
+
+    /// Bytes buffered waiting for a complete frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.reader.pending_bytes()
+    }
+
+    /// Client-side resilience accounting (decode errors, resyncs,
+    /// skipped bytes, reconnects).
+    pub fn resilience_metrics(&self) -> &thinc_telemetry::ResilienceMetrics {
+        &self.resilience
+    }
+
+    /// The wrapped display client.
+    pub fn client(&self) -> &ThincClient {
+        &self.client
+    }
+
+    /// Mutable access to the wrapped client.
+    pub fn client_mut(&mut self) -> &mut ThincClient {
+        &mut self.client
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_protocol::commands::DisplayCommand;
+    use thinc_protocol::wire::encode_message;
+    use thinc_raster::{Color, Rect};
+
+    fn fill(rect: Rect, color: Color) -> Vec<u8> {
+        encode_message(&Message::Display(DisplayCommand::Sfill { rect, color }))
+    }
+
+    #[test]
+    fn clean_stream_applies_messages() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let bytes = fill(Rect::new(0, 0, 32, 32), Color::rgb(9, 9, 9));
+        // Fragmented arbitrarily.
+        assert_eq!(c.feed(&bytes[..3]), 0);
+        assert_eq!(c.feed(&bytes[3..]), 1);
+        assert!(!c.needs_refresh());
+        assert_eq!(
+            c.client().framebuffer().get_pixel(5, 5),
+            Some(Color::rgb(9, 9, 9))
+        );
+    }
+
+    #[test]
+    fn damage_is_skipped_counted_and_flags_refresh() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let mut stream = vec![0xEE, 0xFF, 0x13, 0x37]; // line noise
+        stream.extend(fill(Rect::new(0, 0, 8, 8), Color::rgb(1, 2, 3)));
+        let applied = c.feed(&stream);
+        assert_eq!(applied, 1, "the message after the damage survives");
+        assert!(c.needs_refresh());
+        let m = c.resilience_metrics();
+        assert!(m.decode_errors() >= 1);
+        assert!(m.stream_resyncs() >= 1);
+        assert!(m.skipped_bytes() >= 4);
+        assert!(c.take_needs_refresh());
+        assert!(!c.needs_refresh());
+    }
+
+    #[test]
+    fn truncated_frame_waits_without_error() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let bytes = fill(Rect::new(0, 0, 8, 8), Color::rgb(4, 5, 6));
+        c.feed(&bytes[..bytes.len() - 1]);
+        assert_eq!(c.resilience_metrics().decode_errors(), 0);
+        assert!(c.pending_bytes() > 0);
+        assert_eq!(c.feed(&bytes[bytes.len() - 1..]), 1);
+        assert_eq!(c.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn reconnect_clears_half_frames_and_counts() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let bytes = fill(Rect::new(0, 0, 8, 8), Color::rgb(7, 7, 7));
+        c.feed(&bytes[..4]);
+        assert!(c.pending_bytes() > 0);
+        c.reconnect();
+        assert_eq!(c.pending_bytes(), 0);
+        assert_eq!(c.resilience_metrics().reconnects(), 1);
+        // A fresh, whole message decodes normally afterwards.
+        assert_eq!(c.feed(&bytes), 1);
+    }
+
+    #[test]
+    fn ping_over_the_wire_yields_a_pong() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let bytes = encode_message(&Message::Ping {
+            seq: 3,
+            timestamp_us: 99,
+        });
+        c.feed(&bytes);
+        match c.take_pong() {
+            Some(Message::Pong { seq: 3, timestamp_us: 99 }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(c.take_pong().is_none());
+    }
+}

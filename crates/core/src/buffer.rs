@@ -50,6 +50,9 @@ pub struct BufferStats {
     pub sent_bytes: u64,
     /// Times a large command was split to avoid blocking.
     pub splits: u64,
+    /// Commands evicted to keep the buffer under its byte bound
+    /// (their footprint becomes refresh debt).
+    pub overflow_evicted: u64,
 }
 
 /// The per-client buffer: eviction + SRSF scheduling + flush.
@@ -75,6 +78,14 @@ pub struct ClientBuffer {
     scheduler_metrics: SchedulerMetrics,
     /// Per-command wire accounting for the display path.
     protocol_metrics: ProtocolMetrics,
+    /// Hard cap on buffered wire bytes (`None` = unbounded). Pushing
+    /// past the cap evicts buffered commands, largest-queue first,
+    /// recording their footprint as overflow debt.
+    byte_bound: Option<u64>,
+    /// Screen area owed a refresh because commands covering it were
+    /// evicted for overflow. The owner (the server) converts this into
+    /// fresh RAW updates from its authoritative screen.
+    overflow_debt: Region,
 }
 
 impl ClientBuffer {
@@ -94,6 +105,44 @@ impl ClientBuffer {
     pub fn with_fifo_scheduling(mut self) -> Self {
         self.fifo = true;
         self
+    }
+
+    /// Caps buffered wire bytes at `bytes`. When a push would exceed
+    /// the cap, buffered commands are evicted — largest size queue
+    /// first, oldest within a queue — and their screen footprint
+    /// accumulates as *overflow debt* for the owner to repay with a
+    /// fresh-screen refresh ([`take_overflow_debt`]
+    /// (Self::take_overflow_debt)). Memory stays bounded no matter how
+    /// far the network falls behind; the screen degrades gracefully
+    /// (a region refreshes late, with final content) instead of the
+    /// session dying or the server bloating.
+    pub fn with_byte_bound(mut self, bytes: u64) -> Self {
+        self.byte_bound = Some(bytes);
+        self
+    }
+
+    /// The configured byte cap, if any.
+    pub fn byte_bound(&self) -> Option<u64> {
+        self.byte_bound
+    }
+
+    /// Takes the screen region owed a refresh by overflow evictions,
+    /// leaving it empty. The owner converts it into RAW updates from
+    /// the authoritative screen content.
+    pub fn take_overflow_debt(&mut self) -> Region {
+        std::mem::take(&mut self.overflow_debt)
+    }
+
+    /// Whether overflow evictions have left unpaid refresh debt.
+    pub fn has_overflow_debt(&self) -> bool {
+        !self.overflow_debt.is_empty()
+    }
+
+    /// Returns a screen rectangle to the debt ledger (the owner took
+    /// the debt but could not repay this piece yet — e.g. no headroom
+    /// under the byte bound while the link is down).
+    pub(crate) fn defer_overflow_debt(&mut self, rect: thinc_raster::Rect) {
+        self.overflow_debt.union(&Region::from_rect(rect));
     }
 
     /// Delivery statistics so far.
@@ -141,8 +190,17 @@ impl ClientBuffer {
         self.entries.iter().position(|e| e.seq == seq)
     }
 
-    /// Pushes a display command for delivery.
+    /// Pushes a display command for delivery, then enforces the byte
+    /// bound (if configured) by evicting overflow into refresh debt.
     pub fn push(&mut self, cmd: DisplayCommand, realtime: bool) {
+        self.push_unbounded(cmd, realtime);
+        self.enforce_byte_bound();
+    }
+
+    /// Pushes without bound enforcement. Used for refresh commands
+    /// that *repay* overflow debt: evicting those for overflow again
+    /// would loop; their total is bounded by one screenful anyway.
+    pub(crate) fn push_unbounded(&mut self, cmd: DisplayCommand, realtime: bool) {
         self.stats.pushed += 1;
         let class = classify(&cmd);
         let dest = cmd.dest_rect();
@@ -291,6 +349,60 @@ impl ClientBuffer {
             self.entries.remove(pos);
         }
         // Queue deques are cleaned lazily at pop time.
+    }
+
+    /// Evicts buffered commands until pending bytes fit the bound,
+    /// converting every evicted footprint into overflow debt.
+    fn enforce_byte_bound(&mut self) {
+        let Some(bound) = self.byte_bound else { return };
+        while self.pending_bytes() > bound {
+            let Some(seq) = self.overflow_victim() else {
+                break;
+            };
+            self.evict_for_overflow(seq);
+        }
+    }
+
+    /// Picks the next overflow victim: the *oldest* buffered command
+    /// (stale content is the least valuable — it has waited longest
+    /// and is the most likely to be overdrawn again before delivery);
+    /// realtime entries only when nothing else is left.
+    fn overflow_victim(&self) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|e| !matches!(e.slot, QueueSlot::Realtime))
+            .min_by_key(|e| e.seq)
+            .or_else(|| self.entries.iter().min_by_key(|e| e.seq))
+            .map(|e| e.seq)
+    }
+
+    /// Removes `seq` for overflow, recording its footprint as refresh
+    /// debt. Any queued COPY reading from the debt region can no
+    /// longer trust its source pixels, so it cascades: the COPY is
+    /// evicted too and its destination joins the debt (which the
+    /// refresh repays with final content, restoring correctness).
+    fn evict_for_overflow(&mut self, seq: u64) {
+        let Some(pos) = self.entry_pos(seq) else { return };
+        let mut debt = self.entries[pos].visible.clone();
+        debt.union_rect(&self.entries[pos].cmd.dest_rect());
+        self.entries.remove(pos);
+        self.stats.overflow_evicted += 1;
+        self.scheduler_metrics.record_eviction();
+        loop {
+            let dependent = self.entries.iter().find_map(|e| match &e.cmd {
+                DisplayCommand::Copy { src_rect, .. } if debt.intersects_rect(src_rect) => {
+                    Some(e.seq)
+                }
+                _ => None,
+            });
+            let Some(dep) = dependent else { break };
+            let p = self.entry_pos(dep).expect("entry just found");
+            debt.union_rect(&self.entries[p].cmd.dest_rect());
+            self.entries.remove(p);
+            self.stats.overflow_evicted += 1;
+            self.scheduler_metrics.record_eviction();
+        }
+        self.overflow_debt.union(&debt);
     }
 
     fn requeue(&mut self, seq: u64, old: QueueSlot, new: QueueSlot) {
@@ -750,5 +862,59 @@ mod tests {
         assert_eq!(buf.pending_bytes(), 0);
         buf.push(sfill(0, 0, 10, 10, 1), false);
         assert!(buf.pending_bytes() > 0);
+    }
+
+    #[test]
+    fn byte_bound_never_exceeded_and_debt_accumulates() {
+        let bound = 50_000u64;
+        let mut buf = ClientBuffer::new().with_byte_bound(bound);
+        // Push far more than the bound in disjoint RAWs (no merging).
+        for i in 0..20 {
+            buf.push(raw(0, i * 110, 100, 100), false); // ~30 KB each.
+            assert!(
+                buf.pending_bytes() <= bound,
+                "bound violated: {} > {bound}",
+                buf.pending_bytes()
+            );
+        }
+        assert!(buf.stats().overflow_evicted > 0);
+        assert!(buf.has_overflow_debt());
+        let debt = buf.take_overflow_debt();
+        assert!(!debt.is_empty());
+        assert!(!buf.has_overflow_debt(), "debt is taken once");
+        // What survives still drains normally.
+        drain_all(&mut buf);
+    }
+
+    #[test]
+    fn overflow_eviction_cascades_to_dependent_copies() {
+        let mut buf = ClientBuffer::new().with_byte_bound(40_000);
+        // A big RAW draws the region a COPY will read.
+        buf.push(raw(0, 0, 100, 100), false);
+        buf.push(
+            DisplayCommand::Copy {
+                src_rect: Rect::new(0, 0, 50, 50),
+                dst_x: 200,
+                dst_y: 200,
+                },
+            false,
+        );
+        // Overflow forces the RAW out; the COPY reading it must go
+        // too, and both footprints become debt.
+        buf.push(raw(0, 200, 120, 100), false);
+        assert!(buf.stats().overflow_evicted >= 2);
+        let debt = buf.take_overflow_debt();
+        assert!(debt.intersects_rect(&Rect::new(0, 0, 100, 100)));
+        assert!(debt.intersects_rect(&Rect::new(200, 200, 50, 50)));
+    }
+
+    #[test]
+    fn unbounded_buffer_never_evicts_for_overflow() {
+        let mut buf = ClientBuffer::new();
+        for i in 0..20 {
+            buf.push(raw(0, i * 110, 100, 100), false);
+        }
+        assert_eq!(buf.stats().overflow_evicted, 0);
+        assert!(!buf.has_overflow_debt());
     }
 }

@@ -39,6 +39,7 @@
 
 pub mod audio;
 pub mod buffer;
+pub mod liveness;
 pub mod queue;
 pub mod scaling;
 pub mod scheduler;
@@ -48,6 +49,7 @@ pub mod translator;
 pub mod video;
 
 pub use buffer::ClientBuffer;
+pub use liveness::{LivenessConfig, LivenessTracker, LivenessVerdict};
 pub use queue::{classify, CommandQueue, OverwriteClass};
 pub use scaling::ScalePolicy;
 pub use server::{ServerConfig, ThincServer};

@@ -1,0 +1,189 @@
+//! Server-side client liveness tracking.
+//!
+//! The server holds all session state (§1–§3), so it — not the client
+//! — must decide when a connection is gone: a dead client's buffers
+//! would otherwise accumulate display updates forever. Display and
+//! input traffic doubles as the heartbeat; when a client has been
+//! silent past the ping interval the server probes it with
+//! [`Message::Ping`](thinc_protocol::Message::Ping), and when silence
+//! reaches the timeout the client is declared dead and its resources
+//! are reclaimable. A returning client reconnects and resyncs — the
+//! session itself survives.
+
+use thinc_net::time::{SimDuration, SimTime};
+
+/// Liveness policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessConfig {
+    /// Silence after which the client is declared dead.
+    pub timeout: SimDuration,
+    /// Silence after which the server sends a ping probe (should be
+    /// well under `timeout` so a live-but-idle client gets several
+    /// chances to answer).
+    pub ping_interval: SimDuration,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        Self {
+            timeout: SimDuration::from_secs_f64(30.0),
+            ping_interval: SimDuration::from_secs_f64(5.0),
+        }
+    }
+}
+
+/// What the server should do about a client right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivenessVerdict {
+    /// Recent traffic; nothing to do.
+    Alive,
+    /// Silent past the ping interval: send a probe with this sequence
+    /// number.
+    SendPing {
+        /// Sequence number for the probe.
+        seq: u32,
+    },
+    /// Silent past the timeout: declare the client dead.
+    Dead,
+}
+
+/// Tracks one client's liveness from the traffic the server observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessTracker {
+    config: LivenessConfig,
+    last_activity: SimTime,
+    last_ping: Option<SimTime>,
+    next_ping_seq: u32,
+    dead: bool,
+}
+
+impl LivenessTracker {
+    /// Starts tracking at `now` (connection time counts as activity).
+    pub fn new(config: LivenessConfig, now: SimTime) -> Self {
+        Self {
+            config,
+            last_activity: now,
+            last_ping: None,
+            next_ping_seq: 0,
+            dead: false,
+        }
+    }
+
+    /// The policy in effect.
+    pub fn config(&self) -> LivenessConfig {
+        self.config
+    }
+
+    /// Records traffic from the client (input, pong, hello — anything
+    /// proves the connection lives).
+    pub fn note_activity(&mut self, now: SimTime) {
+        if now > self.last_activity {
+            self.last_activity = now;
+        }
+        self.last_ping = None;
+    }
+
+    /// Whether the client has been declared dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Restarts tracking after a reconnect: the client is live again
+    /// as of `now`.
+    pub fn reset(&mut self, now: SimTime) {
+        self.last_activity = now;
+        self.last_ping = None;
+        self.dead = false;
+    }
+
+    /// Time of the last observed client activity.
+    pub fn last_activity(&self) -> SimTime {
+        self.last_activity
+    }
+
+    /// Evaluates the client at `now`. At most one ping per silent
+    /// ping-interval is requested; once silence reaches the timeout
+    /// the verdict is `Dead` (latched until [`reset`](Self::reset)).
+    pub fn poll(&mut self, now: SimTime) -> LivenessVerdict {
+        if self.dead {
+            return LivenessVerdict::Dead;
+        }
+        let silence = now - self.last_activity;
+        if silence >= self.config.timeout {
+            self.dead = true;
+            return LivenessVerdict::Dead;
+        }
+        if silence >= self.config.ping_interval {
+            let due = match self.last_ping {
+                None => true,
+                Some(at) => now - at >= self.config.ping_interval,
+            };
+            if due {
+                self.last_ping = Some(now);
+                let seq = self.next_ping_seq;
+                self.next_ping_seq = self.next_ping_seq.wrapping_add(1);
+                return LivenessVerdict::SendPing { seq };
+            }
+        }
+        LivenessVerdict::Alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LivenessConfig {
+        LivenessConfig {
+            timeout: SimDuration::from_secs_f64(10.0),
+            ping_interval: SimDuration::from_secs_f64(2.0),
+        }
+    }
+
+    fn secs(s: f64) -> SimTime {
+        SimTime((s * 1e6) as u64)
+    }
+
+    #[test]
+    fn active_client_stays_alive() {
+        let mut t = LivenessTracker::new(cfg(), SimTime::ZERO);
+        for i in 1..100 {
+            t.note_activity(secs(i as f64));
+            assert_eq!(t.poll(secs(i as f64 + 0.5)), LivenessVerdict::Alive);
+        }
+        assert!(!t.is_dead());
+    }
+
+    #[test]
+    fn silence_triggers_ping_then_death() {
+        let mut t = LivenessTracker::new(cfg(), SimTime::ZERO);
+        assert_eq!(t.poll(secs(1.0)), LivenessVerdict::Alive);
+        // Past the ping interval: exactly one probe per interval.
+        assert_eq!(t.poll(secs(2.5)), LivenessVerdict::SendPing { seq: 0 });
+        assert_eq!(t.poll(secs(3.0)), LivenessVerdict::Alive);
+        assert_eq!(t.poll(secs(5.0)), LivenessVerdict::SendPing { seq: 1 });
+        // Past the timeout: dead, and the verdict latches.
+        assert_eq!(t.poll(secs(10.0)), LivenessVerdict::Dead);
+        assert!(t.is_dead());
+        assert_eq!(t.poll(secs(10.5)), LivenessVerdict::Dead);
+    }
+
+    #[test]
+    fn pong_activity_rescues_the_client() {
+        let mut t = LivenessTracker::new(cfg(), SimTime::ZERO);
+        assert_eq!(t.poll(secs(2.5)), LivenessVerdict::SendPing { seq: 0 });
+        t.note_activity(secs(3.0)); // Pong arrives.
+        assert_eq!(t.poll(secs(4.0)), LivenessVerdict::Alive);
+        // The clock restarts from the pong: death comes 10 s later.
+        assert_eq!(t.poll(secs(13.0)), LivenessVerdict::Dead);
+    }
+
+    #[test]
+    fn reset_revives_after_reconnect() {
+        let mut t = LivenessTracker::new(cfg(), SimTime::ZERO);
+        assert_eq!(t.poll(secs(10.0)), LivenessVerdict::Dead);
+        t.reset(secs(20.0));
+        assert!(!t.is_dead());
+        assert_eq!(t.poll(secs(21.0)), LivenessVerdict::Alive);
+    }
+}

@@ -51,6 +51,19 @@ pub struct ServerConfig {
     pub server_side_scaling: bool,
     /// RC4 session key; `None` disables encryption.
     pub rc4_key: Option<Vec<u8>>,
+    /// Byte bound on the per-client display buffer. When the backlog
+    /// exceeds it the oldest non-realtime commands are evicted and
+    /// their footprint is repaid later as a fresh-screen RAW refresh
+    /// — graceful degradation instead of unbounded memory. `None`
+    /// leaves the buffer unbounded (the seed behaviour).
+    pub buffer_bound_bytes: Option<u64>,
+    /// Cap on the audio/video/cursor FIFO depth. Over the cap the
+    /// oldest video frames are dropped first, then audio; control
+    /// messages (cursor, stream lifecycle, pings) are never dropped.
+    pub av_bound: Option<usize>,
+    /// Liveness policy: probe silent clients and declare them dead
+    /// after the timeout. `None` disables liveness tracking.
+    pub liveness: Option<crate::liveness::LivenessConfig>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +76,9 @@ impl Default for ServerConfig {
             compress_raw: true,
             server_side_scaling: true,
             rc4_key: None,
+            buffer_bound_bytes: None,
+            av_bound: None,
+            liveness: None,
         }
     }
 }
@@ -103,6 +119,11 @@ pub struct ThincServer {
     /// Wire accounting for the audio/video/cursor FIFO (the display
     /// path's accounting lives in the buffer).
     av_metrics: thinc_telemetry::ProtocolMetrics,
+    /// Liveness tracking for the attached client (when configured).
+    liveness: Option<crate::liveness::LivenessTracker>,
+    /// Resilience accounting: liveness events, resyncs, stale A/V
+    /// drops. Buffer overflow evictions merge in at read time.
+    resilience: thinc_telemetry::ResilienceMetrics,
 }
 
 impl ThincServer {
@@ -117,6 +138,12 @@ impl ThincServer {
         if config.compress_raw {
             buffer = buffer.with_raw_compression(config.format.bytes_per_pixel());
         }
+        if let Some(bound) = config.buffer_bound_bytes {
+            buffer = buffer.with_byte_bound(bound);
+        }
+        let liveness = config
+            .liveness
+            .map(|c| crate::liveness::LivenessTracker::new(c, SimTime::ZERO));
         let cipher = config.rc4_key.as_deref().map(Rc4::new);
         let viewport = (config.width, config.height);
         let scale = ScalePolicy::new(config.width, config.height, viewport.0, viewport.1);
@@ -136,6 +163,8 @@ impl ThincServer {
             audio_messages: 0,
             cursor_shape: None,
             av_metrics: thinc_telemetry::ProtocolMetrics::new(),
+            liveness,
+            resilience: thinc_telemetry::ResilienceMetrics::new(),
         }
     }
 
@@ -243,6 +272,11 @@ impl ThincServer {
     /// Handles a message arriving from the client. Input events are
     /// returned as window-system events for forwarding.
     pub fn handle_message(&mut self, msg: &Message) -> Option<InputEvent> {
+        // Any client traffic proves the connection lives — display
+        // and input traffic doubles as the heartbeat.
+        if let Some(t) = self.liveness.as_mut() {
+            t.note_activity(self.now);
+        }
         match msg {
             Message::ClientHello {
                 viewport_width,
@@ -313,6 +347,52 @@ impl ThincServer {
                 self.buffer.push(cmd, realtime);
             }
         }
+        self.repay_overflow_debt(screen);
+    }
+
+    /// Converts any overflow-eviction debt into fresh-screen RAW
+    /// refreshes. Evicted commands lose intermediate states, but the
+    /// screen is authoritative: re-reading the debt region now yields
+    /// the final content, so the client converges exactly. The
+    /// refresh bypasses the byte bound (`push_unbounded`) so repaying
+    /// debt can never re-trigger eviction of itself — but a piece is
+    /// only pushed when it fits under the bound (or the buffer is
+    /// empty); the rest stays in the ledger until the link drains, so
+    /// the bound holds even while debt is being repaid.
+    pub fn repay_overflow_debt(&mut self, screen: &Framebuffer) {
+        if !self.buffer.has_overflow_debt() {
+            return;
+        }
+        let debt = self.buffer.take_overflow_debt();
+        for rect in debt.rects() {
+            let (clip, data) = screen.get_raw(rect);
+            if clip.is_empty() {
+                continue;
+            }
+            let cmd = DisplayCommand::Raw {
+                rect: clip,
+                encoding: thinc_protocol::commands::RawEncoding::None,
+                data,
+            };
+            let cmd = if self.scaling_active() {
+                match self.scale.transform(&cmd, screen) {
+                    Some(scaled) => scaled,
+                    None => continue,
+                }
+            } else {
+                cmd
+            };
+            let pending = self.buffer.pending_bytes();
+            let fits = match self.buffer.byte_bound() {
+                Some(bound) => pending == 0 || pending + cmd.wire_size() <= bound,
+                None => true,
+            };
+            if fits {
+                self.buffer.push_unbounded(cmd, false);
+            } else {
+                self.buffer.defer_overflow_debt(*rect);
+            }
+        }
     }
 
     /// Installs the session cursor image, forwarded to the client.
@@ -333,13 +413,66 @@ impl ThincServer {
     /// Resynchronizes a (re)connecting client: the session's true
     /// state lives entirely on the server ("the client only contains
     /// transient soft state", §2), so mobility is a full-view refresh
-    /// plus the session cursor — nothing else needs to persist at the
-    /// client.
+    /// plus the session cursor and the live video streams — nothing
+    /// else needs to persist at the client. Revives a client the
+    /// liveness tracker had declared dead, and cancels any pending
+    /// overflow debt (the full refresh repays it wholesale).
     pub fn resync(&mut self, screen: &Framebuffer) {
+        self.resilience.record_resync();
+        if let Some(t) = self.liveness.as_mut() {
+            t.reset(self.now);
+        }
         if let Some(shape) = self.cursor_shape.clone() {
             self.av_fifo.push_back(shape);
         }
+        let reinit = self.video.reannounce();
+        self.video_messages += reinit.len() as u64;
+        self.av_fifo.extend(reinit);
+        // The full-view refresh below covers every debt region.
+        let _ = self.buffer.take_overflow_debt();
         self.refresh_view(screen);
+    }
+
+    /// Evaluates client liveness at `now`: a silent client gets a
+    /// [`Message::Ping`] probe queued (at most one per interval), and
+    /// silence past the timeout declares it dead (latched until the
+    /// next [`resync`](Self::resync)). Returns `Alive` when liveness
+    /// tracking is not configured.
+    pub fn poll_liveness(&mut self, now: SimTime) -> crate::liveness::LivenessVerdict {
+        use crate::liveness::LivenessVerdict;
+        self.now = now;
+        let Some(t) = self.liveness.as_mut() else {
+            return LivenessVerdict::Alive;
+        };
+        let was_dead = t.is_dead();
+        let verdict = t.poll(now);
+        match verdict {
+            LivenessVerdict::SendPing { seq } => {
+                self.av_fifo.push_back(Message::Ping {
+                    seq,
+                    timestamp_us: now.as_micros(),
+                });
+                self.resilience.record_ping_sent();
+            }
+            LivenessVerdict::Dead if !was_dead => {
+                self.resilience.record_liveness_timeout();
+            }
+            _ => {}
+        }
+        verdict
+    }
+
+    /// Whether the liveness tracker has declared the client dead.
+    pub fn client_dead(&self) -> bool {
+        self.liveness.as_ref().is_some_and(|t| t.is_dead())
+    }
+
+    /// Resilience accounting: liveness events, resyncs, stale-video
+    /// drops, plus the display buffer's overflow evictions.
+    pub fn resilience_metrics(&self) -> thinc_telemetry::ResilienceMetrics {
+        let mut m = self.resilience.clone();
+        m.add_overflow_evictions(self.buffer.stats().overflow_evicted);
+        m
     }
 
     /// Opens the virtual audio device.
@@ -357,6 +490,7 @@ impl ThincServer {
             let msgs = drv.write(pcm);
             self.audio_messages += msgs.len() as u64;
             self.av_fifo.extend(msgs);
+            self.enforce_av_bound();
         }
     }
 
@@ -377,6 +511,37 @@ impl ThincServer {
         self.av_fifo.extend(msgs);
     }
 
+    /// Keeps the A/V FIFO under its configured depth: oldest video
+    /// frames go first (a late frame is worthless — the next one
+    /// supersedes it), then oldest audio; control messages (cursor,
+    /// stream lifecycle, pings) are never dropped.
+    fn enforce_av_bound(&mut self) {
+        let Some(bound) = self.config.av_bound else {
+            return;
+        };
+        while self.av_fifo.len() > bound {
+            if let Some(idx) = self
+                .av_fifo
+                .iter()
+                .position(|m| matches!(m, Message::VideoData { .. }))
+            {
+                self.av_fifo.remove(idx);
+                self.resilience.record_stale_video_drop();
+            } else if let Some(idx) = self
+                .av_fifo
+                .iter()
+                .position(|m| matches!(m, Message::Audio { .. }))
+            {
+                self.av_fifo.remove(idx);
+                self.resilience.record_stale_video_drop();
+            } else {
+                // Only control messages remain: small, and required
+                // for correctness.
+                break;
+            }
+        }
+    }
+
     /// Pending A/V messages not yet flushed.
     pub fn av_backlog(&self) -> usize {
         self.av_fifo.len()
@@ -385,6 +550,19 @@ impl ThincServer {
     /// Commands waiting in the display buffer.
     pub fn display_backlog(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// Wire bytes waiting in the display buffer (what the byte bound
+    /// constrains).
+    pub fn display_backlog_bytes(&self) -> u64 {
+        self.buffer.pending_bytes()
+    }
+
+    /// Whether overflow evictions have left screen regions still
+    /// owed a refresh (repaid on the next draw with headroom, or by
+    /// [`resync`](Self::resync)).
+    pub fn overflow_debt_outstanding(&self) -> bool {
+        self.buffer.has_overflow_debt()
     }
 
     /// Flushes queued updates without blocking: A/V first (paced data
@@ -397,6 +575,7 @@ impl ThincServer {
         trace: &mut PacketTrace,
     ) -> Vec<(SimTime, Message)> {
         self.now = now;
+        self.enforce_av_bound();
         let mut out = Vec::new();
         while let Some(msg) = self.av_fifo.front() {
             let size = encode_message(msg).len() as u64;
@@ -409,6 +588,7 @@ impl ThincServer {
                     if now.as_micros() > timestamp_us + 200_000);
                 if stale {
                     self.av_fifo.pop_front();
+                    self.resilience.record_stale_video_drop();
                     continue;
                 }
                 return out;
@@ -417,6 +597,7 @@ impl ThincServer {
             let tag = match &msg {
                 Message::Audio { .. } => "audio",
                 Message::CursorShape { .. } | Message::CursorMove { .. } => "cursor",
+                Message::Ping { .. } | Message::Pong { .. } => "control",
                 _ => "video",
             };
             let (_, arrival) = pipe.send(now, size);
@@ -501,6 +682,7 @@ impl VideoDriver for ThincServer {
         let msgs = self.video.display_frame(frame, dst, self.now.as_micros());
         self.video_messages += msgs.len() as u64;
         self.av_fifo.extend(msgs);
+        self.enforce_av_bound();
     }
 
     fn composite(
@@ -603,16 +785,14 @@ mod tests {
             color: Color::WHITE,
         });
         let msgs = flush_all(&mut ws);
-        match msgs
+        let r = msgs
             .iter()
             .find_map(|m| match m {
                 Message::Display(DisplayCommand::Sfill { rect, .. }) => Some(*rect),
                 _ => None,
             })
-            .unwrap()
-        {
-            r => assert_eq!(r, Rect::new(0, 0, 32, 32)),
-        }
+            .unwrap();
+        assert_eq!(r, Rect::new(0, 0, 32, 32));
     }
 
     #[test]
@@ -730,6 +910,140 @@ mod tests {
         let mut c = Rc4::new(b"0123456789abcdef");
         c.apply(&mut data);
         assert_eq!(&data, b"display update");
+    }
+
+    #[test]
+    fn liveness_pings_then_declares_dead_and_resync_revives() {
+        use crate::liveness::{LivenessConfig, LivenessVerdict};
+        use thinc_net::time::SimDuration;
+        let mut ws = system();
+        let cfg = ServerConfig {
+            width: 64,
+            height: 64,
+            compress_raw: false,
+            liveness: Some(LivenessConfig {
+                timeout: SimDuration::from_secs_f64(10.0),
+                ping_interval: SimDuration::from_secs_f64(2.0),
+            }),
+            ..ServerConfig::default()
+        };
+        *ws.driver_mut() = ThincServer::new(cfg);
+        let secs = |s: f64| SimTime((s * 1e6) as u64);
+        // Silence past the ping interval queues a probe on the wire.
+        assert!(matches!(
+            ws.driver_mut().poll_liveness(secs(3.0)),
+            LivenessVerdict::SendPing { .. }
+        ));
+        let msgs = flush_all(&mut ws);
+        assert!(msgs.iter().any(|m| matches!(m, Message::Ping { .. })));
+        // A pong (any client message) rescues it.
+        ws.driver_mut().set_time(secs(4.0));
+        ws.driver_mut().handle_message(&Message::Pong {
+            seq: 0,
+            timestamp_us: 3_000_000,
+        });
+        assert!(matches!(
+            ws.driver_mut().poll_liveness(secs(5.0)),
+            LivenessVerdict::Alive
+        ));
+        // Sustained silence declares it dead — once.
+        assert!(matches!(
+            ws.driver_mut().poll_liveness(secs(14.5)),
+            LivenessVerdict::Dead
+        ));
+        assert!(ws.driver().client_dead());
+        let m = ws.driver().resilience_metrics();
+        assert_eq!(m.liveness_timeouts(), 1);
+        assert!(m.pings_sent() >= 1);
+        // Reconnect: resync revives the client.
+        let screen = ws.screen().clone();
+        ws.driver_mut().resync(&screen);
+        assert!(!ws.driver().client_dead());
+        assert_eq!(ws.driver().resilience_metrics().resyncs(), 1);
+    }
+
+    #[test]
+    fn overflow_debt_is_repaid_as_raw_and_client_converges() {
+        // A tiny byte bound forces evictions; the next draw repays
+        // the debt with fresh-screen RAW and the client still
+        // converges to the exact screen content.
+        let thinc = ThincServer::new(ServerConfig {
+            width: 64,
+            height: 64,
+            compress_raw: false,
+            buffer_bound_bytes: Some(4 * 1024),
+            ..ServerConfig::default()
+        });
+        let mut ws = WindowServer::new(64, 64, PixelFormat::Rgb888, thinc);
+        // Several large overlapping images blow through the bound.
+        for i in 0..6 {
+            ws.process(DrawRequest::PutImage {
+                target: SCREEN,
+                rect: Rect::new(i * 4, i * 4, 32, 32),
+                data: vec![(i * 40) as u8; 32 * 32 * 3],
+            });
+        }
+        let evicted = ws.driver().stats().buffer.overflow_evicted;
+        assert!(evicted > 0, "bound should have forced evictions");
+        assert_eq!(ws.driver().resilience_metrics().overflow_evictions(), evicted);
+        // Drain, then repay any debt deferred while the bound was
+        // full (repayment only pushes pieces that fit).
+        let mut msgs = flush_all(&mut ws);
+        for _ in 0..10 {
+            if !ws.driver().overflow_debt_outstanding() {
+                break;
+            }
+            let screen = ws.screen().clone();
+            ws.driver_mut().repay_overflow_debt(&screen);
+            msgs.extend(flush_all(&mut ws));
+        }
+        assert!(!ws.driver().overflow_debt_outstanding());
+        let mut client = thinc_client::ThincClient::new(64, 64, PixelFormat::Rgb888);
+        for m in &msgs {
+            client.apply(m);
+        }
+        assert_eq!(client.framebuffer().data(), ws.screen().data());
+    }
+
+    #[test]
+    fn av_bound_drops_oldest_video_keeps_control() {
+        let thinc = ThincServer::new(ServerConfig {
+            width: 64,
+            height: 64,
+            compress_raw: false,
+            av_bound: Some(4),
+            ..ServerConfig::default()
+        });
+        let mut ws = WindowServer::new(64, 64, PixelFormat::Rgb888, thinc);
+        ws.driver_mut().set_cursor(8, 8, 0, 0, vec![0; 8 * 8 * 4]);
+        let frame = YuvFrame::new(YuvFormat::Yv12, 16, 16);
+        for _ in 0..10 {
+            ws.process(DrawRequest::VideoPut {
+                frame: frame.clone(),
+                dst: Rect::new(0, 0, 64, 64),
+            });
+        }
+        assert!(ws.driver().av_backlog() <= 4);
+        assert!(ws.driver().resilience_metrics().stale_video_dropped() > 0);
+        // The cursor shape survived the pressure.
+        let msgs = flush_all(&mut ws);
+        assert!(msgs.iter().any(|m| matches!(m, Message::CursorShape { .. })));
+    }
+
+    #[test]
+    fn resync_reannounces_live_video_streams() {
+        let mut ws = system();
+        let frame = YuvFrame::new(YuvFormat::Yv12, 16, 16);
+        ws.process(DrawRequest::VideoPut {
+            frame,
+            dst: Rect::new(0, 0, 64, 64),
+        });
+        let _ = flush_all(&mut ws);
+        // Reconnect: a fresh client must learn the stream geometry.
+        let screen = ws.screen().clone();
+        ws.driver_mut().resync(&screen);
+        let msgs = flush_all(&mut ws);
+        assert!(msgs.iter().any(|m| matches!(m, Message::VideoInit { .. })));
     }
 
     #[test]

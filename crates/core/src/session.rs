@@ -25,6 +25,7 @@ use thinc_protocol::message::Message;
 use thinc_raster::{Color, Framebuffer, PixelFormat, Rect, YuvFrame};
 
 use crate::buffer::ClientBuffer;
+use crate::liveness::{LivenessConfig, LivenessTracker, LivenessVerdict};
 use crate::scaling::ScalePolicy;
 use crate::translator::Translator;
 use crate::video::VideoStreamManager;
@@ -115,6 +116,8 @@ struct ClientState {
     video: VideoStreamManager,
     /// Audio/video messages awaiting this client's next flush.
     pending_av: Vec<Message>,
+    /// Liveness tracking for this client (when the session enables it).
+    liveness: Option<LivenessTracker>,
 }
 
 /// One display session shared by any number of authenticated clients.
@@ -132,6 +135,8 @@ pub struct SharedSession {
     clients: HashMap<ClientId, ClientState>,
     next_client: u32,
     now: SimTime,
+    /// Liveness policy applied to every attached client.
+    liveness: Option<LivenessConfig>,
 }
 
 impl SharedSession {
@@ -146,7 +151,15 @@ impl SharedSession {
             clients: HashMap::new(),
             next_client: 0,
             now: SimTime::ZERO,
+            liveness: None,
         }
+    }
+
+    /// Enables liveness tracking: every client attached from now on
+    /// is probed when silent and declared dead past the timeout.
+    pub fn with_liveness(mut self, config: LivenessConfig) -> Self {
+        self.liveness = Some(config);
+        self
     }
 
     /// The authentication policy (enable/disable sharing here).
@@ -184,9 +197,65 @@ impl SharedSession {
                 scale: ScalePolicy::new(self.width, self.height, vw, vh),
                 video,
                 pending_av: Vec::new(),
+                liveness: self.liveness.map(|c| LivenessTracker::new(c, self.now)),
             },
         );
         Ok(id)
+    }
+
+    /// Records traffic from a client (input, pong — anything proves
+    /// the connection lives).
+    pub fn note_client_activity(&mut self, id: ClientId, now: SimTime) {
+        if let Some(t) = self.clients.get_mut(&id).and_then(|c| c.liveness.as_mut()) {
+            t.note_activity(now);
+        }
+    }
+
+    /// Evaluates a client's liveness at `now`: a silent client gets a
+    /// ping queued on its A/V channel; silence past the timeout marks
+    /// it dead (its resources become reclaimable via
+    /// [`reap_dead`](Self::reap_dead)). Returns `Alive` for unknown
+    /// clients or when liveness is disabled.
+    pub fn poll_client_liveness(&mut self, id: ClientId, now: SimTime) -> LivenessVerdict {
+        let Some(state) = self.clients.get_mut(&id) else {
+            return LivenessVerdict::Alive;
+        };
+        let Some(t) = state.liveness.as_mut() else {
+            return LivenessVerdict::Alive;
+        };
+        let verdict = t.poll(now);
+        if let LivenessVerdict::SendPing { seq } = verdict {
+            state.pending_av.push(Message::Ping {
+                seq,
+                timestamp_us: now.as_micros(),
+            });
+        }
+        verdict
+    }
+
+    /// Whether a client has been declared dead.
+    pub fn client_dead(&self, id: ClientId) -> bool {
+        self.clients
+            .get(&id)
+            .and_then(|c| c.liveness.as_ref())
+            .is_some_and(|t| t.is_dead())
+    }
+
+    /// Detaches every dead client, freeing its buffers (a dead
+    /// client's queues would otherwise accumulate updates forever).
+    /// Returns the reaped ids; a reaped client reconnects by
+    /// re-attaching and resyncing.
+    pub fn reap_dead(&mut self) -> Vec<ClientId> {
+        let dead: Vec<ClientId> = self
+            .clients
+            .iter()
+            .filter(|(_, c)| c.liveness.as_ref().is_some_and(|t| t.is_dead()))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &dead {
+            self.clients.remove(id);
+        }
+        dead
     }
 
     /// Detaches a client.
@@ -358,6 +427,50 @@ mod tests {
             auth.authenticate(&Credentials::Owner { user: "mallory".into() }),
             Err(AuthError::NotOwner)
         );
+    }
+
+    #[test]
+    fn silent_peer_is_pinged_then_reaped_while_active_owner_survives() {
+        use thinc_net::time::SimDuration;
+        let mut s = SharedSession::new(64, 64, PixelFormat::Rgb888, "host").with_liveness(
+            LivenessConfig {
+                timeout: SimDuration::from_secs_f64(10.0),
+                ping_interval: SimDuration::from_secs_f64(2.0),
+            },
+        );
+        s.auth_mut().enable_sharing("pw");
+        let owner = s
+            .attach(&Credentials::Owner { user: "host".into() }, 64, 64)
+            .unwrap();
+        let peer = s
+            .attach(
+                &Credentials::Peer {
+                    user: "guest".into(),
+                    password: "pw".into(),
+                },
+                32,
+                32,
+            )
+            .unwrap();
+        let secs = |x: f64| SimTime((x * 1e6) as u64);
+        // The owner keeps talking; the peer goes silent.
+        s.note_client_activity(owner, secs(3.0));
+        assert!(matches!(
+            s.poll_client_liveness(peer, secs(3.0)),
+            LivenessVerdict::SendPing { .. }
+        ));
+        assert!(matches!(
+            s.poll_client_liveness(owner, secs(4.0)),
+            LivenessVerdict::Alive
+        ));
+        assert!(matches!(
+            s.poll_client_liveness(peer, secs(11.0)),
+            LivenessVerdict::Dead
+        ));
+        assert!(s.client_dead(peer));
+        assert!(!s.client_dead(owner));
+        assert_eq!(s.reap_dead(), vec![peer]);
+        assert_eq!(s.client_count(), 1);
     }
 
     #[test]

@@ -136,6 +136,27 @@ impl VideoStreamManager {
         out
     }
 
+    /// Re-announces every live stream for a resyncing client: a fresh
+    /// connection has no stream table, so each stream's `VideoInit`
+    /// is re-sent (ids ascending for determinism). Frame sequence
+    /// numbers continue — the client only needs the geometry.
+    pub fn reannounce(&self) -> Vec<Message> {
+        let mut ids: Vec<u32> = self.streams.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| {
+                let s = &self.streams[&id];
+                Message::VideoInit {
+                    id,
+                    format: s.format,
+                    src_width: s.src_width,
+                    src_height: s.src_height,
+                    dst: s.dst,
+                }
+            })
+            .collect()
+    }
+
     /// Tears down stream `id`, producing the `VideoEnd` message.
     pub fn end_stream(&mut self, id: u32) -> Option<Message> {
         self.streams.remove(&id).map(|_| Message::VideoEnd { id })

@@ -11,6 +11,9 @@
 //!   receive-window clamp, serialization delay, propagation delay) —
 //!   the effects that drive the paper's WAN results, including the
 //!   Korea site's 256 KB-window throughput cap,
+//! - [`fault`]: deterministic fault injection — seeded segment loss,
+//!   byte-corruption windows, scheduled outages, and bandwidth
+//!   collapses, declared per link as a [`FaultPlan`],
 //! - [`link`]: duplex links, network configurations for the paper's
 //!   three environments (LAN Desktop, WAN Desktop, 802.11g PDA) and
 //!   relay routing (the GoToMyPC intermediate-server topology),
@@ -26,6 +29,7 @@
 //! configuration produces byte- and microsecond-identical results.
 
 pub mod events;
+pub mod fault;
 pub mod link;
 pub mod tcp;
 pub mod time;
@@ -33,6 +37,7 @@ pub mod trace;
 pub mod transport;
 
 pub use events::EventQueue;
+pub use fault::{FaultPlan, FaultState, FaultStats};
 pub use link::{DuplexLink, NetworkConfig};
 pub use tcp::{TcpParams, TcpPipe};
 pub use time::{SimDuration, SimTime};

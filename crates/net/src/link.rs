@@ -7,6 +7,7 @@
 //! built by the bench crate on top of this) and relay routing for the
 //! GoToMyPC-style intermediate-server topology.
 
+use crate::fault::FaultPlan;
 use crate::tcp::{TcpParams, TcpPipe};
 use crate::time::{SimDuration, SimTime};
 
@@ -21,6 +22,11 @@ pub struct NetworkConfig {
     pub rtt: SimDuration,
     /// TCP receive window, bytes.
     pub rwnd_bytes: u64,
+    /// Faults injected on this path, if any (see [`crate::fault`]).
+    /// [`connect`](Self::connect) installs the plan on the downlink
+    /// as-is and reseeds it for the uplink so the two directions draw
+    /// independent fault sequences.
+    pub fault: Option<FaultPlan>,
 }
 
 impl NetworkConfig {
@@ -32,6 +38,7 @@ impl NetworkConfig {
             bandwidth_bps: 100_000_000,
             rtt: SimDuration::from_micros(200),
             rwnd_bytes: 1024 * 1024,
+            fault: None,
         }
     }
 
@@ -43,6 +50,22 @@ impl NetworkConfig {
             bandwidth_bps: 100_000_000,
             rtt: SimDuration::from_millis(66),
             rwnd_bytes: 1024 * 1024,
+            fault: None,
+        }
+    }
+
+    /// A degraded WAN: DSL-class bandwidth, high RTT, a modest window,
+    /// and 1% seeded segment loss. This is the environment the paper's
+    /// resilience claims (stateless client, server-held display state,
+    /// §1–§3) must hold up in; use [`with_faults`](Self::with_faults)
+    /// to add outages or corruption on top, or to change the seed.
+    pub fn lossy_wan() -> Self {
+        Self {
+            name: "Lossy WAN".into(),
+            bandwidth_bps: 10_000_000,
+            rtt: SimDuration::from_millis(80),
+            rwnd_bytes: 256 * 1024,
+            fault: Some(FaultPlan::seeded(0x7417C).with_loss(0.01)),
         }
     }
 
@@ -55,6 +78,7 @@ impl NetworkConfig {
             bandwidth_bps: 24_000_000,
             rtt: SimDuration::from_micros(500),
             rwnd_bytes: 256 * 1024,
+            fault: None,
         }
     }
 
@@ -65,7 +89,15 @@ impl NetworkConfig {
             bandwidth_bps,
             rtt,
             rwnd_bytes,
+            fault: None,
         }
+    }
+
+    /// Returns this environment with `plan` injected on the path
+    /// (replacing any previous plan).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Composes this (client-side) configuration with a relay hop to
@@ -78,6 +110,8 @@ impl NetworkConfig {
             bandwidth_bps: self.bandwidth_bps.min(relay_to_server.bandwidth_bps),
             rtt: self.rtt + relay_to_server.rtt,
             rwnd_bytes: self.rwnd_bytes.min(relay_to_server.rwnd_bytes),
+            // Faults on either leg damage the composed path.
+            fault: self.fault.clone().or_else(|| relay_to_server.fault.clone()),
         }
     }
 
@@ -90,9 +124,19 @@ impl NetworkConfig {
         }
     }
 
-    /// Opens a fresh duplex connection over this environment.
+    /// Opens a fresh duplex connection over this environment. A fault
+    /// plan, if present, is installed on both directions: the downlink
+    /// executes it with the plan's own seed, the uplink with a derived
+    /// seed, so the two flows degrade independently but each run is
+    /// reproducible from the one configured seed.
     pub fn connect(&self) -> DuplexLink {
-        DuplexLink::new(self.tcp_params())
+        let mut link = DuplexLink::new(self.tcp_params());
+        if let Some(plan) = &self.fault {
+            link.down.set_fault_plan(plan.clone());
+            link.up
+                .set_fault_plan(plan.reseeded(plan.seed.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+        }
+        link
     }
 }
 
@@ -207,5 +251,41 @@ mod tests {
         link.send_down(SimTime::ZERO, 12345);
         link.reset();
         assert_eq!(link.total_bytes(), 0);
+    }
+
+    #[test]
+    fn lossy_wan_preset_installs_loss_plan() {
+        let cfg = NetworkConfig::lossy_wan();
+        let plan = cfg.fault.as_ref().expect("preset carries a plan");
+        assert!(plan.loss_rate > 0.0);
+        let mut link = cfg.connect();
+        assert!(link.down.fault_plan().is_some());
+        assert!(link.up.fault_plan().is_some());
+        // The two directions draw from different seeds.
+        assert_ne!(
+            link.down.fault_plan().unwrap().seed,
+            link.up.fault_plan().unwrap().seed
+        );
+        // Enough traffic (~1000 congestion rounds) observes a loss.
+        link.send_down(SimTime::ZERO, 100_000_000);
+        assert!(link.down.fault_stats().segments_lost > 0);
+    }
+
+    #[test]
+    fn with_faults_builder_applies_plan() {
+        let plan = FaultPlan::seeded(5).with_outage(SimTime(1_000), SimDuration::from_millis(1));
+        let link = NetworkConfig::lan_desktop().with_faults(plan).connect();
+        assert!(link.down.is_down(SimTime(1_500)));
+        assert!(link.up.is_down(SimTime(1_500)));
+        assert!(!link.down.is_down(SimTime(2_500)));
+    }
+
+    #[test]
+    fn relay_propagates_faults_from_either_leg() {
+        let faulty = NetworkConfig::lan_desktop().with_faults(FaultPlan::seeded(3).with_loss(0.1));
+        let clean = NetworkConfig::wan_desktop();
+        assert!(clean.via_relay(&faulty).fault.is_some());
+        assert!(faulty.via_relay(&clean).fault.is_some());
+        assert!(clean.via_relay(&clean).fault.is_none());
     }
 }

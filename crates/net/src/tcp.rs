@@ -13,6 +13,7 @@
 //! The model is one-directional; see [`crate::link::DuplexLink`] for a
 //! bidirectional connection.
 
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::time::{SimDuration, SimTime};
 
 /// Parameters of a one-directional TCP flow over a link.
@@ -63,6 +64,8 @@ pub struct TcpPipe {
     tx_free: SimTime,
     /// Total payload bytes accepted for transmission.
     bytes_sent: u64,
+    /// Injected faults, if any (see [`crate::fault`]).
+    fault: Option<FaultState>,
 }
 
 impl TcpPipe {
@@ -74,6 +77,49 @@ impl TcpPipe {
             cwnd,
             tx_free: SimTime::ZERO,
             bytes_sent: 0,
+            fault: None,
+        }
+    }
+
+    /// Creates a pipe executing `plan` (see [`crate::fault`]).
+    pub fn with_faults(params: TcpParams, plan: FaultPlan) -> Self {
+        let mut pipe = Self::new(params);
+        pipe.set_fault_plan(plan);
+        pipe
+    }
+
+    /// Installs (or replaces) the fault plan on this pipe. The plan's
+    /// PRNG restarts from its seed; counters restart from zero.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// Injected-fault counters so far (all zero when no plan is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats()).unwrap_or_default()
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| f.plan())
+    }
+
+    /// Whether an outage window has the link down at `now`.
+    pub fn is_down(&self, now: SimTime) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.is_down(now))
+    }
+
+    /// Damages `data` in place per the corruption window active at
+    /// `now`, returning the number of bytes hit (zero with no plan or
+    /// outside every window). TCP itself never delivers corrupt
+    /// payload; this models damage *around* the transport — broken
+    /// middleboxes, proxies, drivers — and is applied by the harness
+    /// to the encoded byte stream it carries.
+    pub fn corrupt(&mut self, now: SimTime, data: &mut [u8]) -> usize {
+        match self.fault.as_mut() {
+            Some(f) => f.corrupt(now, data),
+            None => 0,
         }
     }
 
@@ -133,21 +179,44 @@ impl TcpPipe {
     /// receiver. A zero-length send models a bare signalling packet:
     /// it still takes half an RTT to arrive.
     pub fn send(&mut self, now: SimTime, len: u64) -> (SimTime, SimTime) {
-        let start = now.max(self.tx_free);
+        let mut start = now.max(self.tx_free);
+        // An outage window defers the start of the transfer.
+        if let Some(f) = self.fault.as_mut() {
+            start = f.defer_past_outage(start);
+        }
         let mut t = start;
         let mut remaining = len as f64;
         let rtt_s = self.params.rtt.as_secs_f64().max(1e-9);
         // Advance one congestion round at a time.
         while remaining > 0.0 {
-            let rate = self.rate();
+            // An outage starting mid-transfer stalls the flow until
+            // the link comes back.
+            if let Some(f) = self.fault.as_mut() {
+                t = f.defer_past_outage(t);
+            }
+            let mut rate = self.rate();
+            // A bandwidth collapse serves this round at reduced rate.
+            if let Some(f) = self.fault.as_mut() {
+                rate *= f.rate_factor_at(t);
+            }
+            let rate = rate.max(1.0);
             // Bytes this round: one window's worth (or everything left).
             let per_round = rate * rtt_s;
             let chunk = remaining.min(per_round.max(1.0));
-            let dt = chunk / rate.max(1.0);
+            let dt = chunk / rate;
             t += SimDuration::from_secs_f64(dt);
             remaining -= chunk;
-            // Slow start: double per round, clamped by rwnd.
-            self.cwnd = (self.cwnd * 2.0).min(self.params.rwnd_bytes as f64);
+            let lost = self.fault.as_mut().is_some_and(|f| f.draw_loss());
+            if lost {
+                // Flow-level loss response: the retransmission costs
+                // one extra round trip and the congestion window
+                // halves (multiplicative decrease, floor one MSS).
+                t += self.params.rtt;
+                self.cwnd = (self.cwnd / 2.0).max(self.params.mss as f64);
+            } else {
+                // Slow start: double per round, clamped by rwnd.
+                self.cwnd = (self.cwnd * 2.0).min(self.params.rwnd_bytes as f64);
+            }
         }
         self.tx_free = t;
         self.bytes_sent += len;
@@ -159,6 +228,9 @@ impl TcpPipe {
     /// blocking, given the socket-buffer size. Zero means a write
     /// would return `EWOULDBLOCK`.
     pub fn writable_bytes(&self, now: SimTime) -> u64 {
+        if self.is_down(now) {
+            return 0;
+        }
         if self.tx_free <= now {
             return self.params.sndbuf_bytes;
         }
@@ -178,7 +250,10 @@ impl TcpPipe {
     }
 
     /// Resets the flow (new connection: slow start restarts, queue
-    /// drains instantly). Used between benchmark phases.
+    /// drains instantly). Used between benchmark phases. The fault
+    /// plan — a property of the *path*, not the connection — stays
+    /// installed, PRNG state and counters included, so a reconnect
+    /// over the same bad link keeps drawing from the same sequence.
     pub fn reset(&mut self) {
         self.cwnd = (self.params.initial_cwnd_segments * self.params.mss) as f64;
         self.tx_free = SimTime::ZERO;
@@ -329,5 +404,87 @@ mod tests {
             out
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn loss_slows_transfer_and_counts() {
+        let clean = {
+            let mut p = TcpPipe::new(wan());
+            p.send(SimTime::ZERO, 5_000_000).1
+        };
+        let mut p = TcpPipe::with_faults(wan(), FaultPlan::seeded(42).with_loss(0.05));
+        let lossy = p.send(SimTime::ZERO, 5_000_000).1;
+        assert!(lossy > clean, "loss must cost time: {lossy} vs {clean}");
+        let stats = p.fault_stats();
+        assert!(stats.segments_lost > 0);
+        assert_eq!(stats.segments_lost, stats.retransmits);
+    }
+
+    #[test]
+    fn outage_defers_send_and_blocks_writes() {
+        let plan =
+            FaultPlan::seeded(1).with_outage(SimTime(1_000_000), SimDuration::from_millis(500));
+        let mut p = TcpPipe::with_faults(lan(), plan);
+        // Writes inside the window observe EWOULDBLOCK.
+        assert_eq!(p.writable_bytes(SimTime(1_200_000)), 0);
+        assert!(p.would_block(SimTime(1_200_000), 1));
+        // A send issued mid-outage starts only once the link is back.
+        let (departure, _) = p.send(SimTime(1_200_000), 1000);
+        assert!(departure >= SimTime(1_500_000), "{departure}");
+        assert_eq!(p.fault_stats().outage_defers, 1);
+    }
+
+    #[test]
+    fn collapse_window_reduces_rate() {
+        let plan = FaultPlan::seeded(2).with_collapse(
+            SimTime::ZERO,
+            SimDuration::from_secs_f64(60.0),
+            0.1,
+        );
+        let clean = {
+            let mut p = TcpPipe::new(lan());
+            p.send(SimTime::ZERO, 2_000_000).1
+        };
+        let mut p = TcpPipe::with_faults(lan(), plan);
+        let collapsed = p.send(SimTime::ZERO, 2_000_000).1;
+        assert!(
+            collapsed.as_micros() > 5 * clean.as_micros(),
+            "{collapsed} vs {clean}"
+        );
+        assert!(p.fault_stats().collapsed_rounds > 0);
+    }
+
+    #[test]
+    fn faulty_pipe_is_deterministic() {
+        let run = || {
+            let plan = FaultPlan::seeded(7)
+                .with_loss(0.03)
+                .with_outage(SimTime(500_000), SimDuration::from_millis(100))
+                .with_corruption(SimTime::ZERO, SimDuration::from_secs_f64(10.0), 0.01);
+            let mut p = TcpPipe::with_faults(wan(), plan);
+            let mut t = SimTime::ZERO;
+            let mut out = Vec::new();
+            for i in 0..30 {
+                let (_, a) = p.send(t, 20_000 + i * 17);
+                let mut payload = vec![0u8; 64];
+                p.corrupt(t, &mut payload);
+                out.push((a.as_micros(), payload));
+                t = a;
+            }
+            (out, p.fault_stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn no_plan_means_no_behavior_change() {
+        let mut clean = TcpPipe::new(wan());
+        let mut noop = TcpPipe::with_faults(wan(), FaultPlan::seeded(9));
+        for i in 0..20 {
+            let a = clean.send(SimTime::ZERO, 10_000 + i * 7);
+            let b = noop.send(SimTime::ZERO, 10_000 + i * 7);
+            assert_eq!(a, b);
+        }
+        assert_eq!(noop.fault_stats(), FaultStats::default());
     }
 }

@@ -164,6 +164,23 @@ pub enum Message {
         /// Hotspot y.
         y: i32,
     },
+    /// Server → client liveness probe. Display traffic normally
+    /// doubles as the heartbeat; the server pings only when a client
+    /// has been silent long enough to be suspect.
+    Ping {
+        /// Probe sequence number.
+        seq: u32,
+        /// Server virtual-time timestamp, microseconds (echoed back,
+        /// so a pong measures the round trip).
+        timestamp_us: u64,
+    },
+    /// Client → server liveness reply, echoing the probe's fields.
+    Pong {
+        /// Echoed probe sequence number.
+        seq: u32,
+        /// Echoed server timestamp, microseconds.
+        timestamp_us: u64,
+    },
 }
 
 impl Message {
@@ -183,6 +200,7 @@ impl Message {
                 | Message::Input(_)
                 | Message::Resize { .. }
                 | Message::SetView { .. }
+                | Message::Pong { .. }
         )
     }
 }

@@ -45,7 +45,9 @@ pub fn command_kind(msg: &Message) -> CommandKind {
         | Message::ClientHello { .. }
         | Message::Input(_)
         | Message::Resize { .. }
-        | Message::SetView { .. } => CommandKind::Control,
+        | Message::SetView { .. }
+        | Message::Ping { .. }
+        | Message::Pong { .. } => CommandKind::Control,
     }
 }
 

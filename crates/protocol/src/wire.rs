@@ -12,6 +12,16 @@ use thinc_raster::{Color, Rect, YuvFormat};
 use crate::commands::{DisplayCommand, RawEncoding, Tile};
 use crate::message::{Message, ProtocolInput};
 
+/// Upper bound on a frame's declared payload length, in bytes.
+///
+/// No legitimate message comes close (the largest — a RAW update of a
+/// full 24-bit 1920×1200 screen — is under 7 MiB), but a *corrupted*
+/// length field can declare anything up to 4 GiB. Without this bound a
+/// [`FrameReader`] would wait forever for the phantom payload,
+/// buffering unbounded garbage; with it, an oversized declaration is a
+/// hard [`DecodeError::FrameTooLarge`] the reader can resync past.
+pub const MAX_FRAME_PAYLOAD: u32 = 64 * 1024 * 1024;
+
 /// Why decoding failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -21,6 +31,9 @@ pub enum DecodeError {
     UnknownType(u8),
     /// Payload contents are inconsistent (bad lengths, bad enums).
     Malformed(&'static str),
+    /// The header declares a payload larger than
+    /// [`MAX_FRAME_PAYLOAD`] — a corrupted length field.
+    FrameTooLarge(u32),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -29,6 +42,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "truncated frame"),
             DecodeError::UnknownType(t) => write!(f, "unknown type byte {t:#x}"),
             DecodeError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            DecodeError::FrameTooLarge(len) => {
+                write!(f, "declared payload of {len} bytes exceeds {MAX_FRAME_PAYLOAD}")
+            }
         }
     }
 }
@@ -49,6 +65,8 @@ const MSG_RESIZE: u8 = 0x0A;
 const MSG_SET_VIEW: u8 = 0x0B;
 const MSG_CURSOR_SHAPE: u8 = 0x0C;
 const MSG_CURSOR_MOVE: u8 = 0x0D;
+const MSG_PING: u8 = 0x0E;
+const MSG_PONG: u8 = 0x0F;
 
 // Display command type bytes.
 const CMD_RAW: u8 = 0x10;
@@ -386,6 +404,16 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             payload.put_i32_le(*y);
             MSG_CURSOR_MOVE
         }
+        Message::Ping { seq, timestamp_us } => {
+            payload.put_u32_le(*seq);
+            payload.put_u64_le(*timestamp_us);
+            MSG_PING
+        }
+        Message::Pong { seq, timestamp_us } => {
+            payload.put_u32_le(*seq);
+            payload.put_u64_le(*timestamp_us);
+            MSG_PONG
+        }
     };
     let mut out = Vec::with_capacity(payload.len() + 5);
     out.put_u8(tag);
@@ -401,7 +429,17 @@ pub fn decode_message(data: &[u8]) -> Result<(Message, usize), DecodeError> {
         return Err(DecodeError::Truncated);
     }
     let tag = data[0];
-    let len = u32::from_le_bytes([data[1], data[2], data[3], data[4]]) as usize;
+    // Validate the header *before* waiting for the declared payload:
+    // a corrupted header must fail fast, not leave the reader stalled
+    // on (or buffering toward) a phantom payload that never arrives.
+    if !(MSG_SERVER_HELLO..=MSG_PONG).contains(&tag) {
+        return Err(DecodeError::UnknownType(tag));
+    }
+    let declared = u32::from_le_bytes([data[1], data[2], data[3], data[4]]);
+    if declared > MAX_FRAME_PAYLOAD {
+        return Err(DecodeError::FrameTooLarge(declared));
+    }
+    let len = declared as usize;
     if data.len() < 5 + len {
         return Err(DecodeError::Truncated);
     }
@@ -571,6 +609,18 @@ pub fn decode_message(data: &[u8]) -> Result<(Message, usize), DecodeError> {
                 y: buf.get_i32_le(),
             }
         }
+        MSG_PING | MSG_PONG => {
+            if buf.remaining() < 12 {
+                return Err(DecodeError::Truncated);
+            }
+            let seq = buf.get_u32_le();
+            let timestamp_us = buf.get_u64_le();
+            if tag == MSG_PING {
+                Message::Ping { seq, timestamp_us }
+            } else {
+                Message::Pong { seq, timestamp_us }
+            }
+        }
         other => return Err(DecodeError::UnknownType(other)),
     };
     Ok((msg, 5 + len))
@@ -578,6 +628,13 @@ pub fn decode_message(data: &[u8]) -> Result<(Message, usize), DecodeError> {
 
 /// Incremental frame splitter: feed transport bytes in, take whole
 /// messages out.
+///
+/// On damaged input [`next_message`](Self::next_message) returns the
+/// typed [`DecodeError`]; the caller then invokes
+/// [`resync`](Self::resync) to skip past the damage and keeps reading.
+/// Nothing here panics on wire bytes, and buffered memory stays
+/// bounded by [`MAX_FRAME_PAYLOAD`] plus one feed chunk as long as the
+/// caller drains between feeds.
 #[derive(Debug, Default)]
 pub struct FrameReader {
     buf: Vec<u8>,
@@ -612,6 +669,43 @@ impl FrameReader {
     pub fn pending_bytes(&self) -> usize {
         self.buf.len()
     }
+
+    /// Skips past damage to the next plausible frame boundary,
+    /// returning the number of bytes discarded.
+    ///
+    /// Call after [`next_message`](Self::next_message) errors. The
+    /// byte at the head of the buffer is known-bad and always skipped;
+    /// scanning then stops at the first byte that could start a frame
+    /// (known type byte, sane declared length). The heuristic can land
+    /// on a false boundary inside surviving payload — the next
+    /// `next_message` error sends the caller back here, and each call
+    /// discards at least one byte, so the loop always terminates. The
+    /// client treats everything skipped as lost screen state and asks
+    /// the server for a refresh.
+    pub fn resync(&mut self) -> usize {
+        if self.buf.is_empty() {
+            return 0;
+        }
+        let mut offset = 1;
+        while offset < self.buf.len() && !plausible_frame_start(&self.buf[offset..]) {
+            offset += 1;
+        }
+        self.buf.drain(..offset);
+        offset
+    }
+}
+
+/// Whether `buf` could begin a valid frame: known message type byte
+/// and, if the length field is visible, a sane declared length.
+fn plausible_frame_start(buf: &[u8]) -> bool {
+    let tag_ok = (MSG_SERVER_HELLO..=MSG_PONG).contains(&buf[0]);
+    if !tag_ok {
+        return false;
+    }
+    if buf.len() < 5 {
+        return true;
+    }
+    u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) <= MAX_FRAME_PAYLOAD
 }
 
 #[cfg(test)]
@@ -708,6 +802,14 @@ mod tests {
                 pixels: vec![7; 16 * 16 * 4],
             },
             Message::CursorMove { x: 500, y: -3 },
+            Message::Ping {
+                seq: 9,
+                timestamp_us: 123_456,
+            },
+            Message::Pong {
+                seq: 9,
+                timestamp_us: 123_456,
+            },
         ]
     }
 
@@ -783,5 +885,71 @@ mod tests {
         let mut reader = FrameReader::new();
         reader.feed(&[0xEE, 0, 0, 0, 0]);
         assert!(reader.next_message().is_err());
+    }
+
+    #[test]
+    fn absurd_declared_length_is_rejected_immediately() {
+        // Tag is valid but the length field claims ~4 GiB; waiting for
+        // it (Truncated) would buffer unboundedly.
+        let mut bad = vec![MSG_DISPLAY];
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_message(&bad), Err(DecodeError::FrameTooLarge(u32::MAX)));
+        let mut reader = FrameReader::new();
+        reader.feed(&bad);
+        assert!(matches!(
+            reader.next_message(),
+            Err(DecodeError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn resync_skips_damage_and_recovers_following_messages() {
+        let msgs = sample_messages();
+        let mut stream = vec![0xEE, 0xFF, 0x00, 0x99]; // Leading garbage.
+        for m in &msgs {
+            stream.extend(encode_message(m));
+        }
+        let mut reader = FrameReader::new();
+        reader.feed(&stream);
+        let mut got = Vec::new();
+        let mut skipped = 0;
+        loop {
+            match reader.next_message() {
+                Ok(Some(m)) => got.push(m),
+                Ok(None) => break,
+                Err(_) => skipped += reader.resync(),
+            }
+        }
+        assert!(skipped >= 4, "{skipped}");
+        // Everything after the damage is recovered.
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn resync_terminates_on_all_garbage() {
+        let mut reader = FrameReader::new();
+        reader.feed(&[0xEEu8; 4096]);
+        let mut iterations = 0;
+        while reader.pending_bytes() >= 5 {
+            if reader.next_message().is_err() {
+                assert!(reader.resync() > 0);
+            }
+            iterations += 1;
+            assert!(iterations < 10_000, "resync loop failed to make progress");
+        }
+    }
+
+    #[test]
+    fn ping_pong_directionality() {
+        assert!(Message::Ping {
+            seq: 0,
+            timestamp_us: 0
+        }
+        .is_downstream());
+        assert!(!Message::Pong {
+            seq: 0,
+            timestamp_us: 0
+        }
+        .is_downstream());
     }
 }

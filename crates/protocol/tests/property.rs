@@ -144,4 +144,94 @@ proptest! {
     fn wire_size_always_matches_encoding(msg in arb_message()) {
         prop_assert_eq!(msg.wire_size(), encode_message(&msg).len() as u64);
     }
+
+    /// Bit-flipped valid streams: the decoder returns typed errors,
+    /// never panics, and the reader's resync loop always drains the
+    /// damage with bounded buffering.
+    #[test]
+    fn bit_flipped_streams_never_panic_and_stay_bounded(
+        msgs in prop::collection::vec(arb_message(), 1..8),
+        flips in prop::collection::vec((any::<u32>(), 0u8..8), 1..32),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(encode_message(m));
+        }
+        for (pos, bit) in &flips {
+            let idx = (*pos as usize) % stream.len();
+            stream[idx] ^= 1 << bit;
+        }
+        let bound = stream.len();
+        let mut reader = FrameReader::new();
+        reader.feed(&stream);
+        let mut decoded = 0usize;
+        let mut progress_guard = 0usize;
+        loop {
+            match reader.next_message() {
+                Ok(Some(_)) => decoded += 1,
+                Ok(None) => break,
+                Err(_) => {
+                    prop_assert!(reader.resync() > 0, "resync must make progress");
+                }
+            }
+            // The reader only ever holds what was fed.
+            prop_assert!(reader.pending_bytes() <= bound);
+            progress_guard += 1;
+            prop_assert!(progress_guard <= bound + msgs.len() + 1, "no forward progress");
+        }
+        prop_assert!(decoded <= msgs.len());
+    }
+
+    /// Truncated valid streams: every prefix either decodes a prefix
+    /// of the messages or waits for more bytes — never a panic.
+    #[test]
+    fn truncated_streams_never_panic(
+        msgs in prop::collection::vec(arb_message(), 1..6),
+        cut_seed in any::<u32>(),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(encode_message(m));
+        }
+        let cut = (cut_seed as usize) % (stream.len() + 1);
+        let mut reader = FrameReader::new();
+        reader.feed(&stream[..cut]);
+        let mut got = Vec::new();
+        loop {
+            match reader.next_message() {
+                Ok(Some(m)) => got.push(m),
+                Ok(None) => break,
+                Err(_) => { reader.resync(); }
+            }
+        }
+        // Whole messages before the cut all survive.
+        prop_assert!(got.len() <= msgs.len());
+        for (g, m) in got.iter().zip(msgs.iter()) {
+            prop_assert_eq!(g, m);
+        }
+    }
+
+    /// Pure random bytes through the full feed/decode/resync loop:
+    /// no panics, memory bounded by the input.
+    #[test]
+    fn random_bytes_drain_without_panic(
+        garbage in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let bound = garbage.len();
+        let mut reader = FrameReader::new();
+        reader.feed(&garbage);
+        let mut progress_guard = 0usize;
+        loop {
+            match reader.next_message() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    prop_assert!(reader.resync() > 0);
+                }
+            }
+            prop_assert!(reader.pending_bytes() <= bound);
+            progress_guard += 1;
+            prop_assert!(progress_guard <= bound + 1, "no forward progress");
+        }
+    }
 }

@@ -49,11 +49,13 @@
 
 mod command;
 mod metrics;
+mod resilience;
 mod session;
 mod timeline;
 
 pub use command::CommandKind;
 pub use metrics::{Counter, Gauge, Histogram};
+pub use resilience::{ResilienceMetrics, ResilienceSnapshot};
 pub use session::{
     ClientMetrics, ClientSnapshot, CommandRow, NetMetrics, NetSnapshot, ProtocolMetrics,
     SchedulerMetrics, SchedulerSnapshot, SessionTelemetry, TelemetrySnapshot, TranslatorMetrics,

@@ -1,0 +1,354 @@
+//! Fault and resilience instrumentation.
+//!
+//! Everything the degraded-network story produces — injected faults
+//! observed at the transport, graceful-degradation evictions in the
+//! per-client buffers, liveness timeouts, and reconnect/resync
+//! events — is counted here, in one group, so a single snapshot
+//! answers "what did the network do to this session and how did the
+//! system cope".
+//!
+//! Ownership follows the same rule as every other group: the
+//! component that observes the event records it (the transport's
+//! fault state feeds the fault counters, the command buffer its
+//! overflow evictions, the server its timeouts and resyncs) and a
+//! harness merges the pieces into the session aggregate.
+
+use crate::metrics::Counter;
+
+/// Fault-injection and resilience counters for one session.
+///
+/// ```
+/// use thinc_telemetry::ResilienceMetrics;
+///
+/// let mut m = ResilienceMetrics::new();
+/// m.record_segment_lost();
+/// m.record_retransmit();
+/// m.record_corruption(3);
+/// m.record_reconnect();
+/// assert_eq!(m.segments_lost(), 1);
+/// assert_eq!(m.corrupted_bytes(), 3);
+/// assert_eq!(m.reconnects(), 1);
+/// assert!(m.total_faults() >= 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceMetrics {
+    // Transport faults.
+    segments_lost: Counter,
+    retransmits: Counter,
+    corrupt_events: Counter,
+    corrupted_bytes: Counter,
+    outage_defers: Counter,
+    // Graceful degradation.
+    overflow_evictions: Counter,
+    stale_video_dropped: Counter,
+    // Session lifecycle.
+    liveness_timeouts: Counter,
+    pings_sent: Counter,
+    reconnects: Counter,
+    resyncs: Counter,
+    // Client-side recovery.
+    decode_errors: Counter,
+    stream_resyncs: Counter,
+    skipped_bytes: Counter,
+}
+
+impl ResilienceMetrics {
+    /// Empty accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transport segment lost to injected loss.
+    pub fn record_segment_lost(&mut self) {
+        self.segments_lost.inc();
+    }
+
+    /// Records a retransmission round triggered by a loss.
+    pub fn record_retransmit(&mut self) {
+        self.retransmits.inc();
+    }
+
+    /// Records one corruption event damaging `bytes` payload bytes.
+    pub fn record_corruption(&mut self, bytes: u64) {
+        self.corrupt_events.inc();
+        self.corrupted_bytes.add(bytes);
+    }
+
+    /// Records a send deferred (or stalled mid-transfer) by a link
+    /// outage window.
+    pub fn record_outage_defer(&mut self) {
+        self.outage_defers.inc();
+    }
+
+    /// Records a buffered command evicted to keep the per-client
+    /// buffer under its byte bound.
+    pub fn record_overflow_eviction(&mut self) {
+        self.overflow_evictions.inc();
+    }
+
+    /// Folds in `n` overflow evictions counted elsewhere (the buffer
+    /// keeps its own tally; the owning server merges it at read time).
+    pub fn add_overflow_evictions(&mut self, n: u64) {
+        self.overflow_evictions.add(n);
+    }
+
+    /// Folds in transport fault counts tallied by the fault-injected
+    /// link itself (the transport crate carries no telemetry
+    /// dependency; a harness moves its plain counters here).
+    pub fn add_transport_faults(
+        &mut self,
+        segments_lost: u64,
+        retransmits: u64,
+        corrupt_events: u64,
+        corrupted_bytes: u64,
+        outage_defers: u64,
+    ) {
+        self.segments_lost.add(segments_lost);
+        self.retransmits.add(retransmits);
+        self.corrupt_events.add(corrupt_events);
+        self.corrupted_bytes.add(corrupted_bytes);
+        self.outage_defers.add(outage_defers);
+    }
+
+    /// Records a stale video frame dropped under backpressure.
+    pub fn record_stale_video_drop(&mut self) {
+        self.stale_video_dropped.inc();
+    }
+
+    /// Records a client declared dead by the liveness tracker.
+    pub fn record_liveness_timeout(&mut self) {
+        self.liveness_timeouts.inc();
+    }
+
+    /// Records a heartbeat ping sent to probe an idle peer.
+    pub fn record_ping_sent(&mut self) {
+        self.pings_sent.inc();
+    }
+
+    /// Records a client reconnecting to the session.
+    pub fn record_reconnect(&mut self) {
+        self.reconnects.inc();
+    }
+
+    /// Records a full resynchronization (screen refresh + cursor +
+    /// video stream re-establishment).
+    pub fn record_resync(&mut self) {
+        self.resyncs.inc();
+    }
+
+    /// Records a wire decode error the receiver survived.
+    pub fn record_decode_error(&mut self) {
+        self.decode_errors.inc();
+    }
+
+    /// Records the receiver scanning past damage to a new frame
+    /// boundary, skipping `bytes`.
+    pub fn record_stream_resync(&mut self, bytes: u64) {
+        self.stream_resyncs.inc();
+        self.skipped_bytes.add(bytes);
+    }
+
+    /// Segments lost to injected loss.
+    pub fn segments_lost(&self) -> u64 {
+        self.segments_lost.get()
+    }
+
+    /// Retransmission rounds.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.get()
+    }
+
+    /// Corruption events observed.
+    pub fn corrupt_events(&self) -> u64 {
+        self.corrupt_events.get()
+    }
+
+    /// Total payload bytes damaged by corruption.
+    pub fn corrupted_bytes(&self) -> u64 {
+        self.corrupted_bytes.get()
+    }
+
+    /// Sends deferred or stalled by outage windows.
+    pub fn outage_defers(&self) -> u64 {
+        self.outage_defers.get()
+    }
+
+    /// Commands evicted by the buffer byte bound.
+    pub fn overflow_evictions(&self) -> u64 {
+        self.overflow_evictions.get()
+    }
+
+    /// Stale video frames dropped under backpressure.
+    pub fn stale_video_dropped(&self) -> u64 {
+        self.stale_video_dropped.get()
+    }
+
+    /// Clients declared dead by liveness tracking.
+    pub fn liveness_timeouts(&self) -> u64 {
+        self.liveness_timeouts.get()
+    }
+
+    /// Heartbeat pings sent.
+    pub fn pings_sent(&self) -> u64 {
+        self.pings_sent.get()
+    }
+
+    /// Reconnects handled.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.get()
+    }
+
+    /// Full resynchronizations performed.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs.get()
+    }
+
+    /// Wire decode errors survived.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.get()
+    }
+
+    /// Times the receiver scanned past damage.
+    pub fn stream_resyncs(&self) -> u64 {
+        self.stream_resyncs.get()
+    }
+
+    /// Bytes skipped while scanning past damage.
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped_bytes.get()
+    }
+
+    /// All injected-fault events combined (loss + corruption +
+    /// outage stalls).
+    pub fn total_faults(&self) -> u64 {
+        self.segments_lost.get() + self.corrupt_events.get() + self.outage_defers.get()
+    }
+
+    /// Adds another accounting into this one (components each own a
+    /// piece; the harness merges them into the session view).
+    pub fn merge(&mut self, other: &ResilienceMetrics) {
+        self.segments_lost.add(other.segments_lost.get());
+        self.retransmits.add(other.retransmits.get());
+        self.corrupt_events.add(other.corrupt_events.get());
+        self.corrupted_bytes.add(other.corrupted_bytes.get());
+        self.outage_defers.add(other.outage_defers.get());
+        self.overflow_evictions.add(other.overflow_evictions.get());
+        self.stale_video_dropped.add(other.stale_video_dropped.get());
+        self.liveness_timeouts.add(other.liveness_timeouts.get());
+        self.pings_sent.add(other.pings_sent.get());
+        self.reconnects.add(other.reconnects.get());
+        self.resyncs.add(other.resyncs.get());
+        self.decode_errors.add(other.decode_errors.get());
+        self.stream_resyncs.add(other.stream_resyncs.get());
+        self.skipped_bytes.add(other.skipped_bytes.get());
+    }
+
+    /// Plain-data summary for reports.
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            segments_lost: self.segments_lost(),
+            retransmits: self.retransmits(),
+            corrupt_events: self.corrupt_events(),
+            corrupted_bytes: self.corrupted_bytes(),
+            outage_defers: self.outage_defers(),
+            overflow_evictions: self.overflow_evictions(),
+            stale_video_dropped: self.stale_video_dropped(),
+            liveness_timeouts: self.liveness_timeouts(),
+            pings_sent: self.pings_sent(),
+            reconnects: self.reconnects(),
+            resyncs: self.resyncs(),
+            decode_errors: self.decode_errors(),
+            stream_resyncs: self.stream_resyncs(),
+            skipped_bytes: self.skipped_bytes(),
+        }
+    }
+}
+
+/// Plain-data resilience summary inside a
+/// [`TelemetrySnapshot`](crate::TelemetrySnapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceSnapshot {
+    /// Segments lost to injected loss.
+    pub segments_lost: u64,
+    /// Retransmission rounds.
+    pub retransmits: u64,
+    /// Corruption events observed.
+    pub corrupt_events: u64,
+    /// Payload bytes damaged by corruption.
+    pub corrupted_bytes: u64,
+    /// Sends deferred or stalled by outages.
+    pub outage_defers: u64,
+    /// Commands evicted by the buffer byte bound.
+    pub overflow_evictions: u64,
+    /// Stale video frames dropped under backpressure.
+    pub stale_video_dropped: u64,
+    /// Clients declared dead by liveness tracking.
+    pub liveness_timeouts: u64,
+    /// Heartbeat pings sent.
+    pub pings_sent: u64,
+    /// Reconnects handled.
+    pub reconnects: u64,
+    /// Full resynchronizations performed.
+    pub resyncs: u64,
+    /// Wire decode errors survived.
+    pub decode_errors: u64,
+    /// Times the receiver scanned past damage.
+    pub stream_resyncs: u64,
+    /// Bytes skipped while scanning past damage.
+    pub skipped_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let mut m = ResilienceMetrics::new();
+        m.record_segment_lost();
+        m.record_segment_lost();
+        m.record_retransmit();
+        m.record_corruption(16);
+        m.record_outage_defer();
+        m.record_overflow_eviction();
+        m.record_stale_video_drop();
+        m.record_liveness_timeout();
+        m.record_ping_sent();
+        m.record_reconnect();
+        m.record_resync();
+        m.record_decode_error();
+        m.record_stream_resync(40);
+        let s = m.snapshot();
+        assert_eq!(s.segments_lost, 2);
+        assert_eq!(s.retransmits, 1);
+        assert_eq!(s.corrupt_events, 1);
+        assert_eq!(s.corrupted_bytes, 16);
+        assert_eq!(s.outage_defers, 1);
+        assert_eq!(s.overflow_evictions, 1);
+        assert_eq!(s.stale_video_dropped, 1);
+        assert_eq!(s.liveness_timeouts, 1);
+        assert_eq!(s.pings_sent, 1);
+        assert_eq!(s.reconnects, 1);
+        assert_eq!(s.resyncs, 1);
+        assert_eq!(s.decode_errors, 1);
+        assert_eq!(s.stream_resyncs, 1);
+        assert_eq!(s.skipped_bytes, 40);
+        assert_eq!(m.total_faults(), 4);
+    }
+
+    #[test]
+    fn merge_adds_both_sides() {
+        let mut a = ResilienceMetrics::new();
+        a.record_segment_lost();
+        a.record_resync();
+        let mut b = ResilienceMetrics::new();
+        b.record_segment_lost();
+        b.record_corruption(8);
+        b.record_reconnect();
+        a.merge(&b);
+        assert_eq!(a.segments_lost(), 2);
+        assert_eq!(a.corrupted_bytes(), 8);
+        assert_eq!(a.reconnects(), 1);
+        assert_eq!(a.resyncs(), 1);
+    }
+}

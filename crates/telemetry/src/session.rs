@@ -9,6 +9,7 @@
 
 use crate::command::CommandKind;
 use crate::metrics::{Counter, Gauge, Histogram};
+use crate::resilience::{ResilienceMetrics, ResilienceSnapshot};
 use crate::timeline::Timeline;
 
 /// Default bucket layout for latency histograms: 100 µs to ~1.6 s in
@@ -464,6 +465,8 @@ pub struct SessionTelemetry {
     pub net: NetMetrics,
     /// Client-side metrics.
     pub client: ClientMetrics,
+    /// Fault and resilience counters.
+    pub resilience: ResilienceMetrics,
     /// Sampled metric timeline.
     pub timeline: Timeline,
 }
@@ -525,6 +528,7 @@ impl SessionTelemetry {
                 frame_latency_p99_us: self.client.frame_latency_us().quantile(0.99),
                 frames: self.client.frame_latency_us().count(),
             },
+            resilience: self.resilience.snapshot(),
         }
     }
 
@@ -553,6 +557,8 @@ pub struct TelemetrySnapshot {
     pub net: NetSnapshot,
     /// Client summary.
     pub client: ClientSnapshot,
+    /// Fault and resilience summary.
+    pub resilience: ResilienceSnapshot,
 }
 
 /// Scheduler/buffer summary inside a [`TelemetrySnapshot`].

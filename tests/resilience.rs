@@ -1,0 +1,285 @@
+//! Session resilience under injected network faults: seeded loss,
+//! payload corruption, and a mid-session link outage with a liveness
+//! timeout and reconnect-with-resync. The invariants under test are
+//! the ISSUE acceptance criteria: the client converges byte-exact
+//! with zero panics, the bounded buffer never exceeds its bound, and
+//! the telemetry shows nonzero fault / eviction / reconnect counts.
+//!
+//! The fault seed can be overridden (for CI matrices) with
+//! `THINC_FAULT_SEED=<u64>`.
+
+use thinc::client::StreamClient;
+use thinc::core::liveness::{LivenessConfig, LivenessVerdict};
+use thinc::core::server::{ServerConfig, ThincServer};
+use thinc::display::request::DrawRequest;
+use thinc::display::server::WindowServer;
+use thinc::display::SCREEN;
+use thinc::net::fault::FaultPlan;
+use thinc::net::link::NetworkConfig;
+use thinc::net::time::{SimDuration, SimTime};
+use thinc::net::trace::PacketTrace;
+use thinc::protocol::wire::encode_message;
+use thinc::raster::{Color, PixelFormat, Rect};
+
+const W: u32 = 128;
+const H: u32 = 96;
+const BUFFER_BOUND: u64 = 96 * 1024;
+
+fn fault_seed() -> u64 {
+    std::env::var("THINC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        width: W,
+        height: H,
+        buffer_bound_bytes: Some(BUFFER_BOUND),
+        av_bound: Some(64),
+        liveness: Some(LivenessConfig {
+            timeout: SimDuration::from_secs_f64(5.0),
+            ping_interval: SimDuration::from_secs_f64(1.0),
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// Noise image that defeats the RAW compressor (so the buffer bound
+/// actually gets exercised).
+fn noise(rect: Rect, salt: u64) -> DrawRequest {
+    let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let data: Vec<u8> = (0..(rect.w as usize * rect.h as usize * 3))
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) as u8
+        })
+        .collect();
+    DrawRequest::PutImage {
+        target: SCREEN,
+        rect,
+        data,
+    }
+}
+
+/// One delivery round: flush the server over the (possibly faulty)
+/// pipe, run every message's bytes through the wire — where the
+/// corruption model may damage them — into the stream client, answer
+/// pings, and enforce the backlog invariant.
+fn pump(
+    ws: &mut WindowServer<ThincServer>,
+    link: &mut thinc::net::link::DuplexLink,
+    trace: &mut PacketTrace,
+    client: &mut StreamClient,
+    now: SimTime,
+) {
+    let batch = ws.driver_mut().flush(now, &mut link.down, trace);
+    for (arrival, msg) in batch {
+        let mut bytes = encode_message(&msg);
+        link.down.corrupt(arrival, &mut bytes);
+        client.feed(&bytes);
+    }
+    while let Some(pong) = client.take_pong() {
+        ws.driver_mut().handle_message(&pong);
+    }
+    assert!(
+        ws.driver().display_backlog_bytes() <= BUFFER_BOUND,
+        "display backlog exceeded the bound at t={now:?}"
+    );
+}
+
+fn drain(
+    ws: &mut WindowServer<ThincServer>,
+    link: &mut thinc::net::link::DuplexLink,
+    trace: &mut PacketTrace,
+    client: &mut StreamClient,
+    mut now: SimTime,
+) -> SimTime {
+    for _ in 0..100_000 {
+        pump(ws, link, trace, client, now);
+        if ws.driver().display_backlog() == 0 && ws.driver().av_backlog() == 0 {
+            break;
+        }
+        now = link.down.tx_free_at().max(now + SimDuration::from_millis(2));
+    }
+    now
+}
+
+#[test]
+fn seeded_loss_converges_byte_exact_without_resync() {
+    // 8% injected loss: TCP retransmits absorb it — the stream is
+    // intact, just slower, and the client converges with no recovery
+    // action at all.
+    let seed = fault_seed();
+    let net = NetworkConfig::wan_desktop()
+        .with_faults(FaultPlan::seeded(seed).with_loss(0.08));
+    let mut link = net.connect();
+    let mut trace = PacketTrace::new();
+    let mut ws = WindowServer::new(W, H, PixelFormat::Rgb888, ThincServer::new(server_config()));
+    let mut client = StreamClient::new(W, H, PixelFormat::Rgb888);
+
+    let mut now = SimTime::ZERO;
+    for i in 0..40u64 {
+        let x = (i as i32 * 11) % (W as i32 - 56);
+        let y = (i as i32 * 7) % (H as i32 - 56);
+        ws.driver_mut().set_time(now);
+        ws.process(noise(Rect::new(x, y, 56, 56), seed ^ i));
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        now += SimDuration::from_millis(30);
+    }
+    drain(&mut ws, &mut link, &mut trace, &mut client, now);
+
+    assert_eq!(
+        client.client().framebuffer().data(),
+        ws.screen().data(),
+        "client must converge byte-exact under loss"
+    );
+    let faults = link.down.fault_stats();
+    assert!(faults.segments_lost > 0, "the loss plan must have fired");
+    assert_eq!(faults.retransmits, faults.segments_lost);
+    assert_eq!(client.resilience_metrics().decode_errors(), 0);
+    assert!(!client.needs_refresh());
+}
+
+#[test]
+fn corruption_window_is_survived_and_resync_restores_the_screen() {
+    // A corruption window damages wire bytes mid-session (a broken
+    // middlebox). The client skips the damage with typed errors —
+    // never a panic — flags that it wants a refresh, and one resync
+    // restores byte-exact content.
+    let seed = fault_seed().wrapping_add(1);
+    let corrupt_from = SimTime(50_000);
+    let net = NetworkConfig::wan_desktop().with_faults(
+        FaultPlan::seeded(seed).with_corruption(
+            corrupt_from,
+            SimDuration::from_millis(150),
+            0.02,
+        ),
+    );
+    let mut link = net.connect();
+    let mut trace = PacketTrace::new();
+    let mut ws = WindowServer::new(W, H, PixelFormat::Rgb888, ThincServer::new(server_config()));
+    let mut client = StreamClient::new(W, H, PixelFormat::Rgb888);
+
+    let mut now = SimTime::ZERO;
+    for i in 0..10u64 {
+        let x = (i as i32 * 13) % (W as i32 - 32);
+        let y = (i as i32 * 9) % (H as i32 - 32);
+        ws.driver_mut().set_time(now);
+        ws.process(noise(Rect::new(x, y, 32, 32), seed ^ i));
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        now += SimDuration::from_millis(25);
+    }
+    now = drain(&mut ws, &mut link, &mut trace, &mut client, now);
+
+    let faults = link.down.fault_stats();
+    assert!(faults.corrupt_events > 0, "corruption window must fire");
+    let m = client.resilience_metrics().clone();
+    assert!(m.decode_errors() > 0, "damage must surface as typed errors");
+    assert!(m.stream_resyncs() > 0);
+    assert!(m.skipped_bytes() > 0);
+
+    // The client noticed and recovers: a corrupted length field may
+    // have swallowed a frame boundary, so it drops its wire state
+    // (reconnect) and asks the server for a full resync. Well past
+    // the corruption window, one round restores exact content.
+    assert!(client.take_needs_refresh());
+    client.reconnect();
+    let now = now.max(corrupt_from + SimDuration::from_millis(200));
+    ws.driver_mut().set_time(now);
+    let screen = ws.screen().clone();
+    ws.driver_mut().resync(&screen);
+    drain(&mut ws, &mut link, &mut trace, &mut client, now);
+    assert_eq!(
+        client.client().framebuffer().data(),
+        ws.screen().data(),
+        "resync must restore byte-exact content"
+    );
+    assert!(ws.driver().resilience_metrics().resyncs() >= 1);
+}
+
+#[test]
+fn outage_timeout_reconnect_resyncs_byte_exact_with_bounded_backlog() {
+    // Mid-session the link goes dark for 8 s — past the 5 s liveness
+    // timeout. Updates keep arriving at the server, the bounded
+    // buffer degrades gracefully (evicts stale, stays under bound),
+    // the client is declared dead, and a reconnect + resync converges
+    // byte-exact on a fresh link.
+    let seed = fault_seed().wrapping_add(2);
+    let outage_at = SimTime(100_000);
+    let net = NetworkConfig::wan_desktop().with_faults(
+        FaultPlan::seeded(seed)
+            .with_loss(0.01)
+            .with_outage(outage_at, SimDuration::from_secs_f64(8.0)),
+    );
+    let mut link = net.connect();
+    let mut trace = PacketTrace::new();
+    let mut ws = WindowServer::new(W, H, PixelFormat::Rgb888, ThincServer::new(server_config()));
+    let mut client = StreamClient::new(W, H, PixelFormat::Rgb888);
+
+    // Healthy start.
+    let mut now = SimTime::ZERO;
+    ws.driver_mut().set_time(now);
+    ws.process(DrawRequest::FillRect {
+        target: SCREEN,
+        rect: Rect::new(0, 0, W, H),
+        color: Color::rgb(20, 40, 60),
+    });
+    now = drain(&mut ws, &mut link, &mut trace, &mut client, now);
+
+    // The outage begins; the session keeps drawing heavily. The
+    // server's flush can't deliver (writes blocked), the backlog
+    // grows, and the byte bound evicts stale commands instead of
+    // letting memory run away.
+    let mut dead_at = None;
+    let mut saw_outage = false;
+    let mut i = 0u64;
+    while now < outage_at + SimDuration::from_secs_f64(7.0) {
+        saw_outage |= link.down.is_down(now);
+        let x = (i as i32 * 17) % (W as i32 - 64);
+        let y = (i as i32 * 11) % (H as i32 - 64);
+        ws.driver_mut().set_time(now);
+        ws.process(noise(Rect::new(x, y, 64, 64), seed ^ i));
+        i += 1;
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        if let LivenessVerdict::Dead = ws.driver_mut().poll_liveness(now) {
+            dead_at = Some(now);
+            break;
+        }
+        now += SimDuration::from_millis(200);
+    }
+    assert!(
+        dead_at.is_some(),
+        "silence through the outage must trip the liveness timeout"
+    );
+    assert!(ws.driver().client_dead());
+    let server_m = ws.driver().resilience_metrics();
+    assert!(server_m.liveness_timeouts() >= 1);
+    assert!(server_m.pings_sent() >= 1, "the server must have probed first");
+    assert!(
+        server_m.overflow_evictions() > 0,
+        "the bounded buffer must have evicted under outage backlog"
+    );
+    assert!(saw_outage, "the outage window must have gated the link");
+
+    // Reconnect: fresh link (no outage), fresh wire state on the
+    // client, full resync on the server.
+    let mut link2 = NetworkConfig::wan_desktop().connect();
+    let mut trace2 = PacketTrace::new();
+    client.reconnect();
+    let now = dead_at.unwrap() + SimDuration::from_secs_f64(1.0);
+    ws.driver_mut().set_time(now);
+    let screen = ws.screen().clone();
+    ws.driver_mut().resync(&screen);
+    assert!(!ws.driver().client_dead(), "resync revives the client");
+    drain(&mut ws, &mut link2, &mut trace2, &mut client, now);
+
+    assert_eq!(
+        client.client().framebuffer().data(),
+        ws.screen().data(),
+        "reconnected client must converge byte-exact"
+    );
+    assert_eq!(client.resilience_metrics().reconnects(), 1);
+    assert!(ws.driver().resilience_metrics().resyncs() >= 1);
+}
