@@ -1,0 +1,683 @@
+//! `perfgate`: the reproducible performance harness and regression
+//! gate.
+//!
+//! Runs two suites and emits machine-readable artifacts at the repo
+//! root:
+//!
+//! - **Micro** (`BENCH_raster.json`): every hot raster/codec kernel
+//!   timed against its retained byte-exact naive reference (the same
+//!   pairs the equivalence property tests compare), reporting ns/op,
+//!   ops/s, MB/s and the speedup ratio.
+//! - **Macro** (`BENCH_e2e.json`): the web page-load and A/V playback
+//!   workloads through the full THINC pipeline, reporting latency,
+//!   bytes, per-command-type wire-size p50/p99 (via thinc-telemetry),
+//!   scheduler flush-latency quantiles, and a parallel-flush
+//!   determinism check.
+//!
+//! The gate compares against `crates/bench/perf_baseline.json`:
+//! kernel *speedup ratios* (machine-independent) and the
+//! virtual-time-deterministic macro metrics must not regress by more
+//! than `--threshold` (default 0.15). Absolute ns/op numbers are
+//! reported but never gated.
+//!
+//! Usage:
+//!   perfgate [--quick] [--threshold 0.15] [--write-baseline]
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use thinc_bench::thinc_system::ThincSystem;
+use thinc_bench::{avbench, webbench};
+use thinc_compress::{lzss, pnglike, rle, Scratch};
+use thinc_core::session::Credentials;
+use thinc_core::SharedSession;
+use thinc_display::drawable::DrawableStore;
+use thinc_display::driver::VideoDriver;
+use thinc_display::SCREEN;
+use thinc_net::link::NetworkConfig;
+use thinc_net::tcp::{TcpParams, TcpPipe};
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_net::trace::PacketTrace;
+use thinc_raster::yuv::YuvFormat;
+use thinc_raster::{reference, Color, Framebuffer, PixelFormat, Rect, ScaleFilter, YuvFrame};
+use thinc_telemetry::CommandKind;
+use thinc_workloads::video::{AudioTrack, VideoClip};
+use thinc_workloads::web::WebWorkload;
+
+struct Options {
+    quick: bool,
+    threshold: f64,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        threshold: 0.15,
+        write_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--threshold" => {
+                let v = args.next().expect("--threshold needs a value");
+                opts.threshold = v.parse().expect("--threshold must be a number");
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("usage: perfgate [--quick] [--threshold F] [--write-baseline]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Deterministic pseudo-random bytes (same generator as the
+/// equivalence tests).
+fn noise(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+fn noise_fb(w: u32, h: u32, format: PixelFormat, seed: u64) -> Framebuffer {
+    let mut fb = Framebuffer::new(w, h, format);
+    let bytes = noise(w as usize * h as usize * format.bytes_per_pixel(), seed);
+    fb.put_raw(&Rect::new(0, 0, w, h), &bytes);
+    fb
+}
+
+/// Desktop-like image bytes: flat regions, a window, text speckles —
+/// the content class THINC RAW updates actually carry.
+fn desktop_bytes(w: usize, h: usize, bpp: usize) -> Vec<u8> {
+    let mut img = vec![200u8; w * h * bpp];
+    for y in h / 8..h * 3 / 4 {
+        for x in w / 8..w * 7 / 8 {
+            let off = (y * w + x) * bpp;
+            img[off..off + bpp].fill(255);
+        }
+    }
+    for i in (0..img.len()).step_by(97) {
+        img[i] = 0;
+    }
+    img
+}
+
+/// Times `f`, returning the best-of-samples nanoseconds per call.
+fn time_ns<F: FnMut()>(quick: bool, mut f: F) -> f64 {
+    f(); // Warmup.
+    let (samples, budget_ns) = if quick { (3, 20_000_000u128) } else { (5, 100_000_000u128) };
+    // Slow ops (several ms each) would get only a couple of
+    // iterations out of the quick budget, which is too noisy to gate
+    // on — always take enough iterations for a stable best-of.
+    let min_iters = 10u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            f();
+            iters += 1;
+            if iters >= min_iters && start.elapsed().as_nanos() >= budget_ns {
+                break;
+            }
+        }
+        let per = start.elapsed().as_nanos() as f64 / iters as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    best
+}
+
+struct KernelResult {
+    name: &'static str,
+    bytes: usize,
+    ref_ns: f64,
+    opt_ns: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.ref_ns / self.opt_ns
+    }
+    fn opt_mb_s(&self) -> f64 {
+        self.bytes as f64 / self.opt_ns * 1e9 / 1e6
+    }
+    fn ref_mb_s(&self) -> f64 {
+        self.bytes as f64 / self.ref_ns * 1e9 / 1e6
+    }
+    fn ops_s(&self) -> f64 {
+        1e9 / self.opt_ns
+    }
+}
+
+/// Times one reference/optimized pair over the same input.
+fn kernel<R: FnMut(), O: FnMut()>(
+    quick: bool,
+    name: &'static str,
+    bytes: usize,
+    r: R,
+    o: O,
+) -> KernelResult {
+    let ref_ns = time_ns(quick, r);
+    let opt_ns = time_ns(quick, o);
+    let k = KernelResult { name, bytes, ref_ns, opt_ns };
+    eprintln!(
+        "  {name:<14} ref {ref_ns:>10.0} ns  opt {opt_ns:>10.0} ns  {:>7.2}x  {:>8.1} MB/s",
+        k.speedup(),
+        k.opt_mb_s()
+    );
+    k
+}
+
+fn micro_suite(quick: bool) -> Vec<KernelResult> {
+    eprintln!("== micro kernels (reference vs optimized) ==");
+    let (w, h) = (640u32, 480u32);
+    let fmt = PixelFormat::Rgb888;
+    let area_bytes = (w * h) as usize * 3;
+    let rect = Rect::new(0, 0, w, h);
+    let mut out = Vec::new();
+
+    // fill_rect: non-uniform color (the doubling-splat path).
+    let mut fb_r = noise_fb(w, h, fmt, 1);
+    let mut fb_o = fb_r.clone();
+    let color = Color::rgb(17, 34, 51);
+    out.push(kernel(
+        quick,
+        "fill_rect",
+        area_bytes,
+        || reference::fill_rect(black_box(&mut fb_r), &rect, color),
+        || black_box(&mut fb_o).fill_rect(&rect, color),
+    ));
+
+    // tile_rect: 16x12 tile across the screen, phase-unaligned.
+    let tile = noise_fb(16, 12, fmt, 3);
+    let trect = Rect::new(-5, -3, w, h);
+    let mut fb_r = noise_fb(w, h, fmt, 1);
+    let mut fb_o = fb_r.clone();
+    out.push(kernel(
+        quick,
+        "tile_rect",
+        area_bytes,
+        || reference::tile_rect(black_box(&mut fb_r), &trect, &tile),
+        || black_box(&mut fb_o).tile_rect(&trect, &tile),
+    ));
+
+    // bitmap_rect: glyph-like bits — mostly background with solid
+    // foreground runs and a few ragged edges, as text rendering
+    // produces (uniform noise would be the span-decoder's worst case
+    // and nothing like real stipples).
+    let bits: Vec<u8> = noise((w as usize).div_ceil(8) * h as usize, 5)
+        .into_iter()
+        .map(|b| match b % 8 {
+            0..=3 => 0x00,
+            4..=5 => 0xFF,
+            6 => 0xF0,
+            _ => b,
+        })
+        .collect();
+    let mut fb_r = noise_fb(w, h, fmt, 1);
+    let mut fb_o = fb_r.clone();
+    out.push(kernel(
+        quick,
+        "bitmap_rect",
+        area_bytes,
+        || reference::bitmap_rect(black_box(&mut fb_r), &rect, &bits, Color::BLACK, Some(Color::WHITE)),
+        || black_box(&mut fb_o).bitmap_rect(&rect, &bits, Color::BLACK, Some(Color::WHITE)),
+    ));
+
+    // copy_rect: the 1-pixel scroll (the hottest COPY in practice).
+    let src = Rect::new(0, 1, w, h - 1);
+    let mut fb_r = noise_fb(w, h, fmt, 1);
+    let mut fb_o = fb_r.clone();
+    out.push(kernel(
+        quick,
+        "copy_rect",
+        area_bytes,
+        || reference::copy_rect(black_box(&mut fb_r), &src, 0, 0),
+        || black_box(&mut fb_o).copy_rect(&src, 0, 0),
+    ));
+
+    // convert: palette expansion through the 256-entry LUT path.
+    let idx = noise_fb(w, h, PixelFormat::Indexed8, 7);
+    out.push(kernel(
+        quick,
+        "convert",
+        (w * h) as usize * 4,
+        || drop(black_box(reference::convert(&idx, PixelFormat::Rgba8888))),
+        || drop(black_box(idx.convert(PixelFormat::Rgba8888))),
+    ));
+
+    // yuv_pack: RGB -> YV12 with 2x2 chroma averaging.
+    let rgb = noise_fb(w, h, fmt, 9);
+    out.push(kernel(
+        quick,
+        "yuv_pack",
+        area_bytes,
+        || drop(black_box(reference::yuv_from_rgb(&rgb, &rect, YuvFormat::Yv12))),
+        || drop(black_box(YuvFrame::from_rgb(&rgb, &rect, YuvFormat::Yv12))),
+    ));
+
+    // scale_fant: 2x downscale (the PDA viewport case).
+    let big = noise_fb(w, h, fmt, 11);
+    out.push(kernel(
+        quick,
+        "scale_fant",
+        area_bytes,
+        || drop(black_box(reference::scale_fant(&big, w / 2, h / 2))),
+        || drop(black_box(thinc_raster::scale_image(&big, w / 2, h / 2, ScaleFilter::Fant))),
+    ));
+
+    // Codecs over desktop-like RAW content.
+    let img = desktop_bytes(w as usize, h as usize / 4, 3);
+    out.push(kernel(
+        quick,
+        "rle",
+        img.len(),
+        || drop(black_box(thinc_compress::reference::rle_compress(&img))),
+        || drop(black_box(rle::compress(&img))),
+    ));
+    out.push(kernel(
+        quick,
+        "pixel_rle",
+        img.len(),
+        || drop(black_box(thinc_compress::reference::rle_compress_symbols(&img, 3))),
+        || drop(black_box(rle::compress_symbols(&img, 3))),
+    ));
+    out.push(kernel(
+        quick,
+        "lzss",
+        img.len(),
+        || drop(black_box(thinc_compress::reference::lzss_compress(&img))),
+        || drop(black_box(lzss::compress(&img))),
+    ));
+    let stride = w as usize * 3;
+    let mut scratch = Scratch::new();
+    out.push(kernel(
+        quick,
+        "pnglike",
+        img.len(),
+        || drop(black_box(thinc_compress::reference::pnglike_compress(&img, 3, stride))),
+        || {
+            black_box(pnglike::compress_with(&img, 3, stride, &mut scratch).len());
+        },
+    ));
+    out
+}
+
+struct CommandStats {
+    kind: CommandKind,
+    count: u64,
+    bytes: u64,
+    p50_bytes: u64,
+    p99_bytes: u64,
+}
+
+struct WebStats {
+    pages: usize,
+    avg_latency_s: f64,
+    avg_page_kb: f64,
+    verified: bool,
+    wall_ms: f64,
+    commands: Vec<CommandStats>,
+    flush_p50_us: u64,
+    flush_p99_us: u64,
+}
+
+struct VideoStats {
+    quality: f64,
+    data_mb: f64,
+    frames_delivered: u32,
+    frames_dropped: u32,
+    wall_ms: f64,
+}
+
+fn web_suite(_quick: bool) -> WebStats {
+    // Same page count in both modes: the macro run is virtual-time
+    // (milliseconds of wall clock), and quick/full must produce the
+    // same deterministic numbers for the baseline gate to apply.
+    let pages = 6;
+    eprintln!("== macro: web page loads ({pages} pages) ==");
+    let lan = NetworkConfig::lan_desktop();
+    let mut sys = ThincSystem::new(&lan, 256, 192);
+    let wl = WebWorkload::new(256, 192, 2005);
+    let wall = Instant::now();
+    let res = webbench::run_web(&mut sys, &wl, pages);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let tel = sys.session_telemetry();
+    let commands = tel
+        .protocol
+        .rows()
+        .iter()
+        .map(|r| {
+            let h = tel.protocol.size_histogram(r.kind);
+            CommandStats {
+                kind: r.kind,
+                count: r.count,
+                bytes: r.bytes,
+                p50_bytes: h.quantile(0.5),
+                p99_bytes: h.quantile(0.99),
+            }
+        })
+        .collect();
+    let stats = WebStats {
+        pages,
+        avg_latency_s: res.avg_latency_s,
+        avg_page_kb: res.avg_page_kb,
+        verified: sys.verified(),
+        wall_ms,
+        commands,
+        flush_p50_us: tel.scheduler.flush_latency_us().quantile(0.5),
+        flush_p99_us: tel.scheduler.flush_latency_us().quantile(0.99),
+    };
+    eprintln!(
+        "  latency {:.3}s  page {:.1} KB  verified {}  wall {:.0} ms",
+        stats.avg_latency_s, stats.avg_page_kb, stats.verified, stats.wall_ms
+    );
+    stats
+}
+
+fn video_suite(_quick: bool) -> VideoStats {
+    // Fixed clip length for the same reason as `web_suite`.
+    let ms = 2_000;
+    eprintln!("== macro: a/v playback ({ms} ms clip) ==");
+    let lan = NetworkConfig::lan_desktop();
+    let clip = VideoClip::short(ms);
+    let audio = AudioTrack { duration_ms: ms, ..AudioTrack::benchmark() };
+    let mut sys = ThincSystem::new(&lan, 352, 240);
+    let wall = Instant::now();
+    let res = avbench::run_av(&mut sys, &clip, Some(&audio), Rect::new(0, 0, 352, 240));
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "  quality {:.1}%  data {:.2} MB  frames {}/{}  wall {:.0} ms",
+        res.quality * 100.0,
+        res.data_mb,
+        res.frames.0,
+        res.frames.0 + res.frames.1,
+        wall_ms
+    );
+    VideoStats {
+        quality: res.quality,
+        data_mb: res.data_mb,
+        frames_delivered: res.frames.0,
+        frames_dropped: res.frames.1,
+        wall_ms,
+    }
+}
+
+/// Verifies the shared session's parallel flush is bit-identical
+/// across worker counts (see `crates/core/tests/parallel_flush.rs`
+/// for the exhaustive version). Returns the worker counts checked.
+fn parallel_check() -> (Vec<usize>, bool) {
+    eprintln!("== parallel flush determinism ==");
+    let run = |workers: usize| {
+        let mut s =
+            SharedSession::new(96, 64, PixelFormat::Rgb888, "host").with_workers(workers);
+        s.auth_mut().enable_sharing("pw");
+        s.attach(&Credentials::Owner { user: "host".into() }, 96, 64).unwrap();
+        for i in 0..2 {
+            s.attach(
+                &Credentials::Peer { user: format!("p{i}"), password: "pw".into() },
+                48,
+                32,
+            )
+            .unwrap();
+        }
+        let store = DrawableStore::new(96, 64, PixelFormat::Rgb888);
+        s.put_image(&store, SCREEN, Rect::new(0, 0, 96, 48), &noise(96 * 48 * 3, 17));
+        s.solid_fill(&store, SCREEN, Rect::new(4, 4, 30, 30), Color::rgb(1, 2, 3));
+        let mut links: Vec<(TcpPipe, PacketTrace)> = (0..3)
+            .map(|_| {
+                (
+                    TcpPipe::new(TcpParams {
+                        bandwidth_bps: 8_000_000,
+                        rtt: SimDuration::from_millis(5),
+                        ..TcpParams::default()
+                    }),
+                    PacketTrace::new(),
+                )
+            })
+            .collect();
+        let mut all = Vec::new();
+        for round in 0..50u64 {
+            all.push(s.flush_all(SimTime(round * 4_000), &mut links));
+        }
+        all
+    };
+    let serial = run(1);
+    let workers = vec![1usize, 2, 4];
+    let ok = workers[1..].iter().all(|&n| run(n) == serial);
+    eprintln!("  workers {workers:?}  deterministic {ok}");
+    (workers, ok)
+}
+
+// ---------------------------------------------------------------
+// JSON output (hand-rolled: the workspace is dependency-free).
+
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn raster_json(mode: &str, kernels: &[KernelResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"thinc-perfgate-raster-v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"bytes_per_op\": {}, \"ref_ns_per_op\": {}, \
+             \"opt_ns_per_op\": {}, \"ref_mb_s\": {}, \"opt_mb_s\": {}, \"ops_s\": {}, \
+             \"speedup\": {}}}",
+            k.name,
+            k.bytes,
+            jf(k.ref_ns),
+            jf(k.opt_ns),
+            jf(k.ref_mb_s()),
+            jf(k.opt_mb_s()),
+            jf(k.ops_s()),
+            jf(k.speedup()),
+        );
+        s.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn e2e_json(mode: &str, web: &WebStats, video: &VideoStats, par: &(Vec<usize>, bool)) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"thinc-perfgate-e2e-v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"web\": {\n");
+    let _ = writeln!(s, "    \"pages\": {},", web.pages);
+    let _ = writeln!(s, "    \"avg_latency_s\": {},", jf(web.avg_latency_s));
+    let _ = writeln!(s, "    \"avg_page_kb\": {},", jf(web.avg_page_kb));
+    let _ = writeln!(s, "    \"verified\": {},", web.verified);
+    let _ = writeln!(s, "    \"wall_ms\": {},", jf(web.wall_ms));
+    let _ = writeln!(s, "    \"flush_latency_p50_us\": {},", web.flush_p50_us);
+    let _ = writeln!(s, "    \"flush_latency_p99_us\": {},", web.flush_p99_us);
+    s.push_str("    \"commands\": [\n");
+    for (i, c) in web.commands.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"kind\": \"{}\", \"count\": {}, \"bytes\": {}, \
+             \"p50_bytes\": {}, \"p99_bytes\": {}}}",
+            c.kind.name(),
+            c.count,
+            c.bytes,
+            c.p50_bytes,
+            c.p99_bytes,
+        );
+        s.push_str(if i + 1 < web.commands.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ]\n  },\n");
+    s.push_str("  \"video\": {\n");
+    let _ = writeln!(s, "    \"quality\": {},", jf(video.quality));
+    let _ = writeln!(s, "    \"data_mb\": {},", jf(video.data_mb));
+    let _ = writeln!(s, "    \"frames_delivered\": {},", video.frames_delivered);
+    let _ = writeln!(s, "    \"frames_dropped\": {},", video.frames_dropped);
+    let _ = writeln!(s, "    \"wall_ms\": {}", jf(video.wall_ms));
+    s.push_str("  },\n");
+    s.push_str("  \"parallel_flush\": {\n");
+    let workers: Vec<String> = par.0.iter().map(|w| w.to_string()).collect();
+    let _ = writeln!(s, "    \"workers_checked\": [{}],", workers.join(", "));
+    let _ = writeln!(s, "    \"deterministic\": {}", par.1);
+    s.push_str("  }\n}\n");
+    s
+}
+
+// ---------------------------------------------------------------
+// Baseline gating.
+
+/// One gated metric: measured value plus regression direction.
+struct GateMetric {
+    key: String,
+    value: f64,
+    higher_is_better: bool,
+    /// Wall-clock-derived metrics (kernel speedup ratios) jitter with
+    /// scheduler noise, so they gate at twice the threshold. The
+    /// virtual-time macro metrics are exactly reproducible and gate
+    /// at the threshold as given.
+    timing_derived: bool,
+}
+
+/// Parses the flat `"key": number` baseline map (our own format;
+/// written by `--write-baseline`).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some((key_part, val_part)) = line.split_once(':') else { continue };
+        let key: String = key_part.trim().trim_matches(|c| c == '"' || c == '{').to_string();
+        if key.is_empty() || key == "}" {
+            continue;
+        }
+        let val = val_part.trim().trim_end_matches(',');
+        if let Ok(v) = val.parse::<f64>() {
+            out.push((key, v));
+        }
+    }
+    out
+}
+
+fn baseline_json(metrics: &[GateMetric]) -> String {
+    let mut s = String::from("{\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let _ = write!(s, "  \"{}\": {}", m.key, jf(m.value));
+        s.push_str(if i + 1 < metrics.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let opts = parse_args();
+    let mode = if opts.quick { "quick" } else { "full" };
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/perf_baseline.json");
+
+    let kernels = micro_suite(opts.quick);
+    let web = web_suite(opts.quick);
+    let video = video_suite(opts.quick);
+    let par = parallel_check();
+
+    std::fs::write(format!("{root}/BENCH_raster.json"), raster_json(mode, &kernels))
+        .expect("write BENCH_raster.json");
+    std::fs::write(format!("{root}/BENCH_e2e.json"), e2e_json(mode, &web, &video, &par))
+        .expect("write BENCH_e2e.json");
+    eprintln!("wrote BENCH_raster.json, BENCH_e2e.json");
+
+    let mut metrics: Vec<GateMetric> = kernels
+        .iter()
+        .map(|k| GateMetric {
+            key: format!("kernel.{}.speedup", k.name),
+            value: k.speedup(),
+            higher_is_better: true,
+            timing_derived: true,
+        })
+        .collect();
+    metrics.push(GateMetric {
+        key: "web.avg_latency_s".into(),
+        value: web.avg_latency_s,
+        higher_is_better: false,
+        timing_derived: false,
+    });
+    metrics.push(GateMetric {
+        key: "web.avg_page_kb".into(),
+        value: web.avg_page_kb,
+        higher_is_better: false,
+        timing_derived: false,
+    });
+    metrics.push(GateMetric {
+        key: "video.quality".into(),
+        value: video.quality,
+        higher_is_better: true,
+        timing_derived: false,
+    });
+
+    if !par.1 {
+        eprintln!("FAIL: parallel flush output differs across worker counts");
+        std::process::exit(1);
+    }
+    if !web.verified {
+        eprintln!("FAIL: client framebuffer diverged from server screen");
+        std::process::exit(1);
+    }
+
+    if opts.write_baseline {
+        std::fs::write(baseline_path, baseline_json(&metrics)).expect("write baseline");
+        eprintln!("baseline written to {baseline_path}");
+        return;
+    }
+
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        eprintln!("no baseline at {baseline_path}; run with --write-baseline to create one");
+        return;
+    };
+    let baseline = parse_baseline(&text);
+    let mut regressions = Vec::new();
+    for m in &metrics {
+        let Some((_, base)) = baseline.iter().find(|(k, _)| *k == m.key) else {
+            eprintln!("  (no baseline for {}; skipping)", m.key);
+            continue;
+        };
+        let thr = if m.timing_derived { opts.threshold * 2.0 } else { opts.threshold };
+        let bad = if m.higher_is_better {
+            m.value < base * (1.0 - thr)
+        } else {
+            m.value > base * (1.0 + thr)
+        };
+        if bad {
+            regressions.push(format!(
+                "{}: measured {:.4} vs baseline {:.4} (threshold {:.0}%)",
+                m.key,
+                m.value,
+                base,
+                thr * 100.0
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        eprintln!("gate OK: no metric regressed more than {:.0}%", opts.threshold * 100.0);
+    } else {
+        eprintln!("gate FAILED:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -84,9 +84,22 @@ fn unfilter_row(ftype: FilterType, row: &mut [u8], prev: &[u8], bpp: usize) {
 /// tag byte followed by the filtered row. A trailing partial row (when
 /// `data.len()` is not a multiple of `stride`) is filtered too.
 pub fn apply(data: &[u8], bpp: usize, stride: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + data.len() / stride.max(1) + 1);
+    apply_into(data, bpp, stride, &mut out);
+    out
+}
+
+/// [`apply`] into a caller-owned buffer (cleared first) so repeated
+/// filtering reuses the allocation.
+///
+/// # Panics
+///
+/// Panics if `bpp` or `stride` is zero.
+pub fn apply_into(data: &[u8], bpp: usize, stride: usize, out: &mut Vec<u8>) {
     assert!(bpp > 0 && stride > 0, "bad geometry");
+    out.clear();
+    out.reserve(data.len() + data.len() / stride + 1);
     let rows = data.chunks(stride);
-    let mut out = Vec::with_capacity(data.len() + data.len() / stride + 1);
     let mut prev: &[u8] = &[];
     let mut scratch = Vec::with_capacity(stride);
     for row in rows {
@@ -114,11 +127,10 @@ pub fn apply(data: &[u8], bpp: usize, stride: usize) -> Vec<u8> {
             row,
             if prev.len() == row.len() { prev } else { &[] },
             bpp,
-            &mut out,
+            out,
         );
         prev = row;
     }
-    out
 }
 
 /// Reverses [`apply`]. Returns `None` on malformed input.

@@ -25,9 +25,64 @@ pub mod huffman;
 pub mod lzss;
 pub mod pnglike;
 pub mod rc4;
+pub mod reference;
 pub mod rle;
 
 pub use rc4::Rc4;
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped
+/// at `max`, compared a machine word at a time.
+///
+/// Overlapping ranges are fine (`data` is only read), which is what
+/// turns self-overlapping RLE runs and LZSS matches into word scans.
+#[inline]
+pub(crate) fn eq_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    let max = max.min(data.len() - a.max(b));
+    let mut l = 0;
+    while l + 8 <= max {
+        let wa = u64::from_le_bytes(data[a + l..a + l + 8].try_into().unwrap());
+        let wb = u64::from_le_bytes(data[b + l..b + l + 8].try_into().unwrap());
+        let x = wa ^ wb;
+        if x != 0 {
+            // LE load: memory order == significance order, so the
+            // first differing byte is the lowest set byte.
+            return l + (x.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < max && data[a + l] == data[b + l] {
+        l += 1;
+    }
+    l
+}
+
+/// Reusable encode-side scratch buffers.
+///
+/// The flush path encodes one command after another; with a `Scratch`
+/// per pipe the filter intermediate and the output stream are reused
+/// across commands instead of being reallocated for each one.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    filtered: Vec<u8>,
+    out: Vec<u8>,
+}
+
+impl Scratch {
+    /// Creates empty scratch buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The filter intermediate and output buffers, for staged pipelines.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<u8>, &mut Vec<u8>) {
+        (&mut self.filtered, &mut self.out)
+    }
+
+    /// Read access to the last encoded stream.
+    pub fn encoded(&self) -> &[u8] {
+        &self.out
+    }
+}
 
 /// A lossless byte codec.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +133,34 @@ impl Codec {
                 huffman::compress(&pnglike::compress(data, *bpp, *stride))
             }
         }
+    }
+
+    /// Compresses `data` through caller-owned [`Scratch`] buffers and
+    /// returns the encoded bytes as a slice into the scratch.
+    ///
+    /// Identical output to [`Codec::compress`], without the per-call
+    /// allocation: the hot codecs (RLE, pixel RLE, LZSS, PNG-like)
+    /// encode straight into the reused buffers; the rare ones fall
+    /// back to the allocating path and copy into the scratch.
+    pub fn compress_with<'a>(&self, data: &[u8], scratch: &'a mut Scratch) -> &'a [u8] {
+        match self {
+            Codec::None => {
+                scratch.out.clear();
+                scratch.out.extend_from_slice(data);
+            }
+            Codec::Rle => rle::compress_into(data, &mut scratch.out),
+            Codec::PixelRle { bpp } => rle::compress_symbols_into(data, *bpp, &mut scratch.out),
+            Codec::Lzss => lzss::compress_into(data, &mut scratch.out),
+            Codec::PngLike { bpp, stride } => {
+                pnglike::compress_with(data, *bpp, *stride, scratch);
+            }
+            other => {
+                let encoded = other.compress(data);
+                scratch.out.clear();
+                scratch.out.extend_from_slice(&encoded);
+            }
+        }
+        &scratch.out
     }
 
     /// Decompresses `data` produced by [`Codec::compress`].

@@ -29,6 +29,19 @@ fn hash(data: &[u8], i: usize) -> usize {
 /// Compresses `data` with LZSS.
 pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    compress_into(data, &mut out);
+    out
+}
+
+/// Compresses `data` with LZSS into a caller-owned buffer (cleared
+/// first) so repeated encodes reuse the allocation.
+///
+/// Match candidates come from the hash-chain finder; candidate match
+/// lengths are extended a machine word at a time ([`crate::eq_len`]),
+/// which is where the encoder spends most of its cycles. Output bytes
+/// are identical to [`crate::reference::lzss_compress`].
+pub fn compress_into(data: &[u8], out: &mut Vec<u8>) {
+    out.clear();
     // head[h] = most recent position with hash h; prev[i % WINDOW] = chain.
     let mut head = vec![usize::MAX; 1 << HASH_BITS];
     let mut prev = vec![usize::MAX; WINDOW];
@@ -59,10 +72,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             while cand != usize::MAX && cand + WINDOW > i && chain < 32 {
                 if cand < i {
                     let max = MAX_MATCH.min(data.len() - i);
-                    let mut l = 0;
-                    while l < max && data[cand + l] == data[i + l] {
-                        l += 1;
-                    }
+                    let l = crate::eq_len(data, cand, i, max);
                     if l > best_len {
                         best_len = l;
                         best_dist = i - cand;
@@ -91,7 +101,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
                     }
                 }
             }
-            push_item(&mut out, true, &payload);
+            push_item(out, true, &payload);
             // Insert hash entries for every covered position.
             let end = i + best_len;
             while i < end {
@@ -103,7 +113,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
                 i += 1;
             }
         } else {
-            push_item(&mut out, false, &data[i..i + 1]);
+            push_item(out, false, &data[i..i + 1]);
             if i + MIN_MATCH <= data.len() {
                 let h = hash(data, i);
                 prev[i % WINDOW] = head[h];
@@ -112,7 +122,6 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             i += 1;
         }
     }
-    out
 }
 
 /// Decompresses LZSS data; returns `None` on malformed input.

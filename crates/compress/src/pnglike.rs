@@ -21,6 +21,27 @@ pub fn compress(data: &[u8], bpp: usize, stride: usize) -> Vec<u8> {
     lzss::compress(&filtered)
 }
 
+/// [`compress`] through caller-owned scratch buffers: the filtered
+/// intermediate goes into `scratch.filtered`, the encoded stream into
+/// `scratch.out` (returned as a slice). Encoding many commands with
+/// one [`crate::Scratch`] does no per-command allocation once the
+/// buffers have grown to the working-set size.
+///
+/// # Panics
+///
+/// Panics if `bpp` or `stride` is zero.
+pub fn compress_with<'a>(
+    data: &[u8],
+    bpp: usize,
+    stride: usize,
+    scratch: &'a mut crate::Scratch,
+) -> &'a [u8] {
+    let (filtered, out) = scratch.parts_mut();
+    filter::apply_into(data, bpp, stride, filtered);
+    lzss::compress_into(filtered, out);
+    out
+}
+
 /// Reverses [`compress`]; returns `None` on malformed input.
 pub fn decompress(data: &[u8], bpp: usize, stride: usize) -> Option<Vec<u8>> {
     let filtered = lzss::decompress(data)?;

@@ -1,0 +1,201 @@
+//! Retained naive reference encoders.
+//!
+//! Byte-at-a-time versions of the RLE and LZSS encoders, kept verbatim
+//! from before the word-width scanning rewrite. The optimized encoders
+//! are required to produce **identical output bytes** (not merely a
+//! decodable stream), so the property tests in `tests/property.rs`
+//! assert `optimized == reference` directly, and the `perfgate`
+//! harness times the pairs for the committed speedup trajectory.
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = MIN_MATCH + 15 + 255 * 3;
+const LEN_EXT: usize = 15;
+const HASH_BITS: usize = 13;
+
+/// Naive byte RLE encoder ([`crate::rle::compress`] before word-width
+/// run scanning).
+pub fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    let mut i = 0;
+    while i < data.len() {
+        // Measure the run starting at i, one byte at a time.
+        let b = data[i];
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == b && run < 129 {
+            run += 1;
+        }
+        if run >= 2 {
+            out.push(0x80 + (run - 2) as u8);
+            out.push(b);
+            i += run;
+        } else {
+            let start = i;
+            let mut lits = 0;
+            while i < data.len() && lits < 128 {
+                let b = data[i];
+                let mut run = 1;
+                while i + run < data.len() && data[i + run] == b && run < 3 {
+                    run += 1;
+                }
+                if run >= 3 {
+                    break;
+                }
+                i += 1;
+                lits += 1;
+            }
+            out.push((lits - 1) as u8);
+            out.extend_from_slice(&data[start..start + lits]);
+        }
+    }
+    out
+}
+
+/// Naive symbol RLE encoder ([`crate::rle::compress_symbols`] before
+/// the scanning rewrite).
+///
+/// # Panics
+///
+/// Panics if `sym` is zero.
+pub fn rle_compress_symbols(data: &[u8], sym: usize) -> Vec<u8> {
+    assert!(sym > 0, "symbol size must be positive");
+    if sym == 1 {
+        return rle_compress(data);
+    }
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    let n = data.len() / sym;
+    let mut i = 0;
+    while i < n {
+        let cur = &data[i * sym..(i + 1) * sym];
+        let mut run = 1;
+        while i + run < n && &data[(i + run) * sym..(i + run + 1) * sym] == cur && run < 129 {
+            run += 1;
+        }
+        if run >= 2 {
+            out.push(0x80 + (run - 2) as u8);
+            out.extend_from_slice(cur);
+            i += run;
+        } else {
+            let start = i;
+            let mut lits = 0;
+            while i < n && lits < 128 / sym.max(1) + 1 {
+                if i + 1 < n && data[i * sym..(i + 1) * sym] == data[(i + 1) * sym..(i + 2) * sym]
+                {
+                    break;
+                }
+                i += 1;
+                lits += 1;
+            }
+            out.push((lits - 1) as u8);
+            out.extend_from_slice(&data[start * sym..(start + lits) * sym]);
+        }
+    }
+    let tail = &data[n * sym..];
+    if !tail.is_empty() {
+        out.push((tail.len() - 1) as u8);
+        out.extend_from_slice(tail);
+    }
+    out
+}
+
+fn hash(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(2654435761)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(40503))
+        .wrapping_add(data[i + 2] as u32);
+    (h as usize) & ((1 << HASH_BITS) - 1)
+}
+
+/// Naive LZSS encoder ([`crate::lzss::compress`] with byte-at-a-time
+/// match extension).
+pub fn lzss_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; WINDOW];
+    let mut i = 0;
+    let mut flags_pos = usize::MAX;
+    let mut flag_bit = 8;
+
+    let mut push_item = |out: &mut Vec<u8>, is_match: bool, payload: &[u8]| {
+        if flag_bit == 8 {
+            flags_pos = out.len();
+            out.push(0);
+            flag_bit = 0;
+        }
+        if is_match {
+            out[flags_pos] |= 1 << flag_bit;
+        }
+        flag_bit += 1;
+        out.extend_from_slice(payload);
+    };
+
+    while i < data.len() {
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && cand + WINDOW > i && chain < 32 {
+                if cand < i {
+                    let max = MAX_MATCH.min(data.len() - i);
+                    let mut l = 0;
+                    while l < max && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[cand % WINDOW];
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            let mut extra = best_len - MIN_MATCH;
+            let code = extra.min(LEN_EXT);
+            let token = (((best_dist - 1) as u16) << 4) | (code as u16);
+            let mut payload = token.to_le_bytes().to_vec();
+            if code == LEN_EXT {
+                extra -= LEN_EXT;
+                loop {
+                    let b = extra.min(255);
+                    payload.push(b as u8);
+                    extra -= b;
+                    if b < 255 {
+                        break;
+                    }
+                }
+            }
+            push_item(&mut out, true, &payload);
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash(data, i);
+                    prev[i % WINDOW] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            push_item(&mut out, false, &data[i..i + 1]);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash(data, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Naive PNG-like pipeline (filter + naive LZSS), for end-to-end
+/// encoder-equality checks.
+pub fn pnglike_compress(data: &[u8], bpp: usize, stride: usize) -> Vec<u8> {
+    lzss_compress(&crate::filter::apply(data, bpp, stride))
+}

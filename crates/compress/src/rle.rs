@@ -14,19 +14,37 @@
 ///
 /// Panics if `sym` is zero.
 pub fn compress_symbols(data: &[u8], sym: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    compress_symbols_into(data, sym, &mut out);
+    out
+}
+
+/// Symbol-RLE [`compress_symbols`] into a caller-owned buffer (cleared
+/// first) so repeated encodes reuse the allocation.
+///
+/// # Panics
+///
+/// Panics if `sym` is zero.
+pub fn compress_symbols_into(data: &[u8], sym: usize, out: &mut Vec<u8>) {
     assert!(sym > 0, "symbol size must be positive");
     if sym == 1 {
-        return compress(data);
+        compress_into(data, out);
+        return;
     }
-    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    out.clear();
     let n = data.len() / sym;
     let mut i = 0;
     while i < n {
         let cur = &data[i * sym..(i + 1) * sym];
-        let mut run = 1;
-        while i + run < n && &data[(i + run) * sym..(i + run + 1) * sym] == cur && run < 129 {
-            run += 1;
-        }
+        // A run of equal symbols is a self-overlapping match at
+        // distance `sym`; measure it word-at-a-time.
+        let ml = crate::eq_len(
+            data,
+            i * sym,
+            (i + 1) * sym,
+            ((n - i - 1) * sym).min(128 * sym),
+        );
+        let run = 1 + ml / sym;
         if run >= 2 {
             out.push(0x80 + (run - 2) as u8);
             out.extend_from_slice(cur);
@@ -53,7 +71,6 @@ pub fn compress_symbols(data: &[u8], sym: usize) -> Vec<u8> {
         out.push((tail.len() - 1) as u8);
         out.extend_from_slice(tail);
     }
-    out
 }
 
 /// Decompresses symbol-RLE data produced by [`compress_symbols`].
@@ -98,20 +115,48 @@ pub fn decompress_symbols(data: &[u8], sym: usize) -> Option<Vec<u8>> {
     Some(out)
 }
 
+/// Length of the run of bytes equal to `data[i]` starting at `i`,
+/// capped at `cap`, measured a machine word at a time.
+#[inline]
+fn run_len(data: &[u8], i: usize, cap: usize) -> usize {
+    let b = data[i];
+    let limit = data.len().min(i + cap);
+    let mut j = i + 1;
+    let splat = u64::from_le_bytes([b; 8]);
+    while j + 8 <= limit {
+        let w = u64::from_le_bytes(data[j..j + 8].try_into().unwrap());
+        let x = w ^ splat;
+        if x != 0 {
+            // First differing byte within the word (LE load: memory
+            // order == significance order).
+            return j - i + (x.trailing_zeros() / 8) as usize;
+        }
+        j += 8;
+    }
+    while j < limit && data[j] == b {
+        j += 1;
+    }
+    j - i
+}
+
 /// Compresses `data` with RLE.
 pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    compress_into(data, &mut out);
+    out
+}
+
+/// Compresses `data` with RLE, appending to a caller-owned buffer
+/// (cleared first) so repeated encodes reuse the allocation.
+pub fn compress_into(data: &[u8], out: &mut Vec<u8>) {
+    out.clear();
     let mut i = 0;
     while i < data.len() {
-        // Measure the run starting at i.
-        let b = data[i];
-        let mut run = 1;
-        while i + run < data.len() && data[i + run] == b && run < 129 {
-            run += 1;
-        }
+        // Measure the run starting at i, a word at a time.
+        let run = run_len(data, i, 129);
         if run >= 2 {
             out.push(0x80 + (run - 2) as u8);
-            out.push(b);
+            out.push(data[i]);
             i += run;
         } else {
             // Collect literals until the next run of >= 3 (a run of 2
@@ -119,12 +164,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             let start = i;
             let mut lits = 0;
             while i < data.len() && lits < 128 {
-                let b = data[i];
-                let mut run = 1;
-                while i + run < data.len() && data[i + run] == b && run < 3 {
-                    run += 1;
-                }
-                if run >= 3 {
+                if run_len(data, i, 3) >= 3 {
                     break;
                 }
                 i += 1;
@@ -134,7 +174,6 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             out.extend_from_slice(&data[start..start + lits]);
         }
     }
-    out
 }
 
 /// Decompresses RLE data; returns `None` on truncation.

@@ -86,6 +86,10 @@ pub struct ClientBuffer {
     /// evicted for overflow. The owner (the server) converts this into
     /// fresh RAW updates from its authoritative screen.
     overflow_debt: Region,
+    /// Reusable compression buffers: flush-time RAW compression of
+    /// one command after another reuses the filter intermediate and
+    /// the output stream instead of reallocating per command.
+    scratch: thinc_compress::Scratch,
 }
 
 impl ClientBuffer {
@@ -422,18 +426,19 @@ impl ClientBuffer {
     /// Encodes a command into its final wire message, applying RAW
     /// compression lazily at emission ("commands are not broken up
     /// [or encoded] in advance ... to adapt to changing conditions").
-    fn emit_message(&self, cmd: DisplayCommand) -> Message {
+    fn emit_message(&mut self, cmd: DisplayCommand) -> Message {
         if let (Some(bpp), DisplayCommand::Raw { rect, encoding: RawEncoding::None, data }) =
             (self.raw_compress_bpp, &cmd)
         {
             if data.len() >= 1024 {
                 let stride = rect.w as usize * bpp;
-                let packed = thinc_compress::pnglike::compress(data, bpp, stride);
+                let packed =
+                    thinc_compress::pnglike::compress_with(data, bpp, stride, &mut self.scratch);
                 if packed.len() < data.len() {
                     return Message::Display(DisplayCommand::Raw {
                         rect: *rect,
                         encoding: RawEncoding::PngLike,
-                        data: packed,
+                        data: packed.to_vec(),
                     });
                 }
             }

@@ -40,6 +40,7 @@
 pub mod audio;
 pub mod buffer;
 pub mod liveness;
+pub mod parallel;
 pub mod queue;
 pub mod scaling;
 pub mod scheduler;

@@ -1,0 +1,94 @@
+//! Deterministic scoped-thread parallelism for per-client work.
+//!
+//! A shared session holds one isolated delivery state per client
+//! (buffer, scaler, video streams), so translating and compressing
+//! updates for different clients never touches shared mutable state.
+//! [`for_each_mut`] exploits that: it runs a closure over every item
+//! of a slice on `std::thread::scope` workers, each worker owning a
+//! contiguous chunk.
+//!
+//! **Determinism guarantee:** the closure runs exactly once per item
+//! and sees only that item (plus shared read-only captures), so the
+//! final state of the slice is identical for every worker count —
+//! including `workers == 1`, which runs inline with no threads at
+//! all. Callers that collect outputs merge them by slice index, never
+//! by completion order.
+
+/// Runs `f(index, item)` for every item of `items`, splitting the
+/// slice across at most `workers` scoped threads.
+///
+/// Items are processed exactly once; `index` is the item's position
+/// in `items`. With `workers <= 1` (or a single item) everything runs
+/// inline on the caller's thread. Panics in `f` propagate.
+///
+/// ```
+/// let mut totals = [1u64, 2, 3, 4, 5];
+/// thinc_core::parallel::for_each_mut(&mut totals, 3, |i, t| *t += i as u64 * 10);
+/// assert_eq!(totals, [1, 12, 23, 34, 45]);
+/// ```
+pub fn for_each_mut<T, F>(items: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, part) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, item) in part.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visits_every_item_exactly_once_with_correct_index() {
+        for workers in [0, 1, 2, 3, 7, 64] {
+            let mut items: Vec<u64> = vec![0; 13];
+            for_each_mut(&mut items, workers, |i, v| *v += i as u64 + 1);
+            let expect: Vec<u64> = (1..=13).collect();
+            assert_eq!(items, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_a_no_op() {
+        let mut items: Vec<u64> = Vec::new();
+        for_each_mut(&mut items, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // A stateful per-item computation whose result would expose
+        // any cross-item interference or reordering.
+        let run = |workers: usize| {
+            let mut items: Vec<Vec<u64>> = (0..17).map(|i| vec![i]).collect();
+            for_each_mut(&mut items, workers, |i, v| {
+                for k in 0..50 {
+                    let prev = *v.last().unwrap();
+                    v.push(prev.wrapping_mul(6364136223846793005).wrapping_add(i as u64 + k));
+                }
+            });
+            items
+        };
+        let serial = run(1);
+        for workers in [2, 4, 16] {
+            assert_eq!(run(workers), serial, "workers={workers}");
+        }
+    }
+}

@@ -12,8 +12,13 @@
 //! clients: operations are translated once, and the resulting
 //! commands fan out to a per-client buffer with per-client viewport
 //! scaling — so a PDA peer can watch a desktop host's session.
-
-use std::collections::HashMap;
+//!
+//! Per-client work (command scaling, buffering, flush-time RAW
+//! compression) is embarrassingly parallel: every client owns its
+//! delivery state. [`SharedSession::with_workers`] fans that work out
+//! over [`crate::parallel::for_each_mut`] scoped threads; results are
+//! merged in client-id order, so output is bit-identical for every
+//! worker count.
 
 use thinc_display::drawable::{DrawableId, DrawableStore};
 use thinc_display::driver::VideoDriver;
@@ -132,11 +137,16 @@ pub struct SharedSession {
     format: PixelFormat,
     auth: SessionAuth,
     translator: Translator,
-    clients: HashMap<ClientId, ClientState>,
+    /// Attached clients in id (= attach) order. A `Vec` rather than a
+    /// map: ids are sequential, iteration order is the deterministic
+    /// merge order for parallel fan-out, and sessions hold few clients.
+    clients: Vec<(ClientId, ClientState)>,
     next_client: u32,
     now: SimTime,
     /// Liveness policy applied to every attached client.
     liveness: Option<LivenessConfig>,
+    /// Scoped-thread workers for per-client fan-out (1 = inline).
+    workers: usize,
 }
 
 impl SharedSession {
@@ -148,10 +158,11 @@ impl SharedSession {
             format,
             auth: SessionAuth::new(owner),
             translator: Translator::new(),
-            clients: HashMap::new(),
+            clients: Vec::new(),
             next_client: 0,
             now: SimTime::ZERO,
             liveness: None,
+            workers: 1,
         }
     }
 
@@ -160,6 +171,28 @@ impl SharedSession {
     pub fn with_liveness(mut self, config: LivenessConfig) -> Self {
         self.liveness = Some(config);
         self
+    }
+
+    /// Fans per-client broadcast and flush work out over up to
+    /// `workers` scoped threads. Output is identical for every worker
+    /// count (see [`crate::parallel`]); the default is 1 (inline).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    fn state(&self, id: ClientId) -> Option<&ClientState> {
+        self.clients
+            .iter()
+            .find(|(cid, _)| *cid == id)
+            .map(|(_, s)| s)
+    }
+
+    fn state_mut(&mut self, id: ClientId) -> Option<&mut ClientState> {
+        self.clients
+            .iter_mut()
+            .find(|(cid, _)| *cid == id)
+            .map(|(_, s)| s)
     }
 
     /// The authentication policy (enable/disable sharing here).
@@ -189,7 +222,7 @@ impl SharedSession {
         let vh = viewport_h.clamp(1, self.height);
         let mut video = VideoStreamManager::new();
         video.set_scale(vw, self.width, vh, self.height);
-        self.clients.insert(
+        self.clients.push((
             id,
             ClientState {
                 user,
@@ -199,14 +232,14 @@ impl SharedSession {
                 pending_av: Vec::new(),
                 liveness: self.liveness.map(|c| LivenessTracker::new(c, self.now)),
             },
-        );
+        ));
         Ok(id)
     }
 
     /// Records traffic from a client (input, pong — anything proves
     /// the connection lives).
     pub fn note_client_activity(&mut self, id: ClientId, now: SimTime) {
-        if let Some(t) = self.clients.get_mut(&id).and_then(|c| c.liveness.as_mut()) {
+        if let Some(t) = self.state_mut(id).and_then(|c| c.liveness.as_mut()) {
             t.note_activity(now);
         }
     }
@@ -217,7 +250,7 @@ impl SharedSession {
     /// [`reap_dead`](Self::reap_dead)). Returns `Alive` for unknown
     /// clients or when liveness is disabled.
     pub fn poll_client_liveness(&mut self, id: ClientId, now: SimTime) -> LivenessVerdict {
-        let Some(state) = self.clients.get_mut(&id) else {
+        let Some(state) = self.state_mut(id) else {
             return LivenessVerdict::Alive;
         };
         let Some(t) = state.liveness.as_mut() else {
@@ -235,8 +268,7 @@ impl SharedSession {
 
     /// Whether a client has been declared dead.
     pub fn client_dead(&self, id: ClientId) -> bool {
-        self.clients
-            .get(&id)
+        self.state(id)
             .and_then(|c| c.liveness.as_ref())
             .is_some_and(|t| t.is_dead())
     }
@@ -252,15 +284,14 @@ impl SharedSession {
             .filter(|(_, c)| c.liveness.as_ref().is_some_and(|t| t.is_dead()))
             .map(|(id, _)| *id)
             .collect();
-        for id in &dead {
-            self.clients.remove(id);
-        }
+        self.clients
+            .retain(|(_, c)| !c.liveness.as_ref().is_some_and(|t| t.is_dead()));
         dead
     }
 
     /// Detaches a client.
     pub fn detach(&mut self, id: ClientId) {
-        self.clients.remove(&id);
+        self.clients.retain(|(cid, _)| *cid != id);
     }
 
     /// Number of attached clients.
@@ -270,25 +301,29 @@ impl SharedSession {
 
     /// The user name of an attached client.
     pub fn client_user(&self, id: ClientId) -> Option<&str> {
-        self.clients.get(&id).map(|c| c.user.as_str())
+        self.state(id).map(|c| c.user.as_str())
     }
 
     /// Pending commands for a client.
     pub fn backlog(&self, id: ClientId) -> usize {
-        self.clients.get(&id).map(|c| c.buffer.len()).unwrap_or(0)
+        self.state(id).map(|c| c.buffer.len()).unwrap_or(0)
     }
 
-    /// Fans translated commands out to every client, scaled.
+    /// Fans translated commands out to every client, scaled. Clients
+    /// are independent, so the scaling/buffering runs on the session's
+    /// worker pool; per-client push order is the command order either
+    /// way.
     fn broadcast(&mut self, cmds: Vec<DisplayCommand>, screen: &Framebuffer) {
-        for state in self.clients.values_mut() {
-            for cmd in &cmds {
+        let cmds = &cmds;
+        crate::parallel::for_each_mut(&mut self.clients, self.workers, |_, (_, state)| {
+            for cmd in cmds {
                 if state.scale.is_identity() {
                     state.buffer.push(cmd.clone(), false);
                 } else if let Some(scaled) = state.scale.transform(cmd, screen) {
                     state.buffer.push(scaled, false);
                 }
             }
-        }
+        });
     }
 
     /// Flushes one client's buffer over its own connection.
@@ -299,27 +334,74 @@ impl SharedSession {
         pipe: &mut TcpPipe,
         trace: &mut PacketTrace,
     ) -> Vec<(SimTime, Message)> {
-        let Some(state) = self.clients.get_mut(&id) else {
+        let Some(state) = self.state_mut(id) else {
             return Vec::new();
         };
-        let mut out = Vec::new();
-        // A/V first (paced data), then the SRSF display queues.
-        let mut i = 0;
-        while i < state.pending_av.len() {
-            let size = thinc_protocol::wire::encode_message(&state.pending_av[i]).len() as u64;
-            if pipe.would_block(now, size) {
-                break;
-            }
-            let msg = state.pending_av.remove(i);
-            let (_, arrival) = pipe.send(now, size);
-            trace.record(now, arrival, size, thinc_net::trace::Direction::Down, "video");
-            out.push((arrival, msg));
-            // `remove` shifted; keep index at 0 semantics.
-            i = 0;
-        }
-        out.extend(state.buffer.flush(now, pipe, trace));
-        out
+        flush_client_state(state, now, pipe, trace)
     }
+
+    /// Flushes **every** client's buffer, each over its own
+    /// connection, fanning the per-client work (A/V pacing, SRSF
+    /// scheduling, flush-time RAW compression) out over the session's
+    /// worker pool.
+    ///
+    /// `links[i]` is the `(pipe, trace)` pair of the i-th attached
+    /// client — the same order as attach/[`ClientId`] order. The
+    /// result is merged back in that order, so the output is
+    /// bit-identical for every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links.len()` differs from [`client_count`]
+    /// (Self::client_count).
+    pub fn flush_all(
+        &mut self,
+        now: SimTime,
+        links: &mut [(TcpPipe, PacketTrace)],
+    ) -> Vec<(ClientId, Vec<(SimTime, Message)>)> {
+        assert_eq!(
+            links.len(),
+            self.clients.len(),
+            "one (pipe, trace) link per attached client"
+        );
+        let mut jobs: Vec<_> = self
+            .clients
+            .iter_mut()
+            .zip(links.iter_mut())
+            .map(|((id, state), link)| (*id, state, link, Vec::new()))
+            .collect();
+        crate::parallel::for_each_mut(&mut jobs, self.workers, |_, (_, state, link, out)| {
+            *out = flush_client_state(state, now, &mut link.0, &mut link.1);
+        });
+        jobs.into_iter().map(|(id, _, _, out)| (id, out)).collect()
+    }
+}
+
+/// The per-client flush body: A/V first (paced data), then the SRSF
+/// display queues. A free function so the parallel fan-out can borrow
+/// one client's state without holding the session.
+fn flush_client_state(
+    state: &mut ClientState,
+    now: SimTime,
+    pipe: &mut TcpPipe,
+    trace: &mut PacketTrace,
+) -> Vec<(SimTime, Message)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < state.pending_av.len() {
+        let size = thinc_protocol::wire::encode_message(&state.pending_av[i]).len() as u64;
+        if pipe.would_block(now, size) {
+            break;
+        }
+        let msg = state.pending_av.remove(i);
+        let (_, arrival) = pipe.send(now, size);
+        trace.record(now, arrival, size, thinc_net::trace::Direction::Down, "video");
+        out.push((arrival, msg));
+        // `remove` shifted; keep index at 0 semantics.
+        i = 0;
+    }
+    out.extend(state.buffer.flush(now, pipe, trace));
+    out
 }
 
 impl VideoDriver for SharedSession {
@@ -394,7 +476,7 @@ impl VideoDriver for SharedSession {
 
     fn video_display(&mut self, _store: &DrawableStore, frame: &YuvFrame, dst: Rect) {
         let ts = self.now.as_micros();
-        for state in self.clients.values_mut() {
+        for (_, state) in self.clients.iter_mut() {
             // Video messages bypass the display buffer ordering and go
             // through each client's own stream manager (which also
             // resamples for small viewports).

@@ -1,0 +1,124 @@
+//! Determinism of the shared session's parallel fan-out: broadcasting
+//! and flushing with N scoped-thread workers must produce exactly the
+//! same wire messages, in the same order, at the same virtual times,
+//! as the single-threaded path.
+
+use thinc_core::session::{ClientId, Credentials};
+use thinc_core::SharedSession;
+use thinc_display::drawable::DrawableStore;
+use thinc_display::driver::VideoDriver;
+use thinc_display::SCREEN;
+use thinc_net::tcp::{TcpParams, TcpPipe};
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_net::trace::PacketTrace;
+use thinc_protocol::message::Message;
+use thinc_raster::{Color, PixelFormat, Rect, YuvFormat, YuvFrame};
+
+fn noise(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+/// Drives a three-client shared session (one identity viewport, two
+/// scaled) through a mixed drawing workload and collects every flushed
+/// message per client.
+fn run(workers: usize) -> Vec<(ClientId, Vec<(SimTime, Message)>)> {
+    let mut s = SharedSession::new(128, 96, PixelFormat::Rgb888, "host").with_workers(workers);
+    s.auth_mut().enable_sharing("pw");
+    s.attach(&Credentials::Owner { user: "host".into() }, 128, 96)
+        .unwrap();
+    for (i, (vw, vh)) in [(64u32, 48u32), (40, 30)].iter().enumerate() {
+        s.attach(
+            &Credentials::Peer {
+                user: format!("peer{i}"),
+                password: "pw".into(),
+            },
+            *vw,
+            *vh,
+        )
+        .unwrap();
+    }
+    let store = DrawableStore::new(128, 96, PixelFormat::Rgb888);
+    // A mixed workload: large RAW (compressed at flush), fills over
+    // it (eviction/clipping), a stipple, a copy, and a video frame.
+    s.put_image(&store, SCREEN, Rect::new(0, 0, 128, 64), &noise(128 * 64 * 3, 7));
+    s.solid_fill(&store, SCREEN, Rect::new(8, 8, 40, 40), Color::rgb(10, 200, 30));
+    s.stipple_fill(
+        &store,
+        SCREEN,
+        Rect::new(16, 70, 64, 16),
+        &noise(8 * 16, 11),
+        Color::BLACK,
+        Some(Color::WHITE),
+    );
+    s.copy_area(&store, SCREEN, SCREEN, Rect::new(0, 0, 32, 32), 90, 60);
+    s.set_time(SimTime(1_000));
+    s.video_display(
+        &store,
+        &YuvFrame::from_rgb(
+            &{
+                let mut fb = thinc_raster::Framebuffer::new(32, 24, PixelFormat::Rgb888);
+                fb.put_raw(&Rect::new(0, 0, 32, 24), &noise(32 * 24 * 3, 13));
+                fb
+            },
+            &Rect::new(0, 0, 32, 24),
+            YuvFormat::Yv12,
+        ),
+        Rect::new(32, 32, 64, 48),
+    );
+    // A slow pipe per client, so flushing takes several rounds and
+    // exercises RAW splitting and the leftover-reinsertion path.
+    let mut links: Vec<(TcpPipe, PacketTrace)> = (0..3)
+        .map(|_| {
+            (
+                TcpPipe::new(TcpParams {
+                    bandwidth_bps: 4_000_000,
+                    rtt: SimDuration::from_millis(10),
+                    sndbuf_bytes: 12 * 1024,
+                    ..TcpParams::default()
+                }),
+                PacketTrace::new(),
+            )
+        })
+        .collect();
+    let mut out: Vec<(ClientId, Vec<(SimTime, Message)>)> = Vec::new();
+    for round in 0..300u64 {
+        let now = SimTime(2_000 + round * 5_000);
+        for (id, msgs) in s.flush_all(now, &mut links) {
+            match out.iter_mut().find(|(cid, _)| *cid == id) {
+                Some((_, all)) => all.extend(msgs),
+                None => out.push((id, msgs)),
+            }
+        }
+        if (0..3).all(|i| s.backlog(ClientId(i)) == 0) {
+            break;
+        }
+    }
+    for i in 0..3 {
+        assert_eq!(s.backlog(ClientId(i)), 0, "client {i} did not drain");
+    }
+    out
+}
+
+#[test]
+fn flush_all_is_bit_identical_across_worker_counts() {
+    let serial = run(1);
+    assert_eq!(serial.len(), 3);
+    let total: usize = serial.iter().map(|(_, m)| m.len()).sum();
+    assert!(total > 10, "workload too small to be meaningful: {total}");
+    for workers in [2, 3, 8] {
+        assert_eq!(run(workers), serial, "workers={workers}");
+    }
+}
+
+#[test]
+fn flush_all_merges_in_client_id_order() {
+    let out = run(4);
+    let ids: Vec<u32> = out.iter().map(|(id, _)| id.0).collect();
+    assert_eq!(ids, vec![0, 1, 2]);
+}

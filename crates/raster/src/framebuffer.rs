@@ -60,16 +60,25 @@ impl Framebuffer {
         self.width as usize * self.format.bytes_per_pixel()
     }
 
+    /// Mutable raw backing bytes, for the in-crate row kernels.
+    pub(crate) fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    #[inline]
     fn clip(&self, r: &Rect) -> Rect {
         r.intersection(&self.bounds())
     }
 
+    #[inline]
     fn offset(&self, x: i32, y: i32) -> usize {
         debug_assert!(x >= 0 && y >= 0);
+        debug_assert!((x as u32) < self.width && (y as u32) < self.height);
         y as usize * self.stride() + x as usize * self.format.bytes_per_pixel()
     }
 
     /// Reads the pixel at `(x, y)`, or `None` when out of bounds.
+    #[inline]
     pub fn get_pixel(&self, x: i32, y: i32) -> Option<Color> {
         if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
             return None;
@@ -80,6 +89,7 @@ impl Framebuffer {
     }
 
     /// Writes the pixel at `(x, y)`; out-of-bounds writes are ignored.
+    #[inline]
     pub fn set_pixel(&mut self, x: i32, y: i32, c: Color) {
         if x < 0 || y < 0 || x >= self.width as i32 || y >= self.height as i32 {
             return;
@@ -98,16 +108,41 @@ impl Framebuffer {
             return;
         }
         let bpp = self.format.bytes_per_pixel();
-        let mut px = vec![0u8; bpp];
-        self.format.encode(c, &mut px);
+        let mut px = [0u8; 4];
+        self.format.encode(c, &mut px[..bpp]);
         let stride = self.stride();
         let row_len = clip.w as usize * bpp;
-        // Build one row of the fill color, then copy it into each row.
-        let row: Vec<u8> = px.iter().cycle().take(row_len).copied().collect();
         let first = self.offset(clip.x, clip.y);
-        for r in 0..clip.h as usize {
+        if px[..bpp].iter().all(|&b| b == px[0]) {
+            // Uniform byte pattern (black, white, grey in RGB formats,
+            // anything in 1-byte formats): straight memset, one call for
+            // full-width fills, one per row otherwise.
+            if row_len == stride {
+                self.data[first..first + row_len * clip.h as usize].fill(px[0]);
+            } else {
+                for r in 0..clip.h as usize {
+                    let off = first + r * stride;
+                    self.data[off..off + row_len].fill(px[0]);
+                }
+            }
+            return;
+        }
+        // Splat the pixel across the first row by doubling, then copy
+        // that row into each remaining row.
+        {
+            let row = &mut self.data[first..first + row_len];
+            row[..bpp].copy_from_slice(&px[..bpp]);
+            let mut filled = bpp;
+            while filled < row_len {
+                let n = filled.min(row_len - filled);
+                row.copy_within(..n, filled);
+                filled += n;
+            }
+        }
+        for r in 1..clip.h as usize {
             let off = first + r * stride;
-            self.data[off..off + row_len].copy_from_slice(&row);
+            let (done, rest) = self.data.split_at_mut(off);
+            rest[..row_len].copy_from_slice(&done[first..first + row_len]);
         }
     }
 
@@ -128,21 +163,29 @@ impl Framebuffer {
             return;
         }
         let bpp = self.format.bytes_per_pixel();
-        for y in clip.y..clip.bottom() {
-            let ty = (y.rem_euclid(tile.height as i32)) as u32;
-            for x in clip.x..clip.right() {
-                let tx = (x.rem_euclid(tile.width as i32)) as u32;
-                let src = tile.offset(tx as i32, ty as i32);
-                let dst = self.offset(x, y);
-                let (s, d) = (src, dst);
-                // Per-pixel copy; tiles are small so this is fine.
-                let pixel: [u8; 4] = {
-                    let mut tmp = [0u8; 4];
-                    tmp[..bpp].copy_from_slice(&tile.data[s..s + bpp]);
-                    tmp
-                };
-                self.data[d..d + bpp].copy_from_slice(&pixel[..bpp]);
+        let row_len = clip.w as usize * bpp;
+        let tile_row_len = tile.width as usize * bpp;
+        // Every destination row with the same tile phase is identical, so
+        // splat each needed tile row once — rotated to the destination's
+        // x phase — then blit it with a straight row copy.
+        let phase = clip.x.rem_euclid(tile.width as i32) as usize * bpp;
+        let mut rows: Vec<Vec<u8>> = vec![Vec::new(); tile.height as usize];
+        for i in 0..clip.h {
+            let y = clip.y + i as i32;
+            let ty = y.rem_euclid(tile.height as i32) as usize;
+            if rows[ty].is_empty() {
+                let trow = &tile.data[ty * tile_row_len..(ty + 1) * tile_row_len];
+                let mut out = Vec::with_capacity(row_len + tile_row_len);
+                out.extend_from_slice(&trow[phase..]);
+                while out.len() < row_len {
+                    let n = (row_len - out.len()).min(tile_row_len);
+                    out.extend_from_slice(&trow[..n]);
+                }
+                out.truncate(row_len);
+                rows[ty] = out;
             }
+            let off = self.offset(clip.x, y);
+            self.data[off..off + row_len].copy_from_slice(&rows[ty]);
         }
     }
 
@@ -170,17 +213,32 @@ impl Framebuffer {
         if clip.is_empty() {
             return;
         }
+        let bpp = self.format.bytes_per_pixel();
+        let mut fg_px = [0u8; 4];
+        self.format.encode(fg, &mut fg_px[..bpp]);
+        let mut bg_px = [0u8; 4];
+        if let Some(bg) = bg {
+            self.format.encode(bg, &mut bg_px[..bpp]);
+        }
+        let x0 = (clip.x - r.x) as usize;
+        let x_end = x0 + clip.w as usize;
         for y in clip.y..clip.bottom() {
             let by = (y - r.y) as usize;
-            for x in clip.x..clip.right() {
-                let bx = (x - r.x) as usize;
-                let byte = bits[by * row_bytes + bx / 8];
-                let on = byte & (0x80 >> (bx % 8)) != 0;
+            let brow = &bits[by * row_bytes..(by + 1) * row_bytes];
+            let row_off = self.offset(clip.x, y);
+            let row = &mut self.data[row_off..row_off + clip.w as usize * bpp];
+            // Decode the bit row into maximal same-value runs and paint
+            // each run as one span instead of per-pixel set_pixel calls.
+            let mut bx = x0;
+            while bx < x_end {
+                let on = brow[bx / 8] & (0x80 >> (bx % 8)) != 0;
+                let len = bit_run_len(brow, bx, x_end, on);
                 if on {
-                    self.set_pixel(x, y, fg);
-                } else if let Some(bg) = bg {
-                    self.set_pixel(x, y, bg);
+                    fill_span(&mut row[(bx - x0) * bpp..(bx - x0 + len) * bpp], &fg_px[..bpp]);
+                } else if bg.is_some() {
+                    fill_span(&mut row[(bx - x0) * bpp..(bx - x0 + len) * bpp], &bg_px[..bpp]);
                 }
+                bx += len;
             }
         }
     }
@@ -203,35 +261,29 @@ impl Framebuffer {
         if s.is_empty() {
             return;
         }
+        if dx == 0 && dy == 0 {
+            return;
+        }
         let bpp = self.format.bytes_per_pixel();
         let stride = self.stride();
         let row_len = s.w as usize * bpp;
-        // Choose iteration order to be safe for overlapping regions.
-        let rows: Box<dyn Iterator<Item = i32>> = if dy > 0 || (dy == 0 && dx > 0) {
-            Box::new((0..s.h as i32).rev())
+        let s_first = s.y as usize * stride + s.x as usize * bpp;
+        let d_first = (s.y + dy) as usize * stride + (s.x + dx) as usize * bpp;
+        let h = s.h as usize;
+        // `copy_within` is memmove, so each row copy is overlap-safe on
+        // its own (covers the dy == 0 sideways scroll); across rows,
+        // iterate bottom-up when moving down so a source row is never
+        // clobbered before it is read. The direction branch is hoisted
+        // out of the loop — no per-row test, no boxed iterator.
+        if dy > 0 {
+            for row in (0..h).rev() {
+                let o = row * stride;
+                self.data.copy_within(s_first + o..s_first + o + row_len, d_first + o);
+            }
         } else {
-            Box::new(0..s.h as i32)
-        };
-        for row in rows {
-            let sy = s.y + row;
-            let ty = sy + dy;
-            let s_off = sy as usize * stride + s.x as usize * bpp;
-            let d_off = ty as usize * stride + (s.x + dx) as usize * bpp;
-            if dy == 0 {
-                // Same row: use copy_within for overlap safety.
-                self.data.copy_within(s_off..s_off + row_len, d_off);
-            } else {
-                let (lo, hi, from_lo) = if s_off < d_off {
-                    (s_off, d_off, true)
-                } else {
-                    (d_off, s_off, false)
-                };
-                let (a, b) = self.data.split_at_mut(hi);
-                if from_lo {
-                    b[..row_len].copy_from_slice(&a[lo..lo + row_len]);
-                } else {
-                    a[lo..lo + row_len].copy_from_slice(&b[..row_len]);
-                }
+            for row in 0..h {
+                let o = row * stride;
+                self.data.copy_within(s_first + o..s_first + o + row_len, d_first + o);
             }
         }
     }
@@ -290,10 +342,42 @@ impl Framebuffer {
             return self.clone();
         }
         let mut out = Framebuffer::new(self.width, self.height, format);
-        for y in 0..self.height as i32 {
-            for x in 0..self.width as i32 {
-                let c = self.get_pixel(x, y).expect("in bounds");
-                out.set_pixel(x, y, c);
+        let sbpp = self.format.bytes_per_pixel();
+        let dbpp = format.bytes_per_pixel();
+        match (self.format, format) {
+            (PixelFormat::Rgb888, PixelFormat::Rgba8888) => {
+                for (s, d) in self.data.chunks_exact(3).zip(out.data.chunks_exact_mut(4)) {
+                    d[..3].copy_from_slice(s);
+                    d[3] = 255;
+                }
+            }
+            (PixelFormat::Rgba8888, PixelFormat::Rgb888) => {
+                for (s, d) in self.data.chunks_exact(4).zip(out.data.chunks_exact_mut(3)) {
+                    d.copy_from_slice(&s[..3]);
+                }
+            }
+            (PixelFormat::Indexed8, _) => {
+                // One decode+encode per possible palette byte, then the
+                // conversion is a table lookup per pixel.
+                let mut lut = [[0u8; 4]; 256];
+                for (i, e) in lut.iter_mut().enumerate() {
+                    let c = PixelFormat::Indexed8.decode(&[i as u8]);
+                    format.encode(c, &mut e[..dbpp]);
+                }
+                for (s, d) in self.data.iter().zip(out.data.chunks_exact_mut(dbpp)) {
+                    d.copy_from_slice(&lut[*s as usize][..dbpp]);
+                }
+            }
+            _ => {
+                // Generic path: straight-line decode/encode over packed
+                // rows — no per-pixel offset math or bounds branches.
+                for (s, d) in self
+                    .data
+                    .chunks_exact(sbpp)
+                    .zip(out.data.chunks_exact_mut(dbpp))
+                {
+                    format.encode(self.format.decode(s), d);
+                }
             }
         }
         out
@@ -308,6 +392,43 @@ impl Framebuffer {
             h = h.wrapping_mul(0x100000001b3);
         }
         h
+    }
+}
+
+/// Length of the run of bits equal to `on` starting at `start`
+/// (exclusive end `end`), skipping whole `0x00`/`0xFF` bytes at a time.
+#[inline]
+fn bit_run_len(brow: &[u8], start: usize, end: usize, on: bool) -> usize {
+    let skip = if on { 0xFFu8 } else { 0x00u8 };
+    let mut bx = start;
+    while bx < end {
+        if bx.is_multiple_of(8) && bx + 8 <= end && brow[bx / 8] == skip {
+            bx += 8;
+            continue;
+        }
+        if (brow[bx / 8] & (0x80 >> (bx % 8)) != 0) != on {
+            break;
+        }
+        bx += 1;
+    }
+    bx - start
+}
+
+/// Fills `span` with the repeating pixel `px` (1–4 bytes): memset when
+/// the pixel is a uniform byte, doubling `copy_within` splat otherwise.
+#[inline]
+fn fill_span(span: &mut [u8], px: &[u8]) {
+    if px.iter().all(|&b| b == px[0]) {
+        span.fill(px[0]);
+        return;
+    }
+    let n = span.len();
+    span[..px.len()].copy_from_slice(px);
+    let mut filled = px.len();
+    while filled < n {
+        let c = filled.min(n - filled);
+        span.copy_within(..c, filled);
+        filled += c;
     }
 }
 
@@ -470,6 +591,37 @@ mod tests {
         f.copy_rect(&Rect::new(0, 0, 6, 1), 2, 0);
         for x in 0..6 {
             assert_eq!(f.get_pixel(x + 2, 0), Some(Color::rgb(x as u8, 0, 0)));
+        }
+    }
+
+    #[test]
+    fn copy_rect_one_pixel_scrolls_all_directions() {
+        // Scrolling by a single pixel maximises source/destination
+        // overlap — the case that breaks a copy loop with the wrong
+        // row order. Check all four directions against a snapshot.
+        for (dx, dy) in [(0i32, -1i32), (0, 1), (-1, 0), (1, 0)] {
+            let mut f = fb(16, 16);
+            for y in 0..16 {
+                for x in 0..16 {
+                    f.set_pixel(x, y, Color::rgb(x as u8 * 16, y as u8 * 16, 123));
+                }
+            }
+            let snapshot = f.clone();
+            let src = Rect::new(0, 0, 16, 16);
+            f.copy_rect(&src, dx, dy);
+            for y in 0..16i32 {
+                for x in 0..16i32 {
+                    let (sx, sy) = (x - dx, y - dy);
+                    let want = if (0..16).contains(&sx) && (0..16).contains(&sy) {
+                        snapshot.get_pixel(sx, sy)
+                    } else {
+                        // Outside the shifted region the pixel is
+                        // untouched.
+                        snapshot.get_pixel(x, y)
+                    };
+                    assert_eq!(f.get_pixel(x, y), want, "scroll ({dx},{dy}) at ({x},{y})");
+                }
+            }
         }
     }
 

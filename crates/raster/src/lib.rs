@@ -16,6 +16,7 @@ pub mod composite;
 pub mod framebuffer;
 pub mod geometry;
 pub mod pixel;
+pub mod reference;
 pub mod region;
 pub mod scale;
 pub mod yuv;

@@ -27,21 +27,25 @@ impl Color {
     pub const TRANSPARENT: Color = Color::rgba(0, 0, 0, 0);
 
     /// An opaque color.
+    #[inline]
     pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
         Self { r, g, b, a: 255 }
     }
 
     /// A color with explicit alpha.
+    #[inline]
     pub const fn rgba(r: u8, g: u8, b: u8, a: u8) -> Self {
         Self { r, g, b, a }
     }
 
     /// Packs into 0xAARRGGBB.
+    #[inline]
     pub const fn to_argb_u32(self) -> u32 {
         ((self.a as u32) << 24) | ((self.r as u32) << 16) | ((self.g as u32) << 8) | self.b as u32
     }
 
     /// Unpacks from 0xAARRGGBB.
+    #[inline]
     pub const fn from_argb_u32(v: u32) -> Self {
         Self {
             a: (v >> 24) as u8,
@@ -52,6 +56,7 @@ impl Color {
     }
 
     /// Perceptual luma (BT.601), used by 8-bit quantization and tests.
+    #[inline]
     pub fn luma(self) -> u8 {
         ((77 * self.r as u32 + 150 * self.g as u32 + 29 * self.b as u32) >> 8) as u8
     }
@@ -73,6 +78,7 @@ pub enum PixelFormat {
 
 impl PixelFormat {
     /// Bytes used to store one pixel.
+    #[inline]
     pub const fn bytes_per_pixel(self) -> usize {
         match self {
             PixelFormat::Indexed8 => 1,
@@ -83,6 +89,7 @@ impl PixelFormat {
     }
 
     /// Color depth in bits as reported by the display system.
+    #[inline]
     pub const fn depth(self) -> u32 {
         match self {
             PixelFormat::Indexed8 => 8,
@@ -93,6 +100,7 @@ impl PixelFormat {
     }
 
     /// Whether the format carries an alpha channel.
+    #[inline]
     pub const fn has_alpha(self) -> bool {
         matches!(self, PixelFormat::Rgba8888)
     }
@@ -102,6 +110,7 @@ impl PixelFormat {
     /// # Panics
     ///
     /// Panics if `out.len() != self.bytes_per_pixel()`.
+    #[inline]
     pub fn encode(self, c: Color, out: &mut [u8]) {
         assert_eq!(out.len(), self.bytes_per_pixel(), "pixel buffer size");
         match self {
@@ -135,6 +144,7 @@ impl PixelFormat {
     /// # Panics
     ///
     /// Panics if `buf.len() != self.bytes_per_pixel()`.
+    #[inline]
     pub fn decode(self, buf: &[u8]) -> Color {
         assert_eq!(buf.len(), self.bytes_per_pixel(), "pixel buffer size");
         match self {
@@ -159,6 +169,7 @@ impl PixelFormat {
 }
 
 /// Expands an `n`-bit channel value to 8 bits by bit replication.
+#[inline]
 fn expand_bits(v: u8, n: u32) -> u8 {
     debug_assert!((1..=8).contains(&n));
     let mut out: u32 = 0;

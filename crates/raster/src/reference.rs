@@ -1,0 +1,292 @@
+//! Retained naive reference kernels.
+//!
+//! Every hot-path raster kernel in this crate (fill, tile, stipple,
+//! copy, format conversion, YUV packing, resampling) has a
+//! pixel-at-a-time reference implementation here, kept verbatim from
+//! before the row-structured rewrite. They exist for two reasons:
+//!
+//! 1. **Equivalence proofs**: the property tests in
+//!    `tests/property.rs` assert the optimized kernels are byte-exact
+//!    against these on random geometry and formats.
+//! 2. **Measured speedups**: the `perfgate` benchmark harness times
+//!    optimized-vs-reference pairs and records the ratios in
+//!    `BENCH_raster.json`, so perf claims stay reproducible.
+//!
+//! Nothing here is called on the production path; clarity over speed.
+
+use crate::framebuffer::Framebuffer;
+use crate::geometry::Rect;
+use crate::pixel::{Color, PixelFormat};
+use crate::yuv::{rgb_to_yuv, yuv_to_rgb, YuvFormat, YuvFrame};
+
+/// Naive [`Framebuffer::fill_rect`]: encode and store one pixel at a
+/// time.
+pub fn fill_rect(fb: &mut Framebuffer, r: &Rect, c: Color) {
+    let clip = r.intersection(&fb.bounds());
+    for y in clip.y..clip.bottom() {
+        for x in clip.x..clip.right() {
+            fb.set_pixel(x, y, c);
+        }
+    }
+}
+
+/// Naive [`Framebuffer::tile_rect`]: per-pixel phase arithmetic and
+/// copy (the pre-optimization kernel, kept byte-for-byte).
+///
+/// # Panics
+///
+/// Panics if the tile is empty or has a different pixel format.
+pub fn tile_rect(fb: &mut Framebuffer, r: &Rect, tile: &Framebuffer) {
+    assert!(tile.width() > 0 && tile.height() > 0, "empty tile");
+    assert_eq!(tile.format(), fb.format(), "tile pixel format mismatch");
+    let clip = r.intersection(&fb.bounds());
+    for y in clip.y..clip.bottom() {
+        let ty = y.rem_euclid(tile.height() as i32);
+        for x in clip.x..clip.right() {
+            let tx = x.rem_euclid(tile.width() as i32);
+            let c = tile.get_pixel(tx, ty).expect("tile in bounds");
+            fb.set_pixel(x, y, c);
+        }
+    }
+}
+
+/// Naive [`Framebuffer::bitmap_rect`]: test one bit, set one pixel.
+///
+/// # Panics
+///
+/// Panics if `bits` is shorter than the rectangle requires.
+pub fn bitmap_rect(fb: &mut Framebuffer, r: &Rect, bits: &[u8], fg: Color, bg: Option<Color>) {
+    let row_bytes = (r.w as usize).div_ceil(8);
+    assert!(
+        bits.len() >= row_bytes * r.h as usize,
+        "stipple bitmap too short: {} < {}",
+        bits.len(),
+        row_bytes * r.h as usize
+    );
+    let clip = r.intersection(&fb.bounds());
+    for y in clip.y..clip.bottom() {
+        let by = (y - r.y) as usize;
+        for x in clip.x..clip.right() {
+            let bx = (x - r.x) as usize;
+            let byte = bits[by * row_bytes + bx / 8];
+            let on = byte & (0x80 >> (bx % 8)) != 0;
+            if on {
+                fb.set_pixel(x, y, fg);
+            } else if let Some(bg) = bg {
+                fb.set_pixel(x, y, bg);
+            }
+        }
+    }
+}
+
+/// Naive [`Framebuffer::copy_rect`]: snapshot the source region, then
+/// write it back pixel by pixel (trivially overlap-safe).
+pub fn copy_rect(fb: &mut Framebuffer, src: &Rect, dst_x: i32, dst_y: i32) {
+    let dx = dst_x - src.x;
+    let dy = dst_y - src.y;
+    let mut s = src.intersection(&fb.bounds());
+    let dst = s.translated(dx, dy);
+    let dst_clipped = dst.intersection(&fb.bounds());
+    s = dst_clipped.translated(-dx, -dy);
+    if s.is_empty() {
+        return;
+    }
+    let mut pixels = Vec::with_capacity((s.w * s.h) as usize);
+    for y in s.y..s.bottom() {
+        for x in s.x..s.right() {
+            pixels.push(fb.get_pixel(x, y).expect("in bounds"));
+        }
+    }
+    let mut i = 0;
+    for y in s.y..s.bottom() {
+        for x in s.x..s.right() {
+            fb.set_pixel(x + dx, y + dy, pixels[i]);
+            i += 1;
+        }
+    }
+}
+
+/// Naive [`Framebuffer::convert`]: decode and re-encode every pixel
+/// through [`Color`].
+pub fn convert(fb: &Framebuffer, format: PixelFormat) -> Framebuffer {
+    if format == fb.format() {
+        return fb.clone();
+    }
+    let mut out = Framebuffer::new(fb.width(), fb.height(), format);
+    for y in 0..fb.height() as i32 {
+        for x in 0..fb.width() as i32 {
+            let c = fb.get_pixel(x, y).expect("in bounds");
+            out.set_pixel(x, y, c);
+        }
+    }
+    out
+}
+
+/// Naive [`YuvFrame::from_rgb`]: per-pixel `get_pixel` + colorspace
+/// math, with block-accumulated chroma (the pre-optimization kernel).
+pub fn yuv_from_rgb(src: &Framebuffer, r: &Rect, format: YuvFormat) -> YuvFrame {
+    let clip = r.intersection(&src.bounds());
+    let (w, h) = (clip.w, clip.h);
+    let mut frame = YuvFrame::new(format, w, h);
+    match format {
+        YuvFormat::Yv12 => {
+            let (cw, ch) = ((w as usize).div_ceil(2), (h as usize).div_ceil(2));
+            let y_plane_len = w as usize * h as usize;
+            let c_len = cw * ch;
+            let mut u_acc = vec![0u32; c_len];
+            let mut v_acc = vec![0u32; c_len];
+            let mut n_acc = vec![0u32; c_len];
+            for y in 0..h as i32 {
+                for x in 0..w as i32 {
+                    let c = src.get_pixel(clip.x + x, clip.y + y).expect("in bounds");
+                    let (yy, uu, vv) = rgb_to_yuv(c);
+                    frame.data[y as usize * w as usize + x as usize] = yy;
+                    let ci = (y as usize / 2) * cw + (x as usize / 2);
+                    u_acc[ci] += uu as u32;
+                    v_acc[ci] += vv as u32;
+                    n_acc[ci] += 1;
+                }
+            }
+            let _ = ch;
+            for i in 0..c_len {
+                let n = n_acc[i].max(1);
+                frame.data[y_plane_len + i] = (v_acc[i] / n) as u8;
+                frame.data[y_plane_len + c_len + i] = (u_acc[i] / n) as u8;
+            }
+        }
+        YuvFormat::Yuy2 => {
+            let pairs_per_row = (w as usize).div_ceil(2);
+            for y in 0..h as i32 {
+                for px in 0..pairs_per_row {
+                    let x0 = (px * 2) as i32;
+                    let x1 = (x0 + 1).min(w as i32 - 1);
+                    let c0 = src.get_pixel(clip.x + x0, clip.y + y).expect("in bounds");
+                    let c1 = src.get_pixel(clip.x + x1, clip.y + y).expect("in bounds");
+                    let (y0, u0, v0) = rgb_to_yuv(c0);
+                    let (y1, u1, v1) = rgb_to_yuv(c1);
+                    let off = (y as usize * pairs_per_row + px) * 4;
+                    frame.data[off] = y0;
+                    frame.data[off + 1] = ((u0 as u32 + u1 as u32) / 2) as u8;
+                    frame.data[off + 2] = y1;
+                    frame.data[off + 3] = ((v0 as u32 + v1 as u32) / 2) as u8;
+                }
+            }
+        }
+    }
+    frame
+}
+
+/// Naive [`YuvFrame::to_rgb_scaled`]: per-destination-pixel chroma
+/// lookup and `set_pixel`.
+pub fn yuv_to_rgb_scaled(
+    frame: &YuvFrame,
+    dst_w: u32,
+    dst_h: u32,
+    format: PixelFormat,
+) -> Framebuffer {
+    let mut out = Framebuffer::new(dst_w, dst_h, format);
+    if frame.width == 0 || frame.height == 0 || dst_w == 0 || dst_h == 0 {
+        return out;
+    }
+    for dy in 0..dst_h {
+        let sy = (dy as u64 * frame.height as u64 / dst_h as u64) as u32;
+        for dx in 0..dst_w {
+            let sx = (dx as u64 * frame.width as u64 / dst_w as u64) as u32;
+            let (yy, uu, vv) = frame.yuv_at(sx, sy);
+            out.set_pixel(dx as i32, dy as i32, yuv_to_rgb(yy, uu, vv));
+        }
+    }
+    out
+}
+
+/// Naive nearest-neighbour scaling: per-destination-pixel
+/// `get_pixel`/`set_pixel`.
+pub fn scale_nearest(src: &Framebuffer, dst_w: u32, dst_h: u32) -> Framebuffer {
+    let mut dst = Framebuffer::new(dst_w, dst_h, src.format());
+    if dst_w == 0 || dst_h == 0 || src.width() == 0 || src.height() == 0 {
+        return dst;
+    }
+    let (sw, sh) = (src.width() as u64, src.height() as u64);
+    let (dw, dh) = (dst_w as u64, dst_h as u64);
+    for dy in 0..dst_h {
+        let sy = (dy as u64 * sh / dh) as i32;
+        for dx in 0..dst_w {
+            let sx = (dx as u64 * sw / dw) as i32;
+            let c = src.get_pixel(sx, sy).expect("in bounds");
+            dst.set_pixel(dx as i32, dy as i32, c);
+        }
+    }
+    dst
+}
+
+/// Naive simplified-Fant scaling: recomputes every span weight per
+/// row/column and goes through `get_pixel`/`set_pixel` (the
+/// pre-optimization kernel, kept byte-for-byte including its
+/// floating-point evaluation order).
+pub fn scale_fant(src: &Framebuffer, dst_w: u32, dst_h: u32) -> Framebuffer {
+    let mut dst = Framebuffer::new(dst_w, dst_h, src.format());
+    if dst_w == 0 || dst_h == 0 || src.width() == 0 || src.height() == 0 {
+        return dst;
+    }
+    let sw = src.width() as usize;
+    let sh = src.height() as usize;
+    let dw = dst_w as usize;
+    let dh = dst_h as usize;
+    let mut mid = vec![[0f32; 4]; sh * dw];
+    for y in 0..sh {
+        let mut row_in: Vec<[f32; 4]> = Vec::with_capacity(sw);
+        for x in 0..sw {
+            let c = src.get_pixel(x as i32, y as i32).expect("in bounds");
+            row_in.push([c.r as f32, c.g as f32, c.b as f32, c.a as f32]);
+        }
+        resample_line(&row_in, &mut mid[y * dw..(y + 1) * dw]);
+    }
+    let mut col_in: Vec<[f32; 4]> = vec![[0f32; 4]; sh];
+    let mut col_out: Vec<[f32; 4]> = vec![[0f32; 4]; dh];
+    for x in 0..dw {
+        for y in 0..sh {
+            col_in[y] = mid[y * dw + x];
+        }
+        resample_line(&col_in, &mut col_out);
+        for (y, p) in col_out.iter().copied().enumerate().take(dh) {
+            let q = |v: f32| -> u8 { (v + 0.5).clamp(0.0, 255.0) as u8 };
+            dst.set_pixel(x as i32, y as i32, Color::rgba(q(p[0]), q(p[1]), q(p[2]), q(p[3])));
+        }
+    }
+    dst
+}
+
+/// The original per-call area-weighting resampler (weights recomputed
+/// for every line).
+fn resample_line(input: &[[f32; 4]], out: &mut [[f32; 4]]) {
+    let n = input.len() as f64;
+    let m = out.len() as f64;
+    if input.is_empty() || out.is_empty() {
+        return;
+    }
+    let step = n / m;
+    for (i, o) in out.iter_mut().enumerate() {
+        let lo = i as f64 * step;
+        let hi = lo + step;
+        let mut acc = [0f64; 4];
+        let mut total = 0f64;
+        let first = lo.floor() as usize;
+        let last = (hi.ceil() as usize).min(input.len());
+        for (s, sample) in input.iter().enumerate().take(last).skip(first) {
+            let s_lo = s as f64;
+            let s_hi = s_lo + 1.0;
+            let overlap = (hi.min(s_hi) - lo.max(s_lo)).max(0.0);
+            if overlap > 0.0 {
+                for k in 0..4 {
+                    acc[k] += sample[k] as f64 * overlap;
+                }
+                total += overlap;
+            }
+        }
+        if total > 0.0 {
+            for k in 0..4 {
+                o[k] = (acc[k] / total) as f32;
+            }
+        }
+    }
+}

@@ -63,78 +63,136 @@ pub fn scale_region(
 fn scale_nearest(src: &Framebuffer, dst: &mut Framebuffer) {
     let (sw, sh) = (src.width() as u64, src.height() as u64);
     let (dw, dh) = (dst.width() as u64, dst.height() as u64);
-    for dy in 0..dst.height() {
-        let sy = (dy as u64 * sh / dh) as i32;
-        for dx in 0..dst.width() {
-            let sx = (dx as u64 * sw / dw) as i32;
-            let c = src.get_pixel(sx, sy).expect("in bounds");
-            dst.set_pixel(dx as i32, dy as i32, c);
+    let bpp = src.format().bytes_per_pixel();
+    let s_stride = src.stride();
+    let d_stride = dst.stride();
+    // The horizontal source map is identical for every row: compute the
+    // source byte offsets once, then blit pixel bytes row by row.
+    let sx_off: Vec<usize> = (0..dw).map(|dx| (dx * sw / dw) as usize * bpp).collect();
+    let dst_h = dst.height() as usize;
+    let dst_data = dst.data_mut();
+    for dy in 0..dst_h {
+        let sy = (dy as u64 * sh / dh) as usize;
+        let srow = &src.data()[sy * s_stride..(sy + 1) * s_stride];
+        let drow = &mut dst_data[dy * d_stride..(dy + 1) * d_stride];
+        for (d, &s_off) in drow.chunks_exact_mut(bpp).zip(sx_off.iter()) {
+            d.copy_from_slice(&srow[s_off..s_off + bpp]);
         }
     }
 }
 
 /// Separable area-weighted resampling (simplified Fant).
+///
+/// The per-output-pixel overlap weights depend only on the axis
+/// lengths, so they are computed once per axis (instead of once per
+/// line as the naive kernel does) and replayed with the identical
+/// floating-point evaluation order — the output stays byte-exact with
+/// [`crate::reference::scale_fant`].
 fn scale_fant(src: &Framebuffer, dst: &mut Framebuffer) {
     let sw = src.width() as usize;
     let sh = src.height() as usize;
     let dw = dst.width() as usize;
     let dh = dst.height() as usize;
+    let h_spans = compute_spans(sw, dw);
+    let v_spans = compute_spans(sh, dh);
+    let fmt = src.format();
+    let bpp = fmt.bytes_per_pixel();
+    let s_stride = src.stride();
     // Horizontal pass into an intermediate f32 RGBA buffer (sh rows x dw).
     let mut mid = vec![[0f32; 4]; sh * dw];
+    let mut row_in: Vec<[f32; 4]> = Vec::with_capacity(sw);
     for y in 0..sh {
-        let mut row_in: Vec<[f32; 4]> = Vec::with_capacity(sw);
-        for x in 0..sw {
-            let c = src.get_pixel(x as i32, y as i32).expect("in bounds");
+        row_in.clear();
+        let srow = &src.data()[y * s_stride..(y + 1) * s_stride];
+        for px in srow.chunks_exact(bpp) {
+            let c = fmt.decode(px);
             row_in.push([c.r as f32, c.g as f32, c.b as f32, c.a as f32]);
         }
-        resample_line(&row_in, &mut mid[y * dw..(y + 1) * dw]);
+        resample_line(&row_in, &mut mid[y * dw..(y + 1) * dw], &h_spans);
     }
     // Vertical pass.
+    let d_stride = dst.stride();
+    let dst_data = dst.data_mut();
     let mut col_in: Vec<[f32; 4]> = vec![[0f32; 4]; sh];
     let mut col_out: Vec<[f32; 4]> = vec![[0f32; 4]; dh];
     for x in 0..dw {
         for y in 0..sh {
             col_in[y] = mid[y * dw + x];
         }
-        resample_line(&col_in, &mut col_out);
+        resample_line(&col_in, &mut col_out, &v_spans);
         for (y, p) in col_out.iter().copied().enumerate().take(dh) {
             let q = |v: f32| -> u8 { (v + 0.5).clamp(0.0, 255.0) as u8 };
-            dst.set_pixel(x as i32, y as i32, Color::rgba(q(p[0]), q(p[1]), q(p[2]), q(p[3])));
+            let c = Color::rgba(q(p[0]), q(p[1]), q(p[2]), q(p[3]));
+            let off = y * d_stride + x * bpp;
+            fmt.encode(c, &mut dst_data[off..off + bpp]);
         }
     }
 }
 
-/// Resamples a 1-D line of RGBA samples to `out.len()` samples by exact
-/// area weighting: output pixel `i` covers the source interval
-/// `[i*n/m, (i+1)*n/m)` and averages source pixels weighted by overlap.
-fn resample_line(input: &[[f32; 4]], out: &mut [[f32; 4]]) {
-    let n = input.len() as f64;
-    let m = out.len() as f64;
+/// Area-overlap span of one output sample: the first contributing
+/// source index, the per-source overlap weights, and their sum.
+struct Span {
+    first: usize,
+    weights: Vec<f64>,
+    total: f64,
+}
+
+/// Computes the coverage spans mapping `n` source samples to `m`
+/// output samples: output `i` covers `[i*n/m, (i+1)*n/m)`.
+///
+/// The arithmetic (and therefore rounding) is identical to the naive
+/// per-line computation in [`crate::reference`].
+fn compute_spans(n: usize, m: usize) -> Vec<Span> {
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let step = n as f64 / m as f64;
+    (0..m)
+        .map(|i| {
+            let lo = i as f64 * step;
+            let hi = lo + step;
+            let first = lo.floor() as usize;
+            let last = (hi.ceil() as usize).min(n);
+            let mut weights = Vec::with_capacity(last.saturating_sub(first));
+            let mut total = 0f64;
+            for s in first..last {
+                let s_lo = s as f64;
+                let s_hi = s_lo + 1.0;
+                let overlap = (hi.min(s_hi) - lo.max(s_lo)).max(0.0);
+                weights.push(overlap);
+                if overlap > 0.0 {
+                    total += overlap;
+                }
+            }
+            Span {
+                first,
+                weights,
+                total,
+            }
+        })
+        .collect()
+}
+
+/// Resamples a 1-D line of RGBA samples using precomputed spans.
+fn resample_line(input: &[[f32; 4]], out: &mut [[f32; 4]], spans: &[Span]) {
     if input.is_empty() || out.is_empty() {
         return;
     }
-    let step = n / m;
-    for (i, o) in out.iter_mut().enumerate() {
-        let lo = i as f64 * step;
-        let hi = lo + step;
+    debug_assert_eq!(spans.len(), out.len());
+    for (o, span) in out.iter_mut().zip(spans.iter()) {
         let mut acc = [0f64; 4];
-        let mut total = 0f64;
-        let first = lo.floor() as usize;
-        let last = (hi.ceil() as usize).min(input.len());
-        for (s, sample) in input.iter().enumerate().take(last).skip(first) {
-            let s_lo = s as f64;
-            let s_hi = s_lo + 1.0;
-            let overlap = (hi.min(s_hi) - lo.max(s_lo)).max(0.0);
-            if overlap > 0.0 {
-                for k in 0..4 {
-                    acc[k] += sample[k] as f64 * overlap;
-                }
-                total += overlap;
+        for (sample, &overlap) in input[span.first..]
+            .iter()
+            .zip(span.weights.iter())
+            .filter(|&(_, &w)| w > 0.0)
+        {
+            for k in 0..4 {
+                acc[k] += sample[k] as f64 * overlap;
             }
         }
-        if total > 0.0 {
+        if span.total > 0.0 {
             for k in 0..4 {
-                o[k] = (acc[k] / total) as f32;
+                o[k] = (acc[k] / span.total) as f32;
             }
         }
     }

@@ -92,10 +92,22 @@ impl YuvFrame {
     }
 
     /// Converts an RGB framebuffer region into a YUV frame.
+    ///
+    /// The pack walks packed source rows directly (no per-pixel bounds
+    /// checks or offset math); it is byte-exact with
+    /// [`crate::reference::yuv_from_rgb`].
     pub fn from_rgb(src: &Framebuffer, r: &Rect, format: YuvFormat) -> Self {
         let clip = r.intersection(&src.bounds());
         let (w, h) = (clip.w, clip.h);
         let mut frame = YuvFrame::new(format, w, h);
+        let fmt = src.format();
+        let bpp = fmt.bytes_per_pixel();
+        let stride = src.stride();
+        let base = clip.y as usize * stride + clip.x as usize * bpp;
+        let row_at = |y: usize| -> &[u8] {
+            let off = base + y * stride;
+            &src.data()[off..off + w as usize * bpp]
+        };
         match format {
             YuvFormat::Yv12 => {
                 let (cw, ch) = ((w as usize).div_ceil(2), (h as usize).div_ceil(2));
@@ -105,12 +117,15 @@ impl YuvFrame {
                 let mut u_acc = vec![0u32; c_len];
                 let mut v_acc = vec![0u32; c_len];
                 let mut n_acc = vec![0u32; c_len];
-                for y in 0..h as i32 {
-                    for x in 0..w as i32 {
-                        let c = src.get_pixel(clip.x + x, clip.y + y).expect("in bounds");
-                        let (yy, uu, vv) = rgb_to_yuv(c);
-                        frame.data[y as usize * w as usize + x as usize] = yy;
-                        let ci = (y as usize / 2) * cw + (x as usize / 2);
+                let _ = ch;
+                for y in 0..h as usize {
+                    let row = row_at(y);
+                    let yrow = &mut frame.data[y * w as usize..(y + 1) * w as usize];
+                    let crow = y / 2 * cw;
+                    for (x, px) in row.chunks_exact(bpp).enumerate() {
+                        let (yy, uu, vv) = rgb_to_yuv(fmt.decode(px));
+                        yrow[x] = yy;
+                        let ci = crow + x / 2;
                         u_acc[ci] += uu as u32;
                         v_acc[ci] += vv as u32;
                         n_acc[ci] += 1;
@@ -125,19 +140,20 @@ impl YuvFrame {
             }
             YuvFormat::Yuy2 => {
                 let pairs_per_row = (w as usize).div_ceil(2);
-                for y in 0..h as i32 {
-                    for px in 0..pairs_per_row {
-                        let x0 = (px * 2) as i32;
-                        let x1 = (x0 + 1).min(w as i32 - 1);
-                        let c0 = src.get_pixel(clip.x + x0, clip.y + y).expect("in bounds");
-                        let c1 = src.get_pixel(clip.x + x1, clip.y + y).expect("in bounds");
+                for y in 0..h as usize {
+                    let row = row_at(y);
+                    let orow = &mut frame.data[y * pairs_per_row * 4..(y + 1) * pairs_per_row * 4];
+                    for (px, o) in orow.chunks_exact_mut(4).enumerate() {
+                        let x0 = px * 2;
+                        let x1 = (x0 + 1).min(w as usize - 1);
+                        let c0 = fmt.decode(&row[x0 * bpp..(x0 + 1) * bpp]);
+                        let c1 = fmt.decode(&row[x1 * bpp..(x1 + 1) * bpp]);
                         let (y0, u0, v0) = rgb_to_yuv(c0);
                         let (y1, u1, v1) = rgb_to_yuv(c1);
-                        let off = (y as usize * pairs_per_row + px) * 4;
-                        frame.data[off] = y0;
-                        frame.data[off + 1] = ((u0 as u32 + u1 as u32) / 2) as u8;
-                        frame.data[off + 2] = y1;
-                        frame.data[off + 3] = ((v0 as u32 + v1 as u32) / 2) as u8;
+                        o[0] = y0;
+                        o[1] = ((u0 as u32 + u1 as u32) / 2) as u8;
+                        o[2] = y1;
+                        o[3] = ((v0 as u32 + v1 as u32) / 2) as u8;
                     }
                 }
             }
@@ -146,6 +162,7 @@ impl YuvFrame {
     }
 
     /// Reads the YUV pixel at `(x, y)` (chroma upsampled by replication).
+    #[inline]
     pub fn yuv_at(&self, x: u32, y: u32) -> (u8, u8, u8) {
         debug_assert!(x < self.width && y < self.height);
         match self.format {
@@ -182,12 +199,19 @@ impl YuvFrame {
         if self.width == 0 || self.height == 0 || dst_w == 0 || dst_h == 0 {
             return out;
         }
-        for dy in 0..dst_h {
+        // Precompute the horizontal source map once; each destination
+        // row then converts straight into its packed row slice.
+        let sx_map: Vec<u32> = (0..dst_w)
+            .map(|dx| (dx as u64 * self.width as u64 / dst_w as u64) as u32)
+            .collect();
+        let bpp = format.bytes_per_pixel();
+        let stride = out.stride();
+        for dy in 0..dst_h as usize {
             let sy = (dy as u64 * self.height as u64 / dst_h as u64) as u32;
-            for dx in 0..dst_w {
-                let sx = (dx as u64 * self.width as u64 / dst_w as u64) as u32;
+            let orow = &mut out.data_mut()[dy * stride..(dy + 1) * stride];
+            for (px, &sx) in orow.chunks_exact_mut(bpp).zip(sx_map.iter()) {
                 let (yy, uu, vv) = self.yuv_at(sx, sy);
-                out.set_pixel(dx as i32, dy as i32, yuv_to_rgb(yy, uu, vv));
+                format.encode(yuv_to_rgb(yy, uu, vv), px);
             }
         }
         out
@@ -195,6 +219,7 @@ impl YuvFrame {
 }
 
 /// Full-range BT.601 RGB → YUV.
+#[inline]
 pub fn rgb_to_yuv(c: Color) -> (u8, u8, u8) {
     let r = c.r as i32;
     let g = c.g as i32;
@@ -206,6 +231,7 @@ pub fn rgb_to_yuv(c: Color) -> (u8, u8, u8) {
 }
 
 /// Full-range BT.601 YUV → RGB.
+#[inline]
 pub fn yuv_to_rgb(y: u8, u: u8, v: u8) -> Color {
     let y = y as i32;
     let u = u as i32 - 128;
@@ -216,6 +242,7 @@ pub fn yuv_to_rgb(y: u8, u: u8, v: u8) -> Color {
     Color::rgb(clamp_u8(r), clamp_u8(g), clamp_u8(b))
 }
 
+#[inline]
 fn clamp_u8(v: i32) -> u8 {
     v.clamp(0, 255) as u8
 }

@@ -214,6 +214,25 @@ impl Histogram {
         *self.counts.last().expect("counts never empty")
     }
 
+    /// Adds every sample of `other` into this histogram.
+    ///
+    /// Used to combine per-path accountings (e.g. display and A/V
+    /// wire-size histograms) into one.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different bucket layouts.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "mismatched histogram layouts");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
     /// Bucket-resolution quantile: the upper bound of the first
     /// bucket at which the cumulative count reaches `q * count`.
     /// Samples in the overflow bucket report the exact observed
@@ -333,5 +352,26 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn unsorted_bounds_rejected() {
         Histogram::with_bounds(&[10, 10]);
+    }
+
+    #[test]
+    fn merge_from_combines_everything() {
+        let mut a = Histogram::with_bounds(&[10, 100]);
+        a.record(5);
+        a.record(50);
+        let mut b = Histogram::with_bounds(&[10, 100]);
+        b.record(500);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 555);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn merge_from_rejects_different_layouts() {
+        let mut a = Histogram::with_bounds(&[10]);
+        a.merge_from(&Histogram::with_bounds(&[20]));
     }
 }

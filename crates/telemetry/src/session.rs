@@ -18,6 +18,12 @@ fn latency_histogram() -> Histogram {
     Histogram::exponential(100, 2, 15)
 }
 
+/// Default bucket layout for wire-size histograms: 16 B to 512 KiB in
+/// doubling buckets (plus the implicit overflow bucket).
+fn size_histogram() -> Histogram {
+    Histogram::exponential(16, 2, 16)
+}
+
 /// Per-command-type wire accounting: message counts and encoded
 /// bytes, recorded where messages are committed to the wire.
 ///
@@ -32,10 +38,21 @@ fn latency_histogram() -> Histogram {
 /// let raw = m.rows().into_iter().find(|r| r.kind == CommandKind::Raw).unwrap();
 /// assert!(raw.share > 0.9);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolMetrics {
     counts: [Counter; CommandKind::COUNT],
     bytes: [Counter; CommandKind::COUNT],
+    sizes: [Histogram; CommandKind::COUNT],
+}
+
+impl Default for ProtocolMetrics {
+    fn default() -> Self {
+        Self {
+            counts: Default::default(),
+            bytes: Default::default(),
+            sizes: std::array::from_fn(|_| size_histogram()),
+        }
+    }
 }
 
 impl ProtocolMetrics {
@@ -49,6 +66,13 @@ impl ProtocolMetrics {
     pub fn record(&mut self, kind: CommandKind, wire_bytes: u64) {
         self.counts[kind.index()].inc();
         self.bytes[kind.index()].add(wire_bytes);
+        self.sizes[kind.index()].record(wire_bytes);
+    }
+
+    /// The per-message wire-size histogram of `kind` (use
+    /// [`Histogram::quantile`] for p50/p99 message sizes).
+    pub fn size_histogram(&self, kind: CommandKind) -> &Histogram {
+        &self.sizes[kind.index()]
     }
 
     /// Messages recorded for `kind`.
@@ -77,6 +101,7 @@ impl ProtocolMetrics {
         for k in CommandKind::ALL {
             self.counts[k.index()].add(other.count(k));
             self.bytes[k.index()].add(other.bytes(k));
+            self.sizes[k.index()].merge_from(&other.sizes[k.index()]);
         }
     }
 
@@ -657,6 +682,21 @@ mod tests {
         display.merge(&av);
         assert_eq!(display.total_bytes(), 1000);
         assert_eq!(display.count(CommandKind::Video), 1);
+        assert_eq!(display.size_histogram(CommandKind::Video).count(), 1);
+    }
+
+    #[test]
+    fn protocol_size_histogram_tracks_quantiles() {
+        let mut m = ProtocolMetrics::new();
+        for _ in 0..99 {
+            m.record(CommandKind::Sfill, 26);
+        }
+        m.record(CommandKind::Sfill, 4000);
+        let h = m.size_histogram(CommandKind::Sfill);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), 32); // Bucket bound covering 26 B.
+        assert_eq!(h.quantile(1.0), 4096);
+        assert_eq!(m.size_histogram(CommandKind::Raw).count(), 0);
     }
 
     #[test]
