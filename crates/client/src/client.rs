@@ -237,7 +237,8 @@ impl ThincClient {
             Message::Input(_)
             | Message::Resize { .. }
             | Message::SetView { .. }
-            | Message::Pong { .. } => {
+            | Message::Pong { .. }
+            | Message::RefreshRequest { .. } => {
                 // Client-originated; ignore if echoed.
             }
         }

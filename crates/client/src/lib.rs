@@ -19,17 +19,22 @@
 //!   statistics slow-motion benchmarking needs,
 //! - [`stream`]: the wire-facing layer ([`StreamClient`]) that feeds
 //!   raw connection bytes through the frame reader with decode-error
-//!   recovery (skip damage, request a server resync, count it).
+//!   recovery (skip damage, request a server resync, count it),
+//! - [`reconnect`]: the client-driven reconnection policy
+//!   ([`ReconnectPolicy`]) that turns a stale display into
+//!   refresh requests on a seeded-jitter exponential backoff.
 
 pub mod client;
 pub mod cursor;
 pub mod hardware;
 pub mod headless;
+pub mod reconnect;
 pub mod stream;
 pub mod zoom;
 
 pub use client::ThincClient;
 pub use hardware::{ClientHardware, HardwareCaps};
 pub use headless::HeadlessClient;
+pub use reconnect::{ReconnectConfig, ReconnectPolicy};
 pub use stream::StreamClient;
 pub use zoom::ZoomController;

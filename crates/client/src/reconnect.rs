@@ -1,0 +1,203 @@
+//! Client-driven reconnection policy.
+//!
+//! The paper's client is deliberately stateless: after any outage the
+//! server can always restore it with a full-view refresh (§2, §7).
+//! What the paper leaves implicit — and the test harnesses used to
+//! hand-drive — is *who asks* for that refresh. [`ReconnectPolicy`]
+//! makes the client responsible: once the stream layer latches
+//! `needs_refresh`, the policy emits
+//! [`Message::RefreshRequest`](thinc_protocol::message::Message)
+//! attempts on a seeded-jitter exponential backoff until the refresh
+//! actually lands (full viewport coverage) or the attempt budget runs
+//! out. Jitter is deterministic per seed so resilience runs replay
+//! exactly.
+
+use thinc_net::fault::SplitMix64;
+use thinc_net::time::{SimDuration, SimTime};
+
+/// Backoff and budget knobs for [`ReconnectPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconnectConfig {
+    /// Delay scheduled after the first attempt; doubles per attempt.
+    pub base_delay: SimDuration,
+    /// Ceiling on the (pre-jitter) backoff delay.
+    pub max_delay: SimDuration,
+    /// Attempts before the policy gives up (the session is presumed
+    /// gone and the user must intervene).
+    pub max_attempts: u32,
+    /// Seed for the jitter PRNG (deterministic replays).
+    pub seed: u64,
+}
+
+impl Default for ReconnectConfig {
+    fn default() -> Self {
+        Self {
+            base_delay: SimDuration::from_millis(200),
+            max_delay: SimDuration::from_secs(10),
+            max_attempts: 16,
+            seed: 0x7EC0_4EC7,
+        }
+    }
+}
+
+/// Seeded-jitter exponential backoff over refresh attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconnectPolicy {
+    config: ReconnectConfig,
+    rng: SplitMix64,
+    attempts: u32,
+    next_at: Option<SimTime>,
+    gave_up: bool,
+}
+
+impl ReconnectPolicy {
+    /// A fresh policy (no attempts made).
+    pub fn new(config: ReconnectConfig) -> Self {
+        Self {
+            rng: SplitMix64::new(config.seed),
+            config,
+            attempts: 0,
+            next_at: None,
+            gave_up: false,
+        }
+    }
+
+    /// The knobs in force.
+    pub fn config(&self) -> ReconnectConfig {
+        self.config
+    }
+
+    /// Attempts made since the last recovery.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Whether the attempt budget is exhausted.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
+    }
+
+    /// When the next attempt is allowed, if one is scheduled.
+    pub fn next_attempt_at(&self) -> Option<SimTime> {
+        self.next_at
+    }
+
+    /// Asks whether an attempt may fire at `now`. Returns the 1-based
+    /// attempt number when it may; schedules the next attempt with
+    /// exponentially grown, jittered delay. `None` while backing off
+    /// or after giving up.
+    pub fn poll(&mut self, now: SimTime) -> Option<u32> {
+        if self.gave_up {
+            return None;
+        }
+        if let Some(at) = self.next_at {
+            if now < at {
+                return None;
+            }
+        }
+        if self.attempts >= self.config.max_attempts {
+            self.gave_up = true;
+            return None;
+        }
+        self.attempts += 1;
+        let exp = self.attempts.saturating_sub(1).min(20);
+        let grown = self
+            .config
+            .base_delay
+            .as_micros()
+            .saturating_mul(1u64 << exp)
+            .min(self.config.max_delay.as_micros());
+        // Jitter in [0.5, 1.5): desynchronizes a fleet of clients
+        // re-requesting after a shared outage, deterministically.
+        let jittered = (grown as f64 * (0.5 + self.rng.next_f64())) as u64;
+        self.next_at = Some(now + SimDuration::from_micros(jittered.max(1)));
+        Some(self.attempts)
+    }
+
+    /// The refresh landed: reset the backoff for the next outage.
+    pub fn note_recovered(&mut self) {
+        self.attempts = 0;
+        self.next_at = None;
+        self.gave_up = false;
+        self.rng = SplitMix64::new(self.config.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime((s * 1e6) as u64)
+    }
+
+    #[test]
+    fn first_attempt_fires_immediately_then_backs_off() {
+        let mut p = ReconnectPolicy::new(ReconnectConfig::default());
+        assert_eq!(p.poll(secs(1.0)), Some(1));
+        // Immediately re-polling is throttled by the scheduled delay.
+        assert_eq!(p.poll(secs(1.0)), None);
+        let at = p.next_attempt_at().unwrap();
+        assert!(at > secs(1.0));
+        assert_eq!(p.poll(at), Some(2));
+    }
+
+    #[test]
+    fn delays_grow_until_the_cap() {
+        let cfg = ReconnectConfig {
+            base_delay: SimDuration::from_millis(100),
+            max_delay: SimDuration::from_millis(400),
+            max_attempts: 32,
+            seed: 1,
+        };
+        let mut p = ReconnectPolicy::new(cfg);
+        let mut now = secs(0.0);
+        let mut delays = Vec::new();
+        for _ in 0..6 {
+            assert!(p.poll(now).is_some());
+            let at = p.next_attempt_at().unwrap();
+            delays.push(at.since(now).as_micros());
+            now = at;
+        }
+        // Jitter is [0.5, 1.5)×, so the capped delay never exceeds
+        // 1.5×max and the first never exceeds 1.5×base.
+        assert!(delays[0] < 150_000);
+        for d in &delays {
+            assert!(*d < 600_000, "{d}");
+        }
+        // Later delays reflect growth: the 4th+ attempt is at the cap,
+        // so it is at least 0.5×400ms.
+        assert!(delays[5] >= 200_000);
+    }
+
+    #[test]
+    fn budget_exhaustion_gives_up_and_recovery_resets() {
+        let cfg = ReconnectConfig {
+            max_attempts: 2,
+            ..ReconnectConfig::default()
+        };
+        let mut p = ReconnectPolicy::new(cfg);
+        let mut now = secs(0.0);
+        assert_eq!(p.poll(now), Some(1));
+        now = p.next_attempt_at().unwrap();
+        assert_eq!(p.poll(now), Some(2));
+        now = p.next_attempt_at().unwrap();
+        assert_eq!(p.poll(now), None);
+        assert!(p.gave_up());
+        p.note_recovered();
+        assert!(!p.gave_up());
+        assert_eq!(p.poll(now), Some(1));
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let cfg = ReconnectConfig::default();
+        let (mut a, mut b) = (ReconnectPolicy::new(cfg), ReconnectPolicy::new(cfg));
+        let mut now = secs(0.0);
+        for _ in 0..5 {
+            assert_eq!(a.poll(now), b.poll(now));
+            assert_eq!(a.next_attempt_at(), b.next_attempt_at());
+            now = a.next_attempt_at().unwrap();
+        }
+    }
+}

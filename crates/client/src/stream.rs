@@ -9,21 +9,36 @@
 //! Every error, resync, and skipped byte is counted in the client's
 //! resilience accounting.
 
+use thinc_net::time::SimTime;
+use thinc_protocol::commands::DisplayCommand;
 use thinc_protocol::message::Message;
 use thinc_protocol::wire::FrameReader;
-use thinc_raster::PixelFormat;
+use thinc_raster::{PixelFormat, Rect, Region};
 
 use crate::client::ThincClient;
 use crate::hardware::HardwareCaps;
+use crate::reconnect::ReconnectPolicy;
 
 /// A [`ThincClient`] fed directly from the wire, with decode-error
 /// recovery.
 pub struct StreamClient {
     client: ThincClient,
     reader: FrameReader,
-    /// Set when damage forced the reader to skip bytes: the display
-    /// may now be stale and the server should resync us.
+    /// Set when damage forced the reader to skip bytes (or the link
+    /// was re-established): the display may be stale and the server
+    /// should resync us. Cleared only when opaque server updates have
+    /// covered the whole viewport since the latch — an acknowledgement
+    /// that a refresh was *requested* is not evidence it *arrived*.
     needs_refresh: bool,
+    /// Viewport area repainted by opaque commands since the latch.
+    refresh_cover: Region,
+    /// Automatic refresh-request issuance, when installed.
+    policy: Option<ReconnectPolicy>,
+    /// Messages applied over the client's lifetime — progress marker
+    /// for the policy's stalled-framing detection.
+    applied_total: u64,
+    /// `applied_total` when the policy last fired an attempt.
+    applied_at_attempt: u64,
     resilience: thinc_telemetry::ResilienceMetrics,
 }
 
@@ -44,8 +59,25 @@ impl StreamClient {
             client,
             reader: FrameReader::new(),
             needs_refresh: false,
+            refresh_cover: Region::new(),
+            policy: None,
+            applied_total: 0,
+            applied_at_attempt: 0,
             resilience: thinc_telemetry::ResilienceMetrics::new(),
         }
+    }
+
+    /// Installs a [`ReconnectPolicy`]: while the display is stale,
+    /// [`poll_reconnect`](Self::poll_reconnect) issues
+    /// [`Message::RefreshRequest`]s on the policy's backoff schedule.
+    pub fn with_reconnect_policy(mut self, policy: ReconnectPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The installed reconnect policy, if any.
+    pub fn reconnect_policy(&self) -> Option<&ReconnectPolicy> {
+        self.policy.as_ref()
     }
 
     /// Feeds bytes from the connection and applies every complete
@@ -60,19 +92,80 @@ impl StreamClient {
         loop {
             match self.reader.next_message() {
                 Ok(Some(msg)) => {
+                    let errors_before = self.client.stats().errors;
                     self.client.apply(&msg);
                     applied += 1;
+                    self.applied_total += 1;
+                    if self.needs_refresh && self.client.stats().errors == errors_before {
+                        self.note_refresh_progress(&msg);
+                    }
                 }
                 Ok(None) => break,
                 Err(_) => {
                     self.resilience.record_decode_error();
                     let skipped = self.reader.resync();
                     self.resilience.record_stream_resync(skipped as u64);
+                    // New damage invalidates any partial refresh.
                     self.needs_refresh = true;
+                    self.refresh_cover = Region::new();
                 }
             }
         }
         applied
+    }
+
+    /// Credits an applied message against the pending refresh: opaque
+    /// commands (RAW, SFILL, PFILL, opaque BITMAP) repaint their
+    /// destination unconditionally, so once they have covered the
+    /// whole viewport every stale pixel has been overwritten and the
+    /// latch can clear. COPY and transparent BITMAP depend on the
+    /// (possibly stale) local content, so they prove nothing.
+    fn note_refresh_progress(&mut self, msg: &Message) {
+        let rect = match msg {
+            Message::Display(DisplayCommand::Raw { rect, .. })
+            | Message::Display(DisplayCommand::Sfill { rect, .. })
+            | Message::Display(DisplayCommand::Pfill { rect, .. })
+            | Message::Display(DisplayCommand::Bitmap { rect, bg: Some(_), .. }) => *rect,
+            _ => return,
+        };
+        self.refresh_cover.union_rect(&rect);
+        let fb = self.client.framebuffer();
+        let full = Rect::new(0, 0, fb.width(), fb.height());
+        if self.refresh_cover.contains_rect(&full) {
+            self.needs_refresh = false;
+            self.refresh_cover = Region::new();
+            if let Some(p) = self.policy.as_mut() {
+                p.note_recovered();
+            }
+        }
+    }
+
+    /// Drives the installed [`ReconnectPolicy`]: while the display is
+    /// stale and the backoff window has elapsed, returns the
+    /// [`Message::RefreshRequest`] to send upstream. `None` when the
+    /// display is current, no policy is installed, the policy is
+    /// backing off, or its attempt budget is exhausted.
+    pub fn poll_reconnect(&mut self, now: SimTime) -> Option<Message> {
+        if !self.needs_refresh {
+            return None;
+        }
+        let attempt = self.policy.as_mut()?.poll(now)?;
+        // Stalled framing: nothing decoded since the previous attempt
+        // while bytes sit in the reader means a corrupted length
+        // field swallowed a frame boundary — the stream will never
+        // progress on its own (no decode *error* ever fires, the
+        // reader just waits for a frame that cannot complete). A
+        // retry therefore drops the wire state like a real redial
+        // would, so the server's next resync lands on clean framing.
+        if attempt > 1
+            && self.applied_total == self.applied_at_attempt
+            && self.reader.pending_bytes() > 0
+        {
+            self.reader = FrameReader::new();
+            self.resilience.record_reconnect();
+        }
+        self.applied_at_attempt = self.applied_total;
+        Some(Message::RefreshRequest { attempt })
     }
 
     /// Whether damage has been skipped since the last check — the
@@ -81,18 +174,24 @@ impl StreamClient {
         self.needs_refresh
     }
 
-    /// Consumes the refresh flag (call when the resync request has
-    /// been sent).
+    /// Consumes the refresh flag (for harnesses that drive the resync
+    /// themselves instead of installing a [`ReconnectPolicy`]).
     pub fn take_needs_refresh(&mut self) -> bool {
+        self.refresh_cover = Region::new();
         std::mem::take(&mut self.needs_refresh)
     }
 
     /// Resets the wire state for a fresh connection (reconnect): the
-    /// reader drops any half-received frame; the display keeps its
-    /// content until the server's resync overwrites it.
+    /// reader drops any half-received frame. The display keeps its
+    /// content, but a fresh link is presumed stale — updates were
+    /// lost while it was down — so `needs_refresh` latches until the
+    /// server's resync has actually covered the viewport. (It used to
+    /// be cleared here, which lost the pending-refresh state when a
+    /// drop raced the resync.)
     pub fn reconnect(&mut self) {
         self.reader = FrameReader::new();
-        self.needs_refresh = false;
+        self.needs_refresh = true;
+        self.refresh_cover = Region::new();
         self.resilience.record_reconnect();
     }
 
@@ -186,6 +285,86 @@ mod tests {
         assert_eq!(c.resilience_metrics().reconnects(), 1);
         // A fresh, whole message decodes normally afterwards.
         assert_eq!(c.feed(&bytes), 1);
+    }
+
+    #[test]
+    fn reconnect_latches_refresh_until_the_viewport_is_covered() {
+        // Regression: reconnect() used to clear needs_refresh
+        // outright, so a request acknowledged but never answered left
+        // the client permanently stale. The latch must survive until
+        // opaque updates have actually covered the viewport.
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        c.reconnect();
+        assert!(c.needs_refresh(), "a fresh link is presumed stale");
+        // A partial repaint is not enough.
+        c.feed(&fill(Rect::new(0, 0, 32, 16), Color::rgb(1, 1, 1)));
+        assert!(c.needs_refresh());
+        // Completing the coverage clears it.
+        c.feed(&fill(Rect::new(0, 16, 32, 16), Color::rgb(2, 2, 2)));
+        assert!(!c.needs_refresh());
+    }
+
+    #[test]
+    fn drop_during_resync_keeps_the_latch() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        c.reconnect();
+        // Half the refresh lands...
+        c.feed(&fill(Rect::new(0, 0, 32, 16), Color::rgb(1, 1, 1)));
+        // ...then the link corrupts again: the partial coverage is
+        // void and the latch stays up.
+        let mut stream = vec![0xEE, 0xFF, 0x13, 0x37];
+        stream.extend(fill(Rect::new(0, 16, 32, 16), Color::rgb(2, 2, 2)));
+        c.feed(&stream);
+        assert!(c.needs_refresh(), "damage mid-resync must re-latch");
+        // Only a complete post-damage repaint clears it.
+        c.feed(&fill(Rect::new(0, 16, 32, 16), Color::rgb(2, 2, 2)));
+        assert!(c.needs_refresh());
+        c.feed(&fill(Rect::new(0, 0, 32, 16), Color::rgb(1, 1, 1)));
+        assert!(!c.needs_refresh());
+    }
+
+    #[test]
+    fn copy_does_not_count_as_refresh_coverage() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        c.reconnect();
+        // A full-screen COPY only shuffles possibly-stale pixels.
+        let copy = encode_message(&Message::Display(DisplayCommand::Copy {
+            src_rect: Rect::new(0, 0, 32, 32),
+            dst_x: 0,
+            dst_y: 0,
+        }));
+        c.feed(&copy);
+        assert!(c.needs_refresh());
+        c.feed(&fill(Rect::new(0, 0, 32, 32), Color::rgb(3, 3, 3)));
+        assert!(!c.needs_refresh());
+    }
+
+    #[test]
+    fn policy_drives_refresh_requests_until_recovery() {
+        use crate::reconnect::{ReconnectConfig, ReconnectPolicy};
+        use thinc_net::time::SimTime;
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888)
+            .with_reconnect_policy(ReconnectPolicy::new(ReconnectConfig::default()));
+        let t0 = SimTime(1_000_000);
+        // Current display: the policy stays quiet.
+        assert_eq!(c.poll_reconnect(t0), None);
+        c.reconnect();
+        match c.poll_reconnect(t0) {
+            Some(Message::RefreshRequest { attempt: 1 }) => {}
+            other => panic!("{other:?}"),
+        }
+        // Backoff throttles an immediate retry.
+        assert_eq!(c.poll_reconnect(t0), None);
+        let at = c.reconnect_policy().unwrap().next_attempt_at().unwrap();
+        match c.poll_reconnect(at) {
+            Some(Message::RefreshRequest { attempt: 2 }) => {}
+            other => panic!("{other:?}"),
+        }
+        // The refresh lands: latch clears and the backoff resets.
+        c.feed(&fill(Rect::new(0, 0, 32, 32), Color::rgb(5, 5, 5)));
+        assert!(!c.needs_refresh());
+        assert_eq!(c.reconnect_policy().unwrap().attempts(), 0);
+        assert_eq!(c.poll_reconnect(at), None);
     }
 
     #[test]

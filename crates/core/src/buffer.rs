@@ -86,6 +86,12 @@ pub struct ClientBuffer {
     /// evicted for overflow. The owner (the server) converts this into
     /// fresh RAW updates from its authoritative screen.
     overflow_debt: Region,
+    /// Degradation knob: divisor applied to the byte bound while the
+    /// session is degraded (0 behaves as 1 — no tightening).
+    degrade_bound_divisor: u64,
+    /// Degradation knob: when set, overflow eviction prefers RAW
+    /// victims over the compact SFILL/PFILL/COPY commands.
+    degrade_raw_first: bool,
     /// Reusable compression buffers: flush-time RAW compression of
     /// one command after another reuses the filter intermediate and
     /// the output stream instead of reallocating per command.
@@ -130,6 +136,25 @@ impl ClientBuffer {
         self.byte_bound
     }
 
+    /// The byte cap currently enforced: the configured bound divided
+    /// by the degradation divisor (never below one wire message's
+    /// practical floor of 1 byte).
+    pub fn effective_byte_bound(&self) -> Option<u64> {
+        self.byte_bound
+            .map(|b| (b / self.degrade_bound_divisor.max(1)).max(1))
+    }
+
+    /// Applies (or releases) degradation pressure: `bound_divisor`
+    /// tightens the byte bound, `raw_first` switches overflow
+    /// eviction to prefer RAW victims. A tightened bound is enforced
+    /// immediately — standing backlog over the new cap becomes
+    /// refresh debt right away.
+    pub fn set_degradation(&mut self, bound_divisor: u64, raw_first: bool) {
+        self.degrade_bound_divisor = bound_divisor.max(1);
+        self.degrade_raw_first = raw_first;
+        self.enforce_byte_bound();
+    }
+
     /// Takes the screen region owed a refresh by overflow evictions,
     /// leaving it empty. The owner converts it into RAW updates from
     /// the authoritative screen content.
@@ -140,13 +165,6 @@ impl ClientBuffer {
     /// Whether overflow evictions have left unpaid refresh debt.
     pub fn has_overflow_debt(&self) -> bool {
         !self.overflow_debt.is_empty()
-    }
-
-    /// Returns a screen rectangle to the debt ledger (the owner took
-    /// the debt but could not repay this piece yet — e.g. no headroom
-    /// under the byte bound while the link is down).
-    pub(crate) fn defer_overflow_debt(&mut self, rect: thinc_raster::Rect) {
-        self.overflow_debt.union(&Region::from_rect(rect));
     }
 
     /// Delivery statistics so far.
@@ -348,6 +366,24 @@ impl ClientBuffer {
         }
     }
 
+    /// Drops every pending command, returning the union of their
+    /// still-visible destination footprints — in the coordinate space
+    /// the commands were pushed in. Used when the scale policy
+    /// changes mid-flight: buffered commands target the outgoing
+    /// space (and scaling may even have rewritten their overwrite
+    /// class, e.g. an opaque BITMAP resampled into RAW), so flushing
+    /// them under the new scale would paint the wrong regions. The
+    /// caller converts the returned footprint into refresh debt.
+    pub(crate) fn drop_pending_for_rescale(&mut self) -> Region {
+        let mut footprint = Region::new();
+        for e in &self.entries {
+            footprint.union(&e.visible);
+        }
+        self.entries.clear();
+        // Queue deques are cleaned lazily at pop time.
+        footprint
+    }
+
     fn remove_entry(&mut self, seq: u64) {
         if let Some(pos) = self.entry_pos(seq) {
             self.entries.remove(pos);
@@ -358,7 +394,9 @@ impl ClientBuffer {
     /// Evicts buffered commands until pending bytes fit the bound,
     /// converting every evicted footprint into overflow debt.
     fn enforce_byte_bound(&mut self) {
-        let Some(bound) = self.byte_bound else { return };
+        let Some(bound) = self.effective_byte_bound() else {
+            return;
+        };
         while self.pending_bytes() > bound {
             let Some(seq) = self.overflow_victim() else {
                 break;
@@ -370,8 +408,24 @@ impl ClientBuffer {
     /// Picks the next overflow victim: the *oldest* buffered command
     /// (stale content is the least valuable — it has waited longest
     /// and is the most likely to be overdrawn again before delivery);
-    /// realtime entries only when nothing else is left.
+    /// realtime entries only when nothing else is left. Under
+    /// raw-first degradation, oldest RAW first — RAW is the bulky
+    /// fallback format, and evicting it preserves the compact
+    /// SFILL/PFILL/COPY commands the degraded link can still afford.
     fn overflow_victim(&self) -> Option<u64> {
+        if self.degrade_raw_first {
+            if let Some(e) = self
+                .entries
+                .iter()
+                .filter(|e| {
+                    !matches!(e.slot, QueueSlot::Realtime)
+                        && matches!(e.cmd, DisplayCommand::Raw { .. })
+                })
+                .min_by_key(|e| e.seq)
+            {
+                return Some(e.seq);
+            }
+        }
         self.entries
             .iter()
             .filter(|e| !matches!(e.slot, QueueSlot::Realtime))
@@ -911,6 +965,47 @@ mod tests {
         let debt = buf.take_overflow_debt();
         assert!(debt.intersects_rect(&Rect::new(0, 0, 100, 100)));
         assert!(debt.intersects_rect(&Rect::new(200, 200, 50, 50)));
+    }
+
+    #[test]
+    fn degradation_tightens_the_bound_immediately() {
+        let bound = 100_000u64;
+        let mut buf = ClientBuffer::new().with_byte_bound(bound);
+        for i in 0..3 {
+            buf.push(raw(0, i * 110, 100, 100), false); // ~30 KB each.
+        }
+        assert_eq!(buf.stats().overflow_evicted, 0);
+        // Halving the bound makes the standing backlog overweight:
+        // enforcement runs at once, not at the next push.
+        buf.set_degradation(2, false);
+        assert_eq!(buf.effective_byte_bound(), Some(bound / 2));
+        assert!(buf.pending_bytes() <= bound / 2);
+        assert!(buf.stats().overflow_evicted > 0);
+        assert!(buf.has_overflow_debt());
+        // Releasing the pressure restores the configured cap.
+        buf.set_degradation(1, false);
+        assert_eq!(buf.effective_byte_bound(), Some(bound));
+    }
+
+    #[test]
+    fn raw_first_eviction_spares_compact_commands() {
+        let mut buf = ClientBuffer::new().with_byte_bound(40_000);
+        buf.set_degradation(1, true);
+        // An old compact SFILL, then enough RAW to overflow. Under
+        // raw-first the SFILL survives even though it is oldest.
+        buf.push(sfill(0, 500, 10, 10, 3), false);
+        for i in 0..3 {
+            buf.push(raw(0, i * 110, 100, 100), false);
+        }
+        assert!(buf.stats().overflow_evicted > 0);
+        let msgs = drain_all(&mut buf);
+        assert!(
+            msgs.iter().any(|m| matches!(
+                m,
+                Message::Display(DisplayCommand::Sfill { rect, .. }) if rect.y == 500
+            )),
+            "compact command should outlive raw-first eviction"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod audio;
 pub mod buffer;
+pub mod degradation;
 pub mod liveness;
 pub mod parallel;
 pub mod queue;
@@ -50,6 +51,9 @@ pub mod translator;
 pub mod video;
 
 pub use buffer::ClientBuffer;
+pub use degradation::{
+    DegradationConfig, DegradationController, DegradationLevel, EpochSignals,
+};
 pub use liveness::{LivenessConfig, LivenessTracker, LivenessVerdict};
 pub use queue::{classify, CommandQueue, OverwriteClass};
 pub use scaling::ScalePolicy;

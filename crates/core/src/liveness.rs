@@ -52,7 +52,11 @@ pub enum LivenessVerdict {
 pub struct LivenessTracker {
     config: LivenessConfig,
     last_activity: SimTime,
-    last_ping: Option<SimTime>,
+    /// The most recent unanswered probe: `(seq, sent_at)`. Only a Pong
+    /// echoing exactly this `seq` counts as proof of life — a stale
+    /// Pong for an earlier probe (e.g. delayed in a recovering link's
+    /// queue) says nothing about the connection *now*.
+    outstanding_ping: Option<(u32, SimTime)>,
     next_ping_seq: u32,
     dead: bool,
 }
@@ -63,7 +67,7 @@ impl LivenessTracker {
         Self {
             config,
             last_activity: now,
-            last_ping: None,
+            outstanding_ping: None,
             next_ping_seq: 0,
             dead: false,
         }
@@ -74,13 +78,36 @@ impl LivenessTracker {
         self.config
     }
 
-    /// Records traffic from the client (input, pong, hello — anything
-    /// proves the connection lives).
+    /// Records genuine traffic from the client (input, hello, refresh
+    /// request — anything the client originated just now proves the
+    /// connection lives). Pongs go through
+    /// [`note_pong`](Self::note_pong) instead, because a pong only
+    /// proves liveness when it answers the latest probe.
     pub fn note_activity(&mut self, now: SimTime) {
         if now > self.last_activity {
             self.last_activity = now;
         }
-        self.last_ping = None;
+        self.outstanding_ping = None;
+    }
+
+    /// Records a Pong echoing probe `seq`. Credits activity only when
+    /// `seq` matches the latest outstanding probe (exact equality is
+    /// wraparound-safe: sequence numbers are generated with
+    /// `wrapping_add`, and only the single latest probe is ever
+    /// matchable). Returns whether the pong was fresh.
+    pub fn note_pong(&mut self, seq: u32, now: SimTime) -> bool {
+        match self.outstanding_ping {
+            Some((expect, _)) if expect == seq => {
+                self.note_activity(now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The sequence number of the latest unanswered probe, if any.
+    pub fn outstanding_ping_seq(&self) -> Option<u32> {
+        self.outstanding_ping.map(|(seq, _)| seq)
     }
 
     /// Whether the client has been declared dead.
@@ -92,7 +119,7 @@ impl LivenessTracker {
     /// as of `now`.
     pub fn reset(&mut self, now: SimTime) {
         self.last_activity = now;
-        self.last_ping = None;
+        self.outstanding_ping = None;
         self.dead = false;
     }
 
@@ -114,14 +141,14 @@ impl LivenessTracker {
             return LivenessVerdict::Dead;
         }
         if silence >= self.config.ping_interval {
-            let due = match self.last_ping {
+            let due = match self.outstanding_ping {
                 None => true,
-                Some(at) => now - at >= self.config.ping_interval,
+                Some((_, at)) => now - at >= self.config.ping_interval,
             };
             if due {
-                self.last_ping = Some(now);
                 let seq = self.next_ping_seq;
                 self.next_ping_seq = self.next_ping_seq.wrapping_add(1);
+                self.outstanding_ping = Some((seq, now));
                 return LivenessVerdict::SendPing { seq };
             }
         }
@@ -172,10 +199,74 @@ mod tests {
     fn pong_activity_rescues_the_client() {
         let mut t = LivenessTracker::new(cfg(), SimTime::ZERO);
         assert_eq!(t.poll(secs(2.5)), LivenessVerdict::SendPing { seq: 0 });
-        t.note_activity(secs(3.0)); // Pong arrives.
+        assert!(t.note_pong(0, secs(3.0))); // Matching pong arrives.
         assert_eq!(t.poll(secs(4.0)), LivenessVerdict::Alive);
         // The clock restarts from the pong: death comes 10 s later.
         assert_eq!(t.poll(secs(13.0)), LivenessVerdict::Dead);
+    }
+
+    #[test]
+    fn stale_pong_does_not_count_as_fresh_traffic() {
+        let mut t = LivenessTracker::new(cfg(), SimTime::ZERO);
+        assert_eq!(t.poll(secs(2.5)), LivenessVerdict::SendPing { seq: 0 });
+        assert_eq!(t.poll(secs(5.0)), LivenessVerdict::SendPing { seq: 1 });
+        // A delayed pong for probe 0 arrives after probe 1 went out: it
+        // proves nothing about the connection now and must not rescue.
+        assert!(!t.note_pong(0, secs(6.0)));
+        assert_eq!(t.outstanding_ping_seq(), Some(1));
+        assert_eq!(t.poll(secs(10.0)), LivenessVerdict::Dead);
+    }
+
+    #[test]
+    fn unsolicited_pong_is_ignored() {
+        let mut t = LivenessTracker::new(cfg(), SimTime::ZERO);
+        assert!(!t.note_pong(7, secs(1.0)));
+        assert_eq!(t.last_activity(), SimTime::ZERO);
+    }
+
+    proptest::proptest! {
+        /// Over any probe history — including sequence wraparound from
+        /// near `u32::MAX` — a pong matching the latest outstanding
+        /// probe always rescues, and a pong for any older probe never
+        /// does.
+        #[test]
+        fn seq_matching_survives_wraparound(
+            start_seq in proptest::prelude::any::<u32>(),
+            probes in 1u32..12,
+            stale_back in 1u32..8,
+        ) {
+            // Huge timeout: the run issues `probes` probes back to
+            // back without ever dying; every poll past the first
+            // interval is exactly one SendPing.
+            let cfg = LivenessConfig {
+                timeout: SimDuration::from_secs_f64(1_000.0),
+                ping_interval: SimDuration::from_secs_f64(2.0),
+            };
+            let mut t = LivenessTracker::new(cfg, SimTime::ZERO);
+            t.next_ping_seq = start_seq;
+            let mut latest = None;
+            for i in 0..probes {
+                let at = secs(2.5 + 2.0 * i as f64);
+                match t.poll(at) {
+                    LivenessVerdict::SendPing { seq } => latest = Some((seq, at)),
+                    other => panic!("expected probe, got {other:?}"),
+                }
+            }
+            let (seq, at) = latest.unwrap();
+            proptest::prop_assert_eq!(seq, start_seq.wrapping_add(probes - 1));
+            let pong_at = at + SimDuration::from_secs_f64(0.5);
+            // Stale pong (an earlier seq, wraparound-aware) never counts
+            // and leaves the probe outstanding.
+            let stale = seq.wrapping_sub(stale_back);
+            let mut stale_t = t.clone();
+            proptest::prop_assert!(!stale_t.note_pong(stale, pong_at));
+            proptest::prop_assert_eq!(stale_t.outstanding_ping_seq(), Some(seq));
+            // Matching pong always counts.
+            let mut fresh = t.clone();
+            proptest::prop_assert!(fresh.note_pong(seq, pong_at));
+            proptest::prop_assert_eq!(fresh.last_activity(), pong_at);
+            proptest::prop_assert_eq!(fresh.outstanding_ping_seq(), None);
+        }
     }
 
     #[test]

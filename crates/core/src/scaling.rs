@@ -94,6 +94,36 @@ impl ScalePolicy {
             .scaled(self.viewport_w, self.view.w, self.viewport_h, self.view.h)
     }
 
+    /// Maps a viewport rectangle back to session coordinates — the
+    /// covering inverse of [`map_rect`](Self::map_rect): the result
+    /// contains every session pixel whose mapped image intersects
+    /// `r`. Overflow debt is recorded in viewport space (the buffer
+    /// holds already-scaled commands), but the authoritative screen is
+    /// session-sized; repaying debt reads the screen through this
+    /// inverse before scaling down again.
+    pub fn unmap_rect(&self, r: &Rect) -> Rect {
+        if self.is_identity() {
+            return *r;
+        }
+        let vp = r.intersection(&Rect::new(0, 0, self.viewport_w, self.viewport_h));
+        if vp.is_empty() {
+            return Rect::default();
+        }
+        let vw = self.viewport_w.max(1) as i64;
+        let vh = self.viewport_h.max(1) as i64;
+        let x0 = self.view.x as i64 + (vp.x as i64 * self.view.w as i64) / vw;
+        let y0 = self.view.y as i64 + (vp.y as i64 * self.view.h as i64) / vh;
+        let x1 = self.view.x as i64 + (vp.right() as i64 * self.view.w as i64 + vw - 1) / vw;
+        let y1 = self.view.y as i64 + (vp.bottom() as i64 * self.view.h as i64 + vh - 1) / vh;
+        let out = Rect::new(
+            x0 as i32,
+            y0 as i32,
+            (x1 - x0).max(0) as u32,
+            (y1 - y0).max(0) as u32,
+        );
+        out.intersection(&self.view)
+    }
+
     /// Transforms one command for the viewport. `screen` is the
     /// server's rendered framebuffer (session coordinates), used for
     /// the `BITMAP`→`RAW` conversion.
@@ -407,6 +437,48 @@ mod tests {
         // Degenerate views fall back to the whole session.
         let q = policy().with_view(Rect::new(5000, 5000, 10, 10));
         assert_eq!(q.view, Rect::new(0, 0, 1024, 768));
+    }
+
+    #[test]
+    fn unmap_covers_the_mapped_image() {
+        // For any session rect, unmap(map(r)) must contain r ∩ view —
+        // the covering-inverse property the debt-repay path relies on.
+        let policies = [
+            policy(),
+            policy().with_view(Rect::new(512, 384, 256, 192)),
+            ScalePolicy::new(64, 64, 17, 13),
+            ScalePolicy::new(100, 100, 100, 100),
+        ];
+        let rects = [
+            Rect::new(0, 0, 1024, 768),
+            Rect::new(3, 5, 100, 40),
+            Rect::new(513, 390, 50, 60),
+            Rect::new(0, 0, 1, 1),
+            Rect::new(40, 40, 7, 9),
+        ];
+        for p in &policies {
+            for r in &rects {
+                let mapped = p.map_rect(r);
+                if mapped.is_empty() {
+                    continue;
+                }
+                let back = p.unmap_rect(&mapped);
+                let expect = r.intersection(&p.view);
+                assert!(
+                    back.intersection(&expect) == expect,
+                    "{p:?} {r:?} -> {mapped:?} -> {back:?} misses {expect:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmap_clamps_to_view_and_viewport() {
+        let p = policy().with_view(Rect::new(512, 384, 256, 192));
+        // The whole viewport unmaps to exactly the view.
+        assert_eq!(p.unmap_rect(&Rect::new(0, 0, 320, 240)), p.view);
+        // Outside the viewport unmaps to nothing.
+        assert!(p.unmap_rect(&Rect::new(400, 300, 10, 10)).is_empty());
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub struct ServerConfig {
     /// Liveness policy: probe silent clients and declare them dead
     /// after the timeout. `None` disables liveness tracking.
     pub liveness: Option<crate::liveness::LivenessConfig>,
+    /// Adaptive degradation policy: observe fault telemetry each
+    /// flush epoch and walk the fidelity ladder (scale, A/V cap,
+    /// buffer bound, eviction preference). `None` keeps full
+    /// fidelity unconditionally (the seed behaviour).
+    pub degradation: Option<crate::degradation::DegradationConfig>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +84,7 @@ impl Default for ServerConfig {
             buffer_bound_bytes: None,
             av_bound: None,
             liveness: None,
+            degradation: None,
         }
     }
 }
@@ -124,6 +130,23 @@ pub struct ThincServer {
     /// Resilience accounting: liveness events, resyncs, stale A/V
     /// drops. Buffer overflow evictions merge in at read time.
     resilience: thinc_telemetry::ResilienceMetrics,
+    /// Adaptive degradation controller (when configured).
+    degradation: Option<crate::degradation::DegradationController>,
+    /// Session-space screen area owed a fresh-screen refresh because
+    /// overflow evictions dropped commands covering it. The buffer
+    /// records debt in the coordinate space of the commands it holds
+    /// (viewport space while scaling is active); the server unmaps it
+    /// into session space the moment it is taken, so the ledger stays
+    /// valid across scale changes.
+    refresh_debt: thinc_raster::Region,
+    /// A full-view refresh is owed (promotion back to full fidelity
+    /// left the client with low-resolution content). Repaid by the
+    /// next [`enqueue`](Self::enqueue), which has the screen in hand.
+    refresh_owed: bool,
+    /// A client [`Message::RefreshRequest`] arrived and awaits a
+    /// [`resync`](Self::resync) from the harness (which owns the
+    /// screen).
+    resync_requested: bool,
 }
 
 impl ThincServer {
@@ -144,6 +167,9 @@ impl ThincServer {
         let liveness = config
             .liveness
             .map(|c| crate::liveness::LivenessTracker::new(c, SimTime::ZERO));
+        let degradation = config
+            .degradation
+            .map(crate::degradation::DegradationController::new);
         let cipher = config.rc4_key.as_deref().map(Rc4::new);
         let viewport = (config.width, config.height);
         let scale = ScalePolicy::new(config.width, config.height, viewport.0, viewport.1);
@@ -165,6 +191,10 @@ impl ThincServer {
             av_metrics: thinc_telemetry::ProtocolMetrics::new(),
             liveness,
             resilience: thinc_telemetry::ResilienceMetrics::new(),
+            degradation,
+            refresh_debt: thinc_raster::Region::new(),
+            refresh_owed: false,
+            resync_requested: false,
         }
     }
 
@@ -228,21 +258,67 @@ impl ThincServer {
         self.config.server_side_scaling && !self.scale.is_identity()
     }
 
+    /// The viewport actually targeted by server-side scaling: the
+    /// client's reported viewport, shrunk further by the degradation
+    /// ladder's scale divisor.
+    fn effective_viewport(&self) -> (u32, u32) {
+        let div = self
+            .degradation
+            .as_ref()
+            .map(|c| c.level().scale_divisor())
+            .unwrap_or(1)
+            .max(1);
+        ((self.viewport.0 / div).max(1), (self.viewport.1 / div).max(1))
+    }
+
     fn set_viewport(&mut self, w: u32, h: u32) {
         self.viewport = (w.min(self.config.width).max(1), h.min(self.config.height).max(1));
-        self.scale = ScalePolicy::new(
-            self.config.width,
-            self.config.height,
-            self.viewport.0,
-            self.viewport.1,
-        );
+        let (ew, eh) = self.effective_viewport();
+        let new_scale = ScalePolicy::new(self.config.width, self.config.height, ew, eh);
+        if new_scale != self.scale {
+            self.retire_pending_for_scale_change();
+            self.scale = new_scale;
+        }
         if self.config.server_side_scaling {
-            self.video.set_scale(
-                self.viewport.0,
-                self.config.width,
-                self.viewport.1,
-                self.config.height,
-            );
+            self.video.set_scale(ew, self.config.width, eh, self.config.height);
+        }
+    }
+
+    /// Converts everything still buffered — overflow debt *and*
+    /// pending commands — into session-space refresh debt, using the
+    /// scale in force when it was recorded. Must run before the scale
+    /// policy changes: buffered commands target the outgoing
+    /// coordinate space (scaling may even have rewritten their
+    /// overwrite class, e.g. an opaque BITMAP resampled into RAW), so
+    /// flushing or unmapping them under the new scale would hit the
+    /// wrong regions.
+    fn retire_pending_for_scale_change(&mut self) {
+        self.absorb_buffer_debt();
+        let dropped = self.buffer.drop_pending_for_rescale();
+        for rect in dropped.rects() {
+            let session_rect = if self.scaling_active() {
+                self.scale.unmap_rect(rect)
+            } else {
+                *rect
+            };
+            if !session_rect.is_empty() {
+                self.refresh_debt.union_rect(&session_rect);
+            }
+        }
+    }
+
+    /// Rebuilds the scale policy for the current effective viewport
+    /// while preserving the zoom view (unlike
+    /// [`set_viewport`](Self::set_viewport), which resets it). Used by
+    /// degradation transitions, which change the divisor but must not
+    /// discard a client's zoom.
+    fn rebuild_scale(&mut self) {
+        let view = self.scale.view;
+        let (ew, eh) = self.effective_viewport();
+        self.scale =
+            ScalePolicy::new(self.config.width, self.config.height, ew, eh).with_view(view);
+        if self.config.server_side_scaling {
+            self.video.set_scale(ew, self.config.width, eh, self.config.height);
         }
     }
 
@@ -272,10 +348,18 @@ impl ThincServer {
     /// Handles a message arriving from the client. Input events are
     /// returned as window-system events for forwarding.
     pub fn handle_message(&mut self, msg: &Message) -> Option<InputEvent> {
-        // Any client traffic proves the connection lives — display
-        // and input traffic doubles as the heartbeat.
+        // Client traffic doubles as the heartbeat — except a Pong,
+        // which only proves liveness when it answers the latest
+        // outstanding probe (a delayed pong surfacing from a
+        // recovering link's queue says nothing about the connection
+        // now).
         if let Some(t) = self.liveness.as_mut() {
-            t.note_activity(self.now);
+            match msg {
+                Message::Pong { seq, .. } => {
+                    t.note_pong(*seq, self.now);
+                }
+                _ => t.note_activity(self.now),
+            }
         }
         match msg {
             Message::ClientHello {
@@ -294,13 +378,20 @@ impl ThincServer {
                 // Zoom: remap the view; the caller should follow with
                 // [`Self::refresh_view`] so the client gets full-detail
                 // content for the newly magnified region.
-                self.scale = ScalePolicy::new(
-                    self.config.width,
-                    self.config.height,
-                    self.viewport.0,
-                    self.viewport.1,
-                )
-                .with_view(*view);
+                let (ew, eh) = self.effective_viewport();
+                let new_scale = ScalePolicy::new(self.config.width, self.config.height, ew, eh)
+                    .with_view(*view);
+                if new_scale != self.scale {
+                    self.retire_pending_for_scale_change();
+                    self.scale = new_scale;
+                }
+                None
+            }
+            Message::RefreshRequest { .. } => {
+                // The client's reconnect policy is asking for a full
+                // resync; latch it for the harness (which owns the
+                // screen) to serve via [`Self::resync`].
+                self.resync_requested = true;
                 None
             }
             Message::Input(input) => {
@@ -337,6 +428,14 @@ impl ThincServer {
 
     /// Pushes translated commands through scaling into the buffer.
     fn enqueue(&mut self, cmds: Vec<DisplayCommand>, screen: &Framebuffer) {
+        if self.refresh_owed {
+            // Promotion back to full fidelity left the client with
+            // low-resolution content; the first draw with the screen
+            // in hand repays the whole view. Clear the flag before
+            // recursing through refresh_view's own enqueue.
+            self.refresh_owed = false;
+            self.refresh_view(screen);
+        }
         for cmd in cmds {
             let realtime = self.input.is_realtime(&cmd.dest_rect());
             if self.scaling_active() {
@@ -350,20 +449,51 @@ impl ThincServer {
         self.repay_overflow_debt(screen);
     }
 
-    /// Converts any overflow-eviction debt into fresh-screen RAW
-    /// refreshes. Evicted commands lose intermediate states, but the
-    /// screen is authoritative: re-reading the debt region now yields
-    /// the final content, so the client converges exactly. The
-    /// refresh bypasses the byte bound (`push_unbounded`) so repaying
-    /// debt can never re-trigger eviction of itself — but a piece is
-    /// only pushed when it fits under the bound (or the buffer is
-    /// empty); the rest stays in the ledger until the link drains, so
-    /// the bound holds even while debt is being repaid.
-    pub fn repay_overflow_debt(&mut self, screen: &Framebuffer) {
+    /// Moves the buffer's freshly recorded overflow debt into the
+    /// server's session-space refresh ledger. The buffer records debt
+    /// in the coordinate space of the commands it holds — viewport
+    /// space while scaling is active — so the rects are unmapped with
+    /// the scale that produced them. Called immediately after any
+    /// operation that can evict and before any scale change, keeping
+    /// the ledger valid across viewport and degradation transitions.
+    fn absorb_buffer_debt(&mut self) {
         if !self.buffer.has_overflow_debt() {
             return;
         }
         let debt = self.buffer.take_overflow_debt();
+        for rect in debt.rects() {
+            let session_rect = if self.scaling_active() {
+                self.scale.unmap_rect(rect)
+            } else {
+                *rect
+            };
+            if !session_rect.is_empty() {
+                self.refresh_debt.union_rect(&session_rect);
+            }
+        }
+    }
+
+    /// Converts any overflow-eviction debt into fresh-screen RAW
+    /// refreshes. Evicted commands lose intermediate states, but the
+    /// screen is authoritative: re-reading the debt region now yields
+    /// the final content, so the client converges exactly. The ledger
+    /// is session-space (see [`absorb_buffer_debt`]
+    /// (Self::absorb_buffer_debt)): each piece is read from the
+    /// session-sized screen and then scaled *once* for the viewport —
+    /// reading viewport-space rects straight off the screen and
+    /// scaling them again (the old behaviour) repainted the wrong
+    /// region with doubly-shrunk content whenever scaling was active.
+    /// The refresh bypasses the byte bound (`push_unbounded`) so
+    /// repaying debt can never re-trigger eviction of itself — but a
+    /// piece is only pushed when it fits under the bound (or the
+    /// buffer is empty); the rest stays in the ledger until the link
+    /// drains, so the bound holds even while debt is being repaid.
+    pub fn repay_overflow_debt(&mut self, screen: &Framebuffer) {
+        self.absorb_buffer_debt();
+        if self.refresh_debt.is_empty() {
+            return;
+        }
+        let debt = std::mem::take(&mut self.refresh_debt);
         for rect in debt.rects() {
             let (clip, data) = screen.get_raw(rect);
             if clip.is_empty() {
@@ -383,14 +513,14 @@ impl ThincServer {
                 cmd
             };
             let pending = self.buffer.pending_bytes();
-            let fits = match self.buffer.byte_bound() {
+            let fits = match self.buffer.effective_byte_bound() {
                 Some(bound) => pending == 0 || pending + cmd.wire_size() <= bound,
                 None => true,
             };
             if fits {
                 self.buffer.push_unbounded(cmd, false);
             } else {
-                self.buffer.defer_overflow_debt(*rect);
+                self.refresh_debt.union_rect(rect);
             }
         }
     }
@@ -430,6 +560,9 @@ impl ThincServer {
         self.av_fifo.extend(reinit);
         // The full-view refresh below covers every debt region.
         let _ = self.buffer.take_overflow_debt();
+        self.refresh_debt = thinc_raster::Region::new();
+        self.refresh_owed = false;
+        self.resync_requested = false;
         self.refresh_view(screen);
     }
 
@@ -519,6 +652,15 @@ impl ThincServer {
         let Some(bound) = self.config.av_bound else {
             return;
         };
+        // The degradation ladder tightens the cap: a struggling link
+        // gets a shallower A/V FIFO so it carries fresher frames.
+        let div = self
+            .degradation
+            .as_ref()
+            .map(|c| c.level().av_divisor())
+            .unwrap_or(1)
+            .max(1);
+        let bound = (bound / div).max(1);
         while self.av_fifo.len() > bound {
             if let Some(idx) = self
                 .av_fifo
@@ -562,7 +704,65 @@ impl ThincServer {
     /// owed a refresh (repaid on the next draw with headroom, or by
     /// [`resync`](Self::resync)).
     pub fn overflow_debt_outstanding(&self) -> bool {
-        self.buffer.has_overflow_debt()
+        self.buffer.has_overflow_debt() || !self.refresh_debt.is_empty()
+    }
+
+    /// The fidelity level the degradation ladder is currently at
+    /// (`Full` when adaptation is not configured).
+    pub fn degradation_level(&self) -> crate::degradation::DegradationLevel {
+        self.degradation
+            .as_ref()
+            .map(|c| c.level())
+            .unwrap_or(crate::degradation::DegradationLevel::Full)
+    }
+
+    /// Consumes a latched client refresh request (see
+    /// [`Message::RefreshRequest`]). The harness that owns the screen
+    /// should answer `true` with a [`resync`](Self::resync).
+    pub fn take_resync_request(&mut self) -> bool {
+        std::mem::take(&mut self.resync_requested)
+    }
+
+    /// Feeds one flush epoch of fault evidence to the degradation
+    /// controller and applies any level change it decides on.
+    fn observe_degradation(&mut self, now: SimTime, pipe: &TcpPipe) {
+        let transition = {
+            let Some(ctrl) = self.degradation.as_mut() else {
+                return;
+            };
+            let fs = pipe.fault_stats();
+            let signals = crate::degradation::EpochSignals {
+                pending_bytes: self.buffer.pending_bytes(),
+                byte_bound: self.buffer.byte_bound(),
+                overflow_evictions: self.buffer.stats().overflow_evicted,
+                outage_defers: fs.outage_defers,
+                collapsed_rounds: fs.collapsed_rounds,
+                stale_av_drops: self.resilience.stale_video_dropped(),
+                link_impaired: pipe.fault_window_active(now),
+            };
+            ctrl.observe(&signals)
+        };
+        if let Some(t) = transition {
+            self.apply_degradation_transition(t);
+        }
+    }
+
+    /// Applies a degradation level change: records it in telemetry,
+    /// re-aims the scale and the buffer/A-V knobs, and — on the final
+    /// promotion back to `Full` — schedules the full-view refresh that
+    /// restores byte-exact fidelity.
+    fn apply_degradation_transition(&mut self, t: crate::degradation::DegradationTransition) {
+        self.resilience
+            .record_degradation_step(t.to.index() as u64, t.is_demotion());
+        // Everything buffered under the outgoing scale becomes
+        // refresh debt before the knobs move the scale.
+        self.retire_pending_for_scale_change();
+        self.buffer
+            .set_degradation(t.to.bound_divisor(), t.to.raw_first_eviction());
+        self.rebuild_scale();
+        if !t.is_demotion() && t.to == crate::degradation::DegradationLevel::Full {
+            self.refresh_owed = true;
+        }
     }
 
     /// Flushes queued updates without blocking: A/V first (paced data
@@ -575,6 +775,7 @@ impl ThincServer {
         trace: &mut PacketTrace,
     ) -> Vec<(SimTime, Message)> {
         self.now = now;
+        self.observe_degradation(now, pipe);
         self.enforce_av_bound();
         let mut out = Vec::new();
         while let Some(msg) = self.av_fifo.front() {
@@ -1044,6 +1245,177 @@ mod tests {
         ws.driver_mut().resync(&screen);
         let msgs = flush_all(&mut ws);
         assert!(msgs.iter().any(|m| matches!(m, Message::VideoInit { .. })));
+    }
+
+    #[test]
+    fn refresh_request_latches_until_taken() {
+        let mut s = ThincServer::new(ServerConfig::default());
+        assert!(!s.take_resync_request());
+        s.handle_message(&Message::RefreshRequest { attempt: 1 });
+        assert!(s.take_resync_request());
+        assert!(!s.take_resync_request(), "latch is consumed");
+    }
+
+    #[test]
+    fn stale_pong_does_not_rescue_the_client() {
+        use crate::liveness::{LivenessConfig, LivenessVerdict};
+        use thinc_net::time::SimDuration;
+        let cfg = ServerConfig {
+            liveness: Some(LivenessConfig {
+                timeout: SimDuration::from_secs_f64(10.0),
+                ping_interval: SimDuration::from_secs_f64(2.0),
+            }),
+            ..ServerConfig::default()
+        };
+        let mut s = ThincServer::new(cfg);
+        let secs = |t: f64| SimTime((t * 1e6) as u64);
+        // Probe goes out with seq 0.
+        assert!(matches!(
+            s.poll_liveness(secs(3.0)),
+            LivenessVerdict::SendPing { seq: 0 }
+        ));
+        // A pong answering some other (long-gone) probe surfaces from
+        // the recovering link's queue: it must not count as fresh
+        // traffic.
+        s.set_time(secs(4.0));
+        s.handle_message(&Message::Pong {
+            seq: 7,
+            timestamp_us: 0,
+        });
+        assert!(matches!(s.poll_liveness(secs(10.5)), LivenessVerdict::Dead));
+        assert!(s.client_dead());
+    }
+
+    #[test]
+    fn degradation_ladder_descends_under_faults_and_recovers() {
+        use crate::degradation::{DegradationConfig, DegradationLevel};
+        use thinc_net::fault::FaultPlan;
+        use thinc_net::time::SimDuration;
+        let thinc = ThincServer::new(ServerConfig {
+            width: 64,
+            height: 64,
+            compress_raw: false,
+            buffer_bound_bytes: Some(32 * 1024),
+            av_bound: Some(8),
+            degradation: Some(DegradationConfig {
+                degrade_after: 1,
+                promote_after: 1,
+                ..DegradationConfig::default()
+            }),
+            ..ServerConfig::default()
+        });
+        let mut ws = WindowServer::new(64, 64, PixelFormat::Rgb888, thinc);
+        // Link collapses for the first second.
+        let plan = FaultPlan::seeded(3)
+            .with_collapse(SimTime(0), SimDuration::from_secs(1), 0.05);
+        let mut link = NetworkConfig::lan_desktop().with_faults(plan).connect();
+        let mut trace = PacketTrace::new();
+        let secs = |t: f64| SimTime((t * 1e6) as u64);
+        // Each flush inside the window is a pressured epoch.
+        for i in 0..3 {
+            let _ = ws
+                .driver_mut()
+                .flush(secs(0.1 * (i + 1) as f64), &mut link.down, &mut trace);
+        }
+        assert_eq!(ws.driver().degradation_level(), DegradationLevel::Survival);
+        assert!(ws.driver().scaling_active(), "survival shrinks the scale");
+        let m = ws.driver().resilience_metrics();
+        assert_eq!(m.degrade_steps(), 3);
+        assert_eq!(m.max_degradation_level(), 3);
+        assert_eq!(m.degradation_level(), 3);
+        // The window clears: each clear epoch climbs one rung.
+        for i in 0..3 {
+            let _ = ws
+                .driver_mut()
+                .flush(secs(1.5 + 0.1 * i as f64), &mut link.down, &mut trace);
+        }
+        assert_eq!(ws.driver().degradation_level(), DegradationLevel::Full);
+        assert!(!ws.driver().scaling_active());
+        let m = ws.driver().resilience_metrics();
+        assert_eq!(m.promote_steps(), 3);
+        assert_eq!(m.degradation_level(), 0);
+        // The promotion back to Full owes a refresh: the next draw
+        // repays the low-fidelity period and the client converges
+        // byte-exact.
+        ws.process(DrawRequest::FillRect {
+            target: SCREEN,
+            rect: Rect::new(10, 10, 8, 8),
+            color: Color::rgb(9, 8, 7),
+        });
+        let msgs = flush_all(&mut ws);
+        let mut client = thinc_client::ThincClient::new(64, 64, PixelFormat::Rgb888);
+        client.apply_all(&msgs);
+        assert_eq!(client.framebuffer().data(), ws.screen().data());
+    }
+
+    #[test]
+    fn overflow_repay_respects_active_scaling() {
+        // Regression: repaying debt while server-side scaling is
+        // active used to read the *viewport-space* debt rects straight
+        // off the session-sized screen and then scale the result
+        // again — repainting the wrong region with doubly-shrunk
+        // content. The ledger is session-space now and each piece is
+        // scaled exactly once, so a scaled client converges to the
+        // same image as a one-shot scaled snapshot of the screen.
+        let thinc = ThincServer::new(ServerConfig {
+            width: 64,
+            height: 64,
+            compress_raw: false,
+            buffer_bound_bytes: Some(1024),
+            ..ServerConfig::default()
+        });
+        let mut ws = WindowServer::new(64, 64, PixelFormat::Rgb888, thinc);
+        ws.driver_mut().handle_message(&Message::ClientHello {
+            version: 1,
+            viewport_width: 32,
+            viewport_height: 32,
+        });
+        assert!(ws.driver().scaling_active());
+        for i in 0..6 {
+            ws.process(DrawRequest::PutImage {
+                target: SCREEN,
+                rect: Rect::new(i * 4, i * 4, 32, 32),
+                data: vec![(i * 40) as u8; 32 * 32 * 3],
+            });
+        }
+        assert!(ws.driver().stats().buffer.overflow_evicted > 0);
+        let mut msgs = flush_all(&mut ws);
+        for _ in 0..10 {
+            if !ws.driver().overflow_debt_outstanding() {
+                break;
+            }
+            let screen = ws.screen().clone();
+            ws.driver_mut().repay_overflow_debt(&screen);
+            msgs.extend(flush_all(&mut ws));
+        }
+        assert!(!ws.driver().overflow_debt_outstanding());
+        // Every repaid RAW must target the viewport, not a
+        // doubly-shrunk corner of it.
+        let vp = Rect::new(0, 0, 32, 32);
+        for m in &msgs {
+            if let Message::Display(cmd) = m {
+                let r = cmd.dest_rect();
+                assert!(
+                    vp.contains(&r),
+                    "command outside the viewport: {r:?}"
+                );
+            }
+        }
+        let mut client = thinc_client::ThincClient::new(32, 32, PixelFormat::Rgb888);
+        client.apply_all(&msgs);
+        // Expected: the final screen, scaled once.
+        let (clip, data) = ws.screen().get_raw(&Rect::new(0, 0, 64, 64));
+        let full = DisplayCommand::Raw {
+            rect: clip,
+            encoding: thinc_protocol::commands::RawEncoding::None,
+            data,
+        };
+        let scaled = ScalePolicy::new(64, 64, 32, 32)
+            .transform(&full, ws.screen())
+            .expect("full-screen raw survives scaling");
+        let mut expect = thinc_client::ThincClient::new(32, 32, PixelFormat::Rgb888);
+        expect.apply(&Message::Display(scaled));
+        assert_eq!(client.framebuffer().data(), expect.framebuffer().data());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use thinc_protocol::message::Message;
 use thinc_raster::{Color, Framebuffer, PixelFormat, Rect, YuvFrame};
 
 use crate::buffer::ClientBuffer;
+use crate::degradation::{DegradationConfig, DegradationController, DegradationLevel, EpochSignals};
 use crate::liveness::{LivenessConfig, LivenessTracker, LivenessVerdict};
 use crate::scaling::ScalePolicy;
 use crate::translator::Translator;
@@ -123,6 +124,112 @@ struct ClientState {
     pending_av: Vec<Message>,
     /// Liveness tracking for this client (when the session enables it).
     liveness: Option<LivenessTracker>,
+    /// Session geometry (needed to rebuild the scale policy when the
+    /// degradation ladder moves).
+    session: (u32, u32),
+    /// The viewport this client announced at attach.
+    viewport: (u32, u32),
+    /// Per-client adaptive degradation (when the session enables it).
+    /// Per-client — not shared — so parallel flush fan-out stays
+    /// deterministic: each worker only touches its own controller.
+    degradation: Option<DegradationController>,
+    /// This client owes a full-view refresh (fresh attach, explicit
+    /// resync, or a degradation transition re-aimed its scale).
+    /// Repaid by the next broadcast, which has the screen in hand.
+    refresh_owed: bool,
+    /// Per-client resilience accounting (pings, timeouts, resyncs,
+    /// degradation steps) — per-client attribution for shared
+    /// sessions, merged with buffer evictions at read time.
+    resilience: thinc_telemetry::ResilienceMetrics,
+}
+
+impl ClientState {
+    /// The viewport actually targeted: the announced viewport shrunk
+    /// by the degradation ladder's scale divisor.
+    fn effective_viewport(&self) -> (u32, u32) {
+        let div = self
+            .degradation
+            .as_ref()
+            .map(|c| c.level().scale_divisor())
+            .unwrap_or(1)
+            .max(1);
+        ((self.viewport.0 / div).max(1), (self.viewport.1 / div).max(1))
+    }
+
+    /// Rebuilds scale and video resampling for the current effective
+    /// viewport, preserving the zoom view. Pending commands target the
+    /// outgoing coordinate space, so they are dropped and replaced by
+    /// a full-view refresh on the next broadcast.
+    fn rescale_for_degradation(&mut self) {
+        let _ = self.buffer.drop_pending_for_rescale();
+        let view = self.scale.view;
+        let (ew, eh) = self.effective_viewport();
+        self.scale =
+            ScalePolicy::new(self.session.0, self.session.1, ew, eh).with_view(view);
+        self.video.set_scale(ew, self.session.0, eh, self.session.1);
+        self.refresh_owed = true;
+    }
+
+    /// Queues the owed full-view refresh, if any. Scaling runs on the
+    /// current (post-transition) policy, so the client converges to
+    /// the effective viewport's rendition of the screen.
+    fn repay_refresh(&mut self, screen: &Framebuffer) {
+        if !self.refresh_owed {
+            return;
+        }
+        self.refresh_owed = false;
+        let view = self.scale.view;
+        let (clip, data) = screen.get_raw(&view);
+        if clip.is_empty() {
+            return;
+        }
+        let cmd = DisplayCommand::Raw {
+            rect: clip,
+            encoding: thinc_protocol::commands::RawEncoding::None,
+            data,
+        };
+        if self.scale.is_identity() {
+            self.buffer.push(cmd, false);
+        } else if let Some(scaled) = self.scale.transform(&cmd, screen) {
+            self.buffer.push(scaled, false);
+        }
+    }
+
+    /// Requeues screen content for regions the buffer evicted under
+    /// its byte bound. Debt is recorded in the buffer's (viewport)
+    /// coordinate space, so each rect is unmapped to session space
+    /// before reading the screen and re-scaled exactly once on the
+    /// way back in.
+    fn repay_debt(&mut self, screen: &Framebuffer) {
+        if !self.buffer.has_overflow_debt() {
+            return;
+        }
+        let debt = self.buffer.take_overflow_debt();
+        for rect in debt.rects() {
+            let session_rect = if self.scale.is_identity() {
+                *rect
+            } else {
+                self.scale.unmap_rect(rect)
+            };
+            if session_rect.is_empty() {
+                continue;
+            }
+            let (clip, data) = screen.get_raw(&session_rect);
+            if clip.is_empty() {
+                continue;
+            }
+            let cmd = DisplayCommand::Raw {
+                rect: clip,
+                encoding: thinc_protocol::commands::RawEncoding::None,
+                data,
+            };
+            if self.scale.is_identity() {
+                self.buffer.push_unbounded(cmd, false);
+            } else if let Some(scaled) = self.scale.transform(&cmd, screen) {
+                self.buffer.push_unbounded(scaled, false);
+            }
+        }
+    }
 }
 
 /// One display session shared by any number of authenticated clients.
@@ -145,6 +252,10 @@ pub struct SharedSession {
     now: SimTime,
     /// Liveness policy applied to every attached client.
     liveness: Option<LivenessConfig>,
+    /// Degradation policy applied to every attached client.
+    degradation: Option<DegradationConfig>,
+    /// Byte bound applied to every client buffer attached from now on.
+    buffer_bound: Option<u64>,
     /// Scoped-thread workers for per-client fan-out (1 = inline).
     workers: usize,
 }
@@ -162,6 +273,8 @@ impl SharedSession {
             next_client: 0,
             now: SimTime::ZERO,
             liveness: None,
+            degradation: None,
+            buffer_bound: None,
             workers: 1,
         }
     }
@@ -170,6 +283,24 @@ impl SharedSession {
     /// is probed when silent and declared dead past the timeout.
     pub fn with_liveness(mut self, config: LivenessConfig) -> Self {
         self.liveness = Some(config);
+        self
+    }
+
+    /// Enables per-client adaptive degradation: every attached client
+    /// gets its own hysteretic ladder controller, fed that client's
+    /// link telemetry at flush time. Per-client controllers keep the
+    /// parallel flush fan-out deterministic — a struggling PDA peer
+    /// degrades without touching the desktop owner's fidelity.
+    pub fn with_degradation(mut self, config: DegradationConfig) -> Self {
+        self.degradation = Some(config);
+        self
+    }
+
+    /// Bounds every per-client display buffer attached from now on
+    /// (overflow evicts oldest non-realtime; the footprint is owed as
+    /// a refresh).
+    pub fn with_buffer_bound(mut self, bytes: u64) -> Self {
+        self.buffer_bound = Some(bytes);
         self
     }
 
@@ -222,26 +353,48 @@ impl SharedSession {
         let vh = viewport_h.clamp(1, self.height);
         let mut video = VideoStreamManager::new();
         video.set_scale(vw, self.width, vh, self.height);
+        let mut buffer = ClientBuffer::new().with_raw_compression(self.format.bytes_per_pixel());
+        if let Some(bound) = self.buffer_bound {
+            buffer = buffer.with_byte_bound(bound);
+        }
         self.clients.push((
             id,
             ClientState {
                 user,
-                buffer: ClientBuffer::new().with_raw_compression(self.format.bytes_per_pixel()),
+                buffer,
                 scale: ScalePolicy::new(self.width, self.height, vw, vh),
                 video,
                 pending_av: Vec::new(),
                 liveness: self.liveness.map(|c| LivenessTracker::new(c, self.now)),
+                session: (self.width, self.height),
+                viewport: (vw, vh),
+                degradation: self.degradation.map(DegradationController::new),
+                // A fresh attach owes the full view: the client's
+                // framebuffer starts empty.
+                refresh_owed: true,
+                resilience: thinc_telemetry::ResilienceMetrics::new(),
             },
         ));
         Ok(id)
     }
 
-    /// Records traffic from a client (input, pong — anything proves
-    /// the connection lives).
+    /// Records traffic from a client (input — anything but a pong
+    /// proves the connection lives; pongs go through
+    /// [`note_client_pong`](Self::note_client_pong) so stale ones
+    /// can be rejected).
     pub fn note_client_activity(&mut self, id: ClientId, now: SimTime) {
         if let Some(t) = self.state_mut(id).and_then(|c| c.liveness.as_mut()) {
             t.note_activity(now);
         }
+    }
+
+    /// Records a pong from a client. Only a pong answering the
+    /// latest outstanding probe counts as fresh traffic (returns
+    /// `true`); a stale or unsolicited one is ignored.
+    pub fn note_client_pong(&mut self, id: ClientId, seq: u32, now: SimTime) -> bool {
+        self.state_mut(id)
+            .and_then(|c| c.liveness.as_mut())
+            .is_some_and(|t| t.note_pong(seq, now))
     }
 
     /// Evaluates a client's liveness at `now`: a silent client gets a
@@ -256,12 +409,20 @@ impl SharedSession {
         let Some(t) = state.liveness.as_mut() else {
             return LivenessVerdict::Alive;
         };
+        let was_dead = t.is_dead();
         let verdict = t.poll(now);
-        if let LivenessVerdict::SendPing { seq } = verdict {
-            state.pending_av.push(Message::Ping {
-                seq,
-                timestamp_us: now.as_micros(),
-            });
+        match verdict {
+            LivenessVerdict::SendPing { seq } => {
+                state.pending_av.push(Message::Ping {
+                    seq,
+                    timestamp_us: now.as_micros(),
+                });
+                state.resilience.record_ping_sent();
+            }
+            LivenessVerdict::Dead if !was_dead => {
+                state.resilience.record_liveness_timeout();
+            }
+            _ => {}
         }
         verdict
     }
@@ -316,6 +477,8 @@ impl SharedSession {
     fn broadcast(&mut self, cmds: Vec<DisplayCommand>, screen: &Framebuffer) {
         let cmds = &cmds;
         crate::parallel::for_each_mut(&mut self.clients, self.workers, |_, (_, state)| {
+            state.repay_refresh(screen);
+            state.repay_debt(screen);
             for cmd in cmds {
                 if state.scale.is_identity() {
                     state.buffer.push(cmd.clone(), false);
@@ -324,6 +487,52 @@ impl SharedSession {
                 }
             }
         });
+    }
+
+    /// Settles every client's owed refreshes and eviction debt
+    /// against the current screen without requiring a draw. Call this
+    /// before flushing when the display is quiescent — a freshly
+    /// attached or resynced client is owed the full view even if
+    /// nothing paints.
+    pub fn repay_refreshes(&mut self, screen: &Framebuffer) {
+        crate::parallel::for_each_mut(&mut self.clients, self.workers, |_, (_, state)| {
+            state.repay_refresh(screen);
+            state.repay_debt(screen);
+        });
+    }
+
+    /// Handles a client's explicit resync request: drops that
+    /// client's (possibly stale) pending commands and owes it a
+    /// full-view refresh, settled immediately against `screen`.
+    pub fn resync_client(&mut self, id: ClientId, screen: &Framebuffer) {
+        let Some(state) = self.state_mut(id) else {
+            return;
+        };
+        let _ = state.buffer.drop_pending_for_rescale();
+        let _ = state.buffer.take_overflow_debt();
+        state.refresh_owed = true;
+        state.resilience.record_resync();
+        state.repay_refresh(screen);
+    }
+
+    /// The degradation ladder level a client currently runs at
+    /// ([`DegradationLevel::Full`] when degradation is disabled or
+    /// the client is unknown).
+    pub fn client_degradation_level(&self, id: ClientId) -> DegradationLevel {
+        self.state(id)
+            .and_then(|s| s.degradation.as_ref().map(|c| c.level()))
+            .unwrap_or(DegradationLevel::Full)
+    }
+
+    /// A snapshot of one client's resilience counters (per-client
+    /// attribution: pings, timeouts, resyncs, degradation steps),
+    /// with that client's buffer evictions folded in.
+    pub fn client_resilience(&self, id: ClientId) -> Option<thinc_telemetry::ResilienceMetrics> {
+        self.state(id).map(|s| {
+            let mut m = s.resilience.clone();
+            m.add_overflow_evictions(s.buffer.stats().overflow_evicted);
+            m
+        })
     }
 
     /// Flushes one client's buffer over its own connection.
@@ -386,6 +595,7 @@ fn flush_client_state(
     pipe: &mut TcpPipe,
     trace: &mut PacketTrace,
 ) -> Vec<(SimTime, Message)> {
+    observe_client_degradation(state, now, pipe);
     let mut out = Vec::new();
     let mut i = 0;
     while i < state.pending_av.len() {
@@ -402,6 +612,36 @@ fn flush_client_state(
     }
     out.extend(state.buffer.flush(now, pipe, trace));
     out
+}
+
+/// Feeds one flush epoch of this client's link telemetry to its
+/// degradation controller and applies any resulting transition. Runs
+/// inside the parallel fan-out: every input is per-client (own
+/// buffer, own pipe, own controller), so worker count cannot change
+/// the outcome.
+fn observe_client_degradation(state: &mut ClientState, now: SimTime, pipe: &TcpPipe) {
+    let transition = {
+        let Some(ctrl) = state.degradation.as_mut() else {
+            return;
+        };
+        let fs = pipe.fault_stats();
+        let signals = EpochSignals {
+            pending_bytes: state.buffer.pending_bytes(),
+            byte_bound: state.buffer.byte_bound(),
+            overflow_evictions: state.buffer.stats().overflow_evicted,
+            outage_defers: fs.outage_defers,
+            collapsed_rounds: fs.collapsed_rounds,
+            stale_av_drops: 0,
+            link_impaired: pipe.fault_window_active(now),
+        };
+        ctrl.observe(&signals)
+    };
+    if let Some(t) = transition {
+        state
+            .resilience
+            .record_degradation_step(t.to.index() as u64, t.is_demotion());
+        state.rescale_for_degradation();
+    }
 }
 
 impl VideoDriver for SharedSession {
@@ -574,5 +814,133 @@ mod tests {
         );
         auth.disable_sharing();
         assert_eq!(auth.authenticate(&peer), Err(AuthError::SharingDisabled));
+    }
+
+    /// Per-client message streams, per-client final framebuffers, the
+    /// screen bytes, and the session itself.
+    type ScenarioOutcome = (Vec<Vec<Message>>, Vec<Vec<u8>>, Vec<u8>, SharedSession);
+
+    /// Runs a two-client degradation scenario (owner on a clean link,
+    /// peer behind a one-second collapse window) and returns the
+    /// per-client message streams plus the final framebuffer of each
+    /// client and the screen.
+    fn run_degradation_scenario(workers: usize) -> ScenarioOutcome {
+        use thinc_display::drawable::SCREEN;
+        use thinc_net::fault::FaultPlan;
+        use thinc_net::link::NetworkConfig;
+        use thinc_net::time::SimDuration;
+        use crate::degradation::DegradationConfig;
+
+        let mut s = SharedSession::new(64, 64, PixelFormat::Rgb888, "host")
+            .with_degradation(DegradationConfig {
+                degrade_after: 1,
+                promote_after: 1,
+                ..DegradationConfig::default()
+            })
+            .with_workers(workers);
+        s.auth_mut().enable_sharing("pw");
+        let owner = s
+            .attach(&Credentials::Owner { user: "host".into() }, 64, 64)
+            .unwrap();
+        let peer = s
+            .attach(
+                &Credentials::Peer {
+                    user: "guest".into(),
+                    password: "pw".into(),
+                },
+                64,
+                64,
+            )
+            .unwrap();
+
+        let mut store = DrawableStore::new(64, 64, PixelFormat::Rgb888);
+        let clean = NetworkConfig::lan_desktop();
+        let plan = FaultPlan::seeded(7).with_collapse(
+            SimTime(0),
+            SimDuration::from_secs(1),
+            0.05,
+        );
+        let faulted = NetworkConfig::lan_desktop().with_faults(plan);
+        let mut links = vec![
+            (clean.connect().down, PacketTrace::new()),
+            (faulted.connect().down, PacketTrace::new()),
+        ];
+        let secs = |t: f64| SimTime((t * 1e6) as u64);
+
+        let mut streams = vec![Vec::new(), Vec::new()];
+        let collect = |out: Vec<(ClientId, Vec<(SimTime, Message)>)>,
+                           streams: &mut Vec<Vec<Message>>| {
+            for (id, msgs) in out {
+                let idx = if id == owner { 0 } else { 1 };
+                streams[idx].extend(msgs.into_iter().map(|(_, m)| m));
+            }
+        };
+
+        store
+            .screen_mut()
+            .fill_rect(&Rect::new(0, 0, 64, 64), Color::rgb(30, 90, 50));
+        s.solid_fill(&store, SCREEN, Rect::new(0, 0, 64, 64), Color::rgb(30, 90, 50));
+        // Three flush epochs inside the collapse window: the peer's
+        // ladder walks to Survival while the owner stays at Full.
+        for i in 0..3 {
+            let out = s.flush_all(secs(0.1 * (i + 1) as f64), &mut links);
+            collect(out, &mut streams);
+        }
+        assert_eq!(s.client_degradation_level(owner), DegradationLevel::Full);
+        assert_eq!(s.client_degradation_level(peer), DegradationLevel::Survival);
+        let m = s.client_resilience(peer).unwrap();
+        assert_eq!(m.degrade_steps(), 3);
+        assert_eq!(m.max_degradation_level(), 3);
+        assert_eq!(s.client_resilience(owner).unwrap().degrade_steps(), 0);
+
+        // The window clears: three clear epochs climb back to Full.
+        for i in 0..3 {
+            let out = s.flush_all(secs(1.5 + 0.1 * i as f64), &mut links);
+            collect(out, &mut streams);
+        }
+        assert_eq!(s.client_degradation_level(peer), DegradationLevel::Full);
+        assert_eq!(s.client_resilience(peer).unwrap().promote_steps(), 3);
+
+        // A fresh draw triggers the owed full-view refresh; drain.
+        store
+            .screen_mut()
+            .fill_rect(&Rect::new(8, 8, 16, 16), Color::rgb(200, 40, 40));
+        s.solid_fill(&store, SCREEN, Rect::new(8, 8, 16, 16), Color::rgb(200, 40, 40));
+        for i in 0..20 {
+            let out = s.flush_all(secs(3.0 + 0.2 * i as f64), &mut links);
+            collect(out, &mut streams);
+            if (0..s.client_count() as u32).all(|c| s.backlog(ClientId(c)) == 0) {
+                break;
+            }
+        }
+
+        let mut fbs = Vec::new();
+        for stream in &streams {
+            let mut client = thinc_client::ThincClient::new(64, 64, PixelFormat::Rgb888);
+            for m in stream {
+                client.apply(m);
+            }
+            fbs.push(client.framebuffer().data().to_vec());
+        }
+        let screen = store.screen().data().to_vec();
+        (streams, fbs, screen, s)
+    }
+
+    #[test]
+    fn faulted_peer_degrades_alone_and_recovers_byte_exact() {
+        let (_, fbs, screen, _) = run_degradation_scenario(1);
+        assert_eq!(fbs[0], screen, "owner never left full fidelity");
+        assert_eq!(
+            fbs[1], screen,
+            "peer converges byte-exact after the refresh"
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_degradation_outcome() {
+        let (a, fa, _, _) = run_degradation_scenario(1);
+        let (b, fb, _, _) = run_degradation_scenario(4);
+        assert_eq!(a, b, "message streams identical for any worker count");
+        assert_eq!(fa, fb);
     }
 }

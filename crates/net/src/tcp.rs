@@ -110,6 +110,17 @@ impl TcpPipe {
         self.fault.as_ref().is_some_and(|f| f.is_down(now))
     }
 
+    /// Whether any scheduled fault window is live at `now`: the link
+    /// is down, serving at a collapsed rate, or corrupting bytes.
+    /// Degradation controllers observe this to react *during* an
+    /// episode instead of waiting for the damage counters to move.
+    pub fn fault_window_active(&self, now: SimTime) -> bool {
+        self.fault.as_ref().is_some_and(|f| {
+            let plan = f.plan();
+            plan.is_down(now) || plan.rate_factor(now) < 1.0 || plan.corruption_rate(now) > 0.0
+        })
+    }
+
     /// Damages `data` in place per the corruption window active at
     /// `now`, returning the number of bytes hit (zero with no plan or
     /// outside every window). TCP itself never delivers corrupt

@@ -181,6 +181,15 @@ pub enum Message {
         /// Echoed server timestamp, microseconds.
         timestamp_us: u64,
     },
+    /// Client → server request for a full resync: the client detected
+    /// stream damage (or reconnected on a fresh transport) and needs
+    /// the cursor, video announcements and a full-view refresh resent.
+    /// Issued by the client's reconnect policy, with the attempt
+    /// number for diagnostics.
+    RefreshRequest {
+        /// Reconnect-policy attempt number (1-based).
+        attempt: u32,
+    },
 }
 
 impl Message {
@@ -201,6 +210,7 @@ impl Message {
                 | Message::Resize { .. }
                 | Message::SetView { .. }
                 | Message::Pong { .. }
+                | Message::RefreshRequest { .. }
         )
     }
 }
@@ -224,6 +234,7 @@ mod tests {
             viewport_height: 240
         }
         .is_downstream());
+        assert!(!Message::RefreshRequest { attempt: 1 }.is_downstream());
         assert!(Message::Audio {
             seq: 0,
             timestamp_us: 0,

@@ -47,7 +47,8 @@ pub fn command_kind(msg: &Message) -> CommandKind {
         | Message::Resize { .. }
         | Message::SetView { .. }
         | Message::Ping { .. }
-        | Message::Pong { .. } => CommandKind::Control,
+        | Message::Pong { .. }
+        | Message::RefreshRequest { .. } => CommandKind::Control,
     }
 }
 

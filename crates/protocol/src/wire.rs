@@ -67,6 +67,9 @@ const MSG_CURSOR_SHAPE: u8 = 0x0C;
 const MSG_CURSOR_MOVE: u8 = 0x0D;
 const MSG_PING: u8 = 0x0E;
 const MSG_PONG: u8 = 0x0F;
+// 0x10–0x14 are display command bytes (separate namespace inside the
+// Display payload); the next free message tag sits above them.
+const MSG_REFRESH_REQUEST: u8 = 0x16;
 
 // Display command type bytes.
 const CMD_RAW: u8 = 0x10;
@@ -414,6 +417,10 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             payload.put_u64_le(*timestamp_us);
             MSG_PONG
         }
+        Message::RefreshRequest { attempt } => {
+            payload.put_u32_le(*attempt);
+            MSG_REFRESH_REQUEST
+        }
     };
     let mut out = Vec::with_capacity(payload.len() + 5);
     out.put_u8(tag);
@@ -432,7 +439,7 @@ pub fn decode_message(data: &[u8]) -> Result<(Message, usize), DecodeError> {
     // Validate the header *before* waiting for the declared payload:
     // a corrupted header must fail fast, not leave the reader stalled
     // on (or buffering toward) a phantom payload that never arrives.
-    if !(MSG_SERVER_HELLO..=MSG_PONG).contains(&tag) {
+    if !(MSG_SERVER_HELLO..=MSG_PONG).contains(&tag) && tag != MSG_REFRESH_REQUEST {
         return Err(DecodeError::UnknownType(tag));
     }
     let declared = u32::from_le_bytes([data[1], data[2], data[3], data[4]]);
@@ -621,6 +628,14 @@ pub fn decode_message(data: &[u8]) -> Result<(Message, usize), DecodeError> {
                 Message::Pong { seq, timestamp_us }
             }
         }
+        MSG_REFRESH_REQUEST => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::RefreshRequest {
+                attempt: buf.get_u32_le(),
+            }
+        }
         other => return Err(DecodeError::UnknownType(other)),
     };
     Ok((msg, 5 + len))
@@ -698,7 +713,8 @@ impl FrameReader {
 /// Whether `buf` could begin a valid frame: known message type byte
 /// and, if the length field is visible, a sane declared length.
 fn plausible_frame_start(buf: &[u8]) -> bool {
-    let tag_ok = (MSG_SERVER_HELLO..=MSG_PONG).contains(&buf[0]);
+    let tag_ok =
+        (MSG_SERVER_HELLO..=MSG_PONG).contains(&buf[0]) || buf[0] == MSG_REFRESH_REQUEST;
     if !tag_ok {
         return false;
     }
@@ -810,6 +826,7 @@ mod tests {
                 seq: 9,
                 timestamp_us: 123_456,
             },
+            Message::RefreshRequest { attempt: 3 },
         ]
     }
 

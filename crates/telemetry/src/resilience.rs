@@ -50,6 +50,14 @@ pub struct ResilienceMetrics {
     decode_errors: Counter,
     stream_resyncs: Counter,
     skipped_bytes: Counter,
+    // Adaptive degradation (the feedback loop acting on the above).
+    degrade_steps: Counter,
+    promote_steps: Counter,
+    /// Current ladder level (0 = full fidelity). Plain value, not a
+    /// counter: it moves both ways.
+    degradation_level: u64,
+    /// Deepest ladder level reached.
+    max_degradation_level: u64,
 }
 
 impl ResilienceMetrics {
@@ -136,6 +144,20 @@ impl ResilienceMetrics {
         self.resyncs.inc();
     }
 
+    /// Records a degradation-ladder step and the level it landed on
+    /// (`level` is the ladder index, 0 = full fidelity). Demotions
+    /// and promotions count separately; the current and deepest
+    /// levels are kept as plain values.
+    pub fn record_degradation_step(&mut self, level: u64, demotion: bool) {
+        if demotion {
+            self.degrade_steps.inc();
+        } else {
+            self.promote_steps.inc();
+        }
+        self.degradation_level = level;
+        self.max_degradation_level = self.max_degradation_level.max(level);
+    }
+
     /// Records a wire decode error the receiver survived.
     pub fn record_decode_error(&mut self) {
         self.decode_errors.inc();
@@ -218,6 +240,26 @@ impl ResilienceMetrics {
         self.skipped_bytes.get()
     }
 
+    /// Fidelity reductions performed by the degradation controller.
+    pub fn degrade_steps(&self) -> u64 {
+        self.degrade_steps.get()
+    }
+
+    /// Fidelity restorations performed by the degradation controller.
+    pub fn promote_steps(&self) -> u64 {
+        self.promote_steps.get()
+    }
+
+    /// Current degradation-ladder level (0 = full fidelity).
+    pub fn degradation_level(&self) -> u64 {
+        self.degradation_level
+    }
+
+    /// Deepest degradation-ladder level reached.
+    pub fn max_degradation_level(&self) -> u64 {
+        self.max_degradation_level
+    }
+
     /// All injected-fault events combined (loss + corruption +
     /// outage stalls).
     pub fn total_faults(&self) -> u64 {
@@ -241,6 +283,13 @@ impl ResilienceMetrics {
         self.decode_errors.add(other.decode_errors.get());
         self.stream_resyncs.add(other.stream_resyncs.get());
         self.skipped_bytes.add(other.skipped_bytes.get());
+        self.degrade_steps.add(other.degrade_steps.get());
+        self.promote_steps.add(other.promote_steps.get());
+        // Levels are states, not counts: merging session views keeps
+        // the deepest observed on each side.
+        self.degradation_level = self.degradation_level.max(other.degradation_level);
+        self.max_degradation_level =
+            self.max_degradation_level.max(other.max_degradation_level);
     }
 
     /// Plain-data summary for reports.
@@ -260,6 +309,10 @@ impl ResilienceMetrics {
             decode_errors: self.decode_errors(),
             stream_resyncs: self.stream_resyncs(),
             skipped_bytes: self.skipped_bytes(),
+            degrade_steps: self.degrade_steps(),
+            promote_steps: self.promote_steps(),
+            degradation_level: self.degradation_level(),
+            max_degradation_level: self.max_degradation_level(),
         }
     }
 }
@@ -296,6 +349,14 @@ pub struct ResilienceSnapshot {
     pub stream_resyncs: u64,
     /// Bytes skipped while scanning past damage.
     pub skipped_bytes: u64,
+    /// Fidelity reductions by the degradation controller.
+    pub degrade_steps: u64,
+    /// Fidelity restorations by the degradation controller.
+    pub promote_steps: u64,
+    /// Current degradation-ladder level (0 = full fidelity).
+    pub degradation_level: u64,
+    /// Deepest degradation-ladder level reached.
+    pub max_degradation_level: u64,
 }
 
 #[cfg(test)]
@@ -334,6 +395,23 @@ mod tests {
         assert_eq!(s.stream_resyncs, 1);
         assert_eq!(s.skipped_bytes, 40);
         assert_eq!(m.total_faults(), 4);
+    }
+
+    #[test]
+    fn degradation_steps_track_levels() {
+        let mut m = ResilienceMetrics::new();
+        m.record_degradation_step(1, true);
+        m.record_degradation_step(2, true);
+        m.record_degradation_step(1, false);
+        assert_eq!(m.degrade_steps(), 2);
+        assert_eq!(m.promote_steps(), 1);
+        assert_eq!(m.degradation_level(), 1);
+        assert_eq!(m.max_degradation_level(), 2);
+        let s = m.snapshot();
+        assert_eq!(s.degrade_steps, 2);
+        assert_eq!(s.promote_steps, 1);
+        assert_eq!(s.degradation_level, 1);
+        assert_eq!(s.max_degradation_level, 2);
     }
 
     #[test]

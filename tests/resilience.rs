@@ -8,8 +8,10 @@
 //! The fault seed can be overridden (for CI matrices) with
 //! `THINC_FAULT_SEED=<u64>`.
 
-use thinc::client::StreamClient;
+use thinc::client::{ReconnectConfig, ReconnectPolicy, StreamClient};
+use thinc::core::degradation::{DegradationConfig, DegradationLevel};
 use thinc::core::liveness::{LivenessConfig, LivenessVerdict};
+use thinc::core::scaling::ScalePolicy;
 use thinc::core::server::{ServerConfig, ThincServer};
 use thinc::display::request::DrawRequest;
 use thinc::display::server::WindowServer;
@@ -18,6 +20,8 @@ use thinc::net::fault::FaultPlan;
 use thinc::net::link::NetworkConfig;
 use thinc::net::time::{SimDuration, SimTime};
 use thinc::net::trace::PacketTrace;
+use thinc::protocol::commands::{DisplayCommand, RawEncoding};
+use thinc::protocol::message::Message;
 use thinc::protocol::wire::encode_message;
 use thinc::raster::{Color, PixelFormat, Rect};
 
@@ -63,10 +67,24 @@ fn noise(rect: Rect, salt: u64) -> DrawRequest {
     }
 }
 
+/// A stream client whose reconnection is driven by a seeded
+/// [`ReconnectPolicy`] instead of the test harness.
+fn policy_client(w: u32, h: u32) -> StreamClient {
+    StreamClient::new(w, h, PixelFormat::Rgb888).with_reconnect_policy(ReconnectPolicy::new(
+        ReconnectConfig {
+            seed: fault_seed(),
+            ..ReconnectConfig::default()
+        },
+    ))
+}
+
 /// One delivery round: flush the server over the (possibly faulty)
 /// pipe, run every message's bytes through the wire — where the
 /// corruption model may damage them — into the stream client, answer
-/// pings, and enforce the backlog invariant.
+/// pings, and enforce the backlog invariant. Recovery is closed-loop:
+/// the client's reconnect policy turns a stale display into
+/// [`Message::RefreshRequest`]s, and the server answers a latched
+/// request with a full resync — the harness never resyncs by hand.
 fn pump(
     ws: &mut WindowServer<ThincServer>,
     link: &mut thinc::net::link::DuplexLink,
@@ -82,6 +100,14 @@ fn pump(
     }
     while let Some(pong) = client.take_pong() {
         ws.driver_mut().handle_message(&pong);
+    }
+    if let Some(req) = client.poll_reconnect(now) {
+        ws.driver_mut().handle_message(&req);
+    }
+    if ws.driver_mut().take_resync_request() {
+        let screen = ws.screen().clone();
+        ws.driver_mut().set_time(now);
+        ws.driver_mut().resync(&screen);
     }
     assert!(
         ws.driver().display_backlog_bytes() <= BUFFER_BOUND,
@@ -117,7 +143,7 @@ fn seeded_loss_converges_byte_exact_without_resync() {
     let mut link = net.connect();
     let mut trace = PacketTrace::new();
     let mut ws = WindowServer::new(W, H, PixelFormat::Rgb888, ThincServer::new(server_config()));
-    let mut client = StreamClient::new(W, H, PixelFormat::Rgb888);
+    let mut client = policy_client(W, H);
 
     let mut now = SimTime::ZERO;
     for i in 0..40u64 {
@@ -146,8 +172,9 @@ fn seeded_loss_converges_byte_exact_without_resync() {
 fn corruption_window_is_survived_and_resync_restores_the_screen() {
     // A corruption window damages wire bytes mid-session (a broken
     // middlebox). The client skips the damage with typed errors —
-    // never a panic — flags that it wants a refresh, and one resync
-    // restores byte-exact content.
+    // never a panic — latches that it wants a refresh, and its
+    // reconnect policy closes the loop: refresh requests flow
+    // upstream until a server resync restores byte-exact content.
     let seed = fault_seed().wrapping_add(1);
     let corrupt_from = SimTime(50_000);
     let net = NetworkConfig::wan_desktop().with_faults(
@@ -160,7 +187,7 @@ fn corruption_window_is_survived_and_resync_restores_the_screen() {
     let mut link = net.connect();
     let mut trace = PacketTrace::new();
     let mut ws = WindowServer::new(W, H, PixelFormat::Rgb888, ThincServer::new(server_config()));
-    let mut client = StreamClient::new(W, H, PixelFormat::Rgb888);
+    let mut client = policy_client(W, H);
 
     let mut now = SimTime::ZERO;
     for i in 0..10u64 {
@@ -180,17 +207,23 @@ fn corruption_window_is_survived_and_resync_restores_the_screen() {
     assert!(m.stream_resyncs() > 0);
     assert!(m.skipped_bytes() > 0);
 
-    // The client noticed and recovers: a corrupted length field may
-    // have swallowed a frame boundary, so it drops its wire state
-    // (reconnect) and asks the server for a full resync. Well past
-    // the corruption window, one round restores exact content.
-    assert!(client.take_needs_refresh());
-    client.reconnect();
-    let now = now.max(corrupt_from + SimDuration::from_millis(200));
-    ws.driver_mut().set_time(now);
-    let screen = ws.screen().clone();
-    ws.driver_mut().resync(&screen);
-    drain(&mut ws, &mut link, &mut trace, &mut client, now);
+    // Recovery is policy-driven: the decode errors latched
+    // `needs_refresh`, the client's backoff schedule issues refresh
+    // requests through `pump`, and the server resyncs. Keep pumping
+    // past the corruption window until the coverage-tracked latch
+    // clears — the harness never calls `resync` itself.
+    let mut now = now.max(corrupt_from + SimDuration::from_millis(200));
+    for _ in 0..500 {
+        if !client.needs_refresh() && ws.driver().display_backlog() == 0 {
+            break;
+        }
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        now = link.down.tx_free_at().max(now + SimDuration::from_millis(50));
+    }
+    assert!(
+        !client.needs_refresh(),
+        "the reconnect policy must have driven a covering resync"
+    );
     assert_eq!(
         client.client().framebuffer().data(),
         ws.screen().data(),
@@ -216,7 +249,7 @@ fn outage_timeout_reconnect_resyncs_byte_exact_with_bounded_backlog() {
     let mut link = net.connect();
     let mut trace = PacketTrace::new();
     let mut ws = WindowServer::new(W, H, PixelFormat::Rgb888, ThincServer::new(server_config()));
-    let mut client = StreamClient::new(W, H, PixelFormat::Rgb888);
+    let mut client = policy_client(W, H);
 
     // Healthy start.
     let mut now = SimTime::ZERO;
@@ -264,17 +297,27 @@ fn outage_timeout_reconnect_resyncs_byte_exact_with_bounded_backlog() {
     assert!(saw_outage, "the outage window must have gated the link");
 
     // Reconnect: fresh link (no outage), fresh wire state on the
-    // client, full resync on the server.
+    // client. `reconnect()` latches `needs_refresh` — a fresh link is
+    // presumed stale — and the reconnect policy turns that into
+    // refresh requests; the resync itself is server-answered inside
+    // `pump`, not hand-driven by the harness.
     let mut link2 = NetworkConfig::wan_desktop().connect();
     let mut trace2 = PacketTrace::new();
     client.reconnect();
-    let now = dead_at.unwrap() + SimDuration::from_secs_f64(1.0);
+    let mut now = dead_at.unwrap() + SimDuration::from_secs_f64(1.0);
     ws.driver_mut().set_time(now);
-    let screen = ws.screen().clone();
-    ws.driver_mut().resync(&screen);
-    assert!(!ws.driver().client_dead(), "resync revives the client");
-    drain(&mut ws, &mut link2, &mut trace2, &mut client, now);
-
+    for _ in 0..500 {
+        if !client.needs_refresh() && ws.driver().display_backlog() == 0 {
+            break;
+        }
+        pump(&mut ws, &mut link2, &mut trace2, &mut client, now);
+        now = link2.down.tx_free_at().max(now + SimDuration::from_millis(50));
+    }
+    assert!(!ws.driver().client_dead(), "the resync revives the client");
+    assert!(
+        !client.needs_refresh(),
+        "the policy-driven resync must have covered the viewport"
+    );
     assert_eq!(
         client.client().framebuffer().data(),
         ws.screen().data(),
@@ -282,4 +325,310 @@ fn outage_timeout_reconnect_resyncs_byte_exact_with_bounded_backlog() {
     );
     assert_eq!(client.resilience_metrics().reconnects(), 1);
     assert!(ws.driver().resilience_metrics().resyncs() >= 1);
+}
+
+#[test]
+fn device_switch_mid_outage_converges_on_the_new_viewport() {
+    // The client dies mid-outage and the user walks to a different
+    // device: a second client with a *smaller* viewport announces
+    // itself. The viewport change drops the stale full-size pending
+    // commands (they target the wrong coordinate space), the new
+    // client's reconnect policy drives the resync, and the session
+    // converges byte-exact on the scaled rendition of the screen.
+    let seed = fault_seed().wrapping_add(4);
+    let outage_at = SimTime(100_000);
+    let net = NetworkConfig::wan_desktop().with_faults(
+        FaultPlan::seeded(seed).with_outage(outage_at, SimDuration::from_secs_f64(8.0)),
+    );
+    let mut link = net.connect();
+    let mut trace = PacketTrace::new();
+    let mut ws = WindowServer::new(W, H, PixelFormat::Rgb888, ThincServer::new(server_config()));
+    let mut client = policy_client(W, H);
+
+    let mut now = SimTime::ZERO;
+    ws.driver_mut().set_time(now);
+    ws.process(DrawRequest::FillRect {
+        target: SCREEN,
+        rect: Rect::new(0, 0, W, H),
+        color: Color::rgb(60, 20, 80),
+    });
+    now = drain(&mut ws, &mut link, &mut trace, &mut client, now);
+
+    // Draw through the outage until the first device is declared dead.
+    let mut dead_at = None;
+    let mut i = 0u64;
+    while now < outage_at + SimDuration::from_secs_f64(7.0) {
+        let x = (i as i32 * 19) % (W as i32 - 48);
+        let y = (i as i32 * 13) % (H as i32 - 48);
+        ws.driver_mut().set_time(now);
+        ws.process(noise(Rect::new(x, y, 48, 48), seed ^ i));
+        i += 1;
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        if let LivenessVerdict::Dead = ws.driver_mut().poll_liveness(now) {
+            dead_at = Some(now);
+            break;
+        }
+        now += SimDuration::from_millis(200);
+    }
+    assert!(dead_at.is_some(), "the first device must time out");
+
+    // The new device: half-size viewport, fresh link, fresh client.
+    let (vw, vh) = (W / 2, H / 2);
+    ws.driver_mut().handle_message(&Message::ClientHello {
+        version: 1,
+        viewport_width: vw,
+        viewport_height: vh,
+    });
+    assert!(ws.driver().scaling_active());
+    let mut link2 = NetworkConfig::wan_desktop().connect();
+    let mut trace2 = PacketTrace::new();
+    let mut client2 = policy_client(vw, vh);
+    client2.reconnect();
+    let mut now = dead_at.unwrap() + SimDuration::from_secs_f64(1.0);
+    ws.driver_mut().set_time(now);
+    for _ in 0..500 {
+        if !client2.needs_refresh()
+            && ws.driver().display_backlog() == 0
+            && !ws.driver().overflow_debt_outstanding()
+        {
+            break;
+        }
+        pump(&mut ws, &mut link2, &mut trace2, &mut client2, now);
+        if ws.driver().overflow_debt_outstanding() {
+            let screen = ws.screen().clone();
+            ws.driver_mut().repay_overflow_debt(&screen);
+        }
+        now = link2.down.tx_free_at().max(now + SimDuration::from_millis(50));
+    }
+    assert!(!client2.needs_refresh(), "the resync must cover the new viewport");
+
+    // Byte-exact against a one-shot scaled snapshot of the screen:
+    // every delivered command was scaled exactly once into the new
+    // viewport, stale full-size commands never leaked through.
+    let screen = ws.screen();
+    let (clip, data) = screen.get_raw(&Rect::new(0, 0, W, H));
+    let snapshot = DisplayCommand::Raw {
+        rect: clip,
+        encoding: RawEncoding::None,
+        data,
+    };
+    let scaled = ScalePolicy::new(W, H, vw, vh)
+        .transform(&snapshot, screen)
+        .expect("full-screen snapshot survives scaling");
+    let mut reference = thinc::client::ThincClient::new(vw, vh, PixelFormat::Rgb888);
+    reference.apply(&Message::Display(scaled));
+    assert_eq!(
+        client2.client().framebuffer().data(),
+        reference.framebuffer().data(),
+        "new device must hold exactly the scaled screen"
+    );
+
+    // Attribution: the second device's reconnect and the server-side
+    // resync(s) are visible in the metrics.
+    assert_eq!(client2.resilience_metrics().reconnects(), 1);
+    let server_m = ws.driver().resilience_metrics();
+    assert!(server_m.resyncs() >= 1);
+    assert!(server_m.liveness_timeouts() >= 1);
+    assert_eq!(client.resilience_metrics().reconnects(), 0);
+}
+
+#[test]
+fn adaptive_degradation_rides_out_a_collapse_and_recovers_byte_exact() {
+    // A lossy WAN collapses to 5% capacity for two seconds. With the
+    // adaptive controller on, the session measurably degrades
+    // (telemetry-visible ladder steps, server-side scaling) instead
+    // of drowning, then climbs back to full fidelity and converges
+    // byte-exact — the full refresh owed by the promotion and any
+    // resync are driven by the client's reconnect policy through
+    // `pump`, never by the harness.
+    let seed = fault_seed().wrapping_add(5);
+    let collapse_at = SimTime(100_000);
+    let net = NetworkConfig::lossy_wan().with_faults(
+        FaultPlan::seeded(seed)
+            .with_loss(0.02)
+            .with_collapse(collapse_at, SimDuration::from_secs(2), 0.05),
+    );
+    let mut link = net.connect();
+    let mut trace = PacketTrace::new();
+    let config = ServerConfig {
+        degradation: Some(DegradationConfig {
+            degrade_after: 1,
+            promote_after: 2,
+            ..DegradationConfig::default()
+        }),
+        ..server_config()
+    };
+    let mut ws = WindowServer::new(W, H, PixelFormat::Rgb888, ThincServer::new(config));
+    let mut client = policy_client(W, H);
+
+    let mut now = SimTime::ZERO;
+    ws.driver_mut().set_time(now);
+    ws.process(DrawRequest::FillRect {
+        target: SCREEN,
+        rect: Rect::new(0, 0, W, H),
+        color: Color::rgb(10, 70, 40),
+    });
+    now = drain(&mut ws, &mut link, &mut trace, &mut client, now);
+    assert_eq!(ws.driver().degradation_level(), DegradationLevel::Full);
+
+    // Keep drawing through the collapse window: the ladder steps down.
+    let mut deepest = DegradationLevel::Full;
+    let mut i = 0u64;
+    while now < collapse_at + SimDuration::from_secs_f64(1.5) {
+        let x = (i as i32 * 23) % (W as i32 - 40);
+        let y = (i as i32 * 7) % (H as i32 - 40);
+        ws.driver_mut().set_time(now);
+        ws.process(noise(Rect::new(x, y, 40, 40), seed ^ i));
+        i += 1;
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        deepest = deepest.max(ws.driver().degradation_level());
+        now += SimDuration::from_millis(100);
+    }
+    assert!(
+        deepest > DegradationLevel::Full,
+        "the collapse must push the ladder below full fidelity"
+    );
+    let mid = ws.driver().resilience_metrics();
+    assert!(mid.degrade_steps() > 0, "degradation must be telemetry-visible");
+    assert!(mid.max_degradation_level() >= 1);
+
+    // The window clears: quiet flush epochs climb back to Full, the
+    // promotion owes a refresh, and the session converges byte-exact.
+    now = now.max(collapse_at + SimDuration::from_secs(2) + SimDuration::from_millis(100));
+    for _ in 0..1000 {
+        ws.driver_mut().set_time(now);
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        if ws.driver().degradation_level() == DegradationLevel::Full
+            && ws.driver().display_backlog() == 0
+            && !ws.driver().overflow_debt_outstanding()
+            && !client.needs_refresh()
+        {
+            break;
+        }
+        if ws.driver().overflow_debt_outstanding() {
+            let screen = ws.screen().clone();
+            ws.driver_mut().repay_overflow_debt(&screen);
+        }
+        now = link.down.tx_free_at().max(now + SimDuration::from_millis(100));
+    }
+    assert_eq!(ws.driver().degradation_level(), DegradationLevel::Full);
+    let m = ws.driver().resilience_metrics();
+    assert!(m.promote_steps() > 0, "recovery must be telemetry-visible");
+    assert_eq!(m.degradation_level(), 0);
+
+    // One more paint flushes through the repaid refresh.
+    ws.driver_mut().set_time(now);
+    ws.process(DrawRequest::FillRect {
+        target: SCREEN,
+        rect: Rect::new(4, 4, 24, 24),
+        color: Color::rgb(220, 180, 40),
+    });
+    now = drain(&mut ws, &mut link, &mut trace, &mut client, now);
+    for _ in 0..200 {
+        if !client.needs_refresh() && ws.driver().display_backlog() == 0 {
+            break;
+        }
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        now = link.down.tx_free_at().max(now + SimDuration::from_millis(50));
+    }
+    assert_eq!(
+        client.client().framebuffer().data(),
+        ws.screen().data(),
+        "session must recover byte-exact after the collapse"
+    );
+}
+
+#[test]
+fn shared_session_degrades_only_the_faulted_peer() {
+    // Multi-client attribution: a shared session with a healthy owner
+    // and a peer behind a collapse degrades *only the peer* — and the
+    // outcome is identical for any flush worker count (override with
+    // `THINC_FLUSH_WORKERS` in CI).
+    use thinc::core::session::{ClientId, Credentials, SharedSession};
+    use thinc::display::drawable::DrawableStore;
+    use thinc::display::driver::VideoDriver;
+
+    let workers: usize = std::env::var("THINC_FLUSH_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let seed = fault_seed().wrapping_add(6);
+    let mut s = SharedSession::new(W, H, PixelFormat::Rgb888, "host")
+        .with_degradation(DegradationConfig {
+            degrade_after: 1,
+            promote_after: 1,
+            ..DegradationConfig::default()
+        })
+        .with_workers(workers);
+    s.auth_mut().enable_sharing("pw");
+    let owner = s
+        .attach(&Credentials::Owner { user: "host".into() }, W, H)
+        .unwrap();
+    let peer = s
+        .attach(
+            &Credentials::Peer {
+                user: "guest".into(),
+                password: "pw".into(),
+            },
+            W,
+            H,
+        )
+        .unwrap();
+
+    let mut store = DrawableStore::new(W, H, PixelFormat::Rgb888);
+    let plan = FaultPlan::seeded(seed).with_collapse(SimTime(0), SimDuration::from_secs(1), 0.05);
+    let mut links = vec![
+        (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        (
+            NetworkConfig::lan_desktop().with_faults(plan).connect().down,
+            PacketTrace::new(),
+        ),
+    ];
+
+    store
+        .screen_mut()
+        .fill_rect(&Rect::new(0, 0, W, H), Color::rgb(80, 40, 120));
+    s.solid_fill(&store, SCREEN, Rect::new(0, 0, W, H), Color::rgb(80, 40, 120));
+
+    let secs = |t: f64| SimTime((t * 1e6) as u64);
+    let mut streams: Vec<Vec<Message>> = vec![Vec::new(), Vec::new()];
+    let collect = |streams: &mut Vec<Vec<Message>>,
+                       out: Vec<(ClientId, Vec<(SimTime, Message)>)>| {
+        for (id, msgs) in out {
+            let idx = usize::from(id != owner);
+            streams[idx].extend(msgs.into_iter().map(|(_, m)| m));
+        }
+    };
+    for i in 0..3 {
+        let out = s.flush_all(secs(0.1 * (i + 1) as f64), &mut links);
+        collect(&mut streams, out);
+    }
+    assert_eq!(s.client_degradation_level(owner), DegradationLevel::Full);
+    assert!(s.client_degradation_level(peer) > DegradationLevel::Full);
+    assert!(s.client_resilience(peer).unwrap().degrade_steps() > 0);
+    assert_eq!(s.client_resilience(owner).unwrap().degrade_steps(), 0);
+
+    // Past the window: the peer climbs back and both converge
+    // byte-exact once the owed refresh is settled.
+    for i in 0..4 {
+        let out = s.flush_all(secs(1.5 + 0.1 * i as f64), &mut links);
+        collect(&mut streams, out);
+    }
+    assert_eq!(s.client_degradation_level(peer), DegradationLevel::Full);
+    let screen = store.screen().clone();
+    s.repay_refreshes(&screen);
+    for i in 0..50 {
+        let out = s.flush_all(secs(3.0 + 0.2 * i as f64), &mut links);
+        collect(&mut streams, out);
+        if s.backlog(owner) == 0 && s.backlog(peer) == 0 {
+            break;
+        }
+    }
+    for stream in &streams {
+        let mut c = thinc::client::ThincClient::new(W, H, PixelFormat::Rgb888);
+        for m in stream {
+            c.apply(m);
+        }
+        assert_eq!(c.framebuffer().data(), store.screen().data());
+    }
 }
