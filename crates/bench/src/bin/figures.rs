@@ -286,6 +286,16 @@ fn breakdown_table(title: &str, t: &thinc_telemetry::SessionTelemetry) -> String
         r.segments_lost, r.retransmits, r.corrupt_events, r.corrupted_bytes, r.outage_defers,
     ));
     out.push_str(&format!(
+        "  integrity: {} crc_fail, {} seq_gap, {} seq_dup, {} resyncs_triggered; \
+         {} segments reordered, {} duplicated\n",
+        r.crc_failures,
+        r.seq_gaps,
+        r.seq_dups,
+        r.resyncs_triggered,
+        r.segments_reordered,
+        r.segments_duplicated,
+    ));
+    out.push_str(&format!(
         "  degradation: {} overflow evictions, {} stale video dropped; \
          {} pings, {} timeouts, {} reconnects, {} resyncs\n",
         r.overflow_evictions,
@@ -296,6 +306,156 @@ fn breakdown_table(title: &str, t: &thinc_telemetry::SessionTelemetry) -> String
         r.resyncs,
     ));
     out
+}
+
+/// A byte-level hostile-WAN mini-session. The message-level sessions
+/// above never serialize frames, so their integrity counters are
+/// structurally zero; this one pushes every frame through the
+/// revision-2 wire encoding and a `StreamClient` while seeded
+/// corruption, reorder and duplication windows disturb the downlink —
+/// exercising the full recovery ladder (CRC failure → resync →
+/// refresh request) and reporting nonzero per-cause counters.
+fn integrity_telemetry() -> thinc_telemetry::SessionTelemetry {
+    use thinc_client::{ReconnectConfig, ReconnectPolicy, StreamClient};
+    use thinc_core::server::{ServerConfig, ThincServer};
+    use thinc_display::request::DrawRequest;
+    use thinc_display::server::WindowServer;
+    use thinc_display::SCREEN;
+    use thinc_net::fault::FaultPlan;
+    use thinc_net::link::DuplexLink;
+    use thinc_net::time::{SimDuration, SimTime};
+    use thinc_net::trace::PacketTrace;
+    use thinc_protocol::message::Message;
+    use thinc_raster::PixelFormat;
+
+    const SW: u32 = 128;
+    const SH: u32 = 96;
+    let seed = 0xC0FFEE_u64.wrapping_add(7);
+
+    fn noise(rect: Rect, salt: u64) -> DrawRequest {
+        let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let data: Vec<u8> = (0..(rect.w as usize * rect.h as usize * 3))
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        DrawRequest::PutImage {
+            target: SCREEN,
+            rect,
+            data,
+        }
+    }
+
+    fn pump(
+        ws: &mut WindowServer<ThincServer>,
+        link: &mut DuplexLink,
+        trace: &mut PacketTrace,
+        client: &mut StreamClient,
+        now: SimTime,
+    ) {
+        let batch = ws.driver_mut().flush(now, &mut link.down, trace);
+        if batch.is_empty() {
+            if let Some(tail) = link.down.flush_disturbed() {
+                client.feed(&tail);
+            }
+        }
+        for (arrival, msg) in batch {
+            let bytes = ws.driver_mut().encode_frame(&msg);
+            for seg in link.down.disturb(arrival, bytes) {
+                client.feed(&seg);
+            }
+        }
+        while let Some(pong) = client.take_pong() {
+            ws.driver_mut().handle_message(&pong);
+        }
+        if let Some(req) = client.poll_reconnect(now) {
+            ws.driver_mut().handle_message(&req);
+        }
+        if ws.driver_mut().take_resync_request() {
+            let screen = ws.screen().clone();
+            ws.driver_mut().set_time(now);
+            ws.driver_mut().resync(&screen);
+        }
+    }
+
+    // Same disturbance shape as the end-to-end resilience suite:
+    // corruption first, then reorder + duplication on a clean
+    // stretch, so each counter gets its own attributable cause.
+    let net = NetworkConfig::wan_desktop().with_faults(
+        FaultPlan::seeded(seed)
+            .with_corruption(SimTime(40_000), SimDuration::from_millis(60), 0.02)
+            .with_reorder(SimTime(150_000), SimDuration::from_millis(1_850), 0.3)
+            .with_duplication(SimTime(150_000), SimDuration::from_millis(1_850), 0.3),
+    );
+    let mut link = net.connect();
+    let mut trace = PacketTrace::new();
+    let mut ws = WindowServer::new(
+        SW,
+        SH,
+        PixelFormat::Rgb888,
+        ThincServer::new(ServerConfig {
+            width: SW,
+            height: SH,
+            ..ServerConfig::default()
+        }),
+    );
+    let mut client = StreamClient::new(SW, SH, PixelFormat::Rgb888).with_reconnect_policy(
+        ReconnectPolicy::new(ReconnectConfig {
+            seed,
+            ..ReconnectConfig::default()
+        }),
+    );
+
+    // Handshake upgrades both sides to checksummed sequenced framing.
+    let hello = ws.driver().hello();
+    let hello_bytes = ws.driver_mut().encode_frame(&hello);
+    client.feed(&hello_bytes);
+    ws.driver_mut().handle_message(&Message::ClientHello {
+        version: thinc_protocol::PROTOCOL_VERSION,
+        viewport_width: SW,
+        viewport_height: SH,
+    });
+
+    let mut now = SimTime::ZERO;
+    for i in 0..70u64 {
+        let x = (i as i32 * 13) % (SW as i32 - 32);
+        let y = (i as i32 * 9) % (SH as i32 - 32);
+        ws.driver_mut().set_time(now);
+        ws.process(noise(Rect::new(x, y, 32, 32), seed ^ i));
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        now += SimDuration::from_millis(25);
+    }
+    // Drain the backlog, then let the policy-driven refresh ladder
+    // converge past the disturbance windows.
+    now = now.max(SimTime(2_050_000) + SimDuration::from_millis(50));
+    for _ in 0..500 {
+        if !client.needs_refresh() && ws.driver().display_backlog() == 0 {
+            break;
+        }
+        pump(&mut ws, &mut link, &mut trace, &mut client, now);
+        now = link.down.tx_free_at().max(now + SimDuration::from_millis(50));
+    }
+
+    let driver = ws.driver();
+    let mut t = thinc_telemetry::SessionTelemetry::new(thinc_core::scheduler::NUM_QUEUES);
+    t.protocol = driver.protocol_metrics();
+    t.scheduler = driver.scheduler_metrics().clone();
+    t.translator = driver.translator_metrics().clone();
+    t.resilience = driver.resilience_metrics();
+    t.resilience.merge(client.resilience_metrics());
+    for stats in [link.down.fault_stats(), link.up.fault_stats()] {
+        t.resilience.add_transport_faults(
+            stats.segments_lost,
+            stats.retransmits,
+            stats.corrupt_events,
+            stats.corrupted_bytes,
+            stats.outage_defers,
+            stats.segments_reordered,
+            stats.segments_duplicated,
+        );
+    }
+    t
 }
 
 /// Per-command protocol breakdown for a web and a video session,
@@ -334,6 +494,14 @@ fn telemetry_report(opts: &Options, jsonl: Option<&str>) -> String {
     out.push_str(&breakdown_table(
         "Telemetry: Web Session — Protocol Breakdown (lossy WAN, 1% injected loss)",
         &lossy_t,
+    ));
+
+    eprintln!("  [telemetry] byte-level wire-integrity session over a hostile WAN");
+    let integrity_t = integrity_telemetry();
+    out.push_str(&breakdown_table(
+        "Telemetry: Wire-Integrity Session — Recovery Breakdown (hostile WAN, \
+         corruption + reorder + duplication)",
+        &integrity_t,
     ));
 
     if let Some(path) = jsonl {

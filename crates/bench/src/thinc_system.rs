@@ -115,6 +115,8 @@ impl ThincSystem {
                 stats.corrupt_events,
                 stats.corrupted_bytes,
                 stats.outage_defers,
+                stats.segments_reordered,
+                stats.segments_duplicated,
             );
         }
         t

@@ -12,7 +12,7 @@
 use thinc_net::time::SimTime;
 use thinc_protocol::commands::DisplayCommand;
 use thinc_protocol::message::Message;
-use thinc_protocol::wire::FrameReader;
+use thinc_protocol::wire::{FrameReader, IntegrityCounters};
 use thinc_raster::{PixelFormat, Rect, Region};
 
 use crate::client::ThincClient;
@@ -39,6 +39,9 @@ pub struct StreamClient {
     applied_total: u64,
     /// `applied_total` when the policy last fired an attempt.
     applied_at_attempt: u64,
+    /// Reader integrity counters already folded into `resilience`
+    /// (the reader keeps cumulative tallies; we move the deltas).
+    integrity_base: IntegrityCounters,
     resilience: thinc_telemetry::ResilienceMetrics,
 }
 
@@ -63,6 +66,7 @@ impl StreamClient {
             policy: None,
             applied_total: 0,
             applied_at_attempt: 0,
+            integrity_base: IntegrityCounters::default(),
             resilience: thinc_telemetry::ResilienceMetrics::new(),
         }
     }
@@ -92,10 +96,27 @@ impl StreamClient {
         loop {
             match self.reader.next_message() {
                 Ok(Some(msg)) => {
+                    // Negotiation: the server's hello fixes the wire
+                    // revision for the rest of the stream. The reader
+                    // never switches on its own — this is the one
+                    // place the session layer decides.
+                    if let Message::ServerHello { version, .. } = &msg {
+                        self.reader
+                            .set_revision((*version).min(thinc_protocol::PROTOCOL_VERSION));
+                    }
                     let errors_before = self.client.stats().errors;
                     self.client.apply(&msg);
                     applied += 1;
                     self.applied_total += 1;
+                    if self.reader.take_seq_break() {
+                        // Frames vanished between the previous message
+                        // and this one: the framing recovered but the
+                        // display is missing updates — escalate to a
+                        // refresh, voiding any partial coverage.
+                        self.resilience.record_resync_triggered();
+                        self.needs_refresh = true;
+                        self.refresh_cover = Region::new();
+                    }
                     if self.needs_refresh && self.client.stats().errors == errors_before {
                         self.note_refresh_progress(&msg);
                     }
@@ -111,7 +132,37 @@ impl StreamClient {
                 }
             }
         }
+        self.sync_integrity_counters();
         applied
+    }
+
+    /// Folds the reader's cumulative integrity tallies (CRC failures,
+    /// sequence gaps, duplicates) into the resilience accounting as
+    /// deltas since the last fold.
+    fn sync_integrity_counters(&mut self) {
+        let c = self.reader.integrity();
+        let b = self.integrity_base;
+        if c != b {
+            self.resilience.add_integrity_counts(
+                c.crc_fail - b.crc_fail,
+                c.seq_gap - b.seq_gap,
+                c.seq_dup - b.seq_dup,
+            );
+            self.integrity_base = c;
+        }
+    }
+
+    /// Replaces the frame reader with a fresh one at the *same* wire
+    /// revision. A post-negotiation reader must never fall back to
+    /// legacy framing: a legacy parser fed extended frames would read
+    /// sequence/CRC bytes as payload length and could emit a wrong
+    /// display command. Sequence tracking restarts (any next sequence
+    /// number is accepted), matching the server-side encoder surviving
+    /// or restarting across the same event.
+    fn reset_reader(&mut self) {
+        self.sync_integrity_counters();
+        self.reader = FrameReader::with_revision(self.reader.revision());
+        self.integrity_base = IntegrityCounters::default();
     }
 
     /// Credits an applied message against the pending refresh: opaque
@@ -161,7 +212,7 @@ impl StreamClient {
             && self.applied_total == self.applied_at_attempt
             && self.reader.pending_bytes() > 0
         {
-            self.reader = FrameReader::new();
+            self.reset_reader();
             self.resilience.record_reconnect();
         }
         self.applied_at_attempt = self.applied_total;
@@ -189,10 +240,17 @@ impl StreamClient {
     /// be cleared here, which lost the pending-refresh state when a
     /// drop raced the resync.)
     pub fn reconnect(&mut self) {
-        self.reader = FrameReader::new();
+        self.reset_reader();
         self.needs_refresh = true;
         self.refresh_cover = Region::new();
         self.resilience.record_reconnect();
+    }
+
+    /// The wire framing revision the reader currently expects
+    /// ([`thinc_protocol::WIRE_REV_LEGACY`] until a `ServerHello`
+    /// announcing protocol version ≥ 2 arrives).
+    pub fn wire_revision(&self) -> u16 {
+        self.reader.revision()
     }
 
     /// Any pong the client owes the server (echo of a liveness ping).
@@ -365,6 +423,147 @@ mod tests {
         assert!(!c.needs_refresh());
         assert_eq!(c.reconnect_policy().unwrap().attempts(), 0);
         assert_eq!(c.poll_reconnect(at), None);
+    }
+
+    #[test]
+    fn server_hello_negotiates_integrity_framing() {
+        use thinc_protocol::wire::FrameEncoder;
+        use thinc_protocol::{PROTOCOL_VERSION, WIRE_REV_INTEGRITY, WIRE_REV_LEGACY};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        assert_eq!(c.wire_revision(), WIRE_REV_LEGACY);
+        let mut enc = FrameEncoder::new();
+        enc.negotiate(PROTOCOL_VERSION);
+        let hello = Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        };
+        assert_eq!(c.feed(&enc.encode(&hello)), 1);
+        assert_eq!(c.wire_revision(), WIRE_REV_INTEGRITY);
+        // Post-negotiation traffic is sequence/CRC framed and decodes.
+        let msg = Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 16, 16),
+            color: Color::rgb(8, 8, 8),
+        });
+        assert_eq!(c.feed(&enc.encode(&msg)), 1);
+        assert_eq!(
+            c.client().framebuffer().get_pixel(3, 3),
+            Some(Color::rgb(8, 8, 8))
+        );
+        assert!(!c.needs_refresh());
+    }
+
+    #[test]
+    fn sequence_gap_escalates_to_refresh_request() {
+        use thinc_protocol::wire::FrameEncoder;
+        use thinc_protocol::{PROTOCOL_VERSION, WIRE_REV_INTEGRITY};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        c.feed(&enc.encode(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        }));
+        let frame = |enc: &mut FrameEncoder, y: i32| {
+            enc.encode(&Message::Display(DisplayCommand::Sfill {
+                rect: Rect::new(0, y, 32, 8),
+                color: Color::rgb(1, 1, 1),
+            }))
+        };
+        let f0 = frame(&mut enc, 0);
+        let lost = frame(&mut enc, 8); // encoded, never delivered
+        let f2 = frame(&mut enc, 16);
+        c.feed(&f0);
+        assert!(!c.needs_refresh());
+        drop(lost);
+        c.feed(&f2);
+        assert!(c.needs_refresh(), "a sequence gap means lost updates");
+        let m = c.resilience_metrics();
+        assert_eq!(m.seq_gaps(), 1);
+        assert_eq!(m.resyncs_triggered(), 1);
+        // A full opaque repaint recovers.
+        c.feed(&enc.encode(&Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 32, 32),
+            color: Color::rgb(2, 2, 2),
+        })));
+        assert!(!c.needs_refresh());
+    }
+
+    #[test]
+    fn duplicate_frames_are_absorbed_silently() {
+        use thinc_protocol::wire::FrameEncoder;
+        use thinc_protocol::{PROTOCOL_VERSION, WIRE_REV_INTEGRITY};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        c.feed(&enc.encode(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        }));
+        let bytes = enc.encode(&Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 32, 32),
+            color: Color::rgb(6, 6, 6),
+        }));
+        assert_eq!(c.feed(&bytes), 1);
+        assert_eq!(c.feed(&bytes), 0, "the duplicate applies nothing");
+        assert_eq!(c.resilience_metrics().seq_dups(), 1);
+        assert!(!c.needs_refresh(), "duplicates are not damage");
+    }
+
+    #[test]
+    fn crc_damage_counts_and_latches_refresh() {
+        use thinc_protocol::wire::FrameEncoder;
+        use thinc_protocol::{PROTOCOL_VERSION, WIRE_REV_INTEGRITY};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        c.feed(&enc.encode(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        }));
+        let mut bytes = enc.encode(&Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 32, 32),
+            color: Color::rgb(6, 6, 6),
+        }));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert_eq!(c.feed(&bytes), 0, "a damaged frame never applies");
+        assert!(c.needs_refresh());
+        let m = c.resilience_metrics();
+        assert!(m.crc_failures() >= 1);
+        assert!(m.decode_errors() >= 1);
+    }
+
+    #[test]
+    fn reader_reset_preserves_negotiated_revision() {
+        use thinc_protocol::wire::FrameEncoder;
+        use thinc_protocol::{PROTOCOL_VERSION, WIRE_REV_INTEGRITY};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        c.feed(&enc.encode(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        }));
+        c.reconnect();
+        assert_eq!(
+            c.wire_revision(),
+            WIRE_REV_INTEGRITY,
+            "a redial must not fall back to legacy framing"
+        );
+        // Post-reconnect integrity traffic still decodes (any sequence
+        // number is accepted on the fresh stream).
+        let bytes = enc.encode(&Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 32, 32),
+            color: Color::rgb(4, 4, 4),
+        }));
+        assert_eq!(c.feed(&bytes), 1);
+        assert_eq!(c.resilience_metrics().seq_gaps(), 0);
     }
 
     #[test]

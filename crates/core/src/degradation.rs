@@ -127,8 +127,14 @@ pub struct EpochSignals {
     pub collapsed_rounds: u64,
     /// Cumulative stale audio/video drops.
     pub stale_av_drops: u64,
+    /// Cumulative byte-corruption events observed on the link.
+    pub corrupt_events: u64,
+    /// Cumulative segments the link delivered out of order.
+    pub segments_reordered: u64,
+    /// Cumulative segments the link delivered more than once.
+    pub segments_duplicated: u64,
     /// Whether the transport reports a fault window live right now
-    /// (down, collapsed or corrupting).
+    /// (down, collapsed, corrupting, reordering or duplicating).
     pub link_impaired: bool,
 }
 
@@ -202,7 +208,10 @@ impl DegradationController {
         let fresh_faults = s.overflow_evictions > self.prev.overflow_evictions
             || s.outage_defers > self.prev.outage_defers
             || s.collapsed_rounds > self.prev.collapsed_rounds
-            || s.stale_av_drops > self.prev.stale_av_drops;
+            || s.stale_av_drops > self.prev.stale_av_drops
+            || s.corrupt_events > self.prev.corrupt_events
+            || s.segments_reordered > self.prev.segments_reordered
+            || s.segments_duplicated > self.prev.segments_duplicated;
         if fresh_faults {
             return true;
         }
@@ -271,6 +280,26 @@ mod tests {
         let t = c.observe(&pressure(3)).expect("second consecutive hot epoch");
         assert!(t.is_demotion());
         assert_eq!(c.level(), DegradationLevel::Reduced);
+        assert_eq!(c.demotions(), 1);
+    }
+
+    #[test]
+    fn corruption_pressure_counts_like_loss() {
+        // Integrity-layer evidence (corruption, reordering,
+        // duplication) drives the ladder exactly like loss evidence.
+        let mut c = DegradationController::new(DegradationConfig::default());
+        let s = |corrupt, reorder, dup| EpochSignals {
+            corrupt_events: corrupt,
+            segments_reordered: reorder,
+            segments_duplicated: dup,
+            ..EpochSignals::default()
+        };
+        assert_eq!(c.observe(&s(1, 0, 0)), None);
+        let t = c.observe(&s(1, 1, 0)).expect("fresh reorder sustains the streak");
+        assert!(t.is_demotion());
+        // Unchanged cumulative values are no longer pressure.
+        assert_eq!(c.observe(&s(1, 1, 0)), None);
+        assert_eq!(c.observe(&s(1, 1, 1)), None); // dup: 1 hot epoch again
         assert_eq!(c.demotions(), 1);
     }
 

@@ -21,7 +21,7 @@ use thinc_net::time::SimTime;
 use thinc_net::trace::{Direction, PacketTrace};
 use thinc_protocol::commands::DisplayCommand;
 use thinc_protocol::message::{Message, ProtocolInput};
-use thinc_protocol::wire::encode_message;
+use thinc_protocol::wire::{encode_message, FrameEncoder};
 use thinc_protocol::PROTOCOL_VERSION;
 use thinc_raster::{Color, Framebuffer, PixelFormat, Point, Rect, YuvFrame};
 
@@ -147,6 +147,10 @@ pub struct ThincServer {
     /// [`resync`](Self::resync) from the harness (which owns the
     /// screen).
     resync_requested: bool,
+    /// Outgoing wire framer. Starts legacy; the client's hello
+    /// upgrades it to integrity framing (sequence + CRC32) when both
+    /// sides speak protocol version ≥ 2.
+    encoder: FrameEncoder,
 }
 
 impl ThincServer {
@@ -195,6 +199,7 @@ impl ThincServer {
             refresh_debt: thinc_raster::Region::new(),
             refresh_owed: false,
             resync_requested: false,
+            encoder: FrameEncoder::new(),
         }
     }
 
@@ -221,6 +226,22 @@ impl ThincServer {
             height: self.config.height,
             depth: self.config.format.depth() as u8,
         }
+    }
+
+    /// Frames `msg` for the wire at the negotiated revision,
+    /// stamping revision-2 frames with a sequence number and CRC32.
+    /// Harnesses that move real bytes (rather than `Message` values)
+    /// must encode through this so the client's integrity
+    /// verification has something to verify.
+    pub fn encode_frame(&mut self, msg: &Message) -> Vec<u8> {
+        self.encoder.encode(msg)
+    }
+
+    /// The wire framing revision negotiated with the client
+    /// ([`thinc_protocol::WIRE_REV_LEGACY`] until a `ClientHello`
+    /// announcing protocol version ≥ 2 arrives).
+    pub fn wire_revision(&self) -> u16 {
+        self.encoder.revision()
     }
 
     /// Advances the server's virtual clock (stamps A/V data and the
@@ -363,11 +384,19 @@ impl ThincServer {
         }
         match msg {
             Message::ClientHello {
+                version,
                 viewport_width,
                 viewport_height,
-                ..
+            } => {
+                // Negotiate the wire revision: the session adopts the
+                // highest framing both sides speak. A version-1 client
+                // keeps the whole stream legacy-framed, so old
+                // captures and old clients still decode.
+                self.encoder.negotiate(*version);
+                self.set_viewport(*viewport_width, *viewport_height);
+                None
             }
-            | Message::Resize {
+            Message::Resize {
                 viewport_width,
                 viewport_height,
             } => {
@@ -738,6 +767,9 @@ impl ThincServer {
                 outage_defers: fs.outage_defers,
                 collapsed_rounds: fs.collapsed_rounds,
                 stale_av_drops: self.resilience.stale_video_dropped(),
+                corrupt_events: fs.corrupt_events,
+                segments_reordered: fs.segments_reordered,
+                segments_duplicated: fs.segments_duplicated,
                 link_impaired: pipe.fault_window_active(now),
             };
             ctrl.observe(&signals)

@@ -632,6 +632,9 @@ fn observe_client_degradation(state: &mut ClientState, now: SimTime, pipe: &TcpP
             outage_defers: fs.outage_defers,
             collapsed_rounds: fs.collapsed_rounds,
             stale_av_drops: 0,
+            corrupt_events: fs.corrupt_events,
+            segments_reordered: fs.segments_reordered,
+            segments_duplicated: fs.segments_duplicated,
             link_impaired: pipe.fault_window_active(now),
         };
         ctrl.observe(&signals)

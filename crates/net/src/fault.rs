@@ -67,6 +67,26 @@ pub struct CorruptionWindow {
     pub rate: f64,
 }
 
+/// A reordering episode: during the window each delivered segment is
+/// held back (swapped with the next one) with probability `rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderWindow {
+    /// When the reordering applies.
+    pub window: FaultWindow,
+    /// Per-segment hold-back probability (0–1).
+    pub rate: f64,
+}
+
+/// A duplication episode: during the window each delivered segment is
+/// delivered twice with probability `rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DuplicateWindow {
+    /// When the duplication applies.
+    pub window: FaultWindow,
+    /// Per-segment duplication probability (0–1).
+    pub rate: f64,
+}
+
 /// Everything that goes wrong on one link, declaratively.
 ///
 /// Build with the `with_*` combinators; attach to a pipe with
@@ -98,6 +118,10 @@ pub struct FaultPlan {
     pub collapses: Vec<CollapseWindow>,
     /// Scheduled byte-corruption windows.
     pub corruption: Vec<CorruptionWindow>,
+    /// Scheduled segment-reordering windows.
+    pub reorder: Vec<ReorderWindow>,
+    /// Scheduled segment-duplication windows.
+    pub duplication: Vec<DuplicateWindow>,
 }
 
 impl FaultPlan {
@@ -133,6 +157,26 @@ impl FaultPlan {
     /// Adds a byte-corruption window at per-byte probability `rate`.
     pub fn with_corruption(mut self, start: SimTime, len: SimDuration, rate: f64) -> Self {
         self.corruption.push(CorruptionWindow {
+            window: FaultWindow::new(start, len),
+            rate: rate.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Adds a segment-reordering window at per-segment probability
+    /// `rate`.
+    pub fn with_reorder(mut self, start: SimTime, len: SimDuration, rate: f64) -> Self {
+        self.reorder.push(ReorderWindow {
+            window: FaultWindow::new(start, len),
+            rate: rate.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Adds a segment-duplication window at per-segment probability
+    /// `rate`.
+    pub fn with_duplication(mut self, start: SimTime, len: SimDuration, rate: f64) -> Self {
+        self.duplication.push(DuplicateWindow {
             window: FaultWindow::new(start, len),
             rate: rate.clamp(0.0, 1.0),
         });
@@ -186,12 +230,34 @@ impl FaultPlan {
             .fold(0.0, f64::max)
     }
 
+    /// The per-segment reorder probability at `t` (0.0 outside every
+    /// reorder window).
+    pub fn reorder_rate(&self, t: SimTime) -> f64 {
+        self.reorder
+            .iter()
+            .filter(|r| r.window.contains(t))
+            .map(|r| r.rate)
+            .fold(0.0, f64::max)
+    }
+
+    /// The per-segment duplication probability at `t` (0.0 outside
+    /// every duplication window).
+    pub fn duplication_rate(&self, t: SimTime) -> f64 {
+        self.duplication
+            .iter()
+            .filter(|d| d.window.contains(t))
+            .map(|d| d.rate)
+            .fold(0.0, f64::max)
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_noop(&self) -> bool {
         self.loss_rate == 0.0
             && self.outages.is_empty()
             && self.collapses.is_empty()
             && self.corruption.is_empty()
+            && self.reorder.is_empty()
+            && self.duplication.is_empty()
     }
 }
 
@@ -212,6 +278,10 @@ pub struct FaultStats {
     pub outage_defers: u64,
     /// Congestion rounds served at collapsed rate.
     pub collapsed_rounds: u64,
+    /// Segments delivered out of order.
+    pub segments_reordered: u64,
+    /// Segments delivered more than once.
+    pub segments_duplicated: u64,
 }
 
 /// A [`FaultPlan`] in execution: the seeded PRNG plus counters.
@@ -220,6 +290,9 @@ pub struct FaultState {
     plan: FaultPlan,
     rng: SplitMix64,
     stats: FaultStats,
+    /// Segment held back by an active reorder window, delivered after
+    /// the next segment (or by [`flush_disturbed`](Self::flush_disturbed)).
+    held: Option<Vec<u8>>,
 }
 
 impl FaultState {
@@ -230,6 +303,7 @@ impl FaultState {
             plan,
             rng,
             stats: FaultStats::default(),
+            held: None,
         }
     }
 
@@ -307,6 +381,48 @@ impl FaultState {
             self.stats.corrupted_bytes += damaged as u64;
         }
         damaged
+    }
+
+    /// Applies every byte-stream disturbance active at `t` to one
+    /// outgoing segment and returns the segments to deliver, in order.
+    ///
+    /// Corruption happens first (in place), then reordering — a
+    /// segment may be held back and released after its successor —
+    /// then duplication appends a second copy of the segment. A held
+    /// segment is released by the next `disturb` call or by
+    /// [`flush_disturbed`](Self::flush_disturbed) at end of stream.
+    /// Plans without reorder/duplication windows draw no extra PRNG
+    /// values, so existing corruption-only seeds reproduce the exact
+    /// byte streams they always did.
+    pub fn disturb(&mut self, t: SimTime, mut seg: Vec<u8>) -> Vec<Vec<u8>> {
+        self.corrupt(t, &mut seg);
+        let reorder = self.plan.reorder_rate(t);
+        if reorder > 0.0
+            && self.held.is_none()
+            && !seg.is_empty()
+            && self.rng.next_f64() < reorder
+        {
+            self.stats.segments_reordered += 1;
+            self.held = Some(seg);
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(3);
+        out.push(seg);
+        if let Some(held) = self.held.take() {
+            out.push(held);
+        }
+        let dup = self.plan.duplication_rate(t);
+        if dup > 0.0 && self.rng.next_f64() < dup {
+            self.stats.segments_duplicated += 1;
+            out.push(out[0].clone());
+        }
+        out
+    }
+
+    /// Releases a segment still held back by a reorder window, if any.
+    /// Call when the stream ends so no bytes are silently dropped.
+    pub fn flush_disturbed(&mut self) -> Option<Vec<u8>> {
+        self.held.take()
     }
 }
 
@@ -414,5 +530,76 @@ mod tests {
     fn noop_plan_detected() {
         assert!(FaultPlan::seeded(5).is_noop());
         assert!(!FaultPlan::seeded(5).with_loss(0.01).is_noop());
+        assert!(!FaultPlan::seeded(5)
+            .with_reorder(SimTime(0), SimDuration(1), 0.5)
+            .is_noop());
+        assert!(!FaultPlan::seeded(5)
+            .with_duplication(SimTime(0), SimDuration(1), 0.5)
+            .is_noop());
+    }
+
+    #[test]
+    fn disturb_preserves_bytes_and_multiset() {
+        // Reorder + duplication never lose or damage payload when no
+        // corruption window is active: every input segment comes out
+        // at least once, duplicates are exact copies.
+        let plan = FaultPlan::seeded(21)
+            .with_reorder(SimTime(0), SimDuration(1_000_000), 0.4)
+            .with_duplication(SimTime(0), SimDuration(1_000_000), 0.3);
+        let mut s = FaultState::new(plan);
+        let inputs: Vec<Vec<u8>> = (0..200u8).map(|i| vec![i; 3]).collect();
+        let mut delivered = Vec::new();
+        for seg in &inputs {
+            delivered.extend(s.disturb(SimTime(10), seg.clone()));
+        }
+        if let Some(tail) = s.flush_disturbed() {
+            delivered.push(tail);
+        }
+        let stats = s.stats();
+        assert!(stats.segments_reordered > 0, "{stats:?}");
+        assert!(stats.segments_duplicated > 0, "{stats:?}");
+        assert_eq!(
+            delivered.len(),
+            inputs.len() + stats.segments_duplicated as usize
+        );
+        // Every input appears; dedup restores the original multiset.
+        let mut seen = delivered.clone();
+        seen.sort();
+        seen.dedup();
+        let mut want = inputs.clone();
+        want.sort();
+        want.dedup();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn disturb_without_windows_is_transparent_and_drawless() {
+        let plan = FaultPlan::seeded(33).with_loss(0.5);
+        let mut s = FaultState::new(plan.clone());
+        let mut reference = FaultState::new(plan);
+        let out = s.disturb(SimTime(5), vec![1, 2, 3]);
+        assert_eq!(out, vec![vec![1, 2, 3]]);
+        assert_eq!(s.flush_disturbed(), None);
+        // No PRNG draws happened: the loss sequence is unchanged.
+        let a: Vec<bool> = (0..64).map(|_| s.draw_loss()).collect();
+        let b: Vec<bool> = (0..64).map(|_| reference.draw_loss()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disturb_is_seed_deterministic() {
+        let plan = FaultPlan::seeded(77)
+            .with_reorder(SimTime(0), SimDuration(1_000), 0.5)
+            .with_duplication(SimTime(0), SimDuration(1_000), 0.5);
+        let run = || {
+            let mut s = FaultState::new(plan.clone());
+            let mut out = Vec::new();
+            for i in 0..50u8 {
+                out.extend(s.disturb(SimTime(1), vec![i]));
+            }
+            out.extend(s.flush_disturbed());
+            (out, s.stats())
+        };
+        assert_eq!(run(), run());
     }
 }

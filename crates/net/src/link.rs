@@ -69,6 +69,31 @@ impl NetworkConfig {
         }
     }
 
+    /// The worst path the resilience stack is asked to survive:
+    /// [`lossy_wan`](Self::lossy_wan)'s link parameters and loss, plus
+    /// sustained byte corruption, segment reordering and segment
+    /// duplication windows. Nothing on this path can be trusted —
+    /// this is what the integrity framing (protocol revision 2:
+    /// per-frame CRC32 + sequence numbers) exists to survive. Use
+    /// [`with_faults`](Self::with_faults) to change the seed or
+    /// window schedule.
+    pub fn hostile_wan() -> Self {
+        let second = SimDuration::from_secs_f64(1.0);
+        Self {
+            name: "Hostile WAN".into(),
+            bandwidth_bps: 10_000_000,
+            rtt: SimDuration::from_millis(80),
+            rwnd_bytes: 256 * 1024,
+            fault: Some(
+                FaultPlan::seeded(0x0505_711E)
+                    .with_loss(0.01)
+                    .with_corruption(SimTime(200_000), second, 0.0005)
+                    .with_reorder(SimTime(400_000), second, 0.05)
+                    .with_duplication(SimTime(600_000), second, 0.05),
+            ),
+        }
+    }
+
     /// The paper's 802.11g PDA environment: idealized 24 Mbps wireless,
     /// no added latency or loss (per §8.1: only the small screen and
     /// bandwidth are modeled).
@@ -269,6 +294,39 @@ mod tests {
         // Enough traffic (~1000 congestion rounds) observes a loss.
         link.send_down(SimTime::ZERO, 100_000_000);
         assert!(link.down.fault_stats().segments_lost > 0);
+    }
+
+    #[test]
+    fn hostile_wan_preset_combines_all_stream_faults() {
+        let cfg = NetworkConfig::hostile_wan();
+        let plan = cfg.fault.as_ref().expect("preset carries a plan");
+        assert!(plan.loss_rate > 0.0);
+        assert!(!plan.corruption.is_empty());
+        assert!(!plan.reorder.is_empty());
+        assert!(!plan.duplication.is_empty());
+        let mut link = cfg.connect();
+        // Mid-schedule, the reorder and duplication windows are live.
+        assert!(link.down.fault_plan().unwrap().reorder_rate(SimTime(500_000)) > 0.0);
+        assert!(
+            link.down
+                .fault_plan()
+                .unwrap()
+                .duplication_rate(SimTime(700_000))
+                > 0.0
+        );
+        assert!(link.down.fault_window_active(SimTime(500_000)));
+        // Disturbing traffic through the window reorders/duplicates.
+        let mut reordered = 0;
+        let mut duplicated = 0;
+        for i in 0..400u32 {
+            let _ = link.down.disturb(SimTime(650_000), vec![i as u8; 8]);
+            let s = link.down.fault_stats();
+            reordered = s.segments_reordered;
+            duplicated = s.segments_duplicated;
+        }
+        let _ = link.down.flush_disturbed();
+        assert!(reordered > 0, "reorder window never fired");
+        assert!(duplicated > 0, "duplication window never fired");
     }
 
     #[test]

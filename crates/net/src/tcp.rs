@@ -117,7 +117,11 @@ impl TcpPipe {
     pub fn fault_window_active(&self, now: SimTime) -> bool {
         self.fault.as_ref().is_some_and(|f| {
             let plan = f.plan();
-            plan.is_down(now) || plan.rate_factor(now) < 1.0 || plan.corruption_rate(now) > 0.0
+            plan.is_down(now)
+                || plan.rate_factor(now) < 1.0
+                || plan.corruption_rate(now) > 0.0
+                || plan.reorder_rate(now) > 0.0
+                || plan.duplication_rate(now) > 0.0
         })
     }
 
@@ -132,6 +136,24 @@ impl TcpPipe {
             Some(f) => f.corrupt(now, data),
             None => 0,
         }
+    }
+
+    /// Applies every byte-stream disturbance active at `now`
+    /// (corruption, reordering, duplication) to one outgoing segment,
+    /// returning the segments to deliver in order. With no plan
+    /// installed the segment passes through untouched. See
+    /// [`FaultState::disturb`](crate::fault::FaultState::disturb).
+    pub fn disturb(&mut self, now: SimTime, seg: Vec<u8>) -> Vec<Vec<u8>> {
+        match self.fault.as_mut() {
+            Some(f) => f.disturb(now, seg),
+            None => vec![seg],
+        }
+    }
+
+    /// Releases a segment held back by a reorder window, if any. Call
+    /// at end of stream so reordering never silently drops bytes.
+    pub fn flush_disturbed(&mut self) -> Option<Vec<u8>> {
+        self.fault.as_mut().and_then(|f| f.flush_disturbed())
     }
 
     /// The flow parameters.

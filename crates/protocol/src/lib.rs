@@ -31,7 +31,15 @@ pub mod wire;
 
 pub use commands::{DisplayCommand, RawEncoding, Tile};
 pub use message::{Message, ProtocolInput};
-pub use wire::{decode_message, encode_message, DecodeError, FrameReader};
+pub use wire::{
+    crc32, decode_message, encode_message, encode_message_seq, DecodeError, FrameEncoder,
+    FrameReader, IntegrityCounters, WIRE_REV_INTEGRITY, WIRE_REV_LEGACY,
+};
 
 /// Protocol version implemented by this crate.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 adds the integrity wire framing: every non-handshake
+/// frame carries a sequence number and CRC32 in an extended header
+/// (see [`wire`]). Handshake frames keep version-1 framing so
+/// negotiation itself never depends on the outcome of negotiation.
+pub const PROTOCOL_VERSION: u16 = 2;

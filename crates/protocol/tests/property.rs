@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use thinc_protocol::commands::{DisplayCommand, RawEncoding, Tile};
 use thinc_protocol::message::{Message, ProtocolInput};
-use thinc_protocol::wire::{decode_message, encode_message, FrameReader};
+use thinc_protocol::wire::{decode_message, encode_message, FrameEncoder, FrameReader};
+use thinc_protocol::WIRE_REV_INTEGRITY;
 use thinc_raster::{Color, Rect, YuvFormat};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
@@ -74,6 +75,40 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 dst,
             }
         ),
+        (any::<u32>(), any::<u32>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(id, seq, timestamp_us, data)| Message::VideoData {
+                id,
+                seq,
+                timestamp_us,
+                data,
+            }),
+        (any::<u32>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..256)).prop_map(
+            |(seq, timestamp_us, data)| Message::Audio {
+                seq,
+                timestamp_us,
+                data,
+            }
+        ),
+        (any::<i16>(), any::<i16>(), any::<u8>()).prop_map(|(x, y, button)| Message::Input(
+            ProtocolInput::ButtonPress {
+                x: x as i32,
+                y: y as i32,
+                button,
+            }
+        )),
+        (any::<u32>(), any::<u32>()).prop_map(|(w, h)| Message::Resize {
+            viewport_width: w,
+            viewport_height: h,
+        }),
+    ]
+}
+
+/// Messages that travel on a negotiated (revision-2) stream: the
+/// handshake itself is excluded because it is always legacy-framed
+/// and carries no sequence number.
+fn arb_stream_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_command().prop_map(Message::Display),
         (any::<u32>(), any::<u32>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..256))
             .prop_map(|(id, seq, timestamp_us, data)| Message::VideoData {
                 id,
@@ -209,6 +244,153 @@ proptest! {
         for (g, m) in got.iter().zip(msgs.iter()) {
             prop_assert_eq!(g, m);
         }
+    }
+
+    /// Clean integrity streams are equivalent to legacy streams:
+    /// arbitrary messages framed at revision 2 and fed through any
+    /// fragmentation decode to exactly the same message sequence,
+    /// with zero integrity counters raised.
+    #[test]
+    fn integrity_streams_round_trip_any_fragmentation(
+        msgs in prop::collection::vec(arb_message(), 1..8),
+        cuts in prop::collection::vec(1usize..64, 1..32),
+    ) {
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(enc.encode(m));
+        }
+        let mut reader = FrameReader::with_revision(WIRE_REV_INTEGRITY);
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut cut_iter = cuts.iter().cycle();
+        while pos < stream.len() {
+            let take = (*cut_iter.next().unwrap()).min(stream.len() - pos);
+            reader.feed(&stream[pos..pos + take]);
+            pos += take;
+            while let Some(m) = reader.next_message().expect("clean integrity stream") {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        let c = reader.integrity();
+        prop_assert_eq!(c.crc_fail, 0);
+        prop_assert_eq!(c.seq_gap, 0);
+        prop_assert_eq!(c.seq_dup, 0);
+        prop_assert!(!reader.take_seq_break());
+    }
+
+    /// Bit-flipped integrity streams: damage surfaces as typed
+    /// errors that resync drains — and every message that *is*
+    /// delivered on a checksummed frame is byte-identical to one the
+    /// encoder actually sent. A flip can forge a legacy-framed
+    /// handshake (those carry no CRC by design), but it can never
+    /// forge a pixel command.
+    #[test]
+    fn integrity_bit_flips_never_forge_a_command(
+        msgs in prop::collection::vec(arb_stream_message(), 1..8),
+        flips in prop::collection::vec((any::<u32>(), 0u8..8), 1..32),
+    ) {
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(enc.encode(m));
+        }
+        let clean = stream.clone();
+        for (pos, bit) in &flips {
+            let idx = (*pos as usize) % stream.len();
+            stream[idx] ^= 1 << bit;
+        }
+        let bound = stream.len();
+        let mut reader = FrameReader::with_revision(WIRE_REV_INTEGRITY);
+        reader.feed(&stream);
+        let mut got = Vec::new();
+        let mut progress_guard = 0usize;
+        loop {
+            match reader.next_message() {
+                Ok(Some(m)) => got.push(m),
+                Ok(None) => break,
+                Err(_) => {
+                    prop_assert!(reader.resync() > 0, "resync must make progress");
+                }
+            }
+            prop_assert!(reader.pending_bytes() <= bound);
+            progress_guard += 1;
+            prop_assert!(progress_guard <= bound + msgs.len() + 1, "no forward progress");
+        }
+        for m in &got {
+            if matches!(m, Message::ServerHello { .. } | Message::ClientHello { .. }) {
+                continue; // legacy-framed: a flip may forge one, it carries no CRC
+            }
+            prop_assert!(
+                msgs.contains(m),
+                "a checksummed frame delivered a message the encoder never sent"
+            );
+        }
+        // If no frame actually changed, the stream must decode clean.
+        if stream == clean {
+            prop_assert_eq!(got, msgs);
+            prop_assert_eq!(reader.integrity().crc_fail, 0);
+        }
+    }
+
+    /// Whole-frame reordering and duplication: the reader's sequence
+    /// accounting is exactly the documented model — in-order frames
+    /// deliver, forward jumps deliver and count a gap, rollbacks drop
+    /// and count a duplicate — and never emits a message that was not
+    /// encoded.
+    #[test]
+    fn integrity_reorder_duplication_matches_sequence_model(
+        msgs in prop::collection::vec(arb_stream_message(), 2..8),
+        picks in prop::collection::vec(any::<u16>(), 1..16),
+    ) {
+        // Frame each message individually so frames can be shuffled.
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        let frames: Vec<Vec<u8>> = msgs.iter().map(|m| enc.encode(m)).collect();
+        // Deliver frames in an arbitrary with-replacement order: some
+        // frames repeat (duplicates), some never arrive (gaps).
+        let order: Vec<usize> = picks.iter().map(|&p| p as usize % frames.len()).collect();
+
+        // The documented sequence model, run on the same order.
+        let mut last: Option<u32> = None;
+        let mut expect = Vec::new();
+        let (mut exp_gap, mut exp_dup) = (0u64, 0u64);
+        for &i in &order {
+            let seq = i as u32;
+            match last {
+                None => {
+                    expect.push(msgs[i].clone());
+                    last = Some(seq);
+                }
+                Some(l) => {
+                    let delta = seq.wrapping_sub(l.wrapping_add(1));
+                    if delta == 0 || delta < u32::MAX / 2 {
+                        if delta != 0 {
+                            exp_gap += 1;
+                        }
+                        expect.push(msgs[i].clone());
+                        last = Some(seq);
+                    } else {
+                        exp_dup += 1;
+                    }
+                }
+            }
+        }
+
+        let mut reader = FrameReader::with_revision(WIRE_REV_INTEGRITY);
+        for &i in &order {
+            reader.feed(&frames[i]);
+        }
+        let mut got = Vec::new();
+        while let Some(m) = reader.next_message().expect("undamaged frames") {
+            got.push(m);
+        }
+        prop_assert_eq!(got, expect);
+        let c = reader.integrity();
+        prop_assert_eq!(c.crc_fail, 0, "undamaged frames never fail CRC");
+        prop_assert_eq!(c.seq_gap, exp_gap);
+        prop_assert_eq!(c.seq_dup, exp_dup);
+        prop_assert_eq!(reader.take_seq_break(), exp_gap > 0);
     }
 
     /// Pure random bytes through the full feed/decode/resync loop:

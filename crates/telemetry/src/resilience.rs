@@ -46,10 +46,18 @@ pub struct ResilienceMetrics {
     pings_sent: Counter,
     reconnects: Counter,
     resyncs: Counter,
+    // Byte-stream disturbances beyond corruption.
+    segments_reordered: Counter,
+    segments_duplicated: Counter,
     // Client-side recovery.
     decode_errors: Counter,
     stream_resyncs: Counter,
     skipped_bytes: Counter,
+    // Wire integrity verification (protocol revision 2).
+    crc_failures: Counter,
+    seq_gaps: Counter,
+    seq_dups: Counter,
+    resyncs_triggered: Counter,
     // Adaptive degradation (the feedback loop acting on the above).
     degrade_steps: Counter,
     promote_steps: Counter,
@@ -103,6 +111,7 @@ impl ResilienceMetrics {
     /// Folds in transport fault counts tallied by the fault-injected
     /// link itself (the transport crate carries no telemetry
     /// dependency; a harness moves its plain counters here).
+    #[allow(clippy::too_many_arguments)]
     pub fn add_transport_faults(
         &mut self,
         segments_lost: u64,
@@ -110,12 +119,16 @@ impl ResilienceMetrics {
         corrupt_events: u64,
         corrupted_bytes: u64,
         outage_defers: u64,
+        segments_reordered: u64,
+        segments_duplicated: u64,
     ) {
         self.segments_lost.add(segments_lost);
         self.retransmits.add(retransmits);
         self.corrupt_events.add(corrupt_events);
         self.corrupted_bytes.add(corrupted_bytes);
         self.outage_defers.add(outage_defers);
+        self.segments_reordered.add(segments_reordered);
+        self.segments_duplicated.add(segments_duplicated);
     }
 
     /// Records a stale video frame dropped under backpressure.
@@ -168,6 +181,40 @@ impl ResilienceMetrics {
     pub fn record_stream_resync(&mut self, bytes: u64) {
         self.stream_resyncs.inc();
         self.skipped_bytes.add(bytes);
+    }
+
+    /// Records a frame rejected because its CRC32 failed verification
+    /// (integrity framing, protocol revision 2).
+    pub fn record_crc_failure(&mut self) {
+        self.crc_failures.inc();
+    }
+
+    /// Records a forward sequence-number gap (frames lost in transit
+    /// while framing stayed parseable).
+    pub fn record_seq_gap(&mut self) {
+        self.seq_gaps.inc();
+    }
+
+    /// Records a frame dropped as a duplicate or sequence rollback.
+    pub fn record_seq_dup(&mut self) {
+        self.seq_dups.inc();
+    }
+
+    /// Records an integrity failure escalating into a recovery action
+    /// (refresh request / full resync), as opposed to being absorbed
+    /// silently.
+    pub fn record_resync_triggered(&mut self) {
+        self.resyncs_triggered.inc();
+    }
+
+    /// Folds in integrity-verification counts tallied by the wire
+    /// reader itself (`thinc-protocol` carries no telemetry
+    /// dependency; the client diffs the reader's plain counters and
+    /// moves them here).
+    pub fn add_integrity_counts(&mut self, crc_failures: u64, seq_gaps: u64, seq_dups: u64) {
+        self.crc_failures.add(crc_failures);
+        self.seq_gaps.add(seq_gaps);
+        self.seq_dups.add(seq_dups);
     }
 
     /// Segments lost to injected loss.
@@ -225,6 +272,36 @@ impl ResilienceMetrics {
         self.resyncs.get()
     }
 
+    /// Segments delivered out of order by the transport.
+    pub fn segments_reordered(&self) -> u64 {
+        self.segments_reordered.get()
+    }
+
+    /// Segments delivered more than once by the transport.
+    pub fn segments_duplicated(&self) -> u64 {
+        self.segments_duplicated.get()
+    }
+
+    /// Frames rejected by CRC verification.
+    pub fn crc_failures(&self) -> u64 {
+        self.crc_failures.get()
+    }
+
+    /// Forward sequence gaps observed.
+    pub fn seq_gaps(&self) -> u64 {
+        self.seq_gaps.get()
+    }
+
+    /// Duplicate/rollback frames dropped.
+    pub fn seq_dups(&self) -> u64 {
+        self.seq_dups.get()
+    }
+
+    /// Integrity failures escalated into recovery actions.
+    pub fn resyncs_triggered(&self) -> u64 {
+        self.resyncs_triggered.get()
+    }
+
     /// Wire decode errors survived.
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors.get()
@@ -280,9 +357,15 @@ impl ResilienceMetrics {
         self.pings_sent.add(other.pings_sent.get());
         self.reconnects.add(other.reconnects.get());
         self.resyncs.add(other.resyncs.get());
+        self.segments_reordered.add(other.segments_reordered.get());
+        self.segments_duplicated.add(other.segments_duplicated.get());
         self.decode_errors.add(other.decode_errors.get());
         self.stream_resyncs.add(other.stream_resyncs.get());
         self.skipped_bytes.add(other.skipped_bytes.get());
+        self.crc_failures.add(other.crc_failures.get());
+        self.seq_gaps.add(other.seq_gaps.get());
+        self.seq_dups.add(other.seq_dups.get());
+        self.resyncs_triggered.add(other.resyncs_triggered.get());
         self.degrade_steps.add(other.degrade_steps.get());
         self.promote_steps.add(other.promote_steps.get());
         // Levels are states, not counts: merging session views keeps
@@ -306,9 +389,15 @@ impl ResilienceMetrics {
             pings_sent: self.pings_sent(),
             reconnects: self.reconnects(),
             resyncs: self.resyncs(),
+            segments_reordered: self.segments_reordered(),
+            segments_duplicated: self.segments_duplicated(),
             decode_errors: self.decode_errors(),
             stream_resyncs: self.stream_resyncs(),
             skipped_bytes: self.skipped_bytes(),
+            crc_failures: self.crc_failures(),
+            seq_gaps: self.seq_gaps(),
+            seq_dups: self.seq_dups(),
+            resyncs_triggered: self.resyncs_triggered(),
             degrade_steps: self.degrade_steps(),
             promote_steps: self.promote_steps(),
             degradation_level: self.degradation_level(),
@@ -343,12 +432,24 @@ pub struct ResilienceSnapshot {
     pub reconnects: u64,
     /// Full resynchronizations performed.
     pub resyncs: u64,
+    /// Segments delivered out of order by the transport.
+    pub segments_reordered: u64,
+    /// Segments delivered more than once by the transport.
+    pub segments_duplicated: u64,
     /// Wire decode errors survived.
     pub decode_errors: u64,
     /// Times the receiver scanned past damage.
     pub stream_resyncs: u64,
     /// Bytes skipped while scanning past damage.
     pub skipped_bytes: u64,
+    /// Frames rejected by CRC verification.
+    pub crc_failures: u64,
+    /// Forward sequence gaps observed.
+    pub seq_gaps: u64,
+    /// Duplicate/rollback frames dropped.
+    pub seq_dups: u64,
+    /// Integrity failures escalated into recovery actions.
+    pub resyncs_triggered: u64,
     /// Fidelity reductions by the degradation controller.
     pub degrade_steps: u64,
     /// Fidelity restorations by the degradation controller.
@@ -412,6 +513,28 @@ mod tests {
         assert_eq!(s.promote_steps, 1);
         assert_eq!(s.degradation_level, 1);
         assert_eq!(s.max_degradation_level, 2);
+    }
+
+    #[test]
+    fn integrity_counters_accumulate_merge_and_snapshot() {
+        let mut m = ResilienceMetrics::new();
+        m.record_crc_failure();
+        m.record_seq_gap();
+        m.record_seq_dup();
+        m.record_resync_triggered();
+        m.add_integrity_counts(2, 3, 4);
+        m.add_transport_faults(0, 0, 0, 0, 0, 5, 6);
+        let mut other = ResilienceMetrics::new();
+        other.record_crc_failure();
+        other.add_transport_faults(0, 0, 0, 0, 0, 1, 1);
+        m.merge(&other);
+        let s = m.snapshot();
+        assert_eq!(s.crc_failures, 4);
+        assert_eq!(s.seq_gaps, 4);
+        assert_eq!(s.seq_dups, 5);
+        assert_eq!(s.resyncs_triggered, 1);
+        assert_eq!(s.segments_reordered, 6);
+        assert_eq!(s.segments_duplicated, 7);
     }
 
     #[test]
