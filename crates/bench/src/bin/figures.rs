@@ -296,6 +296,10 @@ fn breakdown_table(title: &str, t: &thinc_telemetry::SessionTelemetry) -> String
         r.segments_duplicated,
     ));
     out.push_str(&format!(
+        "  cache: {} hits, {} misses, {} evictions, {} bytes saved\n",
+        r.cache_hits, r.cache_misses, r.cache_evictions, r.cache_bytes_saved,
+    ));
+    out.push_str(&format!(
         "  degradation: {} overflow evictions, {} stale video dropped; \
          {} pings, {} timeouts, {} reconnects, {} resyncs\n",
         r.overflow_evictions,
@@ -369,6 +373,9 @@ fn integrity_telemetry() -> thinc_telemetry::SessionTelemetry {
         while let Some(pong) = client.take_pong() {
             ws.driver_mut().handle_message(&pong);
         }
+        while let Some(miss) = client.take_cache_miss() {
+            ws.driver_mut().handle_message(&miss);
+        }
         if let Some(req) = client.poll_reconnect(now) {
             ws.driver_mut().handle_message(&req);
         }
@@ -417,12 +424,19 @@ fn integrity_telemetry() -> thinc_telemetry::SessionTelemetry {
         viewport_height: SH,
     });
 
+    // A fixed rotation of tiles: each slot repeats its exact content
+    // every round, so the revision-3 cache sees repeated payloads and
+    // substitutes refs. Full payloads corrupted inside the fault
+    // window leave the server's ledger ahead of the client's store —
+    // later refs for those slots surface as cache misses, exercising
+    // the miss → byte-exact fallback leg of the recovery ladder.
     let mut now = SimTime::ZERO;
     for i in 0..70u64 {
-        let x = (i as i32 * 13) % (SW as i32 - 32);
-        let y = (i as i32 * 9) % (SH as i32 - 32);
+        let slot = i % 6;
+        let x = (slot as i32 * 15) % (SW as i32 - 32);
+        let y = (slot as i32 * 11) % (SH as i32 - 32);
         ws.driver_mut().set_time(now);
-        ws.process(noise(Rect::new(x, y, 32, 32), seed ^ i));
+        ws.process(noise(Rect::new(x, y, 32, 32), seed ^ slot));
         pump(&mut ws, &mut link, &mut trace, &mut client, now);
         now += SimDuration::from_millis(25);
     }

@@ -27,18 +27,21 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use thinc_baselines::traits::RemoteDisplay;
 use thinc_bench::thinc_system::ThincSystem;
 use thinc_bench::{avbench, webbench};
 use thinc_compress::{lzss, pnglike, rle, Scratch};
+use thinc_core::server::ServerConfig;
 use thinc_core::session::Credentials;
 use thinc_core::SharedSession;
 use thinc_display::drawable::DrawableStore;
 use thinc_display::driver::VideoDriver;
+use thinc_display::request::DrawRequest;
 use thinc_display::SCREEN;
 use thinc_net::link::NetworkConfig;
 use thinc_net::tcp::{TcpParams, TcpPipe};
 use thinc_net::time::{SimDuration, SimTime};
-use thinc_net::trace::PacketTrace;
+use thinc_net::trace::{Direction, PacketTrace};
 use thinc_raster::yuv::YuvFormat;
 use thinc_raster::{reference, Color, Framebuffer, PixelFormat, Rect, ScaleFilter, YuvFrame};
 use thinc_telemetry::CommandKind;
@@ -414,6 +417,86 @@ fn video_suite(_quick: bool) -> VideoStats {
     }
 }
 
+struct CacheStats {
+    rounds: usize,
+    cached_kb_per_round: f64,
+    uncached_kb_per_round: f64,
+    savings_ratio: f64,
+    hits: u64,
+    byte_exact: bool,
+    verified: bool,
+}
+
+/// The revision-3 content-cache macro: a window-switch workload that
+/// cycles between a few fixed full-viewport window images — the
+/// canonical repeated-content pattern — once with the cache enabled
+/// and once with it disabled. Both runs must converge byte-exact to
+/// the same framebuffer; the gate is on the cached bytes-per-round
+/// and the cached/uncached savings ratio, both virtual-time
+/// deterministic (see `docs/CACHE.md`).
+fn cache_suite() -> CacheStats {
+    const CW: u32 = 256;
+    const CH: u32 = 192;
+    let rounds = 12usize;
+    let windows = 3usize;
+    eprintln!("== macro: content cache ({rounds} window switches over {windows} windows) ==");
+    let window_image = |w: usize| -> Vec<u8> {
+        let mut img = desktop_bytes(CW as usize, CH as usize, 3);
+        // Distinct per-window content: salt a sparse speckle pattern.
+        for i in (w..img.len()).step_by(53 + w * 7) {
+            img[i] = (w * 67) as u8;
+        }
+        img
+    };
+    let run = |budget: Option<u64>| -> ThincSystem {
+        let cfg = ServerConfig {
+            width: CW,
+            height: CH,
+            cache_budget_bytes: budget,
+            ..ServerConfig::default()
+        };
+        let mut sys = ThincSystem::with_config(&NetworkConfig::lan_desktop(), cfg, (CW, CH));
+        let mut now = SimTime::ZERO;
+        for r in 0..rounds {
+            sys.process(
+                now,
+                vec![DrawRequest::PutImage {
+                    target: SCREEN,
+                    rect: Rect::new(0, 0, CW, CH),
+                    data: window_image(r % windows),
+                }],
+            );
+            now = sys.drain(now) + SimDuration::from_millis(5);
+        }
+        sys
+    };
+    let cached = run(Some(thinc_protocol::DEFAULT_CACHE_BUDGET));
+    let uncached = run(None);
+    let per_round = |sys: &ThincSystem| {
+        sys.trace().bytes(Direction::Down) as f64 / rounds as f64 / 1024.0
+    };
+    let stats = CacheStats {
+        rounds,
+        cached_kb_per_round: per_round(&cached),
+        uncached_kb_per_round: per_round(&uncached),
+        savings_ratio: per_round(&uncached) / per_round(&cached),
+        hits: cached.client().cache_hits(),
+        byte_exact: cached.client().client().framebuffer().data()
+            == uncached.client().client().framebuffer().data(),
+        verified: cached.verified() && uncached.verified(),
+    };
+    eprintln!(
+        "  cached {:.1} KB/round  uncached {:.1} KB/round  {:.2}x saved  {} hits  \
+         byte-exact {}",
+        stats.cached_kb_per_round,
+        stats.uncached_kb_per_round,
+        stats.savings_ratio,
+        stats.hits,
+        stats.byte_exact,
+    );
+    stats
+}
+
 /// Verifies the shared session's parallel flush is bit-identical
 /// across worker counts (see `crates/core/tests/parallel_flush.rs`
 /// for the exhaustive version). Returns the worker counts checked.
@@ -498,7 +581,13 @@ fn raster_json(mode: &str, kernels: &[KernelResult]) -> String {
     s
 }
 
-fn e2e_json(mode: &str, web: &WebStats, video: &VideoStats, par: &(Vec<usize>, bool)) -> String {
+fn e2e_json(
+    mode: &str,
+    web: &WebStats,
+    video: &VideoStats,
+    cache: &CacheStats,
+    par: &(Vec<usize>, bool),
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"schema\": \"thinc-perfgate-e2e-v1\",");
@@ -532,6 +621,15 @@ fn e2e_json(mode: &str, web: &WebStats, video: &VideoStats, par: &(Vec<usize>, b
     let _ = writeln!(s, "    \"frames_delivered\": {},", video.frames_delivered);
     let _ = writeln!(s, "    \"frames_dropped\": {},", video.frames_dropped);
     let _ = writeln!(s, "    \"wall_ms\": {}", jf(video.wall_ms));
+    s.push_str("  },\n");
+    s.push_str("  \"cache\": {\n");
+    let _ = writeln!(s, "    \"rounds\": {},", cache.rounds);
+    let _ = writeln!(s, "    \"cached_kb_per_round\": {},", jf(cache.cached_kb_per_round));
+    let _ = writeln!(s, "    \"uncached_kb_per_round\": {},", jf(cache.uncached_kb_per_round));
+    let _ = writeln!(s, "    \"savings_ratio\": {},", jf(cache.savings_ratio));
+    let _ = writeln!(s, "    \"hits\": {},", cache.hits);
+    let _ = writeln!(s, "    \"byte_exact\": {},", cache.byte_exact);
+    let _ = writeln!(s, "    \"verified\": {}", cache.verified);
     s.push_str("  },\n");
     s.push_str("  \"parallel_flush\": {\n");
     let workers: Vec<String> = par.0.iter().map(|w| w.to_string()).collect();
@@ -593,12 +691,16 @@ fn main() {
     let kernels = micro_suite(opts.quick);
     let web = web_suite(opts.quick);
     let video = video_suite(opts.quick);
+    let cache = cache_suite();
     let par = parallel_check();
 
     std::fs::write(format!("{root}/BENCH_raster.json"), raster_json(mode, &kernels))
         .expect("write BENCH_raster.json");
-    std::fs::write(format!("{root}/BENCH_e2e.json"), e2e_json(mode, &web, &video, &par))
-        .expect("write BENCH_e2e.json");
+    std::fs::write(
+        format!("{root}/BENCH_e2e.json"),
+        e2e_json(mode, &web, &video, &cache, &par),
+    )
+    .expect("write BENCH_e2e.json");
     eprintln!("wrote BENCH_raster.json, BENCH_e2e.json");
 
     let mut metrics: Vec<GateMetric> = kernels
@@ -628,6 +730,18 @@ fn main() {
         higher_is_better: true,
         timing_derived: false,
     });
+    metrics.push(GateMetric {
+        key: "cache.cached_kb_per_round".into(),
+        value: cache.cached_kb_per_round,
+        higher_is_better: false,
+        timing_derived: false,
+    });
+    metrics.push(GateMetric {
+        key: "cache.savings_ratio".into(),
+        value: cache.savings_ratio,
+        higher_is_better: true,
+        timing_derived: false,
+    });
 
     if !par.1 {
         eprintln!("FAIL: parallel flush output differs across worker counts");
@@ -635,6 +749,18 @@ fn main() {
     }
     if !web.verified {
         eprintln!("FAIL: client framebuffer diverged from server screen");
+        std::process::exit(1);
+    }
+    if !cache.byte_exact || !cache.verified {
+        eprintln!("FAIL: cached session is not byte-exact with the uncached session");
+        std::process::exit(1);
+    }
+    if cache.hits == 0 {
+        eprintln!("FAIL: content cache resolved zero refs on a repeated-content workload");
+        std::process::exit(1);
+    }
+    if cache.savings_ratio <= 1.0 {
+        eprintln!("FAIL: content cache did not reduce bytes per round");
         std::process::exit(1);
     }
 

@@ -234,11 +234,18 @@ impl ThincClient {
                     timestamp_us: *timestamp_us,
                 });
             }
+            Message::CacheRef { .. } => {
+                // Cache references are resolved by the stream layer
+                // (`StreamClient`) against its content store before the
+                // resolved payload is applied here; an unresolved
+                // reference reaching the raw client is a no-op.
+            }
             Message::Input(_)
             | Message::Resize { .. }
             | Message::SetView { .. }
             | Message::Pong { .. }
-            | Message::RefreshRequest { .. } => {
+            | Message::RefreshRequest { .. }
+            | Message::CacheMiss { .. } => {
                 // Client-originated; ignore if echoed.
             }
         }

@@ -11,7 +11,9 @@
 //! time on platforms it controls.
 
 use thinc_net::time::SimTime;
+use thinc_protocol::cache::CacheLru;
 use thinc_protocol::message::Message;
+use thinc_protocol::DEFAULT_CACHE_BUDGET;
 use thinc_raster::PixelFormat;
 use thinc_telemetry::ClientMetrics;
 
@@ -38,6 +40,12 @@ pub struct HeadlessClient {
     /// (set by [`Self::mark_frame_request`]); the next display
     /// arrival closes the latency sample.
     frame_requested: Option<SimTime>,
+    /// Revision-3 content store, mirroring the server's per-client
+    /// ledger: refs resolve here; the recorded arrival bytes stay the
+    /// 13-byte ref — that *is* what crossed the wire.
+    store: CacheLru<Message>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl HeadlessClient {
@@ -48,6 +56,9 @@ impl HeadlessClient {
             arrivals: Vec::new(),
             metrics: ClientMetrics::new(),
             frame_requested: None,
+            store: CacheLru::new(DEFAULT_CACHE_BUDGET),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -86,6 +97,25 @@ impl HeadlessClient {
                 | Message::VideoEnd { .. }
         );
         self.arrivals.push(ArrivalRecord { at, bytes, av });
+        // Resolve a revision-3 cache reference against the store
+        // before any processing; message-level delivery is lossless,
+        // so the mirrored LRUs cannot dangle (an unresolved ref here
+        // is a wiring bug, counted and skipped).
+        let resolved;
+        let (msg, from_cache) = match msg {
+            Message::CacheRef { hash } => match self.store.get(*hash) {
+                Some(m) => {
+                    self.cache_hits += 1;
+                    resolved = m.clone();
+                    (&resolved, true)
+                }
+                None => {
+                    self.cache_misses += 1;
+                    return;
+                }
+            },
+            other => (other, false),
+        };
         self.metrics
             .record_decoded(thinc_protocol::telemetry::command_kind(msg));
         if let (Some(t0), Message::Display(_)) = (self.frame_requested, msg) {
@@ -94,6 +124,24 @@ impl HeadlessClient {
             self.frame_requested = None;
         }
         self.inner.apply(msg);
+        // Mirror the server ledger: every cacheable full payload
+        // received enters the store (resolved refs only re-ranked,
+        // which `get` already did).
+        if !from_cache {
+            if let Some(key) = msg.cache_key() {
+                self.store.insert(key, msg.wire_size(), msg.clone());
+            }
+        }
+    }
+
+    /// Refs resolved from the content store.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Refs that failed to resolve (always 0 over lossless delivery).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
     }
 
     /// All recorded arrivals, in order.

@@ -9,7 +9,10 @@
 //! Every error, resync, and skipped byte is counted in the client's
 //! resilience accounting.
 
+use std::collections::VecDeque;
+
 use thinc_net::time::SimTime;
+use thinc_protocol::cache::CacheLru;
 use thinc_protocol::commands::DisplayCommand;
 use thinc_protocol::message::Message;
 use thinc_protocol::wire::{FrameReader, IntegrityCounters};
@@ -42,6 +45,16 @@ pub struct StreamClient {
     /// Reader integrity counters already folded into `resilience`
     /// (the reader keeps cumulative tallies; we move the deltas).
     integrity_base: IntegrityCounters,
+    /// Content-addressed store (protocol revision 3): every cacheable
+    /// full payload received is kept here so a later
+    /// [`Message::CacheRef`] can be resolved locally. Mirrors the
+    /// server's ledger (same budget, same sizes, same order), and
+    /// deliberately survives [`reconnect`](Self::reconnect) so a
+    /// resync can repay refresh debt out of the cache.
+    cache: CacheLru<Message>,
+    /// Cache misses owed to the server (drained by
+    /// [`take_cache_miss`](Self::take_cache_miss)).
+    pending_cache_miss: VecDeque<Message>,
     resilience: thinc_telemetry::ResilienceMetrics,
 }
 
@@ -67,6 +80,8 @@ impl StreamClient {
             applied_total: 0,
             applied_at_attempt: 0,
             integrity_base: IntegrityCounters::default(),
+            cache: CacheLru::new(thinc_protocol::DEFAULT_CACHE_BUDGET),
+            pending_cache_miss: VecDeque::new(),
             resilience: thinc_telemetry::ResilienceMetrics::new(),
         }
     }
@@ -104,10 +119,6 @@ impl StreamClient {
                         self.reader
                             .set_revision((*version).min(thinc_protocol::PROTOCOL_VERSION));
                     }
-                    let errors_before = self.client.stats().errors;
-                    self.client.apply(&msg);
-                    applied += 1;
-                    self.applied_total += 1;
                     if self.reader.take_seq_break() {
                         // Frames vanished between the previous message
                         // and this one: the framing recovered but the
@@ -117,8 +128,48 @@ impl StreamClient {
                         self.needs_refresh = true;
                         self.refresh_cover = Region::new();
                     }
+                    // Resolve cache references against the content
+                    // store before the message reaches the display.
+                    let (msg, from_cache) = match msg {
+                        Message::CacheRef { hash } => {
+                            let ref_size = Message::CacheRef { hash }.wire_size();
+                            match self.cache.get(hash) {
+                                Some(resolved) => {
+                                    let resolved = resolved.clone();
+                                    self.resilience.record_cache_hit(
+                                        resolved.wire_size().saturating_sub(ref_size),
+                                    );
+                                    (resolved, true)
+                                }
+                                None => {
+                                    // Not damage: the server answers
+                                    // the miss with the full payload,
+                                    // which repaints the same rect.
+                                    self.resilience.record_cache_miss();
+                                    self.pending_cache_miss
+                                        .push_back(Message::CacheMiss { hash });
+                                    continue;
+                                }
+                            }
+                        }
+                        other => (other, false),
+                    };
+                    let errors_before = self.client.stats().errors;
+                    self.client.apply(&msg);
+                    applied += 1;
+                    self.applied_total += 1;
                     if self.needs_refresh && self.client.stats().errors == errors_before {
                         self.note_refresh_progress(&msg);
+                    }
+                    // Every cacheable full payload enters the store —
+                    // the server's ledger marked it held the moment it
+                    // was sent, so both sides must see the same insert
+                    // sequence (even when the apply was rejected).
+                    if !from_cache {
+                        if let Some(key) = msg.cache_key() {
+                            let evicted = self.cache.insert(key, msg.wire_size(), msg);
+                            self.resilience.record_cache_evictions(evicted);
+                        }
                     }
                 }
                 Ok(None) => break,
@@ -256,6 +307,19 @@ impl StreamClient {
     /// Any pong the client owes the server (echo of a liveness ping).
     pub fn take_pong(&mut self) -> Option<Message> {
         self.client.take_pong()
+    }
+
+    /// The next [`Message::CacheMiss`] owed to the server, if any. An
+    /// unresolved cache reference queues one here; the caller forwards
+    /// it upstream (like pongs) and the server answers with the full
+    /// payload.
+    pub fn take_cache_miss(&mut self) -> Option<Message> {
+        self.pending_cache_miss.pop_front()
+    }
+
+    /// Entries currently held in the content-addressed store.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Bytes buffered waiting for a complete frame.
@@ -440,7 +504,8 @@ mod tests {
             depth: 24,
         };
         assert_eq!(c.feed(&enc.encode(&hello)), 1);
-        assert_eq!(c.wire_revision(), WIRE_REV_INTEGRITY);
+        assert_eq!(c.wire_revision(), PROTOCOL_VERSION);
+        assert!(c.wire_revision() >= WIRE_REV_INTEGRITY);
         // Post-negotiation traffic is sequence/CRC framed and decodes.
         let msg = Message::Display(DisplayCommand::Sfill {
             rect: Rect::new(0, 0, 16, 16),
@@ -553,9 +618,10 @@ mod tests {
         c.reconnect();
         assert_eq!(
             c.wire_revision(),
-            WIRE_REV_INTEGRITY,
+            PROTOCOL_VERSION,
             "a redial must not fall back to legacy framing"
         );
+        assert!(c.wire_revision() >= WIRE_REV_INTEGRITY);
         // Post-reconnect integrity traffic still decodes (any sequence
         // number is accepted on the fresh stream).
         let bytes = enc.encode(&Message::Display(DisplayCommand::Sfill {
@@ -564,6 +630,64 @@ mod tests {
         }));
         assert_eq!(c.feed(&bytes), 1);
         assert_eq!(c.resilience_metrics().seq_gaps(), 0);
+    }
+
+    fn cacheable_raw(fill: u8) -> Message {
+        Message::Display(DisplayCommand::Raw {
+            rect: Rect::new(0, 0, 8, 8),
+            encoding: thinc_protocol::commands::RawEncoding::None,
+            data: vec![fill; 8 * 8 * 3],
+        })
+    }
+
+    #[test]
+    fn cache_reference_resolves_from_the_store() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let raw = cacheable_raw(7);
+        let hash = raw.cache_key().expect("pixel payloads over the floor cache");
+        assert_eq!(c.feed(&encode_message(&raw)), 1);
+        assert_eq!(c.cache_len(), 1);
+        // Overwrite the area, then repaint it via reference alone.
+        c.feed(&fill(Rect::new(0, 0, 32, 32), Color::rgb(0, 0, 0)));
+        assert_eq!(c.feed(&encode_message(&Message::CacheRef { hash })), 1);
+        assert_eq!(
+            c.client().framebuffer().get_pixel(2, 2),
+            Some(Color::rgb(7, 7, 7))
+        );
+        let m = c.resilience_metrics();
+        assert_eq!(m.cache_hits(), 1);
+        assert!(m.cache_bytes_saved() > 0);
+        assert!(c.take_cache_miss().is_none());
+    }
+
+    #[test]
+    fn unresolved_reference_queues_a_miss_without_damage() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        assert_eq!(c.feed(&encode_message(&Message::CacheRef { hash: 0xDEAD })), 0);
+        assert!(!c.needs_refresh(), "a miss is self-healing, not damage");
+        assert_eq!(c.resilience_metrics().cache_misses(), 1);
+        match c.take_cache_miss() {
+            Some(Message::CacheMiss { hash: 0xDEAD }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(c.take_cache_miss().is_none());
+    }
+
+    #[test]
+    fn cache_survives_reconnect_and_repays_refresh_debt() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let raw = cacheable_raw(9);
+        let hash = raw.cache_key().unwrap();
+        c.feed(&encode_message(&raw));
+        c.reconnect();
+        assert_eq!(c.cache_len(), 1, "the store persists across a redial");
+        // The server's resync can repay refresh debt from the cache.
+        assert_eq!(c.feed(&encode_message(&Message::CacheRef { hash })), 1);
+        assert_eq!(c.resilience_metrics().cache_hits(), 1);
+        assert_eq!(
+            c.client().framebuffer().get_pixel(1, 1),
+            Some(Color::rgb(9, 9, 9))
+        );
     }
 
     #[test]

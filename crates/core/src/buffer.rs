@@ -22,6 +22,43 @@ use thinc_telemetry::{ProtocolMetrics, SchedulerMetrics};
 use crate::queue::{classify, clip_command, OverwriteClass};
 use crate::scheduler::{creates_dependency, place, queue_index, QueueSlot, NUM_QUEUES};
 
+/// Server-side per-client content-cache state (protocol revision 3).
+///
+/// The ledger maps content hash → full message for every cacheable
+/// payload this buffer has actually committed to the wire, so a
+/// [`Message::CacheRef`] is only ever emitted for content the client
+/// was given, and a reported miss can be answered with the byte-exact
+/// original. See `docs/CACHE.md` for the consistency model.
+#[derive(Debug)]
+struct CacheEngine {
+    ledger: thinc_protocol::cache::CacheLru<Message>,
+    /// Byte-exact full payloads owed to reported misses, delivered
+    /// ahead of the command queues at the next flush.
+    fallbacks: VecDeque<Message>,
+    hits: u64,
+    misses: u64,
+    bytes_saved: u64,
+}
+
+/// Ledger update owed once a flush-time message actually sends.
+#[derive(Debug, Clone, Copy)]
+enum CacheCommit {
+    /// Not cacheable (or cache disabled): nothing owed.
+    None,
+    /// A reference was substituted: bump the entry, count the hit.
+    Hit {
+        /// Content hash of the referenced entry.
+        key: u64,
+        /// Wire bytes the substitution saved.
+        saved: u64,
+    },
+    /// A cacheable full payload went out: the client now holds it.
+    Insert {
+        /// Content hash of the sent payload.
+        key: u64,
+    },
+}
+
 /// One command waiting in the buffer.
 #[derive(Debug, Clone)]
 struct Entry {
@@ -96,6 +133,9 @@ pub struct ClientBuffer {
     /// one command after another reuses the filter intermediate and
     /// the output stream instead of reallocating per command.
     scratch: thinc_compress::Scratch,
+    /// Content-addressed cache ledger (`None` until the handshake
+    /// negotiates protocol revision 3 and the owner enables it).
+    cache: Option<CacheEngine>,
 }
 
 impl ClientBuffer {
@@ -134,6 +174,59 @@ impl ClientBuffer {
     /// The configured byte cap, if any.
     pub fn byte_bound(&self) -> Option<u64> {
         self.byte_bound
+    }
+
+    /// Enables the content-addressed cache ledger (protocol revision
+    /// 3) with the given byte budget. Called by the owner once the
+    /// handshake lands on a revision that speaks cache references; the
+    /// budget must match the client store's for the eviction mirror to
+    /// hold (see `docs/CACHE.md`).
+    pub fn enable_cache(&mut self, budget: u64) {
+        if self.cache.is_none() {
+            self.cache = Some(CacheEngine {
+                ledger: thinc_protocol::cache::CacheLru::new(budget),
+                fallbacks: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+                bytes_saved: 0,
+            });
+        }
+    }
+
+    /// Whether the cache ledger is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Answers a client-reported cache miss: queues the byte-exact
+    /// original payload for delivery ahead of the command queues.
+    /// Returns `false` when the ledger no longer holds the payload
+    /// (both sides evicted it; a ref for it can no longer be emitted,
+    /// but one may still be crossing the wire) — the owner escalates
+    /// to a screen refresh so the client reconverges regardless.
+    pub fn satisfy_cache_miss(&mut self, hash: u64) -> bool {
+        let Some(cache) = self.cache.as_mut() else {
+            return false;
+        };
+        cache.misses += 1;
+        // LRU order is deliberately not touched here: the ledger must
+        // mirror the client store, and the client only re-ranks the
+        // entry when the fallback payload actually arrives — which is
+        // when the flush path re-inserts it on this side too.
+        if let Some(msg) = cache.ledger.peek(hash) {
+            cache.fallbacks.push_back(msg.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cache counters: `(hits, misses, evictions, bytes_saved)`.
+    pub fn cache_counts(&self) -> (u64, u64, u64, u64) {
+        match &self.cache {
+            Some(c) => (c.hits, c.misses, c.ledger.evictions(), c.bytes_saved),
+            None => (0, 0, 0, 0),
+        }
     }
 
     /// The byte cap currently enforced: the configured bound divided
@@ -500,6 +593,62 @@ impl ClientBuffer {
         Message::Display(cmd)
     }
 
+    /// Computes the final wire message, its size, and the cache action
+    /// owed for a command at flush time: either the full payload (with
+    /// a ledger insert owed if cacheable) or, when the ledger says the
+    /// client already holds these exact bytes, a compact
+    /// [`Message::CacheRef`] substitute. Pure lookup — counters and
+    /// LRU order move only in [`Self::cache_commit`] once the frame is
+    /// actually committed to the pipe, so a blocked flush attempt has
+    /// no side effects.
+    fn prepare_wire(&mut self, cmd: DisplayCommand) -> (Message, u64, CacheCommit) {
+        let full = self.emit_message(cmd);
+        let encoded = encode_message(&full);
+        let full_size = encoded.len() as u64;
+        let Some(cache) = &self.cache else {
+            return (full, full_size, CacheCommit::None);
+        };
+        let Some(key) = thinc_protocol::cache::cache_key(&full, &encoded) else {
+            return (full, full_size, CacheCommit::None);
+        };
+        if cache.ledger.contains(key) {
+            let reference = Message::CacheRef { hash: key };
+            let ref_size = encode_message(&reference).len() as u64;
+            (
+                reference,
+                ref_size,
+                CacheCommit::Hit {
+                    key,
+                    saved: full_size - ref_size,
+                },
+            )
+        } else {
+            (full, full_size, CacheCommit::Insert { key })
+        }
+    }
+
+    /// Applies the ledger update owed for a message just sent: bump
+    /// and count a reference hit, or register a full payload the
+    /// client now holds. Insertion order here matches the client
+    /// store's receive order, which is what keeps the two LRUs
+    /// mirrored.
+    fn cache_commit(&mut self, msg: &Message, size: u64, commit: CacheCommit) {
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        match commit {
+            CacheCommit::None => {}
+            CacheCommit::Hit { key, saved } => {
+                cache.ledger.touch(key);
+                cache.hits += 1;
+                cache.bytes_saved += saved;
+            }
+            CacheCommit::Insert { key } => {
+                cache.ledger.insert(key, size, msg.clone());
+            }
+        }
+    }
+
     /// Splits `cmd`'s visible output into exactly-clipped sub-commands
     /// (partial commands must not overlap later commands once the
     /// scheduler reorders; §5's correctness invariant).
@@ -535,6 +684,39 @@ impl ClientBuffer {
         trace: &mut PacketTrace,
     ) -> Vec<(SimTime, Message)> {
         let mut out = Vec::new();
+        // Owed miss fallbacks ship before the command queues: a client
+        // waiting on an unresolved reference is blocked on exactly
+        // this payload.
+        while let Some((size, key)) = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.fallbacks.front())
+            .map(|msg| {
+                let encoded = encode_message(msg);
+                (
+                    encoded.len() as u64,
+                    thinc_protocol::cache::cache_key(msg, &encoded),
+                )
+            })
+        {
+            if pipe.would_block(now, size) {
+                return out;
+            }
+            let msg = self
+                .cache
+                .as_mut()
+                .and_then(|c| c.fallbacks.pop_front())
+                .expect("fallback peeked above");
+            let (_, arrival) = pipe.send(now, size);
+            trace.record(now, arrival, size, Direction::Down, "cache");
+            self.stats.sent_messages += 1;
+            self.stats.sent_bytes += size;
+            thinc_protocol::telemetry::record_message(&mut self.protocol_metrics, &msg);
+            if let Some(key) = key {
+                self.cache_commit(&msg, size, CacheCommit::Insert { key });
+            }
+            out.push((arrival, msg));
+        }
         // Realtime queue, then normal queues in increasing order.
         for qi in 0..=NUM_QUEUES {
             loop {
@@ -555,14 +737,12 @@ impl ClientBuffer {
                 let mut sent_all = true;
                 let mut leftover: Vec<DisplayCommand> = Vec::new();
                 for (i, part) in parts.iter().enumerate() {
-                    let msg = self.emit_message(part.clone());
-                    let size = encode_message(&msg).len() as u64;
+                    let (msg, size, commit) = self.prepare_wire(part.clone());
                     if pipe.would_block(now, size) {
                         // Try splitting an uncompressed RAW to fit.
                         let writable = pipe.writable_bytes(now);
                         if let Some((head, tail)) = split_raw(part, writable) {
-                            let head_msg = self.emit_message(head);
-                            let head_size = encode_message(&head_msg).len() as u64;
+                            let (head_msg, head_size, head_commit) = self.prepare_wire(head);
                             if !pipe.would_block(now, head_size) {
                                 let (_, arrival) = pipe.send(now, head_size);
                                 trace.record(now, arrival, head_size, Direction::Down, "update");
@@ -575,6 +755,7 @@ impl ClientBuffer {
                                     &mut self.protocol_metrics,
                                     &head_msg,
                                 );
+                                self.cache_commit(&head_msg, head_size, head_commit);
                                 out.push((arrival, head_msg));
                                 leftover.push(tail);
                                 leftover.extend(parts[i + 1..].iter().cloned());
@@ -592,6 +773,7 @@ impl ClientBuffer {
                     self.stats.sent_bytes += size;
                     self.scheduler_metrics.record_flush_latency_us(wait_us);
                     thinc_protocol::telemetry::record_message(&mut self.protocol_metrics, &msg);
+                    self.cache_commit(&msg, size, commit);
                     out.push((arrival, msg));
                 }
                 // Remove the consumed entry and its queue slot.
@@ -1016,5 +1198,122 @@ mod tests {
         }
         assert_eq!(buf.stats().overflow_evicted, 0);
         assert!(!buf.has_overflow_debt());
+    }
+
+    // ---- content-addressed cache (protocol revision 3) ----
+
+    #[test]
+    fn repeated_payload_substitutes_cache_reference() {
+        let mut buf = ClientBuffer::new();
+        buf.enable_cache(thinc_protocol::DEFAULT_CACHE_BUDGET);
+        buf.push(raw(0, 0, 8, 8), false);
+        let first = drain_all(&mut buf);
+        assert!(
+            matches!(&first[0], Message::Display(DisplayCommand::Raw { .. })),
+            "first send carries the full payload"
+        );
+        let full_size = first[0].wire_size();
+        // Same content again (scroll-back, window switch).
+        buf.push(raw(0, 0, 8, 8), false);
+        let second = drain_all(&mut buf);
+        let Message::CacheRef { hash } = &second[0] else {
+            panic!("repeat should substitute a reference, got {:?}", second[0]);
+        };
+        assert_eq!(Some(*hash), first[0].cache_key());
+        let (hits, misses, _, saved) = buf.cache_counts();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 0);
+        assert_eq!(saved, full_size - second[0].wire_size());
+    }
+
+    #[test]
+    fn cache_disabled_never_substitutes() {
+        let mut buf = ClientBuffer::new();
+        assert!(!buf.cache_enabled());
+        buf.push(raw(0, 0, 8, 8), false);
+        drain_all(&mut buf);
+        buf.push(raw(0, 0, 8, 8), false);
+        let msgs = drain_all(&mut buf);
+        assert!(
+            msgs.iter().all(|m| !matches!(m, Message::CacheRef { .. })),
+            "rev-2 and rev-1 peers must never see cache messages"
+        );
+        assert_eq!(buf.cache_counts(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn miss_fallback_resends_byte_exact_payload() {
+        let mut buf = ClientBuffer::new();
+        buf.enable_cache(thinc_protocol::DEFAULT_CACHE_BUDGET);
+        buf.push(raw(0, 0, 8, 8), false);
+        let first = drain_all(&mut buf);
+        let hash = first[0].cache_key().unwrap();
+        // The client reports it cannot resolve the hash (fresh store
+        // after reconnect, say): the fallback is the byte-exact
+        // original, delivered ahead of queued work.
+        assert!(buf.satisfy_cache_miss(hash));
+        buf.push(sfill(0, 0, 10, 10, 1), false);
+        let msgs = drain_all(&mut buf);
+        assert_eq!(
+            encode_message(&msgs[0]),
+            encode_message(&first[0]),
+            "fallback must be byte-exact"
+        );
+        let (_, misses, _, _) = buf.cache_counts();
+        assert_eq!(misses, 1);
+        // A hash the ledger never held (or evicted) cannot be repaid
+        // from cache; the caller escalates to a refresh.
+        assert!(!buf.satisfy_cache_miss(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn eviction_never_leaves_dangling_reference() {
+        // A budget that holds only a couple of tiles, cycled hard:
+        // the server must never emit a ref the mirrored client store
+        // cannot resolve.
+        let budget = 900;
+        let mut buf = ClientBuffer::new();
+        buf.enable_cache(budget);
+        let mut store: thinc_protocol::CacheLru<Message> = thinc_protocol::CacheLru::new(budget);
+        let mut refs = 0u64;
+        for round in 0..12u8 {
+            // Three stable tiles (repeat every round → refs) plus one
+            // unique tile per round (→ churn and LRU evictions).
+            let mut round_cmds = Vec::new();
+            for tile in 0..3u8 {
+                round_cmds.push(DisplayCommand::Raw {
+                    rect: Rect::new(i32::from(tile) * 8, 0, 8, 8),
+                    encoding: RawEncoding::None,
+                    data: vec![tile; 8 * 8 * 3],
+                });
+            }
+            round_cmds.push(DisplayCommand::Raw {
+                rect: Rect::new(24, 0, 8, 8),
+                encoding: RawEncoding::None,
+                data: vec![100 + round; 8 * 8 * 3],
+            });
+            for cmd in round_cmds {
+                buf.push(cmd, false);
+                for msg in drain_all(&mut buf) {
+                    match msg {
+                        Message::CacheRef { hash } => {
+                            assert!(
+                                store.get(hash).is_some(),
+                                "dangling reference: client store cannot resolve {hash:#x}"
+                            );
+                            refs += 1;
+                        }
+                        m => {
+                            if let Some(key) = m.cache_key() {
+                                store.insert(key, m.wire_size(), m.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (_, _, evictions, _) = buf.cache_counts();
+        assert!(evictions > 0, "budget was meant to force evictions");
+        assert!(refs > 0, "repeated rounds were meant to produce refs");
     }
 }

@@ -69,6 +69,11 @@ pub struct ServerConfig {
     /// buffer bound, eviction preference). `None` keeps full
     /// fidelity unconditionally (the seed behaviour).
     pub degradation: Option<crate::degradation::DegradationConfig>,
+    /// Byte budget for the content-addressed cache ledger (protocol
+    /// revision 3, see `docs/CACHE.md`). The cache only activates
+    /// when the client negotiates protocol version ≥ 3; `None`
+    /// disables it even for revision-3 clients.
+    pub cache_budget_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +90,7 @@ impl Default for ServerConfig {
             av_bound: None,
             liveness: None,
             degradation: None,
+            cache_budget_bytes: Some(thinc_protocol::DEFAULT_CACHE_BUDGET),
         }
     }
 }
@@ -393,6 +399,14 @@ impl ThincServer {
                 // keeps the whole stream legacy-framed, so old
                 // captures and old clients still decode.
                 self.encoder.negotiate(*version);
+                // Revision 3 adds the content-addressed cache: only a
+                // client that announced it can resolve CacheRef, so
+                // the ledger stays off for older peers.
+                if self.encoder.revision() >= thinc_protocol::WIRE_REV_CACHE {
+                    if let Some(budget) = self.config.cache_budget_bytes {
+                        self.buffer.enable_cache(budget);
+                    }
+                }
                 self.set_viewport(*viewport_width, *viewport_height);
                 None
             }
@@ -421,6 +435,17 @@ impl ThincServer {
                 // resync; latch it for the harness (which owns the
                 // screen) to serve via [`Self::resync`].
                 self.resync_requested = true;
+                None
+            }
+            Message::CacheMiss { hash } => {
+                // The client could not resolve a cache reference.
+                // Normally the ledger still holds the payload and a
+                // byte-exact fallback is queued; if eviction raced the
+                // reference out of both sides, the client skipped an
+                // update and the next draw owes a full-view refresh.
+                if !self.buffer.satisfy_cache_miss(*hash) {
+                    self.refresh_owed = true;
+                }
                 None
             }
             Message::Input(input) => {
@@ -630,11 +655,20 @@ impl ThincServer {
     }
 
     /// Resilience accounting: liveness events, resyncs, stale-video
-    /// drops, plus the display buffer's overflow evictions.
+    /// drops, plus the display buffer's overflow evictions and
+    /// content-cache counters.
     pub fn resilience_metrics(&self) -> thinc_telemetry::ResilienceMetrics {
         let mut m = self.resilience.clone();
         m.add_overflow_evictions(self.buffer.stats().overflow_evicted);
+        let (hits, misses, evictions, saved) = self.buffer.cache_counts();
+        m.add_cache_counts(hits, misses, evictions, saved);
         m
+    }
+
+    /// Whether the content-addressed cache is active for this client
+    /// (requires a revision-3 handshake and a configured budget).
+    pub fn cache_enabled(&self) -> bool {
+        self.buffer.cache_enabled()
     }
 
     /// Opens the virtual audio device.
@@ -1448,6 +1482,82 @@ mod tests {
         let mut expect = thinc_client::ThincClient::new(32, 32, PixelFormat::Rgb888);
         expect.apply(&Message::Display(scaled));
         assert_eq!(client.framebuffer().data(), expect.framebuffer().data());
+    }
+
+    #[test]
+    fn revision3_hello_enables_cache_and_older_peers_stay_uncached() {
+        let hello = |version| Message::ClientHello {
+            version,
+            viewport_width: 1024,
+            viewport_height: 768,
+        };
+        let mut s = ThincServer::new(ServerConfig::default());
+        assert!(!s.cache_enabled(), "no cache before the handshake");
+        s.handle_message(&hello(2));
+        assert!(!s.cache_enabled(), "a revision-2 peer cannot resolve refs");
+        s.handle_message(&hello(PROTOCOL_VERSION));
+        assert!(s.cache_enabled());
+        // And the config switch disables it even for revision-3 peers.
+        let mut s = ThincServer::new(ServerConfig {
+            cache_budget_bytes: None,
+            ..ServerConfig::default()
+        });
+        s.handle_message(&hello(PROTOCOL_VERSION));
+        assert!(!s.cache_enabled());
+    }
+
+    #[test]
+    fn repeated_content_travels_as_cache_refs_and_client_converges() {
+        let mut ws = system();
+        ws.driver_mut().handle_message(&Message::ClientHello {
+            version: PROTOCOL_VERSION,
+            viewport_width: 64,
+            viewport_height: 64,
+        });
+        assert!(ws.driver().cache_enabled());
+        let mut sc = thinc_client::StreamClient::new(64, 64, PixelFormat::Rgb888);
+        let hello = ws.driver().hello();
+        let bytes = ws.driver_mut().encode_frame(&hello);
+        sc.feed(&bytes);
+        // The same tile drawn three times: the first flush ships the
+        // payload, later rounds ship references the client resolves
+        // from its store.
+        let mut refs = 0u64;
+        for _ in 0..3 {
+            ws.process(DrawRequest::PutImage {
+                target: SCREEN,
+                rect: Rect::new(0, 0, 16, 16),
+                data: vec![123u8; 16 * 16 * 3],
+            });
+            for m in flush_all(&mut ws) {
+                if matches!(m, Message::CacheRef { .. }) {
+                    refs += 1;
+                }
+                let bytes = ws.driver_mut().encode_frame(&m);
+                sc.feed(&bytes);
+            }
+        }
+        assert!(refs >= 2, "repeat rounds must travel as references");
+        assert_eq!(sc.client().framebuffer().data(), ws.screen().data());
+        let m = ws.driver().resilience_metrics();
+        assert_eq!(m.cache_hits(), refs);
+        assert_eq!(sc.resilience_metrics().cache_hits(), refs);
+        assert!(m.cache_bytes_saved() > 0);
+    }
+
+    #[test]
+    fn unsatisfiable_cache_miss_escalates_to_refresh() {
+        let mut s = ThincServer::new(ServerConfig::default());
+        s.handle_message(&Message::ClientHello {
+            version: PROTOCOL_VERSION,
+            viewport_width: 1024,
+            viewport_height: 768,
+        });
+        // A miss for a hash the ledger never held (or evicted): the
+        // client skipped an update, so a full-view refresh is owed.
+        s.handle_message(&Message::CacheMiss { hash: 0xBAD_C0DE });
+        assert!(s.refresh_owed, "unsatisfiable miss owes a refresh");
+        assert_eq!(s.resilience_metrics().cache_misses(), 1);
     }
 
     #[test]

@@ -256,6 +256,9 @@ pub struct SharedSession {
     degradation: Option<DegradationConfig>,
     /// Byte bound applied to every client buffer attached from now on.
     buffer_bound: Option<u64>,
+    /// Content-cache budget for every client attached from now on
+    /// (`None` keeps the cache off — the pre-revision-3 behaviour).
+    cache_budget: Option<u64>,
     /// Scoped-thread workers for per-client fan-out (1 = inline).
     workers: usize,
 }
@@ -275,6 +278,7 @@ impl SharedSession {
             liveness: None,
             degradation: None,
             buffer_bound: None,
+            cache_budget: None,
             workers: 1,
         }
     }
@@ -301,6 +305,18 @@ impl SharedSession {
     /// a refresh).
     pub fn with_buffer_bound(mut self, bytes: u64) -> Self {
         self.buffer_bound = Some(bytes);
+        self
+    }
+
+    /// Enables the content-addressed cache (protocol revision 3) for
+    /// every client attached from now on: each client buffer keeps a
+    /// per-client ledger with this byte budget and substitutes
+    /// [`Message::CacheRef`] for payloads that client already holds.
+    /// Only attach revision-3 clients when this is on — older peers
+    /// cannot resolve references. Per-client state keeps the parallel
+    /// fan-out deterministic.
+    pub fn with_cache(mut self, budget: u64) -> Self {
+        self.cache_budget = Some(budget);
         self
     }
 
@@ -356,6 +372,9 @@ impl SharedSession {
         let mut buffer = ClientBuffer::new().with_raw_compression(self.format.bytes_per_pixel());
         if let Some(bound) = self.buffer_bound {
             buffer = buffer.with_byte_bound(bound);
+        }
+        if let Some(budget) = self.cache_budget {
+            buffer.enable_cache(budget);
         }
         self.clients.push((
             id,
@@ -526,13 +545,34 @@ impl SharedSession {
 
     /// A snapshot of one client's resilience counters (per-client
     /// attribution: pings, timeouts, resyncs, degradation steps),
-    /// with that client's buffer evictions folded in.
+    /// with that client's buffer evictions and content-cache counters
+    /// folded in.
     pub fn client_resilience(&self, id: ClientId) -> Option<thinc_telemetry::ResilienceMetrics> {
         self.state(id).map(|s| {
             let mut m = s.resilience.clone();
             m.add_overflow_evictions(s.buffer.stats().overflow_evicted);
+            let (hits, misses, evictions, saved) = s.buffer.cache_counts();
+            m.add_cache_counts(hits, misses, evictions, saved);
             m
         })
+    }
+
+    /// Handles a [`Message::CacheMiss`] from a client: queues the
+    /// byte-exact full payload from that client's ledger. Returns
+    /// `false` when the entry was evicted on both sides — the client
+    /// skipped an update, so the caller should follow with
+    /// [`resync_client`](Self::resync_client) (the miss is recorded
+    /// and the client is owed a full-view refresh on the next
+    /// broadcast either way).
+    pub fn client_cache_miss(&mut self, id: ClientId, hash: u64) -> bool {
+        let Some(state) = self.state_mut(id) else {
+            return false;
+        };
+        let satisfied = state.buffer.satisfy_cache_miss(hash);
+        if !satisfied {
+            state.refresh_owed = true;
+        }
+        satisfied
     }
 
     /// Flushes one client's buffer over its own connection.
@@ -945,5 +985,136 @@ mod tests {
         let (b, fb, _, _) = run_degradation_scenario(4);
         assert_eq!(a, b, "message streams identical for any worker count");
         assert_eq!(fa, fb);
+    }
+
+    /// Runs a two-client cached session over clean links: the same
+    /// tile is redrawn every round, so rounds after the first travel
+    /// as cache references. Returns the per-client message streams,
+    /// the per-client framebuffers after stream-layer resolution, and
+    /// the screen bytes.
+    fn run_cache_scenario(workers: usize) -> (Vec<Vec<Message>>, Vec<Vec<u8>>, Vec<u8>) {
+        use thinc_display::drawable::SCREEN;
+        use thinc_net::link::NetworkConfig;
+
+        let mut s = SharedSession::new(64, 64, PixelFormat::Rgb888, "host")
+            .with_cache(thinc_protocol::DEFAULT_CACHE_BUDGET)
+            .with_workers(workers);
+        s.auth_mut().enable_sharing("pw");
+        let owner = s
+            .attach(&Credentials::Owner { user: "host".into() }, 64, 64)
+            .unwrap();
+        let _peer = s
+            .attach(
+                &Credentials::Peer {
+                    user: "guest".into(),
+                    password: "pw".into(),
+                },
+                64,
+                64,
+            )
+            .unwrap();
+        let mut store = DrawableStore::new(64, 64, PixelFormat::Rgb888);
+        let mut links = vec![
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        ];
+        let secs = |t: f64| SimTime((t * 1e6) as u64);
+        let mut streams = vec![Vec::new(), Vec::new()];
+        let tile = vec![123u8; 16 * 16 * 3];
+        for round in 0..3 {
+            store
+                .screen_mut()
+                .put_raw(&Rect::new(0, 0, 16, 16), &tile);
+            s.put_image(&store, SCREEN, Rect::new(0, 0, 16, 16), &tile);
+            for epoch in 0..10 {
+                let out = s.flush_all(secs(round as f64 + 0.05 * (epoch + 1) as f64), &mut links);
+                for (id, msgs) in out {
+                    let idx = if id == owner { 0 } else { 1 };
+                    streams[idx].extend(msgs.into_iter().map(|(_, m)| m));
+                }
+                if (0..s.client_count() as u32).all(|c| s.backlog(ClientId(c)) == 0) {
+                    break;
+                }
+            }
+        }
+        // Resolve each stream through the client's wire layer (which
+        // owns the content store) and read back the framebuffers.
+        let mut fbs = Vec::new();
+        for stream in &streams {
+            let mut sc = thinc_client::StreamClient::new(64, 64, PixelFormat::Rgb888);
+            for m in stream {
+                sc.feed(&thinc_protocol::wire::encode_message(m));
+            }
+            assert!(sc.take_cache_miss().is_none(), "no misses on clean links");
+            fbs.push(sc.client().framebuffer().data().to_vec());
+        }
+        (streams, fbs, store.screen().data().to_vec())
+    }
+
+    #[test]
+    fn cached_session_substitutes_refs_and_converges_byte_exact() {
+        let (streams, fbs, screen) = run_cache_scenario(1);
+        for (stream, fb) in streams.iter().zip(&fbs) {
+            let refs = stream
+                .iter()
+                .filter(|m| matches!(m, Message::CacheRef { .. }))
+                .count();
+            assert!(refs >= 2, "repeat rounds must travel as references");
+            assert_eq!(fb, &screen, "cached stream resolves byte-exact");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_cached_streams() {
+        let (a, fa, _) = run_cache_scenario(1);
+        let (b, fb, _) = run_cache_scenario(4);
+        assert_eq!(a, b, "cached streams identical for any worker count");
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn client_cache_miss_requeues_the_exact_payload() {
+        use thinc_display::drawable::SCREEN;
+        use thinc_net::link::NetworkConfig;
+        let mut s = SharedSession::new(64, 64, PixelFormat::Rgb888, "host")
+            .with_cache(thinc_protocol::DEFAULT_CACHE_BUDGET);
+        let id = s
+            .attach(&Credentials::Owner { user: "host".into() }, 64, 64)
+            .unwrap();
+        let store = DrawableStore::new(64, 64, PixelFormat::Rgb888);
+        let mut links = vec![(
+            NetworkConfig::lan_desktop().connect().down,
+            PacketTrace::new(),
+        )];
+        let secs = |t: f64| SimTime((t * 1e6) as u64);
+        let tile = vec![9u8; 16 * 16 * 3];
+        s.put_image(&store, SCREEN, Rect::new(0, 0, 16, 16), &tile);
+        let mut sent = Vec::new();
+        for epoch in 0..10 {
+            let out = s.flush_all(secs(0.05 * (epoch + 1) as f64), &mut links);
+            sent.extend(out.into_iter().flat_map(|(_, m)| m).map(|(_, m)| m));
+            if s.backlog(id) == 0 {
+                break;
+            }
+        }
+        let cached = sent
+            .iter()
+            .find(|m| m.cache_key().is_some())
+            .expect("a cacheable payload was sent");
+        let hash = cached.cache_key().unwrap();
+        // A miss for a held hash queues the byte-exact payload again.
+        assert!(s.client_cache_miss(id, hash));
+        let (pipe, trace) = &mut links[0];
+        let out = s.flush_client(id, secs(2.0), pipe, trace);
+        let resent = &out[0].1;
+        assert_eq!(
+            thinc_protocol::wire::encode_message(resent),
+            thinc_protocol::wire::encode_message(cached),
+            "fallback must be byte-exact"
+        );
+        // A miss for an unknown hash cannot be satisfied.
+        assert!(!s.client_cache_miss(id, 0xDEAD_BEEF));
+        let m = s.client_resilience(id).unwrap();
+        assert_eq!(m.cache_misses(), 2);
     }
 }

@@ -1,0 +1,76 @@
+//! Content hashing for the tile cache (protocol revision 3).
+//!
+//! The cache layer identifies an encoded display payload by a stable
+//! 64-bit content hash. Like the CRC32 table in [`crate::wire`], the
+//! function is hand-rolled so the protocol crate stays dependency-free
+//! and the hash is bit-identical on every platform: FNV-1a with the
+//! standard 64-bit offset basis and prime.
+//!
+//! FNV-1a was chosen over a CRC for its 64-bit width (collision
+//! probability ~2⁻⁶⁴ per pair, negligible at cache-store scale) and
+//! over cryptographic hashes because the threat model is accidental
+//! collision, not adversarial content: both ends of the connection are
+//! the same trusted session, and a corrupted payload is caught by the
+//! revision-2 frame CRC before it ever reaches the cache. See
+//! `docs/CACHE.md` for the full collision stance.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `data` in one shot.
+///
+/// ```
+/// use thinc_protocol::hash::fnv64;
+///
+/// // Standard FNV-1a test vectors.
+/// assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+/// ```
+pub fn fnv64(data: &[u8]) -> u64 {
+    fnv64_update(FNV64_OFFSET, data)
+}
+
+/// Streaming FNV-1a state update over `data` (seed with
+/// [`FNV64_OFFSET`]; the state *is* the hash, no finalization step).
+pub fn fnv64_update(mut state: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV64_PRIME);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors (Noll's reference list).
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let state = fnv64_update(FNV64_OFFSET, &data[..split]);
+            assert_eq!(fnv64_update(state, &data[split..]), fnv64(data));
+        }
+    }
+
+    #[test]
+    fn distinct_payloads_distinct_hashes() {
+        // Not a collision proof, just a sanity check that nearby
+        // payloads (the common cache-store neighborhood) differ.
+        let a: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        let mut b = a.clone();
+        b[512] ^= 0x01;
+        assert_ne!(fnv64(&a), fnv64(&b));
+    }
+}

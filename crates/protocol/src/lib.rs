@@ -21,25 +21,40 @@
 //! - [`commands`]: the display command objects and their wire sizes,
 //! - [`message`]: the full protocol message set,
 //! - [`wire`]: binary encoding/decoding with length-prefixed framing,
+//! - [`hash`]: the hand-rolled FNV-1a 64 content hash,
+//! - [`cache`]: the content-addressed tile cache (revision 3) — the
+//!   shared LRU used as server ledger and client store,
 //! - [`telemetry`]: classification of messages for per-command
 //!   metrics (`thinc-telemetry`).
+//!
+//! The wire-format reference is `docs/PROTOCOL.md`; the cache design
+//! doc is `docs/CACHE.md`.
 
+pub mod cache;
 pub mod commands;
+pub mod hash;
 pub mod message;
 pub mod telemetry;
 pub mod wire;
 
+pub use cache::{CacheLru, CACHE_MIN_PAYLOAD, DEFAULT_CACHE_BUDGET};
 pub use commands::{DisplayCommand, RawEncoding, Tile};
+pub use hash::fnv64;
 pub use message::{Message, ProtocolInput};
 pub use wire::{
     crc32, decode_message, encode_message, encode_message_seq, DecodeError, FrameEncoder,
-    FrameReader, IntegrityCounters, WIRE_REV_INTEGRITY, WIRE_REV_LEGACY,
+    FrameReader, IntegrityCounters, WIRE_REV_CACHE, WIRE_REV_INTEGRITY, WIRE_REV_LEGACY,
 };
 
 /// Protocol version implemented by this crate.
 ///
-/// Version 2 adds the integrity wire framing: every non-handshake
+/// Version 2 added the integrity wire framing: every non-handshake
 /// frame carries a sequence number and CRC32 in an extended header
-/// (see [`wire`]). Handshake frames keep version-1 framing so
-/// negotiation itself never depends on the outcome of negotiation.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// (see [`wire`]). Version 3 keeps that framing byte-for-byte and adds
+/// the content-addressed cache capability (see [`cache`]): a server
+/// may replace a display payload the client already holds with a
+/// compact [`Message::CacheRef`], and the client may answer an
+/// unresolved reference with [`Message::CacheMiss`]. Handshake frames
+/// keep version-1 framing at every revision so negotiation itself
+/// never depends on the outcome of negotiation.
+pub const PROTOCOL_VERSION: u16 = 3;

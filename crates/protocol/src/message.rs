@@ -190,6 +190,22 @@ pub enum Message {
         /// Reconnect-policy attempt number (1-based).
         attempt: u32,
     },
+    /// Server → client reference to a cached display payload
+    /// (protocol revision 3): "apply the display message whose encoded
+    /// bytes hash to `hash`". Emitted only for payloads the server's
+    /// ledger says this client holds; a client that cannot resolve it
+    /// answers with [`Message::CacheMiss`]. See [`crate::cache`].
+    CacheRef {
+        /// FNV-1a 64 content hash of the referenced encoded message.
+        hash: u64,
+    },
+    /// Client → server report that a [`Message::CacheRef`] did not
+    /// resolve in the client's store. The server answers with the
+    /// byte-exact original payload (and repairs its ledger view).
+    CacheMiss {
+        /// Echoed content hash of the unresolved reference.
+        hash: u64,
+    },
 }
 
 impl Message {
@@ -211,7 +227,18 @@ impl Message {
                 | Message::SetView { .. }
                 | Message::Pong { .. }
                 | Message::RefreshRequest { .. }
+                | Message::CacheMiss { .. }
         )
+    }
+
+    /// The content-cache key for this message, or `None` if it is not
+    /// cacheable (see [`crate::cache::cache_key`] for the rules).
+    ///
+    /// Convenience wrapper that encodes the message first; hot paths
+    /// that already hold the encoded bytes call
+    /// [`crate::cache::cache_key`] directly.
+    pub fn cache_key(&self) -> Option<u64> {
+        crate::cache::cache_key(self, &crate::wire::encode_message(self))
     }
 }
 
@@ -235,6 +262,8 @@ mod tests {
         }
         .is_downstream());
         assert!(!Message::RefreshRequest { attempt: 1 }.is_downstream());
+        assert!(Message::CacheRef { hash: 0xDEAD }.is_downstream());
+        assert!(!Message::CacheMiss { hash: 0xDEAD }.is_downstream());
         assert!(Message::Audio {
             seq: 0,
             timestamp_us: 0,

@@ -48,7 +48,9 @@ pub fn command_kind(msg: &Message) -> CommandKind {
         | Message::SetView { .. }
         | Message::Ping { .. }
         | Message::Pong { .. }
-        | Message::RefreshRequest { .. } => CommandKind::Control,
+        | Message::RefreshRequest { .. }
+        | Message::CacheRef { .. }
+        | Message::CacheMiss { .. } => CommandKind::Control,
     }
 }
 

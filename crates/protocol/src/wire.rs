@@ -1,6 +1,7 @@
 //! Binary wire encoding.
 //!
-//! Framing comes in two revisions, negotiated by the handshake:
+//! Framing comes in two layouts; a third protocol revision reuses the
+//! second layout and adds capability, all negotiated by the handshake:
 //!
 //! - **Revision 1 (legacy)**: `[type: u8][payload_len: u32 LE][payload]`
 //!   — a 5-byte header. This is the framing of every capture made
@@ -14,6 +15,16 @@
 //!   ([`Message::ServerHello`]/[`Message::ClientHello`]) always keep
 //!   revision-1 framing regardless of the negotiated revision, so any
 //!   reader can bootstrap and old captures still decode.
+//! - **Revision 3 (cache)**: byte-identical framing to revision 2.
+//!   What it adds is the content-addressed cache message pair
+//!   ([`Message::CacheRef`] / [`Message::CacheMiss`], see
+//!   [`crate::cache`]): a peer that negotiates revision ≥ 3 agrees to
+//!   resolve cache references. A revision-2 peer never sees either
+//!   message because the server only substitutes refs after the
+//!   handshake lands on revision 3.
+//!
+//! The complete byte-layout reference, negotiation state machine, and
+//! message-type table live in `docs/PROTOCOL.md`.
 //!
 //! Multi-byte integers are little-endian. Rectangles are
 //! `x: i32, y: i32, w: u32, h: u32`; colors are `r, g, b, a` bytes.
@@ -46,6 +57,12 @@ pub const WIRE_REV_LEGACY: u16 = 1;
 /// `[type][payload_len][seq][crc32]` header with per-frame CRC32 and
 /// sequence numbering.
 pub const WIRE_REV_INTEGRITY: u16 = 2;
+
+/// Protocol revision 3: revision-2 framing plus the content-addressed
+/// cache capability ([`Message::CacheRef`] / [`Message::CacheMiss`]).
+/// Purely additive over the revision-2 byte layout — a revision-3
+/// stream with no cache traffic is indistinguishable from revision 2.
+pub const WIRE_REV_CACHE: u16 = 3;
 
 /// Size of the revision-1 frame header.
 pub const LEGACY_HEADER_LEN: usize = 5;
@@ -146,6 +163,9 @@ const MSG_PONG: u8 = 0x0F;
 // 0x10–0x14 are display command bytes (separate namespace inside the
 // Display payload); the next free message tag sits above them.
 const MSG_REFRESH_REQUEST: u8 = 0x16;
+// Content-addressed cache messages (protocol revision 3).
+const MSG_CACHE_REF: u8 = 0x17;
+const MSG_CACHE_MISS: u8 = 0x18;
 
 // Display command type bytes.
 const CMD_RAW: u8 = 0x10;
@@ -497,6 +517,14 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             payload.put_u32_le(*attempt);
             MSG_REFRESH_REQUEST
         }
+        Message::CacheRef { hash } => {
+            payload.put_u64_le(*hash);
+            MSG_CACHE_REF
+        }
+        Message::CacheMiss { hash } => {
+            payload.put_u64_le(*hash);
+            MSG_CACHE_MISS
+        }
     };
     let mut out = Vec::with_capacity(payload.len() + LEGACY_HEADER_LEN);
     out.put_u8(tag);
@@ -531,7 +559,8 @@ fn is_handshake(msg: &Message) -> bool {
 
 /// Whether `tag` is a known top-level message type byte.
 fn known_message_tag(tag: u8) -> bool {
-    (MSG_SERVER_HELLO..=MSG_PONG).contains(&tag) || tag == MSG_REFRESH_REQUEST
+    (MSG_SERVER_HELLO..=MSG_PONG).contains(&tag)
+        || (MSG_REFRESH_REQUEST..=MSG_CACHE_MISS).contains(&tag)
 }
 
 /// Decodes one framed message from the front of `data`, returning the
@@ -747,6 +776,17 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message, DecodeError> {
             }
             Message::RefreshRequest {
                 attempt: buf.get_u32_le(),
+            }
+        }
+        MSG_CACHE_REF | MSG_CACHE_MISS => {
+            if buf.remaining() < 8 {
+                return Err(DecodeError::Truncated);
+            }
+            let hash = buf.get_u64_le();
+            if tag == MSG_CACHE_REF {
+                Message::CacheRef { hash }
+            } else {
+                Message::CacheMiss { hash }
             }
         }
         other => return Err(DecodeError::UnknownType(other)),
@@ -1056,8 +1096,7 @@ impl FrameReader {
 /// Whether `buf` could begin a valid frame: known message type byte
 /// and, if the length field is visible, a sane declared length.
 fn plausible_frame_start(buf: &[u8]) -> bool {
-    let tag_ok =
-        (MSG_SERVER_HELLO..=MSG_PONG).contains(&buf[0]) || buf[0] == MSG_REFRESH_REQUEST;
+    let tag_ok = known_message_tag(buf[0]);
     if !tag_ok {
         return false;
     }
@@ -1170,6 +1209,12 @@ mod tests {
                 timestamp_us: 123_456,
             },
             Message::RefreshRequest { attempt: 3 },
+            Message::CacheRef {
+                hash: 0x0123_4567_89AB_CDEF,
+            },
+            Message::CacheMiss {
+                hash: 0xFEDC_BA98_7654_3210,
+            },
         ]
     }
 
@@ -1401,6 +1446,35 @@ mod tests {
         assert_eq!(enc.revision(), crate::PROTOCOL_VERSION);
         enc.negotiate(WIRE_REV_INTEGRITY);
         assert_eq!(enc.revision(), WIRE_REV_INTEGRITY);
+    }
+
+    #[test]
+    fn cache_messages_are_compact_and_integrity_framed() {
+        let msg = Message::CacheRef { hash: u64::MAX };
+        // 5-byte header + 8-byte hash: a ref replaces a payload of any
+        // size with 13 bytes.
+        assert_eq!(encode_message(&msg).len(), LEGACY_HEADER_LEN + 8);
+        // Revision 3 reuses revision-2 framing for every message.
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_CACHE);
+        let framed = enc.encode(&msg);
+        assert_eq!(framed.len(), INTEGRITY_HEADER_LEN + 8);
+        let mut reader = FrameReader::with_revision(WIRE_REV_CACHE);
+        reader.feed(&framed);
+        assert_eq!(reader.next_message().unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn revision3_negotiation_and_fallback_to_older_peers() {
+        // A rev-3 endpoint against a rev-3 peer lands on 3...
+        let mut enc = FrameEncoder::new();
+        enc.negotiate(WIRE_REV_CACHE);
+        assert_eq!(enc.revision(), WIRE_REV_CACHE);
+        // ...against a rev-2 peer on 2, and a rev-1 peer on 1, so the
+        // cache capability is cleanly withheld from older clients.
+        enc.negotiate(WIRE_REV_INTEGRITY);
+        assert_eq!(enc.revision(), WIRE_REV_INTEGRITY);
+        enc.negotiate(WIRE_REV_LEGACY);
+        assert_eq!(enc.revision(), WIRE_REV_LEGACY);
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! reader reassembles arbitrary fragmentations.
 
 use proptest::prelude::*;
+use thinc_protocol::cache::{cache_key, CacheLru};
 use thinc_protocol::commands::{DisplayCommand, RawEncoding, Tile};
 use thinc_protocol::message::{Message, ProtocolInput};
 use thinc_protocol::wire::{decode_message, encode_message, FrameEncoder, FrameReader};
-use thinc_protocol::WIRE_REV_INTEGRITY;
+use thinc_protocol::{fnv64, CACHE_MIN_PAYLOAD, DEFAULT_CACHE_BUDGET, WIRE_REV_CACHE, WIRE_REV_INTEGRITY};
 use thinc_raster::{Color, Rect, YuvFormat};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
@@ -135,6 +136,39 @@ fn arb_stream_message() -> impl Strategy<Value = Message> {
             viewport_height: h,
         }),
     ]
+}
+
+/// What the server cache engine does at flush time: a cacheable
+/// payload the ledger already holds goes out as a 13-byte ref (and is
+/// bumped to most-recently-used); anything else ships in full and, if
+/// cacheable, enters the ledger.
+fn server_emit(ledger: &mut CacheLru<Message>, msg: &Message) -> Message {
+    match msg.cache_key() {
+        Some(key) if ledger.contains(key) => {
+            ledger.touch(key);
+            Message::CacheRef { hash: key }
+        }
+        Some(key) => {
+            ledger.insert(key, msg.wire_size(), msg.clone());
+            msg.clone()
+        }
+        None => msg.clone(),
+    }
+}
+
+/// What the client store does on receive: a ref resolves (and bumps)
+/// locally or returns `None` (a miss); a full payload is applied and,
+/// if cacheable, enters the store.
+fn client_resolve(store: &mut CacheLru<Message>, msg: Message) -> Option<Message> {
+    match msg {
+        Message::CacheRef { hash } => store.get(hash).cloned(),
+        other => {
+            if let Some(key) = other.cache_key() {
+                store.insert(key, other.wire_size(), other.clone());
+            }
+            Some(other)
+        }
+    }
 }
 
 proptest! {
@@ -391,6 +425,154 @@ proptest! {
         prop_assert_eq!(c.seq_gap, exp_gap);
         prop_assert_eq!(c.seq_dup, exp_dup);
         prop_assert_eq!(reader.take_seq_break(), exp_gap > 0);
+    }
+
+    /// Revision-3 content cache, modeled exactly as the server engine
+    /// and client store behave: repeated payloads travel as refs, and
+    /// the resolved stream is byte-identical to the uncached stream
+    /// under any fragmentation. A second connection over the *same*
+    /// retained ledger/store (reconnect with a persisted cache) must
+    /// resolve every ref without a single miss.
+    #[test]
+    fn cache_ref_streams_decode_byte_exact_any_fragmentation(
+        pool in prop::collection::vec(arb_command().prop_map(Message::Display), 1..6),
+        picks in prop::collection::vec(any::<u8>(), 1..24),
+        cuts in prop::collection::vec(1usize..64, 1..32),
+    ) {
+        let mut ledger: CacheLru<Message> = CacheLru::new(DEFAULT_CACHE_BUDGET);
+        let mut store: CacheLru<Message> = CacheLru::new(DEFAULT_CACHE_BUDGET);
+
+        for connection in 0..2 {
+            let mut enc = FrameEncoder::with_revision(WIRE_REV_CACHE);
+            let mut stream = Vec::new();
+            let mut sent = Vec::new();
+            let mut refs = 0usize;
+            for &p in &picks {
+                let msg = pool[p as usize % pool.len()].clone();
+                let wire = server_emit(&mut ledger, &msg);
+                if matches!(wire, Message::CacheRef { .. }) {
+                    refs += 1;
+                }
+                stream.extend(enc.encode(&wire));
+                sent.push(msg);
+            }
+            if connection == 1 {
+                // Every cacheable payload is already in the retained
+                // ledger, so the second pass is all refs.
+                let cacheable = sent.iter().filter(|m| m.cache_key().is_some()).count();
+                prop_assert_eq!(refs, cacheable, "warm ledger emits only refs");
+            }
+
+            let mut reader = FrameReader::with_revision(WIRE_REV_CACHE);
+            let mut got = Vec::new();
+            let mut pos = 0;
+            let mut cut_iter = cuts.iter().cycle();
+            while pos < stream.len() {
+                let take = (*cut_iter.next().unwrap()).min(stream.len() - pos);
+                reader.feed(&stream[pos..pos + take]);
+                pos += take;
+                while let Some(m) = reader.next_message().expect("clean rev-3 stream") {
+                    let resolved = client_resolve(&mut store, m);
+                    prop_assert!(resolved.is_some(), "a ref must point at held content");
+                    got.push(resolved.unwrap());
+                }
+            }
+            prop_assert_eq!(got.len(), sent.len());
+            for (g, s) in got.iter().zip(sent.iter()) {
+                prop_assert_eq!(encode_message(g), encode_message(s), "byte-exact");
+            }
+        }
+    }
+
+    /// Under a tiny budget that forces constant eviction, the
+    /// server-side ledger and client-side store evict in lockstep:
+    /// the server only emits a ref for a key it holds, so the client
+    /// must hold it too — eviction never leaves a dangling ref.
+    #[test]
+    fn lockstep_eviction_never_dangles_a_ref(
+        pool in prop::collection::vec(arb_command().prop_map(Message::Display), 2..8),
+        picks in prop::collection::vec(any::<u8>(), 1..64),
+        budget in 256u64..4096,
+    ) {
+        let mut ledger: CacheLru<Message> = CacheLru::new(budget);
+        let mut store: CacheLru<Message> = CacheLru::new(budget);
+        for &p in &picks {
+            let msg = pool[p as usize % pool.len()].clone();
+            let wire = server_emit(&mut ledger, &msg);
+            let resolved = client_resolve(&mut store, wire);
+            prop_assert!(resolved.is_some(), "mirrored LRUs never dangle");
+            prop_assert_eq!(
+                encode_message(&resolved.unwrap()),
+                encode_message(&msg)
+            );
+            prop_assert_eq!(ledger.used_bytes(), store.used_bytes());
+            prop_assert_eq!(ledger.evictions(), store.evictions());
+            prop_assert_eq!(ledger.len(), store.len());
+        }
+    }
+
+    /// Forced misses (a client that lost its store) always converge:
+    /// the ledger answers every miss with the byte-exact original via
+    /// a peek, the fallback re-seeds the store, and the applied stream
+    /// is identical to the uncached stream.
+    #[test]
+    fn forced_miss_and_fallback_converge_byte_exact(
+        pool in prop::collection::vec(arb_command().prop_map(Message::Display), 1..6),
+        picks in prop::collection::vec(any::<u8>(), 1..32),
+        drops in prop::collection::vec(any::<bool>(), 1..32),
+    ) {
+        let mut ledger: CacheLru<Message> = CacheLru::new(DEFAULT_CACHE_BUDGET);
+        let mut store: CacheLru<Message> = CacheLru::new(DEFAULT_CACHE_BUDGET);
+        let mut drop_iter = drops.iter().cycle();
+        for &p in &picks {
+            let msg = pool[p as usize % pool.len()].clone();
+            let wire = server_emit(&mut ledger, &msg);
+            let delivered = match wire {
+                Message::CacheRef { hash } => {
+                    let lost = *drop_iter.next().unwrap();
+                    let held = if lost { None } else { store.get(hash).cloned() };
+                    match held {
+                        Some(v) => v,
+                        None => {
+                            // MSG_CACHE_MISS → the server peeks its
+                            // ledger (no LRU touch until the fallback
+                            // actually ships) and resends the full
+                            // payload, which re-seeds the store.
+                            let fb = ledger.peek(hash)
+                                .expect("ledger holds every ref it emitted")
+                                .clone();
+                            ledger.insert(hash, fb.wire_size(), fb.clone());
+                            client_resolve(&mut store, fb).expect("full payload")
+                        }
+                    }
+                }
+                full => client_resolve(&mut store, full).expect("full payload"),
+            };
+            prop_assert_eq!(encode_message(&delivered), encode_message(&msg));
+        }
+    }
+
+    /// The cacheability gate is exactly: pixel-bearing display command
+    /// (RAW / PFILL / BITMAP) whose final encoding meets the size
+    /// floor — and the key is the FNV-1a of those final bytes.
+    #[test]
+    fn cache_key_gates_on_kind_and_floor(msg in arb_message()) {
+        let enc = encode_message(&msg);
+        let candidate = matches!(
+            &msg,
+            Message::Display(
+                DisplayCommand::Raw { .. }
+                    | DisplayCommand::Pfill { .. }
+                    | DisplayCommand::Bitmap { .. }
+            )
+        );
+        let key = cache_key(&msg, &enc);
+        if candidate && enc.len() >= CACHE_MIN_PAYLOAD {
+            prop_assert_eq!(key, Some(fnv64(&enc)));
+        } else {
+            prop_assert_eq!(key, None);
+        }
+        prop_assert_eq!(msg.cache_key(), key, "convenience form agrees");
     }
 
     /// Pure random bytes through the full feed/decode/resync loop:

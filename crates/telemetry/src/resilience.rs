@@ -58,6 +58,11 @@ pub struct ResilienceMetrics {
     seq_gaps: Counter,
     seq_dups: Counter,
     resyncs_triggered: Counter,
+    // Content-addressed cache (protocol revision 3).
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    cache_bytes_saved: Counter,
     // Adaptive degradation (the feedback loop acting on the above).
     degrade_steps: Counter,
     promote_steps: Counter,
@@ -302,6 +307,55 @@ impl ResilienceMetrics {
         self.resyncs_triggered.get()
     }
 
+    /// Records a cache-reference hit: a full payload replaced by a
+    /// compact reference, saving `bytes_saved` wire bytes.
+    pub fn record_cache_hit(&mut self, bytes_saved: u64) {
+        self.cache_hits.inc();
+        self.cache_bytes_saved.add(bytes_saved);
+    }
+
+    /// Records a cache reference that failed to resolve (and the
+    /// resulting full-payload fallback round trip).
+    pub fn record_cache_miss(&mut self) {
+        self.cache_misses.inc();
+    }
+
+    /// Records `n` entries evicted from a cache ledger or store to
+    /// stay within its byte budget.
+    pub fn record_cache_evictions(&mut self, n: u64) {
+        self.cache_evictions.add(n);
+    }
+
+    /// Folds in cache counts tallied by a component that keeps its own
+    /// ledger (the server's per-client command buffer, the client's
+    /// store — neither carries a telemetry dependency).
+    pub fn add_cache_counts(&mut self, hits: u64, misses: u64, evictions: u64, bytes_saved: u64) {
+        self.cache_hits.add(hits);
+        self.cache_misses.add(misses);
+        self.cache_evictions.add(evictions);
+        self.cache_bytes_saved.add(bytes_saved);
+    }
+
+    /// Cache-reference hits (payloads served from the peer's store).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Cache references that failed to resolve.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.get()
+    }
+
+    /// Entries evicted from cache ledgers/stores.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions.get()
+    }
+
+    /// Wire bytes saved by reference substitution.
+    pub fn cache_bytes_saved(&self) -> u64 {
+        self.cache_bytes_saved.get()
+    }
+
     /// Wire decode errors survived.
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors.get()
@@ -366,6 +420,10 @@ impl ResilienceMetrics {
         self.seq_gaps.add(other.seq_gaps.get());
         self.seq_dups.add(other.seq_dups.get());
         self.resyncs_triggered.add(other.resyncs_triggered.get());
+        self.cache_hits.add(other.cache_hits.get());
+        self.cache_misses.add(other.cache_misses.get());
+        self.cache_evictions.add(other.cache_evictions.get());
+        self.cache_bytes_saved.add(other.cache_bytes_saved.get());
         self.degrade_steps.add(other.degrade_steps.get());
         self.promote_steps.add(other.promote_steps.get());
         // Levels are states, not counts: merging session views keeps
@@ -398,6 +456,10 @@ impl ResilienceMetrics {
             seq_gaps: self.seq_gaps(),
             seq_dups: self.seq_dups(),
             resyncs_triggered: self.resyncs_triggered(),
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+            cache_evictions: self.cache_evictions(),
+            cache_bytes_saved: self.cache_bytes_saved(),
             degrade_steps: self.degrade_steps(),
             promote_steps: self.promote_steps(),
             degradation_level: self.degradation_level(),
@@ -450,6 +512,14 @@ pub struct ResilienceSnapshot {
     pub seq_dups: u64,
     /// Integrity failures escalated into recovery actions.
     pub resyncs_triggered: u64,
+    /// Cache-reference hits (payloads served from the peer's store).
+    pub cache_hits: u64,
+    /// Cache references that failed to resolve.
+    pub cache_misses: u64,
+    /// Entries evicted from cache ledgers/stores.
+    pub cache_evictions: u64,
+    /// Wire bytes saved by reference substitution.
+    pub cache_bytes_saved: u64,
     /// Fidelity reductions by the degradation controller.
     pub degrade_steps: u64,
     /// Fidelity restorations by the degradation controller.
@@ -535,6 +605,24 @@ mod tests {
         assert_eq!(s.resyncs_triggered, 1);
         assert_eq!(s.segments_reordered, 6);
         assert_eq!(s.segments_duplicated, 7);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_merge_and_snapshot() {
+        let mut m = ResilienceMetrics::new();
+        m.record_cache_hit(4000);
+        m.record_cache_hit(2000);
+        m.record_cache_miss();
+        m.record_cache_evictions(3);
+        m.add_cache_counts(5, 1, 2, 10_000);
+        let mut other = ResilienceMetrics::new();
+        other.record_cache_hit(500);
+        m.merge(&other);
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 8);
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.cache_evictions, 5);
+        assert_eq!(s.cache_bytes_saved, 16_500);
     }
 
     #[test]

@@ -113,6 +113,12 @@ fn pump(
     while let Some(pong) = client.take_pong() {
         ws.driver_mut().handle_message(&pong);
     }
+    // Cache misses flow upstream like pongs: the server answers each
+    // with the byte-exact full payload (or owes a refresh when the
+    // entry was evicted on both sides).
+    while let Some(miss) = client.take_cache_miss() {
+        ws.driver_mut().handle_message(&miss);
+    }
     if let Some(req) = client.poll_reconnect(now) {
         ws.driver_mut().handle_message(&req);
     }
@@ -283,13 +289,15 @@ fn integrity_framing_survives_reorder_duplication_and_corruption() {
     let hello = ws.driver().hello();
     let hello_bytes = ws.driver_mut().encode_frame(&hello);
     client.feed(&hello_bytes);
-    assert_eq!(client.wire_revision(), WIRE_REV_INTEGRITY);
+    assert!(client.wire_revision() >= WIRE_REV_INTEGRITY);
+    assert_eq!(client.wire_revision(), PROTOCOL_VERSION);
     ws.driver_mut().handle_message(&Message::ClientHello {
         version: PROTOCOL_VERSION,
         viewport_width: W,
         viewport_height: H,
     });
-    assert_eq!(ws.driver().wire_revision(), WIRE_REV_INTEGRITY);
+    assert_eq!(ws.driver().wire_revision(), PROTOCOL_VERSION);
+    assert!(ws.driver().cache_enabled(), "revision 3 activates the cache");
 
     // Draw through the disturbance windows.
     let mut now = SimTime::ZERO;
@@ -336,6 +344,129 @@ fn integrity_framing_survives_reorder_duplication_and_corruption() {
         "client must converge byte-exact through reorder+dup+corruption"
     );
     assert!(ws.driver().resilience_metrics().resyncs() >= 1);
+}
+
+#[test]
+fn cached_session_matches_uncached_and_reconnect_repays_debt_from_cache() {
+    // Protocol revision 3: two sessions over identically-faulted
+    // links draw the same repeating desktop content; one negotiates
+    // the content-addressed cache, the other is pinned uncached. The
+    // cache must be invisible to content (byte-identical final
+    // framebuffers) while measurably cutting wire bytes — and the
+    // client's store must survive a reconnect so the resync's refresh
+    // debt can be repaid out of cache.
+    use thinc::protocol::PROTOCOL_VERSION;
+    let seed = fault_seed().wrapping_add(8);
+
+    type Run = (
+        WindowServer<ThincServer>,
+        thinc::net::link::DuplexLink,
+        PacketTrace,
+        StreamClient,
+        SimTime,
+    );
+    let run = |cached: bool| -> Run {
+        let net = NetworkConfig::wan_desktop().with_faults(
+            FaultPlan::seeded(seed).with_corruption(
+                SimTime(40_000),
+                SimDuration::from_millis(80),
+                0.02,
+            ),
+        );
+        let mut link = net.connect();
+        let mut trace = PacketTrace::new();
+        let config = ServerConfig {
+            cache_budget_bytes: cached.then_some(4 * 1024 * 1024),
+            ..server_config()
+        };
+        let mut ws =
+            WindowServer::new(W, H, PixelFormat::Rgb888, ThincServer::new(config));
+        let mut client = policy_client(W, H);
+        let hello = ws.driver().hello();
+        let bytes = ws.driver_mut().encode_frame(&hello);
+        client.feed(&bytes);
+        ws.driver_mut().handle_message(&Message::ClientHello {
+            version: PROTOCOL_VERSION,
+            viewport_width: W,
+            viewport_height: H,
+        });
+        assert_eq!(ws.driver().cache_enabled(), cached);
+
+        // Four fixed tiles redrawn every round: desktop content
+        // repeats, which is what the cache monetizes.
+        let mut now = SimTime::ZERO;
+        for _round in 0..6u64 {
+            for slot in 0..4u64 {
+                let x = slot as i32 * 32;
+                let y = (slot as i32 % 3) * 24;
+                ws.driver_mut().set_time(now);
+                ws.process(noise(Rect::new(x, y, 24, 24), seed ^ slot));
+                pump(&mut ws, &mut link, &mut trace, &mut client, now);
+                now += SimDuration::from_millis(20);
+            }
+            now = drain(&mut ws, &mut link, &mut trace, &mut client, now);
+        }
+        // Pump past the corruption window until any latched refresh
+        // has been covered by a policy-driven resync.
+        let mut now = now.max(SimTime(200_000));
+        for _ in 0..500 {
+            if !client.needs_refresh() && ws.driver().display_backlog() == 0 {
+                break;
+            }
+            pump(&mut ws, &mut link, &mut trace, &mut client, now);
+            now = link.down.tx_free_at().max(now + SimDuration::from_millis(50));
+        }
+        assert!(!client.needs_refresh());
+        (ws, link, trace, client, now)
+    };
+
+    let (mut ws_c, mut link_c, mut trace_c, mut client_c, now_c) = run(true);
+    let (ws_u, _, _, client_u, _) = run(false);
+
+    // Both converge; the cache is invisible to content.
+    assert_eq!(client_c.client().framebuffer().data(), ws_c.screen().data());
+    assert_eq!(client_u.client().framebuffer().data(), ws_u.screen().data());
+    assert_eq!(ws_c.screen().data(), ws_u.screen().data(), "identical draws");
+    assert_eq!(
+        client_c.client().framebuffer().data(),
+        client_u.client().framebuffer().data(),
+        "cached and uncached sessions must render byte-identically"
+    );
+    // ...while measurably saving wire bytes.
+    let m_c = ws_c.driver().resilience_metrics();
+    assert!(m_c.cache_hits() > 0, "repeated tiles must travel as refs");
+    assert!(m_c.cache_bytes_saved() > 0);
+    assert_eq!(ws_u.driver().resilience_metrics().cache_hits(), 0);
+    assert!(
+        ws_c.driver().stats().buffer.sent_bytes < ws_u.driver().stats().buffer.sent_bytes,
+        "references must shrink the display byte stream"
+    );
+    // Refs caught inside the corruption window are counted at send
+    // time but never resolve (the frame fails CRC and recovery
+    // repaints) — so the client resolves at most what was sent.
+    let resolved = client_c.resilience_metrics().cache_hits();
+    assert!(resolved > 0, "surviving refs must resolve client-side");
+    assert!(resolved <= m_c.cache_hits());
+
+    // Reconnect: the client's store deliberately survives the redial,
+    // so the resync can repay refresh debt out of cache.
+    assert!(client_c.cache_len() > 0);
+    client_c.reconnect();
+    let mut now = now_c + SimDuration::from_secs_f64(1.0);
+    for _ in 0..500 {
+        if !client_c.needs_refresh() && ws_c.driver().display_backlog() == 0 {
+            break;
+        }
+        pump(&mut ws_c, &mut link_c, &mut trace_c, &mut client_c, now);
+        now = link_c.down.tx_free_at().max(now + SimDuration::from_millis(50));
+    }
+    assert!(!client_c.needs_refresh(), "the reconnect resync must cover");
+    assert_eq!(
+        client_c.client().framebuffer().data(),
+        ws_c.screen().data(),
+        "reconnect with a persisted cache must converge byte-exact"
+    );
+    assert!(client_c.cache_len() > 0, "the store survived the redial");
 }
 
 #[test]
