@@ -1,0 +1,1180 @@
+//! The schedule executor: one [`Schedule`] in, one [`RunReport`] out.
+//!
+//! The runner owns the whole closed loop — an authoritative
+//! [`SharedSession`], a [`DrawableStore`] screen, and per-slot
+//! [`StreamClient`]s each behind their own faultable [`TcpPipe`] —
+//! and advances it in *virtual* time only. Nothing here reads a wall
+//! clock or an ambient RNG: every random draw descends from the
+//! schedule seed, so the same schedule produces the same byte
+//! streams, the same telemetry and the same verdicts on every
+//! machine and for every flush worker count.
+//!
+//! At each [`ChaosEvent::Quiesce`] the runner drains the system
+//! (fault windows run out, pipes swap to clean plans, refresh debt
+//! is repaid) and then evaluates the global invariant catalog in
+//! [`crate::invariant`]. Violations accumulate in the report; a run
+//! never aborts early, so shrinking sees the same failure shape on
+//! every candidate.
+
+use crate::event::{ChaosEvent, FaultKind, Schedule, Workload};
+use crate::invariant::{self, RunReport, Violation};
+use thinc_client::{ReconnectConfig, ReconnectPolicy, StreamClient, ThincClient};
+use thinc_core::degradation::{DegradationConfig, DegradationLevel};
+use thinc_core::liveness::LivenessConfig;
+use thinc_core::scaling::ScalePolicy;
+use thinc_core::session::{ClientId, Credentials, SharedSession};
+use thinc_display::drawable::DrawableStore;
+use thinc_display::driver::VideoDriver;
+use thinc_display::SCREEN;
+use thinc_net::fault::{FaultPlan, SplitMix64};
+use thinc_net::link::NetworkConfig;
+use thinc_net::tcp::TcpPipe;
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_net::trace::PacketTrace;
+use thinc_protocol::commands::{DisplayCommand, RawEncoding};
+use thinc_protocol::message::Message;
+use thinc_protocol::wire::{self, FrameEncoder};
+use thinc_protocol::PROTOCOL_VERSION;
+use thinc_raster::{Color, PixelFormat, Rect};
+
+/// Pixel format every chaos session runs in.
+const FORMAT: PixelFormat = PixelFormat::Rgb888;
+/// Liveness timeout: silence longer than this declares a client dead.
+const LIVENESS_TIMEOUT: SimDuration = SimDuration::from_secs(3);
+/// Ping cadence, well under the timeout so probes always precede it.
+const PING_INTERVAL: SimDuration = SimDuration::from_millis(500);
+/// "Indefinite" outage length used to model a severed connection
+/// (about 115 virtual days — no schedule runs anywhere near it).
+const FOREVER: SimDuration = SimDuration(10_000_000_000_000);
+/// Virtual time per settle pump. Kept far under the liveness timeout
+/// so pings keep flowing while the quiesce drains.
+const SETTLE_STEP: SimDuration = SimDuration::from_millis(100);
+/// Virtual time per fault-window run-out pump.
+const RUNOUT_STEP: SimDuration = SimDuration::from_millis(250);
+/// Settle pumps a quiesce may spend before declaring stuck debt.
+const MAX_SETTLE: usize = 400;
+/// Hard cap on slots (the generator stays lower; hand-written
+/// schedules beyond this see their attaches degrade to no-ops).
+const MAX_SLOTS: usize = 8;
+
+/// Installs (once per process) a panic hook that swallows only the
+/// deliberately injected flush poison, so chaos runs exercising the
+/// quarantine path do not spray scary-but-expected backtraces.
+/// Every other panic is forwarded to the previous hook untouched.
+fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(|s| s.as_str()))
+                .unwrap_or("");
+            if !msg.contains("injected poison") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Accumulated fault windows for one slot's current pipe epoch.
+///
+/// [`TcpPipe::set_fault_plan`] replaces the whole fault state, so
+/// composing a new window with ones already armed means rebuilding
+/// the full plan; this records everything armed since the last clean
+/// swap. `Loss` is a flat rate (active until the next quiesce);
+/// everything else is windowed.
+#[derive(Debug, Default, Clone)]
+struct PlanSpec {
+    loss: f64,
+    outages: Vec<(SimTime, SimDuration)>,
+    collapses: Vec<(SimTime, SimDuration, f64)>,
+    corruptions: Vec<(SimTime, SimDuration, f64)>,
+    reorders: Vec<(SimTime, SimDuration, f64)>,
+    dups: Vec<(SimTime, SimDuration, f64)>,
+}
+
+impl PlanSpec {
+    fn is_clean(&self) -> bool {
+        self.loss == 0.0
+            && self.outages.is_empty()
+            && self.collapses.is_empty()
+            && self.corruptions.is_empty()
+            && self.reorders.is_empty()
+            && self.dups.is_empty()
+    }
+
+    /// Latest end among all armed windows (`SimTime(0)` when none).
+    fn windows_end(&self) -> SimTime {
+        let mut end = SimTime(0);
+        for (s, l) in &self.outages {
+            end = end.max(SimTime(s.0.saturating_add(l.0)));
+        }
+        for (s, l, _) in self
+            .collapses
+            .iter()
+            .chain(&self.corruptions)
+            .chain(&self.reorders)
+            .chain(&self.dups)
+        {
+            end = end.max(SimTime(s.0.saturating_add(l.0)));
+        }
+        end
+    }
+
+    /// Rebuilds the full plan with a PRNG stream derived from the
+    /// schedule seed, the slot and the plan epoch — deterministic,
+    /// and distinct across slots and across successive swaps.
+    fn build(&self, base_seed: u64, slot: usize, epoch: u64) -> FaultPlan {
+        let derived = SplitMix64::new(
+            base_seed
+                ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ epoch.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        )
+        .next_u64();
+        let mut plan = FaultPlan::seeded(derived);
+        if self.loss > 0.0 {
+            plan = plan.with_loss(self.loss);
+        }
+        for (s, l) in &self.outages {
+            plan = plan.with_outage(*s, *l);
+        }
+        for (s, l, f) in &self.collapses {
+            plan = plan.with_collapse(*s, *l, *f);
+        }
+        for (s, l, r) in &self.corruptions {
+            plan = plan.with_corruption(*s, *l, *r);
+        }
+        for (s, l, r) in &self.reorders {
+            plan = plan.with_reorder(*s, *l, *r);
+        }
+        for (s, l, r) in &self.dups {
+            plan = plan.with_duplication(*s, *l, *r);
+        }
+        plan
+    }
+}
+
+/// One chaos slot: a stable index onto a (possibly re-issued)
+/// session client and its client-side stream state.
+struct Slot {
+    /// Current session client id (re-issued on hard reattach).
+    id: ClientId,
+    viewport: (u32, u32),
+    /// Cache budget negotiated with the server at attach time.
+    budget: u64,
+    connected: bool,
+    disconnected_at: Option<SimTime>,
+    stream: StreamClient,
+    encoder: FrameEncoder,
+    plan: PlanSpec,
+    plan_epoch: u64,
+    /// Fault stats folded out of replaced plans (a plan swap resets
+    /// the pipe's counters).
+    accrued_lost: u64,
+    accrued_retx: u64,
+    /// Whether the ledger/store eviction mirror can still be checked
+    /// strictly (cleared by wire damage, cache misses and resizes).
+    mirror_intact: bool,
+    /// An outage/collapse window (or severed link) was armed since
+    /// the last quiesce: a Dead verdict is starvation, not a bug.
+    outage_excused: bool,
+    /// This slot's flush was deliberately poisoned.
+    poisoned: bool,
+    /// Pongs routed upstream for the current client incarnation.
+    pongs_routed: u64,
+}
+
+struct Runner {
+    session: SharedSession,
+    store: DrawableStore,
+    /// `(client, pipe, trace)` in session-attach order — the exact
+    /// order [`SharedSession::flush_all`] expects its links in.
+    links: Vec<(ClientId, TcpPipe, PacketTrace)>,
+    slots: Vec<Slot>,
+    now: SimTime,
+    seed: u64,
+    width: u32,
+    height: u32,
+    /// Cache budget clients attached from now on negotiate.
+    budget_for_new: u64,
+    attaches: usize,
+    violations: Vec<Violation>,
+    /// Latch so a persistent buffer overrun reports once, not per pump.
+    buffer_bound_flagged: bool,
+    quiesces: usize,
+}
+
+/// Runs `schedule` to completion and reports every invariant
+/// violation observed. Never panics on schedule content: dangling
+/// slot references and out-of-range rectangles degrade to no-ops
+/// (the removal-tolerance contract shrinking relies on).
+pub fn run(schedule: &Schedule) -> RunReport {
+    if schedule
+        .events
+        .iter()
+        .any(|e| matches!(e, ChaosEvent::PoisonFlush { .. }))
+    {
+        silence_injected_panics();
+    }
+    let width = schedule.width.clamp(8, 512);
+    let height = schedule.height.clamp(8, 512);
+    let mut session = SharedSession::new(width, height, FORMAT, "host")
+        .with_liveness(LivenessConfig {
+            timeout: LIVENESS_TIMEOUT,
+            ping_interval: PING_INTERVAL,
+        })
+        .with_degradation(DegradationConfig::default())
+        .with_buffer_bound(schedule.buffer_bound.max(4 * 1024))
+        .with_cache(schedule.cache_budget.max(4 * 1024))
+        .with_workers(schedule.workers.max(1));
+    session.auth_mut().enable_sharing("chaos");
+    let mut r = Runner {
+        session,
+        store: DrawableStore::new(width, height, FORMAT),
+        links: Vec::new(),
+        slots: Vec::new(),
+        now: SimTime(0),
+        seed: schedule.seed,
+        width,
+        height,
+        budget_for_new: schedule.cache_budget.max(4 * 1024),
+        attaches: 0,
+        violations: Vec::new(),
+        buffer_bound_flagged: false,
+        quiesces: 0,
+    };
+    let mut executed = 0usize;
+    for ev in &schedule.events {
+        r.exec(ev);
+        executed += 1;
+    }
+    // The implicit final checkpoint: every run ends settled and
+    // checked, whether or not the event list says so.
+    if !matches!(schedule.events.last(), Some(ChaosEvent::Quiesce)) {
+        r.quiesce();
+    }
+    RunReport {
+        violations: r.violations,
+        events_executed: executed,
+        quiesces: r.quiesces,
+        slots_attached: r.attaches,
+        quarantined: r.session.quarantined_count(),
+    }
+}
+
+impl Runner {
+    fn violation(&mut self, invariant: &str, detail: String) {
+        self.violations.push(Violation {
+            invariant: invariant.to_string(),
+            detail,
+        });
+    }
+
+    fn exec(&mut self, ev: &ChaosEvent) {
+        match *ev {
+            ChaosEvent::Attach {
+                viewport_w,
+                viewport_h,
+            } => {
+                self.attach(viewport_w, viewport_h);
+            }
+            ChaosEvent::Disconnect { slot } => self.disconnect(slot),
+            ChaosEvent::Reconnect { slot } => self.reconnect(slot),
+            ChaosEvent::Resize {
+                slot,
+                viewport_w,
+                viewport_h,
+            } => self.resize(slot, viewport_w, viewport_h),
+            ChaosEvent::Fault {
+                slot,
+                kind,
+                offset_ms,
+                len_ms,
+                rate_pct,
+            } => self.fault(slot, kind, offset_ms, len_ms, rate_pct),
+            ChaosEvent::CacheBudget { bytes } => {
+                let bytes = bytes.clamp(4 * 1024, 64 * 1024 * 1024);
+                self.budget_for_new = bytes;
+                self.session.set_cache_budget(Some(bytes));
+            }
+            ChaosEvent::Draw {
+                workload,
+                x,
+                y,
+                w,
+                h,
+                salt,
+            } => self.draw(workload, x, y, w, h, salt),
+            ChaosEvent::Flush { epochs, step_ms } => {
+                let step = SimDuration::from_millis(u64::from(step_ms.clamp(1, 2_000)));
+                for _ in 0..epochs.clamp(1, 64) {
+                    self.pump(step);
+                }
+            }
+            ChaosEvent::PoisonFlush { slot } => {
+                if let Some(si) = self.live_slot(slot) {
+                    let id = self.slots[si].id;
+                    self.session.poison_next_flush(id);
+                    self.slots[si].poisoned = true;
+                }
+            }
+            ChaosEvent::SabotagePixel { slot } => {
+                if let Some(si) = self.live_slot(slot) {
+                    // Public-API equivalent of flipping one local
+                    // pixel: paint a 1x1 fill the screen never saw.
+                    let first = self.slots[si].stream.client().framebuffer().data()[0];
+                    let color = if first > 127 {
+                        Color::rgb(0, 0, 0)
+                    } else {
+                        Color::rgb(255, 255, 255)
+                    };
+                    self.slots[si].stream.client_mut().apply(&Message::Display(
+                        DisplayCommand::Sfill {
+                            rect: Rect::new(0, 0, 1, 1),
+                            color,
+                        },
+                    ));
+                }
+            }
+            ChaosEvent::Quiesce => self.quiesce(),
+        }
+    }
+
+    /// Index of `slot` if it exists, is connected and is not
+    /// quarantined — the precondition most slot events degrade on.
+    fn live_slot(&self, slot: usize) -> Option<usize> {
+        let s = self.slots.get(slot)?;
+        (s.connected && !self.session.client_quarantined(s.id)).then_some(slot)
+    }
+
+    fn fresh_stream(&self, vw: u32, vh: u32, budget: u64) -> StreamClient {
+        let mut stream = StreamClient::new(vw, vh, FORMAT)
+            .with_cache_budget(budget)
+            .with_reconnect_policy(ReconnectPolicy::new(ReconnectConfig {
+                seed: self
+                    .seed
+                    .wrapping_add((self.attaches as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ..ReconnectConfig::default()
+            }));
+        // Handshake: legacy-framed hello upgrades the reader to the
+        // session's wire revision, exactly as a real connect would.
+        stream.feed(&wire::encode_message(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: vw,
+            height: vh,
+            depth: 24,
+        }));
+        stream
+    }
+
+    fn attach(&mut self, viewport_w: u32, viewport_h: u32) -> Option<usize> {
+        if self.slots.len() >= MAX_SLOTS {
+            return None;
+        }
+        let vw = viewport_w.clamp(1, self.width);
+        let vh = viewport_h.clamp(1, self.height);
+        self.session.set_time(self.now);
+        let id = self.attach_client(vw, vh)?;
+        let budget = self.budget_for_new;
+        let stream = self.fresh_stream(vw, vh, budget);
+        self.links.push((
+            id,
+            NetworkConfig::lan_desktop().connect().down,
+            PacketTrace::new(),
+        ));
+        self.slots.push(Slot {
+            id,
+            viewport: (vw, vh),
+            budget,
+            connected: true,
+            disconnected_at: None,
+            stream,
+            encoder: FrameEncoder::with_revision(PROTOCOL_VERSION),
+            plan: PlanSpec::default(),
+            plan_epoch: 0,
+            accrued_lost: 0,
+            accrued_retx: 0,
+            mirror_intact: true,
+            outage_excused: false,
+            poisoned: false,
+            pongs_routed: 0,
+        });
+        Some(self.slots.len() - 1)
+    }
+
+    /// Issues a session client: the first attach is the owner, every
+    /// later one a password peer (sharing is enabled at start).
+    fn attach_client(&mut self, vw: u32, vh: u32) -> Option<ClientId> {
+        let creds = if self.attaches == 0 {
+            Credentials::Owner {
+                user: "host".into(),
+            }
+        } else {
+            Credentials::Peer {
+                user: format!("c{}", self.attaches),
+                password: "chaos".into(),
+            }
+        };
+        let id = self.session.attach(&creds, vw, vh).ok()?;
+        self.attaches += 1;
+        Some(id)
+    }
+
+    /// Severs a slot: everything already disturbed onto the wire
+    /// still lands, then the link goes down indefinitely, so the
+    /// server keeps producing into a buffer that can only evict.
+    fn disconnect(&mut self, slot: usize) {
+        let Some(si) = self.live_slot(slot) else {
+            return;
+        };
+        if !self.slots[si].connected {
+            return;
+        }
+        self.deliver_held(si);
+        self.slots[si].plan.outages.push((self.now, FOREVER));
+        self.rearm_plan(si);
+        self.slots[si].connected = false;
+        self.slots[si].disconnected_at = Some(self.now);
+        self.slots[si].outage_excused = true;
+    }
+
+    /// Re-establishes a slot. A live client redials softly (fresh
+    /// pipe, wire state dropped, display and cache store survive, the
+    /// server resyncs); a dead or detached one is reattached from
+    /// scratch with a new session client.
+    fn reconnect(&mut self, slot: usize) {
+        let Some(s) = self.slots.get(slot) else {
+            return;
+        };
+        let id = s.id;
+        if self.session.client_quarantined(id) {
+            return; // quarantine is terminal by design
+        }
+        if self.session.client_dead(id) {
+            self.hard_reattach(slot);
+            return;
+        }
+        // Soft redial: replace the pipe with a clean one.
+        let si = slot;
+        self.deliver_held(si);
+        self.fold_stats(si);
+        if let Some(link) = self.links.iter_mut().find(|l| l.0 == id) {
+            link.1 = NetworkConfig::lan_desktop().connect().down;
+            link.2 = PacketTrace::new();
+        }
+        self.slots[si].plan = PlanSpec::default();
+        self.slots[si].plan_epoch += 1;
+        self.slots[si].connected = true;
+        self.slots[si].disconnected_at = None;
+        self.slots[si].stream.reconnect();
+        self.session.set_time(self.now);
+        self.session.note_client_activity(id, self.now);
+        self.session.resync_client(id, self.store.screen());
+    }
+
+    /// Detaches a slot's session client and issues a brand-new one at
+    /// the same viewport: fresh ledger, fresh store, fresh wire state
+    /// — the mirror restarts intact.
+    fn hard_reattach(&mut self, slot: usize) {
+        let old = self.slots[slot].id;
+        self.session.detach(old);
+        self.links.retain(|l| l.0 != old);
+        self.session.set_time(self.now);
+        let (vw, vh) = self.slots[slot].viewport;
+        let Some(id) = self.attach_client(vw, vh) else {
+            return;
+        };
+        let budget = self.budget_for_new;
+        let stream = self.fresh_stream(vw, vh, budget);
+        self.links.push((
+            id,
+            NetworkConfig::lan_desktop().connect().down,
+            PacketTrace::new(),
+        ));
+        let s = &mut self.slots[slot];
+        s.id = id;
+        s.budget = budget;
+        s.connected = true;
+        s.disconnected_at = None;
+        s.stream = stream;
+        s.encoder = FrameEncoder::with_revision(PROTOCOL_VERSION);
+        s.plan = PlanSpec::default();
+        s.plan_epoch += 1;
+        s.accrued_lost = 0;
+        s.accrued_retx = 0;
+        s.mirror_intact = true;
+        s.outage_excused = false;
+        s.pongs_routed = 0;
+        self.session.note_client_activity(id, self.now);
+    }
+
+    /// Mid-session viewport change: the server rescales and owes a
+    /// full refresh; the client restarts its display and store at the
+    /// new geometry (so the eviction mirror is no longer strict —
+    /// misses recover it the slow, checked way).
+    fn resize(&mut self, slot: usize, viewport_w: u32, viewport_h: u32) {
+        let Some(si) = self.live_slot(slot) else {
+            return;
+        };
+        let vw = viewport_w.clamp(1, self.width);
+        let vh = viewport_h.clamp(1, self.height);
+        let id = self.slots[si].id;
+        self.session.resize_client(id, vw, vh);
+        let budget = self.slots[si].budget;
+        let stream = self.fresh_stream(vw, vh, budget);
+        let s = &mut self.slots[si];
+        s.viewport = (vw, vh);
+        s.stream = stream;
+        s.mirror_intact = false;
+    }
+
+    fn fault(&mut self, slot: usize, kind: FaultKind, offset_ms: u32, len_ms: u32, rate_pct: u8) {
+        let Some(si) = self.live_slot(slot) else {
+            return;
+        };
+        let start = self.now + SimDuration::from_millis(u64::from(offset_ms.min(60_000)));
+        let len = SimDuration::from_millis(u64::from(len_ms.clamp(1, 60_000)));
+        let rate = f64::from(rate_pct.clamp(1, 100)) / 100.0;
+        {
+            let spec = &mut self.slots[si].plan;
+            match kind {
+                FaultKind::Loss => spec.loss = rate.min(0.5),
+                FaultKind::Outage => spec.outages.push((start, len)),
+                FaultKind::Collapse => spec.collapses.push((start, len, rate)),
+                FaultKind::Corruption => spec.corruptions.push((start, len, rate)),
+                FaultKind::Reorder => spec.reorders.push((start, len, rate)),
+                FaultKind::Duplicate => spec.dups.push((start, len, rate)),
+            }
+        }
+        if matches!(kind, FaultKind::Outage | FaultKind::Collapse) {
+            // Starved links can silence pings past the timeout; a
+            // Dead verdict under these windows is expected physics.
+            self.slots[si].outage_excused = true;
+        }
+        self.deliver_held(si);
+        self.rearm_plan(si);
+    }
+
+    /// Feeds the client anything a reorder window still holds on its
+    /// pipe, so a fault-state swap never silently drops bytes.
+    fn deliver_held(&mut self, si: usize) {
+        let id = self.slots[si].id;
+        let Some(link) = self.links.iter_mut().find(|l| l.0 == id) else {
+            return;
+        };
+        if let Some(tail) = link.1.flush_disturbed() {
+            if self.slots[si].connected {
+                self.slots[si].stream.feed(&tail);
+            }
+        }
+    }
+
+    /// Folds the pipe's fault counters into the slot before the swap
+    /// resets them.
+    fn fold_stats(&mut self, si: usize) {
+        let id = self.slots[si].id;
+        if let Some(link) = self.links.iter().find(|l| l.0 == id) {
+            let st = link.1.fault_stats();
+            self.slots[si].accrued_lost += st.segments_lost;
+            self.slots[si].accrued_retx += st.retransmits;
+        }
+    }
+
+    /// Installs the slot's accumulated plan on its pipe.
+    fn rearm_plan(&mut self, si: usize) {
+        self.fold_stats(si);
+        self.slots[si].plan_epoch += 1;
+        let plan = self
+            .slots[si]
+            .plan
+            .build(self.seed, si, self.slots[si].plan_epoch);
+        let id = self.slots[si].id;
+        if let Some(link) = self.links.iter_mut().find(|l| l.0 == id) {
+            link.1.set_fault_plan(plan);
+        }
+    }
+
+    fn draw(&mut self, workload: Workload, x: i32, y: i32, w: u32, h: u32, salt: u64) {
+        let Some(rect) = clamp_rect(x, y, w, h, self.width, self.height) else {
+            return;
+        };
+        match workload {
+            Workload::Solid => {
+                let c = Color::rgb(salt as u8, (salt >> 8) as u8, (salt >> 16) as u8);
+                self.store.screen_mut().fill_rect(&rect, c);
+                self.session.solid_fill(&self.store, SCREEN, rect, c);
+            }
+            Workload::Noise => {
+                let data = pattern_bytes(salt | 1, &rect);
+                self.store.screen_mut().put_raw(&rect, &data);
+                self.session.put_image(&self.store, SCREEN, rect, &data);
+            }
+            Workload::Tile => {
+                // Content depends only on the palette index, so every
+                // repeat is byte-identical and the cache sees hits.
+                let data = pattern_bytes(0x7115_0000 | (salt % 4), &rect);
+                self.store.screen_mut().put_raw(&rect, &data);
+                self.session.put_image(&self.store, SCREEN, rect, &data);
+            }
+            Workload::Scroll => {
+                let (clip, data) = self.store.screen().get_raw(&rect);
+                if clip.is_empty() {
+                    return;
+                }
+                let dx = (((salt % 17) as i32) - 8)
+                    .clamp(-clip.x, self.width as i32 - clip.x - clip.w as i32);
+                let dy = ((((salt >> 8) % 13) as i32) - 6)
+                    .clamp(-clip.y, self.height as i32 - clip.y - clip.h as i32);
+                let dst = Rect::new(clip.x + dx, clip.y + dy, clip.w, clip.h);
+                self.store.screen_mut().put_raw(&dst, &data);
+                self.session
+                    .copy_area(&self.store, SCREEN, SCREEN, clip, dst.x, dst.y);
+            }
+        }
+    }
+
+    /// One delivery round: advance virtual time, flush every client
+    /// over its (possibly faulty) pipe, run the bytes through the
+    /// disturbance model into each stream client, and route upstream
+    /// traffic (pongs, cache misses, refresh requests) back into the
+    /// session. Liveness is polled for every slot so probes queue and
+    /// verdicts advance.
+    fn pump(&mut self, step: SimDuration) {
+        self.now += step;
+        self.session.set_time(self.now);
+        let ids: Vec<ClientId> = self.links.iter().map(|l| l.0).collect();
+        let mut flat: Vec<(TcpPipe, PacketTrace)> =
+            self.links.drain(..).map(|l| (l.1, l.2)).collect();
+        let out = self.session.flush_all(self.now, &mut flat);
+        self.links = ids
+            .into_iter()
+            .zip(flat)
+            .map(|(id, (p, t))| (id, p, t))
+            .collect();
+        for (id, msgs) in out {
+            let Some(si) = self.slots.iter().position(|s| s.id == id) else {
+                continue;
+            };
+            if !self.slots[si].connected {
+                continue;
+            }
+            let slot = &mut self.slots[si];
+            let Some(link) = self.links.iter_mut().find(|l| l.0 == id) else {
+                continue;
+            };
+            if msgs.is_empty() {
+                // Idle round: release anything a reorder window still
+                // holds so a quiet link never strands bytes.
+                if let Some(tail) = link.1.flush_disturbed() {
+                    slot.stream.feed(&tail);
+                }
+            } else {
+                for (arrival, msg) in msgs {
+                    let bytes = slot.encoder.encode(&msg);
+                    for seg in link.1.disturb(arrival, bytes) {
+                        slot.stream.feed(&seg);
+                    }
+                }
+            }
+        }
+        for si in 0..self.slots.len() {
+            let id = self.slots[si].id;
+            let _ = self.session.poll_client_liveness(id, self.now);
+            if !self.slots[si].connected {
+                continue;
+            }
+            while let Some(pong) = self.slots[si].stream.take_pong() {
+                if let Message::Pong { seq, .. } = pong {
+                    self.session.note_client_pong(id, seq, self.now);
+                    self.slots[si].pongs_routed += 1;
+                }
+            }
+            while let Some(miss) = self.slots[si].stream.take_cache_miss() {
+                if let Message::CacheMiss { hash } = miss {
+                    self.slots[si].mirror_intact = false;
+                    self.session.client_cache_miss(id, hash);
+                    self.session.note_client_activity(id, self.now);
+                }
+            }
+            if self.slots[si].stream.poll_reconnect(self.now).is_some() {
+                self.session.resync_client(id, self.store.screen());
+                self.session.note_client_activity(id, self.now);
+            }
+            // Wire damage voids the strict eviction mirror for this
+            // client incarnation: lost or skipped frames mean inserts
+            // the ledger saw and the store did not.
+            let m = self.slots[si].stream.resilience_metrics();
+            if m.decode_errors() > 0 || m.crc_failures() > 0 || m.seq_gaps() > 0 {
+                self.slots[si].mirror_intact = false;
+            }
+        }
+        self.check_buffer_bounds();
+    }
+
+    /// The always-on invariant: buffered bytes stay within the bound
+    /// plus one full frame of repay slack, at *every* pump.
+    fn check_buffer_bounds(&mut self) {
+        if self.buffer_bound_flagged {
+            return;
+        }
+        let slack = u64::from(self.width) * u64::from(self.height) * 3 + 512;
+        for si in 0..self.slots.len() {
+            let id = self.slots[si].id;
+            let Some(bound) = self.session.client_effective_byte_bound(id) else {
+                continue;
+            };
+            let pending = self.session.client_pending_bytes(id);
+            if pending > bound + slack {
+                self.buffer_bound_flagged = true;
+                self.violation(
+                    invariant::BUFFER_BOUND,
+                    format!(
+                        "slot {si}: {pending} buffered bytes exceed bound {bound} (+{slack} slack) at t={}us",
+                        self.now.0
+                    ),
+                );
+                return;
+            }
+        }
+    }
+
+    /// Drains the system to a settled state and evaluates the whole
+    /// invariant catalog.
+    fn quiesce(&mut self) {
+        self.quiesces += 1;
+        // 1. Run out every armed fault window (disconnected slots'
+        // indefinite outages excluded — those never end).
+        let mut horizon = SimTime(0);
+        for s in &self.slots {
+            if s.connected {
+                horizon = horizon.max(s.plan.windows_end());
+            }
+        }
+        let target = horizon.max(self.now) + SimDuration::from_millis(50);
+        while self.now < target {
+            let remaining = SimDuration(target.0 - self.now.0);
+            self.pump(remaining.min(RUNOUT_STEP));
+        }
+        // 2. Swap every connected slot to a clean plan.
+        for si in 0..self.slots.len() {
+            if self.slots[si].connected && !self.slots[si].plan.is_clean() {
+                self.deliver_held(si);
+                self.slots[si].plan = PlanSpec::default();
+                self.rearm_plan(si);
+            }
+        }
+        // 3. A connected slot starved dead by its own fault windows
+        // is revived by a full reattach (the tracker's Dead verdict
+        // latches by design). Unexcused death is a liveness bug.
+        for si in 0..self.slots.len() {
+            let id = self.slots[si].id;
+            if self.slots[si].connected
+                && !self.session.client_quarantined(id)
+                && self.session.client_dead(id)
+            {
+                if !self.slots[si].outage_excused {
+                    self.violation(
+                        invariant::LIVENESS,
+                        format!("slot {si}: connected client declared dead with no outage armed"),
+                    );
+                }
+                self.hard_reattach(si);
+            }
+        }
+        // 4. Settle: repay refresh debt and pump until every healthy
+        // client has nothing owed, nothing queued and nothing stale.
+        let mut settled = false;
+        for _ in 0..MAX_SETTLE {
+            let screen = self.store.screen().clone();
+            self.session.repay_refreshes(&screen);
+            self.pump(SETTLE_STEP);
+            if self.is_settled() {
+                settled = true;
+                break;
+            }
+        }
+        if !settled {
+            let detail = self.debt_detail();
+            self.violation(invariant::REFRESH_DEBT, detail);
+        }
+        // 5. Scaled viewports converge per-resync, not per-command:
+        // incremental scaled fills can differ from the one-shot
+        // scaled snapshot by edge rounding, so the contract (set by
+        // the device-switch path) is byte-exactness *after a resync*.
+        // Identity clients skip this and are held to raw incremental
+        // exactness — which is why the sabotage hook targets them.
+        let mut resynced = false;
+        for s in &self.slots {
+            if s.connected
+                && !self.session.client_quarantined(s.id)
+                && s.viewport != (self.width, self.height)
+            {
+                self.session.resync_client(s.id, self.store.screen());
+                resynced = true;
+            }
+        }
+        if resynced {
+            for _ in 0..MAX_SETTLE {
+                self.pump(SETTLE_STEP);
+                if self.is_settled() {
+                    break;
+                }
+            }
+        }
+        // 6. Evaluate the checkpoint invariants.
+        self.check_liveness();
+        self.check_convergence();
+        self.check_cache_coherence();
+        self.check_telemetry();
+        self.check_quarantine();
+        // 7. The drained system starts the next epoch unexcused.
+        for s in &mut self.slots {
+            s.outage_excused = false;
+        }
+    }
+
+    fn is_settled(&self) -> bool {
+        self.slots.iter().all(|s| {
+            !s.connected
+                || self.session.client_quarantined(s.id)
+                || (self.session.backlog(s.id) == 0
+                    && !self.session.client_refresh_owed(s.id)
+                    && !self.session.client_has_overflow_debt(s.id)
+                    && self.session.client_fallbacks_pending(s.id) == 0
+                    && !s.stream.needs_refresh()
+                    // Undecoded bytes in the reader are work in
+                    // flight — or a wedged frame the stall watchdog
+                    // has yet to clear. Either way, keep pumping.
+                    && s.stream.pending_bytes() == 0
+                    // A degraded client is served subsampled frames;
+                    // only a ladder back at Full can converge
+                    // byte-exact. Clean settle pumps are healthy
+                    // epochs, so promotion is a matter of iterations.
+                    && self.session.client_degradation_level(s.id) == DegradationLevel::Full)
+        })
+    }
+
+    fn debt_detail(&self) -> String {
+        let mut parts = Vec::new();
+        for (si, s) in self.slots.iter().enumerate() {
+            if !s.connected || self.session.client_quarantined(s.id) {
+                continue;
+            }
+            let backlog = self.session.backlog(s.id);
+            let owed = self.session.client_refresh_owed(s.id);
+            let debt = self.session.client_has_overflow_debt(s.id);
+            let fb = self.session.client_fallbacks_pending(s.id);
+            let stale = s.stream.needs_refresh();
+            let pending = s.stream.pending_bytes();
+            let level = self.session.client_degradation_level(s.id);
+            if backlog != 0
+                || owed
+                || debt
+                || fb != 0
+                || stale
+                || pending != 0
+                || level != DegradationLevel::Full
+            {
+                parts.push(format!(
+                    "slot {si}: backlog={backlog} owed={owed} overflow={debt} fallbacks={fb} stale={stale} pending={pending} level={level:?}"
+                ));
+            }
+        }
+        format!(
+            "debt still outstanding after {} settle pumps: {}",
+            MAX_SETTLE,
+            parts.join("; ")
+        )
+    }
+
+    fn check_liveness(&mut self) {
+        let mut found = Vec::new();
+        for (si, s) in self.slots.iter().enumerate() {
+            if self.session.client_quarantined(s.id) {
+                continue;
+            }
+            let dead = self.session.client_dead(s.id);
+            if s.connected && dead {
+                found.push(format!(
+                    "slot {si}: connected client still dead after quiesce settle"
+                ));
+            }
+            if !s.connected {
+                let long_gone = s
+                    .disconnected_at
+                    .map(|t| self.now.since(t) > LIVENESS_TIMEOUT)
+                    .unwrap_or(false);
+                if long_gone && !dead {
+                    found.push(format!(
+                        "slot {si}: disconnected past the timeout but not declared dead"
+                    ));
+                }
+            }
+        }
+        for d in found {
+            self.violation(invariant::LIVENESS, d);
+        }
+    }
+
+    fn check_convergence(&mut self) {
+        let mut found = Vec::new();
+        for (si, s) in self.slots.iter().enumerate() {
+            if !s.connected || self.session.client_quarantined(s.id) {
+                continue;
+            }
+            let fb = s.stream.client().framebuffer();
+            let (vw, vh) = s.viewport;
+            let expected = if (vw, vh) == (self.width, self.height) {
+                self.store.screen().data().to_vec()
+            } else {
+                self.scaled_reference(vw, vh)
+            };
+            if fb.data() != expected.as_slice() {
+                let diff = fb
+                    .data()
+                    .iter()
+                    .zip(&expected)
+                    .filter(|(a, b)| a != b)
+                    .count();
+                let m = s.stream.resilience_metrics();
+                found.push(format!(
+                    "slot {si}: framebuffer diverges from the screen in {diff} byte(s) ({}x{} viewport) \
+                     [stale={} pending={} crc={} gaps={} decode_err={} resyncs={}]",
+                    vw,
+                    vh,
+                    s.stream.needs_refresh(),
+                    s.stream.pending_bytes(),
+                    m.crc_failures(),
+                    m.seq_gaps(),
+                    m.decode_errors(),
+                    m.stream_resyncs(),
+                ));
+            }
+        }
+        for d in found {
+            self.violation(invariant::CONVERGENCE, d);
+        }
+    }
+
+    /// What a scaled client must hold: the authoritative screen
+    /// pushed through the slot's scale policy in one shot.
+    fn scaled_reference(&self, vw: u32, vh: u32) -> Vec<u8> {
+        let screen = self.store.screen();
+        let (clip, data) = screen.get_raw(&Rect::new(0, 0, self.width, self.height));
+        let snapshot = DisplayCommand::Raw {
+            rect: clip,
+            encoding: RawEncoding::None,
+            data,
+        };
+        let mut reference = ThincClient::new(vw, vh, FORMAT);
+        if let Some(cmd) =
+            ScalePolicy::new(self.width, self.height, vw, vh).transform(&snapshot, screen)
+        {
+            reference.apply(&Message::Display(cmd));
+        }
+        reference.framebuffer().data().to_vec()
+    }
+
+    fn check_cache_coherence(&mut self) {
+        let mut found = Vec::new();
+        for (si, s) in self.slots.iter().enumerate() {
+            if !s.connected || self.session.client_quarantined(s.id) {
+                continue;
+            }
+            if s.mirror_intact {
+                let ledger = self.session.client_cache_keys(s.id);
+                let store = s.stream.cache_keys();
+                if ledger != store {
+                    found.push(format!(
+                        "slot {si}: ledger holds {} key(s), store {} — lockstep eviction broke on an undamaged wire",
+                        ledger.len(),
+                        store.len()
+                    ));
+                }
+            }
+            // Conservation holds even through damage: a client can
+            // only resolve references the server actually sent.
+            let client_hits = s.stream.resilience_metrics().cache_hits();
+            let refs_served = self
+                .session
+                .client_resilience(s.id)
+                .map(|m| m.cache_hits())
+                .unwrap_or(0);
+            if client_hits > refs_served {
+                found.push(format!(
+                    "slot {si}: client resolved {client_hits} cache refs but the server only sent {refs_served}"
+                ));
+            }
+        }
+        for d in found {
+            self.violation(invariant::CACHE_COHERENCE, d);
+        }
+    }
+
+    fn check_telemetry(&mut self) {
+        let mut found = Vec::new();
+        for (si, s) in self.slots.iter().enumerate() {
+            let m = s.stream.resilience_metrics();
+            if m.resyncs_triggered() > m.seq_gaps() {
+                found.push(format!(
+                    "slot {si}: {} gap-triggered resyncs but only {} sequence gaps",
+                    m.resyncs_triggered(),
+                    m.seq_gaps()
+                ));
+            }
+            if m.stream_resyncs() != m.decode_errors() {
+                found.push(format!(
+                    "slot {si}: {} stream resyncs vs {} decode errors — each error must resync exactly once",
+                    m.stream_resyncs(),
+                    m.decode_errors()
+                ));
+            }
+            if let Some(link) = self.links.iter().find(|l| l.0 == s.id) {
+                let st = link.1.fault_stats();
+                let lost = s.accrued_lost + st.segments_lost;
+                let retx = s.accrued_retx + st.retransmits;
+                if lost != retx {
+                    found.push(format!(
+                        "slot {si}: {lost} segments lost vs {retx} retransmits — loss accounting leaked"
+                    ));
+                }
+            }
+            let pings = self
+                .session
+                .client_resilience(s.id)
+                .map(|m| m.pings_sent())
+                .unwrap_or(0);
+            if s.pongs_routed > pings {
+                found.push(format!(
+                    "slot {si}: routed {} pongs upstream but the server only sent {pings} pings",
+                    s.pongs_routed
+                ));
+            }
+        }
+        for d in found {
+            self.violation(invariant::TELEMETRY, d);
+        }
+    }
+
+    fn check_quarantine(&mut self) {
+        let mut found = Vec::new();
+        let mut expected = 0usize;
+        for (si, s) in self.slots.iter().enumerate() {
+            let q = self.session.client_quarantined(s.id);
+            let panics = self
+                .session
+                .client_resilience(s.id)
+                .map(|m| m.panics_quarantined())
+                .unwrap_or(0);
+            if s.poisoned {
+                expected += 1;
+                if !q {
+                    found.push(format!(
+                        "slot {si}: flush was poisoned but the client was never quarantined"
+                    ));
+                }
+                if panics != 1 {
+                    found.push(format!(
+                        "slot {si}: quarantine recorded {panics} panic(s), expected exactly 1"
+                    ));
+                }
+            } else {
+                if q {
+                    found.push(format!(
+                        "slot {si}: quarantined without a poisoned flush — containment leaked"
+                    ));
+                }
+                if panics != 0 {
+                    found.push(format!(
+                        "slot {si}: {panics} panic(s) recorded on a healthy client"
+                    ));
+                }
+            }
+        }
+        let actual = self.session.quarantined_count();
+        if actual != expected {
+            found.push(format!(
+                "session reports {actual} quarantined client(s), schedule poisoned {expected}"
+            ));
+        }
+        for d in found {
+            self.violation(invariant::QUARANTINE, d);
+        }
+    }
+}
+
+/// Clips an event rectangle into the screen; `None` when nothing of
+/// it can land (events are removal-tolerant, not panicky).
+fn clamp_rect(x: i32, y: i32, w: u32, h: u32, sw: u32, sh: u32) -> Option<Rect> {
+    if sw == 0 || sh == 0 {
+        return None;
+    }
+    let x = x.clamp(0, sw as i32 - 1);
+    let y = y.clamp(0, sh as i32 - 1);
+    let w = w.clamp(1, (sw as i32 - x) as u32);
+    let h = h.clamp(1, (sh as i32 - y) as u32);
+    Some(Rect::new(x, y, w, h))
+}
+
+/// Deterministic pixel payload for a rect: `seed` alone selects the
+/// bytes, so equal (seed, size) pairs repeat byte-identically.
+fn pattern_bytes(seed: u64, rect: &Rect) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed ^ 0x005E_ED0F_BEEF);
+    (0..(rect.w as usize * rect.h as usize * 3))
+        .map(|_| (rng.next_u64() >> 24) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Schedule;
+
+    #[test]
+    fn empty_schedule_passes_its_final_quiesce() {
+        let report = run(&Schedule::base(1));
+        assert!(report.passed(), "{}", report.summary());
+        assert_eq!(report.quiesces, 1);
+        assert_eq!(report.slots_attached, 0);
+    }
+
+    #[test]
+    fn single_client_draw_converges() {
+        let s = Schedule::base(2).with_events(vec![
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Draw {
+                workload: Workload::Noise,
+                x: 4,
+                y: 4,
+                w: 40,
+                h: 30,
+                salt: 77,
+            },
+            ChaosEvent::Flush {
+                epochs: 3,
+                step_ms: 50,
+            },
+            ChaosEvent::Quiesce,
+        ]);
+        let report = run(&s);
+        assert!(report.passed(), "{}", report.summary());
+        assert_eq!(report.slots_attached, 1);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = crate::generate::generate(0xDECAF, 40);
+        let a = run(&s);
+        let b = run(&s);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.quiesces, b.quiesces);
+        assert_eq!(a.slots_attached, b.slots_attached);
+    }
+}

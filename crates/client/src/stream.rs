@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use thinc_net::time::SimTime;
+use thinc_net::time::{SimDuration, SimTime};
 use thinc_protocol::cache::CacheLru;
 use thinc_protocol::commands::DisplayCommand;
 use thinc_protocol::message::Message;
@@ -21,6 +21,16 @@ use thinc_raster::{PixelFormat, Rect, Region};
 use crate::client::ThincClient;
 use crate::hardware::HardwareCaps;
 use crate::reconnect::ReconnectPolicy;
+
+/// How long bytes may sit in the reader with zero decode progress
+/// before the framing is declared wedged. A corrupted length field
+/// can swallow a frame boundary without ever producing a decode
+/// error or CRC failure — the reader just waits for a frame that
+/// cannot complete, silently eating every later frame fed into it.
+/// Any real frame crosses a sane link in well under this; kept below
+/// typical liveness timeouts so the client recovers itself before
+/// the server declares it dead.
+const FRAME_STALL_TIMEOUT: SimDuration = SimDuration::from_millis(1_500);
 
 /// A [`ThincClient`] fed directly from the wire, with decode-error
 /// recovery.
@@ -42,6 +52,11 @@ pub struct StreamClient {
     applied_total: u64,
     /// `applied_total` when the policy last fired an attempt.
     applied_at_attempt: u64,
+    /// When the current no-progress-with-pending-bytes episode began
+    /// (`None` while the reader is empty or decoding normally).
+    stall_since: Option<SimTime>,
+    /// `applied_total` at the start of that episode.
+    stall_applied_mark: u64,
     /// Reader integrity counters already folded into `resilience`
     /// (the reader keeps cumulative tallies; we move the deltas).
     integrity_base: IntegrityCounters,
@@ -79,6 +94,8 @@ impl StreamClient {
             policy: None,
             applied_total: 0,
             applied_at_attempt: 0,
+            stall_since: None,
+            stall_applied_mark: 0,
             integrity_base: IntegrityCounters::default(),
             cache: CacheLru::new(thinc_protocol::DEFAULT_CACHE_BUDGET),
             pending_cache_miss: VecDeque::new(),
@@ -97,6 +114,22 @@ impl StreamClient {
     /// The installed reconnect policy, if any.
     pub fn reconnect_policy(&self) -> Option<&ReconnectPolicy> {
         self.policy.as_ref()
+    }
+
+    /// Sets the content-addressed store's byte budget. The budget
+    /// must match the server ledger's (the session's cache budget)
+    /// for the eviction mirror to hold — call this before any traffic
+    /// when the session runs a non-default budget. Replaces the store
+    /// (which is empty before the first payload arrives anyway).
+    pub fn with_cache_budget(mut self, budget: u64) -> Self {
+        self.cache = CacheLru::new(budget);
+        self
+    }
+
+    /// Every key in the content-addressed store, sorted ascending.
+    /// For coherence checks against the server's ledger.
+    pub fn cache_keys(&self) -> Vec<u64> {
+        self.cache.keys()
     }
 
     /// Feeds bytes from the connection and applies every complete
@@ -214,6 +247,7 @@ impl StreamClient {
         self.sync_integrity_counters();
         self.reader = FrameReader::with_revision(self.reader.revision());
         self.integrity_base = IntegrityCounters::default();
+        self.stall_since = None;
     }
 
     /// Credits an applied message against the pending refresh: opaque
@@ -248,6 +282,7 @@ impl StreamClient {
     /// display is current, no policy is installed, the policy is
     /// backing off, or its attempt budget is exhausted.
     pub fn poll_reconnect(&mut self, now: SimTime) -> Option<Message> {
+        self.poll_stall_watchdog(now);
         if !self.needs_refresh {
             return None;
         }
@@ -268,6 +303,43 @@ impl StreamClient {
         }
         self.applied_at_attempt = self.applied_total;
         Some(Message::RefreshRequest { attempt })
+    }
+
+    /// The framing-stall watchdog. A corrupted length field can
+    /// swallow a frame boundary *without* tripping any error: the tag
+    /// stays plausible, the declared length is sane-but-wrong, and
+    /// the reader simply waits for a completion that never comes —
+    /// silently absorbing every later frame into the phantom payload.
+    /// No decode error fires, so `needs_refresh` never latches and
+    /// the stalled-refresh recovery above is unreachable. This
+    /// watchdog closes that gap: bytes pending with zero decode
+    /// progress for [`FRAME_STALL_TIMEOUT`] means the framing is
+    /// wedged, so the wire state is dropped like a real redial and a
+    /// refresh is requested. A genuinely slow frame reset this way
+    /// costs one redundant refresh; a wedged one costs the display.
+    fn poll_stall_watchdog(&mut self, now: SimTime) {
+        if self.reader.pending_bytes() == 0 {
+            self.stall_since = None;
+            return;
+        }
+        match self.stall_since {
+            Some(since) if self.applied_total == self.stall_applied_mark => {
+                if now.since(since) >= FRAME_STALL_TIMEOUT {
+                    self.reset_reader();
+                    self.resilience.record_reconnect();
+                    self.needs_refresh = true;
+                    self.refresh_cover = Region::new();
+                    self.stall_since = None;
+                }
+            }
+            // First pending byte seen, or frames decoded since the
+            // mark (the framing is alive; the tail is just a partial
+            // frame still streaming): restart the clock.
+            _ => {
+                self.stall_since = Some(now);
+                self.stall_applied_mark = self.applied_total;
+            }
+        }
     }
 
     /// Whether damage has been skipped since the last check — the
@@ -687,6 +759,95 @@ mod tests {
         assert_eq!(
             c.client().framebuffer().get_pixel(1, 1),
             Some(Color::rgb(9, 9, 9))
+        );
+    }
+
+    #[test]
+    fn corrupted_length_field_stall_is_broken_by_the_watchdog() {
+        // The silent-stall case the chaos engine flushed out: a
+        // corrupted length field inflates a frame's declared size
+        // without tripping the tag or CRC checks, so the reader waits
+        // forever and silently swallows every later frame. No decode
+        // error fires, so only the stall watchdog can recover.
+        use crate::reconnect::{ReconnectConfig, ReconnectPolicy};
+        use thinc_protocol::wire::FrameEncoder;
+        use thinc_protocol::{PROTOCOL_VERSION, WIRE_REV_INTEGRITY};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888)
+            .with_reconnect_policy(ReconnectPolicy::new(ReconnectConfig::default()));
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        c.feed(&enc.encode(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        }));
+        let mut wedge = enc.encode(&Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 8, 8),
+            color: Color::rgb(1, 2, 3),
+        }));
+        // Inflate the declared payload length: sane (under the frame
+        // cap) but larger than what will ever arrive.
+        let bogus = (wedge.len() as u32) + 500;
+        wedge[1..5].copy_from_slice(&bogus.to_le_bytes());
+        assert_eq!(c.feed(&wedge), 0);
+        // Later frames are swallowed whole into the phantom payload:
+        // no error, no staleness signal, bytes just accumulate.
+        let lost = enc.encode(&Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 32, 32),
+            color: Color::rgb(9, 9, 9),
+        }));
+        assert_eq!(c.feed(&lost), 0);
+        assert!(!c.needs_refresh(), "the stall itself raises no error");
+        assert_eq!(c.resilience_metrics().decode_errors(), 0);
+        assert!(c.pending_bytes() > 0);
+        // The watchdog arms on first poll and fires once the timeout
+        // elapses with no decode progress: wire state dropped, refresh
+        // latched and requested.
+        let t0 = SimTime(1_000_000);
+        assert_eq!(c.poll_reconnect(t0), None);
+        let fired = t0 + FRAME_STALL_TIMEOUT;
+        match c.poll_reconnect(fired) {
+            Some(Message::RefreshRequest { attempt: 1 }) => {}
+            other => panic!("expected a refresh request, got {other:?}"),
+        }
+        assert_eq!(c.pending_bytes(), 0, "the wedged buffer is dropped");
+        assert!(c.needs_refresh());
+        // The server's resync lands on clean framing and recovers.
+        assert_eq!(
+            c.feed(&enc.encode(&Message::Display(DisplayCommand::Sfill {
+                rect: Rect::new(0, 0, 32, 32),
+                color: Color::rgb(7, 7, 7),
+            }))),
+            1
+        );
+        assert!(!c.needs_refresh());
+        assert_eq!(
+            c.client().framebuffer().get_pixel(31, 31),
+            Some(Color::rgb(7, 7, 7))
+        );
+    }
+
+    #[test]
+    fn slow_but_live_framing_does_not_trip_the_watchdog() {
+        use crate::reconnect::{ReconnectConfig, ReconnectPolicy};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888)
+            .with_reconnect_policy(ReconnectPolicy::new(ReconnectConfig::default()));
+        let bytes = fill(Rect::new(0, 0, 32, 32), Color::rgb(5, 5, 5));
+        let mut t = SimTime(1_000_000);
+        // A frame trickling in one byte per poll interval keeps making
+        // visible progress only on completion — but each completed
+        // message resets the stall clock, so steady (if slow) decode
+        // cycles never trip the watchdog.
+        for chunk in bytes.chunks(4) {
+            c.feed(chunk);
+            assert_eq!(c.poll_reconnect(t), None);
+            t = t + SimDuration::from_millis(200);
+        }
+        assert!(!c.needs_refresh());
+        assert_eq!(c.resilience_metrics().reconnects(), 0);
+        assert_eq!(
+            c.client().framebuffer().get_pixel(0, 0),
+            Some(Color::rgb(5, 5, 5))
         );
     }
 

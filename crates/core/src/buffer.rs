@@ -221,6 +221,21 @@ impl ClientBuffer {
         }
     }
 
+    /// Every key the cache ledger currently holds, sorted ascending
+    /// (empty when the cache is disabled). Lets a harness verify the
+    /// ledger mirrors the client store entry-for-entry.
+    pub fn cache_keys(&self) -> Vec<u64> {
+        match &self.cache {
+            Some(c) => c.ledger.keys(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Miss fallbacks queued but not yet delivered.
+    pub fn fallbacks_pending(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.fallbacks.len())
+    }
+
     /// Cache counters: `(hits, misses, evictions, bytes_saved)`.
     pub fn cache_counts(&self) -> (u64, u64, u64, u64) {
         match &self.cache {
@@ -474,6 +489,18 @@ impl ClientBuffer {
         }
         self.entries.clear();
         // Queue deques are cleaned lazily at pop time.
+        //
+        // Queued miss fallbacks are dropped too: they carry payloads
+        // captured in the outgoing coordinate space, and unlike the
+        // command queues they would otherwise survive the rescale and
+        // ship wrong-space pixels after it. Dropping is safe on both
+        // axes: the client never blocks on an unanswered miss (the
+        // refresh owed by the rescale repaints the content), and the
+        // ledger/store mirror is untouched because the ledger insert
+        // for a fallback happens only when it is actually sent.
+        if let Some(cache) = self.cache.as_mut() {
+            cache.fallbacks.clear();
+        }
         footprint
     }
 
@@ -1264,6 +1291,29 @@ mod tests {
         // A hash the ledger never held (or evicted) cannot be repaid
         // from cache; the caller escalates to a refresh.
         assert!(!buf.satisfy_cache_miss(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn rescale_drops_queued_fallbacks_with_the_pending_commands() {
+        // A miss fallback queued before a degradation rescale carries
+        // pixels in the outgoing coordinate space. The rescale drop
+        // must take the fallback with it (the owed refresh repaints
+        // the content), and must do so without touching the ledger —
+        // the mirror insert only ever happens at send time.
+        let mut buf = ClientBuffer::new();
+        buf.enable_cache(thinc_protocol::DEFAULT_CACHE_BUDGET);
+        buf.push(raw(0, 0, 8, 8), false);
+        let first = drain_all(&mut buf);
+        let hash = first[0].cache_key().unwrap();
+        let keys_before = buf.cache_keys();
+        assert!(buf.satisfy_cache_miss(hash));
+        assert_eq!(buf.fallbacks_pending(), 1);
+        buf.push(sfill(0, 0, 10, 10, 1), false);
+        let footprint = buf.drop_pending_for_rescale();
+        assert!(!footprint.is_empty(), "pending commands become debt");
+        assert_eq!(buf.fallbacks_pending(), 0, "stale-space fallback dropped");
+        assert_eq!(buf.cache_keys(), keys_before, "ledger untouched");
+        assert!(drain_all(&mut buf).is_empty());
     }
 
     #[test]

@@ -52,6 +52,91 @@ where
     });
 }
 
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f(index, item)` for every item like [`for_each_mut`], but
+/// contains panics per item instead of propagating them.
+///
+/// Returns one slot per item: `None` when `f` completed, or
+/// `Some(message)` holding the panic payload when it did not. A panic
+/// in item `i` never disturbs any other item — the same worker simply
+/// moves on to the rest of its chunk — and the slice itself survives,
+/// so the caller can quarantine the poisoned item and keep serving
+/// the others. An item that panicked may have been mutated partway;
+/// callers must treat its state as unspecified.
+///
+/// ```
+/// let mut totals = [1u64, 2, 3];
+/// let caught = thinc_core::parallel::try_for_each_mut(&mut totals, 2, |i, t| {
+///     if i == 1 {
+///         panic!("poisoned");
+///     }
+///     *t += 10;
+/// });
+/// assert_eq!(totals, [11, 2, 13]);
+/// assert_eq!(caught[1].as_deref(), Some("poisoned"));
+/// ```
+pub fn try_for_each_mut<T, F>(items: &mut [T], workers: usize, f: F) -> Vec<Option<String>>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let n = items.len();
+    let mut caught: Vec<Option<String>> = (0..n).map(|_| None).collect();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                caught[i] = Some(panic_message(p));
+            }
+        }
+        return caught;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for ((ci, part), outs) in items
+            .chunks_mut(chunk)
+            .enumerate()
+            .zip(caught.chunks_mut(chunk))
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for ((j, item), out) in part.iter_mut().enumerate().zip(outs.iter_mut()) {
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(ci * chunk + j, item))) {
+                        *out = Some(panic_message(p));
+                    }
+                }
+            });
+        }
+    });
+    caught
+}
+
+/// Test support: runs `f` with the default panic hook silenced, so
+/// deliberate contained panics don't spam stderr. Hook swaps are
+/// process-global, so a lock serializes the tests that use this.
+#[cfg(test)]
+pub(crate) fn silence_panics<R>(f: impl FnOnce() -> R) -> R {
+    use std::sync::Mutex;
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = f();
+    std::panic::set_hook(hook);
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +155,30 @@ mod tests {
     fn empty_slice_is_a_no_op() {
         let mut items: Vec<u64> = Vec::new();
         for_each_mut(&mut items, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn try_for_each_contains_panics_per_item() {
+        silence_panics(|| {
+            for workers in [1, 2, 4, 16] {
+                let mut items: Vec<u64> = (0..9).collect();
+                let caught = try_for_each_mut(&mut items, workers, |i, v| {
+                    if i % 4 == 2 {
+                        panic!("poisoned item {i}");
+                    }
+                    *v += 100;
+                });
+                for (i, (v, c)) in items.iter().zip(&caught).enumerate() {
+                    if i % 4 == 2 {
+                        assert_eq!(c.as_deref(), Some(format!("poisoned item {i}").as_str()));
+                        assert_eq!(*v, i as u64, "poisoned item untouched, workers={workers}");
+                    } else {
+                        assert!(c.is_none(), "item {i} must not be flagged");
+                        assert_eq!(*v, i as u64 + 100, "workers={workers}");
+                    }
+                }
+            }
+        });
     }
 
     #[test]

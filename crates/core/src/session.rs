@@ -141,6 +141,16 @@ struct ClientState {
     /// degradation steps) — per-client attribution for shared
     /// sessions, merged with buffer evictions at read time.
     resilience: thinc_telemetry::ResilienceMetrics,
+    /// Set when this client's flush panicked under the parallel
+    /// fan-out: the panic was contained, the client is isolated from
+    /// all further broadcast/flush work, and the session keeps
+    /// serving everyone else. A quarantined client's state is
+    /// unspecified (the panic may have struck mid-mutation); the only
+    /// way back is detach + re-attach.
+    quarantined: bool,
+    /// Test/chaos hook: the next flush of this client panics
+    /// deliberately, exercising the quarantine path.
+    poison_flush: bool,
 }
 
 impl ClientState {
@@ -392,6 +402,8 @@ impl SharedSession {
                 // framebuffer starts empty.
                 refresh_owed: true,
                 resilience: thinc_telemetry::ResilienceMetrics::new(),
+                quarantined: false,
+                poison_flush: false,
             },
         ));
         Ok(id)
@@ -425,6 +437,11 @@ impl SharedSession {
         let Some(state) = self.state_mut(id) else {
             return LivenessVerdict::Alive;
         };
+        if state.quarantined {
+            // A quarantined client cannot be served; report it dead
+            // without queueing probes its flush would never carry.
+            return LivenessVerdict::Dead;
+        }
         let Some(t) = state.liveness.as_mut() else {
             return LivenessVerdict::Alive;
         };
@@ -496,9 +513,34 @@ impl SharedSession {
     fn broadcast(&mut self, cmds: Vec<DisplayCommand>, screen: &Framebuffer) {
         let cmds = &cmds;
         crate::parallel::for_each_mut(&mut self.clients, self.workers, |_, (_, state)| {
+            if state.quarantined {
+                return;
+            }
+            // `screen` already reflects the commands being broadcast
+            // (the store is mutated before the driver call). COPY is
+            // the one non-idempotent command: applied on top of a
+            // snapshot that already contains its effect it scrolls
+            // twice wherever source and destination overlap. So a
+            // client owed a refresh — whose snapshot covers the whole
+            // view — must not receive this round's COPYs; and a
+            // client with partial overflow debt cannot soundly take a
+            // COPY either (the debt repaint may cover only part of
+            // the copy's footprint), so its debt escalates to a full
+            // refresh first. Idempotent repaints still flow: redundant
+            // over a snapshot, but they keep the content cache warm.
+            let has_copy = cmds
+                .iter()
+                .any(|c| matches!(c, DisplayCommand::Copy { .. }));
+            if has_copy && state.buffer.has_overflow_debt() {
+                state.refresh_owed = true;
+            }
+            let repaid = state.refresh_owed;
             state.repay_refresh(screen);
             state.repay_debt(screen);
             for cmd in cmds {
+                if repaid && matches!(cmd, DisplayCommand::Copy { .. }) {
+                    continue;
+                }
                 if state.scale.is_identity() {
                     state.buffer.push(cmd.clone(), false);
                 } else if let Some(scaled) = state.scale.transform(cmd, screen) {
@@ -515,6 +557,9 @@ impl SharedSession {
     /// nothing paints.
     pub fn repay_refreshes(&mut self, screen: &Framebuffer) {
         crate::parallel::for_each_mut(&mut self.clients, self.workers, |_, (_, state)| {
+            if state.quarantined {
+                return;
+            }
             state.repay_refresh(screen);
             state.repay_debt(screen);
         });
@@ -527,6 +572,9 @@ impl SharedSession {
         let Some(state) = self.state_mut(id) else {
             return;
         };
+        if state.quarantined {
+            return;
+        }
         let _ = state.buffer.drop_pending_for_rescale();
         let _ = state.buffer.take_overflow_debt();
         state.refresh_owed = true;
@@ -568,6 +616,9 @@ impl SharedSession {
         let Some(state) = self.state_mut(id) else {
             return false;
         };
+        if state.quarantined {
+            return false;
+        }
         let satisfied = state.buffer.satisfy_cache_miss(hash);
         if !satisfied {
             state.refresh_owed = true;
@@ -586,6 +637,9 @@ impl SharedSession {
         let Some(state) = self.state_mut(id) else {
             return Vec::new();
         };
+        if state.quarantined {
+            return Vec::new();
+        }
         flush_client_state(state, now, pipe, trace)
     }
 
@@ -619,10 +673,116 @@ impl SharedSession {
             .zip(links.iter_mut())
             .map(|((id, state), link)| (*id, state, link, Vec::new()))
             .collect();
-        crate::parallel::for_each_mut(&mut jobs, self.workers, |_, (_, state, link, out)| {
-            *out = flush_client_state(state, now, &mut link.0, &mut link.1);
-        });
+        let caught =
+            crate::parallel::try_for_each_mut(&mut jobs, self.workers, |_, (_, state, link, out)| {
+                if state.quarantined {
+                    return;
+                }
+                *out = flush_client_state(state, now, &mut link.0, &mut link.1);
+            });
+        // Panic containment: a client whose flush panicked is
+        // quarantined — its partial output is discarded, the panic is
+        // counted in its resilience metrics, and every other client's
+        // output is delivered untouched.
+        for ((_, state, _, out), panic_msg) in jobs.iter_mut().zip(&caught) {
+            if panic_msg.is_some() {
+                state.quarantined = true;
+                state.resilience.record_panic_quarantined();
+                out.clear();
+            }
+        }
         jobs.into_iter().map(|(id, _, _, out)| (id, out)).collect()
+    }
+
+    /// Applies a client's viewport change mid-session (window resize,
+    /// device switch). Pending commands target the outgoing
+    /// coordinate space, so they — and any queued cache-miss
+    /// fallbacks — are dropped, and the client is owed a full-view
+    /// refresh at the new scale (settled by the next broadcast or
+    /// [`repay_refreshes`](Self::repay_refreshes)). Counted as a
+    /// resync in the client's resilience metrics.
+    pub fn resize_client(&mut self, id: ClientId, viewport_w: u32, viewport_h: u32) {
+        let (sw, sh) = (self.width, self.height);
+        let Some(state) = self.state_mut(id) else {
+            return;
+        };
+        if state.quarantined {
+            return;
+        }
+        state.viewport = (viewport_w.clamp(1, sw), viewport_h.clamp(1, sh));
+        state.resilience.record_resync();
+        state.rescale_for_degradation();
+    }
+
+    /// Changes the content-cache budget applied to clients attached
+    /// from now on (already-attached clients keep their ledgers — the
+    /// budget must stay in lockstep with each client's store for the
+    /// eviction mirror to hold). `None` disables the cache for future
+    /// attaches.
+    pub fn set_cache_budget(&mut self, budget: Option<u64>) {
+        self.cache_budget = budget;
+    }
+
+    /// The content-cache budget future attaches will receive.
+    pub fn cache_budget(&self) -> Option<u64> {
+        self.cache_budget
+    }
+
+    /// Attached client ids, in attach (= flush merge) order.
+    pub fn client_ids(&self) -> Vec<ClientId> {
+        self.clients.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Whether a client has been quarantined by flush panic
+    /// containment.
+    pub fn client_quarantined(&self, id: ClientId) -> bool {
+        self.state(id).is_some_and(|s| s.quarantined)
+    }
+
+    /// Number of currently quarantined clients.
+    pub fn quarantined_count(&self) -> usize {
+        self.clients.iter().filter(|(_, s)| s.quarantined).count()
+    }
+
+    /// Test/chaos hook: arms a deliberate panic inside `id`'s next
+    /// flush, on whatever worker thread the fan-out assigns it —
+    /// exercising the quarantine path end to end.
+    pub fn poison_next_flush(&mut self, id: ClientId) {
+        if let Some(state) = self.state_mut(id) {
+            state.poison_flush = true;
+        }
+    }
+
+    /// Every key in a client's cache ledger, sorted ascending (empty
+    /// when the cache is off or the client is unknown). For coherence
+    /// checks against the client store.
+    pub fn client_cache_keys(&self, id: ClientId) -> Vec<u64> {
+        self.state(id).map(|s| s.buffer.cache_keys()).unwrap_or_default()
+    }
+
+    /// Pending buffered bytes for a client.
+    pub fn client_pending_bytes(&self, id: ClientId) -> u64 {
+        self.state(id).map(|s| s.buffer.pending_bytes()).unwrap_or(0)
+    }
+
+    /// The byte bound a client's buffer currently enforces.
+    pub fn client_effective_byte_bound(&self, id: ClientId) -> Option<u64> {
+        self.state(id).and_then(|s| s.buffer.effective_byte_bound())
+    }
+
+    /// Whether a client is owed a full-view refresh.
+    pub fn client_refresh_owed(&self, id: ClientId) -> bool {
+        self.state(id).is_some_and(|s| s.refresh_owed)
+    }
+
+    /// Whether a client's buffer carries unsettled overflow debt.
+    pub fn client_has_overflow_debt(&self, id: ClientId) -> bool {
+        self.state(id).is_some_and(|s| s.buffer.has_overflow_debt())
+    }
+
+    /// Cache-miss fallbacks queued for a client but not yet delivered.
+    pub fn client_fallbacks_pending(&self, id: ClientId) -> usize {
+        self.state(id).map(|s| s.buffer.fallbacks_pending()).unwrap_or(0)
     }
 }
 
@@ -635,6 +795,10 @@ fn flush_client_state(
     pipe: &mut TcpPipe,
     trace: &mut PacketTrace,
 ) -> Vec<(SimTime, Message)> {
+    if state.poison_flush {
+        state.poison_flush = false;
+        panic!("injected poison: client flush panicked");
+    }
     observe_client_degradation(state, now, pipe);
     let mut out = Vec::new();
     let mut i = 0;
@@ -760,6 +924,9 @@ impl VideoDriver for SharedSession {
     fn video_display(&mut self, _store: &DrawableStore, frame: &YuvFrame, dst: Rect) {
         let ts = self.now.as_micros();
         for (_, state) in self.clients.iter_mut() {
+            if state.quarantined {
+                continue;
+            }
             // Video messages bypass the display buffer ordering and go
             // through each client's own stream manager (which also
             // resamples for small viewports).
@@ -985,6 +1152,69 @@ mod tests {
         let (b, fb, _, _) = run_degradation_scenario(4);
         assert_eq!(a, b, "message streams identical for any worker count");
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn poisoned_flush_quarantines_only_that_client() {
+        use thinc_display::drawable::SCREEN;
+        use thinc_net::link::NetworkConfig;
+
+        crate::parallel::silence_panics(|| {
+            for workers in [1, 4] {
+                let mut s =
+                    SharedSession::new(64, 64, PixelFormat::Rgb888, "host").with_workers(workers);
+                s.auth_mut().enable_sharing("pw");
+                let owner = s
+                    .attach(&Credentials::Owner { user: "host".into() }, 64, 64)
+                    .unwrap();
+                let peer = s
+                    .attach(
+                        &Credentials::Peer {
+                            user: "guest".into(),
+                            password: "pw".into(),
+                        },
+                        64,
+                        64,
+                    )
+                    .unwrap();
+                let mut store = DrawableStore::new(64, 64, PixelFormat::Rgb888);
+                let mut links = vec![
+                    (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+                    (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+                ];
+                store
+                    .screen_mut()
+                    .fill_rect(&Rect::new(0, 0, 64, 64), Color::rgb(10, 20, 30));
+                s.solid_fill(&store, SCREEN, Rect::new(0, 0, 64, 64), Color::rgb(10, 20, 30));
+                s.poison_next_flush(peer);
+                let mut stream = Vec::new();
+                for i in 0..20u64 {
+                    let out = s.flush_all(SimTime((i + 1) * 100_000), &mut links);
+                    for (id, msgs) in out {
+                        if id == owner {
+                            stream.extend(msgs.into_iter().map(|(_, m)| m));
+                        } else {
+                            assert!(msgs.is_empty(), "quarantined client delivers nothing");
+                        }
+                    }
+                    if s.backlog(owner) == 0 {
+                        break;
+                    }
+                }
+                assert!(s.client_quarantined(peer), "workers={workers}");
+                assert!(!s.client_quarantined(owner));
+                assert_eq!(s.quarantined_count(), 1);
+                assert_eq!(s.client_resilience(peer).unwrap().panics_quarantined(), 1);
+                assert_eq!(s.client_resilience(owner).unwrap().panics_quarantined(), 0);
+                // The session kept serving: the healthy client
+                // converges byte-exact.
+                let mut client = thinc_client::ThincClient::new(64, 64, PixelFormat::Rgb888);
+                for m in &stream {
+                    client.apply(m);
+                }
+                assert_eq!(client.framebuffer().data(), store.screen().data());
+            }
+        });
     }
 
     /// Runs a two-client cached session over clean links: the same

@@ -58,6 +58,21 @@ pub trait Transport {
         }
         Ok(())
     }
+
+    /// Blocks until `buf` is completely filled (the receive-side
+    /// mirror of [`send_all`](Self::send_all)). A transport failure —
+    /// including the peer closing mid-read — surfaces as the typed
+    /// error, so callers observe and recover instead of aborting.
+    fn recv_exact(&mut self, buf: &mut [u8]) -> Result<(), TransportError> {
+        let mut off = 0;
+        while off < buf.len() {
+            match self.try_recv(&mut buf[off..])? {
+                0 => std::thread::yield_now(),
+                n => off += n,
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A [`Transport`] over a real TCP socket (non-blocking mode).
@@ -219,23 +234,30 @@ mod tests {
     }
 
     #[test]
-    fn tcp_loopback_round_trips() {
-        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap()).unwrap();
-        let server = std::thread::spawn(move || {
-            let mut t = TcpTransport::accept(&listener).unwrap();
-            t.send_all(b"from server").unwrap();
+    fn recv_exact_surfaces_peer_close_as_typed_error() {
+        let (a, mut b) = ChannelTransport::pair(1);
+        drop(a);
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            b.recv_exact(&mut buf),
+            Err(TransportError::Closed)
+        ));
+    }
+
+    #[test]
+    fn tcp_loopback_round_trips() -> Result<(), TransportError> {
+        // Every transport failure propagates as a typed
+        // `TransportError` — no panicking on the receive path.
+        let (listener, addr) = TcpTransport::listen("127.0.0.1:0".parse().unwrap())?;
+        let server = std::thread::spawn(move || -> Result<(), TransportError> {
+            let mut t = TcpTransport::accept(&listener)?;
+            t.send_all(b"from server")
         });
-        let mut client = TcpTransport::connect(addr).unwrap();
-        let mut buf = [0u8; 64];
-        let mut got = Vec::new();
-        while got.len() < 11 {
-            match client.try_recv(&mut buf) {
-                Ok(0) => std::thread::yield_now(),
-                Ok(n) => got.extend_from_slice(&buf[..n]),
-                Err(e) => panic!("{e}"),
-            }
-        }
+        let mut client = TcpTransport::connect(addr)?;
+        let mut got = [0u8; 11];
+        client.recv_exact(&mut got)?;
         assert_eq!(&got, b"from server");
-        server.join().unwrap();
+        server.join().expect("server thread completes")?;
+        Ok(())
     }
 }

@@ -180,6 +180,15 @@ impl<V> CacheLru<V> {
         evicted
     }
 
+    /// Every held key, sorted ascending (not LRU order). The stable
+    /// ordering lets two mirrored caches — the server's per-client
+    /// ledger and the client's store — be compared for coherence.
+    pub fn keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// Drops every entry (budget and lifetime eviction count remain).
     pub fn clear(&mut self) {
         self.used = 0;

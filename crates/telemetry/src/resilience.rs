@@ -63,6 +63,8 @@ pub struct ResilienceMetrics {
     cache_misses: Counter,
     cache_evictions: Counter,
     cache_bytes_saved: Counter,
+    // Crash isolation (panic containment in the parallel flush).
+    panics_quarantined: Counter,
     // Adaptive degradation (the feedback loop acting on the above).
     degrade_steps: Counter,
     promote_steps: Counter,
@@ -346,6 +348,17 @@ impl ResilienceMetrics {
         self.cache_misses.get()
     }
 
+    /// Records a per-client panic caught by the parallel flush and
+    /// converted into a quarantine instead of a session teardown.
+    pub fn record_panic_quarantined(&mut self) {
+        self.panics_quarantined.inc();
+    }
+
+    /// Per-client panics contained by flush quarantine.
+    pub fn panics_quarantined(&self) -> u64 {
+        self.panics_quarantined.get()
+    }
+
     /// Entries evicted from cache ledgers/stores.
     pub fn cache_evictions(&self) -> u64 {
         self.cache_evictions.get()
@@ -424,6 +437,7 @@ impl ResilienceMetrics {
         self.cache_misses.add(other.cache_misses.get());
         self.cache_evictions.add(other.cache_evictions.get());
         self.cache_bytes_saved.add(other.cache_bytes_saved.get());
+        self.panics_quarantined.add(other.panics_quarantined.get());
         self.degrade_steps.add(other.degrade_steps.get());
         self.promote_steps.add(other.promote_steps.get());
         // Levels are states, not counts: merging session views keeps
@@ -460,6 +474,7 @@ impl ResilienceMetrics {
             cache_misses: self.cache_misses(),
             cache_evictions: self.cache_evictions(),
             cache_bytes_saved: self.cache_bytes_saved(),
+            panics_quarantined: self.panics_quarantined(),
             degrade_steps: self.degrade_steps(),
             promote_steps: self.promote_steps(),
             degradation_level: self.degradation_level(),
@@ -520,6 +535,8 @@ pub struct ResilienceSnapshot {
     pub cache_evictions: u64,
     /// Wire bytes saved by reference substitution.
     pub cache_bytes_saved: u64,
+    /// Per-client panics contained by flush quarantine.
+    pub panics_quarantined: u64,
     /// Fidelity reductions by the degradation controller.
     pub degrade_steps: u64,
     /// Fidelity restorations by the degradation controller.
@@ -623,6 +640,18 @@ mod tests {
         assert_eq!(s.cache_misses, 2);
         assert_eq!(s.cache_evictions, 5);
         assert_eq!(s.cache_bytes_saved, 16_500);
+    }
+
+    #[test]
+    fn quarantine_counter_accumulates_merges_and_snapshots() {
+        let mut m = ResilienceMetrics::new();
+        m.record_panic_quarantined();
+        let mut other = ResilienceMetrics::new();
+        other.record_panic_quarantined();
+        other.record_panic_quarantined();
+        m.merge(&other);
+        assert_eq!(m.panics_quarantined(), 3);
+        assert_eq!(m.snapshot().panics_quarantined, 3);
     }
 
     #[test]

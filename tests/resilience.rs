@@ -869,3 +869,228 @@ fn shared_session_degrades_only_the_faulted_peer() {
         assert_eq!(c.framebuffer().data(), store.screen().data());
     }
 }
+
+#[test]
+fn cache_degradation_reconnect_matrix_converges_with_lockstep_eviction() {
+    // The three features the chaos engine exercises together, pinned
+    // as a deterministic matrix: a content cache under two byte
+    // budgets (one tight enough to force evictions), a peer driven
+    // down the degradation ladder by a bandwidth collapse, and a soft
+    // reconnect-with-resync — across the CI worker-count matrix
+    // (`THINC_FLUSH_WORKERS`). After settling, both clients must hold
+    // the screen byte-exact AND each client's content store must
+    // mirror the server's per-client ledger key-for-key: collapse is
+    // delay-only, so not one frame is lost and the strict
+    // insert/eviction lockstep holds end to end.
+    use thinc::core::session::{ClientId, Credentials, SharedSession};
+    use thinc::display::drawable::DrawableStore;
+    use thinc::display::driver::VideoDriver;
+    use thinc::net::tcp::TcpPipe;
+    use thinc::protocol::wire::{self, FrameEncoder};
+    use thinc::protocol::PROTOCOL_VERSION;
+
+    let workers: usize = std::env::var("THINC_FLUSH_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    // 8 KiB cannot hold even the four-tile palette, so both stores
+    // must evict in lockstep; 256 KiB holds everything. Both budgets
+    // must converge identically.
+    for &budget in &[8 * 1024u64, 256 * 1024] {
+        let seed = fault_seed().wrapping_add(budget);
+        let mut s = SharedSession::new(W, H, PixelFormat::Rgb888, "host")
+            .with_degradation(DegradationConfig {
+                degrade_after: 1,
+                promote_after: 1,
+                ..DegradationConfig::default()
+            })
+            .with_cache(budget)
+            .with_workers(workers);
+        s.auth_mut().enable_sharing("pw");
+        let owner = s
+            .attach(&Credentials::Owner { user: "host".into() }, W, H)
+            .unwrap();
+        let peer = s
+            .attach(
+                &Credentials::Peer {
+                    user: "guest".into(),
+                    password: "pw".into(),
+                },
+                W,
+                H,
+            )
+            .unwrap();
+        let ids = [owner, peer];
+
+        let mut store = DrawableStore::new(W, H, PixelFormat::Rgb888);
+        let collapse = FaultPlan::seeded(seed).with_collapse(
+            SimTime((0.5 * 1e6) as u64),
+            SimDuration::from_secs_f64(1.0),
+            0.05,
+        );
+        let mut links: Vec<(TcpPipe, PacketTrace)> = vec![
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+            (
+                NetworkConfig::lan_desktop().with_faults(collapse).connect().down,
+                PacketTrace::new(),
+            ),
+        ];
+        let mut streams: Vec<StreamClient> = ids
+            .iter()
+            .map(|_| {
+                let mut c = policy_client(W, H).with_cache_budget(budget);
+                c.feed(&wire::encode_message(&Message::ServerHello {
+                    version: PROTOCOL_VERSION,
+                    width: W,
+                    height: H,
+                    depth: 24,
+                }));
+                c
+            })
+            .collect();
+        let mut encoders: Vec<FrameEncoder> = ids
+            .iter()
+            .map(|_| FrameEncoder::with_revision(PROTOCOL_VERSION))
+            .collect();
+
+        // A small palette of repeating payloads, so the cache sees
+        // byte-identical repeats (refs) as well as fresh inserts.
+        let tile = |idx: u64| -> (Rect, Vec<u8>) {
+            let rect = Rect::new(((idx % 4) * 32) as i32, 16, 32, 24);
+            let mut x = (0x7115_0000u64 | (idx % 4)).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let data: Vec<u8> = (0..(32 * 24 * 3))
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 33) as u8
+                })
+                .collect();
+            (rect, data)
+        };
+        let draw_tile = |s: &mut SharedSession, store: &mut DrawableStore, idx: u64| {
+            let (rect, data) = tile(idx);
+            store.screen_mut().put_raw(&rect, &data);
+            s.put_image(store, SCREEN, rect, &data);
+        };
+
+        let mut pump = |s: &mut SharedSession,
+                        store: &DrawableStore,
+                        links: &mut Vec<(TcpPipe, PacketTrace)>,
+                        streams: &mut Vec<StreamClient>,
+                        encoders: &mut Vec<FrameEncoder>,
+                        now: SimTime| {
+            let out = s.flush_all(now, links);
+            for (id, msgs) in out {
+                let idx = usize::from(id != owner);
+                if msgs.is_empty() {
+                    if let Some(tail) = links[idx].0.flush_disturbed() {
+                        streams[idx].feed(&tail);
+                    }
+                    continue;
+                }
+                for (arrival, msg) in msgs {
+                    let bytes = encoders[idx].encode(&msg);
+                    for seg in links[idx].0.disturb(arrival, bytes) {
+                        streams[idx].feed(&seg);
+                    }
+                }
+            }
+            for (idx, &id) in ids.iter().enumerate() {
+                while let Some(miss) = streams[idx].take_cache_miss() {
+                    if let Message::CacheMiss { hash } = miss {
+                        s.client_cache_miss(id, hash);
+                    }
+                }
+                if streams[idx].poll_reconnect(now).is_some() {
+                    s.resync_client(id, store.screen());
+                }
+            }
+        };
+        let secs = |t: f64| SimTime((t * 1e6) as u64);
+
+        // Phase 1: healthy traffic establishes cache state on both.
+        for i in 0..4u64 {
+            draw_tile(&mut s, &mut store, i);
+            pump(&mut s, &store, &mut links, &mut streams, &mut encoders, secs(0.1 * (i + 1) as f64));
+        }
+        // Phase 2: traffic through the peer's collapse window drives
+        // it down the ladder (repeats of the palette travel as refs).
+        for i in 0..8u64 {
+            draw_tile(&mut s, &mut store, i);
+            pump(&mut s, &store, &mut links, &mut streams, &mut encoders, secs(0.55 + 0.1 * i as f64));
+        }
+        assert!(
+            s.client_resilience(peer).unwrap().degrade_steps() > 0,
+            "budget {budget}: the collapse must degrade the peer"
+        );
+        assert_eq!(
+            s.client_resilience(owner).unwrap().degrade_steps(),
+            0,
+            "budget {budget}: the healthy owner never degrades"
+        );
+        // Phase 3: drain past the window, then softly reconnect the
+        // peer: fresh pipe, wire state dropped, display and content
+        // store survive, server resyncs.
+        for i in 0..10 {
+            pump(&mut s, &store, &mut links, &mut streams, &mut encoders, secs(1.6 + 0.1 * i as f64));
+        }
+        links[1] = (NetworkConfig::lan_desktop().connect().down, PacketTrace::new());
+        streams[1].reconnect();
+        s.resync_client(peer, store.screen());
+        // Phase 4: post-reconnect traffic, then settle to quiescence.
+        for i in 0..4u64 {
+            draw_tile(&mut s, &mut store, i + 2);
+            pump(&mut s, &store, &mut links, &mut streams, &mut encoders, secs(2.7 + 0.1 * i as f64));
+        }
+        let screen = store.screen().clone();
+        for i in 0..120 {
+            s.repay_refreshes(&screen);
+            pump(&mut s, &store, &mut links, &mut streams, &mut encoders, secs(3.2 + 0.1 * i as f64));
+            let settled = ids.iter().enumerate().all(|(idx, &id)| {
+                s.backlog(id) == 0
+                    && s.client_degradation_level(id) == DegradationLevel::Full
+                    && !streams[idx].needs_refresh()
+                    && streams[idx].pending_bytes() == 0
+            });
+            if settled {
+                break;
+            }
+        }
+
+        for (idx, &id) in ids.iter().enumerate() {
+            let who = if id == owner { "owner" } else { "peer" };
+            assert_eq!(
+                streams[idx].client().framebuffer().data(),
+                store.screen().data(),
+                "budget {budget}: {who} must converge byte-exact"
+            );
+            assert_eq!(
+                streams[idx].resilience_metrics().cache_misses(),
+                0,
+                "budget {budget}: collapse is delay-only, no entry may go missing"
+            );
+            let ledger = s.client_cache_keys(id);
+            let held = streams[idx].cache_keys();
+            assert!(
+                !held.is_empty(),
+                "budget {budget}: {who} must be holding cached payloads"
+            );
+            assert_eq!(
+                ledger, held,
+                "budget {budget}: {who} ledger/store eviction lockstep must hold"
+            );
+        }
+        assert!(
+            streams[1].resilience_metrics().reconnects() >= 1,
+            "budget {budget}: the peer redialed"
+        );
+        if budget == 8 * 1024 {
+            for (idx, &id) in ids.iter().enumerate() {
+                let who = if id == owner { "owner" } else { "peer" };
+                assert!(
+                    streams[idx].resilience_metrics().cache_evictions() > 0,
+                    "budget {budget}: {who} store must have evicted under the tight budget"
+                );
+            }
+        }
+    }
+}
