@@ -15,12 +15,13 @@ use thinc_raster::{Framebuffer, PixelFormat, Rect};
 fn sample_raw() -> DisplayCommand {
     // A 512x384 update (quarter of the 1024x768 session).
     let mut x = 7u64;
-    let data = (0..512usize * 384 * 3)
+    let data: Vec<u8> = (0..512usize * 384 * 3)
         .map(|_| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             (x >> 33) as u8
         })
         .collect();
+    let data = data.into();
     DisplayCommand::Raw {
         rect: Rect::new(0, 0, 512, 384),
         encoding: RawEncoding::None,

@@ -29,7 +29,7 @@ fn bulk(i: i32) -> DisplayCommand {
     DisplayCommand::Raw {
         rect: Rect::new(i * 10, 0, 200, 200),
         encoding: RawEncoding::None,
-        data: vec![(i % 251) as u8; 200 * 200 * 3],
+        data: vec![(i % 251) as u8; 200 * 200 * 3].into(),
     }
 }
 

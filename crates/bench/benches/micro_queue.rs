@@ -18,7 +18,7 @@ fn scanline(y: i32) -> DisplayCommand {
     DisplayCommand::Raw {
         rect: Rect::new(0, y, 256, 1),
         encoding: RawEncoding::None,
-        data: vec![y as u8; 256 * 3],
+        data: vec![y as u8; 256 * 3].into(),
     }
 }
 

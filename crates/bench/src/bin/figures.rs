@@ -19,8 +19,16 @@ use thinc_bench::report::{kb, mb, pct, secs, table};
 use thinc_bench::sites::remote_sites;
 use thinc_bench::thinc_system::ThincSystem;
 use thinc_bench::webbench::{run_web, WebResult};
+use thinc_core::session::Credentials;
+use thinc_core::{ShardedManager, SharedSession};
+use thinc_display::drawable::DrawableStore;
+use thinc_display::driver::VideoDriver;
+use thinc_display::SCREEN;
 use thinc_net::link::NetworkConfig;
-use thinc_raster::Rect;
+use thinc_net::tcp::{TcpParams, TcpPipe};
+use thinc_net::time::{SimDuration, SimTime};
+use thinc_net::trace::PacketTrace;
+use thinc_raster::{Color, PixelFormat, Rect};
 use thinc_workloads::video::{AudioTrack, VideoClip};
 use thinc_workloads::web::WebWorkload;
 
@@ -552,6 +560,143 @@ fn table2() -> String {
     )
 }
 
+/// Broadcast fan-out telemetry: 96 viewers of one desktop through
+/// the sharded session manager, reported per shard. Small enough to
+/// run with the other figures (the 1k-client version is the perfgate
+/// fan-out macro); the interesting column is the hit ratio — the
+/// fraction of plane-served sends whose wire form some other client
+/// had already paid for.
+fn fanout_report() -> String {
+    const FW: u32 = 320;
+    const FH: u32 = 240;
+    const CLIENTS: usize = 96;
+    const SHARDS: usize = 8;
+    const WORKERS: usize = 4;
+    let link = |lan: bool| {
+        (
+            TcpPipe::new(TcpParams {
+                bandwidth_bps: if lan { 20_000_000 } else { 3_000_000 },
+                rtt: SimDuration::from_millis(if lan { 2 } else { 40 }),
+                sndbuf_bytes: 32 * 1024,
+                ..TcpParams::default()
+            }),
+            PacketTrace::new(),
+        )
+    };
+    let mut session =
+        SharedSession::new(FW, FH, PixelFormat::Rgb888, "host").with_workers(WORKERS);
+    session.auth_mut().enable_sharing("pw");
+    let mut m = ShardedManager::new(session, SHARDS);
+    m.attach(&Credentials::Owner { user: "host".into() }, FW, FH, link(true))
+        .expect("owner attach");
+    for i in 1..CLIENTS {
+        // Three of four viewers are same-screen (one encode-once
+        // equivalence class); the rest view scaled-down, adding
+        // per-policy classes. A third sit on WAN-ish links.
+        let (vw, vh) = if i % 4 == 3 { (FW / 2, FH / 2) } else { (FW, FH) };
+        m.attach(
+            &Credentials::Peer { user: format!("viewer{i}"), password: "pw".into() },
+            vw,
+            vh,
+            link(i % 3 != 2),
+        )
+        .expect("peer attach");
+    }
+    let store = DrawableStore::new(FW, FH, PixelFormat::Rgb888);
+    let mut now = SimTime(1_000);
+    for epoch in 0u64..16 {
+        // A moving video-ish band plus periodic UI fills: the
+        // broadcast workload the plane is built for.
+        let y = ((epoch * 30) % (FH as u64 - 60)) as i32;
+        let band: Vec<u8> = (0..(FW as usize) * 48 * 3)
+            .map(|i| (i as u64 ^ (epoch.wrapping_mul(131))) as u8)
+            .collect();
+        m.session_mut()
+            .put_image(&store, SCREEN, Rect::new(0, y, FW, 48), &band);
+        if epoch % 3 == 0 {
+            m.session_mut().solid_fill(
+                &store,
+                SCREEN,
+                Rect::new(8, 8, 96, 24),
+                Color::rgb(epoch as u8, 64, 128),
+            );
+        }
+        m.flush_epoch(now);
+        now = SimTime(now.0 + 8_000);
+    }
+    // Drain so the numbers cover completed deliveries.
+    for _ in 0..200 {
+        if m.session()
+            .client_ids()
+            .iter()
+            .all(|id| m.session().backlog(*id) == 0)
+        {
+            break;
+        }
+        m.flush_epoch(now);
+        now = SimTime(now.0 + 8_000);
+    }
+
+    let mut rows = Vec::new();
+    let mut total = thinc_telemetry::Histogram::exponential(8, 2, 24);
+    let (mut sends, mut encodes, mut amortized) = (0u64, 0u64, 0u64);
+    for s in 0..m.shard_count() {
+        let sm = m.shard_metrics(s);
+        sends += sm.shared_sends();
+        encodes += sm.payload_encodes();
+        amortized += sm.bytes_amortized();
+        total.merge_from(sm.flush_wall_us());
+        rows.push(vec![
+            format!("{s}"),
+            format!("{}", sm.clients()),
+            format!("{}", sm.epochs()),
+            format!("{}", sm.shared_sends()),
+            format!("{}", sm.payload_encodes()),
+            pct(sm.hit_ratio()),
+            kb(sm.bytes_amortized() as f64 / 1024.0),
+        ]);
+    }
+    let mut out = table(
+        &format!(
+            "Fan-out: per-shard encode-once telemetry \
+             ({CLIENTS} clients, {SHARDS} shards, {WORKERS} workers)"
+        ),
+        &["Shard", "Clients", "Epochs", "Plane sends", "Encodes", "Hit ratio", "Amortized"],
+        &rows,
+    );
+    let hit = if sends == 0 {
+        0.0
+    } else {
+        (sends - encodes.min(sends)) as f64 / sends as f64
+    };
+    // Fairness over the same-screen LAN cohort: identical demand, so
+    // identical delivery is the target.
+    let cohort: Vec<u64> = m
+        .session()
+        .client_ids()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i > 0 && i % 4 != 3 && i % 3 != 2)
+        .map(|(_, id)| m.session().client_sent_bytes(id))
+        .collect();
+    let fairness = match (cohort.iter().min(), cohort.iter().max()) {
+        (Some(&lo), Some(&hi)) if hi > 0 => lo as f64 / hi as f64,
+        _ => 1.0,
+    };
+    out.push_str(&format!(
+        "\naggregate: hit ratio {}, {} encode output amortized, \
+         fairness {:.4} (min/max bytes, same-screen LAN cohort)\n\
+         shard flush wall: p50 {} us, p99 {} us (report-only; \
+         latency gates use virtual time)\n",
+        pct(hit),
+        mb(amortized as f64 / (1024.0 * 1024.0)),
+        fairness,
+        total.quantile(0.50),
+        total.quantile(0.99),
+    ));
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut figs: Vec<String> = Vec::new();
@@ -563,9 +708,9 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--all" => {
-                figs.extend(["2", "3", "4", "5", "6", "7", "t2", "telemetry"].map(String::from))
-            }
+            "--all" => figs.extend(
+                ["2", "3", "4", "5", "6", "7", "t2", "fanout", "telemetry"].map(String::from),
+            ),
             "--fig" => {
                 i += 1;
                 figs.push(args.get(i).cloned().unwrap_or_default());
@@ -585,7 +730,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: figures --all | --fig <2|3|4|5|6|7|t2|telemetry> \
+                    "usage: figures --all | --fig <2|3|4|5|6|7|t2|fanout|telemetry> \
                      [--pages N] [--clip-ms M] [--jsonl PATH]"
                 );
                 std::process::exit(2);
@@ -594,7 +739,9 @@ fn main() {
         i += 1;
     }
     if figs.is_empty() {
-        figs.extend(["2", "3", "4", "5", "6", "7", "t2", "telemetry"].map(String::from));
+        figs.extend(
+            ["2", "3", "4", "5", "6", "7", "t2", "fanout", "telemetry"].map(String::from),
+        );
     }
     figs.dedup();
     let wants = |f: &str| figs.iter().any(|g| g == f);
@@ -624,6 +771,9 @@ fn main() {
     }
     if wants("7") {
         println!("{}", fig7(&opts));
+    }
+    if wants("fanout") {
+        println!("{}", fanout_report());
     }
     if wants("telemetry") {
         println!("{}", telemetry_report(&opts, jsonl.as_deref()));

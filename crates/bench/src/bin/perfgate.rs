@@ -23,8 +23,10 @@
 //! Usage:
 //!   perfgate [--quick] [--threshold 0.15] [--write-baseline]
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use thinc_baselines::traits::RemoteDisplay;
@@ -47,6 +49,36 @@ use thinc_raster::{reference, Color, Framebuffer, PixelFormat, Rect, ScaleFilter
 use thinc_telemetry::CommandKind;
 use thinc_workloads::video::{AudioTrack, VideoClip};
 use thinc_workloads::web::WebWorkload;
+
+/// Allocation-counting wrapper around the system allocator. The
+/// fan-out macro reports allocator calls per flush epoch: the
+/// encode-once path reuses per-client compression and encode buffers
+/// across `flush_all` rounds, so steady-state flushing should stay
+/// near O(equivalence classes), not O(clients × commands).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 struct Options {
     quick: bool,
@@ -544,6 +576,340 @@ fn parallel_check() -> (Vec<usize>, bool) {
 }
 
 // ---------------------------------------------------------------
+// Fan-out macro: encode-once broadcast through the sharded manager.
+
+const FAN_W: u32 = 160;
+const FAN_H: u32 = 120;
+const FAN_DRAW_EPOCHS: u64 = 24;
+const FAN_SETTLE_EPOCHS: u64 = 80;
+const FAN_EPOCH_US: u64 = 80_000;
+/// Draw epochs measured for the allocation count (past warm-up, so
+/// per-client scratch buffers have reached steady-state capacity).
+const FAN_ALLOC_WINDOW: std::ops::Range<u64> = 8..FAN_DRAW_EPOCHS;
+
+/// One band of desktop-like content, salted per epoch so every epoch
+/// really transfers fresh pixels.
+fn band_bytes(w: usize, rows: usize, salt: u64) -> Vec<u8> {
+    let mut img = desktop_bytes(w, rows, 3);
+    for i in ((salt as usize * 13) % 31..img.len()).step_by(61) {
+        img[i] = (salt.wrapping_mul(41)) as u8;
+    }
+    img
+}
+
+/// One fan-out scenario run. All numbers that gate are virtual-time
+/// deterministic; wall time and allocation counts are environmental.
+struct FanoutRun {
+    /// Per-client FNV digest over (arrival, encoded message) streams.
+    digests: Vec<u64>,
+    total_bytes: u64,
+    sim_s: f64,
+    flush_p99_us: u64,
+    /// min/max delivered bytes over the clean (fault-free LAN) cohort.
+    fairness: f64,
+    hit_ratio: f64,
+    bytes_amortized: u64,
+    shared_sends: u64,
+    payload_encodes: u64,
+    allocs_per_epoch: f64,
+    /// Peak number of simultaneously degraded clients observed.
+    degraded_peak: usize,
+    /// Clients whose framebuffer converged byte-exact (verify runs).
+    converged: usize,
+    /// All clients drained, promoted to Full, nothing pending.
+    settled: bool,
+    wall_ms: f64,
+}
+
+/// Drives `clients` viewers of one shared screen through the sharded
+/// manager: mixed LAN / WAN / hostile (seeded bandwidth-collapse
+/// windows) cohorts, adaptive degradation enabled, every client an
+/// identity viewport on the same screen. When `verify` is set, every
+/// message is additionally framed, run through the wire disturbance
+/// model, and decoded by a real `StreamClient` whose framebuffer must
+/// converge byte-exact. The epoch schedule is fixed (no data-dependent
+/// early exit), so two runs differing only in (shards, workers) must
+/// produce bit-identical streams.
+fn fanout_run(clients: usize, shards: usize, workers: usize, verify: bool) -> FanoutRun {
+    use thinc_client::StreamClient;
+    use thinc_core::degradation::{DegradationConfig, DegradationLevel};
+    use thinc_core::ShardedManager;
+    use thinc_net::fault::FaultPlan;
+    use thinc_protocol::hash::{fnv64_update, FNV64_OFFSET};
+    use thinc_protocol::wire::{encode_message_into, FrameEncoder};
+    use thinc_protocol::{Message, PROTOCOL_VERSION};
+
+    let link_for = |i: usize| -> (TcpPipe, PacketTrace) {
+        let seed = 0xFA0u64 + i as u64;
+        let cfg = match i % 8 {
+            0..=3 => NetworkConfig::lan_desktop(),
+            4 | 5 => NetworkConfig::wan_desktop(),
+            // Hostile cohorts: seeded delay-only bandwidth collapses
+            // deep enough to force the degradation ladder, windowed
+            // so every client recovers and re-promotes before drain.
+            6 => NetworkConfig::lan_desktop().with_faults(
+                FaultPlan::seeded(seed).with_collapse(
+                    SimTime(400_000),
+                    SimDuration::from_millis(600),
+                    0.002,
+                ),
+            ),
+            _ => NetworkConfig::wan_desktop().with_faults(
+                FaultPlan::seeded(seed).with_collapse(
+                    SimTime(800_000),
+                    SimDuration::from_millis(800),
+                    0.001,
+                ),
+            ),
+        };
+        (cfg.connect().down, PacketTrace::new())
+    };
+
+    let mut session = SharedSession::new(FAN_W, FAN_H, PixelFormat::Rgb888, "host")
+        .with_workers(workers)
+        .with_degradation(DegradationConfig {
+            degrade_after: 1,
+            promote_after: 1,
+            ..DegradationConfig::default()
+        });
+    session.auth_mut().enable_sharing("pw");
+    let mut m = ShardedManager::new(session, shards);
+    m.attach(&Credentials::Owner { user: "host".into() }, FAN_W, FAN_H, link_for(0))
+        .expect("owner attach");
+    for i in 1..clients {
+        m.attach(
+            &Credentials::Peer { user: format!("c{i}"), password: "pw".into() },
+            FAN_W,
+            FAN_H,
+            link_for(i),
+        )
+        .expect("peer attach");
+    }
+    let ids = m.session().client_ids();
+    assert!(
+        ids.iter().enumerate().all(|(i, id)| id.0 as usize == i),
+        "client ids must be dense for index addressing"
+    );
+
+    let mut streams: Vec<StreamClient> = Vec::new();
+    let mut encoders: Vec<FrameEncoder> = Vec::new();
+    if verify {
+        for _ in 0..clients {
+            let mut c = StreamClient::new(FAN_W, FAN_H, PixelFormat::Rgb888);
+            c.feed(&thinc_protocol::wire::encode_message(&Message::ServerHello {
+                version: PROTOCOL_VERSION,
+                width: FAN_W,
+                height: FAN_H,
+                depth: 24,
+            }));
+            streams.push(c);
+            encoders.push(FrameEncoder::with_revision(PROTOCOL_VERSION));
+        }
+    }
+
+    let mut store = DrawableStore::new(FAN_W, FAN_H, PixelFormat::Rgb888);
+    let mut digests = vec![FNV64_OFFSET; clients];
+    let mut ebuf = Vec::new();
+    let mut measured_allocs = 0u64;
+    let mut degraded_peak = 0usize;
+    let mut settle_screen: Option<Framebuffer> = None;
+    let wall = Instant::now();
+
+    for epoch in 0..FAN_DRAW_EPOCHS + FAN_SETTLE_EPOCHS {
+        let now = SimTime(100_000 + epoch * FAN_EPOCH_US);
+        if epoch < FAN_DRAW_EPOCHS {
+            // Same-screen broadcast workload: a fresh band of desktop
+            // content per epoch, with fills and scroll-like copies
+            // mixed in. Everything is mirrored into the reference
+            // screen the convergence check compares against.
+            let y = ((epoch * 28) % (FAN_H as u64 - 30)) as i32;
+            let rect = Rect::new(0, y, FAN_W, 30);
+            let band = band_bytes(FAN_W as usize, 30, epoch);
+            store.screen_mut().put_raw(&rect, &band);
+            m.session_mut().put_image(&store, SCREEN, rect, &band);
+            if epoch % 3 == 1 {
+                let r = Rect::new(8 + (epoch as i32 * 5) % 64, 8, 48, 20);
+                let c = Color::rgb(
+                    epoch.wrapping_mul(31) as u8,
+                    epoch.wrapping_mul(17) as u8,
+                    200,
+                );
+                store.screen_mut().fill_rect(&r, c);
+                m.session_mut().solid_fill(&store, SCREEN, r, c);
+            }
+            if epoch % 4 == 2 {
+                let src = Rect::new(0, 0, 64, 40);
+                store.screen_mut().copy_rect(&src, 80, 60);
+                m.session_mut().copy_area(&store, SCREEN, SCREEN, src, 80, 60);
+            }
+        } else {
+            // Settle phase: no new content; repay degradation debt
+            // until every client holds the final screen.
+            let screen =
+                settle_screen.get_or_insert_with(|| store.screen().clone());
+            m.session_mut().repay_refreshes(screen);
+        }
+        let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
+        let out = m.flush_epoch(now);
+        if FAN_ALLOC_WINDOW.contains(&epoch) {
+            measured_allocs += ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
+        }
+        for (id, msgs) in out {
+            let idx = id.0 as usize;
+            if msgs.is_empty() {
+                if verify {
+                    if let Some((pipe, _)) = m.link_mut(id) {
+                        if let Some(tail) = pipe.flush_disturbed() {
+                            streams[idx].feed(&tail);
+                        }
+                    }
+                }
+                continue;
+            }
+            for (arrival, msg) in msgs {
+                encode_message_into(&msg, &mut ebuf);
+                digests[idx] = fnv64_update(digests[idx], &arrival.0.to_le_bytes());
+                digests[idx] = fnv64_update(digests[idx], &ebuf);
+                if verify {
+                    let bytes = encoders[idx].encode(&msg);
+                    let (pipe, _) = m.link_mut(id).expect("attached");
+                    for seg in pipe.disturb(arrival, bytes) {
+                        streams[idx].feed(&seg);
+                    }
+                }
+            }
+        }
+        if epoch % 6 == 5 {
+            let degraded = ids
+                .iter()
+                .filter(|&&id| {
+                    m.session().client_degradation_level(id) != DegradationLevel::Full
+                })
+                .count();
+            degraded_peak = degraded_peak.max(degraded);
+        }
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    let settled = ids.iter().enumerate().all(|(idx, &id)| {
+        m.session().backlog(id) == 0
+            && m.session().client_degradation_level(id) == DegradationLevel::Full
+            && (!verify
+                || (!streams[idx].needs_refresh() && streams[idx].pending_bytes() == 0))
+    });
+    let converged = if verify {
+        streams
+            .iter()
+            .filter(|s| s.client().framebuffer().data() == store.screen().data())
+            .count()
+    } else {
+        0
+    };
+
+    let total_bytes: u64 = ids.iter().map(|&id| m.session().client_sent_bytes(id)).sum();
+    let mut latency = thinc_telemetry::Histogram::exponential(100, 2, 15);
+    for &id in &ids {
+        if let Some(h) = m.session().client_flush_latency(id) {
+            latency.merge_from(h);
+        }
+    }
+    let clean_bytes: Vec<u64> = (0..clients)
+        .filter(|i| i % 8 <= 3)
+        .map(|i| m.session().client_sent_bytes(ids[i]))
+        .collect();
+    let fairness = *clean_bytes.iter().min().expect("clean cohort nonempty") as f64
+        / (*clean_bytes.iter().max().expect("clean cohort nonempty")).max(1) as f64;
+    let (mut shared_sends, mut payload_encodes, mut bytes_amortized) = (0u64, 0u64, 0u64);
+    for s in 0..m.shard_count() {
+        let sm = m.shard_metrics(s);
+        shared_sends += sm.shared_sends();
+        payload_encodes += sm.payload_encodes();
+        bytes_amortized += sm.bytes_amortized();
+    }
+    let hit_ratio = if shared_sends == 0 {
+        0.0
+    } else {
+        (shared_sends - payload_encodes.min(shared_sends)) as f64 / shared_sends as f64
+    };
+
+    FanoutRun {
+        digests,
+        total_bytes,
+        sim_s: ((FAN_DRAW_EPOCHS + FAN_SETTLE_EPOCHS) * FAN_EPOCH_US) as f64 / 1e6,
+        flush_p99_us: latency.quantile(0.99),
+        fairness,
+        hit_ratio,
+        bytes_amortized,
+        shared_sends,
+        payload_encodes,
+        allocs_per_epoch: measured_allocs as f64
+            / (FAN_ALLOC_WINDOW.end - FAN_ALLOC_WINDOW.start) as f64,
+        degraded_peak,
+        converged,
+        settled,
+        wall_ms,
+    }
+}
+
+struct FanoutStats {
+    clients: usize,
+    shards: usize,
+    workers: usize,
+    main: FanoutRun,
+    /// (shards, workers, bit-identical) for every matrix config.
+    matrix: Vec<(usize, usize, bool)>,
+}
+
+impl FanoutStats {
+    fn deterministic(&self) -> bool {
+        self.matrix.iter().all(|&(_, _, ok)| ok)
+    }
+    fn sim_mb_s(&self) -> f64 {
+        self.main.total_bytes as f64 / self.main.sim_s / 1e6
+    }
+}
+
+fn fanout_suite(quick: bool) -> FanoutStats {
+    let clients = if quick { 256 } else { 1024 };
+    let (shards, workers) = (8usize, 4usize);
+    eprintln!("== macro: broadcast fan-out ({clients} clients, {shards} shards, {workers} workers) ==");
+    let main = fanout_run(clients, shards, workers, true);
+    eprintln!(
+        "  delivered {:.1} MB in {:.1}s sim ({:.1} MB/s)  wall {:.0} ms",
+        main.total_bytes as f64 / 1e6,
+        main.sim_s,
+        main.total_bytes as f64 / main.sim_s / 1e6,
+        main.wall_ms,
+    );
+    eprintln!(
+        "  plane: {} sends over {} encodes  hit {:.3}  amortized {:.1} MB",
+        main.shared_sends,
+        main.payload_encodes,
+        main.hit_ratio,
+        main.bytes_amortized as f64 / 1e6,
+    );
+    eprintln!(
+        "  flush p99 {} us  fairness {:.4}  degraded peak {}  allocs/epoch {:.0}  \
+         converged {}/{}",
+        main.flush_p99_us,
+        main.fairness,
+        main.degraded_peak,
+        main.allocs_per_epoch,
+        main.converged,
+        clients,
+    );
+    let mut matrix = Vec::new();
+    for (s, w) in [(1usize, 1usize), (1, 4), (2, 1), (2, 4), (8, 1)] {
+        let r = fanout_run(clients, s, w, false);
+        let ok = r.digests == main.digests;
+        eprintln!("  shards={s} workers={w}  bit-identical {ok}");
+        matrix.push((s, w, ok));
+    }
+    matrix.push((shards, workers, true));
+    FanoutStats { clients, shards, workers, main, matrix }
+}
+
+// ---------------------------------------------------------------
 // JSON output (hand-rolled: the workspace is dependency-free).
 
 fn jf(v: f64) -> String {
@@ -639,6 +1005,39 @@ fn e2e_json(
     s
 }
 
+fn fanout_json(mode: &str, fan: &FanoutStats) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"thinc-perfgate-fanout-v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"clients\": {},", fan.clients);
+    let _ = writeln!(s, "  \"shards\": {},", fan.shards);
+    let _ = writeln!(s, "  \"workers\": {},", fan.workers);
+    let _ = writeln!(s, "  \"sim_s\": {},", jf(fan.main.sim_s));
+    let _ = writeln!(s, "  \"total_bytes\": {},", fan.main.total_bytes);
+    let _ = writeln!(s, "  \"sim_mb_s\": {},", jf(fan.sim_mb_s()));
+    let _ = writeln!(s, "  \"flush_p99_us\": {},", fan.main.flush_p99_us);
+    let _ = writeln!(s, "  \"fairness\": {},", jf(fan.main.fairness));
+    let _ = writeln!(s, "  \"shared_sends\": {},", fan.main.shared_sends);
+    let _ = writeln!(s, "  \"payload_encodes\": {},", fan.main.payload_encodes);
+    let _ = writeln!(s, "  \"hit_ratio\": {},", jf(fan.main.hit_ratio));
+    let _ = writeln!(s, "  \"bytes_amortized\": {},", fan.main.bytes_amortized);
+    let _ = writeln!(s, "  \"allocs_per_epoch\": {},", jf(fan.main.allocs_per_epoch));
+    let _ = writeln!(s, "  \"degraded_peak\": {},", fan.main.degraded_peak);
+    let _ = writeln!(s, "  \"converged\": {},", fan.main.converged);
+    let _ = writeln!(s, "  \"settled\": {},", fan.main.settled);
+    let _ = writeln!(s, "  \"wall_ms\": {},", jf(fan.main.wall_ms));
+    s.push_str("  \"determinism_matrix\": [\n");
+    for (i, (sh, w, ok)) in fan.matrix.iter().enumerate() {
+        let _ = write!(s, "    {{\"shards\": {sh}, \"workers\": {w}, \"bit_identical\": {ok}}}");
+        s.push_str(if i + 1 < fan.matrix.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"deterministic\": {}", fan.deterministic());
+    s.push_str("}\n");
+    s
+}
+
 // ---------------------------------------------------------------
 // Baseline gating.
 
@@ -672,11 +1071,11 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     out
 }
 
-fn baseline_json(metrics: &[GateMetric]) -> String {
+fn baseline_pairs_json(pairs: &[(String, f64)]) -> String {
     let mut s = String::from("{\n");
-    for (i, m) in metrics.iter().enumerate() {
-        let _ = write!(s, "  \"{}\": {}", m.key, jf(m.value));
-        s.push_str(if i + 1 < metrics.len() { ",\n" } else { "\n" });
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        let _ = write!(s, "  \"{k}\": {}", jf(*v));
+        s.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
     }
     s.push_str("}\n");
     s
@@ -693,6 +1092,7 @@ fn main() {
     let video = video_suite(opts.quick);
     let cache = cache_suite();
     let par = parallel_check();
+    let fan = fanout_suite(opts.quick);
 
     std::fs::write(format!("{root}/BENCH_raster.json"), raster_json(mode, &kernels))
         .expect("write BENCH_raster.json");
@@ -701,7 +1101,9 @@ fn main() {
         e2e_json(mode, &web, &video, &cache, &par),
     )
     .expect("write BENCH_e2e.json");
-    eprintln!("wrote BENCH_raster.json, BENCH_e2e.json");
+    std::fs::write(format!("{root}/BENCH_fanout.json"), fanout_json(mode, &fan))
+        .expect("write BENCH_fanout.json");
+    eprintln!("wrote BENCH_raster.json, BENCH_e2e.json, BENCH_fanout.json");
 
     let mut metrics: Vec<GateMetric> = kernels
         .iter()
@@ -742,6 +1144,43 @@ fn main() {
         higher_is_better: true,
         timing_derived: false,
     });
+    // Fan-out metrics are keyed by scale: quick (256 clients) and
+    // full (1024) runs measure genuinely different workloads, so each
+    // gates against its own baseline entries (`--write-baseline`
+    // merges, keeping the other scale's keys).
+    let fp = format!("fanout{}", fan.clients);
+    metrics.push(GateMetric {
+        key: format!("{fp}.sim_mb_s"),
+        value: fan.sim_mb_s(),
+        higher_is_better: true,
+        timing_derived: false,
+    });
+    metrics.push(GateMetric {
+        key: format!("{fp}.flush_p99_us"),
+        value: fan.main.flush_p99_us as f64,
+        higher_is_better: false,
+        timing_derived: false,
+    });
+    metrics.push(GateMetric {
+        key: format!("{fp}.fairness"),
+        value: fan.main.fairness,
+        higher_is_better: true,
+        timing_derived: false,
+    });
+    metrics.push(GateMetric {
+        key: format!("{fp}.hit_ratio"),
+        value: fan.main.hit_ratio,
+        higher_is_better: true,
+        timing_derived: false,
+    });
+    // Allocation counts depend on allocator internals and worker
+    // scheduling; gate with the timing-derived slack.
+    metrics.push(GateMetric {
+        key: format!("{fp}.allocs_per_epoch"),
+        value: fan.main.allocs_per_epoch,
+        higher_is_better: false,
+        timing_derived: true,
+    });
 
     if !par.1 {
         eprintln!("FAIL: parallel flush output differs across worker counts");
@@ -763,9 +1202,47 @@ fn main() {
         eprintln!("FAIL: content cache did not reduce bytes per round");
         std::process::exit(1);
     }
+    if !fan.deterministic() {
+        eprintln!("FAIL: fan-out streams differ across shard/worker counts");
+        std::process::exit(1);
+    }
+    if !fan.main.settled {
+        eprintln!("FAIL: fan-out clients did not settle (backlog, level, or pending bytes)");
+        std::process::exit(1);
+    }
+    if fan.main.converged != fan.clients {
+        eprintln!(
+            "FAIL: only {}/{} fan-out clients converged byte-exact",
+            fan.main.converged, fan.clients
+        );
+        std::process::exit(1);
+    }
+    if fan.main.hit_ratio <= 0.5 {
+        eprintln!(
+            "FAIL: shared-payload hit ratio {:.3} <= 0.5 on a same-screen broadcast",
+            fan.main.hit_ratio
+        );
+        std::process::exit(1);
+    }
+    if fan.main.degraded_peak == 0 {
+        eprintln!("FAIL: hostile cohorts never degraded — the fault plans are not biting");
+        std::process::exit(1);
+    }
 
     if opts.write_baseline {
-        std::fs::write(baseline_path, baseline_json(&metrics)).expect("write baseline");
+        // Merge over the existing file: this run's keys overwrite,
+        // keys only the other mode produces (the other fan-out scale)
+        // survive.
+        let mut merged = std::fs::read_to_string(baseline_path)
+            .map(|t| parse_baseline(&t))
+            .unwrap_or_default();
+        for m in &metrics {
+            match merged.iter_mut().find(|(k, _)| *k == m.key) {
+                Some(e) => e.1 = m.value,
+                None => merged.push((m.key.clone(), m.value)),
+            }
+        }
+        std::fs::write(baseline_path, baseline_pairs_json(&merged)).expect("write baseline");
         eprintln!("baseline written to {baseline_path}");
         return;
     }

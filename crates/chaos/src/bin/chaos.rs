@@ -70,9 +70,10 @@ fn cmd_gen(args: &[String]) -> i32 {
 fn run_and_report(schedule: &Schedule, artifact: Option<&std::path::Path>) -> bool {
     let report = run(schedule);
     println!(
-        "seed {} workers {}: {}",
+        "seed {} workers {} shards {}: {}",
         schedule.seed,
         schedule.workers,
+        schedule.shards,
         report.summary()
     );
     if report.passed() {
@@ -108,6 +109,7 @@ fn cmd_run(args: &[String]) -> i32 {
     let events = opt_u64(args, "--events", 60) as usize;
     let mut schedule = generate(seed, events);
     schedule.workers = opt_u64(args, "--workers", schedule.workers as u64) as usize;
+    schedule.shards = opt_u64(args, "--shards", schedule.shards as u64).max(1) as usize;
     let default_out = format!("chaos-repro-{seed}.json");
     let out = opt(args, "--out").unwrap_or(&default_out);
     if run_and_report(&schedule, Some(std::path::Path::new(out))) {

@@ -533,6 +533,7 @@ pub fn schedule_to_json(s: &Schedule) -> String {
         ("width".into(), u64v(s.width as u64)),
         ("height".into(), u64v(s.height as u64)),
         ("workers".into(), u64v(s.workers as u64)),
+        ("shards".into(), u64v(s.shards.max(1) as u64)),
         ("cache_budget".into(), u64v(s.cache_budget)),
         ("buffer_bound".into(), u64v(s.buffer_bound)),
     ];
@@ -563,6 +564,9 @@ pub fn schedule_from_json(text: &str) -> Result<Schedule, Box<dyn std::error::Er
         width: need_u64(&doc, "width", ctx)? as u32,
         height: need_u64(&doc, "height", ctx)? as u32,
         workers: need_u64(&doc, "workers", ctx)? as usize,
+        // Absent in pre-fan-out artifacts: default to the monolithic
+        // flush they were recorded under.
+        shards: doc.get("shards").and_then(Json::as_u64).unwrap_or(1) as usize,
         cache_budget: need_u64(&doc, "cache_budget", ctx)?,
         buffer_bound: need_u64(&doc, "buffer_bound", ctx)?,
         events,
@@ -615,6 +619,17 @@ mod tests {
         let text = schedule_to_json(&s);
         let back = schedule_from_json(&text).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn shards_round_trip_and_default_to_one() {
+        let mut s = Schedule::base(5);
+        s.shards = 8;
+        assert_eq!(schedule_from_json(&schedule_to_json(&s)).unwrap(), s);
+        // Pre-fan-out artifacts carry no 'shards' key: monolithic.
+        let legacy = "{\"seed\": 5, \"width\": 64, \"height\": 48, \"workers\": 1, \
+                      \"cache_budget\": 262144, \"buffer_bound\": 98304, \"events\": []}";
+        assert_eq!(schedule_from_json(legacy).unwrap().shards, 1);
     }
 
     #[test]

@@ -55,7 +55,9 @@ const RUNOUT_STEP: SimDuration = SimDuration::from_millis(250);
 const MAX_SETTLE: usize = 400;
 /// Hard cap on slots (the generator stays lower; hand-written
 /// schedules beyond this see their attaches degrade to no-ops).
-const MAX_SLOTS: usize = 8;
+/// Sized for fan-out schedules that drive the sharded flush
+/// partition with a real population.
+const MAX_SLOTS: usize = 64;
 
 /// Installs (once per process) a panic hook that swallows only the
 /// deliberately injected flush poison, so chaos runs exercising the
@@ -199,6 +201,10 @@ struct Runner {
     seed: u64,
     width: u32,
     height: u32,
+    /// Flush partition width: 1 = monolithic `flush_all`, above 1 =
+    /// the sharded fan-out path (stable-hash partition, one shared
+    /// encode-once plane per pump). Same bytes either way.
+    shards: usize,
     /// Cache budget clients attached from now on negotiate.
     budget_for_new: u64,
     attaches: usize,
@@ -241,6 +247,7 @@ pub fn run(schedule: &Schedule) -> RunReport {
         seed: schedule.seed,
         width,
         height,
+        shards: schedule.shards.max(1),
         budget_for_new: schedule.cache_budget.max(4 * 1024),
         attaches: 0,
         violations: Vec::new(),
@@ -637,6 +644,54 @@ impl Runner {
         }
     }
 
+    /// The sharded flush path: partition the attached clients by the
+    /// same stable hash [`thinc_core::ShardedManager`] uses, flush
+    /// each shard as a [`SharedSession::flush_subset`] against one
+    /// shared encode-once plane, and merge in client-id order. The
+    /// determinism contract says this produces the same bytes as
+    /// `flush_all` — which is exactly why chaos schedules run it: any
+    /// divergence surfaces as a convergence or mirror violation.
+    fn flush_sharded(
+        &mut self,
+        ids: &[ClientId],
+        flat: &mut Vec<(TcpPipe, PacketTrace)>,
+    ) -> Vec<(ClientId, Vec<(SimTime, Message)>)> {
+        use thinc_core::{shard_index, WirePlane};
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards];
+        for (pos, id) in ids.iter().enumerate() {
+            by_shard[shard_index(*id, self.shards)].push(pos);
+        }
+        let mut slots: Vec<Option<(TcpPipe, PacketTrace)>> = flat.drain(..).map(Some).collect();
+        let plane = WirePlane::new();
+        let mut merged = Vec::new();
+        for positions in &mut by_shard {
+            if positions.is_empty() {
+                continue;
+            }
+            // flush_subset wants ids ascending, links in step.
+            positions.sort_by_key(|&p| ids[p]);
+            let shard_ids: Vec<ClientId> = positions.iter().map(|&p| ids[p]).collect();
+            let mut shard_links: Vec<(TcpPipe, PacketTrace)> = positions
+                .iter()
+                .map(|&p| slots[p].take().expect("each link flushed once per pump"))
+                .collect();
+            let (out, _) =
+                self.session
+                    .flush_subset(self.now, &shard_ids, &mut shard_links, Some(&plane));
+            for (&p, link) in positions.iter().zip(shard_links) {
+                slots[p] = Some(link);
+            }
+            merged.extend(out);
+        }
+        flat.extend(
+            slots
+                .into_iter()
+                .map(|l| l.expect("every shard returns its links")),
+        );
+        merged.sort_by_key(|(id, _)| *id);
+        merged
+    }
+
     /// One delivery round: advance virtual time, flush every client
     /// over its (possibly faulty) pipe, run the bytes through the
     /// disturbance model into each stream client, and route upstream
@@ -649,7 +704,11 @@ impl Runner {
         let ids: Vec<ClientId> = self.links.iter().map(|l| l.0).collect();
         let mut flat: Vec<(TcpPipe, PacketTrace)> =
             self.links.drain(..).map(|l| (l.1, l.2)).collect();
-        let out = self.session.flush_all(self.now, &mut flat);
+        let out = if self.shards > 1 {
+            self.flush_sharded(&ids, &mut flat)
+        } else {
+            self.session.flush_all(self.now, &mut flat)
+        };
         self.links = ids
             .into_iter()
             .zip(flat)
@@ -968,7 +1027,7 @@ impl Runner {
         let snapshot = DisplayCommand::Raw {
             rect: clip,
             encoding: RawEncoding::None,
-            data,
+            data: data.into(),
         };
         let mut reference = ThincClient::new(vw, vh, FORMAT);
         if let Some(cmd) =

@@ -53,6 +53,37 @@ fn runs_are_deterministic_across_reruns_and_worker_counts() {
 }
 
 #[test]
+fn shard_count_never_changes_verdicts() {
+    // The fan-out contract extended to chaos: the sharded flush
+    // partition must reach the same verdicts as the monolithic flush
+    // on the 64-client schedule, for every shard count.
+    let base = read_schedule("fanout-shards.json");
+    assert_eq!(base.shards, 8, "artifact drives the sharded path");
+    let reference = {
+        let mut s = base.clone();
+        s.shards = 1;
+        run(&s)
+    };
+    assert!(
+        reference.passed(),
+        "monolithic reference violated: {:?}",
+        reference.violations
+    );
+    for shards in [2usize, 8] {
+        let mut s = base.clone();
+        s.shards = shards;
+        let report = run(&s);
+        assert_eq!(
+            report.violations, reference.violations,
+            "shards={shards} changed the verdicts"
+        );
+        assert_eq!(report.quiesces, reference.quiesces);
+        assert_eq!(report.slots_attached, reference.slots_attached);
+        assert_eq!(report.quarantined, reference.quarantined);
+    }
+}
+
+#[test]
 fn injected_sabotage_is_caught_and_shrinks_small() {
     // A deliberately planted violation buried in healthy traffic: the
     // engine must catch it, and the shrinker must cut the schedule to

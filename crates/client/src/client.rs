@@ -262,7 +262,7 @@ impl ThincClient {
                 let bpp = self.fb.format().bytes_per_pixel();
                 let needed = rect.area() as usize * bpp;
                 let pixels: Vec<u8> = match encoding {
-                    RawEncoding::None => data.clone(),
+                    RawEncoding::None => data.to_vec(),
                     RawEncoding::PngLike => {
                         self.hw.decompress(data.len() as u64);
                         let stride = rect.w as usize * bpp;
@@ -363,7 +363,7 @@ mod tests {
         c.apply(&Message::Display(DisplayCommand::Raw {
             rect: Rect::new(0, 0, 16, 16),
             encoding: RawEncoding::PngLike,
-            data: packed,
+            data: packed.into(),
         }));
         assert_eq!(c.framebuffer().get_pixel(8, 8), Some(Color::rgb(9, 9, 9)));
         assert_eq!(c.stats().errors, 0);
@@ -375,7 +375,7 @@ mod tests {
         c.apply(&Message::Display(DisplayCommand::Raw {
             rect: Rect::new(0, 0, 16, 16),
             encoding: RawEncoding::PngLike,
-            data: vec![0xFF, 0x22],
+            data: vec![0xFF, 0x22].into(),
         }));
         assert_eq!(c.stats().errors, 1);
     }
@@ -386,7 +386,7 @@ mod tests {
         c.apply(&Message::Display(DisplayCommand::Raw {
             rect: Rect::new(0, 0, 16, 16),
             encoding: RawEncoding::None,
-            data: vec![0; 10],
+            data: vec![0; 10].into(),
         }));
         assert_eq!(c.stats().errors, 1);
     }

@@ -708,7 +708,7 @@ mod tests {
         Message::Display(DisplayCommand::Raw {
             rect: Rect::new(0, 0, 8, 8),
             encoding: thinc_protocol::commands::RawEncoding::None,
-            data: vec![fill; 8 * 8 * 3],
+            data: vec![fill; 8 * 8 * 3].into(),
         })
     }
 

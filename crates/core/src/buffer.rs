@@ -15,10 +15,11 @@ use thinc_net::time::SimTime;
 use thinc_net::trace::{Direction, PacketTrace};
 use thinc_protocol::commands::{DisplayCommand, RawEncoding};
 use thinc_protocol::message::Message;
-use thinc_protocol::wire::encode_message;
+use thinc_protocol::wire::encode_message_into;
 use thinc_raster::Region;
 use thinc_telemetry::{ProtocolMetrics, SchedulerMetrics};
 
+use crate::plane::{PlaneCounters, WireForm, WirePlane};
 use crate::queue::{classify, clip_command, OverwriteClass};
 use crate::scheduler::{creates_dependency, place, queue_index, QueueSlot, NUM_QUEUES};
 
@@ -133,6 +134,10 @@ pub struct ClientBuffer {
     /// one command after another reuses the filter intermediate and
     /// the output stream instead of reallocating per command.
     scratch: thinc_compress::Scratch,
+    /// Reusable wire-encoding buffer: sizing and framing one message
+    /// after another reuses this allocation instead of building a
+    /// fresh `Vec` per message.
+    encode_buf: Vec<u8>,
     /// Content-addressed cache ledger (`None` until the handshake
     /// negotiates protocol revision 3 and the owner enables it).
     cache: Option<CacheEngine>,
@@ -612,7 +617,7 @@ impl ClientBuffer {
                     return Message::Display(DisplayCommand::Raw {
                         rect: *rect,
                         encoding: RawEncoding::PngLike,
-                        data: packed.to_vec(),
+                        data: packed.to_vec().into(),
                     });
                 }
             }
@@ -628,19 +633,41 @@ impl ClientBuffer {
     /// LRU order move only in [`Self::cache_commit`] once the frame is
     /// actually committed to the pipe, so a blocked flush attempt has
     /// no side effects.
-    fn prepare_wire(&mut self, cmd: DisplayCommand) -> (Message, u64, CacheCommit) {
-        let full = self.emit_message(cmd);
-        let encoded = encode_message(&full);
-        let full_size = encoded.len() as u64;
-        let Some(cache) = &self.cache else {
-            return (full, full_size, CacheCommit::None);
+    fn prepare_wire(
+        &mut self,
+        cmd: DisplayCommand,
+        plane: Option<&WirePlane>,
+        counters: &mut PlaneCounters,
+    ) -> (Message, u64, CacheCommit, Option<u64>) {
+        let (full, full_size, key, shared) = match plane.and_then(|p| p.slot(&cmd)) {
+            Some(slot) => {
+                let mut fresh = false;
+                let form = slot.form_or_init(|| {
+                    fresh = true;
+                    self.compute_form(cmd)
+                });
+                let (msg, size, key) = (form.msg.clone(), form.size, form.key);
+                if fresh {
+                    counters.encodes += 1;
+                    counters.encoded_bytes += size;
+                }
+                (msg, size, key, Some(size))
+            }
+            None => {
+                let form = self.compute_form(cmd);
+                (form.msg, form.size, form.key, None)
+            }
         };
-        let Some(key) = thinc_protocol::cache::cache_key(&full, &encoded) else {
-            return (full, full_size, CacheCommit::None);
+        let Some(cache) = &self.cache else {
+            return (full, full_size, CacheCommit::None, shared);
+        };
+        let Some(key) = key else {
+            return (full, full_size, CacheCommit::None, shared);
         };
         if cache.ledger.contains(key) {
             let reference = Message::CacheRef { hash: key };
-            let ref_size = encode_message(&reference).len() as u64;
+            encode_message_into(&reference, &mut self.encode_buf);
+            let ref_size = self.encode_buf.len() as u64;
             (
                 reference,
                 ref_size,
@@ -648,10 +675,23 @@ impl ClientBuffer {
                     key,
                     saved: full_size - ref_size,
                 },
+                shared,
             )
         } else {
-            (full, full_size, CacheCommit::Insert { key })
+            (full, full_size, CacheCommit::Insert { key }, shared)
         }
+    }
+
+    /// The full wire form of a command: emitted message, encoded frame
+    /// size, cache key. A pure function of the command (the scratch
+    /// buffers only provide storage), which is what lets a
+    /// [`WirePlane`] share the result across clients.
+    fn compute_form(&mut self, cmd: DisplayCommand) -> WireForm {
+        let full = self.emit_message(cmd);
+        encode_message_into(&full, &mut self.encode_buf);
+        let size = self.encode_buf.len() as u64;
+        let key = thinc_protocol::cache::cache_key(&full, &self.encode_buf);
+        WireForm { msg: full, size, key }
     }
 
     /// Applies the ledger update owed for a message just sent: bump
@@ -710,22 +750,30 @@ impl ClientBuffer {
         pipe: &mut TcpPipe,
         trace: &mut PacketTrace,
     ) -> Vec<(SimTime, Message)> {
+        self.flush_shared(now, pipe, trace, None, &mut PlaneCounters::default())
+    }
+
+    /// [`flush`](Self::flush) against a shared encode-once
+    /// [`WirePlane`]: eligible commands take their wire form from the
+    /// plane (producing it if this client is first), and the plane
+    /// traffic is accounted into `counters`. Output bytes are
+    /// identical to the plain flush.
+    pub fn flush_shared(
+        &mut self,
+        now: SimTime,
+        pipe: &mut TcpPipe,
+        trace: &mut PacketTrace,
+        plane: Option<&WirePlane>,
+        counters: &mut PlaneCounters,
+    ) -> Vec<(SimTime, Message)> {
         let mut out = Vec::new();
         // Owed miss fallbacks ship before the command queues: a client
         // waiting on an unresolved reference is blocked on exactly
         // this payload.
-        while let Some((size, key)) = self
-            .cache
-            .as_ref()
-            .and_then(|c| c.fallbacks.front())
-            .map(|msg| {
-                let encoded = encode_message(msg);
-                (
-                    encoded.len() as u64,
-                    thinc_protocol::cache::cache_key(msg, &encoded),
-                )
-            })
-        {
+        while let Some(msg) = self.cache.as_ref().and_then(|c| c.fallbacks.front()) {
+            encode_message_into(msg, &mut self.encode_buf);
+            let size = self.encode_buf.len() as u64;
+            let key = thinc_protocol::cache::cache_key(msg, &self.encode_buf);
             if pipe.would_block(now, size) {
                 return out;
             }
@@ -764,12 +812,14 @@ impl ClientBuffer {
                 let mut sent_all = true;
                 let mut leftover: Vec<DisplayCommand> = Vec::new();
                 for (i, part) in parts.iter().enumerate() {
-                    let (msg, size, commit) = self.prepare_wire(part.clone());
+                    let (msg, size, commit, shared) =
+                        self.prepare_wire(part.clone(), plane, counters);
                     if pipe.would_block(now, size) {
                         // Try splitting an uncompressed RAW to fit.
                         let writable = pipe.writable_bytes(now);
                         if let Some((head, tail)) = split_raw(part, writable) {
-                            let (head_msg, head_size, head_commit) = self.prepare_wire(head);
+                            let (head_msg, head_size, head_commit, head_shared) =
+                                self.prepare_wire(head, plane, counters);
                             if !pipe.would_block(now, head_size) {
                                 let (_, arrival) = pipe.send(now, head_size);
                                 trace.record(now, arrival, head_size, Direction::Down, "update");
@@ -782,6 +832,10 @@ impl ClientBuffer {
                                     &mut self.protocol_metrics,
                                     &head_msg,
                                 );
+                                if let Some(full) = head_shared {
+                                    counters.shared_sends += 1;
+                                    counters.shared_bytes += full;
+                                }
                                 self.cache_commit(&head_msg, head_size, head_commit);
                                 out.push((arrival, head_msg));
                                 leftover.push(tail);
@@ -800,6 +854,10 @@ impl ClientBuffer {
                     self.stats.sent_bytes += size;
                     self.scheduler_metrics.record_flush_latency_us(wait_us);
                     thinc_protocol::telemetry::record_message(&mut self.protocol_metrics, &msg);
+                    if let Some(full) = shared {
+                        counters.shared_sends += 1;
+                        counters.shared_bytes += full;
+                    }
                     self.cache_commit(&msg, size, commit);
                     out.push((arrival, msg));
                 }
@@ -872,12 +930,12 @@ fn split_raw(cmd: &DisplayCommand, budget: u64) -> Option<(DisplayCommand, Displ
     let head = DisplayCommand::Raw {
         rect: thinc_raster::Rect::new(rect.x, rect.y, rect.w, rows),
         encoding: RawEncoding::None,
-        data: data[..split_at].to_vec(),
+        data: data[..split_at].to_vec().into(),
     };
     let tail = DisplayCommand::Raw {
         rect: thinc_raster::Rect::new(rect.x, rect.y + rows as i32, rect.w, rect.h - rows),
         encoding: RawEncoding::None,
-        data: data[split_at..].to_vec(),
+        data: data[split_at..].to_vec().into(),
     };
     Some((head, tail))
 }
@@ -887,6 +945,7 @@ mod tests {
     use super::*;
     use thinc_net::tcp::TcpParams;
     use thinc_net::time::SimDuration;
+    use thinc_protocol::wire::encode_message;
     use thinc_raster::{Color, Rect};
 
     fn pipe() -> TcpPipe {
@@ -909,7 +968,7 @@ mod tests {
         DisplayCommand::Raw {
             rect: Rect::new(x, y, w, h),
             encoding: RawEncoding::None,
-            data: vec![7; (w * h * 3) as usize],
+            data: vec![7; (w * h * 3) as usize].into(),
         }
     }
 
@@ -1334,13 +1393,13 @@ mod tests {
                 round_cmds.push(DisplayCommand::Raw {
                     rect: Rect::new(i32::from(tile) * 8, 0, 8, 8),
                     encoding: RawEncoding::None,
-                    data: vec![tile; 8 * 8 * 3],
+                    data: vec![tile; 8 * 8 * 3].into(),
                 });
             }
             round_cmds.push(DisplayCommand::Raw {
                 rect: Rect::new(24, 0, 8, 8),
                 encoding: RawEncoding::None,
-                data: vec![100 + round; 8 * 8 * 3],
+                data: vec![100 + round; 8 * 8 * 3].into(),
             });
             for cmd in round_cmds {
                 buf.push(cmd, false);

@@ -42,11 +42,13 @@ pub mod buffer;
 pub mod degradation;
 pub mod liveness;
 pub mod parallel;
+pub mod plane;
 pub mod queue;
 pub mod scaling;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod translator;
 pub mod video;
 
@@ -55,8 +57,10 @@ pub use degradation::{
     DegradationConfig, DegradationController, DegradationLevel, EpochSignals,
 };
 pub use liveness::{LivenessConfig, LivenessTracker, LivenessVerdict};
+pub use plane::{PlaneCounters, WirePlane};
 pub use queue::{classify, CommandQueue, OverwriteClass};
 pub use scaling::ScalePolicy;
 pub use server::{ServerConfig, ThincServer};
 pub use session::{Credentials, SessionAuth, SharedSession};
+pub use shard::{shard_index, ShardedManager};
 pub use translator::Translator;

@@ -1,0 +1,287 @@
+//! The encode-once payload plane for broadcast fan-out.
+//!
+//! A shared session broadcasts the same translated commands to every
+//! attached client. Without sharing, each client's flush re-compresses
+//! and re-encodes identical `RAW` payloads — O(clients) encode work
+//! for one screen update. The payload plane collapses that to O(
+//! equivalence classes): commands with the same *payload content* at
+//! the same destination and encoding share one compressed wire form,
+//! produced once by whichever flush reaches it first and reused by
+//! everyone else as an `Arc` bump. Content keying (FNV-1a over the
+//! payload, plus length) survives the per-client command queues —
+//! clipping and merging reallocate payloads per client, but on a
+//! same-screen broadcast they reallocate them to identical bytes.
+//! Hashing is linear in the payload but an order of magnitude cheaper
+//! than the compression + encoding it replaces.
+//!
+//! Hash collisions cannot corrupt streams: each slot pins the payload
+//! [`Bytes`] it was keyed on, and a lookup whose content does not
+//! match the pinned payload byte-for-byte bypasses the plane (the
+//! command encodes on the ordinary per-client path). Byte output is
+//! therefore unaffected — the plane caches the *result* of the
+//! per-client encode pipeline, which is a pure function of the
+//! command — so streams stay bit-identical with and without it,
+//! across any shard or worker count. A plane is scoped to one flush
+//! round (one [`flush_all`] call or one sharded epoch).
+//!
+//! [`Bytes`]: thinc_protocol::Bytes
+//! [`flush_all`]: crate::session::SharedSession::flush_all
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use thinc_protocol::{Bytes, DisplayCommand, Message};
+use thinc_raster::Rect;
+
+/// Payloads below this size encode faster than a map lookup under a
+/// lock; they stay on the per-client path.
+pub const PLANE_MIN_PAYLOAD: usize = 64;
+
+/// Identity of one shared-encoding equivalence class: the payload
+/// content (hash + length), plus the geometry and encoding that feed
+/// the compression decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlaneKey {
+    /// FNV-1a 64 over the payload bytes.
+    content: u64,
+    /// Payload length (cuts down same-hash accidents cheaply).
+    len: usize,
+    /// Destination rectangle (its width sets the compression stride).
+    rect: (i32, i32, u32, u32),
+    /// `RawEncoding` discriminant.
+    encoding: u8,
+}
+
+fn plane_key(cmd: &DisplayCommand) -> Option<(PlaneKey, &Bytes)> {
+    let DisplayCommand::Raw { rect, encoding, data } = cmd else {
+        return None;
+    };
+    if data.len() < PLANE_MIN_PAYLOAD {
+        return None;
+    }
+    Some((
+        PlaneKey {
+            content: thinc_protocol::fnv64(data),
+            len: data.len(),
+            rect: rect_key(rect),
+            encoding: *encoding as u8,
+        },
+        data,
+    ))
+}
+
+fn rect_key(r: &Rect) -> (i32, i32, u32, u32) {
+    (r.x, r.y, r.w, r.h)
+}
+
+/// The final wire form of a command: the message that goes on the
+/// wire, its encoded size, and its rev-3 cache key (when cacheable).
+/// A pure function of the command, so whichever client computes it
+/// first computes the same bytes every other client would have.
+#[derive(Debug, Clone)]
+pub struct WireForm {
+    /// The emitted message (payload possibly compressed).
+    pub msg: Message,
+    /// Encoded frame size in bytes.
+    pub size: u64,
+    /// Content-cache key of the encoded frame, if cacheable.
+    pub key: Option<u64>,
+}
+
+/// One equivalence class slot: the wire form, produced at most once.
+///
+/// The slot pins the payload it was keyed on so later lookups can
+/// verify content equality byte-for-byte — a hash collision is
+/// detected, not silently served.
+#[derive(Debug)]
+pub struct PlaneSlot {
+    form: OnceLock<WireForm>,
+    pin: Bytes,
+}
+
+impl PlaneSlot {
+    fn pinned(pin: Bytes) -> Self {
+        Self { form: OnceLock::new(), pin }
+    }
+
+    /// The slot's wire form, running `init` exactly once across all
+    /// clients (and threads) that reach this slot.
+    pub fn form_or_init(&self, init: impl FnOnce() -> WireForm) -> &WireForm {
+        self.form.get_or_init(init)
+    }
+}
+
+/// The per-round shared-encoding table. Cheap to create; create one
+/// per flush round and drop it with the round.
+#[derive(Debug, Default)]
+pub struct WirePlane {
+    slots: Mutex<HashMap<PlaneKey, Arc<PlaneSlot>>>,
+}
+
+impl WirePlane {
+    /// An empty plane for one flush round.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared slot for `cmd`, or `None` when the command is not
+    /// shareable (not a `RAW`, payload too small to be worth the
+    /// lock, or — vanishingly rarely — a hash collision with an
+    /// existing class, which must take the per-client path to keep
+    /// the bytes right).
+    pub fn slot(&self, cmd: &DisplayCommand) -> Option<Arc<PlaneSlot>> {
+        let (key, data) = plane_key(cmd)?;
+        let mut slots = self.slots.lock().expect("plane lock poisoned");
+        match slots.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let slot = e.get();
+                (slot.pin == *data).then(|| Arc::clone(slot))
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                Some(Arc::clone(v.insert(Arc::new(PlaneSlot::pinned(data.clone())))))
+            }
+        }
+    }
+
+    /// Number of distinct equivalence classes seen this round.
+    pub fn classes(&self) -> usize {
+        self.slots.lock().expect("plane lock poisoned").len()
+    }
+}
+
+/// Deterministic accounting for the encode-once plane, accumulated
+/// per client during a flush and merged in client order afterwards.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneCounters {
+    /// Messages sent whose wire form came from the plane.
+    pub shared_sends: u64,
+    /// Sum of those messages' full-form sizes (before any per-client
+    /// cache-ref substitution) — what every client *would* have
+    /// encoded on its own.
+    pub shared_bytes: u64,
+    /// Wire forms actually produced (one per equivalence class that
+    /// reached the wire); independent of shard and worker counts.
+    pub encodes: u64,
+    /// Bytes of wire forms actually produced.
+    pub encoded_bytes: u64,
+}
+
+impl PlaneCounters {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &PlaneCounters) {
+        self.shared_sends += other.shared_sends;
+        self.shared_bytes += other.shared_bytes;
+        self.encodes += other.encodes;
+        self.encoded_bytes += other.encoded_bytes;
+    }
+
+    /// Fraction of plane-served sends that reused an already-produced
+    /// wire form (0 when nothing went through the plane).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.shared_sends == 0 {
+            return 0.0;
+        }
+        (self.shared_sends - self.encodes.min(self.shared_sends)) as f64
+            / self.shared_sends as f64
+    }
+
+    /// Encode output bytes the plane saved clients from producing
+    /// themselves.
+    pub fn bytes_amortized(&self) -> u64 {
+        self.shared_bytes.saturating_sub(self.encoded_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinc_protocol::{Bytes, RawEncoding};
+
+    fn raw(data: &Bytes) -> DisplayCommand {
+        DisplayCommand::Raw {
+            rect: Rect::new(0, 0, 16, 16),
+            encoding: RawEncoding::None,
+            data: data.clone(),
+        }
+    }
+
+    #[test]
+    fn same_allocation_shares_a_slot() {
+        let plane = WirePlane::new();
+        let data = Bytes::from(vec![7u8; 768]);
+        let a = plane.slot(&raw(&data)).unwrap();
+        let b = plane.slot(&raw(&data)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(plane.classes(), 1);
+    }
+
+    #[test]
+    fn equal_content_in_distinct_allocations_shares_a_slot() {
+        // The per-client queues reallocate payloads (clip, merge);
+        // content keying must see through that.
+        let plane = WirePlane::new();
+        let a = Bytes::from(vec![7u8; 768]);
+        let b = Bytes::from(vec![7u8; 768]); // Equal content, new Arc.
+        let sa = plane.slot(&raw(&a)).unwrap();
+        let sb = plane.slot(&raw(&b)).unwrap();
+        assert!(Arc::ptr_eq(&sa, &sb));
+        assert_eq!(plane.classes(), 1);
+    }
+
+    #[test]
+    fn distinct_content_gets_distinct_slots() {
+        let plane = WirePlane::new();
+        let a = Bytes::from(vec![7u8; 768]);
+        let b = Bytes::from(vec![9u8; 768]);
+        let sa = plane.slot(&raw(&a)).unwrap();
+        let sb = plane.slot(&raw(&b)).unwrap();
+        assert!(!Arc::ptr_eq(&sa, &sb));
+        assert_eq!(plane.classes(), 2);
+    }
+
+    #[test]
+    fn small_and_non_raw_commands_bypass_the_plane() {
+        let plane = WirePlane::new();
+        let tiny = Bytes::from(vec![1u8; PLANE_MIN_PAYLOAD - 1]);
+        assert!(plane.slot(&raw(&tiny)).is_none());
+        let copy = DisplayCommand::Copy {
+            src_rect: Rect::new(0, 0, 4, 4),
+            dst_x: 1,
+            dst_y: 1,
+        };
+        assert!(plane.slot(&copy).is_none());
+    }
+
+    #[test]
+    fn form_initializes_exactly_once() {
+        let slot = PlaneSlot::pinned(Bytes::from(Vec::new()));
+        let mut inits = 0;
+        for _ in 0..3 {
+            slot.form_or_init(|| {
+                inits += 1;
+                WireForm { msg: Message::CacheRef { hash: 9 }, size: 14, key: None }
+            });
+        }
+        assert_eq!(inits, 1);
+    }
+
+    #[test]
+    fn counters_merge_and_ratio() {
+        let mut a = PlaneCounters {
+            shared_sends: 8,
+            shared_bytes: 800,
+            encodes: 2,
+            encoded_bytes: 200,
+        };
+        let b = PlaneCounters {
+            shared_sends: 2,
+            shared_bytes: 200,
+            encodes: 0,
+            encoded_bytes: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.shared_sends, 10);
+        assert!((a.hit_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(a.bytes_amortized(), 800);
+    }
+}

@@ -306,7 +306,7 @@ pub fn merge_commands(prev: &DisplayCommand, next: &DisplayCommand) -> Option<Di
             Some(DisplayCommand::Raw {
                 rect: Rect::new(a.x, a.y, a.w, a.h + b.h),
                 encoding: RawEncoding::None,
-                data,
+                data: data.into(),
             })
         }
         _ => None,
@@ -377,7 +377,7 @@ pub fn clip_command(cmd: &DisplayCommand, clip: &Rect) -> Option<DisplayCommand>
             Some(DisplayCommand::Raw {
                 rect: r,
                 encoding: RawEncoding::None,
-                data: out,
+                data: out.into(),
             })
         }
         DisplayCommand::Pfill { tile, .. } => {

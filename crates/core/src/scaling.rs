@@ -184,7 +184,7 @@ impl ScalePolicy {
                 Some(DisplayCommand::Raw {
                     rect: r,
                     encoding: RawEncoding::None,
-                    data: out,
+                    data: out.into(),
                 })
             }
             DisplayCommand::Raw { rect, .. } => {
@@ -237,7 +237,7 @@ impl ScalePolicy {
         Some(DisplayCommand::Raw {
             rect: r,
             encoding: RawEncoding::None,
-            data,
+            data: data.into(),
         })
     }
 }
@@ -300,7 +300,7 @@ mod tests {
         let cmd = DisplayCommand::Raw {
             rect: Rect::new(0, 0, 256, 192),
             encoding: RawEncoding::None,
-            data: vec![7; 256 * 192 * 3],
+            data: vec![7; 256 * 192 * 3].into(),
         };
         match p.transform(&cmd, &screen()).unwrap() {
             DisplayCommand::Raw { rect, data, .. } => {
@@ -418,7 +418,7 @@ mod tests {
         let cmd = DisplayCommand::Raw {
             rect: Rect::new(0, 0, 1024, 768),
             encoding: RawEncoding::None,
-            data: vec![9; 1024 * 768 * 3],
+            data: vec![9; 1024 * 768 * 3].into(),
         };
         match p.transform(&cmd, &screen()).unwrap() {
             DisplayCommand::Raw { rect, data, .. } => {
@@ -489,7 +489,7 @@ mod tests {
         let cmd = DisplayCommand::Raw {
             rect: Rect::new(0, 0, 1024, 768),
             encoding: RawEncoding::None,
-            data: vec![1; 1024 * 768 * 3],
+            data: vec![1; 1024 * 768 * 3].into(),
         };
         let out = p.transform(&cmd, &screen()).unwrap();
         assert!(out.wire_size() * 2 < cmd.wire_size());

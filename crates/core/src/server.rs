@@ -367,7 +367,7 @@ impl ThincServer {
         let cmd = DisplayCommand::Raw {
             rect: clip,
             encoding: thinc_protocol::commands::RawEncoding::None,
-            data,
+            data: data.into(),
         };
         self.enqueue(vec![cmd], screen);
     }
@@ -556,7 +556,7 @@ impl ThincServer {
             let cmd = DisplayCommand::Raw {
                 rect: clip,
                 encoding: thinc_protocol::commands::RawEncoding::None,
-                data,
+                data: data.into(),
             };
             let cmd = if self.scaling_active() {
                 match self.scale.transform(&cmd, screen) {
@@ -1474,7 +1474,7 @@ mod tests {
         let full = DisplayCommand::Raw {
             rect: clip,
             encoding: thinc_protocol::commands::RawEncoding::None,
-            data,
+            data: data.into(),
         };
         let scaled = ScalePolicy::new(64, 64, 32, 32)
             .transform(&full, ws.screen())

@@ -32,6 +32,7 @@ use thinc_raster::{Color, Framebuffer, PixelFormat, Rect, YuvFrame};
 use crate::buffer::ClientBuffer;
 use crate::degradation::{DegradationConfig, DegradationController, DegradationLevel, EpochSignals};
 use crate::liveness::{LivenessConfig, LivenessTracker, LivenessVerdict};
+use crate::plane::{PlaneCounters, WirePlane};
 use crate::scaling::ScalePolicy;
 use crate::translator::Translator;
 use crate::video::VideoStreamManager;
@@ -113,6 +114,11 @@ impl SessionAuth {
 /// Identifier of an attached client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClientId(pub u32);
+
+/// Per-client timestamped message streams produced by a flush round,
+/// in client-id order — the return shape of
+/// [`SharedSession::flush_all`] and [`SharedSession::flush_subset`].
+pub type FlushOutput = Vec<(ClientId, Vec<(SimTime, Message)>)>;
 
 /// Per-client delivery state.
 struct ClientState {
@@ -196,7 +202,7 @@ impl ClientState {
         let cmd = DisplayCommand::Raw {
             rect: clip,
             encoding: thinc_protocol::commands::RawEncoding::None,
-            data,
+            data: data.into(),
         };
         if self.scale.is_identity() {
             self.buffer.push(cmd, false);
@@ -231,7 +237,7 @@ impl ClientState {
             let cmd = DisplayCommand::Raw {
                 rect: clip,
                 encoding: thinc_protocol::commands::RawEncoding::None,
-                data,
+                data: data.into(),
             };
             if self.scale.is_identity() {
                 self.buffer.push_unbounded(cmd, false);
@@ -271,6 +277,17 @@ pub struct SharedSession {
     cache_budget: Option<u64>,
     /// Scoped-thread workers for per-client fan-out (1 = inline).
     workers: usize,
+    /// Cumulative encode-once plane accounting across flush rounds.
+    fanout: PlaneCounters,
+}
+
+impl std::fmt::Debug for SharedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSession")
+            .field("clients", &self.clients.len())
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SharedSession {
@@ -290,6 +307,7 @@ impl SharedSession {
             buffer_bound: None,
             cache_budget: None,
             workers: 1,
+            fanout: PlaneCounters::default(),
         }
     }
 
@@ -511,40 +529,95 @@ impl SharedSession {
     /// worker pool; per-client push order is the command order either
     /// way.
     fn broadcast(&mut self, cmds: Vec<DisplayCommand>, screen: &Framebuffer) {
-        let cmds = &cmds;
-        crate::parallel::for_each_mut(&mut self.clients, self.workers, |_, (_, state)| {
+        // `screen` already reflects the commands being broadcast
+        // (the store is mutated before the driver call). COPY is
+        // the one non-idempotent command: applied on top of a
+        // snapshot that already contains its effect it scrolls
+        // twice wherever source and destination overlap. So a
+        // client owed a refresh — whose snapshot covers the whole
+        // view — must not receive this round's COPYs; and a
+        // client with partial overflow debt cannot soundly take a
+        // COPY either (the debt repaint may cover only part of
+        // the copy's footprint), so its debt escalates to a full
+        // refresh first. Idempotent repaints still flow: redundant
+        // over a snapshot, but they keep the content cache warm.
+        let has_copy = cmds
+            .iter()
+            .any(|c| matches!(c, DisplayCommand::Copy { .. }));
+        // Serial pre-pass: settle the COPY/debt escalation, snapshot
+        // refresh owage, and group clients into scale-equivalence
+        // classes. Clients at the same scale policy receive identical
+        // command streams, so each class is translated once below and
+        // shared by reference (`Bytes` payloads make the per-client
+        // clone an `Arc` bump, not a copy).
+        let mut classes: Vec<BroadcastClass> = Vec::new();
+        let mut class_of: Vec<usize> = Vec::with_capacity(self.clients.len());
+        let mut repaid: Vec<bool> = Vec::with_capacity(self.clients.len());
+        for (_, state) in self.clients.iter_mut() {
             if state.quarantined {
-                return;
+                class_of.push(usize::MAX);
+                repaid.push(false);
+                continue;
             }
-            // `screen` already reflects the commands being broadcast
-            // (the store is mutated before the driver call). COPY is
-            // the one non-idempotent command: applied on top of a
-            // snapshot that already contains its effect it scrolls
-            // twice wherever source and destination overlap. So a
-            // client owed a refresh — whose snapshot covers the whole
-            // view — must not receive this round's COPYs; and a
-            // client with partial overflow debt cannot soundly take a
-            // COPY either (the debt repaint may cover only part of
-            // the copy's footprint), so its debt escalates to a full
-            // refresh first. Idempotent repaints still flow: redundant
-            // over a snapshot, but they keep the content cache warm.
-            let has_copy = cmds
-                .iter()
-                .any(|c| matches!(c, DisplayCommand::Copy { .. }));
             if has_copy && state.buffer.has_overflow_debt() {
                 state.refresh_owed = true;
             }
-            let repaid = state.refresh_owed;
-            state.repay_refresh(screen);
+            repaid.push(state.refresh_owed);
+            let idx = match classes.iter().position(|c| c.policy == state.scale) {
+                Some(i) => i,
+                None => {
+                    classes.push(BroadcastClass {
+                        policy: state.scale,
+                        transformed: Vec::new(),
+                        refresh: None,
+                        refresh_wanted: false,
+                    });
+                    classes.len() - 1
+                }
+            };
+            classes[idx].refresh_wanted |= state.refresh_owed;
+            class_of.push(idx);
+        }
+        // Translate each class once, in parallel across classes.
+        let cmds = &cmds;
+        crate::parallel::for_each_mut(&mut classes, self.workers, |_, class| {
+            class.transformed = cmds
+                .iter()
+                .map(|c| {
+                    if class.policy.is_identity() {
+                        Some(c.clone())
+                    } else {
+                        class.policy.transform(c, screen)
+                    }
+                })
+                .collect();
+            if class.refresh_wanted {
+                class.refresh = shared_refresh(&class.policy, screen);
+            }
+        });
+        // Per-client fan-out: push the class's shared commands.
+        let classes = &classes;
+        let class_of = &class_of;
+        let repaid = &repaid;
+        crate::parallel::for_each_mut(&mut self.clients, self.workers, |i, (_, state)| {
+            let ci = class_of[i];
+            if ci == usize::MAX {
+                return;
+            }
+            let class = &classes[ci];
+            if state.refresh_owed {
+                state.refresh_owed = false;
+                if let Some(r) = &class.refresh {
+                    state.buffer.push(r.clone(), false);
+                }
+            }
             state.repay_debt(screen);
-            for cmd in cmds {
-                if repaid && matches!(cmd, DisplayCommand::Copy { .. }) {
+            for (cmd, shared) in cmds.iter().zip(&class.transformed) {
+                if repaid[i] && matches!(cmd, DisplayCommand::Copy { .. }) {
                     continue;
                 }
-                if state.scale.is_identity() {
-                    state.buffer.push(cmd.clone(), false);
-                } else if let Some(scaled) = state.scale.transform(cmd, screen) {
-                    state.buffer.push(scaled, false);
+                if let Some(sc) = shared {
+                    state.buffer.push(sc.clone(), false);
                 }
             }
         });
@@ -556,11 +629,39 @@ impl SharedSession {
     /// attached or resynced client is owed the full view even if
     /// nothing paints.
     pub fn repay_refreshes(&mut self, screen: &Framebuffer) {
-        crate::parallel::for_each_mut(&mut self.clients, self.workers, |_, (_, state)| {
+        // Same class sharing as `broadcast`: one refresh rendition per
+        // scale policy, cloned (= `Arc`-bumped) per owing client.
+        let mut classes: Vec<(ScalePolicy, Option<DisplayCommand>)> = Vec::new();
+        let mut class_of: Vec<usize> = Vec::with_capacity(self.clients.len());
+        for (_, state) in self.clients.iter() {
+            if state.quarantined || !state.refresh_owed {
+                class_of.push(usize::MAX);
+                continue;
+            }
+            let idx = match classes.iter().position(|(p, _)| *p == state.scale) {
+                Some(i) => i,
+                None => {
+                    classes.push((state.scale, None));
+                    classes.len() - 1
+                }
+            };
+            class_of.push(idx);
+        }
+        crate::parallel::for_each_mut(&mut classes, self.workers, |_, (policy, refresh)| {
+            *refresh = shared_refresh(policy, screen);
+        });
+        let classes = &classes;
+        let class_of = &class_of;
+        crate::parallel::for_each_mut(&mut self.clients, self.workers, |i, (_, state)| {
             if state.quarantined {
                 return;
             }
-            state.repay_refresh(screen);
+            if class_of[i] != usize::MAX {
+                state.refresh_owed = false;
+                if let Some(r) = &classes[class_of[i]].1 {
+                    state.buffer.push(r.clone(), false);
+                }
+            }
             state.repay_debt(screen);
         });
     }
@@ -640,7 +741,7 @@ impl SharedSession {
         if state.quarantined {
             return Vec::new();
         }
-        flush_client_state(state, now, pipe, trace)
+        flush_client_state(state, now, pipe, trace, None, &mut PlaneCounters::default())
     }
 
     /// Flushes **every** client's buffer, each over its own
@@ -661,37 +762,113 @@ impl SharedSession {
         &mut self,
         now: SimTime,
         links: &mut [(TcpPipe, PacketTrace)],
-    ) -> Vec<(ClientId, Vec<(SimTime, Message)>)> {
+    ) -> FlushOutput {
         assert_eq!(
             links.len(),
             self.clients.len(),
             "one (pipe, trace) link per attached client"
         );
+        // One encode-once plane per round: identical payloads across
+        // clients are compressed and framed a single time (see
+        // [`crate::plane`]); output bytes are unchanged.
+        let plane = WirePlane::new();
+        let ids = self.client_ids();
+        let (out, counters) = self.flush_subset_inner(now, &ids, links, Some(&plane));
+        self.fanout.merge(&counters);
+        out
+    }
+
+    /// Flushes the listed clients (a *shard* of the session), each
+    /// over its own link, optionally against a shared encode-once
+    /// [`WirePlane`] — the sharded manager passes one plane per epoch
+    /// so equivalence classes amortize across shards, not just within
+    /// one.
+    ///
+    /// `ids` must be sorted ascending and each must be attached;
+    /// `links[i]` pairs with `ids[i]`. Returns the per-client message
+    /// streams in id order plus this call's plane counters (also
+    /// accumulated into [`fanout_counters`](Self::fanout_counters)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links.len() != ids.len()` or an id is not attached.
+    pub fn flush_subset(
+        &mut self,
+        now: SimTime,
+        ids: &[ClientId],
+        links: &mut [(TcpPipe, PacketTrace)],
+        plane: Option<&WirePlane>,
+    ) -> (FlushOutput, PlaneCounters) {
+        let (out, counters) = self.flush_subset_inner(now, ids, links, plane);
+        self.fanout.merge(&counters);
+        (out, counters)
+    }
+
+    fn flush_subset_inner(
+        &mut self,
+        now: SimTime,
+        ids: &[ClientId],
+        links: &mut [(TcpPipe, PacketTrace)],
+        plane: Option<&WirePlane>,
+    ) -> (FlushOutput, PlaneCounters) {
+        assert_eq!(links.len(), ids.len(), "one (pipe, trace) link per flushed client");
         let mut jobs: Vec<_> = self
             .clients
             .iter_mut()
+            .filter(|(id, _)| ids.binary_search(id).is_ok())
             .zip(links.iter_mut())
-            .map(|((id, state), link)| (*id, state, link, Vec::new()))
+            .map(|((id, state), link)| {
+                (*id, state, link, Vec::new(), PlaneCounters::default())
+            })
             .collect();
-        let caught =
-            crate::parallel::try_for_each_mut(&mut jobs, self.workers, |_, (_, state, link, out)| {
+        assert_eq!(jobs.len(), ids.len(), "every flushed id must be attached");
+        let caught = crate::parallel::try_for_each_mut(
+            &mut jobs,
+            self.workers,
+            |_, (_, state, link, out, counters)| {
                 if state.quarantined {
                     return;
                 }
-                *out = flush_client_state(state, now, &mut link.0, &mut link.1);
-            });
+                *out = flush_client_state(state, now, &mut link.0, &mut link.1, plane, counters);
+            },
+        );
         // Panic containment: a client whose flush panicked is
         // quarantined — its partial output is discarded, the panic is
         // counted in its resilience metrics, and every other client's
         // output is delivered untouched.
-        for ((_, state, _, out), panic_msg) in jobs.iter_mut().zip(&caught) {
+        let mut total = PlaneCounters::default();
+        for ((_, state, _, out, counters), panic_msg) in jobs.iter_mut().zip(&caught) {
             if panic_msg.is_some() {
                 state.quarantined = true;
                 state.resilience.record_panic_quarantined();
                 out.clear();
+            } else {
+                total.merge(counters);
             }
         }
-        jobs.into_iter().map(|(id, _, _, out)| (id, out)).collect()
+        (
+            jobs.into_iter().map(|(id, _, _, out, _)| (id, out)).collect(),
+            total,
+        )
+    }
+
+    /// Cumulative encode-once plane counters over every flush round
+    /// so far (shared sends, amortized bytes, actual encodes).
+    pub fn fanout_counters(&self) -> PlaneCounters {
+        self.fanout
+    }
+
+    /// Total wire bytes sent to a client so far (fairness metric for
+    /// the fan-out gate).
+    pub fn client_sent_bytes(&self, id: ClientId) -> u64 {
+        self.state(id).map(|s| s.buffer.stats().sent_bytes).unwrap_or(0)
+    }
+
+    /// A client's enqueue-to-wire flush-latency histogram
+    /// (microseconds of virtual time), for cross-client percentile
+    /// merging.
+    pub fn client_flush_latency(&self, id: ClientId) -> Option<&thinc_telemetry::Histogram> {
+        self.state(id).map(|s| s.buffer.scheduler_metrics().flush_latency_us())
     }
 
     /// Applies a client's viewport change mid-session (window resize,
@@ -794,6 +971,8 @@ fn flush_client_state(
     now: SimTime,
     pipe: &mut TcpPipe,
     trace: &mut PacketTrace,
+    plane: Option<&WirePlane>,
+    counters: &mut PlaneCounters,
 ) -> Vec<(SimTime, Message)> {
     if state.poison_flush {
         state.poison_flush = false;
@@ -803,7 +982,7 @@ fn flush_client_state(
     let mut out = Vec::new();
     let mut i = 0;
     while i < state.pending_av.len() {
-        let size = thinc_protocol::wire::encode_message(&state.pending_av[i]).len() as u64;
+        let size = thinc_protocol::wire::encoded_len(&state.pending_av[i]);
         if pipe.would_block(now, size) {
             break;
         }
@@ -814,8 +993,38 @@ fn flush_client_state(
         // `remove` shifted; keep index at 0 semantics.
         i = 0;
     }
-    out.extend(state.buffer.flush(now, pipe, trace));
+    out.extend(state.buffer.flush_shared(now, pipe, trace, plane, counters));
     out
+}
+
+/// One scale-equivalence class of a broadcast round: the shared
+/// translation of the round's commands and (when any member owes one)
+/// the shared full-view refresh rendition.
+struct BroadcastClass {
+    policy: ScalePolicy,
+    transformed: Vec<Option<DisplayCommand>>,
+    refresh: Option<DisplayCommand>,
+    refresh_wanted: bool,
+}
+
+/// Renders the full-view refresh a [`ScalePolicy`] class is owed —
+/// the class-shared twin of [`ClientState::repay_refresh`], with the
+/// identical output bytes.
+fn shared_refresh(policy: &ScalePolicy, screen: &Framebuffer) -> Option<DisplayCommand> {
+    let (clip, data) = screen.get_raw(&policy.view);
+    if clip.is_empty() {
+        return None;
+    }
+    let cmd = DisplayCommand::Raw {
+        rect: clip,
+        encoding: thinc_protocol::commands::RawEncoding::None,
+        data: data.into(),
+    };
+    if policy.is_identity() {
+        Some(cmd)
+    } else {
+        policy.transform(&cmd, screen)
+    }
 }
 
 /// Feeds one flush epoch of this client's link telemetry to its

@@ -263,7 +263,7 @@ impl Translator {
         let cmd = DisplayCommand::Raw {
             rect,
             encoding: RawEncoding::None,
-            data: data.to_vec(),
+            data: data.to_vec().into(),
         };
         self.route(store, target, cmd)
     }
@@ -311,7 +311,7 @@ impl Translator {
         Some(DisplayCommand::Raw {
             rect: clip,
             encoding: RawEncoding::None,
-            data,
+            data: data.into(),
         })
     }
 

@@ -277,7 +277,7 @@ mod tests {
         let raw = Message::Display(DisplayCommand::Raw {
             rect: Rect::new(0, 0, 8, 8),
             encoding: RawEncoding::None,
-            data: vec![7; 8 * 8 * 3],
+            data: vec![7; 8 * 8 * 3].into(),
         });
         let enc = crate::wire::encode_message(&raw);
         assert!(cache_key(&raw, &enc).is_some());
@@ -287,7 +287,7 @@ mod tests {
         let tiny = Message::Display(DisplayCommand::Raw {
             rect: Rect::new(0, 0, 2, 2),
             encoding: RawEncoding::None,
-            data: vec![7; 12],
+            data: vec![7; 12].into(),
         });
         let enc = crate::wire::encode_message(&tiny);
         assert!(cache_key(&tiny, &enc).is_none(), "below the size floor");

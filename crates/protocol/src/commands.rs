@@ -7,6 +7,7 @@
 //! §5) — and its destination rectangle, which the command queues use
 //! for overlap analysis.
 
+use crate::payload::Bytes;
 use thinc_raster::{Color, Rect};
 
 /// How a `RAW` command's pixel payload is encoded on the wire.
@@ -42,8 +43,9 @@ pub enum DisplayCommand {
         rect: Rect,
         /// Payload encoding.
         encoding: RawEncoding,
-        /// Pixel payload (possibly compressed).
-        data: Vec<u8>,
+        /// Pixel payload (possibly compressed), `Arc`-shared so a
+        /// broadcast fan-out clones references, not bytes.
+        data: Bytes,
     },
     /// Copy a framebuffer area to the specified coordinates — pure
     /// client-side operation, nearly free on the wire.
@@ -163,7 +165,7 @@ mod tests {
         DisplayCommand::Raw {
             rect: Rect::new(0, 0, w, h),
             encoding: RawEncoding::None,
-            data: vec![0; (w * h * 3) as usize],
+            data: vec![0; (w * h * 3) as usize].into(),
         }
     }
 

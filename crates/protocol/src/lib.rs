@@ -34,11 +34,13 @@ pub mod cache;
 pub mod commands;
 pub mod hash;
 pub mod message;
+pub mod payload;
 pub mod telemetry;
 pub mod wire;
 
 pub use cache::{CacheLru, CACHE_MIN_PAYLOAD, DEFAULT_CACHE_BUDGET};
 pub use commands::{DisplayCommand, RawEncoding, Tile};
+pub use payload::Bytes;
 pub use hash::fnv64;
 pub use message::{Message, ProtocolInput};
 pub use wire::{

@@ -214,7 +214,7 @@ impl Message {
     /// Exact for all variants (verified by the wire tests): header
     /// plus payload.
     pub fn wire_size(&self) -> u64 {
-        crate::wire::encode_message(self).len() as u64
+        crate::wire::encoded_len(self)
     }
 
     /// Whether this message flows server → client.

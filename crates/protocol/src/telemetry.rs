@@ -86,7 +86,7 @@ mod tests {
                 DisplayCommand::Raw {
                     rect: Rect::new(0, 0, 2, 2),
                     encoding: crate::commands::RawEncoding::None,
-                    data: vec![0; 16],
+                    data: vec![0; 16].into(),
                 },
                 CommandKind::Raw,
             ),

@@ -297,7 +297,11 @@ fn decode_command(buf: &mut &[u8]) -> Result<DisplayCommand, DecodeError> {
                 _ => return Err(DecodeError::Malformed("raw encoding")),
             };
             let data = get_bytes(buf)?;
-            Ok(DisplayCommand::Raw { rect, encoding, data })
+            Ok(DisplayCommand::Raw {
+                rect,
+                encoding,
+                data: data.into(),
+            })
         }
         CMD_COPY => {
             let src_rect = get_rect(buf)?;
@@ -367,10 +371,14 @@ fn yuv_from_tag(t: u8) -> Result<YuvFormat, DecodeError> {
     }
 }
 
-/// Encodes a message into a framed byte vector.
-pub fn encode_message(msg: &Message) -> Vec<u8> {
-    let mut payload = Vec::new();
-    let tag = match msg {
+/// Appends `msg`'s body bytes to `out` and returns its type tag.
+///
+/// This is the shared payload serializer behind both framings; the
+/// caller reserves header space first and patches it afterwards, so
+/// one reusable buffer serves every encode with zero per-call
+/// allocations once warm.
+fn encode_body(msg: &Message, payload: &mut Vec<u8>) -> u8 {
+    match msg {
         Message::ServerHello {
             version,
             width,
@@ -394,7 +402,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             MSG_CLIENT_HELLO
         }
         Message::Display(cmd) => {
-            encode_command(cmd, &mut payload);
+            encode_command(cmd, payload);
             MSG_DISPLAY
         }
         Message::VideoInit {
@@ -408,7 +416,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             payload.put_u8(yuv_tag(*format));
             payload.put_u32_le(*src_width);
             payload.put_u32_le(*src_height);
-            put_rect(&mut payload, dst);
+            put_rect(payload, dst);
             MSG_VIDEO_INIT
         }
         Message::VideoData {
@@ -420,12 +428,12 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             payload.put_u32_le(*id);
             payload.put_u32_le(*seq);
             payload.put_u64_le(*timestamp_us);
-            put_bytes(&mut payload, data);
+            put_bytes(payload, data);
             MSG_VIDEO_DATA
         }
         Message::VideoMove { id, dst } => {
             payload.put_u32_le(*id);
-            put_rect(&mut payload, dst);
+            put_rect(payload, dst);
             MSG_VIDEO_MOVE
         }
         Message::VideoEnd { id } => {
@@ -439,7 +447,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
         } => {
             payload.put_u32_le(*seq);
             payload.put_u64_le(*timestamp_us);
-            put_bytes(&mut payload, data);
+            put_bytes(payload, data);
             MSG_AUDIO
         }
         Message::Input(input) => {
@@ -481,7 +489,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             MSG_RESIZE
         }
         Message::SetView { view } => {
-            put_rect(&mut payload, view);
+            put_rect(payload, view);
             MSG_SET_VIEW
         }
         Message::CursorShape {
@@ -495,7 +503,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             payload.put_u32_le(*height);
             payload.put_i32_le(*hot_x);
             payload.put_i32_le(*hot_y);
-            put_bytes(&mut payload, pixels);
+            put_bytes(payload, pixels);
             MSG_CURSOR_SHAPE
         }
         Message::CursorMove { x, y } => {
@@ -525,29 +533,67 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             payload.put_u64_le(*hash);
             MSG_CACHE_MISS
         }
-    };
-    let mut out = Vec::with_capacity(payload.len() + LEGACY_HEADER_LEN);
-    out.put_u8(tag);
-    out.put_u32_le(payload.len() as u32);
-    out.extend_from_slice(&payload);
+    }
+}
+
+/// Encodes a message into a framed byte vector.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_message_into(msg, &mut out);
     out
+}
+
+/// Encodes a message as a revision-1 frame into `out` (cleared first).
+///
+/// The allocation-free twin of [`encode_message`]: callers that
+/// encode in a loop (wire sizing, cache-key hashing, flush paths)
+/// keep one buffer warm instead of allocating per message.
+pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(LEGACY_HEADER_LEN, 0);
+    let tag = encode_body(msg, out);
+    let len = (out.len() - LEGACY_HEADER_LEN) as u32;
+    out[0] = tag;
+    out[1..5].copy_from_slice(&len.to_le_bytes());
+}
+
+/// The revision-1 encoded length of a message, computed through a
+/// thread-local scratch buffer so sizing loops do not allocate.
+pub fn encoded_len(msg: &Message) -> u64 {
+    use std::cell::RefCell;
+    thread_local! {
+        static SIZER: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+    }
+    SIZER.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        encode_message_into(msg, &mut buf);
+        buf.len() as u64
+    })
 }
 
 /// Encodes a message as a revision-2 integrity frame carrying `seq`:
 /// `[tag][payload_len][seq][crc32][payload]`, where the CRC covers
 /// everything except the CRC field itself.
 pub fn encode_message_seq(msg: &Message, seq: u32) -> Vec<u8> {
-    let legacy = encode_message(msg);
-    let mut out = Vec::with_capacity(legacy.len() + 8);
-    out.extend_from_slice(&legacy[..LEGACY_HEADER_LEN]);
-    out.put_u32_le(seq);
-    out.put_u32_le(0); // CRC placeholder.
-    out.extend_from_slice(&legacy[LEGACY_HEADER_LEN..]);
+    let mut out = Vec::new();
+    encode_message_seq_into(msg, seq, &mut out);
+    out
+}
+
+/// Encodes a revision-2 integrity frame into `out` (cleared first),
+/// the allocation-free twin of [`encode_message_seq`].
+pub fn encode_message_seq_into(msg: &Message, seq: u32, out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(INTEGRITY_HEADER_LEN, 0);
+    let tag = encode_body(msg, out);
+    let len = (out.len() - INTEGRITY_HEADER_LEN) as u32;
+    out[0] = tag;
+    out[1..5].copy_from_slice(&len.to_le_bytes());
+    out[5..9].copy_from_slice(&seq.to_le_bytes());
     let mut crc = crc32_update(!0, &out[..9]);
     crc = crc32_update(crc, &out[INTEGRITY_HEADER_LEN..]);
     let crc = crc ^ !0;
     out[9..13].copy_from_slice(&crc.to_le_bytes());
-    out
 }
 
 /// Whether `msg` is a handshake message, which keeps revision-1
@@ -1126,7 +1172,7 @@ mod tests {
             Message::Display(DisplayCommand::Raw {
                 rect: Rect::new(-3, 7, 5, 6),
                 encoding: RawEncoding::PngLike,
-                data: vec![1, 2, 3, 4, 5],
+                data: vec![1, 2, 3, 4, 5].into(),
             }),
             Message::Display(DisplayCommand::Copy {
                 src_rect: Rect::new(0, 0, 100, 50),
@@ -1604,14 +1650,14 @@ mod tests {
         let probe = Message::Display(DisplayCommand::Raw {
             rect: Rect::new(0, 0, 1, 1),
             encoding: RawEncoding::PngLike,
-            data: Vec::new(),
+            data: Vec::new().into(),
         });
         let overhead = encode_message(&probe).len() - LEGACY_HEADER_LEN;
         let data_len = payload_budget - overhead;
         let msg = Message::Display(DisplayCommand::Raw {
             rect: Rect::new(0, 0, 1, 1),
             encoding: RawEncoding::PngLike,
-            data: vec![0xA5; data_len],
+            data: vec![0xA5; data_len].into(),
         });
         let bytes = encode_message_seq(&msg, 0);
         assert_eq!(bytes.len(), INTEGRITY_HEADER_LEN + payload_budget);

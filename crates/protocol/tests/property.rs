@@ -25,7 +25,7 @@ fn arb_command() -> impl Strategy<Value = DisplayCommand> {
             |(rect, png, data)| DisplayCommand::Raw {
                 rect,
                 encoding: if png { RawEncoding::PngLike } else { RawEncoding::None },
-                data,
+                data: data.into(),
             }
         ),
         (arb_rect(), any::<i16>(), any::<i16>()).prop_map(|(src_rect, x, y)| {

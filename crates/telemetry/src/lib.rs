@@ -51,11 +51,13 @@ mod command;
 mod metrics;
 mod resilience;
 mod session;
+mod shard;
 mod timeline;
 
 pub use command::CommandKind;
 pub use metrics::{Counter, Gauge, Histogram};
 pub use resilience::{ResilienceMetrics, ResilienceSnapshot};
+pub use shard::ShardMetrics;
 pub use session::{
     ClientMetrics, ClientSnapshot, CommandRow, NetMetrics, NetSnapshot, ProtocolMetrics,
     SchedulerMetrics, SchedulerSnapshot, SessionTelemetry, TelemetrySnapshot, TranslatorMetrics,
