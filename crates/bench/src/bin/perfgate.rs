@@ -18,7 +18,10 @@
 //! kernel *speedup ratios* (machine-independent) and the
 //! virtual-time-deterministic macro metrics must not regress by more
 //! than `--threshold` (default 0.15). Absolute ns/op numbers are
-//! reported but never gated.
+//! reported but never gated. On top of the relative baseline, the
+//! four rewritten straggler kernels (`bitmap_rect`, `convert`,
+//! `yuv_pack`, `scale_fant`) carry absolute ≥3x speedup floors that
+//! fail the gate outright.
 //!
 //! Usage:
 //!   perfgate [--quick] [--threshold 0.15] [--write-baseline]
@@ -1181,6 +1184,31 @@ fn main() {
         higher_is_better: false,
         timing_derived: true,
     });
+
+    // The four rewritten straggler kernels carry absolute speedup
+    // floors (the "kernel war" acceptance bar): dropping below 3x
+    // against the retained reference is a hard failure regardless of
+    // what the baseline file says. The other kernels gate only
+    // relatively, via the baseline.
+    const KERNEL_FLOORS: [(&str, f64); 4] = [
+        ("bitmap_rect", 3.0),
+        ("convert", 3.0),
+        ("yuv_pack", 3.0),
+        ("scale_fant", 3.0),
+    ];
+    for (name, floor) in KERNEL_FLOORS {
+        let k = kernels
+            .iter()
+            .find(|k| k.name == name)
+            .unwrap_or_else(|| panic!("floored kernel {name} missing from suite"));
+        if k.speedup() < floor {
+            eprintln!(
+                "FAIL: kernel {name} speedup {:.2}x is below its {floor:.1}x floor",
+                k.speedup()
+            );
+            std::process::exit(1);
+        }
+    }
 
     if !par.1 {
         eprintln!("FAIL: parallel flush output differs across worker counts");

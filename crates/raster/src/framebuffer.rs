@@ -214,14 +214,63 @@ impl Framebuffer {
             return;
         }
         let bpp = self.format.bytes_per_pixel();
-        let mut fg_px = [0u8; 4];
-        self.format.encode(fg, &mut fg_px[..bpp]);
+        let (fg_px, _) = self.format.encode_to_array(fg);
         let mut bg_px = [0u8; 4];
         if let Some(bg) = bg {
-            self.format.encode(bg, &mut bg_px[..bpp]);
+            bg_px = self.format.encode_to_array(bg).0;
         }
         let x0 = (clip.x - r.x) as usize;
         let x_end = x0 + clip.w as usize;
+        // Opaque glyph path: expand each possible bitmap byte to its
+        // 8-pixel byte pattern once (256 × 8·bpp table), then every
+        // interior bitmap byte becomes a single table blit — no
+        // per-bit tests at all. Partial leading/trailing bytes fall
+        // back to per-pixel writes. The run-based path below stays for
+        // transparent stipples (bg = None, where 0 bits must not
+        // write) and rects too small to amortize the table build.
+        if bg.is_some() && clip.w >= 16 && clip.w as usize * clip.h as usize >= 1024 {
+            let mut table = vec![0u8; 256 * 8 * bpp];
+            for v in 0..256usize {
+                let row = &mut table[v * 8 * bpp..][..8 * bpp];
+                for bit in 0..8 {
+                    let px = if v & (0x80 >> bit) != 0 {
+                        &fg_px[..bpp]
+                    } else {
+                        &bg_px[..bpp]
+                    };
+                    row[bit * bpp..(bit + 1) * bpp].copy_from_slice(px);
+                }
+            }
+            // Bitmap byte b covers bits [8b, 8b+8); full bytes are the
+            // ones wholly inside [x0, x_end). clip.w >= 16 guarantees
+            // at least one.
+            let first_full = x0.div_ceil(8);
+            let last_full = x_end / 8;
+            debug_assert!(first_full < last_full);
+            for y in clip.y..clip.bottom() {
+                let by = (y - r.y) as usize;
+                let brow = &bits[by * row_bytes..(by + 1) * row_bytes];
+                let row_off = self.offset(clip.x, y);
+                let row = &mut self.data[row_off..row_off + clip.w as usize * bpp];
+                let mut put = |bx: usize| {
+                    let on = brow[bx / 8] & (0x80 >> (bx % 8)) != 0;
+                    let px = if on { &fg_px[..bpp] } else { &bg_px[..bpp] };
+                    row[(bx - x0) * bpp..(bx - x0 + 1) * bpp].copy_from_slice(px);
+                };
+                for bx in x0..first_full * 8 {
+                    put(bx);
+                }
+                for bx in last_full * 8..x_end {
+                    put(bx);
+                }
+                for b in first_full..last_full {
+                    let dst = (b * 8 - x0) * bpp;
+                    row[dst..dst + 8 * bpp]
+                        .copy_from_slice(&table[brow[b] as usize * 8 * bpp..][..8 * bpp]);
+                }
+            }
+            return;
+        }
         for y in clip.y..clip.bottom() {
             let by = (y - r.y) as usize;
             let brow = &bits[by * row_bytes..(by + 1) * row_bytes];
@@ -337,48 +386,57 @@ impl Framebuffer {
     }
 
     /// Converts the full framebuffer to another pixel format.
+    ///
+    /// Every (source, destination) format pair is monomorphized to a
+    /// loop over const-width pixel arrays (`as_chunks`), so the
+    /// decode/encode matches constant-fold away and the bodies are
+    /// straight lane arithmetic or fixed-size array stores the
+    /// compiler can vectorize. `Indexed8` sources expand through a
+    /// 256-entry table of fixed-size arrays (one whole-array store per
+    /// pixel, no runtime-width `copy_from_slice`).
     pub fn convert(&self, format: PixelFormat) -> Framebuffer {
         if format == self.format {
             return self.clone();
         }
         let mut out = Framebuffer::new(self.width, self.height, format);
-        let sbpp = self.format.bytes_per_pixel();
-        let dbpp = format.bytes_per_pixel();
+        use PixelFormat as PF;
+        let src = &self.data;
+        let dst = &mut out.data;
         match (self.format, format) {
-            (PixelFormat::Rgb888, PixelFormat::Rgba8888) => {
-                for (s, d) in self.data.chunks_exact(3).zip(out.data.chunks_exact_mut(4)) {
-                    d[..3].copy_from_slice(s);
-                    d[3] = 255;
-                }
+            (PF::Rgb888, PF::Rgba8888) => {
+                convert_px::<3, 4>(src, dst, |s, d| *d = [s[0], s[1], s[2], 255]);
             }
-            (PixelFormat::Rgba8888, PixelFormat::Rgb888) => {
-                for (s, d) in self.data.chunks_exact(4).zip(out.data.chunks_exact_mut(3)) {
-                    d.copy_from_slice(&s[..3]);
-                }
+            (PF::Rgba8888, PF::Rgb888) => {
+                convert_px::<4, 3>(src, dst, |s, d| *d = [s[0], s[1], s[2]]);
             }
-            (PixelFormat::Indexed8, _) => {
-                // One decode+encode per possible palette byte, then the
-                // conversion is a table lookup per pixel.
-                let mut lut = [[0u8; 4]; 256];
-                for (i, e) in lut.iter_mut().enumerate() {
-                    let c = PixelFormat::Indexed8.decode(&[i as u8]);
-                    format.encode(c, &mut e[..dbpp]);
-                }
-                for (s, d) in self.data.iter().zip(out.data.chunks_exact_mut(dbpp)) {
-                    d.copy_from_slice(&lut[*s as usize][..dbpp]);
-                }
+            (PF::Indexed8, PF::Rgb565) => lut_expand::<2>(src, dst, format),
+            (PF::Indexed8, PF::Rgb888) => lut_expand::<3>(src, dst, format),
+            (PF::Indexed8, PF::Rgba8888) => lut_expand::<4>(src, dst, format),
+            (PF::Rgb565, PF::Indexed8) => {
+                convert_px::<2, 1>(src, dst, |s, d| PF::Indexed8.encode(PF::Rgb565.decode(s), d));
             }
-            _ => {
-                // Generic path: straight-line decode/encode over packed
-                // rows — no per-pixel offset math or bounds branches.
-                for (s, d) in self
-                    .data
-                    .chunks_exact(sbpp)
-                    .zip(out.data.chunks_exact_mut(dbpp))
-                {
-                    format.encode(self.format.decode(s), d);
-                }
+            (PF::Rgb565, PF::Rgb888) => {
+                convert_px::<2, 3>(src, dst, |s, d| PF::Rgb888.encode(PF::Rgb565.decode(s), d));
             }
+            (PF::Rgb565, PF::Rgba8888) => {
+                convert_px::<2, 4>(src, dst, |s, d| PF::Rgba8888.encode(PF::Rgb565.decode(s), d));
+            }
+            (PF::Rgb888, PF::Indexed8) => {
+                convert_px::<3, 1>(src, dst, |s, d| PF::Indexed8.encode(PF::Rgb888.decode(s), d));
+            }
+            (PF::Rgb888, PF::Rgb565) => {
+                convert_px::<3, 2>(src, dst, |s, d| PF::Rgb565.encode(PF::Rgb888.decode(s), d));
+            }
+            (PF::Rgba8888, PF::Indexed8) => {
+                convert_px::<4, 1>(src, dst, |s, d| PF::Indexed8.encode(PF::Rgba8888.decode(s), d));
+            }
+            (PF::Rgba8888, PF::Rgb565) => {
+                convert_px::<4, 2>(src, dst, |s, d| PF::Rgb565.encode(PF::Rgba8888.decode(s), d));
+            }
+            (PF::Indexed8, PF::Indexed8)
+            | (PF::Rgb565, PF::Rgb565)
+            | (PF::Rgb888, PF::Rgb888)
+            | (PF::Rgba8888, PF::Rgba8888) => unreachable!("identity handled above"),
         }
         out
     }
@@ -412,6 +470,35 @@ fn bit_run_len(brow: &[u8], start: usize, end: usize, on: bool) -> usize {
         bx += 1;
     }
     bx - start
+}
+
+/// Applies a fixed-width per-pixel recode over packed buffers. The
+/// const widths make every load/store a whole-array access, so the
+/// per-format closures compile to branch-free loop bodies.
+#[inline]
+fn convert_px<const S: usize, const D: usize>(
+    src: &[u8],
+    dst: &mut [u8],
+    f: impl Fn(&[u8; S], &mut [u8; D]),
+) {
+    let (s, _) = src.as_chunks::<S>();
+    let (d, _) = dst.as_chunks_mut::<D>();
+    for (sp, dp) in s.iter().zip(d) {
+        f(sp, dp);
+    }
+}
+
+/// Expands `Indexed8` bytes through a palette table of fixed-size
+/// pixel arrays: one indexed load and one whole-array store per pixel.
+fn lut_expand<const D: usize>(src: &[u8], dst: &mut [u8], to: PixelFormat) {
+    let mut lut = [[0u8; D]; 256];
+    for (i, e) in lut.iter_mut().enumerate() {
+        to.encode(PixelFormat::Indexed8.decode(&[i as u8]), e);
+    }
+    let (d, _) = dst.as_chunks_mut::<D>();
+    for (&s, dp) in src.iter().zip(d) {
+        *dp = lut[s as usize];
+    }
 }
 
 /// Fills `span` with the repeating pixel `px` (1–4 bytes): memset when

@@ -135,6 +135,18 @@ impl PixelFormat {
         }
     }
 
+    /// Encodes `c` into a fixed 4-byte buffer, returning the buffer
+    /// and the number of valid leading bytes (`bytes_per_pixel`) —
+    /// the shape the span/run kernels want for a stack-held splat
+    /// pixel without a per-call heap allocation.
+    #[inline]
+    pub fn encode_to_array(self, c: Color) -> ([u8; 4], usize) {
+        let mut px = [0u8; 4];
+        let n = self.bytes_per_pixel();
+        self.encode(c, &mut px[..n]);
+        (px, n)
+    }
+
     /// Decodes one pixel from `buf` (must be exactly `bytes_per_pixel`).
     ///
     /// Formats without alpha decode as fully opaque. Lossy formats decode

@@ -219,10 +219,15 @@ pub fn scale_nearest(src: &Framebuffer, dst_w: u32, dst_h: u32) -> Framebuffer {
     dst
 }
 
-/// Naive simplified-Fant scaling: recomputes every span weight per
-/// row/column and goes through `get_pixel`/`set_pixel` (the
-/// pre-optimization kernel, kept byte-for-byte including its
-/// floating-point evaluation order).
+/// Naive simplified-Fant scaling under the fixed-point rounding
+/// contract documented in [`crate::scale`]: recomputes every integer
+/// span weight per line and goes through `get_pixel`/`set_pixel`.
+///
+/// A destination pixel is `⌊(num + ⌊den/2⌋)/den⌋` with `den = sw·sh`
+/// and `num = Σ_y w_y Σ_x w_x · p(x,y)` — identical rational and
+/// rounding as the optimized planar kernel, arrived at one pixel at a
+/// time with per-line recomputation (the executable specification the
+/// equivalence proptests hold the optimized kernel to).
 pub fn scale_fant(src: &Framebuffer, dst_w: u32, dst_h: u32) -> Framebuffer {
     let mut dst = Framebuffer::new(dst_w, dst_h, src.format());
     if dst_w == 0 || dst_h == 0 || src.width() == 0 || src.height() == 0 {
@@ -232,61 +237,59 @@ pub fn scale_fant(src: &Framebuffer, dst_w: u32, dst_h: u32) -> Framebuffer {
     let sh = src.height() as usize;
     let dw = dst_w as usize;
     let dh = dst_h as usize;
-    let mut mid = vec![[0f32; 4]; sh * dw];
+    // Horizontal pass: numerators Σ w·p (weights in units of 1/dw,
+    // summing to sw per output).
+    let mut mid = vec![[0u64; 4]; sh * dw];
     for y in 0..sh {
-        let mut row_in: Vec<[f32; 4]> = Vec::with_capacity(sw);
+        let mut row_in: Vec<[u64; 4]> = Vec::with_capacity(sw);
         for x in 0..sw {
             let c = src.get_pixel(x as i32, y as i32).expect("in bounds");
-            row_in.push([c.r as f32, c.g as f32, c.b as f32, c.a as f32]);
+            row_in.push([c.r as u64, c.g as u64, c.b as u64, c.a as u64]);
         }
         resample_line(&row_in, &mut mid[y * dw..(y + 1) * dw]);
     }
-    let mut col_in: Vec<[f32; 4]> = vec![[0f32; 4]; sh];
-    let mut col_out: Vec<[f32; 4]> = vec![[0f32; 4]; dh];
+    // Vertical pass over the horizontal numerators, then round half up
+    // against the combined denominator.
+    let den = sw as u64 * sh as u64;
+    let half = den / 2;
+    let mut col_in: Vec<[u64; 4]> = vec![[0u64; 4]; sh];
+    let mut col_out: Vec<[u64; 4]> = vec![[0u64; 4]; dh];
     for x in 0..dw {
         for y in 0..sh {
             col_in[y] = mid[y * dw + x];
         }
         resample_line(&col_in, &mut col_out);
         for (y, p) in col_out.iter().copied().enumerate().take(dh) {
-            let q = |v: f32| -> u8 { (v + 0.5).clamp(0.0, 255.0) as u8 };
+            let q = |v: u64| -> u8 { ((v + half) / den) as u8 };
             dst.set_pixel(x as i32, y as i32, Color::rgba(q(p[0]), q(p[1]), q(p[2]), q(p[3])));
         }
     }
     dst
 }
 
-/// The original per-call area-weighting resampler (weights recomputed
-/// for every line).
-fn resample_line(input: &[[f32; 4]], out: &mut [[f32; 4]]) {
-    let n = input.len() as f64;
-    let m = out.len() as f64;
+/// The per-call area-weighting resampler (integer weights recomputed
+/// for every line): `out[i] = Σ_s w(i,s)·in[s]` with
+/// `w(i,s) = min((i+1)n, (s+1)m) − max(i·n, s·m)` in units of `1/m`.
+fn resample_line(input: &[[u64; 4]], out: &mut [[u64; 4]]) {
     if input.is_empty() || out.is_empty() {
         return;
     }
-    let step = n / m;
+    let n = input.len() as u64;
+    let m = out.len() as u64;
     for (i, o) in out.iter_mut().enumerate() {
-        let lo = i as f64 * step;
-        let hi = lo + step;
-        let mut acc = [0f64; 4];
-        let mut total = 0f64;
-        let first = lo.floor() as usize;
-        let last = (hi.ceil() as usize).min(input.len());
+        let lo = i as u64 * n;
+        let hi = lo + n;
+        let first = (lo / m) as usize;
+        let last = (hi.div_ceil(m) as usize).min(input.len());
+        let mut acc = [0u64; 4];
         for (s, sample) in input.iter().enumerate().take(last).skip(first) {
-            let s_lo = s as f64;
-            let s_hi = s_lo + 1.0;
-            let overlap = (hi.min(s_hi) - lo.max(s_lo)).max(0.0);
-            if overlap > 0.0 {
-                for k in 0..4 {
-                    acc[k] += sample[k] as f64 * overlap;
-                }
-                total += overlap;
-            }
-        }
-        if total > 0.0 {
+            let s_lo = s as u64 * m;
+            let s_hi = s_lo + m;
+            let overlap = hi.min(s_hi).saturating_sub(lo.max(s_lo));
             for k in 0..4 {
-                o[k] = (acc[k] / total) as f32;
+                acc[k] += sample[k] * overlap;
             }
         }
+        *o = acc;
     }
 }
