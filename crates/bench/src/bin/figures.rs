@@ -317,6 +317,10 @@ fn breakdown_table(title: &str, t: &thinc_telemetry::SessionTelemetry) -> String
         r.reconnects,
         r.resyncs,
     ));
+    out.push_str(&format!(
+        "  failover: {} warm resumes, {} cold fallbacks\n",
+        r.resumes, r.cold_fallbacks,
+    ));
     out
 }
 
@@ -480,6 +484,157 @@ fn integrity_telemetry() -> thinc_telemetry::SessionTelemetry {
     t
 }
 
+/// A checkpoint/failover mini-session: two converged viewers survive
+/// a server crash. One redials with a matching resume token (warm —
+/// only the checkpoint-vs-live delta ships), the other presents a
+/// stale store digest (cold fallback — full retransmit). The merged
+/// telemetry reports one nonzero `resumes` and one nonzero
+/// `cold_fallbacks`, so the failover counters are greppable in the
+/// CI telemetry smoke step.
+fn failover_telemetry() -> thinc_telemetry::SessionTelemetry {
+    use thinc_client::StreamClient;
+    use thinc_core::checkpoint::ResumeOutcome;
+    use thinc_core::session::{Credentials, SharedSession};
+    use thinc_display::drawable::DrawableStore;
+    use thinc_display::driver::VideoDriver;
+    use thinc_display::SCREEN;
+    use thinc_net::time::SimTime;
+    use thinc_net::trace::PacketTrace;
+    use thinc_protocol::message::Message;
+    use thinc_protocol::wire::{self, FrameEncoder};
+    use thinc_protocol::PROTOCOL_VERSION;
+    use thinc_raster::PixelFormat;
+
+    const SW: u32 = 96;
+    const SH: u32 = 64;
+    let seed = 0xFA11_u64;
+
+    let mut session = SharedSession::new(SW, SH, PixelFormat::Rgb888, "host").with_cache(32 * 1024);
+    session.auth_mut().enable_sharing("pw");
+    let warm_id = session
+        .attach(&Credentials::Owner { user: "host".into() }, SW, SH)
+        .expect("owner attaches");
+    let cold_id = session
+        .attach(
+            &Credentials::Peer { user: "viewer".into(), password: "pw".into() },
+            SW,
+            SH,
+        )
+        .expect("peer attaches");
+    let ids = [warm_id, cold_id];
+    let mut store = DrawableStore::new(SW, SH, PixelFormat::Rgb888);
+    let mut streams: Vec<StreamClient> = (0..2)
+        .map(|_| {
+            let mut c =
+                StreamClient::new(SW, SH, PixelFormat::Rgb888).with_cache_budget(32 * 1024);
+            c.feed(&wire::encode_message(&Message::ServerHello {
+                version: PROTOCOL_VERSION,
+                width: SW,
+                height: SH,
+                depth: 24,
+            }));
+            c
+        })
+        .collect();
+    let mut encoders = vec![
+        FrameEncoder::with_revision(PROTOCOL_VERSION),
+        FrameEncoder::with_revision(PROTOCOL_VERSION),
+    ];
+    let mut links = vec![
+        (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+    ];
+    let pump = |session: &mut SharedSession,
+                streams: &mut Vec<StreamClient>,
+                encoders: &mut Vec<FrameEncoder>,
+                links: &mut Vec<_>,
+                now: SimTime| {
+        for (j, (_, msgs)) in session.flush_all(now, links).into_iter().enumerate() {
+            for (_, msg) in msgs {
+                streams[j].feed(&encoders[j].encode(&msg));
+            }
+        }
+        for (j, &id) in ids.iter().enumerate() {
+            while let Some(Message::CacheMiss { hash }) = streams[j].take_cache_miss() {
+                session.client_cache_miss(id, hash);
+            }
+        }
+    };
+    // Converge both viewers, take the crash image, keep drawing while
+    // the standby spins up.
+    let mut x = seed | 1;
+    let band: Vec<u8> = (0..(SW as usize) * 16 * 3)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) as u8
+        })
+        .collect();
+    store.screen_mut().put_raw(&Rect::new(0, 16, SW, 16), &band);
+    session.put_image(&store, SCREEN, Rect::new(0, 16, SW, 16), &band);
+    for r in 0..50u64 {
+        pump(&mut session, &mut streams, &mut encoders, &mut links, SimTime(10_000 + r * 5_000));
+        if ids.iter().all(|&id| session.backlog(id) == 0) {
+            break;
+        }
+    }
+    let image = session.checkpoint(store.screen());
+    drop(session);
+    store.screen_mut().put_raw(&Rect::new(0, 40, SW, 16), &band);
+    let mut standby = SharedSession::restore(&image).expect("crash image restores");
+    standby.set_time(SimTime(1_000_000));
+    standby.put_image(&store, SCREEN, Rect::new(0, 40, SW, 16), &band);
+    let sid = standby.session_id();
+    // Warm redial with the matching token; stale redial falls cold.
+    for (j, &id) in ids.iter().enumerate() {
+        assert!(streams[j].resume(), "drained reader allows resume");
+        let Message::SessionResume { last_seq, store_digest, .. } =
+            streams[j].resume_token(sid, id.0)
+        else {
+            unreachable!()
+        };
+        let digest = if j == 0 { store_digest } else { store_digest ^ 0xDEAD };
+        match standby.resume_client(sid, id, digest, store.screen()) {
+            ResumeOutcome::Warm { .. } => encoders[j].set_next_seq(last_seq.wrapping_add(1)),
+            ResumeOutcome::Cold { .. } => {
+                streams[j].feed(&wire::encode_message(&Message::ServerHello {
+                    version: PROTOCOL_VERSION,
+                    width: SW,
+                    height: SH,
+                    depth: 24,
+                }));
+                encoders[j] = FrameEncoder::with_revision(PROTOCOL_VERSION);
+            }
+        }
+    }
+    let mut links = vec![
+        (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+    ];
+    for r in 0..100u64 {
+        pump(&mut standby, &mut streams, &mut encoders, &mut links, SimTime(1_100_000 + r * 5_000));
+        if ids.iter().all(|&id| standby.backlog(id) == 0)
+            && streams.iter().all(|s| s.pending_bytes() == 0)
+        {
+            break;
+        }
+    }
+    for (j, _) in ids.iter().enumerate() {
+        assert_eq!(
+            streams[j].client().framebuffer().data(),
+            store.screen().data(),
+            "viewer {j} converges after failover"
+        );
+    }
+    let mut t = thinc_telemetry::SessionTelemetry::new(thinc_core::scheduler::NUM_QUEUES);
+    for &id in &ids {
+        t.resilience.merge(&standby.client_resilience(id).expect("attached"));
+    }
+    for s in &streams {
+        t.resilience.merge(s.resilience_metrics());
+    }
+    t
+}
+
 /// Per-command protocol breakdown for a web and a video session,
 /// from the end-to-end telemetry layer (`docs/TELEMETRY.md`).
 fn telemetry_report(opts: &Options, jsonl: Option<&str>) -> String {
@@ -524,6 +679,14 @@ fn telemetry_report(opts: &Options, jsonl: Option<&str>) -> String {
         "Telemetry: Wire-Integrity Session — Recovery Breakdown (hostile WAN, \
          corruption + reorder + duplication)",
         &integrity_t,
+    ));
+
+    eprintln!("  [telemetry] checkpoint failover session (warm resume + cold fallback)");
+    let failover_t = failover_telemetry();
+    out.push_str(&breakdown_table(
+        "Telemetry: Failover Session — Resume Breakdown (server crash, \
+         one warm resume + one cold fallback)",
+        &failover_t,
     ));
 
     if let Some(path) = jsonl {

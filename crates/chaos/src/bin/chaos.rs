@@ -3,17 +3,18 @@
 //!
 //! ```text
 //! chaos gen    --seed N [--events N]            print a generated schedule as JSON
-//! chaos run    --seed N [--events N] [--workers N] [--out FILE]
-//!                                               run one seed; on failure shrink and
-//!                                               write a minimized repro artifact
-//! chaos soak   [--seeds a,b,..] [--workers a,b,..] [--events N] [--out-dir DIR]
-//!                                               run a seed x worker matrix
+//! chaos run    --seed N [--events N] [--workers N] [--shards N] [--out FILE]
+//!              [--schedule FILE]                run one seed (or a schedule file);
+//!                                               on failure shrink and write a
+//!                                               minimized repro artifact
+//! chaos soak   [--seeds a,b,..] [--workers a,b,..] [--shards a,b,..] [--events N]
+//!              [--out-dir DIR]                  run a seed x worker x shard matrix
 //! chaos replay FILE                             re-run a schedule artifact; exit 0
 //!                                               iff the outcome matches its
 //!                                               expect_violation field
 //! chaos emit   NAME                             print a checked-in exemplar schedule
 //!                                               (quarantine | sabotage | length-stall |
-//!                                               cache-rescale)
+//!                                               cache-rescale | crash-failover)
 //! ```
 //!
 //! Every run is virtual-time, seeded and deterministic: the same
@@ -56,6 +57,17 @@ fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn opt_u64(args: &[String], name: &str, default: u64) -> u64 {
     opt(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Reads and parses a schedule artifact, mapping either failure to a
+/// one-line diagnostic naming the path and the cause — the shared
+/// front door for every subcommand that takes a schedule file, so a
+/// missing or corrupt artifact is always a clean nonzero exit, never
+/// a panic.
+fn load_schedule(path: &str) -> Result<Schedule, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    schedule_from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
 fn cmd_gen(args: &[String]) -> i32 {
@@ -105,12 +117,23 @@ fn run_and_report(schedule: &Schedule, artifact: Option<&std::path::Path>) -> bo
 }
 
 fn cmd_run(args: &[String]) -> i32 {
-    let seed = opt_u64(args, "--seed", 1);
-    let events = opt_u64(args, "--events", 60) as usize;
-    let mut schedule = generate(seed, events);
+    let mut schedule = match opt(args, "--schedule") {
+        Some(path) => match load_schedule(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        None => {
+            let seed = opt_u64(args, "--seed", 1);
+            let events = opt_u64(args, "--events", 60) as usize;
+            generate(seed, events)
+        }
+    };
     schedule.workers = opt_u64(args, "--workers", schedule.workers as u64) as usize;
     schedule.shards = opt_u64(args, "--shards", schedule.shards as u64).max(1) as usize;
-    let default_out = format!("chaos-repro-{seed}.json");
+    let default_out = format!("chaos-repro-{}.json", schedule.seed);
     let out = opt(args, "--out").unwrap_or(&default_out);
     if run_and_report(&schedule, Some(std::path::Path::new(out))) {
         0
@@ -133,6 +156,7 @@ fn cmd_soak(args: &[String]) -> i32 {
         vec![1, 7, 42, 0xDEADBEEF],
     );
     let workers = parse_list(opt(args, "--workers").unwrap_or(""), vec![1, 4]);
+    let shards = parse_list(opt(args, "--shards").unwrap_or(""), vec![1]);
     let events = opt_u64(args, "--events", 60) as usize;
     let out_dir = opt(args, "--out-dir").unwrap_or(".").to_string();
     let _ = std::fs::create_dir_all(&out_dir);
@@ -140,13 +164,16 @@ fn cmd_soak(args: &[String]) -> i32 {
     let mut total = 0usize;
     for &seed in &seeds {
         for &w in &workers {
-            total += 1;
-            let mut schedule = generate(seed, events);
-            schedule.workers = w as usize;
-            let artifact =
-                std::path::PathBuf::from(&out_dir).join(format!("chaos-repro-{seed}-w{w}.json"));
-            if !run_and_report(&schedule, Some(&artifact)) {
-                failures += 1;
+            for &sh in &shards {
+                total += 1;
+                let mut schedule = generate(seed, events);
+                schedule.workers = w as usize;
+                schedule.shards = (sh as usize).max(1);
+                let artifact = std::path::PathBuf::from(&out_dir)
+                    .join(format!("chaos-repro-{seed}-w{w}-s{sh}.json"));
+                if !run_and_report(&schedule, Some(&artifact)) {
+                    failures += 1;
+                }
             }
         }
     }
@@ -163,17 +190,10 @@ fn cmd_replay(args: &[String]) -> i32 {
         eprintln!("usage: chaos replay <schedule.json>");
         return 2;
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return 2;
-        }
-    };
-    let schedule = match schedule_from_json(&text) {
+    let schedule = match load_schedule(path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot parse {path}: {e}");
+            eprintln!("{e}");
             return 2;
         }
     };
@@ -206,11 +226,15 @@ fn cmd_replay(args: &[String]) -> i32 {
 
 fn cmd_emit(args: &[String]) -> i32 {
     let Some(name) = args.first().map(String::as_str) else {
-        eprintln!("usage: chaos emit <quarantine|sabotage|length-stall|cache-rescale>");
+        eprintln!(
+            "usage: chaos emit <quarantine|sabotage|length-stall|cache-rescale|crash-failover>"
+        );
         return 2;
     };
     let Some(schedule) = exemplar(name) else {
-        eprintln!("unknown exemplar {name:?} (quarantine | sabotage | length-stall | cache-rescale)");
+        eprintln!(
+            "unknown exemplar {name:?} (quarantine | sabotage | length-stall | cache-rescale | crash-failover)"
+        );
         return 2;
     };
     println!("{}", schedule_to_json(&schedule));
@@ -356,6 +380,31 @@ fn exemplar(name: &str) -> Option<Schedule> {
             flush,
             ChaosEvent::Quiesce,
         ])),
+        // The warm-failover exercise, run on the sharded flush path:
+        // a crash-instant takeover with undelivered buffers in the
+        // image, then a stale-image failover from the previous
+        // quiesce — both must redial every client and converge
+        // byte-exact. Expected to PASS.
+        "crash-failover" => {
+            let mut s = Schedule::base(0xFA11).with_events(vec![
+                attach.clone(),
+                attach,
+                tile(0),
+                draw(4, 4, 41),
+                flush.clone(),
+                ChaosEvent::Quiesce,
+                draw(28, 16, 42),
+                ChaosEvent::ServerCrash,
+                flush.clone(),
+                tile(1),
+                flush.clone(),
+                ChaosEvent::Failover,
+                flush,
+                ChaosEvent::Quiesce,
+            ]);
+            s.shards = 2;
+            Some(s)
+        }
         _ => None,
     }
 }

@@ -198,6 +198,23 @@ pub enum ChaosEvent {
         /// Target slot.
         slot: usize,
     },
+    /// Crash the server and fail over to a warm standby restored
+    /// from a **crash-instant** checkpoint image. Every connected
+    /// client redials presenting its resume token
+    /// (`MSG_SESSION_RESUME`): matching tokens resume warm (the
+    /// standby ships only the checkpoint-vs-live tile delta), stale
+    /// or unusable ones fall back to a cold reconnect. Clients the
+    /// old incarnation had quarantined died with it and reattach
+    /// fresh; severed clients stay severed.
+    ServerCrash,
+    /// Fail over to a warm standby restored from the checkpoint
+    /// taken at the **previous quiesce** (crash-instant when no
+    /// quiesce has run yet). The standby's state lags live, so
+    /// resume tokens can legitimately be rejected (cache digest
+    /// drift) and clients attached since that quiesce reattach from
+    /// scratch — the stale-image stress the warm path must absorb
+    /// without losing convergence.
+    Failover,
     /// Drain the system to a settled state and check every global
     /// invariant (a final quiesce always runs at end of schedule,
     /// whether or not the event list ends with one).
@@ -218,6 +235,8 @@ impl ChaosEvent {
             ChaosEvent::Flush { .. } => "flush",
             ChaosEvent::PoisonFlush { .. } => "poison_flush",
             ChaosEvent::SabotagePixel { .. } => "sabotage_pixel",
+            ChaosEvent::ServerCrash => "server_crash",
+            ChaosEvent::Failover => "failover",
             ChaosEvent::Quiesce => "quiesce",
         }
     }

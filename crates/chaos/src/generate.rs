@@ -152,6 +152,12 @@ pub fn generate(seed: u64, n_events: usize) -> Schedule {
             93..=94 => ChaosEvent::CacheBudget {
                 bytes: [64 * 1024u64, 128 * 1024, 256 * 1024][pick(&mut rng, 3) as usize],
             },
+            // Crash/failover stays rare: each one is a full
+            // checkpoint-restore-redial cycle, and the interesting
+            // bugs live in the traffic around it, not in back-to-back
+            // takeovers.
+            95 => ChaosEvent::ServerCrash,
+            96 => ChaosEvent::Failover,
             _ => ChaosEvent::Quiesce,
         };
         s.events.push(ev);

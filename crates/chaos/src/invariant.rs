@@ -14,6 +14,8 @@
 //! | [`LIVENESS`] | connected clients are never declared dead at quiesce; clients disconnected longer than the timeout always are |
 //! | [`TELEMETRY`] | counters obey conservation: `resyncs_triggered <= seq_gaps`, `retransmits == segments_lost`, client cache hits never exceed refs served |
 //! | [`QUARANTINE`] | a poisoned flush quarantines exactly the poisoned clients; the session keeps serving everyone else |
+//! | [`FAILOVER`] | every checkpoint image round-trips: restoring it and re-checkpointing against the same screen reproduces the image byte-for-byte, and a restored standby converges every redialing client (checked by [`CONVERGENCE`] at the next quiesce) |
+//! | [`RUNNER`] | the harness's own bookkeeping holds: the sharded flush partition covers every link exactly once and every shard returns what it borrowed — breaches degrade to a recorded violation, never a panic |
 
 /// Name of the framebuffer-convergence invariant.
 pub const CONVERGENCE: &str = "convergence";
@@ -29,9 +31,14 @@ pub const LIVENESS: &str = "liveness";
 pub const TELEMETRY: &str = "telemetry-conservation";
 /// Name of the panic-quarantine containment invariant.
 pub const QUARANTINE: &str = "quarantine-containment";
+/// Name of the checkpoint/failover fidelity invariant.
+pub const FAILOVER: &str = "failover-fidelity";
+/// Name of the harness-integrity invariant (runner bookkeeping that
+/// used to panic now degrades to a violation under this name).
+pub const RUNNER: &str = "runner-integrity";
 
 /// Every invariant name, for catalogs and CLI help.
-pub const ALL: [&str; 7] = [
+pub const ALL: [&str; 9] = [
     CONVERGENCE,
     CACHE_COHERENCE,
     REFRESH_DEBT,
@@ -39,6 +46,8 @@ pub const ALL: [&str; 7] = [
     LIVENESS,
     TELEMETRY,
     QUARANTINE,
+    FAILOVER,
+    RUNNER,
 ];
 
 /// One observed invariant violation.

@@ -428,7 +428,7 @@ fn event_to_json(e: &ChaosEvent) -> Json {
             pairs.push(("epochs".into(), u64v(*epochs as u64)));
             pairs.push(("step_ms".into(), u64v(*step_ms as u64)));
         }
-        ChaosEvent::Quiesce => {}
+        ChaosEvent::ServerCrash | ChaosEvent::Failover | ChaosEvent::Quiesce => {}
     }
     Json::Obj(pairs)
 }
@@ -521,6 +521,8 @@ fn event_from_json(obj: &Json, idx: usize) -> Result<ChaosEvent, SchemaError> {
         "sabotage_pixel" => ChaosEvent::SabotagePixel {
             slot: need_u64(obj, "slot", &ctx)? as usize,
         },
+        "server_crash" => ChaosEvent::ServerCrash,
+        "failover" => ChaosEvent::Failover,
         "quiesce" => ChaosEvent::Quiesce,
         other => return Err(SchemaError(format!("{ctx}: unknown event type '{other}'"))),
     })
@@ -670,6 +672,8 @@ mod tests {
             },
             ChaosEvent::PoisonFlush { slot: 1 },
             ChaosEvent::SabotagePixel { slot: 0 },
+            ChaosEvent::ServerCrash,
+            ChaosEvent::Failover,
             ChaosEvent::Quiesce,
         ];
         let text = schedule_to_json(&s);

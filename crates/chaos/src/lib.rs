@@ -6,11 +6,13 @@
 //! [`SharedSession`](thinc_core::session::SharedSession): clients
 //! attach, draw traffic flows, links lose and corrupt and reorder
 //! bytes, connections sever and redial, viewports resize, budgets
-//! shift. At every quiesce point the engine drains the system and
-//! checks a catalog of **global invariants** (framebuffer
-//! convergence, cache-mirror coherence, debt drainage, buffer
-//! bounds, liveness consistency, telemetry conservation, panic
-//! containment — see [`invariant`]).
+//! shift, the server itself crashes and fails over to a warm standby
+//! restored from a checkpoint image. At every quiesce point the
+//! engine drains the system and checks a catalog of **global
+//! invariants** (framebuffer convergence, cache-mirror coherence,
+//! debt drainage, buffer bounds, liveness consistency, telemetry
+//! conservation, panic containment, checkpoint/failover fidelity —
+//! see [`invariant`]).
 //!
 //! When an invariant breaks, the failing [`event::Schedule`] is
 //! minimized by delta-debugging ([`shrink`]) into a handful of
@@ -35,5 +37,5 @@ pub use event::{ChaosEvent, FaultKind, Schedule, Workload};
 pub use generate::generate;
 pub use invariant::{RunReport, Violation};
 pub use json::{schedule_from_json, schedule_to_json};
-pub use runner::run;
+pub use runner::{run, ChaosError};
 pub use shrink::shrink;

@@ -22,7 +22,8 @@ use thinc_client::{ReconnectConfig, ReconnectPolicy, StreamClient, ThincClient};
 use thinc_core::degradation::{DegradationConfig, DegradationLevel};
 use thinc_core::liveness::LivenessConfig;
 use thinc_core::scaling::ScalePolicy;
-use thinc_core::session::{ClientId, Credentials, SharedSession};
+use thinc_core::session::{ClientId, Credentials, FlushOutput, SharedSession};
+use thinc_core::ResumeOutcome;
 use thinc_display::drawable::DrawableStore;
 use thinc_display::driver::VideoDriver;
 use thinc_display::SCREEN;
@@ -81,6 +82,42 @@ fn silence_injected_panics() {
         }));
     });
 }
+
+/// A typed harness-integrity failure. The runner's own bookkeeping
+/// used to assert (and panic) on these; they now degrade to a
+/// recorded [`crate::invariant::RUNNER`] violation with defined
+/// fallback behavior, so a harness bug produces a diagnosable report
+/// instead of tearing down a soak.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosError {
+    /// The sharded flush partition failed to cover every link
+    /// position exactly once. Detected before any link moves, so the
+    /// pump falls back to the monolithic flush path.
+    ShardPartition {
+        /// Human-readable specifics (position, shard count).
+        detail: String,
+    },
+    /// A shard consumed a link it never returned (or tried to consume
+    /// one twice). The affected client skips the epoch — or continues
+    /// on a fresh clean pipe — and the run keeps going.
+    LinkLost {
+        /// Human-readable specifics (position, client).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::ShardPartition { detail } => {
+                write!(f, "shard partition breach: {detail}")
+            }
+            ChaosError::LinkLost { detail } => write!(f, "flush link lost: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
 
 /// Accumulated fault windows for one slot's current pipe epoch.
 ///
@@ -188,6 +225,11 @@ struct Slot {
     poisoned: bool,
     /// Pongs routed upstream for the current client incarnation.
     pongs_routed: u64,
+    /// Client cache hits already credited against a *previous* server
+    /// incarnation. A failover resets the server's per-client
+    /// counters, so hit-count conservation is checked per incarnation
+    /// — hits above this baseline against refs the standby served.
+    cache_hits_base: u64,
 }
 
 struct Runner {
@@ -212,6 +254,11 @@ struct Runner {
     /// Latch so a persistent buffer overrun reports once, not per pump.
     buffer_bound_flagged: bool,
     quiesces: usize,
+    /// The checkpoint image taken at the most recent quiesce — the
+    /// state a warm standby holds when [`ChaosEvent::Failover`]
+    /// fires. [`ChaosEvent::ServerCrash`] ignores it and snapshots at
+    /// the crash instant instead.
+    last_checkpoint: Option<Vec<u8>>,
 }
 
 /// Runs `schedule` to completion and reports every invariant
@@ -253,6 +300,7 @@ pub fn run(schedule: &Schedule) -> RunReport {
         violations: Vec::new(),
         buffer_bound_flagged: false,
         quiesces: 0,
+        last_checkpoint: None,
     };
     let mut executed = 0usize;
     for ev in &schedule.events {
@@ -347,8 +395,191 @@ impl Runner {
                     ));
                 }
             }
+            ChaosEvent::ServerCrash => {
+                // Crash-consistent takeover: the image is whatever
+                // the server held at the instant it died.
+                let image = self.session.checkpoint(self.store.screen());
+                self.take_over(image, true, "server_crash");
+            }
+            ChaosEvent::Failover => {
+                // Warm-standby takeover from the last quiesce's
+                // image — deliberately stale, so resume tokens can
+                // be legitimately rejected. Before the first quiesce
+                // it degrades to a crash-instant image.
+                let (image, live) = match self.last_checkpoint.clone() {
+                    Some(image) => (image, false),
+                    None => (self.session.checkpoint(self.store.screen()), true),
+                };
+                self.take_over(image, live, "failover");
+            }
             ChaosEvent::Quiesce => self.quiesce(),
         }
+    }
+
+    /// Kills the live session and brings up a standby restored from
+    /// `image`, then redials every slot. `image_is_live` says the
+    /// image was taken at this very instant (a [`ChaosEvent::ServerCrash`]
+    /// snapshot), meaning the restored cache ledgers match the client
+    /// stores bit-for-bit including recency; a stale image (previous
+    /// quiesce) keeps correctness but voids the strict eviction
+    /// mirror.
+    fn take_over(&mut self, image: Vec<u8>, image_is_live: bool, label: &str) {
+        // The standby restores before the old incarnation is torn
+        // down; an image that cannot restore is a fidelity violation
+        // and the run degrades by keeping the live server (the
+        // checkpoint layer's never-panic contract, observed here).
+        let restored = match SharedSession::restore(&image) {
+            Ok(s) => s,
+            Err(e) => {
+                self.violation(
+                    invariant::FAILOVER,
+                    format!("{label}: checkpoint image failed to restore: {e}"),
+                );
+                return;
+            }
+        };
+        let old_session_id = self.session.session_id();
+        // Everything the dead server had already put on the wire
+        // still lands; everything merely buffered dies with it (the
+        // image carries the buffered state that survives).
+        for si in 0..self.slots.len() {
+            if self.slots[si].connected {
+                self.deliver_held(si);
+            }
+        }
+        self.session = restored;
+        self.session.set_time(self.now);
+        // Budget changes since the image are runner policy, not
+        // session state: re-install so post-takeover attaches mirror
+        // their client stores.
+        self.session.set_cache_budget(Some(self.budget_for_new));
+        // Image clients no slot owns (detached after a stale image
+        // was taken) are ghosts the standby drops — they will never
+        // redial, and their buffers would otherwise accumulate
+        // against links that do not exist.
+        let slot_ids: Vec<ClientId> = self.slots.iter().map(|s| s.id).collect();
+        for id in self.session.client_ids() {
+            if !slot_ids.contains(&id) {
+                self.session.detach(id);
+            }
+        }
+        let roster = self.session.client_ids();
+        for si in 0..self.slots.len() {
+            // Poison armed on the old incarnation died with it, and a
+            // quarantine it executed is dropped with the fresh
+            // reattach below: the standby starts uncontaminated.
+            self.slots[si].poisoned = false;
+            if !roster.contains(&self.slots[si].id) {
+                // Unknown to the image (quarantined at crash time, or
+                // attached after a stale image was taken): the resume
+                // token cannot match, so this client reattaches from
+                // scratch with a fresh identity.
+                self.hard_reattach(si);
+                continue;
+            }
+            if !self.slots[si].connected {
+                // Still severed. The standby's liveness tracker, like
+                // every restored tracker, starts counting silence at
+                // takeover. Pongs the client queued before the crash
+                // answered the dead server's pings — routing them to
+                // the standby (whose ping counter starts at zero, on
+                // a later soft reconnect) would break conservation —
+                // and its cache hits predate the standby the same way.
+                while self.slots[si].stream.take_pong().is_some() {}
+                self.slots[si].pongs_routed = 0;
+                self.slots[si].cache_hits_base =
+                    self.slots[si].stream.resilience_metrics().cache_hits();
+                if !image_is_live {
+                    self.slots[si].mirror_intact = false;
+                }
+                self.slots[si].disconnected_at = Some(self.now);
+                continue;
+            }
+            self.redial(si, old_session_id, image_is_live);
+        }
+    }
+
+    /// One surviving client redialing the standby: a fresh transport
+    /// connection, the resume token presented when the local wire
+    /// state allows it, warm or cold per the standby's verdict.
+    fn redial(&mut self, si: usize, session_id: u64, image_is_live: bool) {
+        let id = self.slots[si].id;
+        // A redial is a new connection: fold the dead link's fault
+        // counters, then start clean (fault windows were armed on
+        // the old connection and died with it).
+        self.fold_stats(si);
+        if let Some(link) = self.links.iter_mut().find(|l| l.0 == id) {
+            link.1 = NetworkConfig::lan_desktop().connect().down;
+            link.2 = PacketTrace::new();
+        }
+        self.slots[si].plan = PlanSpec::default();
+        self.slots[si].plan_epoch += 1;
+        // Pongs in hand answered pings the dead server sent; the
+        // standby's ping counter starts at zero, so routing them
+        // would break conservation against a counter that never saw
+        // the pings.
+        while self.slots[si].stream.take_pong().is_some() {}
+        self.slots[si].pongs_routed = 0;
+        self.slots[si].cache_hits_base =
+            self.slots[si].stream.resilience_metrics().cache_hits();
+        // A stale image's ledger recency lags the live store even
+        // when the key sets still digest-match, so post-takeover
+        // evictions may pick different victims: only a crash-instant
+        // image keeps the strict mirror.
+        if !image_is_live {
+            self.slots[si].mirror_intact = false;
+        }
+        if self.slots[si].stream.resume() {
+            let token = self.slots[si].stream.resume_token(session_id, id.0);
+            let Message::SessionResume {
+                session_id,
+                last_seq,
+                store_digest,
+                ..
+            } = token
+            else {
+                return; // resume_token always builds SessionResume
+            };
+            match self
+                .session
+                .resume_client(session_id, id, store_digest, self.store.screen())
+            {
+                ResumeOutcome::Warm { .. } => {
+                    // The standby adopts the client's sequence stream
+                    // and ships only the checkpoint-vs-live delta the
+                    // session just queued.
+                    self.slots[si]
+                        .encoder
+                        .set_next_seq(last_seq.wrapping_add(1));
+                }
+                ResumeOutcome::Cold { .. } => {
+                    // Token rejected: the standby answers with a
+                    // fresh hello, which settles the client's pending
+                    // resume as a cold restart — store cleared to
+                    // mirror the reset ledger, full refresh owed.
+                    let (vw, vh) = self.slots[si].viewport;
+                    self.slots[si].stream.feed(&wire::encode_message(
+                        &Message::ServerHello {
+                            version: PROTOCOL_VERSION,
+                            width: vw,
+                            height: vh,
+                            depth: 24,
+                        },
+                    ));
+                    self.slots[si].encoder = FrameEncoder::with_revision(PROTOCOL_VERSION);
+                }
+            }
+        } else {
+            // Half a frame was stranded in the reader: the client
+            // already fell back to a plain cold reconnect and
+            // presents no token. The standby treats the redial as a
+            // resync request; ledger and store may now disagree, so
+            // the strict mirror is off for this incarnation.
+            self.session.resync_client(id, self.store.screen());
+            self.slots[si].encoder = FrameEncoder::with_revision(PROTOCOL_VERSION);
+            self.slots[si].mirror_intact = false;
+        }
+        self.session.note_client_activity(id, self.now);
     }
 
     /// Index of `slot` if it exists, is connected and is not
@@ -409,6 +640,7 @@ impl Runner {
             outage_excused: false,
             poisoned: false,
             pongs_routed: 0,
+            cache_hits_base: 0,
         });
         Some(self.slots.len() - 1)
     }
@@ -516,6 +748,7 @@ impl Runner {
         s.mirror_intact = true;
         s.outage_excused = false;
         s.pongs_routed = 0;
+        s.cache_hits_base = 0;
         self.session.note_client_activity(id, self.now);
     }
 
@@ -655,11 +888,39 @@ impl Runner {
         &mut self,
         ids: &[ClientId],
         flat: &mut Vec<(TcpPipe, PacketTrace)>,
-    ) -> Vec<(ClientId, Vec<(SimTime, Message)>)> {
+    ) -> Result<FlushOutput, ChaosError> {
         use thinc_core::{shard_index, WirePlane};
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards];
         for (pos, id) in ids.iter().enumerate() {
             by_shard[shard_index(*id, self.shards)].push(pos);
+        }
+        // Validate the partition covers every link position exactly
+        // once *before* anything moves: a breach returns with `flat`
+        // untouched, so the pump can fall back to the monolithic
+        // flush with the full link set still intact.
+        let mut seen = vec![false; ids.len()];
+        for positions in &by_shard {
+            for &p in positions {
+                if p >= seen.len() || seen[p] {
+                    return Err(ChaosError::ShardPartition {
+                        detail: format!(
+                            "position {p} of {} links assigned more than once (or out of range) across {} shards",
+                            ids.len(),
+                            self.shards
+                        ),
+                    });
+                }
+                seen[p] = true;
+            }
+        }
+        if let Some(p) = seen.iter().position(|s| !s) {
+            return Err(ChaosError::ShardPartition {
+                detail: format!(
+                    "position {p} of {} links never assigned to any of {} shards",
+                    ids.len(),
+                    self.shards
+                ),
+            });
         }
         let mut slots: Vec<Option<(TcpPipe, PacketTrace)>> = flat.drain(..).map(Some).collect();
         let plane = WirePlane::new();
@@ -670,26 +931,65 @@ impl Runner {
             }
             // flush_subset wants ids ascending, links in step.
             positions.sort_by_key(|&p| ids[p]);
-            let shard_ids: Vec<ClientId> = positions.iter().map(|&p| ids[p]).collect();
-            let mut shard_links: Vec<(TcpPipe, PacketTrace)> = positions
-                .iter()
-                .map(|&p| slots[p].take().expect("each link flushed once per pump"))
-                .collect();
+            let mut taken = Vec::with_capacity(positions.len());
+            let mut shard_ids = Vec::with_capacity(positions.len());
+            let mut shard_links: Vec<(TcpPipe, PacketTrace)> =
+                Vec::with_capacity(positions.len());
+            for &p in positions.iter() {
+                match slots[p].take() {
+                    Some(link) => {
+                        taken.push(p);
+                        shard_ids.push(ids[p]);
+                        shard_links.push(link);
+                    }
+                    None => {
+                        // Unreachable after the cover check above;
+                        // degrade to a skipped epoch for this client
+                        // instead of tearing down the soak.
+                        let e = ChaosError::LinkLost {
+                            detail: format!(
+                                "position {p} (client {}) consumed twice; client skips this epoch",
+                                ids[p].0
+                            ),
+                        };
+                        self.violation(invariant::RUNNER, e.to_string());
+                    }
+                }
+            }
+            if shard_ids.is_empty() {
+                continue;
+            }
             let (out, _) =
                 self.session
                     .flush_subset(self.now, &shard_ids, &mut shard_links, Some(&plane));
-            for (&p, link) in positions.iter().zip(shard_links) {
+            for (&p, link) in taken.iter().zip(shard_links) {
                 slots[p] = Some(link);
             }
             merged.extend(out);
         }
-        flat.extend(
-            slots
-                .into_iter()
-                .map(|l| l.expect("every shard returns its links")),
-        );
+        for (p, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(link) => flat.push(link),
+                None => {
+                    // Also unreachable in a correct harness: keep the
+                    // roster/link pairing aligned with a fresh clean
+                    // pipe rather than panicking mid-run.
+                    let e = ChaosError::LinkLost {
+                        detail: format!(
+                            "position {p} (client {}) never returned by its shard; replaced with a clean pipe",
+                            ids[p].0
+                        ),
+                    };
+                    self.violation(invariant::RUNNER, e.to_string());
+                    flat.push((
+                        NetworkConfig::lan_desktop().connect().down,
+                        PacketTrace::new(),
+                    ));
+                }
+            }
+        }
         merged.sort_by_key(|(id, _)| *id);
-        merged
+        Ok(merged)
     }
 
     /// One delivery round: advance virtual time, flush every client
@@ -705,7 +1005,16 @@ impl Runner {
         let mut flat: Vec<(TcpPipe, PacketTrace)> =
             self.links.drain(..).map(|l| (l.1, l.2)).collect();
         let out = if self.shards > 1 {
-            self.flush_sharded(&ids, &mut flat)
+            match self.flush_sharded(&ids, &mut flat) {
+                Ok(out) => out,
+                Err(e) => {
+                    // The partition breached with the links untouched:
+                    // record it and fall back to the monolithic path
+                    // so the epoch still delivers.
+                    self.violation(invariant::RUNNER, e.to_string());
+                    self.session.flush_all(self.now, &mut flat)
+                }
+            }
         } else {
             self.session.flush_all(self.now, &mut flat)
         };
@@ -890,6 +1199,7 @@ impl Runner {
         self.check_cache_coherence();
         self.check_telemetry();
         self.check_quarantine();
+        self.check_failover_fidelity();
         // 7. The drained system starts the next epoch unexcused.
         for s in &mut self.slots {
             s.outage_excused = false;
@@ -1056,8 +1366,15 @@ impl Runner {
                 }
             }
             // Conservation holds even through damage: a client can
-            // only resolve references the server actually sent.
-            let client_hits = s.stream.resilience_metrics().cache_hits();
+            // only resolve references the server actually sent. A
+            // failover resets the server's counters, so the check is
+            // per server incarnation — hits above the baseline
+            // recorded at redial, against refs the standby served.
+            let client_hits = s
+                .stream
+                .resilience_metrics()
+                .cache_hits()
+                .saturating_sub(s.cache_hits_base);
             let refs_served = self
                 .session
                 .client_resilience(s.id)
@@ -1117,6 +1434,37 @@ impl Runner {
         for d in found {
             self.violation(invariant::TELEMETRY, d);
         }
+    }
+
+    /// Failover-fidelity at quiesce: the settled system's checkpoint
+    /// image restores, and re-checkpointing the restored standby
+    /// against the same screen reproduces the image byte-for-byte.
+    /// The surviving image becomes the warm standby's state for the
+    /// next [`ChaosEvent::Failover`].
+    fn check_failover_fidelity(&mut self) {
+        let image = self.session.checkpoint(self.store.screen());
+        match SharedSession::restore(&image) {
+            Ok(restored) => {
+                let again = restored.checkpoint(self.store.screen());
+                if again != image {
+                    self.violation(
+                        invariant::FAILOVER,
+                        format!(
+                            "checkpoint does not round-trip: {}-byte image re-encodes to {} bytes (or differs in content)",
+                            image.len(),
+                            again.len()
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                self.violation(
+                    invariant::FAILOVER,
+                    format!("settled session checkpoint failed to restore: {e}"),
+                );
+            }
+        }
+        self.last_checkpoint = Some(image);
     }
 
     fn check_quarantine(&mut self) {
@@ -1235,5 +1583,267 @@ mod tests {
         assert_eq!(a.violations, b.violations);
         assert_eq!(a.quiesces, b.quiesces);
         assert_eq!(a.slots_attached, b.slots_attached);
+    }
+
+    #[test]
+    fn server_crash_mid_traffic_converges() {
+        let s = Schedule::base(11).with_events(vec![
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Draw {
+                workload: Workload::Noise,
+                x: 0,
+                y: 0,
+                w: 48,
+                h: 32,
+                salt: 5,
+            },
+            ChaosEvent::Flush {
+                epochs: 2,
+                step_ms: 40,
+            },
+            // Crash with more drawn than flushed: the image carries
+            // the undelivered buffers and the standby must finish the
+            // delivery without re-sending what already landed.
+            ChaosEvent::Draw {
+                workload: Workload::Tile,
+                x: 0,
+                y: 0,
+                w: 32,
+                h: 16,
+                salt: 1,
+            },
+            ChaosEvent::ServerCrash,
+            ChaosEvent::Flush {
+                epochs: 3,
+                step_ms: 40,
+            },
+            ChaosEvent::Draw {
+                workload: Workload::Solid,
+                x: 8,
+                y: 8,
+                w: 20,
+                h: 20,
+                salt: 0x00FF_8800,
+            },
+            ChaosEvent::Quiesce,
+        ]);
+        let report = run(&s);
+        assert!(report.passed(), "{}", report.summary());
+        assert_eq!(report.slots_attached, 2);
+    }
+
+    #[test]
+    fn failover_from_stale_quiesce_image_converges() {
+        let s = Schedule::base(12).with_events(vec![
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Draw {
+                workload: Workload::Tile,
+                x: 0,
+                y: 0,
+                w: 32,
+                h: 16,
+                salt: 2,
+            },
+            ChaosEvent::Flush {
+                epochs: 2,
+                step_ms: 50,
+            },
+            // Arms last_checkpoint with a settled image...
+            ChaosEvent::Quiesce,
+            // ...then diverges live state from it before failing over,
+            // so the standby must recover the gap via the tile delta
+            // (warm) or a digest-mismatch cold fallback.
+            ChaosEvent::Draw {
+                workload: Workload::Noise,
+                x: 10,
+                y: 10,
+                w: 40,
+                h: 24,
+                salt: 9,
+            },
+            ChaosEvent::Flush {
+                epochs: 2,
+                step_ms: 50,
+            },
+            ChaosEvent::Failover,
+            ChaosEvent::Flush {
+                epochs: 3,
+                step_ms: 50,
+            },
+            ChaosEvent::Quiesce,
+        ]);
+        let report = run(&s);
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn failover_before_any_quiesce_degrades_to_crash_image() {
+        let s = Schedule::base(13).with_events(vec![
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Draw {
+                workload: Workload::Solid,
+                x: 0,
+                y: 0,
+                w: 64,
+                h: 48,
+                salt: 0x0012_3456,
+            },
+            ChaosEvent::Failover,
+            ChaosEvent::Flush {
+                epochs: 2,
+                step_ms: 50,
+            },
+            ChaosEvent::Quiesce,
+        ]);
+        let report = run(&s);
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn crash_with_severed_and_scaled_clients_converges() {
+        let s = Schedule::base(14).with_events(vec![
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Attach {
+                viewport_w: 32,
+                viewport_h: 24,
+            },
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Draw {
+                workload: Workload::Noise,
+                x: 0,
+                y: 0,
+                w: 60,
+                h: 40,
+                salt: 31,
+            },
+            ChaosEvent::Flush {
+                epochs: 2,
+                step_ms: 50,
+            },
+            // Slot 2 is severed across the crash: it must stay
+            // severed on the standby and be declared dead once its
+            // silence outlives the timeout.
+            ChaosEvent::Disconnect { slot: 2 },
+            ChaosEvent::ServerCrash,
+            ChaosEvent::Draw {
+                workload: Workload::Tile,
+                x: 32,
+                y: 0,
+                w: 32,
+                h: 16,
+                salt: 3,
+            },
+            ChaosEvent::Flush {
+                epochs: 40,
+                step_ms: 100,
+            },
+            ChaosEvent::Quiesce,
+        ]);
+        let report = run(&s);
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn back_to_back_takeovers_survive() {
+        let s = Schedule::base(15).with_events(vec![
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Draw {
+                workload: Workload::Noise,
+                x: 0,
+                y: 0,
+                w: 32,
+                h: 32,
+                salt: 7,
+            },
+            ChaosEvent::ServerCrash,
+            ChaosEvent::ServerCrash,
+            ChaosEvent::Flush {
+                epochs: 2,
+                step_ms: 50,
+            },
+            ChaosEvent::Failover,
+            ChaosEvent::Quiesce,
+        ]);
+        let report = run(&s);
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic_across_shard_counts() {
+        let mut s = Schedule::base(16).with_events(vec![
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Attach {
+                viewport_w: 64,
+                viewport_h: 48,
+            },
+            ChaosEvent::Attach {
+                viewport_w: 32,
+                viewport_h: 24,
+            },
+            ChaosEvent::Draw {
+                workload: Workload::Noise,
+                x: 2,
+                y: 2,
+                w: 50,
+                h: 40,
+                salt: 21,
+            },
+            ChaosEvent::Flush {
+                epochs: 2,
+                step_ms: 40,
+            },
+            ChaosEvent::ServerCrash,
+            ChaosEvent::Draw {
+                workload: Workload::Tile,
+                x: 0,
+                y: 24,
+                w: 32,
+                h: 16,
+                salt: 2,
+            },
+            ChaosEvent::Flush {
+                epochs: 2,
+                step_ms: 40,
+            },
+            ChaosEvent::Failover,
+            ChaosEvent::Quiesce,
+        ]);
+        for shards in [1usize, 2, 8] {
+            for workers in [1usize, 4] {
+                s.shards = shards;
+                s.workers = workers;
+                let report = run(&s);
+                assert!(
+                    report.passed(),
+                    "shards={shards} workers={workers}: {}",
+                    report.summary()
+                );
+            }
+        }
     }
 }

@@ -138,7 +138,11 @@ impl ThincClient {
     pub fn apply(&mut self, msg: &Message) {
         self.stats.messages += 1;
         match msg {
-            Message::ServerHello { .. } | Message::ClientHello { .. } => {}
+            // Handshake traffic (including the client-originated
+            // resume request) carries no drawing.
+            Message::ServerHello { .. }
+            | Message::ClientHello { .. }
+            | Message::SessionResume { .. } => {}
             Message::Display(cmd) => self.execute(cmd),
             Message::VideoInit {
                 id,

@@ -70,6 +70,11 @@ pub struct StreamClient {
     /// Cache misses owed to the server (drained by
     /// [`take_cache_miss`](Self::take_cache_miss)).
     pending_cache_miss: VecDeque<Message>,
+    /// A warm resume is in flight: a [`resume`](Self::resume) redial
+    /// presented a token and the next server message decides the
+    /// outcome (a fresh `ServerHello` means the token was rejected —
+    /// cold restart; anything else confirms the warm path).
+    resume_pending: bool,
     resilience: thinc_telemetry::ResilienceMetrics,
 }
 
@@ -99,6 +104,7 @@ impl StreamClient {
             integrity_base: IntegrityCounters::default(),
             cache: CacheLru::new(thinc_protocol::DEFAULT_CACHE_BUDGET),
             pending_cache_miss: VecDeque::new(),
+            resume_pending: false,
             resilience: thinc_telemetry::ResilienceMetrics::new(),
         }
     }
@@ -151,6 +157,26 @@ impl StreamClient {
                     if let Message::ServerHello { version, .. } = &msg {
                         self.reader
                             .set_revision((*version).min(thinc_protocol::PROTOCOL_VERSION));
+                    }
+                    if self.resume_pending {
+                        // The first post-redial message settles the
+                        // warm-resume handshake. A fresh `ServerHello`
+                        // means the standby rejected the token (stale
+                        // session, digest mismatch, corrupt
+                        // checkpoint): cold restart — the server reset
+                        // its ledger, so the mirrored store must go
+                        // too, and the display is presumed stale until
+                        // the full refresh covers it. Anything else is
+                        // the delta stream of a confirmed warm resume.
+                        self.resume_pending = false;
+                        if matches!(msg, Message::ServerHello { .. }) {
+                            self.cache.clear();
+                            self.needs_refresh = true;
+                            self.refresh_cover = Region::new();
+                            self.resilience.record_cold_fallback();
+                        } else {
+                            self.resilience.record_resume();
+                        }
                     }
                     if self.reader.take_seq_break() {
                         // Frames vanished between the previous message
@@ -355,6 +381,53 @@ impl StreamClient {
         std::mem::take(&mut self.needs_refresh)
     }
 
+    /// The resume token this client presents when redialing after a
+    /// server crash (`MSG_SESSION_RESUME`, see `docs/PROTOCOL.md`):
+    /// the session/client identity it was assigned, the last
+    /// integrity-frame sequence number it actually received (so the
+    /// standby's encoder can continue the stream without a break),
+    /// and a digest over its content store's sorted key set (so the
+    /// standby can prove the cache mirror is coherent before shipping
+    /// deltas instead of a full refresh).
+    pub fn resume_token(&self, session_id: u64, client_id: u32) -> Message {
+        Message::SessionResume {
+            session_id,
+            client_id,
+            last_seq: self.reader.last_seq().unwrap_or(0),
+            store_digest: thinc_protocol::store_digest(&self.cache.keys()),
+        }
+    }
+
+    /// Begins a warm resume against a restored standby server.
+    /// Returns `true` when the warm path proceeds: the wire state is
+    /// clean, the reader restarts (keeping the negotiated revision,
+    /// accepting whatever sequence the standby adopts from the
+    /// token), and the next server message settles the outcome — see
+    /// [`feed`](Self::feed). Returns `false` when a half-received
+    /// frame makes the local wire state unusable: it cannot be
+    /// stitched onto the standby's stream, so the client falls back
+    /// to a cold [`reconnect`](Self::reconnect) immediately (counted
+    /// as a cold fallback) and the caller should skip the token.
+    ///
+    /// Either way this never panics and never leaves the client
+    /// wedged: the worst case is a full-view refresh.
+    pub fn resume(&mut self) -> bool {
+        if self.reader.pending_bytes() > 0 {
+            self.reconnect();
+            self.resilience.record_cold_fallback();
+            return false;
+        }
+        self.reset_reader();
+        self.resume_pending = true;
+        true
+    }
+
+    /// Whether a warm resume is still awaiting its first post-redial
+    /// server message.
+    pub fn resume_pending(&self) -> bool {
+        self.resume_pending
+    }
+
     /// Resets the wire state for a fresh connection (reconnect): the
     /// reader drops any half-received frame. The display keeps its
     /// content, but a fresh link is presumed stale — updates were
@@ -364,6 +437,7 @@ impl StreamClient {
     /// drop raced the resync.)
     pub fn reconnect(&mut self) {
         self.reset_reader();
+        self.resume_pending = false;
         self.needs_refresh = true;
         self.refresh_cover = Region::new();
         self.resilience.record_reconnect();
@@ -849,6 +923,139 @@ mod tests {
             c.client().framebuffer().get_pixel(0, 0),
             Some(Color::rgb(5, 5, 5))
         );
+    }
+
+    #[test]
+    fn resume_token_carries_seq_and_store_digest() {
+        use thinc_protocol::wire::FrameEncoder;
+        use thinc_protocol::{PROTOCOL_VERSION, WIRE_REV_INTEGRITY};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        c.feed(&enc.encode(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        }));
+        c.feed(&enc.encode(&cacheable_raw(5)));
+        match c.resume_token(0xFEED, 3) {
+            Message::SessionResume {
+                session_id: 0xFEED,
+                client_id: 3,
+                last_seq,
+                store_digest,
+            } => {
+                // The hello travels legacy-framed (handshake frames
+                // carry no sequence); the RAW is the first numbered
+                // frame.
+                assert_eq!(last_seq, 0);
+                assert_eq!(
+                    store_digest,
+                    thinc_protocol::store_digest(&c.cache_keys())
+                );
+                assert_ne!(
+                    store_digest,
+                    thinc_protocol::store_digest(&[]),
+                    "the store holds the cached payload"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_resume_confirms_on_delta_traffic() {
+        use thinc_protocol::wire::FrameEncoder;
+        use thinc_protocol::{PROTOCOL_VERSION, WIRE_REV_INTEGRITY};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        c.feed(&enc.encode(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        }));
+        c.feed(&enc.encode(&cacheable_raw(5)));
+        let last = match c.resume_token(1, 0) {
+            Message::SessionResume { last_seq, .. } => last_seq,
+            other => panic!("{other:?}"),
+        };
+        // Server crashes; the client redials warm.
+        assert!(c.resume());
+        assert!(c.resume_pending());
+        // The standby adopted the token's sequence and ships only the
+        // delta — no hello, no refresh, no sequence break.
+        let mut standby = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        standby.set_next_seq(last.wrapping_add(1));
+        assert_eq!(
+            c.feed(&standby.encode(&Message::Display(DisplayCommand::Sfill {
+                rect: Rect::new(0, 0, 8, 8),
+                color: Color::rgb(2, 2, 2),
+            }))),
+            1
+        );
+        assert!(!c.resume_pending());
+        assert!(!c.needs_refresh(), "warm resume is not damage");
+        assert_eq!(c.cache_len(), 1, "the store survives a warm resume");
+        let m = c.resilience_metrics();
+        assert_eq!(m.resumes(), 1);
+        assert_eq!(m.cold_fallbacks(), 0);
+        assert_eq!(m.seq_gaps(), 0, "the sequence stream is unbroken");
+    }
+
+    #[test]
+    fn rejected_resume_token_falls_back_cold() {
+        use thinc_protocol::wire::FrameEncoder;
+        use thinc_protocol::{PROTOCOL_VERSION, WIRE_REV_INTEGRITY};
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        c.feed(&enc.encode(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        }));
+        c.feed(&enc.encode(&cacheable_raw(5)));
+        assert!(c.resume());
+        // The standby rejected the token (stale digest, unknown
+        // session, corrupt checkpoint): it answers with a fresh
+        // handshake instead of the delta stream.
+        let mut standby = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        c.feed(&standby.encode(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: 32,
+            height: 32,
+            depth: 24,
+        }));
+        assert!(!c.resume_pending());
+        assert!(c.needs_refresh(), "a cold restart presumes a stale display");
+        assert_eq!(c.cache_len(), 0, "the mirrored store is dropped");
+        let m = c.resilience_metrics();
+        assert_eq!(m.resumes(), 0);
+        assert_eq!(m.cold_fallbacks(), 1);
+        // The full refresh then recovers the display as usual.
+        c.feed(&standby.encode(&Message::Display(DisplayCommand::Sfill {
+            rect: Rect::new(0, 0, 32, 32),
+            color: Color::rgb(4, 4, 4),
+        })));
+        assert!(!c.needs_refresh());
+    }
+
+    #[test]
+    fn resume_with_half_frame_pending_goes_cold_immediately() {
+        let mut c = StreamClient::new(32, 32, PixelFormat::Rgb888);
+        let bytes = fill(Rect::new(0, 0, 8, 8), Color::rgb(1, 1, 1));
+        c.feed(&bytes[..4]);
+        assert!(c.pending_bytes() > 0);
+        // A half-received frame cannot be stitched onto the standby's
+        // stream: the redial downgrades to a cold reconnect.
+        assert!(!c.resume());
+        assert!(!c.resume_pending());
+        assert_eq!(c.pending_bytes(), 0);
+        assert!(c.needs_refresh());
+        let m = c.resilience_metrics();
+        assert_eq!(m.cold_fallbacks(), 1);
+        assert_eq!(m.reconnects(), 1);
     }
 
     #[test]

@@ -899,6 +899,220 @@ impl ClientBuffer {
         }
         out
     }
+
+    /// Adds `region` to the overflow/refresh debt the owner repays
+    /// from the authoritative screen. Used by the warm-resume path to
+    /// schedule exactly the tiles that changed while the session was
+    /// checkpointed.
+    pub(crate) fn owe_refresh_region(&mut self, region: &Region) {
+        self.overflow_debt.union(region);
+    }
+
+    /// Drops the cache ledger's entries and any queued miss fallbacks
+    /// (lifetime counters survive). Cold reconnect clears the client's
+    /// store, so the mirrored-LRU invariant only holds if the ledger
+    /// is cleared in the same breath.
+    pub fn reset_cache(&mut self) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.ledger.clear();
+            cache.fallbacks.clear();
+        }
+    }
+
+    /// Serializes the buffer's full delivery state into `w`.
+    ///
+    /// Entries are written with their *internal* state — exact clipped
+    /// visible regions, scheduler slots, deque orders, sequence
+    /// numbers — rather than being replayed through [`push`]
+    /// (Self::push) at restore time. Replaying would re-run the
+    /// merge/evict pass against an empty buffer and produce different
+    /// entries (breaking byte-exact re-checkpointing), and an entry
+    /// whose visibility was clipped by a later-flushed command would
+    /// repaint stale pixels if restored unclipped.
+    ///
+    /// Deliberately not serialized (documented losses, identical on
+    /// every re-checkpoint): scheduler/protocol telemetry and the
+    /// ledger's lifetime eviction count restart at zero; the scratch
+    /// compression buffers are pure caches.
+    pub(crate) fn encode_checkpoint(&self, w: &mut crate::checkpoint::Writer) {
+        w.u64(self.next_seq);
+        w.u64(self.clock.0);
+        w.u64(self.stats.pushed);
+        w.u64(self.stats.evicted);
+        w.u64(self.stats.merged);
+        w.u64(self.stats.sent_messages);
+        w.u64(self.stats.sent_bytes);
+        w.u64(self.stats.splits);
+        w.u64(self.stats.overflow_evicted);
+        w.opt_u64(self.raw_compress_bpp.map(|b| b as u64));
+        w.bool(self.fifo);
+        w.opt_u64(self.byte_bound);
+        w.u64(self.degrade_bound_divisor);
+        w.bool(self.degrade_raw_first);
+        w.region(&self.overflow_debt);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.u64(e.seq);
+            w.u8(match e.slot {
+                QueueSlot::Realtime => 0xFF,
+                QueueSlot::Normal(q) => q as u8,
+            });
+            w.u64(e.enqueued.0);
+            w.region(&e.visible);
+            w.bytes(&thinc_protocol::wire::encode_message(&Message::Display(
+                e.cmd.clone(),
+            )));
+        }
+        // Deque orders are serialized separately from the entries:
+        // flush-split leftovers go to the *front* of their deque with
+        // fresh sequence numbers, so deque order is not derivable from
+        // entry order. Stale slots (evicted entries, cleaned lazily at
+        // pop) are filtered out here so a restored buffer re-encodes
+        // byte-identically.
+        let live = |seq: &&u64| self.entries.iter().any(|e| e.seq == **seq);
+        let rt: Vec<u64> = self.realtime.iter().filter(live).copied().collect();
+        w.u32(rt.len() as u32);
+        for seq in rt {
+            w.u64(seq);
+        }
+        for q in &self.queues {
+            let qs: Vec<u64> = q.iter().filter(live).copied().collect();
+            w.u32(qs.len() as u32);
+            for seq in qs {
+                w.u64(seq);
+            }
+        }
+        match &self.cache {
+            None => w.u8(0),
+            Some(c) => {
+                w.u8(1);
+                w.u64(c.ledger.budget());
+                w.u64(c.hits);
+                w.u64(c.misses);
+                w.u64(c.bytes_saved);
+                w.u32(c.fallbacks.len() as u32);
+                for msg in &c.fallbacks {
+                    w.bytes(&thinc_protocol::wire::encode_message(msg));
+                }
+                // LRU order, least-recent first: replaying through
+                // `insert` reconstructs the exact eviction order (the
+                // held total fits the budget, so replay never evicts).
+                let ledger: Vec<(u64, u64, Vec<u8>)> = c
+                    .ledger
+                    .iter_lru()
+                    .map(|(k, size, v)| (k, size, thinc_protocol::wire::encode_message(v)))
+                    .collect();
+                w.u32(ledger.len() as u32);
+                for (key, size, enc) in ledger {
+                    w.u64(key);
+                    w.u64(size);
+                    w.bytes(&enc);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a buffer from [`encode_checkpoint`]
+    /// (Self::encode_checkpoint) output. Every length, tag, and
+    /// message payload is validated — corrupt input yields a typed
+    /// error, never a panic or an out-of-invariant buffer.
+    pub(crate) fn decode_checkpoint(
+        r: &mut crate::checkpoint::Reader<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let mut buf = ClientBuffer::new();
+        buf.next_seq = r.u64()?;
+        buf.clock = SimTime(r.u64()?);
+        buf.stats.pushed = r.u64()?;
+        buf.stats.evicted = r.u64()?;
+        buf.stats.merged = r.u64()?;
+        buf.stats.sent_messages = r.u64()?;
+        buf.stats.sent_bytes = r.u64()?;
+        buf.stats.splits = r.u64()?;
+        buf.stats.overflow_evicted = r.u64()?;
+        buf.raw_compress_bpp = r.opt_u64()?.map(|b| b as usize);
+        buf.fifo = r.bool()?;
+        buf.byte_bound = r.opt_u64()?;
+        buf.degrade_bound_divisor = r.u64()?;
+        buf.degrade_raw_first = r.bool()?;
+        buf.overflow_debt = r.region()?;
+        let n_entries = r.u32()?;
+        for _ in 0..n_entries {
+            let seq = r.u64()?;
+            let slot = match r.u8()? {
+                0xFF => QueueSlot::Realtime,
+                q if (q as usize) < NUM_QUEUES => QueueSlot::Normal(q as usize),
+                _ => return Err(CheckpointError::Malformed("entry queue slot")),
+            };
+            let enqueued = SimTime(r.u64()?);
+            let visible = r.region()?;
+            let Message::Display(cmd) = decode_checkpoint_message(r.bytes()?)? else {
+                return Err(CheckpointError::Malformed("entry is not a display command"));
+            };
+            buf.entries.push(Entry {
+                seq,
+                class: classify(&cmd),
+                cmd,
+                visible,
+                slot,
+                enqueued,
+            });
+        }
+        let n_rt = r.u32()?;
+        for _ in 0..n_rt {
+            buf.realtime.push_back(r.u64()?);
+        }
+        for q in 0..NUM_QUEUES {
+            let n = r.u32()?;
+            for _ in 0..n {
+                buf.queues[q].push_back(r.u64()?);
+            }
+        }
+        match r.u8()? {
+            0 => {}
+            1 => {
+                let budget = r.u64()?;
+                let mut cache = CacheEngine {
+                    ledger: thinc_protocol::cache::CacheLru::new(budget),
+                    fallbacks: VecDeque::new(),
+                    hits: r.u64()?,
+                    misses: r.u64()?,
+                    bytes_saved: r.u64()?,
+                };
+                let n_fallbacks = r.u32()?;
+                for _ in 0..n_fallbacks {
+                    cache.fallbacks.push_back(decode_checkpoint_message(r.bytes()?)?);
+                }
+                let n_ledger = r.u32()?;
+                for _ in 0..n_ledger {
+                    let key = r.u64()?;
+                    let size = r.u64()?;
+                    let msg = decode_checkpoint_message(r.bytes()?)?;
+                    cache.ledger.insert(key, size, msg);
+                }
+                buf.cache = Some(cache);
+            }
+            _ => return Err(CheckpointError::Malformed("cache presence tag")),
+        }
+        Ok(buf)
+    }
+}
+
+/// Decodes one revision-1-framed protocol message embedded in a
+/// checkpoint, rejecting trailing garbage inside the length-prefixed
+/// slot.
+pub(crate) fn decode_checkpoint_message(
+    data: &[u8],
+) -> Result<Message, crate::checkpoint::CheckpointError> {
+    match thinc_protocol::wire::decode_message(data) {
+        Ok((msg, used)) if used == data.len() => Ok(msg),
+        Ok(_) => Err(crate::checkpoint::CheckpointError::Malformed(
+            "trailing bytes inside embedded message",
+        )),
+        Err(_) => Err(crate::checkpoint::CheckpointError::Malformed(
+            "embedded message does not decode",
+        )),
+    }
 }
 
 /// Splits an uncompressed RAW command into a head that fits in
@@ -1424,5 +1638,92 @@ mod tests {
         let (_, _, evictions, _) = buf.cache_counts();
         assert!(evictions > 0, "budget was meant to force evictions");
         assert!(refs > 0, "repeated rounds were meant to produce refs");
+    }
+
+    // ---- checkpoint / restore ----
+
+    #[test]
+    fn checkpoint_roundtrip_is_byte_exact_and_preserves_delivery() {
+        // Build a buffer in a messy mid-flight state: cache ledger
+        // populated, a miss fallback queued, a partially-flushed RAW
+        // (split remainder re-queued at the deque front with a fresh
+        // seq), clipped visibility, and standing overflow debt.
+        let mut buf = ClientBuffer::new()
+            .with_raw_compression(3)
+            .with_byte_bound(200_000);
+        buf.enable_cache(thinc_protocol::DEFAULT_CACHE_BUDGET);
+        buf.set_time(SimTime(5_000));
+        buf.push(raw(0, 0, 8, 8), false);
+        let first = drain_all(&mut buf);
+        let hash = first[0].cache_key().unwrap();
+        assert!(buf.satisfy_cache_miss(hash));
+        let mut p = TcpPipe::new(TcpParams {
+            bandwidth_bps: 1_000_000,
+            rtt: SimDuration::from_millis(50),
+            sndbuf_bytes: 8 * 1024,
+            ..TcpParams::default()
+        });
+        let mut trace = PacketTrace::new();
+        // Incompressible payload, so the lazy PNG-like pass keeps the
+        // full 60 KB and the tiny socket buffer forces a split.
+        let mut x = 1u32;
+        let noise: Vec<u8> = (0..200 * 100 * 3)
+            .map(|_| {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (x >> 24) as u8
+            })
+            .collect();
+        buf.push(
+            DisplayCommand::Raw {
+                rect: Rect::new(0, 0, 200, 100),
+                encoding: RawEncoding::None,
+                data: noise.into(),
+            },
+            false,
+        );
+        buf.push(sfill(0, 50, 200, 10, 1), false); // Clips the RAW.
+        buf.flush(SimTime(6_000), &mut p, &mut trace); // Partial: splits.
+        assert!(!buf.is_empty(), "test wants a mid-flight remainder");
+        buf.push(raw(0, 300, 120, 100), true);
+
+        let mut w = crate::checkpoint::Writer::new();
+        buf.encode_checkpoint(&mut w);
+        let image = w.into_inner();
+        let mut r = crate::checkpoint::Reader::new(&image);
+        let mut restored = ClientBuffer::decode_checkpoint(&mut r).unwrap();
+        assert!(r.exhausted(), "decoder must consume the whole image");
+
+        // Byte-exact re-checkpoint (the failover-fidelity invariant).
+        let mut w2 = crate::checkpoint::Writer::new();
+        restored.encode_checkpoint(&mut w2);
+        assert_eq!(image, w2.into_inner());
+
+        // And the restored buffer delivers the same remaining stream.
+        assert_eq!(restored.pending_bytes(), buf.pending_bytes());
+        assert_eq!(restored.cache_keys(), buf.cache_keys());
+        assert_eq!(restored.stats(), buf.stats());
+        let live = drain_all(&mut buf);
+        let resumed = drain_all(&mut restored);
+        let enc = |msgs: &[Message]| -> Vec<Vec<u8>> {
+            msgs.iter().map(encode_message).collect()
+        };
+        assert_eq!(enc(&live), enc(&resumed));
+    }
+
+    #[test]
+    fn truncated_buffer_checkpoint_is_a_typed_error() {
+        let mut buf = ClientBuffer::new();
+        buf.enable_cache(1024);
+        buf.push(raw(0, 0, 8, 8), false);
+        let mut w = crate::checkpoint::Writer::new();
+        buf.encode_checkpoint(&mut w);
+        let image = w.into_inner();
+        for cut in 0..image.len() {
+            let mut r = crate::checkpoint::Reader::new(&image[..cut]);
+            assert!(
+                ClientBuffer::decode_checkpoint(&mut r).is_err() || !r.exhausted(),
+                "truncation at {cut} must not decode cleanly"
+            );
+        }
     }
 }

@@ -180,6 +180,20 @@ impl DegradationController {
         }
     }
 
+    /// A controller restored at a known fidelity level — used when a
+    /// session is rebuilt from a checkpoint. Hysteresis counters and
+    /// epoch history restart clean (they are deliberately not part of
+    /// the checkpoint: a restored server re-observes pressure from
+    /// scratch rather than trusting pre-crash momentum), so the first
+    /// post-restore transition takes a full `degrade_after` /
+    /// `promote_after` run of epochs, same as a fresh controller.
+    pub fn restore(config: DegradationConfig, level: DegradationLevel) -> Self {
+        Self {
+            level,
+            ..Self::new(config)
+        }
+    }
+
     /// The policy in effect.
     pub fn config(&self) -> DegradationConfig {
         self.config

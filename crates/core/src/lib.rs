@@ -39,6 +39,7 @@
 
 pub mod audio;
 pub mod buffer;
+pub mod checkpoint;
 pub mod degradation;
 pub mod liveness;
 pub mod parallel;
@@ -53,6 +54,7 @@ pub mod translator;
 pub mod video;
 
 pub use buffer::ClientBuffer;
+pub use checkpoint::{cache_digest, CheckpointError, ResumeOutcome, TileDigests};
 pub use degradation::{
     DegradationConfig, DegradationController, DegradationLevel, EpochSignals,
 };

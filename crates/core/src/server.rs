@@ -885,6 +885,205 @@ impl ThincServer {
             c.apply(data);
         }
     }
+
+    /// Adopts a redialing client's resume token: the outgoing frame
+    /// sequence continues right after the last frame the client proved
+    /// it received, so its integrity verifier sees an unbroken stream
+    /// instead of flagging the failover as a sequence break.
+    pub fn adopt_resume_seq(&mut self, last_seq: u32) {
+        self.encoder.set_next_seq(last_seq.wrapping_add(1));
+    }
+
+    /// Serializes this server into a crash-consistent checkpoint
+    /// image (see `docs/ROBUSTNESS.md`). The image captures the full
+    /// configuration, the display buffer (raw internal state, down to
+    /// queue positions and cache-ledger LRU order), the scaling and
+    /// degradation posture, the refresh ledgers, the wire framer
+    /// (revision + next sequence number), the installed cursor shape,
+    /// and the queued A/V FIFO — everything a standby needs to resume
+    /// the session byte-exact. Deliberately *not* captured (rebuilt
+    /// fresh at [`restore`](Self::restore)): the translation layer's
+    /// offscreen pixmaps (drawing state lives in the window server),
+    /// live video/audio stream internals (streams re-announce on
+    /// resync), the input halo, telemetry counters, and the liveness
+    /// tracker (restarted from config at the checkpointed clock).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        use crate::checkpoint::{format_to_u8, seal, Writer};
+        let mut w = Writer::new();
+        w.u32(self.config.width);
+        w.u32(self.config.height);
+        w.u8(format_to_u8(self.config.format));
+        w.bool(self.config.offscreen_awareness);
+        w.bool(self.config.compress_raw);
+        w.bool(self.config.server_side_scaling);
+        match &self.config.rc4_key {
+            Some(key) => {
+                w.bool(true);
+                w.bytes(key);
+            }
+            None => w.bool(false),
+        }
+        w.opt_u64(self.config.buffer_bound_bytes);
+        w.opt_u64(self.config.av_bound.map(|n| n as u64));
+        match self.config.liveness {
+            Some(cfg) => {
+                w.bool(true);
+                w.u64(cfg.timeout.0);
+                w.u64(cfg.ping_interval.0);
+            }
+            None => w.bool(false),
+        }
+        match self.config.degradation {
+            Some(cfg) => {
+                w.bool(true);
+                w.u32(cfg.degrade_after);
+                w.u32(cfg.promote_after);
+                w.f64(cfg.pressure_fraction);
+                w.u8(cfg.max_level.index() as u8);
+            }
+            None => w.bool(false),
+        }
+        w.opt_u64(self.config.cache_budget_bytes);
+        w.u64(self.now.0);
+        w.u32(self.viewport.0);
+        w.u32(self.viewport.1);
+        w.rect(&self.scale.view);
+        w.u8(match &self.degradation {
+            Some(c) => c.level().index() as u8,
+            None => 0xFF,
+        });
+        w.bool(self.refresh_owed);
+        w.region(&self.refresh_debt);
+        w.bool(self.resync_requested);
+        w.u32(self.encoder.revision() as u32);
+        w.u32(self.encoder.next_seq());
+        match &self.cursor_shape {
+            Some(shape) => {
+                w.bool(true);
+                w.bytes(&encode_message(shape));
+            }
+            None => w.bool(false),
+        }
+        w.u32(self.av_fifo.len() as u32);
+        for msg in &self.av_fifo {
+            w.bytes(&encode_message(msg));
+        }
+        self.buffer.encode_checkpoint(&mut w);
+        seal(w.into_inner())
+    }
+
+    /// Rebuilds a server from a [`checkpoint`](Self::checkpoint)
+    /// image. Every corruption — truncation, bit flips, stale format
+    /// versions, trailing garbage — surfaces as a typed
+    /// [`CheckpointError`](crate::checkpoint::CheckpointError); a
+    /// partial server is never constructed. The session cipher is
+    /// recreated from the restored configuration's key, so the
+    /// keystream restarts from position zero (the client re-keys on
+    /// reconnect).
+    pub fn restore(bytes: &[u8]) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{format_from_u8, open, CheckpointError, Reader};
+        use crate::session::level_from_u8;
+        let payload = open(bytes)?;
+        let mut r = Reader::new(payload);
+        let width = r.u32()?;
+        let height = r.u32()?;
+        let format = format_from_u8(r.u8()?)?;
+        let offscreen_awareness = r.bool()?;
+        let compress_raw = r.bool()?;
+        let server_side_scaling = r.bool()?;
+        let rc4_key = if r.bool()? { Some(r.bytes()?.to_vec()) } else { None };
+        let buffer_bound_bytes = r.opt_u64()?;
+        let av_bound = r.opt_u64()?.map(|n| n as usize);
+        let liveness = if r.bool()? {
+            Some(crate::liveness::LivenessConfig {
+                timeout: thinc_net::time::SimDuration(r.u64()?),
+                ping_interval: thinc_net::time::SimDuration(r.u64()?),
+            })
+        } else {
+            None
+        };
+        let degradation = if r.bool()? {
+            Some(crate::degradation::DegradationConfig {
+                degrade_after: r.u32()?,
+                promote_after: r.u32()?,
+                pressure_fraction: r.f64()?,
+                max_level: level_from_u8(r.u8()?)?,
+            })
+        } else {
+            None
+        };
+        let cache_budget_bytes = r.opt_u64()?;
+        let config = ServerConfig {
+            width,
+            height,
+            format,
+            offscreen_awareness,
+            compress_raw,
+            server_side_scaling,
+            rc4_key,
+            buffer_bound_bytes,
+            av_bound,
+            liveness,
+            degradation,
+            cache_budget_bytes,
+        };
+        let mut s = Self::new(config);
+        s.now = SimTime(r.u64()?);
+        let vw = r.u32()?;
+        let vh = r.u32()?;
+        s.viewport = (vw.clamp(1, width.max(1)), vh.clamp(1, height.max(1)));
+        let view = r.rect()?;
+        let level_byte = r.u8()?;
+        s.degradation = match (s.config.degradation, level_byte) {
+            (Some(_), 0xFF) => {
+                return Err(CheckpointError::Malformed("missing degradation level"))
+            }
+            (Some(cfg), b) => Some(crate::degradation::DegradationController::restore(
+                cfg,
+                level_from_u8(b)?,
+            )),
+            (None, 0xFF) => None,
+            (None, _) => {
+                return Err(CheckpointError::Malformed("orphan degradation level"))
+            }
+        };
+        let (ew, eh) = s.effective_viewport();
+        s.scale = ScalePolicy::new(width, height, ew, eh).with_view(view);
+        if s.config.server_side_scaling {
+            s.video.set_scale(ew, width, eh, height);
+        }
+        s.refresh_owed = r.bool()?;
+        s.refresh_debt = r.region()?;
+        s.resync_requested = r.bool()?;
+        let revision = r.u32()?;
+        if revision > u16::MAX as u32 {
+            return Err(CheckpointError::Malformed("wire revision"));
+        }
+        s.encoder = FrameEncoder::with_revision(revision as u16);
+        s.encoder.set_next_seq(r.u32()?);
+        s.cursor_shape = if r.bool()? {
+            Some(crate::buffer::decode_checkpoint_message(r.bytes()?)?)
+        } else {
+            None
+        };
+        let av_len = r.u32()?;
+        let mut av_fifo = VecDeque::new();
+        for _ in 0..av_len {
+            av_fifo.push_back(crate::buffer::decode_checkpoint_message(r.bytes()?)?);
+        }
+        s.av_fifo = av_fifo;
+        s.buffer = ClientBuffer::decode_checkpoint(&mut r)?;
+        if !r.exhausted() {
+            return Err(CheckpointError::Malformed(
+                "trailing bytes after checkpoint",
+            ));
+        }
+        s.liveness = s
+            .config
+            .liveness
+            .map(|c| crate::liveness::LivenessTracker::new(c, s.now));
+        Ok(s)
+    }
 }
 
 impl VideoDriver for ThincServer {
@@ -1558,6 +1757,179 @@ mod tests {
         s.handle_message(&Message::CacheMiss { hash: 0xBAD_C0DE });
         assert!(s.refresh_owed, "unsatisfiable miss owes a refresh");
         assert_eq!(s.resilience_metrics().cache_misses(), 1);
+    }
+
+    /// A server with every subsystem lit up and mid-flight state:
+    /// negotiated revision-3 framing (integrity + cache), a cursor, a
+    /// queued A/V backlog, partially flushed display traffic, and a
+    /// non-identity scale.
+    fn checkpointable_server() -> WindowServer<ThincServer> {
+        use crate::degradation::DegradationConfig;
+        use crate::liveness::LivenessConfig;
+        use thinc_net::time::SimDuration;
+        let thinc = ThincServer::new(ServerConfig {
+            width: 64,
+            height: 64,
+            rc4_key: Some(b"0123456789abcdef".to_vec()),
+            buffer_bound_bytes: Some(512 * 1024),
+            av_bound: Some(8),
+            liveness: Some(LivenessConfig {
+                timeout: SimDuration::from_secs_f64(10.0),
+                ping_interval: SimDuration::from_secs_f64(2.0),
+            }),
+            degradation: Some(DegradationConfig::default()),
+            ..ServerConfig::default()
+        });
+        let mut ws = WindowServer::new(64, 64, PixelFormat::Rgb888, thinc);
+        ws.driver_mut().handle_message(&Message::ClientHello {
+            version: PROTOCOL_VERSION,
+            viewport_width: 48,
+            viewport_height: 48,
+        });
+        ws.driver_mut().set_cursor(8, 8, 1, 1, vec![7; 8 * 8 * 4]);
+        ws.driver_mut().open_audio(44_100, 2);
+        ws.driver_mut().play_audio(&vec![1u8; 4096]);
+        // Incompressible noise so the backlog cannot collapse to a
+        // few bytes under the RAW codec.
+        let mut x = 0x2545_F491u32;
+        for i in 0..3 {
+            let data: Vec<u8> = (0..24 * 24 * 3)
+                .map(|_| {
+                    x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    (x >> 24) as u8
+                })
+                .collect();
+            ws.process(DrawRequest::PutImage {
+                target: SCREEN,
+                rect: Rect::new(i * 8, i * 8, 24, 24),
+                data,
+            });
+        }
+        // One constrained flush epoch against a narrow pipe: some
+        // traffic goes out, the rest stays buffered (mid-flight
+        // checkpoint state).
+        let mut pipe = TcpPipe::new(thinc_net::tcp::TcpParams {
+            bandwidth_bps: 256_000,
+            sndbuf_bytes: 2 * 1024,
+            ..thinc_net::tcp::TcpParams::default()
+        });
+        let mut trace = PacketTrace::new();
+        let _ = ws.driver_mut().flush(SimTime(10_000), &mut pipe, &mut trace);
+        assert!(
+            ws.driver().display_backlog() > 0 || ws.driver().av_backlog() > 0,
+            "checkpoint fixture should carry backlog"
+        );
+        ws
+    }
+
+    #[test]
+    fn server_restore_re_checkpoints_byte_exact() {
+        let ws = checkpointable_server();
+        let c1 = ws.driver().checkpoint();
+        let mut restored = ThincServer::restore(&c1).expect("valid image restores");
+        let c2 = restored.checkpoint();
+        assert_eq!(c1, c2, "checkpoint(restore(c)) must equal c");
+        assert_eq!(restored.wire_revision(), ws.driver().wire_revision());
+        assert_eq!(restored.display_backlog(), ws.driver().display_backlog());
+        assert_eq!(restored.av_backlog(), ws.driver().av_backlog());
+        assert_eq!(restored.viewport(), ws.driver().viewport());
+        assert_eq!(restored.view(), ws.driver().view());
+        assert!(restored.cache_enabled());
+        // The framer continues the sequence stream exactly where the
+        // crashed server left it: the same message frames to the same
+        // bytes on both sides.
+        let probe = Message::CursorMove { x: 3, y: 4 };
+        let mut original = checkpointable_server();
+        assert_eq!(
+            restored.encode_frame(&probe),
+            original.driver_mut().encode_frame(&probe),
+        );
+    }
+
+    #[test]
+    fn corrupt_server_checkpoints_are_typed_errors() {
+        let ws = checkpointable_server();
+        let image = ws.driver().checkpoint();
+        for cut in 0..image.len().min(200) {
+            assert!(ThincServer::restore(&image[..cut]).is_err());
+        }
+        for byte in (0..image.len()).step_by(41) {
+            let mut bad = image.clone();
+            bad[byte] ^= 0x08;
+            assert!(ThincServer::restore(&bad).is_err(), "flip at {byte}");
+        }
+        let mut grown = image.clone();
+        grown.push(0);
+        assert!(ThincServer::restore(&grown).is_err(), "trailing garbage");
+    }
+
+    #[test]
+    fn restored_server_converges_the_client() {
+        // A client that saw everything up to the crash converges
+        // byte-exact on the stream the restored server produces.
+        let mut ws = checkpointable_server();
+        let mut sc = thinc_client::StreamClient::new(48, 48, PixelFormat::Rgb888);
+        // Replay the pre-crash traffic (fixture flushed one epoch
+        // before checkpointing; reproduce it through a fresh fixture
+        // so the client sees those bytes).
+        // Instead: drive this fixture from scratch so every delivered
+        // frame reaches the client.
+        let hello = ws.driver().hello();
+        let bytes = ws.driver_mut().encode_frame(&hello);
+        sc.feed(&bytes);
+        let mut link = NetworkConfig::lan_desktop().connect();
+        let mut trace = PacketTrace::new();
+        let mut now = SimTime(20_000);
+        for _ in 0..50 {
+            let batch = ws.driver_mut().flush(now, &mut link.down, &mut trace);
+            for (_, m) in &batch {
+                let bytes = ws.driver_mut().encode_frame(m);
+                sc.feed(&bytes);
+            }
+            if ws.driver().display_backlog() == 0 && ws.driver().av_backlog() == 0 {
+                break;
+            }
+            now = link.down.tx_free_at();
+        }
+        // Crash & failover mid-session: new content arrives only
+        // after the standby took over.
+        let image = ws.driver().checkpoint();
+        *ws.driver_mut() = ThincServer::restore(&image).unwrap();
+        ws.process(DrawRequest::FillRect {
+            target: SCREEN,
+            rect: Rect::new(0, 0, 64, 16),
+            color: Color::rgb(9, 200, 9),
+        });
+        for _ in 0..50 {
+            let batch = ws.driver_mut().flush(now, &mut link.down, &mut trace);
+            for (_, m) in &batch {
+                let bytes = ws.driver_mut().encode_frame(m);
+                sc.feed(&bytes);
+            }
+            if ws.driver().display_backlog() == 0 && ws.driver().av_backlog() == 0 {
+                break;
+            }
+            now = link.down.tx_free_at();
+        }
+        assert_eq!(
+            sc.resilience_metrics().seq_gaps(),
+            0,
+            "failover must not break the frame sequence"
+        );
+        // Expected image: the final screen scaled once onto the
+        // 48x48 viewport.
+        let (clip, data) = ws.screen().get_raw(&Rect::new(0, 0, 64, 64));
+        let full = DisplayCommand::Raw {
+            rect: clip,
+            encoding: thinc_protocol::commands::RawEncoding::None,
+            data: data.into(),
+        };
+        let scaled = ScalePolicy::new(64, 64, 48, 48)
+            .transform(&full, ws.screen())
+            .expect("full-screen raw survives scaling");
+        let mut expect = thinc_client::ThincClient::new(48, 48, PixelFormat::Rgb888);
+        expect.apply(&Message::Display(scaled));
+        assert_eq!(sc.client().framebuffer().data(), expect.framebuffer().data());
     }
 
     #[test]

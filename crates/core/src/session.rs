@@ -23,13 +23,17 @@
 use thinc_display::drawable::{DrawableId, DrawableStore};
 use thinc_display::driver::VideoDriver;
 use thinc_net::tcp::TcpPipe;
-use thinc_net::time::SimTime;
+use thinc_net::time::{SimDuration, SimTime};
 use thinc_net::trace::PacketTrace;
 use thinc_protocol::commands::DisplayCommand;
 use thinc_protocol::message::Message;
-use thinc_raster::{Color, Framebuffer, PixelFormat, Rect, YuvFrame};
+use thinc_raster::{Color, Framebuffer, PixelFormat, Rect, Region, YuvFrame};
 
 use crate::buffer::ClientBuffer;
+use crate::checkpoint::{
+    cache_digest, format_from_u8, format_to_u8, CheckpointError, Reader, ResumeOutcome,
+    TileDigests, Writer,
+};
 use crate::degradation::{DegradationConfig, DegradationController, DegradationLevel, EpochSignals};
 use crate::liveness::{LivenessConfig, LivenessTracker, LivenessVerdict};
 use crate::plane::{PlaneCounters, WirePlane};
@@ -279,6 +283,15 @@ pub struct SharedSession {
     workers: usize,
     /// Cumulative encode-once plane accounting across flush rounds.
     fanout: PlaneCounters,
+    /// Stable identity carried by resume tokens: a digest of owner +
+    /// geometry + format, so a redialing client can prove it is
+    /// resuming *this* session and not a coincidentally-numbered one.
+    session_id: u64,
+    /// Per-tile screen digests captured when this session was
+    /// checkpointed (`None` on a fresh session). Warm resume diffs
+    /// these against the live screen to ship only the tiles that
+    /// changed while the session was down.
+    restored_tiles: Option<TileDigests>,
 }
 
 impl std::fmt::Debug for SharedSession {
@@ -308,6 +321,8 @@ impl SharedSession {
             cache_budget: None,
             workers: 1,
             fanout: PlaneCounters::default(),
+            session_id: compute_session_id(owner, width, height, format),
+            restored_tiles: None,
         }
     }
 
@@ -961,6 +976,329 @@ impl SharedSession {
     pub fn client_fallbacks_pending(&self, id: ClientId) -> usize {
         self.state(id).map(|s| s.buffer.fallbacks_pending()).unwrap_or(0)
     }
+
+    /// The session's stable identity, as carried by resume tokens.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Serializes the full session — policy, every client's delivery
+    /// state, and per-tile digests of `screen` — into a versioned,
+    /// CRC-guarded checkpoint image ([`crate::checkpoint`]).
+    ///
+    /// Crash consistency comes from serializing raw internal state at
+    /// a quiescent point (between flush epochs), never mid-mutation.
+    /// Quarantined clients are skipped entirely: a quarantine means a
+    /// panic may have struck mid-mutation, so their state is exactly
+    /// what a checkpoint must not trust.
+    ///
+    /// Deliberately not captured (all reconstructed or reset at
+    /// [`restore`](Self::restore)): the translator's pixmap queues
+    /// (offscreen drawings replay into fresh queues), video stream
+    /// internals (active streams are torn down across a failover and
+    /// re-announced), liveness trackers (restarted from config — a
+    /// restored server must not inherit pre-crash silence), telemetry
+    /// counters, and the encode-once plane accounting.
+    pub fn checkpoint(&self, screen: &Framebuffer) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.width);
+        w.u32(self.height);
+        w.u8(format_to_u8(self.format));
+        w.u64(self.session_id);
+        w.str(&self.auth.owner);
+        w.opt_str(self.auth.session_password.as_deref());
+        w.u32(self.next_client);
+        w.u64(self.now.0);
+        match self.liveness {
+            Some(cfg) => {
+                w.bool(true);
+                w.u64(cfg.timeout.0);
+                w.u64(cfg.ping_interval.0);
+            }
+            None => w.bool(false),
+        }
+        match self.degradation {
+            Some(cfg) => {
+                w.bool(true);
+                w.u32(cfg.degrade_after);
+                w.u32(cfg.promote_after);
+                w.f64(cfg.pressure_fraction);
+                w.u8(cfg.max_level.index() as u8);
+            }
+            None => w.bool(false),
+        }
+        w.opt_u64(self.buffer_bound);
+        w.opt_u64(self.cache_budget);
+        w.u32(self.workers as u32);
+        let tiles = TileDigests::of(screen);
+        w.u32(tiles.width);
+        w.u32(tiles.height);
+        w.u32(tiles.cols);
+        w.u32(tiles.rows);
+        for d in &tiles.digests {
+            w.u64(*d);
+        }
+        let live: Vec<&(ClientId, ClientState)> = self
+            .clients
+            .iter()
+            .filter(|(_, s)| !s.quarantined)
+            .collect();
+        w.u32(live.len() as u32);
+        for (id, state) in live {
+            w.u32(id.0);
+            w.str(&state.user);
+            w.u32(state.viewport.0);
+            w.u32(state.viewport.1);
+            w.rect(&state.scale.view);
+            w.bool(state.refresh_owed);
+            w.u8(match &state.degradation {
+                Some(c) => c.level().index() as u8,
+                None => 0xFF,
+            });
+            state.buffer.encode_checkpoint(&mut w);
+            // Liveness probes are incarnation-local and never
+            // checkpointed: the restored standby's fresh tracker
+            // issues its own pings, and a carried-over probe would
+            // draw a pong the standby's reset telemetry never
+            // accounted for (breaking pong<=ping conservation).
+            let av: Vec<&Message> = state
+                .pending_av
+                .iter()
+                .filter(|m| !matches!(m, Message::Ping { .. }))
+                .collect();
+            w.u32(av.len() as u32);
+            for msg in av {
+                w.bytes(&thinc_protocol::wire::encode_message(msg));
+            }
+        }
+        crate::checkpoint::seal(w.into_inner())
+    }
+
+    /// Rebuilds a session from a [`checkpoint`](Self::checkpoint)
+    /// image. Every corruption — bad magic, foreign version, any
+    /// truncation or bit flip, malformed interior structure, trailing
+    /// garbage — yields a typed error; nothing panics, and a failed
+    /// restore leaves no partial state behind (the caller keeps its
+    /// cold path).
+    pub fn restore(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let payload = crate::checkpoint::open(bytes)?;
+        let mut r = Reader::new(payload);
+        let width = r.u32()?;
+        let height = r.u32()?;
+        let format = format_from_u8(r.u8()?)?;
+        let session_id = r.u64()?;
+        let owner = r.str()?;
+        let session_password = r.opt_str()?;
+        let next_client = r.u32()?;
+        let now = SimTime(r.u64()?);
+        let liveness = if r.bool()? {
+            Some(LivenessConfig {
+                timeout: SimDuration(r.u64()?),
+                ping_interval: SimDuration(r.u64()?),
+            })
+        } else {
+            None
+        };
+        let degradation = if r.bool()? {
+            Some(DegradationConfig {
+                degrade_after: r.u32()?,
+                promote_after: r.u32()?,
+                pressure_fraction: r.f64()?,
+                max_level: level_from_u8(r.u8()?)?,
+            })
+        } else {
+            None
+        };
+        let buffer_bound = r.opt_u64()?;
+        let cache_budget = r.opt_u64()?;
+        let workers = (r.u32()? as usize).max(1);
+        let tiles = {
+            let (tw, th, cols, rows) = (r.u32()?, r.u32()?, r.u32()?, r.u32()?);
+            let n = u64::from(cols) * u64::from(rows);
+            // Reads fail fast at the payload boundary, so a corrupt
+            // count cannot balloon the allocation.
+            let mut digests = Vec::new();
+            for _ in 0..n {
+                digests.push(r.u64()?);
+            }
+            TileDigests { width: tw, height: th, cols, rows, digests }
+        };
+        let n_clients = r.u32()?;
+        let mut clients = Vec::new();
+        for _ in 0..n_clients {
+            let id = ClientId(r.u32()?);
+            let user = r.str()?;
+            let vw = r.u32()?.clamp(1, width);
+            let vh = r.u32()?.clamp(1, height);
+            let view = r.rect()?;
+            let refresh_owed = r.bool()?;
+            let level_byte = r.u8()?;
+            let buffer = ClientBuffer::decode_checkpoint(&mut r)?;
+            let controller = match (degradation, level_byte) {
+                (Some(_), 0xFF) => {
+                    return Err(CheckpointError::Malformed("missing degradation level"))
+                }
+                (Some(cfg), b) => Some(DegradationController::restore(cfg, level_from_u8(b)?)),
+                (None, 0xFF) => None,
+                (None, _) => {
+                    return Err(CheckpointError::Malformed("orphan degradation level"))
+                }
+            };
+            let div = controller
+                .as_ref()
+                .map(|c| c.level().scale_divisor())
+                .unwrap_or(1)
+                .max(1);
+            let (ew, eh) = ((vw / div).max(1), (vh / div).max(1));
+            let mut video = VideoStreamManager::new();
+            video.set_scale(ew, width, eh, height);
+            let n_av = r.u32()?;
+            let mut pending_av = Vec::new();
+            for _ in 0..n_av {
+                pending_av.push(crate::buffer::decode_checkpoint_message(r.bytes()?)?);
+            }
+            clients.push((
+                id,
+                ClientState {
+                    user,
+                    buffer,
+                    scale: ScalePolicy::new(width, height, ew, eh).with_view(view),
+                    video,
+                    pending_av,
+                    liveness: liveness.map(|c| LivenessTracker::new(c, now)),
+                    session: (width, height),
+                    viewport: (vw, vh),
+                    degradation: controller,
+                    refresh_owed,
+                    resilience: thinc_telemetry::ResilienceMetrics::new(),
+                    quarantined: false,
+                    poison_flush: false,
+                },
+            ));
+        }
+        if !r.exhausted() {
+            return Err(CheckpointError::Malformed("trailing bytes after checkpoint"));
+        }
+        Ok(Self {
+            width,
+            height,
+            format,
+            auth: SessionAuth { owner, session_password },
+            translator: Translator::new(),
+            clients,
+            next_client,
+            now,
+            liveness,
+            degradation,
+            buffer_bound,
+            cache_budget,
+            workers,
+            fanout: PlaneCounters::default(),
+            session_id,
+            restored_tiles: Some(tiles),
+        })
+    }
+
+    /// Handles a redialing client's `MSG_SESSION_RESUME` token against
+    /// the live screen.
+    ///
+    /// Warm resume (token matches: right session, known client, cache
+    /// ledger digest equal to the client's store digest) ships only
+    /// the delta between the checkpointed screen digests and `screen`
+    /// — the client's framebuffer and content store are trusted
+    /// as-is. Any mismatch falls back cold: pending state is dropped,
+    /// both cache sides reset, and a full-view refresh is queued —
+    /// the same path a brand-new attach takes, so a stale or
+    /// corrupted token can never do worse than a cold reconnect.
+    pub fn resume_client(
+        &mut self,
+        session_id: u64,
+        id: ClientId,
+        store_digest: u64,
+        screen: &Framebuffer,
+    ) -> ResumeOutcome {
+        if session_id != self.session_id {
+            // Wrong session entirely: nothing here belongs to this
+            // client, so nothing is touched.
+            return ResumeOutcome::Cold { reason: "unknown session" };
+        }
+        if self.state(id).is_none() {
+            return ResumeOutcome::Cold { reason: "unknown client" };
+        }
+        if self.state(id).is_some_and(|s| s.quarantined) {
+            // Quarantined state is unspecified (the panic may have
+            // struck mid-mutation); it must not be revived or mutated.
+            return ResumeOutcome::Cold { reason: "quarantined" };
+        }
+        let ledger_digest =
+            cache_digest(&self.state(id).map(|s| s.buffer.cache_keys()).unwrap_or_default());
+        if ledger_digest != store_digest {
+            return self.cold_fallback(id, screen, "cache digest mismatch");
+        }
+        let delta = match &self.restored_tiles {
+            Some(t) => t.delta(&TileDigests::of(screen)),
+            None => Region::new(),
+        };
+        let delta_area = delta.area();
+        let state = self.state_mut(id).expect("presence checked above");
+        state.resilience.record_resume();
+        if state.scale.is_identity() {
+            // Debt lives in viewport coordinates; at identity scale
+            // the session-space delta maps one-to-one, so only the
+            // changed tiles are requeued.
+            state.buffer.owe_refresh_region(&delta);
+            state.repay_debt(screen);
+        } else if !delta.is_empty() {
+            // A scaled client resamples whole views; re-rendering the
+            // full view is both simpler and still far cheaper than a
+            // cold restart (no cache reset, no pending-state drop).
+            state.refresh_owed = true;
+            state.repay_refresh(screen);
+        }
+        ResumeOutcome::Warm { delta_area }
+    }
+
+    /// The cold half of [`resume_client`](Self::resume_client): drop
+    /// everything mid-flight, clear the cache ledger (the redialing
+    /// client clears its store in the same breath, keeping the
+    /// eviction mirror intact), and queue a full-view refresh.
+    fn cold_fallback(
+        &mut self,
+        id: ClientId,
+        screen: &Framebuffer,
+        reason: &'static str,
+    ) -> ResumeOutcome {
+        if let Some(state) = self.state_mut(id) {
+            state.resilience.record_cold_fallback();
+            let _ = state.buffer.drop_pending_for_rescale();
+            let _ = state.buffer.take_overflow_debt();
+            state.buffer.reset_cache();
+            state.pending_av.clear();
+            state.refresh_owed = true;
+            state.repay_refresh(screen);
+        }
+        ResumeOutcome::Cold { reason }
+    }
+}
+
+/// The session identity folded into resume tokens: owner plus
+/// geometry, so two sessions only collide when they are genuinely
+/// interchangeable from the client's perspective.
+fn compute_session_id(owner: &str, width: u32, height: u32, format: PixelFormat) -> u64 {
+    use thinc_protocol::hash::{fnv64, fnv64_update};
+    let mut h = fnv64(owner.as_bytes());
+    h = fnv64_update(h, &width.to_le_bytes());
+    h = fnv64_update(h, &height.to_le_bytes());
+    h = fnv64_update(h, &[format_to_u8(format)]);
+    h
+}
+
+/// Decodes a degradation-ladder level from its checkpoint byte.
+pub(crate) fn level_from_u8(b: u8) -> Result<DegradationLevel, CheckpointError> {
+    DegradationLevel::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or(CheckpointError::Malformed("degradation level"))
 }
 
 /// The per-client flush body: A/V first (paced data), then the SRSF
@@ -1555,5 +1893,243 @@ mod tests {
         assert!(!s.client_cache_miss(id, 0xDEAD_BEEF));
         let m = s.client_resilience(id).unwrap();
         assert_eq!(m.cache_misses(), 2);
+    }
+
+    // ---- checkpoint / restore / warm failover ----
+
+    /// A fully-featured two-client session with some delivered traffic
+    /// and some backlog, plus the drawable store driving it and the
+    /// per-client messages its internal flush epochs already delivered
+    /// (a client replaying the stream from scratch needs them too).
+    fn checkpointable_session() -> (
+        SharedSession,
+        thinc_display::drawable::DrawableStore,
+        Vec<Vec<Message>>,
+    ) {
+        use thinc_display::drawable::SCREEN;
+        use thinc_net::link::NetworkConfig;
+
+        let mut s = SharedSession::new(64, 64, PixelFormat::Rgb888, "host")
+            .with_liveness(LivenessConfig::default())
+            .with_degradation(DegradationConfig::default())
+            .with_buffer_bound(512 * 1024)
+            .with_cache(thinc_protocol::DEFAULT_CACHE_BUDGET)
+            .with_workers(2);
+        s.auth_mut().enable_sharing("pw");
+        s.attach(&Credentials::Owner { user: "host".into() }, 64, 64)
+            .unwrap();
+        s.attach(
+            &Credentials::Peer { user: "guest".into(), password: "pw".into() },
+            32,
+            32,
+        )
+        .unwrap();
+        let mut store = DrawableStore::new(64, 64, PixelFormat::Rgb888);
+        store
+            .screen_mut()
+            .fill_rect(&Rect::new(0, 0, 64, 64), Color::rgb(40, 80, 120));
+        s.solid_fill(&store, SCREEN, Rect::new(0, 0, 64, 64), Color::rgb(40, 80, 120));
+        let mut links = vec![
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        ];
+        // A couple of flush epochs: populates ledgers and stats but
+        // deliberately leaves backlog (mid-flight state).
+        let mut delivered = vec![Vec::new(), Vec::new()];
+        for i in 0..2u64 {
+            for (j, (_, msgs)) in s
+                .flush_all(SimTime((i + 1) * 10_000), &mut links)
+                .into_iter()
+                .enumerate()
+            {
+                delivered[j].extend(msgs.into_iter().map(|(_, m)| m));
+            }
+        }
+        store
+            .screen_mut()
+            .fill_rect(&Rect::new(4, 4, 24, 24), Color::rgb(200, 10, 10));
+        s.solid_fill(&store, SCREEN, Rect::new(4, 4, 24, 24), Color::rgb(200, 10, 10));
+        (s, store, delivered)
+    }
+
+    #[test]
+    fn restore_re_checkpoints_byte_exact() {
+        let (s, store, _) = checkpointable_session();
+        let c1 = s.checkpoint(store.screen());
+        let restored = SharedSession::restore(&c1).expect("valid image restores");
+        let c2 = restored.checkpoint(store.screen());
+        assert_eq!(c1, c2, "checkpoint(restore(c)) must equal c");
+        assert_eq!(restored.session_id(), s.session_id());
+        assert_eq!(restored.client_ids(), s.client_ids());
+        for id in s.client_ids() {
+            assert_eq!(restored.client_pending_bytes(id), s.client_pending_bytes(id));
+            assert_eq!(restored.client_cache_keys(id), s.client_cache_keys(id));
+        }
+    }
+
+    #[test]
+    fn queued_liveness_probes_are_not_checkpointed() {
+        use thinc_net::link::NetworkConfig;
+
+        let (mut s, store, _) = checkpointable_session();
+        let owner = s.client_ids()[0];
+        // Past the ping interval: polling queues a probe (and counts
+        // it) on the live incarnation.
+        let t = SimTime(6_000_000);
+        s.set_time(t);
+        assert!(matches!(
+            s.poll_client_liveness(owner, t),
+            LivenessVerdict::SendPing { .. }
+        ));
+        let image = s.checkpoint(store.screen());
+        // The image still restores and re-checkpoints byte-exact with
+        // the probe queued on the live side...
+        let restored = SharedSession::restore(&image).expect("valid image restores");
+        assert_eq!(restored.checkpoint(store.screen()), image);
+        // ...and the standby never delivers the dead incarnation's
+        // ping — its own fresh tracker issues (and counts) probes —
+        // so pong<=ping conservation survives the takeover.
+        let mut restored = restored;
+        let mut links = vec![
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        ];
+        for i in 0..20u64 {
+            for (_, msgs) in restored.flush_all(SimTime(t.0 + (i + 1) * 10_000), &mut links) {
+                for (_, m) in msgs {
+                    assert!(
+                        !matches!(m, Message::Ping { .. }),
+                        "standby delivered a probe its telemetry never counted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_session_checkpoints_are_typed_errors() {
+        let (s, store, _) = checkpointable_session();
+        let image = s.checkpoint(store.screen());
+        for cut in 0..image.len().min(200) {
+            assert!(SharedSession::restore(&image[..cut]).is_err());
+        }
+        // CRC catches every single-bit flip in the payload; header
+        // flips land on magic/version/length checks instead. Either
+        // way: typed error, no panic, no partial session.
+        for byte in (0..image.len()).step_by(37) {
+            let mut bad = image.clone();
+            bad[byte] ^= 0x10;
+            assert!(SharedSession::restore(&bad).is_err(), "flip at {byte}");
+        }
+    }
+
+    #[test]
+    fn warm_resume_ships_only_the_stale_tiles() {
+        use thinc_display::drawable::SCREEN;
+        use thinc_net::link::NetworkConfig;
+
+        let (mut s, mut store, mut delivered) = checkpointable_session();
+        let mut links = vec![
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        ];
+        // Drain fully so the pre-crash clients are converged.
+        let owner = s.client_ids()[0];
+        for i in 0..50u64 {
+            for (j, (_, msgs)) in s
+                .flush_all(SimTime(100_000 + i * 10_000), &mut links)
+                .into_iter()
+                .enumerate()
+            {
+                delivered[j].extend(msgs.into_iter().map(|(_, m)| m));
+            }
+            if (0..s.client_count() as u32).all(|c| s.backlog(ClientId(c)) == 0) {
+                break;
+            }
+        }
+        let digest_before = crate::checkpoint::cache_digest(&s.client_cache_keys(owner));
+        let image = s.checkpoint(store.screen());
+
+        // The "server" dies; drawing continues against the live store
+        // (16 tile rows change) before the standby restores.
+        store
+            .screen_mut()
+            .fill_rect(&Rect::new(0, 0, 64, 16), Color::rgb(9, 200, 9));
+        let mut restored = SharedSession::restore(&image).unwrap();
+        restored.solid_fill(&store, SCREEN, Rect::new(0, 0, 64, 16), Color::rgb(9, 200, 9));
+        // The restored session does not yet know the redialed client
+        // state is intact: the resume token proves it.
+        let sid = restored.session_id();
+        let warm = restored.resume_client(sid, owner, digest_before, store.screen());
+        let ResumeOutcome::Warm { delta_area } = warm else {
+            panic!("matching token must resume warm, got {warm:?}");
+        };
+        assert!(delta_area > 0, "screen changed while down");
+        assert!(
+            delta_area <= 64 * 16 + 64 * 32,
+            "delta covers the changed band (plus the still-undelivered backlog), \
+             not the whole screen: {delta_area}"
+        );
+        assert_eq!(
+            restored.client_resilience(owner).unwrap().resumes(),
+            1,
+            "warm resume is counted"
+        );
+
+        // A stale token (store digest mismatch) falls back cold: cache
+        // reset on the server side, full view owed, counted.
+        let guest = restored.client_ids()[1];
+        let cold = restored.resume_client(sid, guest, 0xBAD, store.screen());
+        assert!(matches!(cold, ResumeOutcome::Cold { reason: "cache digest mismatch" }));
+        assert!(restored.client_cache_keys(guest).is_empty(), "ledger reset");
+        assert_eq!(restored.client_resilience(guest).unwrap().cold_fallbacks(), 1);
+        // Unknown session / unknown client / quarantined: cold, no touch.
+        assert!(matches!(
+            restored.resume_client(sid ^ 1, owner, digest_before, store.screen()),
+            ResumeOutcome::Cold { reason: "unknown session" }
+        ));
+        assert!(matches!(
+            restored.resume_client(sid, ClientId(999), 0, store.screen()),
+            ResumeOutcome::Cold { reason: "unknown client" }
+        ));
+
+        // Both clients converge byte-exact after the failover; the
+        // warm client's bill is a fraction of the cold one's.
+        let warm_before = restored.client_sent_bytes(owner);
+        let cold_before = restored.client_sent_bytes(guest);
+        let mut links = vec![
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        ];
+        for i in 0..80u64 {
+            for (j, (_, msgs)) in restored
+                .flush_all(SimTime(10_000_000 + i * 10_000), &mut links)
+                .into_iter()
+                .enumerate()
+            {
+                delivered[j].extend(msgs.into_iter().map(|(_, m)| m));
+            }
+            if (0..restored.client_count() as u32)
+                .all(|c| restored.backlog(ClientId(c)) == 0)
+            {
+                break;
+            }
+        }
+        let mut sc = thinc_client::StreamClient::new(64, 64, PixelFormat::Rgb888);
+        for m in &delivered[0] {
+            sc.feed(&thinc_protocol::wire::encode_message(m));
+        }
+        assert_eq!(
+            sc.client().framebuffer().data(),
+            store.screen().data(),
+            "warm-resumed client converges byte-exact"
+        );
+        let warm_bytes = restored.client_sent_bytes(owner) - warm_before;
+        let cold_bytes = restored.client_sent_bytes(guest) - cold_before;
+        assert!(
+            warm_bytes < cold_bytes,
+            "warm resume ({warm_bytes} B to a 64x64 viewport) must undercut \
+             cold reconnect ({cold_bytes} B to a 32x32 viewport)"
+        );
     }
 }

@@ -91,6 +91,18 @@ impl ShardedManager {
         m
     }
 
+    /// Rebuilds a manager from a [`SharedSession::checkpoint`] image:
+    /// the session is restored, then re-partitioned into `shards`
+    /// slots. Redialing clients' fresh links must be registered via
+    /// [`adopt_link`](Self::adopt_link) (in any order — the partition
+    /// is a pure function of the ids) before the next flush epoch.
+    pub fn restore(
+        bytes: &[u8],
+        shards: usize,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        Ok(Self::new(SharedSession::restore(bytes)?, shards))
+    }
+
     /// The shard a client id maps to: a stable content hash of the
     /// id, independent of attach order and of every other client.
     pub fn shard_of(&self, id: ClientId) -> usize {

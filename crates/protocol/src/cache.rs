@@ -68,6 +68,24 @@ pub fn cache_key(msg: &Message, encoded: &[u8]) -> Option<u64> {
     }
 }
 
+/// FNV-1a digest over a sorted key set, used by the session-resume
+/// handshake to prove ledger/store coherence.
+///
+/// The client computes this over its store's sorted keys and carries
+/// it in `MSG_SESSION_RESUME`; the server computes the same digest
+/// over the checkpointed ledger's sorted keys. A match means the
+/// mirrored-LRU invariant survived the failover and cache refs can
+/// keep flowing; a mismatch forces the cold-reconnect path, which
+/// clears both sides. `keys` must already be sorted ascending (the
+/// order [`CacheLru::keys`] returns).
+pub fn store_digest(sorted_keys: &[u64]) -> u64 {
+    let mut state = crate::hash::fnv64(&[]);
+    for k in sorted_keys {
+        state = crate::hash::fnv64_update(state, &k.to_le_bytes());
+    }
+    state
+}
+
 /// A byte-budgeted LRU keyed by 64-bit content hash.
 ///
 /// Used as both the server-side per-client ledger and the client-side
@@ -189,6 +207,19 @@ impl<V> CacheLru<V> {
         keys
     }
 
+    /// Every held entry from least- to most-recently-used, as
+    /// `(key, size, value)`.
+    ///
+    /// This is the serialization order for checkpoints: replaying the
+    /// iteration through [`insert`](Self::insert) reconstructs not
+    /// just the key set but the exact eviction order, so a restored
+    /// ledger keeps evicting in lockstep with the live client store.
+    pub fn iter_lru(&self) -> impl Iterator<Item = (u64, u64, &V)> + '_ {
+        self.order.iter().filter_map(move |&k| {
+            self.entries.get(&k).map(|(size, v)| (k, *size, v))
+        })
+    }
+
     /// Drops every entry (budget and lifetime eviction count remain).
     pub fn clear(&mut self) {
         self.used = 0;
@@ -270,6 +301,25 @@ mod tests {
                 assert_eq!(a.contains(probe), b.contains(probe));
             }
         }
+    }
+
+    #[test]
+    fn iter_lru_replay_reconstructs_eviction_order() {
+        let mut original: CacheLru<u32> = CacheLru::new(200);
+        original.insert(1, 50, 10);
+        original.insert(2, 50, 20);
+        original.insert(3, 50, 30);
+        original.touch(1); // LRU order is now 2, 3, 1.
+        let mut replayed: CacheLru<u32> = CacheLru::new(original.budget());
+        for (k, size, v) in original.iter_lru() {
+            replayed.insert(k, size, *v);
+        }
+        assert_eq!(replayed.keys(), original.keys());
+        assert_eq!(replayed.used_bytes(), original.used_bytes());
+        // Same eviction order: one more insert evicts the same victim.
+        original.insert(4, 120, 40);
+        replayed.insert(4, 120, 40);
+        assert_eq!(replayed.keys(), original.keys());
     }
 
     #[test]

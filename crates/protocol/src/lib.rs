@@ -38,7 +38,7 @@ pub mod payload;
 pub mod telemetry;
 pub mod wire;
 
-pub use cache::{CacheLru, CACHE_MIN_PAYLOAD, DEFAULT_CACHE_BUDGET};
+pub use cache::{store_digest, CacheLru, CACHE_MIN_PAYLOAD, DEFAULT_CACHE_BUDGET};
 pub use commands::{DisplayCommand, RawEncoding, Tile};
 pub use payload::Bytes;
 pub use hash::fnv64;

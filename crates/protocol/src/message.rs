@@ -206,6 +206,31 @@ pub enum Message {
         /// Echoed content hash of the unresolved reference.
         hash: u64,
     },
+    /// Client → server warm-resume token, presented instead of a
+    /// [`Message::ClientHello`] when redialing after a server crash or
+    /// failover. It names the session and client the server should
+    /// restore from its checkpoint, the last sequence number the
+    /// client actually received (so the restored encoder continues the
+    /// counter instead of rolling it back), and a digest of the
+    /// client's cache store (so the server can verify its restored
+    /// ledger still mirrors it). A server that cannot honor the token
+    /// — unknown session, unknown client, digest mismatch — falls back
+    /// to the cold reconnect path; it never panics on one.
+    ///
+    /// Like the hello pair, this is a handshake message: it keeps
+    /// revision-1 framing at every negotiated revision so a
+    /// freshly-restored server can decode it before any negotiation
+    /// state exists.
+    SessionResume {
+        /// Deterministic id of the session being resumed.
+        session_id: u64,
+        /// The client id the server assigned before the crash.
+        client_id: u32,
+        /// Last integrity-frame sequence number the client received.
+        last_seq: u32,
+        /// FNV-1a 64 digest over the client store's sorted key set.
+        store_digest: u64,
+    },
 }
 
 impl Message {
@@ -228,6 +253,7 @@ impl Message {
                 | Message::Pong { .. }
                 | Message::RefreshRequest { .. }
                 | Message::CacheMiss { .. }
+                | Message::SessionResume { .. }
         )
     }
 
@@ -264,6 +290,13 @@ mod tests {
         assert!(!Message::RefreshRequest { attempt: 1 }.is_downstream());
         assert!(Message::CacheRef { hash: 0xDEAD }.is_downstream());
         assert!(!Message::CacheMiss { hash: 0xDEAD }.is_downstream());
+        assert!(!Message::SessionResume {
+            session_id: 0xFEED,
+            client_id: 3,
+            last_seq: 99,
+            store_digest: 0xBEEF
+        }
+        .is_downstream());
         assert!(Message::Audio {
             seq: 0,
             timestamp_us: 0,

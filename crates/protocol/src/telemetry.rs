@@ -50,7 +50,8 @@ pub fn command_kind(msg: &Message) -> CommandKind {
         | Message::Pong { .. }
         | Message::RefreshRequest { .. }
         | Message::CacheRef { .. }
-        | Message::CacheMiss { .. } => CommandKind::Control,
+        | Message::CacheMiss { .. }
+        | Message::SessionResume { .. } => CommandKind::Control,
     }
 }
 

@@ -166,6 +166,9 @@ const MSG_REFRESH_REQUEST: u8 = 0x16;
 // Content-addressed cache messages (protocol revision 3).
 const MSG_CACHE_REF: u8 = 0x17;
 const MSG_CACHE_MISS: u8 = 0x18;
+// Warm-resume handshake extension (failover redial). Handshake-framed
+// — always revision-1 on the wire — so no protocol revision bump.
+const MSG_SESSION_RESUME: u8 = 0x19;
 
 // Display command type bytes.
 const CMD_RAW: u8 = 0x10;
@@ -533,6 +536,18 @@ fn encode_body(msg: &Message, payload: &mut Vec<u8>) -> u8 {
             payload.put_u64_le(*hash);
             MSG_CACHE_MISS
         }
+        Message::SessionResume {
+            session_id,
+            client_id,
+            last_seq,
+            store_digest,
+        } => {
+            payload.put_u64_le(*session_id);
+            payload.put_u32_le(*client_id);
+            payload.put_u32_le(*last_seq);
+            payload.put_u64_le(*store_digest);
+            MSG_SESSION_RESUME
+        }
     }
 }
 
@@ -600,13 +615,18 @@ pub fn encode_message_seq_into(msg: &Message, seq: u32, out: &mut Vec<u8>) {
 /// framing at every negotiated revision (it must be decodable before
 /// the revision is known).
 fn is_handshake(msg: &Message) -> bool {
-    matches!(msg, Message::ServerHello { .. } | Message::ClientHello { .. })
+    matches!(
+        msg,
+        Message::ServerHello { .. }
+            | Message::ClientHello { .. }
+            | Message::SessionResume { .. }
+    )
 }
 
 /// Whether `tag` is a known top-level message type byte.
 fn known_message_tag(tag: u8) -> bool {
     (MSG_SERVER_HELLO..=MSG_PONG).contains(&tag)
-        || (MSG_REFRESH_REQUEST..=MSG_CACHE_MISS).contains(&tag)
+        || (MSG_REFRESH_REQUEST..=MSG_SESSION_RESUME).contains(&tag)
 }
 
 /// Decodes one framed message from the front of `data`, returning the
@@ -835,6 +855,17 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message, DecodeError> {
                 Message::CacheMiss { hash }
             }
         }
+        MSG_SESSION_RESUME => {
+            if buf.remaining() < 24 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::SessionResume {
+                session_id: buf.get_u64_le(),
+                client_id: buf.get_u32_le(),
+                last_seq: buf.get_u32_le(),
+                store_digest: buf.get_u64_le(),
+            }
+        }
         other => return Err(DecodeError::UnknownType(other)),
     };
     Ok(msg)
@@ -891,6 +922,17 @@ impl FrameEncoder {
     /// The sequence number the next integrity frame will carry.
     pub fn next_seq(&self) -> u32 {
         self.next_seq
+    }
+
+    /// Sets the sequence number the next integrity frame will carry.
+    ///
+    /// Used by the warm-resume path: a restored server adopts the
+    /// continuation of the client's last-received sequence (from its
+    /// resume token), so the first post-failover frame is neither a
+    /// rollback (silently dropped as a duplicate) nor a gap (a
+    /// spurious refresh request).
+    pub fn set_next_seq(&mut self, seq: u32) {
+        self.next_seq = seq;
     }
 
     /// Frames `msg` at the negotiated revision, consuming a sequence
@@ -993,6 +1035,15 @@ impl FrameReader {
         self.counters
     }
 
+    /// The sequence number of the last integrity frame accepted, or
+    /// `None` before any arrived (or at the legacy revision).
+    ///
+    /// This is what a client folds into its resume token: the restored
+    /// server's encoder continues from here.
+    pub fn last_seq(&self) -> Option<u32> {
+        self.last_seq
+    }
+
     /// Returns `true` once if a sequence discontinuity (gap) was
     /// detected since the last call, clearing the latch.
     ///
@@ -1042,7 +1093,7 @@ impl FrameReader {
             if !known_message_tag(tag) {
                 return Err(DecodeError::UnknownType(tag));
             }
-            if tag == MSG_SERVER_HELLO || tag == MSG_CLIENT_HELLO {
+            if tag == MSG_SERVER_HELLO || tag == MSG_CLIENT_HELLO || tag == MSG_SESSION_RESUME {
                 // Handshake frames always use legacy framing.
                 return match decode_message(&self.buf) {
                     Ok((msg, consumed)) => {
@@ -1261,6 +1312,12 @@ mod tests {
             Message::CacheMiss {
                 hash: 0xFEDC_BA98_7654_3210,
             },
+            Message::SessionResume {
+                session_id: 0x1122_3344_5566_7788,
+                client_id: 5,
+                last_seq: 0xDEAD_BEEF,
+                store_digest: 0x8877_6655_4433_2211,
+            },
         ]
     }
 
@@ -1409,7 +1466,7 @@ mod tests {
     fn non_handshake_samples() -> Vec<Message> {
         sample_messages()
             .into_iter()
-            .filter(|m| !matches!(m, Message::ServerHello { .. } | Message::ClientHello { .. }))
+            .filter(|m| !is_handshake(m))
             .collect()
     }
 
@@ -1480,6 +1537,52 @@ mod tests {
         reader.feed(&bytes);
         assert_eq!(reader.next_message().unwrap(), Some(hello));
         assert_eq!(reader.integrity().frames_verified, 0);
+    }
+
+    #[test]
+    fn session_resume_stays_legacy_on_integrity_stream() {
+        // A resume token is a handshake message: a freshly-restored
+        // server must decode it before any negotiation state exists,
+        // so it never picks up integrity framing.
+        let resume = Message::SessionResume {
+            session_id: 42,
+            client_id: 7,
+            last_seq: 1000,
+            store_digest: 0xABCD,
+        };
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_CACHE);
+        let bytes = enc.encode(&resume);
+        assert_eq!(bytes, encode_message(&resume));
+        assert_eq!(enc.next_seq(), 0, "handshake frames consume no seq");
+        let mut legacy = FrameReader::new();
+        legacy.feed(&bytes);
+        assert_eq!(legacy.next_message().unwrap(), Some(resume.clone()));
+        let mut reader = FrameReader::with_revision(WIRE_REV_CACHE);
+        reader.feed(&bytes);
+        assert_eq!(reader.next_message().unwrap(), Some(resume));
+        assert_eq!(reader.integrity().frames_verified, 0);
+    }
+
+    #[test]
+    fn encoder_seq_adoption_avoids_rollback_and_gap() {
+        // A restored server adopting last_seq+1 produces a frame the
+        // client's reader accepts as the exact next in sequence.
+        let msg = Message::Ping {
+            seq: 1,
+            timestamp_us: 2,
+        };
+        let mut reader = FrameReader::with_revision(WIRE_REV_INTEGRITY);
+        reader.feed(&encode_message_seq(&msg, 41));
+        assert!(reader.next_message().unwrap().is_some());
+        assert_eq!(reader.last_seq(), Some(41));
+        let mut enc = FrameEncoder::with_revision(WIRE_REV_INTEGRITY);
+        enc.set_next_seq(reader.last_seq().unwrap().wrapping_add(1));
+        reader.feed(&enc.encode(&msg));
+        assert!(reader.next_message().unwrap().is_some());
+        let c = reader.integrity();
+        assert_eq!(c.seq_gap, 0);
+        assert_eq!(c.seq_dup, 0);
+        assert!(!reader.take_seq_break());
     }
 
     #[test]

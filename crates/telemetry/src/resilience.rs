@@ -65,6 +65,9 @@ pub struct ResilienceMetrics {
     cache_bytes_saved: Counter,
     // Crash isolation (panic containment in the parallel flush).
     panics_quarantined: Counter,
+    // Checkpoint/failover (crash-consistent session restore).
+    resumes: Counter,
+    cold_fallbacks: Counter,
     // Adaptive degradation (the feedback loop acting on the above).
     degrade_steps: Counter,
     promote_steps: Counter,
@@ -359,6 +362,31 @@ impl ResilienceMetrics {
         self.panics_quarantined.get()
     }
 
+    /// Records a warm resume: a redialing client's resume token was
+    /// honored against a restored checkpoint, so only the
+    /// checkpoint-to-live delta travels instead of a full-screen
+    /// retransmit.
+    pub fn record_resume(&mut self) {
+        self.resumes.inc();
+    }
+
+    /// Records a resume attempt that could not be honored (stale or
+    /// corrupt token/checkpoint, unknown client, digest mismatch) and
+    /// fell back to the cold reconnect path.
+    pub fn record_cold_fallback(&mut self) {
+        self.cold_fallbacks.inc();
+    }
+
+    /// Warm resumes honored after a failover.
+    pub fn resumes(&self) -> u64 {
+        self.resumes.get()
+    }
+
+    /// Resume attempts demoted to cold reconnects.
+    pub fn cold_fallbacks(&self) -> u64 {
+        self.cold_fallbacks.get()
+    }
+
     /// Entries evicted from cache ledgers/stores.
     pub fn cache_evictions(&self) -> u64 {
         self.cache_evictions.get()
@@ -438,6 +466,8 @@ impl ResilienceMetrics {
         self.cache_evictions.add(other.cache_evictions.get());
         self.cache_bytes_saved.add(other.cache_bytes_saved.get());
         self.panics_quarantined.add(other.panics_quarantined.get());
+        self.resumes.add(other.resumes.get());
+        self.cold_fallbacks.add(other.cold_fallbacks.get());
         self.degrade_steps.add(other.degrade_steps.get());
         self.promote_steps.add(other.promote_steps.get());
         // Levels are states, not counts: merging session views keeps
@@ -475,6 +505,8 @@ impl ResilienceMetrics {
             cache_evictions: self.cache_evictions(),
             cache_bytes_saved: self.cache_bytes_saved(),
             panics_quarantined: self.panics_quarantined(),
+            resumes: self.resumes(),
+            cold_fallbacks: self.cold_fallbacks(),
             degrade_steps: self.degrade_steps(),
             promote_steps: self.promote_steps(),
             degradation_level: self.degradation_level(),
@@ -537,6 +569,10 @@ pub struct ResilienceSnapshot {
     pub cache_bytes_saved: u64,
     /// Per-client panics contained by flush quarantine.
     pub panics_quarantined: u64,
+    /// Warm resumes honored after a failover.
+    pub resumes: u64,
+    /// Resume attempts demoted to cold reconnects.
+    pub cold_fallbacks: u64,
     /// Fidelity reductions by the degradation controller.
     pub degrade_steps: u64,
     /// Fidelity restorations by the degradation controller.
@@ -652,6 +688,23 @@ mod tests {
         m.merge(&other);
         assert_eq!(m.panics_quarantined(), 3);
         assert_eq!(m.snapshot().panics_quarantined, 3);
+    }
+
+    #[test]
+    fn resume_counters_accumulate_merge_and_snapshot() {
+        let mut m = ResilienceMetrics::new();
+        m.record_resume();
+        m.record_cold_fallback();
+        let mut other = ResilienceMetrics::new();
+        other.record_resume();
+        other.record_resume();
+        other.record_cold_fallback();
+        m.merge(&other);
+        assert_eq!(m.resumes(), 3);
+        assert_eq!(m.cold_fallbacks(), 2);
+        let s = m.snapshot();
+        assert_eq!(s.resumes, 3);
+        assert_eq!(s.cold_fallbacks, 2);
     }
 
     #[test]

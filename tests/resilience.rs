@@ -1285,3 +1285,370 @@ fn sharded_fanout_rides_out_collapse_and_converges_byte_exact() {
         "encodes={encodes} not amortized over sends={sends}"
     );
 }
+
+#[test]
+fn warm_resume_ships_fewer_bytes_than_cold_reconnect() {
+    // The failover bandwidth contract, end to end over the real wire
+    // framing: two converged viewers survive a server crash. One
+    // redials with a valid resume token and is resumed warm — the
+    // standby ships only the checkpoint-vs-live delta. The other
+    // presents a stale token (digest mismatch) and falls back cold —
+    // full-view retransmit. Both must converge byte-exact, the warm
+    // bill must measurably undercut the cold one, and the telemetry
+    // must count one warm resume and one cold fallback on both ends
+    // of the wire.
+    use thinc::core::checkpoint::ResumeOutcome;
+    use thinc::core::session::{Credentials, SharedSession};
+    use thinc::display::drawable::DrawableStore;
+    use thinc::display::driver::VideoDriver;
+    use thinc::protocol::wire::{self, FrameEncoder};
+    use thinc::protocol::PROTOCOL_VERSION;
+
+    let seed = fault_seed().wrapping_add(0xFA11);
+    let mut session = SharedSession::new(W, H, PixelFormat::Rgb888, "host")
+        .with_buffer_bound(BUFFER_BOUND)
+        .with_cache(64 * 1024);
+    session.auth_mut().enable_sharing("pw");
+    let warm_id = session
+        .attach(&Credentials::Owner { user: "host".into() }, W, H)
+        .unwrap();
+    let cold_id = session
+        .attach(
+            &Credentials::Peer { user: "viewer".into(), password: "pw".into() },
+            W,
+            H,
+        )
+        .unwrap();
+    let ids = [warm_id, cold_id];
+    let mut store = DrawableStore::new(W, H, PixelFormat::Rgb888);
+    let mut streams: Vec<StreamClient> = (0..2)
+        .map(|_| {
+            let mut c = StreamClient::new(W, H, PixelFormat::Rgb888).with_cache_budget(64 * 1024);
+            c.feed(&wire::encode_message(&Message::ServerHello {
+                version: PROTOCOL_VERSION,
+                width: W,
+                height: H,
+                depth: 24,
+            }));
+            c
+        })
+        .collect();
+    let mut encoders =
+        vec![FrameEncoder::with_revision(PROTOCOL_VERSION), FrameEncoder::with_revision(PROTOCOL_VERSION)];
+    let mut links = vec![
+        (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+    ];
+    // One delivery round over the framed wire; returns bytes shipped
+    // per client so the warm/cold bill can be compared.
+    let pump = |session: &mut SharedSession,
+                    streams: &mut Vec<StreamClient>,
+                    encoders: &mut Vec<FrameEncoder>,
+                    links: &mut Vec<(thinc::net::tcp::TcpPipe, PacketTrace)>,
+                    now: SimTime|
+     -> [u64; 2] {
+        let mut shipped = [0u64; 2];
+        for (j, (_, msgs)) in session.flush_all(now, links).into_iter().enumerate() {
+            for (_, msg) in msgs {
+                let bytes = encoders[j].encode(&msg);
+                shipped[j] += bytes.len() as u64;
+                streams[j].feed(&bytes);
+            }
+        }
+        for (j, &id) in ids.iter().enumerate() {
+            while let Some(Message::CacheMiss { hash }) = streams[j].take_cache_miss() {
+                session.client_cache_miss(id, hash);
+            }
+        }
+        shipped
+    };
+    let secs = |t: f64| SimTime((t * 1e6) as u64);
+    // Converge both viewers on real traffic before the crash.
+    for i in 0..8u64 {
+        let rect = Rect::new(0, ((i * 12) % (H as u64 - 24)) as i32, W, 24);
+        if let DrawRequest::PutImage { rect, data, .. } = noise(rect, seed.wrapping_add(i)) {
+            store.screen_mut().put_raw(&rect, &data);
+            session.put_image(&store, SCREEN, rect, &data);
+        }
+        for r in 0..50 {
+            pump(&mut session, &mut streams, &mut encoders, &mut links, secs(0.1 * (i + 1) as f64 + 0.001 * r as f64));
+            if ids.iter().all(|&id| session.backlog(id) == 0) {
+                break;
+            }
+        }
+    }
+    for (j, _) in ids.iter().enumerate() {
+        assert_eq!(
+            streams[j].client().framebuffer().data(),
+            store.screen().data(),
+            "viewer {j} must be converged before the crash"
+        );
+    }
+
+    // Crash instant: the image is taken, the old incarnation dies.
+    let image = session.checkpoint(store.screen());
+    drop(session);
+    drop(links);
+
+    // The desktop keeps moving while the standby spins up: one band
+    // of the screen changes before anyone redials.
+    let damage = Rect::new(0, 0, W, 24);
+    if let DrawRequest::PutImage { rect, data, .. } = noise(damage, seed.wrapping_add(77)) {
+        store.screen_mut().put_raw(&rect, &data);
+        let mut standby = SharedSession::restore(&image).expect("image restores");
+        standby.set_time(secs(5.0));
+        standby.put_image(&store, SCREEN, rect, &data);
+
+        // Warm redial: clean wire state, matching token. The standby
+        // adopts the client's sequence stream and queues the delta.
+        assert!(streams[0].resume(), "drained reader must allow a warm resume");
+        let sid = standby.session_id();
+        let Message::SessionResume { last_seq, store_digest, .. } =
+            streams[0].resume_token(sid, warm_id.0)
+        else {
+            unreachable!("resume_token always builds SessionResume")
+        };
+        match standby.resume_client(sid, warm_id, store_digest, store.screen()) {
+            ResumeOutcome::Warm { delta_area } => {
+                assert!(delta_area > 0, "the screen changed while the server was down");
+                assert!(
+                    delta_area < (W * H) as u64,
+                    "warm resume must not requeue the whole screen: {delta_area}"
+                );
+                encoders[0].set_next_seq(last_seq.wrapping_add(1));
+            }
+            cold => panic!("matching token must resume warm, got {cold:?}"),
+        }
+
+        // Stale redial: the token's store digest no longer matches
+        // (the client lost its content store with the device). The
+        // standby falls back cold — ledger reset, full view owed —
+        // and answers with a fresh hello that settles the client's
+        // pending resume as a cold restart.
+        assert!(streams[1].resume());
+        let Message::SessionResume { store_digest, .. } =
+            streams[1].resume_token(sid, cold_id.0)
+        else {
+            unreachable!()
+        };
+        match standby.resume_client(sid, cold_id, store_digest ^ 0xDEAD, store.screen()) {
+            ResumeOutcome::Cold { reason } => assert_eq!(reason, "cache digest mismatch"),
+            warm => panic!("stale token must fall back cold, got {warm:?}"),
+        }
+        let hello = wire::encode_message(&Message::ServerHello {
+            version: PROTOCOL_VERSION,
+            width: W,
+            height: H,
+            depth: 24,
+        });
+        let mut shipped = [0u64, hello.len() as u64];
+        streams[1].feed(&hello);
+        encoders[1] = FrameEncoder::with_revision(PROTOCOL_VERSION);
+
+        // Post-failover settle: both bills accumulate.
+        let mut links = vec![
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+            (NetworkConfig::lan_desktop().connect().down, PacketTrace::new()),
+        ];
+        for r in 0..200u64 {
+            let round = pump(&mut standby, &mut streams, &mut encoders, &mut links, secs(5.1 + 0.01 * r as f64));
+            shipped[0] += round[0];
+            shipped[1] += round[1];
+            if ids.iter().all(|&id| standby.backlog(id) == 0)
+                && streams.iter().all(|s| s.pending_bytes() == 0)
+            {
+                break;
+            }
+        }
+        for (j, _) in ids.iter().enumerate() {
+            assert_eq!(
+                streams[j].client().framebuffer().data(),
+                store.screen().data(),
+                "viewer {j} must converge byte-exact after the failover"
+            );
+        }
+        // The bandwidth assertion: the warm bill covers one changed
+        // band, the cold bill a full-screen retransmit.
+        assert!(
+            shipped[0] * 2 < shipped[1],
+            "warm resume ({} B) must measurably undercut cold reconnect ({} B)",
+            shipped[0],
+            shipped[1]
+        );
+        // Telemetry, both ends of the wire: one warm resume honored,
+        // one cold fallback taken — greppable nonzero in CI.
+        assert_eq!(streams[0].resilience_metrics().resumes(), 1);
+        assert_eq!(streams[0].resilience_metrics().cold_fallbacks(), 0);
+        assert_eq!(streams[1].resilience_metrics().cold_fallbacks(), 1);
+        assert_eq!(standby.client_resilience(warm_id).unwrap().resumes(), 1);
+        assert_eq!(standby.client_resilience(cold_id).unwrap().cold_fallbacks(), 1);
+    } else {
+        unreachable!("noise always builds PutImage");
+    }
+}
+
+#[test]
+fn checkpoint_failover_converges_across_shards() {
+    // Warm failover on the sharded fan-out path, swept by the CI
+    // matrix: a broadcast session crashes mid-traffic (undelivered
+    // backlog in flight), the standby restores the image under
+    // `THINC_SHARDS` shards and `THINC_FLUSH_WORKERS` workers, every
+    // viewer redials with a valid resume token, and all of them are
+    // resumed warm — zero cold fallbacks — converging byte-exact on
+    // the post-crash screen for every shard × worker combination.
+    use thinc::core::checkpoint::ResumeOutcome;
+    use thinc::core::session::{Credentials, SharedSession};
+    use thinc::core::ShardedManager;
+    use thinc::display::drawable::DrawableStore;
+    use thinc::display::driver::VideoDriver;
+    use thinc::protocol::wire::{self, FrameEncoder};
+    use thinc::protocol::PROTOCOL_VERSION;
+
+    let shards: usize = std::env::var("THINC_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let workers: usize = std::env::var("THINC_FLUSH_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    const CLIENTS: usize = 6;
+    let seed = fault_seed().wrapping_add(0x0FF1);
+
+    let mut session = SharedSession::new(W, H, PixelFormat::Rgb888, "host")
+        .with_buffer_bound(BUFFER_BOUND)
+        .with_cache(64 * 1024)
+        .with_workers(workers);
+    session.auth_mut().enable_sharing("pw");
+    let mut m = ShardedManager::new(session, shards);
+    let fresh_link = || (NetworkConfig::lan_desktop().connect().down, PacketTrace::new());
+    let owner = m
+        .attach(&Credentials::Owner { user: "host".into() }, W, H, fresh_link())
+        .unwrap();
+    let mut ids = vec![owner];
+    for i in 1..CLIENTS {
+        ids.push(
+            m.attach(
+                &Credentials::Peer {
+                    user: format!("viewer{i}"),
+                    password: "pw".into(),
+                },
+                W,
+                H,
+                fresh_link(),
+            )
+            .unwrap(),
+        );
+    }
+    let mut store = DrawableStore::new(W, H, PixelFormat::Rgb888);
+    let mut streams: Vec<StreamClient> = ids
+        .iter()
+        .map(|_| {
+            let mut c = StreamClient::new(W, H, PixelFormat::Rgb888).with_cache_budget(64 * 1024);
+            c.feed(&wire::encode_message(&Message::ServerHello {
+                version: PROTOCOL_VERSION,
+                width: W,
+                height: H,
+                depth: 24,
+            }));
+            c
+        })
+        .collect();
+    let mut encoders: Vec<FrameEncoder> = ids
+        .iter()
+        .map(|_| FrameEncoder::with_revision(PROTOCOL_VERSION))
+        .collect();
+    let pump = |m: &mut ShardedManager,
+                streams: &mut Vec<StreamClient>,
+                encoders: &mut Vec<FrameEncoder>,
+                ids: &[thinc::core::session::ClientId],
+                now: SimTime| {
+        let out = m.flush_epoch(now);
+        for (id, msgs) in out {
+            let idx = ids.iter().position(|x| *x == id).unwrap();
+            for (_, msg) in msgs {
+                let bytes = encoders[idx].encode(&msg);
+                streams[idx].feed(&bytes);
+            }
+        }
+        for (idx, &id) in ids.iter().enumerate() {
+            while let Some(Message::CacheMiss { hash }) = streams[idx].take_cache_miss() {
+                m.session_mut().client_cache_miss(id, hash);
+            }
+        }
+    };
+    let secs = |t: f64| SimTime((t * 1e6) as u64);
+    // Broadcast traffic, partially delivered: the last band is drawn
+    // but never flushed, so the crash image carries live backlog.
+    for i in 0..6u64 {
+        let rect = Rect::new(0, ((i * 14) % (H as u64 - 20)) as i32, W, 20);
+        if let DrawRequest::PutImage { rect, data, .. } = noise(rect, seed.wrapping_add(i)) {
+            store.screen_mut().put_raw(&rect, &data);
+            m.session_mut().put_image(&store, SCREEN, rect, &data);
+        }
+        if i < 5 {
+            for r in 0..50 {
+                pump(&mut m, &mut streams, &mut encoders, &ids, secs(0.1 * (i + 1) as f64 + 0.001 * r as f64));
+                if ids.iter().all(|&id| m.session().backlog(id) == 0) {
+                    break;
+                }
+            }
+        }
+    }
+    assert!(
+        ids.iter().any(|&id| m.session().backlog(id) > 0),
+        "the crash must strike with backlog in flight"
+    );
+
+    // Crash instant: live image, old incarnation gone.
+    let image = m.session().checkpoint(store.screen());
+    drop(m);
+
+    // The standby restores under the swept shard count; the desktop
+    // moved while it spun up.
+    let mut m = ShardedManager::restore(&image, shards).expect("crash image restores");
+    m.session_mut().set_time(secs(3.0));
+    let damage = Rect::new(0, (H - 20) as i32, W, 20);
+    if let DrawRequest::PutImage { rect, data, .. } = noise(damage, seed.wrapping_add(99)) {
+        store.screen_mut().put_raw(&rect, &data);
+        m.session_mut().put_image(&store, SCREEN, rect, &data);
+    }
+    // Every viewer redials: fresh link adopted by its shard, resume
+    // token accepted, sequence stream carried forward.
+    let sid = m.session().session_id();
+    for (idx, &id) in ids.iter().enumerate() {
+        m.adopt_link(id, fresh_link());
+        assert!(streams[idx].resume(), "drained reader must allow a warm resume");
+        let Message::SessionResume { last_seq, store_digest, .. } =
+            streams[idx].resume_token(sid, id.0)
+        else {
+            unreachable!()
+        };
+        match m.session_mut().resume_client(sid, id, store_digest, store.screen()) {
+            ResumeOutcome::Warm { .. } => encoders[idx].set_next_seq(last_seq.wrapping_add(1)),
+            cold => panic!("viewer {idx} must resume warm (shards={shards}), got {cold:?}"),
+        }
+    }
+    // Settle: the standby replays the checkpointed backlog and the
+    // resume deltas through the sharded flush plane.
+    for r in 0..200u64 {
+        pump(&mut m, &mut streams, &mut encoders, &ids, secs(3.1 + 0.01 * r as f64));
+        if ids.iter().all(|&id| m.session().backlog(id) == 0)
+            && streams.iter().all(|s| s.pending_bytes() == 0)
+        {
+            break;
+        }
+    }
+    for (idx, &id) in ids.iter().enumerate() {
+        assert_eq!(
+            streams[idx].client().framebuffer().data(),
+            store.screen().data(),
+            "viewer {idx} must converge byte-exact after failover \
+             (shards={shards} workers={workers})"
+        );
+        let server_side = m.session().client_resilience(id).unwrap();
+        assert_eq!(server_side.resumes(), 1, "viewer {idx}: warm resume counted");
+        assert_eq!(server_side.cold_fallbacks(), 0, "viewer {idx}: no cold fallback");
+        assert_eq!(streams[idx].resilience_metrics().resumes(), 1);
+    }
+}
